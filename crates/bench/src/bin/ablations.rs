@@ -1,0 +1,93 @@
+//! Ablation studies beyond the paper's tables (DESIGN.md section 7).
+use oversub_bench::{emit, parse_args};
+
+fn main() {
+    let a = parse_args();
+    emit(
+        "Ablation: BWD timer interval sweep (lu, 32T/8c)",
+        "DESIGN.md 7",
+        &oversub::experiments::ablation_bwd_interval(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Ablation: LBR-only vs LBR+PMC heuristics (cg, 32T/8c)",
+        "DESIGN.md 7",
+        &oversub::experiments::ablation_bwd_heuristics(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Ablation: VB auto-disable under no oversubscription (streamcluster, 8T/8c)",
+        "DESIGN.md 7",
+        &oversub::experiments::ablation_vb_auto_disable(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Ablation: migration-cost sensitivity (streamcluster, 32T/8c)",
+        "DESIGN.md 7",
+        &oversub::experiments::ablation_migration_cost(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Ablation: wakeup-path cost sweep (cg, 32T/8c)",
+        "DESIGN.md 7",
+        &oversub::experiments::ablation_wakeup_cost(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Extension: pipeline cascade (flag flavour, 8 cores)",
+        "paper section 4.3 microbenchmark",
+        &oversub::experiments::ext_pipeline_cascade(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Ablation: huge pages remove the TLB benefit (Figure 4, rnd-r)",
+        "extension of paper section 2.3",
+        &oversub::experiments::ablation_hugepages(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Extension: dynamic threading (OpenMP-style) vs oversubscription",
+        "paper section 5 (related work)",
+        &oversub::experiments::ext_forkjoin_dynamic_threading(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Extension: CloudSuite-style web serving",
+        "paper section 4.2 (CloudSuite reference)",
+        &oversub::experiments::ext_web_serving(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
+        "Seed sensitivity (5 seeds, mean +/- 95% CI)",
+        "methodology check",
+        &oversub::experiments::seed_sensitivity(a.opts),
+        a.csv,
+    );
+}

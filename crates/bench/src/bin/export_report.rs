@@ -1,0 +1,73 @@
+//! Dump the full `RunReport` of one benchmark arm as JSON — plumbing for
+//! external analysis/plotting.
+//!
+//! Usage: `export_report <benchmark> <threads> [--cores N] [--mech vanilla|vb|bwd|optimized|ple] [--scale F] [--seed N] [--vm]`
+
+use oversub::workload::Workload;
+use oversub::{run_labelled, ExecEnv, MachineSpec, Mechanisms, RunConfig};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| usage());
+    let threads: usize = args
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage());
+    let mut cores = 8usize;
+    let mut mech = Mechanisms::vanilla();
+    let mut scale = 0.25f64;
+    let mut seed = 42u64;
+    let mut env = ExecEnv::Container;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cores" => cores = args.next().and_then(|v| v.parse().ok()).unwrap_or(8),
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(0.25),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--vm" => env = ExecEnv::Vm,
+            "--mech" => {
+                mech = match args.next().as_deref() {
+                    Some("vanilla") => Mechanisms::vanilla(),
+                    Some("vb") => Mechanisms::vb_only(),
+                    Some("bwd") => Mechanisms::bwd_only(),
+                    Some("optimized") => Mechanisms::optimized(),
+                    Some("ple") => Mechanisms::ple_only(),
+                    other => {
+                        eprintln!("unknown mechanism {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    let Some(profile) = BenchProfile::by_name(&name) else {
+        eprintln!("unknown benchmark '{name}'; available:");
+        for p in BenchProfile::all() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(2);
+    };
+    let mut wl = Skeleton::scaled(profile, threads, scale).with_salt(seed);
+    let mut cfg = RunConfig::vanilla(cores)
+        .with_machine(MachineSpec::PaperN(cores))
+        .with_mech(mech)
+        .with_seed(seed);
+    cfg.env = env;
+    let label = format!("{}/{}T/{}c", wl.name(), threads, cores);
+    let report = run_labelled(&mut wl, &cfg, &label);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: export_report <benchmark> <threads> [--cores N] [--mech vanilla|vb|bwd|optimized|ple] [--scale F] [--seed N] [--vm]"
+    );
+    std::process::exit(2)
+}

@@ -1,0 +1,8 @@
+//! Figure 9: virtual blocking on the 13 blocking benchmarks
+use oversub_bench::{emit, parse_args};
+
+fn main() {
+    let a = parse_args();
+    let t = oversub::experiments::fig09_vb_blocking(a.opts);
+    emit("Figure 9: virtual blocking on the 13 blocking benchmarks", "Figure 9", &t, a.csv);
+}

@@ -1,0 +1,23 @@
+//! Figure 10: VB speedup on pthreads primitives.
+use oversub_bench::{emit, parse_args};
+
+fn main() {
+    let a = parse_args();
+    let ta = oversub::experiments::fig10a_primitives_threads(a.opts);
+    emit(
+        "Figure 10(a): 1..32 threads on a single core (speedup of VB over vanilla)",
+        "Figure 10(a)",
+        &ta,
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    let tb = oversub::experiments::fig10b_primitives_cores(a.opts);
+    emit(
+        "Figure 10(b): 32 threads on 1..32 cores (speedup of VB over vanilla)",
+        "Figure 10(b)",
+        &tb,
+        a.csv,
+    );
+}

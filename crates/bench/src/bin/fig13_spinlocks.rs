@@ -1,0 +1,24 @@
+//! Figure 13: BWD across ten spinlock algorithms.
+use oversub::ExecEnv;
+use oversub_bench::{emit, parse_args};
+
+fn main() {
+    let a = parse_args();
+    let tc = oversub::experiments::fig13_spinlocks(ExecEnv::Container, a.opts);
+    emit(
+        "Figure 13(a): container (execution time, s)",
+        "Figure 13(a)",
+        &tc,
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    let tv = oversub::experiments::fig13_spinlocks(ExecEnv::Vm, a.opts);
+    emit(
+        "Figure 13(b): KVM with the PLE arm (execution time, s)",
+        "Figure 13(b)",
+        &tv,
+        a.csv,
+    );
+}

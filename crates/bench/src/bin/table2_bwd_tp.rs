@@ -1,0 +1,8 @@
+//! Table 2: BWD true-positive rate
+use oversub_bench::{emit, parse_args};
+
+fn main() {
+    let a = parse_args();
+    let t = oversub::experiments::table2_bwd_tp(a.opts);
+    emit("Table 2: BWD true-positive rate", "Table 2", &t, a.csv);
+}

@@ -1,0 +1,8 @@
+//! Table 3: BWD false-positive rate
+use oversub_bench::{emit, parse_args};
+
+fn main() {
+    let a = parse_args();
+    let t = oversub::experiments::table3_bwd_fp(a.opts);
+    emit("Table 3: BWD false-positive rate", "Table 3", &t, a.csv);
+}

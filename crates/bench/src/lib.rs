@@ -1,0 +1,61 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts:
+//! - `--scale <f64>`: phase-count scale (default 0.25; 1.0 = paper-sized),
+//! - `--seed <u64>`: RNG seed (default 42),
+//! - `--csv`: emit CSV instead of the aligned table.
+
+use oversub::experiments::ExpOpts;
+use oversub::metrics::TextTable;
+
+/// Parsed command line for a figure binary.
+pub struct HarnessArgs {
+    /// Experiment options.
+    pub opts: ExpOpts,
+    /// Emit CSV.
+    pub csv: bool,
+}
+
+/// Parse `std::env::args` into [`HarnessArgs`].
+pub fn parse_args() -> HarnessArgs {
+    let mut opts = ExpOpts { scale: 0.25, seed: 42 };
+    let mut csv = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --scale needs a float");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                opts.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--csv" => csv = true,
+            "--quick" => opts.scale = 0.08,
+            "--full" => opts.scale = 1.0,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: [--scale F] [--seed N] [--csv] [--quick] [--full]");
+                std::process::exit(2);
+            }
+        }
+    }
+    HarnessArgs { opts, csv }
+}
+
+/// Print a finished experiment with a header.
+pub fn emit(title: &str, paper_ref: &str, table: &TextTable, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== {title}");
+        println!("   (reproduces {paper_ref})");
+        println!();
+        print!("{}", table.render());
+    }
+}

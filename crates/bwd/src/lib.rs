@@ -1,0 +1,12 @@
+//! Busy-waiting detection (BWD) and the pause-loop-exiting (PLE) baseline.
+//!
+//! - [`detector`]: the paper's software spin detector — a 100 µs hrtimer
+//!   reading the 16-entry LBR ring and the TLB/L1D miss counters.
+//! - [`ple`]: the hardware baseline, which only sees PAUSE loops inside
+//!   VMs and responds with a weak directed yield.
+
+pub mod detector;
+pub mod ple;
+
+pub use detector::{BwdParams, BwdStats, Detector};
+pub use ple::{ExecEnv, Ple, PleParams, PleStats};

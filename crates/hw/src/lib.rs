@@ -1,0 +1,24 @@
+//! Hardware models for the thread-oversubscription simulator.
+//!
+//! This crate models the *observable* hardware behaviour the paper's
+//! mechanisms depend on:
+//!
+//! - [`topology`]: sockets / cores / SMT layout of the machine slice a
+//!   container sees.
+//! - [`mem`]: an analytic cache + TLB + prefetcher model that prices memory
+//!   traversals and produces the PMC events (L1D / TLB misses) the
+//!   busy-waiting detector consumes. Parameters default to the paper's
+//!   Xeon E5-2695 v4 testbed.
+//! - [`lbr`]: the 16-entry last-branch-record ring.
+//! - [`pmc`]: per-window performance counters and the combined per-core
+//!   monitored state [`pmc::CoreHw`].
+
+pub mod lbr;
+pub mod mem;
+pub mod pmc;
+pub mod topology;
+
+pub use lbr::{BranchRecord, Lbr, LBR_ENTRIES};
+pub use mem::{AccessOutcome, AccessPattern, CacheParams, MemModel, NormalCodeRates};
+pub use pmc::{CoreHw, Pmc};
+pub use topology::{CpuId, NodeId, Topology};

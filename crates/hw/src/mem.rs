@@ -1,0 +1,499 @@
+//! Analytic cache / TLB / prefetcher model.
+//!
+//! Reproduces the memory-system behaviour behind the paper's §2.3 study
+//! (Figure 4): the interplay between working-set size, the two-level TLB
+//! (64 / 1536 entries of 4 KiB pages => 256 KiB / 6 MiB reach), the cache
+//! hierarchy (L1D 32 KiB, L2 256 KiB, L3 45 MiB on the Xeon E5-2695 v4),
+//! and the stream prefetcher.
+//!
+//! The model is *analytic*: instead of simulating individual cache lines it
+//! computes expected per-access latencies and miss rates from capacity
+//! ratios. That is what makes whole-program simulations of billions of
+//! accesses affordable while preserving the crossover points the paper
+//! reports (256 KiB, 1–4 MiB, beyond 4 MiB).
+
+/// Memory access pattern of a traversal, as in Figure 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessPattern {
+    /// Sequential read (`seq-r`).
+    SeqRead,
+    /// Sequential read-modify-write (`seq-rmw`).
+    SeqRmw,
+    /// Random read (`rnd-r`).
+    RndRead,
+    /// Random read-modify-write (`rnd-rmw`).
+    RndRmw,
+}
+
+impl AccessPattern {
+    /// All four patterns, in the paper's order.
+    pub const ALL: [AccessPattern; 4] = [
+        AccessPattern::SeqRead,
+        AccessPattern::SeqRmw,
+        AccessPattern::RndRead,
+        AccessPattern::RndRmw,
+    ];
+
+    /// Short label used by the figure harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPattern::SeqRead => "seq-r",
+            AccessPattern::SeqRmw => "seq-rmw",
+            AccessPattern::RndRead => "rnd-r",
+            AccessPattern::RndRmw => "rnd-rmw",
+        }
+    }
+
+    /// True for the sequential patterns.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, AccessPattern::SeqRead | AccessPattern::SeqRmw)
+    }
+
+    /// True for the read-modify-write patterns.
+    pub fn is_rmw(self) -> bool {
+        matches!(self, AccessPattern::SeqRmw | AccessPattern::RndRmw)
+    }
+}
+
+/// Capacities and latencies of the modeled memory system.
+#[derive(Clone, Debug)]
+pub struct CacheParams {
+    /// L1 data cache capacity in bytes.
+    pub l1d_bytes: u64,
+    /// L2 cache capacity in bytes (per core).
+    pub l2_bytes: u64,
+    /// L3 cache capacity in bytes (per socket).
+    pub l3_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// First-level data TLB entries.
+    pub tlb_l1_entries: u64,
+    /// Second-level (shared) TLB entries.
+    pub tlb_l2_entries: u64,
+    /// L1 hit latency (ns).
+    pub lat_l1_ns: f64,
+    /// Additional latency of an L2 hit over L1 (ns).
+    pub lat_l2_ns: f64,
+    /// Additional latency of an L3 hit over L2 (ns).
+    pub lat_l3_ns: f64,
+    /// Additional latency of a local DRAM access over L3 (ns).
+    pub lat_dram_ns: f64,
+    /// Additional latency of an sTLB hit over an L1 TLB hit (ns).
+    pub lat_stlb_ns: f64,
+    /// Additional latency of a full page walk (ns).
+    pub lat_walk_ns: f64,
+    /// Effective per-element cost of a prefetched sequential stream (ns).
+    /// The stream prefetcher hides most of the DRAM latency.
+    pub seq_stream_ns_per_elem: f64,
+    /// Extra per-element cost when a sequential stream's prefetcher has to
+    /// retrain (fraction of DRAM latency paid on the first lines).
+    pub prefetch_retrain_ns: f64,
+    /// Multiplier on DRAM latency for remote-node accesses.
+    pub remote_dram_mult: f64,
+    /// Sustained refill bandwidth when re-populating caches after a context
+    /// switch or migration, in bytes per nanosecond (i.e. GB/s / ~1.07).
+    pub refill_bytes_per_ns: f64,
+    /// Element size used by the Figure 4 microbenchmark (a `double`).
+    pub elem_bytes: u64,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        CacheParams {
+            l1d_bytes: 32 << 10,
+            l2_bytes: 256 << 10,
+            l3_bytes: 45 << 20,
+            line_bytes: 64,
+            page_bytes: 4096,
+            tlb_l1_entries: 64,
+            tlb_l2_entries: 1536,
+            lat_l1_ns: 1.0,
+            lat_l2_ns: 3.0,
+            lat_l3_ns: 10.0,
+            lat_dram_ns: 60.0,
+            lat_stlb_ns: 1.5,
+            lat_walk_ns: 35.0,
+            seq_stream_ns_per_elem: 0.55,
+            prefetch_retrain_ns: 0.9,
+            remote_dram_mult: 1.6,
+            // ~45 GB/s sustained refill: calibrated so that re-populating the
+            // 45 MiB L3 costs about 1 ms, the indirect cost the paper reports
+            // for seq patterns at 128 MiB arrays.
+            refill_bytes_per_ns: 47.0,
+            elem_bytes: 8,
+        }
+    }
+}
+
+/// Outcome of pricing a traversal: virtual time plus PMC events.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AccessOutcome {
+    /// Nanoseconds of execution.
+    pub ns: u64,
+    /// L1D misses incurred.
+    pub l1d_misses: u64,
+    /// TLB misses incurred (any level).
+    pub tlb_misses: u64,
+    /// Instructions retired (approximate; ~2 per element for the walk).
+    pub instructions: u64,
+}
+
+/// Average PMC rates of "normal" (non-spinning) code, from the paper's
+/// profile of all 32 benchmarks: 3000 instructions/µs, 1 L1D miss per 45
+/// instructions, 1 TLB miss per 890 instructions.
+#[derive(Clone, Copy, Debug)]
+pub struct NormalCodeRates {
+    /// Instructions retired per nanosecond.
+    pub instr_per_ns: f64,
+    /// L1D misses per instruction.
+    pub l1d_miss_per_instr: f64,
+    /// TLB misses per instruction.
+    pub tlb_miss_per_instr: f64,
+}
+
+impl Default for NormalCodeRates {
+    fn default() -> Self {
+        NormalCodeRates {
+            instr_per_ns: 3.0,
+            l1d_miss_per_instr: 1.0 / 45.0,
+            tlb_miss_per_instr: 1.0 / 890.0,
+        }
+    }
+}
+
+/// The analytic memory model.
+#[derive(Clone, Debug, Default)]
+pub struct MemModel {
+    params: CacheParams,
+}
+
+impl MemModel {
+    /// Create a model with explicit parameters.
+    pub fn new(params: CacheParams) -> Self {
+        MemModel { params }
+    }
+
+    /// Access to the parameters.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Probability that a random access to a working set of `ws` bytes
+    /// misses a cache of `cap` bytes (steady state, fully warm).
+    #[inline]
+    fn miss_frac(ws: u64, cap: u64) -> f64 {
+        if ws <= cap {
+            0.0
+        } else {
+            1.0 - cap as f64 / ws as f64
+        }
+    }
+
+    /// Expected TLB cost (ns) and miss probability per random access to a
+    /// working set of `ws` bytes.
+    fn tlb_cost(&self, ws: u64) -> (f64, f64) {
+        let p = &self.params;
+        let pages = ws.div_ceil(p.page_bytes);
+        let l1_reach = p.tlb_l1_entries;
+        let l2_reach = p.tlb_l2_entries;
+        if pages <= l1_reach {
+            (0.0, 0.0)
+        } else if pages <= l2_reach {
+            let miss_l1 = 1.0 - l1_reach as f64 / pages as f64;
+            (miss_l1 * p.lat_stlb_ns, 0.0)
+        } else {
+            let miss_l1 = 1.0 - l1_reach as f64 / pages as f64;
+            let miss_l2 = 1.0 - l2_reach as f64 / pages as f64;
+            (
+                miss_l1 * p.lat_stlb_ns + miss_l2 * p.lat_walk_ns,
+                miss_l2,
+            )
+        }
+    }
+
+    /// Expected per-element cost (ns) of a *warm, steady-state* traversal of
+    /// a working set of `ws` bytes with the given pattern, plus expected
+    /// L1D / TLB miss probabilities per element.
+    pub fn per_elem(&self, pattern: AccessPattern, ws: u64) -> (f64, f64, f64) {
+        let p = &self.params;
+        match pattern {
+            AccessPattern::SeqRead | AccessPattern::SeqRmw => {
+                // Streaming: the prefetcher hides latency; only 1 in
+                // (line/elem) elements touches a new line.
+                let elems_per_line = (p.line_bytes / p.elem_bytes).max(1) as f64;
+                let mut ns = p.seq_stream_ns_per_elem;
+                let line_miss = if ws > p.l1d_bytes {
+                    1.0 / elems_per_line
+                } else {
+                    0.0
+                };
+                if pattern.is_rmw() && ws > p.l2_bytes {
+                    // Dirty lines stream back out; costs extra bandwidth.
+                    ns += 0.35;
+                }
+                // Sequential TLB cost is negligible (1 access per 512
+                // elements, speculatively walked).
+                (ns, line_miss, 0.0)
+            }
+            AccessPattern::RndRead | AccessPattern::RndRmw => {
+                let mut ns = p.lat_l1_ns;
+                let m1 = Self::miss_frac(ws, p.l1d_bytes);
+                // The L2 stops filtering quickly once the set exceeds it
+                // (random access thrashes it): saturating ramp.
+                let m2 = if ws <= p.l2_bytes {
+                    0.0
+                } else {
+                    (((ws - p.l2_bytes) as f64) / p.l2_bytes as f64).min(1.0)
+                };
+                let m3 = Self::miss_frac(ws, p.l3_bytes);
+                ns += m1 * p.lat_l2_ns + m2 * p.lat_l3_ns + m3 * p.lat_dram_ns;
+                if pattern.is_rmw() {
+                    // Dirty lines are written back at least to L3 (paper
+                    // §2.3: the L2 is not a filter for RMW traffic).
+                    ns += m1 * p.lat_l3_ns * 0.6;
+                }
+                let (tlb_ns, tlb_walk_p) = self.tlb_cost(ws);
+                ns += tlb_ns;
+                // Count a "TLB miss" PMC event for both sTLB hits and walks.
+                let pages = ws.div_ceil(p.page_bytes);
+                let tlb_miss_p = if pages <= p.tlb_l1_entries {
+                    0.0
+                } else {
+                    (1.0 - p.tlb_l1_entries as f64 / pages as f64).max(tlb_walk_p)
+                };
+                (ns, m1, tlb_miss_p)
+            }
+        }
+    }
+
+    /// Price a traversal of `elems` elements over a working set of `ws`
+    /// bytes, assuming warm caches.
+    pub fn traversal(&self, pattern: AccessPattern, ws: u64, elems: u64) -> AccessOutcome {
+        let (ns, l1_p, tlb_p) = self.per_elem(pattern, ws);
+        AccessOutcome {
+            ns: (ns * elems as f64) as u64,
+            l1d_misses: (l1_p * elems as f64) as u64,
+            tlb_misses: (tlb_p * elems as f64) as u64,
+            instructions: elems * 2,
+        }
+    }
+
+    /// Cost of re-warming caches after another thread polluted them: the
+    /// evicted resident footprint must be refilled. `footprint` is the bytes
+    /// this thread had resident; pollution is bounded by the L3 (inclusive
+    /// hierarchy: beyond L3 the data was never cached anyway).
+    pub fn pollution_refill_ns(&self, footprint: u64) -> u64 {
+        let p = &self.params;
+        let evicted = footprint.min(p.l3_bytes);
+        (evicted as f64 / p.refill_bytes_per_ns) as u64
+    }
+
+    /// Full context-switch cache penalty when `incoming` replaces a thread
+    /// whose resident footprint was `previous` on the same core:
+    ///
+    /// - if the two footprints together overflow the private L2, the
+    ///   incoming thread refills its private levels from L3 (cheap);
+    /// - if they together overflow the shared L3, the incoming thread
+    ///   additionally refetches its L3-resident share from DRAM — this is
+    ///   the ~1 ms penalty the paper measures for 128 MiB arrays;
+    /// - TLB entries evicted by the other thread are re-walked.
+    ///
+    /// `incoming_random` states whether the incoming thread's accesses
+    /// are random. Sequential streams pay the full bandwidth-bound refill
+    /// of everything evicted (the prefetched stream must be refetched
+    /// before it is useful); random access rebuilds residency inline with
+    /// its ordinary misses, so only the latency-bound L2 and TLB re-warm
+    /// costs appear as extra stalls.
+    pub fn switch_penalty_ns(&self, incoming: u64, previous: u64, incoming_random: bool) -> u64 {
+        if incoming == 0 || previous == 0 {
+            return 0;
+        }
+        let p = &self.params;
+        let combined = incoming.saturating_add(previous);
+        let mut ns = 0u64;
+        if combined > p.l2_bytes {
+            if incoming_random {
+                // Latency-bound refill of the evicted private lines,
+                // overlapped by memory-level parallelism (~6 outstanding
+                // misses on this class of core).
+                let lines = incoming.min(p.l1d_bytes + p.l2_bytes) / p.line_bytes;
+                ns += (lines as f64 * p.lat_l3_ns / 6.0) as u64;
+            } else {
+                ns += self.private_refill_ns(incoming);
+            }
+        }
+        if combined > p.l3_bytes && !incoming_random {
+            let from_dram = incoming.min(p.l3_bytes);
+            ns += (from_dram as f64 / p.refill_bytes_per_ns) as u64;
+        }
+        // Shared-TLB pollution: pages the other thread displaced must be
+        // re-walked (bounded by the sTLB size).
+        let prev_pages = previous / p.page_bytes;
+        if prev_pages > p.tlb_l1_entries {
+            let my_pages = (incoming / p.page_bytes).min(p.tlb_l2_entries);
+            let displaced = my_pages.min(prev_pages);
+            ns += (displaced as f64 * p.lat_walk_ns * 0.5) as u64;
+        }
+        ns
+    }
+
+    /// Pollution cost when only the private levels (L1+L2) were evicted —
+    /// the common case for a context switch to a sibling thread whose
+    /// footprint fits in L2; the L3 still holds both.
+    pub fn private_refill_ns(&self, footprint: u64) -> u64 {
+        let p = &self.params;
+        let evicted = footprint.min(p.l2_bytes + p.l1d_bytes);
+        // Refilling from L3 is much faster than from DRAM.
+        (evicted as f64 / (p.refill_bytes_per_ns * 3.0)) as u64
+    }
+
+    /// One-off cost of a thread migration: the cache-resident working set
+    /// must be refetched on the destination. Cross-node migrations refetch
+    /// from the remote socket's cache/DRAM and cost proportionally more.
+    pub fn migration_refill_ns(&self, footprint: u64, cross_node: bool) -> u64 {
+        let p = &self.params;
+        let moved = footprint.min(p.l2_bytes * 4); // hot set, not whole L3
+        let base = moved as f64 / p.refill_bytes_per_ns * 4.0;
+        if cross_node {
+            (base * p.remote_dram_mult) as u64
+        } else {
+            base as u64
+        }
+    }
+
+    /// Extra cost a sequential stream pays right after a context switch:
+    /// the prefetcher must retrain and the first lines miss.
+    pub fn prefetch_retrain_ns(&self, elems_until_trained: u64) -> u64 {
+        (self.params.prefetch_retrain_ns * elems_until_trained as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MemModel {
+        MemModel::default()
+    }
+
+    #[test]
+    fn tiny_working_sets_hit_l1() {
+        let m = model();
+        let (ns, l1, tlb) = m.per_elem(AccessPattern::RndRead, 16 << 10);
+        assert!(ns <= m.params().lat_l1_ns + 0.01);
+        assert_eq!(l1, 0.0);
+        assert_eq!(tlb, 0.0);
+    }
+
+    #[test]
+    fn random_cost_increases_with_working_set() {
+        let m = model();
+        let sizes = [32u64 << 10, 256 << 10, 2 << 20, 16 << 20, 128 << 20];
+        let costs: Vec<f64> = sizes
+            .iter()
+            .map(|&s| m.per_elem(AccessPattern::RndRead, s).0)
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[1] > w[0], "cost must grow with ws: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn tlb_reach_thresholds_match_paper() {
+        let m = model();
+        // 64 entries * 4KiB = 256KiB reach: below => no TLB cost.
+        let (_, _, tlb_small) = m.per_elem(AccessPattern::RndRead, 256 << 10);
+        assert_eq!(tlb_small, 0.0);
+        // Above L1 TLB reach: misses appear.
+        let (_, _, tlb_mid) = m.per_elem(AccessPattern::RndRead, 1 << 20);
+        assert!(tlb_mid > 0.0);
+        // Beyond sTLB reach (6 MiB): page walks too.
+        let (ns_big, _, _) = m.per_elem(AccessPattern::RndRead, 64 << 20);
+        let (ns_mid, _, _) = m.per_elem(AccessPattern::RndRead, 4 << 20);
+        assert!(ns_big > ns_mid + m.params().lat_walk_ns * 0.3);
+    }
+
+    #[test]
+    fn halving_random_working_set_helps_when_tlb_bound() {
+        // The core TLB effect behind Figure 4: at 512 KiB total, a 256 KiB
+        // sub-array fits the L1 TLB reach while the full array does not.
+        let m = model();
+        let full = m.per_elem(AccessPattern::RndRead, 512 << 10).0;
+        let half = m.per_elem(AccessPattern::RndRead, 256 << 10).0;
+        assert!(half < full);
+        // And at 128 MiB, a 64 MiB sub-array still beats the full array
+        // (fewer page walks).
+        let full = m.per_elem(AccessPattern::RndRead, 128 << 20).0;
+        let half = m.per_elem(AccessPattern::RndRead, 64 << 20).0;
+        assert!(half < full);
+    }
+
+    #[test]
+    fn rmw_is_never_cheaper_than_read() {
+        let m = model();
+        for shift in 14..27 {
+            let ws = 1u64 << shift;
+            let r = m.per_elem(AccessPattern::RndRead, ws).0;
+            let w = m.per_elem(AccessPattern::RndRmw, ws).0;
+            assert!(w >= r, "rmw {w} < read {r} at ws {ws}");
+            let r = m.per_elem(AccessPattern::SeqRead, ws).0;
+            let w = m.per_elem(AccessPattern::SeqRmw, ws).0;
+            assert!(w >= r);
+        }
+    }
+
+    #[test]
+    fn sequential_is_much_cheaper_than_random_when_large() {
+        let m = model();
+        let ws = 64 << 20;
+        let seq = m.per_elem(AccessPattern::SeqRead, ws).0;
+        let rnd = m.per_elem(AccessPattern::RndRead, ws).0;
+        assert!(rnd > 10.0 * seq);
+    }
+
+    #[test]
+    fn traversal_scales_linearly() {
+        let m = model();
+        let a = m.traversal(AccessPattern::RndRead, 8 << 20, 1000);
+        let b = m.traversal(AccessPattern::RndRead, 8 << 20, 2000);
+        assert!((b.ns as f64 / a.ns as f64 - 2.0).abs() < 0.01);
+        assert!(b.l1d_misses >= a.l1d_misses);
+        assert_eq!(b.instructions, 2 * a.instructions);
+    }
+
+    #[test]
+    fn pollution_refill_bounded_by_l3() {
+        let m = model();
+        let small = m.pollution_refill_ns(1 << 20);
+        let big = m.pollution_refill_ns(1 << 30);
+        let l3 = m.pollution_refill_ns(m.params().l3_bytes);
+        assert!(small < big);
+        assert_eq!(big, l3, "refill saturates at L3 capacity");
+        // Calibration target: ~1 ms to refill a full L3 (paper's 128 MiB
+        // seq indirect cost).
+        assert!((900_000..1_200_000).contains(&big), "L3 refill = {big} ns");
+    }
+
+    #[test]
+    fn cross_node_migration_costs_more() {
+        let m = model();
+        let local = m.migration_refill_ns(1 << 20, false);
+        let remote = m.migration_refill_ns(1 << 20, true);
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn normal_code_rates_match_paper_profile() {
+        let r = NormalCodeRates::default();
+        // Per 100 µs window: ~300k instructions, ~6667 L1 misses, ~337 TLB
+        // misses (paper §3.2).
+        let instr = r.instr_per_ns * 100_000.0;
+        assert!((instr - 300_000.0).abs() < 1.0);
+        let l1 = instr * r.l1d_miss_per_instr;
+        assert!((l1 - 6666.7).abs() < 10.0);
+        let tlb = instr * r.tlb_miss_per_instr;
+        assert!((tlb - 337.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Performance monitoring counters (PMCs) and the per-core hardware state.
+//!
+//! BWD reads two counters per 100 µs window: TLB misses and L1D misses. The
+//! simulation feeds them from the memory model (priced traversals) and from
+//! the average rates of "normal" code. Fractional events are accumulated
+//! exactly so that long runs do not drift.
+
+use crate::lbr::Lbr;
+use crate::mem::NormalCodeRates;
+
+/// Per-window performance counters.
+#[derive(Clone, Debug, Default)]
+pub struct Pmc {
+    /// Instructions retired in the current window.
+    pub instructions: u64,
+    /// L1D misses in the current window.
+    pub l1d_misses: u64,
+    /// TLB misses (any level) in the current window.
+    pub tlb_misses: u64,
+    /// Fractional accumulators so rate-based feeding is exact over time.
+    frac_instr: f64,
+    frac_l1d: f64,
+    frac_tlb: f64,
+}
+
+impl Pmc {
+    /// New, zeroed counters.
+    pub fn new() -> Self {
+        Pmc::default()
+    }
+
+    /// Add exact event counts (from a priced memory traversal).
+    pub fn add_events(&mut self, instructions: u64, l1d_misses: u64, tlb_misses: u64) {
+        self.instructions += instructions;
+        self.l1d_misses += l1d_misses;
+        self.tlb_misses += tlb_misses;
+    }
+
+    /// Add `ns` nanoseconds of normal-code execution at the given rates.
+    pub fn add_normal_execution(&mut self, ns: u64, rates: &NormalCodeRates) {
+        let instr = ns as f64 * rates.instr_per_ns + self.frac_instr;
+        let whole_instr = instr.floor();
+        self.frac_instr = instr - whole_instr;
+        self.instructions += whole_instr as u64;
+
+        let l1 = whole_instr * rates.l1d_miss_per_instr + self.frac_l1d;
+        let whole_l1 = l1.floor();
+        self.frac_l1d = l1 - whole_l1;
+        self.l1d_misses += whole_l1 as u64;
+
+        let tlb = whole_instr * rates.tlb_miss_per_instr + self.frac_tlb;
+        let whole_tlb = tlb.floor();
+        self.frac_tlb = tlb - whole_tlb;
+        self.tlb_misses += whole_tlb as u64;
+    }
+
+    /// Clear the window (fractional accumulators persist — they model
+    /// events straddling a window boundary).
+    pub fn clear_window(&mut self) {
+        self.instructions = 0;
+        self.l1d_misses = 0;
+        self.tlb_misses = 0;
+    }
+
+    /// True if the window saw no cache or TLB misses — the PMC component of
+    /// the spin signature.
+    #[inline]
+    pub fn no_misses(&self) -> bool {
+        self.l1d_misses == 0 && self.tlb_misses == 0
+    }
+}
+
+/// The monitored hardware state of one core: LBR ring + PMCs.
+#[derive(Clone, Debug, Default)]
+pub struct CoreHw {
+    /// Last-branch-record ring.
+    pub lbr: Lbr,
+    /// Window performance counters.
+    pub pmc: Pmc,
+}
+
+impl CoreHw {
+    /// Fresh hardware state.
+    pub fn new() -> Self {
+        CoreHw::default()
+    }
+
+    /// Record `ns` of ordinary (non-spinning) execution: varied branches at
+    /// roughly one branch per 5 instructions, plus rate-based PMC events.
+    pub fn note_normal_execution(&mut self, ns: u64, rates: &NormalCodeRates, addr_salt: u64) {
+        let instr = ns as f64 * rates.instr_per_ns;
+        let branches = (instr / 5.0) as u64;
+        self.lbr.record_varied(addr_salt, branches.max(1));
+        self.pmc.add_normal_execution(ns, rates);
+    }
+
+    /// Record a priced memory traversal (exact PMC events, varied branches).
+    pub fn note_traversal(
+        &mut self,
+        instructions: u64,
+        l1d_misses: u64,
+        tlb_misses: u64,
+        addr_salt: u64,
+    ) {
+        self.lbr.record_varied(addr_salt, (instructions / 5).max(1));
+        self.pmc.add_events(instructions, l1d_misses, tlb_misses);
+    }
+
+    /// Record `iterations` of a spin loop with branch signature
+    /// `(from, to)`. Spin loops touch no new data: no PMC miss events.
+    pub fn note_spin(&mut self, from: u64, to: u64, iterations: u64, instr_per_iter: u64) {
+        self.lbr.record_repeated(from, to, iterations);
+        self.pmc.add_events(iterations * instr_per_iter, 0, 0);
+    }
+
+    /// Start a new monitoring window (BWD timer fired).
+    pub fn new_window(&mut self) {
+        self.lbr.clear();
+        self.pmc.clear_window();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_feeding_is_exact_over_many_windows() {
+        let rates = NormalCodeRates::default();
+        let mut pmc = Pmc::new();
+        let mut total_instr = 0u64;
+        // 1000 windows of 100 µs.
+        for _ in 0..1000 {
+            pmc.add_normal_execution(100_000, &rates);
+            total_instr += pmc.instructions;
+            pmc.clear_window();
+        }
+        let expected = (100_000.0 * 1000.0 * rates.instr_per_ns) as u64;
+        let diff = total_instr.abs_diff(expected);
+        assert!(diff <= 1000, "drift too large: {diff}");
+    }
+
+    #[test]
+    fn normal_execution_produces_misses() {
+        let mut hw = CoreHw::new();
+        hw.note_normal_execution(100_000, &NormalCodeRates::default(), 1);
+        assert!(hw.pmc.l1d_misses > 6000, "expected ~6667 L1 misses");
+        assert!(hw.pmc.tlb_misses > 300, "expected ~337 TLB misses");
+        assert!(!hw.pmc.no_misses());
+        assert!(!hw.lbr.all_identical_backward());
+    }
+
+    #[test]
+    fn spin_produces_clean_signature() {
+        let mut hw = CoreHw::new();
+        hw.note_spin(0x5000, 0x4FF0, 10_000, 4);
+        assert!(hw.pmc.no_misses());
+        assert!(hw.lbr.all_identical_backward());
+        assert_eq!(hw.pmc.instructions, 40_000);
+    }
+
+    #[test]
+    fn spin_then_normal_is_not_spin_signature() {
+        let mut hw = CoreHw::new();
+        hw.note_spin(0x5000, 0x4FF0, 10_000, 4);
+        hw.note_normal_execution(10_000, &NormalCodeRates::default(), 9);
+        assert!(!hw.lbr.all_identical_backward());
+        assert!(!hw.pmc.no_misses());
+    }
+
+    #[test]
+    fn new_window_resets_state() {
+        let mut hw = CoreHw::new();
+        hw.note_spin(0x5000, 0x4FF0, 100, 4);
+        hw.new_window();
+        assert_eq!(hw.pmc.instructions, 0);
+        assert!(!hw.lbr.is_full());
+    }
+
+    #[test]
+    fn traversal_events_are_exact() {
+        let mut pmc = Pmc::new();
+        pmc.add_events(1000, 22, 3);
+        assert_eq!(pmc.instructions, 1000);
+        assert_eq!(pmc.l1d_misses, 22);
+        assert_eq!(pmc.tlb_misses, 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! Machine topology: sockets (NUMA nodes), cores, and SMT siblings.
+//!
+//! The paper's testbed is a dual-socket Xeon E5-2695 v4 class machine
+//! (2 x 18 cores, hyper-threading). Experiments run inside containers
+//! restricted to a subset of logical CPUs; [`Topology`] describes the CPUs
+//! visible to one experiment.
+
+/// Identifier of a logical CPU (hardware thread).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CpuId(pub usize);
+
+/// Identifier of a NUMA node (socket).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Layout of the logical CPUs available to a run.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Number of logical CPUs.
+    cpus: usize,
+    /// NUMA node of each CPU.
+    node_of: Vec<NodeId>,
+    /// Physical core of each CPU (SMT siblings share one).
+    core_of: Vec<usize>,
+    /// Number of NUMA nodes.
+    nodes: usize,
+    /// SMT width (1 = HT off, 2 = HT on).
+    smt: usize,
+}
+
+impl Topology {
+    /// A single-node machine with `cpus` physical cores, SMT off.
+    pub fn flat(cpus: usize) -> Self {
+        assert!(cpus > 0, "topology needs at least one cpu");
+        Topology {
+            cpus,
+            node_of: vec![NodeId(0); cpus],
+            core_of: (0..cpus).collect(),
+            nodes: 1,
+            smt: 1,
+        }
+    }
+
+    /// A machine with `nodes` NUMA nodes, `cores_per_node` physical cores
+    /// each and `smt` hardware threads per core. CPUs are numbered
+    /// node-major, then core, then sibling.
+    pub fn numa(nodes: usize, cores_per_node: usize, smt: usize) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0 && smt > 0);
+        let cpus = nodes * cores_per_node * smt;
+        let mut node_of = Vec::with_capacity(cpus);
+        let mut core_of = Vec::with_capacity(cpus);
+        for n in 0..nodes {
+            for c in 0..cores_per_node {
+                for _ in 0..smt {
+                    node_of.push(NodeId(n));
+                    core_of.push(n * cores_per_node + c);
+                }
+            }
+        }
+        Topology {
+            cpus,
+            node_of,
+            core_of,
+            nodes,
+            smt,
+        }
+    }
+
+    /// The paper's container config "8 cores": 8 physical cores split
+    /// across the two sockets (4 + 4), SMT off.
+    pub fn paper_8_cores() -> Self {
+        Topology::numa(2, 4, 1)
+    }
+
+    /// The paper's container config "8 hyperthreads on 4 cores": one
+    /// socket, 4 physical cores, SMT on.
+    pub fn paper_8_hyperthreads() -> Self {
+        Topology::numa(1, 4, 2)
+    }
+
+    /// `n` physical cores balanced across two sockets (the paper's scaling
+    /// experiments use 2..=32 cores of the dual 18-core machine). For
+    /// `n <= 18` a single socket is used, mirroring how containers are
+    /// usually packed before spilling to the second socket.
+    pub fn paper_n_cores(n: usize) -> Self {
+        assert!(n > 0);
+        if n <= 18 {
+            Topology::numa(1, n, 1)
+        } else {
+            // Split as evenly as possible; requires even n for simplicity.
+            let per = n / 2;
+            let mut t = Topology::numa(2, per, 1);
+            if n % 2 == 1 {
+                // Odd: add one extra cpu on node 0.
+                t.node_of.push(NodeId(0));
+                t.core_of.push(t.cpus);
+                t.cpus += 1;
+            }
+            t
+        }
+    }
+
+    /// Number of logical CPUs.
+    #[inline]
+    pub fn num_cpus(&self) -> usize {
+        self.cpus
+    }
+
+    /// Number of NUMA nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// SMT width (hardware threads per physical core).
+    #[inline]
+    pub fn smt(&self) -> usize {
+        self.smt
+    }
+
+    /// NUMA node of a CPU.
+    #[inline]
+    pub fn node_of(&self, cpu: CpuId) -> NodeId {
+        self.node_of[cpu.0]
+    }
+
+    /// Physical core index of a CPU.
+    #[inline]
+    pub fn core_of(&self, cpu: CpuId) -> usize {
+        self.core_of[cpu.0]
+    }
+
+    /// True if the two CPUs are SMT siblings on the same physical core.
+    #[inline]
+    pub fn siblings(&self, a: CpuId, b: CpuId) -> bool {
+        a != b && self.core_of[a.0] == self.core_of[b.0]
+    }
+
+    /// True if the two CPUs share a NUMA node.
+    #[inline]
+    pub fn same_node(&self, a: CpuId, b: CpuId) -> bool {
+        self.node_of[a.0] == self.node_of[b.0]
+    }
+
+    /// Iterator over all CPU ids.
+    pub fn cpu_ids(&self) -> impl Iterator<Item = CpuId> + '_ {
+        (0..self.cpus).map(CpuId)
+    }
+
+    /// CPUs belonging to a node.
+    pub fn cpus_of_node(&self, node: NodeId) -> Vec<CpuId> {
+        self.cpu_ids().filter(|&c| self.node_of(c) == node).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_topology_has_one_node() {
+        let t = Topology::flat(8);
+        assert_eq!(t.num_cpus(), 8);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.smt(), 1);
+        assert!(t.same_node(CpuId(0), CpuId(7)));
+        assert!(!t.siblings(CpuId(0), CpuId(1)));
+    }
+
+    #[test]
+    fn numa_topology_assigns_nodes() {
+        let t = Topology::numa(2, 4, 1);
+        assert_eq!(t.num_cpus(), 8);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.node_of(CpuId(0)), NodeId(0));
+        assert_eq!(t.node_of(CpuId(4)), NodeId(1));
+        assert!(!t.same_node(CpuId(3), CpuId(4)));
+    }
+
+    #[test]
+    fn smt_siblings_share_core() {
+        let t = Topology::paper_8_hyperthreads();
+        assert_eq!(t.num_cpus(), 8);
+        assert_eq!(t.smt(), 2);
+        assert!(t.siblings(CpuId(0), CpuId(1)));
+        assert!(!t.siblings(CpuId(1), CpuId(2)));
+        assert_eq!(t.core_of(CpuId(2)), t.core_of(CpuId(3)));
+    }
+
+    #[test]
+    fn paper_n_cores_splits_past_socket() {
+        let t = Topology::paper_n_cores(16);
+        assert_eq!(t.num_nodes(), 1);
+        let t = Topology::paper_n_cores(32);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_cpus(), 32);
+        assert_eq!(t.cpus_of_node(NodeId(0)).len(), 16);
+    }
+
+    #[test]
+    fn cpus_of_node_partition_the_machine() {
+        let t = Topology::numa(2, 3, 2);
+        let n0 = t.cpus_of_node(NodeId(0));
+        let n1 = t.cpus_of_node(NodeId(1));
+        assert_eq!(n0.len() + n1.len(), t.num_cpus());
+        for c in n0 {
+            assert_eq!(t.node_of(c), NodeId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cpus_panics() {
+        Topology::flat(0);
+    }
+}

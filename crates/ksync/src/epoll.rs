@@ -1,0 +1,302 @@
+//! The epoll model: event-based blocking for cloud workloads.
+//!
+//! Memcached workers sleep in `epoll_wait` until client requests arrive.
+//! The vanilla kernel puts waiters on the epoll wait queue and wakes them
+//! through the same expensive `try_to_wake_up` path as futexes. The paper
+//! (§4.2, "Cloud workloads") implements VB in epoll exactly as in futex:
+//! the wait queue is kept for ordering, but waiters are parked in place via
+//! schedule skipping instead of sleeping.
+
+use crate::futex::{FutexParams, WaitMode, WaitOutcome, WakeReport};
+use oversub_hw::CpuId;
+use oversub_sched::{Scheduler, StopReason};
+use oversub_simcore::{KernelLock, SimTime};
+use oversub_task::{EpollFd, Task, TaskId};
+use std::collections::VecDeque;
+
+struct Instance {
+    /// Events posted but not yet consumed.
+    pending: u32,
+    /// Blocked waiters in arrival order.
+    waiters: VecDeque<(TaskId, WaitMode)>,
+    /// Wait-queue lock.
+    lock: KernelLock,
+}
+
+/// What `epoll_wait` did.
+#[derive(Clone, Copy, Debug)]
+pub enum EpollWaitResult {
+    /// Events were pending: returned immediately with this many.
+    Ready {
+        /// Events handed to the caller.
+        events: u32,
+        /// Syscall cost.
+        cost_ns: u64,
+    },
+    /// No events: the caller blocked (slept or VB-parked).
+    Blocked(WaitOutcome),
+}
+
+/// The epoll subsystem. Reuses [`FutexParams`] for its VB configuration and
+/// queue-operation costs.
+pub struct EpollTable {
+    params: FutexParams,
+    instances: Vec<Instance>,
+    /// Statistics: waits that slept.
+    pub sleep_waits: u64,
+    /// Statistics: waits that used virtual blocking.
+    pub virtual_waits: u64,
+    /// Statistics: wakeups issued.
+    pub wakes: u64,
+}
+
+impl EpollTable {
+    /// Build an epoll table with the same blocking configuration as the
+    /// futex layer.
+    pub fn new(params: FutexParams) -> Self {
+        EpollTable {
+            params,
+            instances: Vec::new(),
+            sleep_waits: 0,
+            virtual_waits: 0,
+            wakes: 0,
+        }
+    }
+
+    /// Create an epoll instance.
+    pub fn create(&mut self) -> EpollFd {
+        let fd = EpollFd(self.instances.len());
+        self.instances.push(Instance {
+            pending: 0,
+            waiters: VecDeque::new(),
+            lock: KernelLock::new(self.params.bucket_lock),
+        });
+        fd
+    }
+
+    /// Number of waiters currently blocked on `ep`.
+    pub fn waiter_count(&self, ep: EpollFd) -> usize {
+        self.instances[ep.0].waiters.len()
+    }
+
+    /// Events currently pending on `ep`.
+    pub fn pending(&self, ep: EpollFd) -> u32 {
+        self.instances[ep.0].pending
+    }
+
+    /// `epoll_wait` by the task currently running on `cpu`: returns pending
+    /// events if any, otherwise blocks the caller (sleep or VB).
+    pub fn epoll_wait(
+        &mut self,
+        sched: &mut Scheduler,
+        tasks: &mut [Task],
+        tid: TaskId,
+        ep: EpollFd,
+        cpu: CpuId,
+        now: SimTime,
+    ) -> EpollWaitResult {
+        let syscall = sched.params.syscall_entry_ns;
+        if self.instances[ep.0].pending > 0 {
+            let events = std::mem::take(&mut self.instances[ep.0].pending);
+            return EpollWaitResult::Ready {
+                events,
+                cost_ns: syscall,
+            };
+        }
+        let grant = self.instances[ep.0]
+            .lock
+            .acquire(now + syscall, self.params.bucket_hold_ns);
+        let cost_ns = grant.end - now;
+
+        // Unlike futex, epoll instances are usually per-worker, so the
+        // waiters-per-queue heuristic would always disable VB; the paper's
+        // epoll integration keeps VB on whenever the mechanism is enabled.
+        let mode = if self.params.vb_enabled && sched.vb_enabled {
+            WaitMode::Virtual
+        } else {
+            WaitMode::Sleep
+        };
+        self.instances[ep.0].waiters.push_back((tid, mode));
+        let stop_time = now + cost_ns;
+        match mode {
+            WaitMode::Sleep => {
+                self.sleep_waits += 1;
+                sched.stop_current(tasks, cpu, stop_time, StopReason::Sleep);
+            }
+            WaitMode::Virtual => {
+                self.virtual_waits += 1;
+                sched.stop_current(tasks, cpu, stop_time, StopReason::VirtualBlock);
+            }
+        }
+        EpollWaitResult::Blocked(WaitOutcome { mode, cost_ns })
+    }
+
+    /// Post `count` events to `ep` (packets arriving), waking at most one
+    /// blocked waiter (level-triggered: one worker drains the queue). The
+    /// poster runs on `poster_cpu` and pays the wake cost.
+    pub fn epoll_post(
+        &mut self,
+        sched: &mut Scheduler,
+        tasks: &mut [Task],
+        ep: EpollFd,
+        count: u32,
+        poster_cpu: CpuId,
+        now: SimTime,
+    ) -> WakeReport {
+        self.instances[ep.0].pending += count;
+        let mut report = WakeReport::default();
+        if self.instances[ep.0].waiters.is_empty() {
+            return report;
+        }
+        let grant = self.instances[ep.0]
+            .lock
+            .acquire(now, self.params.bucket_hold_ns);
+        let mut t = grant.end;
+        if let Some((tid, mode)) = self.instances[ep.0].waiters.pop_front() {
+            self.wakes += 1;
+            match mode {
+                WaitMode::Sleep => {
+                    let out = sched.vanilla_wake(tasks, tid, poster_cpu, t);
+                    t += out.cost_ns;
+                    report.woken.push((tid, out.cpu, out.preempt));
+                }
+                WaitMode::Virtual => {
+                    let (cpu, cost, preempt) = sched.vb_wake(tasks, tid, t);
+                    t += cost;
+                    report.woken.push((tid, cpu, preempt));
+                }
+            }
+        }
+        report.waker_cost_ns = t - now;
+        report
+    }
+
+    /// Consume all pending events of `ep` (a woken worker draining its
+    /// ready list). Returns the number taken.
+    pub fn take_pending(&mut self, ep: EpollFd) -> u32 {
+        std::mem::take(&mut self.instances[ep.0].pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oversub_hw::{MemModel, Topology};
+    use oversub_sched::{Pick, SchedParams};
+    use oversub_task::{Action, FnProgram, TaskState};
+
+    fn setup(vb: bool) -> (Scheduler, Vec<Task>, EpollTable) {
+        let mut sched = Scheduler::new(
+            Topology::flat(1),
+            SchedParams::default(),
+            MemModel::default(),
+            vb,
+        );
+        let mut tasks: Vec<Task> = (0..3)
+            .map(|i| {
+                Task::new(
+                    TaskId(i),
+                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                    CpuId(0),
+                )
+            })
+            .collect();
+        for i in 0..3 {
+            sched.enqueue_new(&mut tasks, TaskId(i), CpuId(0), SimTime::ZERO);
+        }
+        let ep = EpollTable::new(FutexParams {
+            vb_enabled: vb,
+            vb_auto_disable: false,
+            ..FutexParams::default()
+        });
+        (sched, tasks, ep)
+    }
+
+    fn run_task(sched: &mut Scheduler, tasks: &mut [Task], cpu: CpuId) -> TaskId {
+        let Pick::Run(t, _) = sched.pick_next(tasks, cpu) else {
+            panic!()
+        };
+        sched.start(tasks, cpu, t, SimTime::ZERO);
+        t
+    }
+
+    #[test]
+    fn wait_with_pending_events_returns_immediately() {
+        let (mut sched, mut tasks, mut ept) = setup(false);
+        let ep = ept.create();
+        ept.epoll_post(&mut sched, &mut tasks, ep, 5, CpuId(0), SimTime::ZERO);
+        let t = run_task(&mut sched, &mut tasks, CpuId(0));
+        match ept.epoll_wait(&mut sched, &mut tasks, t, ep, CpuId(0), SimTime::ZERO) {
+            EpollWaitResult::Ready { events, cost_ns } => {
+                assert_eq!(events, 5);
+                assert!(cost_ns > 0);
+            }
+            other => panic!("expected ready, got {other:?}"),
+        }
+        assert_eq!(ept.pending(ep), 0);
+    }
+
+    #[test]
+    fn wait_without_events_blocks_vanilla() {
+        let (mut sched, mut tasks, mut ept) = setup(false);
+        let ep = ept.create();
+        let t = run_task(&mut sched, &mut tasks, CpuId(0));
+        match ept.epoll_wait(&mut sched, &mut tasks, t, ep, CpuId(0), SimTime::ZERO) {
+            EpollWaitResult::Blocked(out) => assert_eq!(out.mode, WaitMode::Sleep),
+            other => panic!("expected blocked, got {other:?}"),
+        }
+        assert_eq!(tasks[t.0].state, TaskState::Sleeping);
+        assert_eq!(ept.waiter_count(ep), 1);
+    }
+
+    #[test]
+    fn wait_without_events_blocks_virtually_under_vb() {
+        let (mut sched, mut tasks, mut ept) = setup(true);
+        let ep = ept.create();
+        let t = run_task(&mut sched, &mut tasks, CpuId(0));
+        match ept.epoll_wait(&mut sched, &mut tasks, t, ep, CpuId(0), SimTime::ZERO) {
+            EpollWaitResult::Blocked(out) => assert_eq!(out.mode, WaitMode::Virtual),
+            other => panic!("expected blocked, got {other:?}"),
+        }
+        assert!(tasks[t.0].vb_blocked);
+    }
+
+    #[test]
+    fn post_wakes_one_waiter_fifo() {
+        let (mut sched, mut tasks, mut ept) = setup(false);
+        let ep = ept.create();
+        let t0 = run_task(&mut sched, &mut tasks, CpuId(0));
+        ept.epoll_wait(&mut sched, &mut tasks, t0, ep, CpuId(0), SimTime::ZERO);
+        let t1 = run_task(&mut sched, &mut tasks, CpuId(0));
+        ept.epoll_wait(&mut sched, &mut tasks, t1, ep, CpuId(0), SimTime::ZERO);
+
+        let report = ept.epoll_post(&mut sched, &mut tasks, ep, 1, CpuId(0), SimTime::ZERO);
+        assert_eq!(report.woken.len(), 1);
+        assert_eq!(report.woken[0].0, t0, "FIFO wake");
+        assert_eq!(ept.waiter_count(ep), 1);
+        assert_eq!(ept.take_pending(ep), 1);
+    }
+
+    #[test]
+    fn post_without_waiters_just_accumulates() {
+        let (mut sched, mut tasks, mut ept) = setup(false);
+        let ep = ept.create();
+        let r = ept.epoll_post(&mut sched, &mut tasks, ep, 3, CpuId(0), SimTime::ZERO);
+        assert!(r.woken.is_empty());
+        assert_eq!(r.waker_cost_ns, 0);
+        assert_eq!(ept.pending(ep), 3);
+        let r = ept.epoll_post(&mut sched, &mut tasks, ep, 2, CpuId(0), SimTime::ZERO);
+        assert!(r.woken.is_empty());
+        assert_eq!(ept.pending(ep), 5);
+    }
+
+    #[test]
+    fn multiple_instances_are_independent() {
+        let (mut sched, mut tasks, mut ept) = setup(false);
+        let ep0 = ept.create();
+        let ep1 = ept.create();
+        ept.epoll_post(&mut sched, &mut tasks, ep0, 7, CpuId(0), SimTime::ZERO);
+        assert_eq!(ept.pending(ep0), 7);
+        assert_eq!(ept.pending(ep1), 0);
+    }
+}

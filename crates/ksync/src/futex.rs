@@ -1,0 +1,558 @@
+//! The futex model: hash buckets, `futex_wait` / `futex_wake` / requeue,
+//! with both the vanilla sleep path and the paper's virtual-blocking path.
+//!
+//! Vanilla path (paper Figure 5): a failed acquisition traps into the
+//! kernel, takes the `futex_hash_bucket` lock, enqueues the waiter, and
+//! puts it to sleep. On wake, the lock holder moves waiters to a temporary
+//! `wake_q` and performs `try_to_wake_up` for each — core selection,
+//! destination runqueue lock, enqueue, preemption check — all charged to
+//! the waker, serialized, often migrating the waiters.
+//!
+//! Virtual-blocking path (paper Figure 7): the bucket queue is preserved
+//! (so wake order is unchanged), but the waiter is *parked in place* on its
+//! runqueue with the `thread_state` flag set. Waking is a flag clear plus
+//! vruntime restore — no sleep queues, no core selection, no migrations.
+//!
+//! VB auto-disable (paper §3.1): when the number of waiters on a bucket
+//! queue is below the number of cores, all of them could wake onto idle
+//! cores simultaneously, so the vanilla path is used.
+
+use oversub_hw::CpuId;
+use oversub_sched::{Scheduler, StopReason};
+use oversub_simcore::{KernelLock, KernelLockParams, SimTime};
+use oversub_task::{FutexKey, Task, TaskId};
+use std::collections::{HashMap, VecDeque};
+
+/// Number of hash buckets (power of two).
+const NUM_BUCKETS: usize = 64;
+
+/// How a waiter was blocked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaitMode {
+    /// Real sleep: off the runqueue, state `Sleeping`.
+    Sleep,
+    /// Virtual blocking: parked on the runqueue with `thread_state` set.
+    Virtual,
+}
+
+/// A queued waiter.
+#[derive(Clone, Copy, Debug)]
+struct Waiter {
+    task: TaskId,
+    mode: WaitMode,
+}
+
+/// One futex hash bucket: a lock plus per-key FIFO queues.
+struct Bucket {
+    lock: KernelLock,
+    queues: HashMap<FutexKey, VecDeque<Waiter>>,
+}
+
+/// Configuration of the futex layer.
+#[derive(Clone, Copy, Debug)]
+pub struct FutexParams {
+    /// Whether virtual blocking is available at all.
+    pub vb_enabled: bool,
+    /// Whether VB auto-disables when a queue has fewer waiters than cores.
+    pub vb_auto_disable: bool,
+    /// Hold time of the bucket lock for an enqueue/dequeue.
+    pub bucket_hold_ns: u64,
+    /// Per-waiter cost of moving an entry to the wake_q (vanilla only).
+    pub wake_q_move_ns: u64,
+    /// Cost model of bucket locks.
+    pub bucket_lock: KernelLockParams,
+}
+
+impl Default for FutexParams {
+    fn default() -> Self {
+        FutexParams {
+            vb_enabled: false,
+            vb_auto_disable: true,
+            bucket_hold_ns: 150,
+            wake_q_move_ns: 80,
+            bucket_lock: KernelLockParams {
+                base_cost_ns: 25,
+                per_waiter_ns: 45,
+                max_contention_waiters: 16,
+            },
+        }
+    }
+}
+
+/// Result of a `futex_wait`: what the engine must do with the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitOutcome {
+    /// Sleep or virtual block.
+    pub mode: WaitMode,
+    /// Kernel time consumed before the context switch (syscall + bucket
+    /// operations).
+    pub cost_ns: u64,
+}
+
+/// Result of a `futex_wake`.
+#[derive(Debug, Default)]
+pub struct WakeReport {
+    /// Tasks woken, in queue order, with the CPU each landed on and whether
+    /// that CPU should preempt its current task.
+    pub woken: Vec<(TaskId, CpuId, bool)>,
+    /// Total kernel time the *waker* spent performing the wakeups.
+    pub waker_cost_ns: u64,
+}
+
+/// The futex subsystem.
+pub struct FutexTable {
+    params: FutexParams,
+    buckets: Vec<Bucket>,
+    /// Waiters currently blocked, for sanity checks and introspection.
+    blocked: HashMap<TaskId, FutexKey>,
+    /// Statistics: waits taken via each mode.
+    pub sleep_waits: u64,
+    /// Statistics: waits taken via virtual blocking.
+    pub virtual_waits: u64,
+    /// Statistics: total wakeups issued.
+    pub wakes: u64,
+}
+
+impl FutexTable {
+    /// Build a futex table.
+    pub fn new(params: FutexParams) -> Self {
+        let buckets = (0..NUM_BUCKETS)
+            .map(|_| Bucket {
+                lock: KernelLock::new(params.bucket_lock),
+                queues: HashMap::new(),
+            })
+            .collect();
+        FutexTable {
+            params,
+            buckets,
+            blocked: HashMap::new(),
+            sleep_waits: 0,
+            virtual_waits: 0,
+            wakes: 0,
+        }
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &FutexParams {
+        &self.params
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: FutexKey) -> usize {
+        // Fibonacci hash of the address.
+        (key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize % NUM_BUCKETS
+    }
+
+    /// Number of waiters currently queued on `key`.
+    pub fn queue_len(&self, key: FutexKey) -> usize {
+        let b = self.bucket_of(key);
+        self.buckets[b].queues.get(&key).map_or(0, |q| q.len())
+    }
+
+    /// True if `task` is currently blocked on a futex.
+    pub fn is_blocked(&self, task: TaskId) -> bool {
+        self.blocked.contains_key(&task)
+    }
+
+    /// Block the *currently running* task `tid` (on `cpu`) on `key`.
+    ///
+    /// Chooses the wait mode (VB vs sleep), enqueues the waiter, charges
+    /// the bucket costs, and transitions the task off-CPU via the
+    /// scheduler. The engine must afterwards schedule the next task on
+    /// `cpu` (after `cost_ns` plus the context-switch cost).
+    pub fn futex_wait(
+        &mut self,
+        sched: &mut Scheduler,
+        tasks: &mut [Task],
+        tid: TaskId,
+        key: FutexKey,
+        cpu: CpuId,
+        now: SimTime,
+    ) -> WaitOutcome {
+        debug_assert!(!self.is_blocked(tid), "{tid:?} double futex_wait");
+        let b = self.bucket_of(key);
+        let grant = self.buckets[b]
+            .lock
+            .acquire(now + sched.params.syscall_entry_ns, self.params.bucket_hold_ns);
+        let cost_ns = grant.end - now;
+
+        // VB decision: enabled, and (unless auto-disable fires) used
+        // unconditionally. Auto-disable: with fewer queued waiters than
+        // cores, simultaneous wakes all find a core — vanilla is fine.
+        let queue_len = self.queue_len(key);
+        let mode = if self.params.vb_enabled
+            && sched.vb_enabled
+            && !(self.params.vb_auto_disable && queue_len + 1 < sched.num_online())
+        {
+            WaitMode::Virtual
+        } else {
+            WaitMode::Sleep
+        };
+
+        self.buckets[b]
+            .queues
+            .entry(key)
+            .or_default()
+            .push_back(Waiter { task: tid, mode });
+        self.blocked.insert(tid, key);
+
+        let stop_time = now + cost_ns;
+        match mode {
+            WaitMode::Sleep => {
+                self.sleep_waits += 1;
+                sched.stop_current(tasks, cpu, stop_time, StopReason::Sleep);
+            }
+            WaitMode::Virtual => {
+                self.virtual_waits += 1;
+                sched.stop_current(tasks, cpu, stop_time, StopReason::VirtualBlock);
+            }
+        }
+        WaitOutcome { mode, cost_ns }
+    }
+
+    /// Wake up to `n` waiters of `key`. The waker is the task running on
+    /// `waker_cpu`; the reported cost is charged to it by the engine.
+    pub fn futex_wake(
+        &mut self,
+        sched: &mut Scheduler,
+        tasks: &mut [Task],
+        key: FutexKey,
+        n: usize,
+        waker_cpu: CpuId,
+        now: SimTime,
+    ) -> WakeReport {
+        let b = self.bucket_of(key);
+        let mut report = WakeReport::default();
+        if self.queue_len(key) == 0 {
+            // Uncontended fast path: peek the bucket without finding
+            // waiters (still takes the lock briefly).
+            let grant = self.buckets[b].lock.acquire(now, self.params.bucket_hold_ns);
+            report.waker_cost_ns = grant.end - now;
+            return report;
+        }
+
+        // Take the bucket lock and move up to n waiters to the wake_q.
+        let grant = self.buckets[b].lock.acquire(now, self.params.bucket_hold_ns);
+        let mut t = grant.end;
+        let mut wake_q = Vec::new();
+        if let Some(q) = self.buckets[b].queues.get_mut(&key) {
+            for _ in 0..n {
+                match q.pop_front() {
+                    Some(w) => {
+                        t += self.params.wake_q_move_ns;
+                        wake_q.push(w);
+                    }
+                    None => break,
+                }
+            }
+            if q.is_empty() {
+                self.buckets[b].queues.remove(&key);
+            }
+        }
+
+        // Wake each waiter, one at a time, on the waker's time.
+        for w in wake_q {
+            self.blocked.remove(&w.task);
+            self.wakes += 1;
+            match w.mode {
+                WaitMode::Sleep => {
+                    let out = sched.vanilla_wake(tasks, w.task, waker_cpu, t);
+                    t += out.cost_ns;
+                    report.woken.push((w.task, out.cpu, out.preempt));
+                }
+                WaitMode::Virtual => {
+                    let (cpu, cost, preempt) = sched.vb_wake(tasks, w.task, t);
+                    t += cost;
+                    report.woken.push((w.task, cpu, preempt));
+                }
+            }
+        }
+        report.waker_cost_ns = t - now;
+        report
+    }
+
+    /// Wake `wake_n` waiters of `from` and requeue up to `requeue_n` of the
+    /// remaining waiters onto `to` (the futex `FUTEX_CMP_REQUEUE`
+    /// operation, used by condition variables). Requeued waiters keep their
+    /// wait mode; they cost only a queue move, not a wakeup.
+    #[allow(clippy::too_many_arguments)] // mirrors the kernel API shape
+    pub fn futex_requeue(
+        &mut self,
+        sched: &mut Scheduler,
+        tasks: &mut [Task],
+        from: FutexKey,
+        to: FutexKey,
+        wake_n: usize,
+        requeue_n: usize,
+        waker_cpu: CpuId,
+        now: SimTime,
+    ) -> WakeReport {
+        let mut report = self.futex_wake(sched, tasks, from, wake_n, waker_cpu, now);
+        let t_after_wake = now + report.waker_cost_ns;
+
+        let bf = self.bucket_of(from);
+        let moved: Vec<Waiter> = {
+            let mut out = Vec::new();
+            if let Some(q) = self.buckets[bf].queues.get_mut(&from) {
+                for _ in 0..requeue_n {
+                    match q.pop_front() {
+                        Some(w) => out.push(w),
+                        None => break,
+                    }
+                }
+                if q.is_empty() {
+                    self.buckets[bf].queues.remove(&from);
+                }
+            }
+            out
+        };
+        if !moved.is_empty() {
+            let bt = self.bucket_of(to);
+            let grant = self.buckets[bt]
+                .lock
+                .acquire(t_after_wake, self.params.bucket_hold_ns);
+            let mut t = grant.end;
+            let dst = self.buckets[bt].queues.entry(to).or_default();
+            for w in moved {
+                t += self.params.wake_q_move_ns;
+                *self.blocked.get_mut(&w.task).expect("requeued waiter must be blocked") = to;
+                dst.push_back(w);
+            }
+            report.waker_cost_ns = t - now;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oversub_hw::{MemModel, Topology};
+    use oversub_sched::{Pick, SchedParams};
+    use oversub_task::{Action, FnProgram, TaskState};
+
+    fn setup(cpus: usize, n_tasks: usize, vb: bool) -> (Scheduler, Vec<Task>, FutexTable) {
+        let mut sched = Scheduler::new(
+            Topology::flat(cpus),
+            SchedParams::default(),
+            MemModel::default(),
+            vb,
+        );
+        let mut tasks: Vec<Task> = (0..n_tasks)
+            .map(|i| {
+                Task::new(
+                    TaskId(i),
+                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                    CpuId(0),
+                )
+            })
+            .collect();
+        for i in 0..n_tasks {
+            sched.enqueue_new(&mut tasks, TaskId(i), CpuId(i % cpus), SimTime::ZERO);
+        }
+        let ft = FutexTable::new(FutexParams {
+            vb_enabled: vb,
+            vb_auto_disable: false,
+            ..FutexParams::default()
+        });
+        (sched, tasks, ft)
+    }
+
+    fn run_task(sched: &mut Scheduler, tasks: &mut [Task], cpu: CpuId) -> TaskId {
+        let Pick::Run(t, _) = sched.pick_next(tasks, cpu) else {
+            panic!("nothing to run on {cpu:?}")
+        };
+        sched.start(tasks, cpu, t, SimTime::ZERO);
+        t
+    }
+
+    #[test]
+    fn vanilla_wait_puts_task_to_sleep() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 2, false);
+        let t = run_task(&mut sched, &mut tasks, CpuId(0));
+        let key = FutexKey(0x1000);
+        let out = ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
+        assert_eq!(out.mode, WaitMode::Sleep);
+        assert!(out.cost_ns > 0);
+        assert_eq!(tasks[t.0].state, TaskState::Sleeping);
+        assert_eq!(ft.queue_len(key), 1);
+        assert!(ft.is_blocked(t));
+        assert_eq!(ft.sleep_waits, 1);
+    }
+
+    #[test]
+    fn vb_wait_parks_in_place() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 2, true);
+        let t = run_task(&mut sched, &mut tasks, CpuId(0));
+        let key = FutexKey(0x1000);
+        let out = ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
+        assert_eq!(out.mode, WaitMode::Virtual);
+        assert_eq!(tasks[t.0].state, TaskState::Runnable);
+        assert!(tasks[t.0].vb_blocked);
+        assert_eq!(sched.cpus[0].rq.nr_vb_parked(), 1);
+        assert_eq!(ft.virtual_waits, 1);
+    }
+
+    #[test]
+    fn wake_restores_fifo_order() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 3, false);
+        let key = FutexKey(0xA0);
+        let order: Vec<TaskId> = (0..3)
+            .map(|_| {
+                let t = run_task(&mut sched, &mut tasks, CpuId(0));
+                ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
+                t
+            })
+            .collect();
+        // Waker is external (no running task needed for the call itself).
+        let report = ft.futex_wake(&mut sched, &mut tasks, key, 3, CpuId(0), SimTime::ZERO);
+        let woken: Vec<TaskId> = report.woken.iter().map(|&(t, _, _)| t).collect();
+        assert_eq!(woken, order, "FIFO wake order");
+        assert_eq!(ft.queue_len(key), 0);
+        for t in woken {
+            assert_eq!(tasks[t.0].state, TaskState::Runnable);
+            assert!(!ft.is_blocked(t));
+        }
+    }
+
+    #[test]
+    fn vb_wake_is_much_cheaper_than_vanilla() {
+        // 8 waiters on one core, woken in bulk: the vanilla path pays core
+        // selection + rq locks per waiter; VB just clears flags.
+        let mk = |vb: bool| {
+            let (mut sched, mut tasks, mut ft) = setup(1, 9, vb);
+            let key = FutexKey(0xB0);
+            for _ in 0..8 {
+                let t = run_task(&mut sched, &mut tasks, CpuId(0));
+                ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
+            }
+            let report =
+                ft.futex_wake(&mut sched, &mut tasks, key, 8, CpuId(0), SimTime::ZERO);
+            assert_eq!(report.woken.len(), 8);
+            report.waker_cost_ns
+        };
+        let vanilla = mk(false);
+        let vb = mk(true);
+        assert!(
+            vb * 2 < vanilla,
+            "VB bulk wake ({vb} ns) should be far cheaper than vanilla ({vanilla} ns)"
+        );
+    }
+
+    #[test]
+    fn wake_with_no_waiters_is_cheap_noop() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 1, false);
+        let report = ft.futex_wake(
+            &mut sched,
+            &mut tasks,
+            FutexKey(0xC0),
+            1,
+            CpuId(0),
+            SimTime::ZERO,
+        );
+        assert!(report.woken.is_empty());
+        assert!(report.waker_cost_ns < 1_000);
+    }
+
+    #[test]
+    fn wake_n_limits_wakeups() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 4, false);
+        let key = FutexKey(0xD0);
+        for _ in 0..3 {
+            let t = run_task(&mut sched, &mut tasks, CpuId(0));
+            ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
+        }
+        let report = ft.futex_wake(&mut sched, &mut tasks, key, 1, CpuId(0), SimTime::ZERO);
+        assert_eq!(report.woken.len(), 1);
+        assert_eq!(ft.queue_len(key), 2);
+    }
+
+    #[test]
+    fn auto_disable_uses_sleep_when_undersubscribed() {
+        let mut sched = Scheduler::new(
+            Topology::flat(8),
+            SchedParams::default(),
+            MemModel::default(),
+            true,
+        );
+        let mut tasks: Vec<Task> = (0..2)
+            .map(|i| {
+                Task::new(
+                    TaskId(i),
+                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                    CpuId(0),
+                )
+            })
+            .collect();
+        sched.enqueue_new(&mut tasks, TaskId(0), CpuId(0), SimTime::ZERO);
+        let mut ft = FutexTable::new(FutexParams {
+            vb_enabled: true,
+            vb_auto_disable: true,
+            ..FutexParams::default()
+        });
+        let Pick::Run(t, _) = sched.pick_next(&mut tasks, CpuId(0)) else {
+            panic!()
+        };
+        sched.start(&mut tasks, CpuId(0), t, SimTime::ZERO);
+        // Queue is empty, 8 cores: fewer waiters than cores => sleep.
+        let out = ft.futex_wait(
+            &mut sched,
+            &mut tasks,
+            t,
+            FutexKey(0xE0),
+            CpuId(0),
+            SimTime::ZERO,
+        );
+        assert_eq!(out.mode, WaitMode::Sleep);
+    }
+
+    #[test]
+    fn requeue_moves_waiters_without_waking() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 4, false);
+        let cond_key = FutexKey(0xF0);
+        let mutex_key = FutexKey(0xF8);
+        for _ in 0..3 {
+            let t = run_task(&mut sched, &mut tasks, CpuId(0));
+            ft.futex_wait(&mut sched, &mut tasks, t, cond_key, CpuId(0), SimTime::ZERO);
+        }
+        let report = ft.futex_requeue(
+            &mut sched,
+            &mut tasks,
+            cond_key,
+            mutex_key,
+            1,
+            usize::MAX,
+            CpuId(0),
+            SimTime::ZERO,
+        );
+        assert_eq!(report.woken.len(), 1);
+        assert_eq!(ft.queue_len(cond_key), 0);
+        assert_eq!(ft.queue_len(mutex_key), 2);
+        // Requeued tasks are still asleep.
+        let still_blocked = tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Sleeping)
+            .count();
+        assert_eq!(still_blocked, 2);
+    }
+
+    #[test]
+    fn mixed_mode_queue_wakes_each_correctly() {
+        // First waiter sleeps (vanilla futex), then VB turns on for later
+        // waiters — the wake path must handle both.
+        let (mut sched, mut tasks, mut ft) = setup(1, 4, true);
+        let key = FutexKey(0x11);
+        // Force first wait to sleep by toggling params.
+        ft.params.vb_enabled = false;
+        let t0 = run_task(&mut sched, &mut tasks, CpuId(0));
+        ft.futex_wait(&mut sched, &mut tasks, t0, key, CpuId(0), SimTime::ZERO);
+        ft.params.vb_enabled = true;
+        let t1 = run_task(&mut sched, &mut tasks, CpuId(0));
+        ft.futex_wait(&mut sched, &mut tasks, t1, key, CpuId(0), SimTime::ZERO);
+
+        let report = ft.futex_wake(&mut sched, &mut tasks, key, 2, CpuId(0), SimTime::ZERO);
+        assert_eq!(report.woken.len(), 2);
+        assert_eq!(tasks[t0.0].state, TaskState::Runnable);
+        assert!(!tasks[t1.0].vb_blocked);
+    }
+}

@@ -1,0 +1,15 @@
+//! Kernel blocking substrate: futex and epoll, in vanilla and
+//! virtual-blocking variants.
+//!
+//! - [`futex`]: `futex_wait` / `futex_wake` / `futex_requeue` over hash
+//!   buckets, charging the paper's Figure-5 wakeup-path costs to the waker;
+//!   virtual blocking (Figure 7) replaces sleep/wakeup with runqueue
+//!   parking.
+//! - [`epoll`]: event-based blocking used by memcached-style workloads,
+//!   with the same two paths.
+
+pub mod epoll;
+pub mod futex;
+
+pub use epoll::{EpollTable, EpollWaitResult};
+pub use futex::{FutexParams, FutexTable, WaitMode, WaitOutcome, WakeReport};

@@ -1,0 +1,217 @@
+//! Property tests of the futex substrate: wake conservation, FIFO order,
+//! and mode bookkeeping under random wait/wake interleavings.
+
+use oversub_hw::{CpuId, MemModel, Topology};
+use oversub_ksync::{FutexParams, FutexTable};
+use oversub_sched::{Pick, SchedParams, Scheduler};
+use oversub_simcore::SimTime;
+use oversub_task::{Action, FnProgram, FutexKey, Task, TaskId, TaskState};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Block the next free task on key `k % 3`.
+    Wait(u8),
+    /// Wake up to `n` waiters of key `k % 3`.
+    Wake(u8, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(Op::Wait),
+            (any::<u8>(), 1u8..5).prop_map(|(k, n)| Op::Wake(k, n)),
+        ],
+        1..120,
+    )
+}
+
+struct World {
+    sched: Scheduler,
+    tasks: Vec<Task>,
+    futex: FutexTable,
+    /// Model: FIFO queue per key.
+    model: [VecDeque<TaskId>; 3],
+    free: Vec<TaskId>,
+    now: SimTime,
+}
+
+impl World {
+    fn new(vb: bool, cpus: usize) -> Self {
+        let mut sched = Scheduler::new(
+            Topology::flat(cpus),
+            SchedParams::default(),
+            MemModel::default(),
+            vb,
+        );
+        let n = 16;
+        let mut tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                Task::new(
+                    TaskId(i),
+                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                    CpuId(i % cpus),
+                )
+            })
+            .collect();
+        for i in 0..n {
+            sched.enqueue_new(&mut tasks, TaskId(i), CpuId(i % cpus), SimTime::ZERO);
+        }
+        World {
+            sched,
+            tasks,
+            futex: FutexTable::new(FutexParams {
+                vb_enabled: vb,
+                vb_auto_disable: false,
+                ..FutexParams::default()
+            }),
+            model: Default::default(),
+            free: (0..n).map(TaskId).collect(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn key(k: u8) -> FutexKey {
+        FutexKey(0x1000 + (k as u64 % 3) * 64)
+    }
+
+    fn wait(&mut self, k: u8) -> bool {
+        let Some(tid) = self.free.pop() else {
+            return false;
+        };
+        // The task must be running to block: pick it on its cpu.
+        let cpu = self.tasks[tid.0].last_cpu;
+        // Clear whatever is current there first.
+        if let Some(curr) = self.sched.cpus[cpu.0].current {
+            self.sched.stop_current(
+                &mut self.tasks,
+                cpu,
+                self.now,
+                oversub_sched::StopReason::Preempted,
+            );
+            let _ = curr;
+        }
+        // Pick until we get the task we want (bounded).
+        for _ in 0..32 {
+            match self.sched.pick_next(&mut self.tasks, cpu) {
+                Pick::Run(t, _) if t == tid => {
+                    self.sched.start(&mut self.tasks, cpu, t, self.now);
+                    self.futex.futex_wait(
+                        &mut self.sched,
+                        &mut self.tasks,
+                        tid,
+                        Self::key(k),
+                        cpu,
+                        self.now,
+                    );
+                    self.model[(k % 3) as usize].push_back(tid);
+                    self.now += 10_000;
+                    return true;
+                }
+                Pick::Run(t, _) => {
+                    // Run and immediately preempt to rotate the queue.
+                    self.sched.start(&mut self.tasks, cpu, t, self.now);
+                    self.now += 1_000;
+                    self.sched.stop_current(
+                        &mut self.tasks,
+                        cpu,
+                        self.now,
+                        oversub_sched::StopReason::Preempted,
+                    );
+                }
+                _ => {
+                    self.free.push(tid);
+                    return false;
+                }
+            }
+        }
+        self.free.push(tid);
+        false
+    }
+
+    fn wake(&mut self, k: u8, n: u8) -> Vec<TaskId> {
+        let report = self.futex.futex_wake(
+            &mut self.sched,
+            &mut self.tasks,
+            Self::key(k),
+            n as usize,
+            CpuId(0),
+            self.now,
+        );
+        self.now += 10_000;
+        report.woken.iter().map(|&(t, _, _)| t).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wakes return exactly the model's FIFO prefix, never lose waiters,
+    /// and leave woken tasks runnable — in both sleep and VB modes.
+    #[test]
+    fn fifo_wake_conservation(ops in arb_ops(), vb in any::<bool>()) {
+        let mut w = World::new(vb, 4);
+        for op in ops {
+            match op {
+                Op::Wait(k) => {
+                    w.wait(k);
+                }
+                Op::Wake(k, n) => {
+                    let woken = w.wake(k, n);
+                    let idx = (k % 3) as usize;
+                    let expected: Vec<TaskId> = (0..woken.len())
+                        .map(|_| w.model[idx].pop_front().expect("model underflow"))
+                        .collect();
+                    prop_assert_eq!(&woken, &expected, "wake order mismatch");
+                    // Can't have left waiters behind if fewer than n woke.
+                    if woken.len() < n as usize {
+                        prop_assert!(w.model[idx].is_empty());
+                    }
+                    for t in woken {
+                        prop_assert!(w.tasks[t.0].schedulable());
+                        prop_assert!(!w.futex.is_blocked(t));
+                        w.free.push(t);
+                    }
+                }
+            }
+            // Blocked bookkeeping matches the model.
+            let model_blocked: usize = w.model.iter().map(|q| q.len()).sum();
+            let table_blocked = (0..w.tasks.len())
+                .filter(|&i| w.futex.is_blocked(TaskId(i)))
+                .count();
+            prop_assert_eq!(model_blocked, table_blocked);
+        }
+    }
+
+    /// The wait mode matches the configuration: every wait sleeps under
+    /// vanilla and parks under VB (auto-disable off).
+    #[test]
+    fn wait_mode_follows_config(ks in proptest::collection::vec(any::<u8>(), 1..12), vb in any::<bool>()) {
+        let mut w = World::new(vb, 2);
+        let mut waits = 0;
+        for k in ks {
+            if w.wait(k) {
+                waits += 1;
+            }
+        }
+        if vb {
+            prop_assert_eq!(w.futex.virtual_waits, waits);
+            prop_assert_eq!(w.futex.sleep_waits, 0);
+            for i in 0..w.tasks.len() {
+                if w.futex.is_blocked(TaskId(i)) {
+                    prop_assert!(w.tasks[i].vb_blocked);
+                    prop_assert_eq!(w.tasks[i].state, TaskState::Runnable);
+                }
+            }
+        } else {
+            prop_assert_eq!(w.futex.sleep_waits, waits);
+            prop_assert_eq!(w.futex.virtual_waits, 0);
+            for i in 0..w.tasks.len() {
+                if w.futex.is_blocked(TaskId(i)) {
+                    prop_assert_eq!(w.tasks[i].state, TaskState::Sleeping);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,675 @@
+//! Blocking synchronization primitives built over the futex substrate:
+//! the pthread-style mutex, condition variable, barrier, and semaphore —
+//! plus the spin-then-park mutexes compared in the paper's §4.4
+//! (Mutexee, MCS-TP, and SHFLLOCK).
+//!
+//! Like the spinlocks, these are pure state machines: they decide *who*
+//! should block/wake on *which futex key*, and the engine performs the
+//! actual `futex_wait` / `futex_wake` with all the kernel costs attached.
+
+use oversub_task::{FutexKey, SpinSig, TaskId};
+use std::collections::VecDeque;
+
+/// Uncontended fast-path cost of a user-space lock/unlock CAS.
+pub const FAST_PATH_NS: u64 = 25;
+
+/// Flavour of a blocking mutex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutexKind {
+    /// glibc-style futex mutex: failed CAS parks immediately.
+    Pthread,
+    /// Mutexee [Falsafi et al., ATC'16]: spin briefly, then park.
+    Mutexee {
+        /// Spin budget before parking.
+        spin_ns: u64,
+    },
+    /// MCS time-published [He et al., HiPC'05]: FIFO queue of spinners
+    /// with a timeout that parks the waiter.
+    McsTp {
+        /// Spin budget before parking.
+        spin_ns: u64,
+    },
+    /// SHFLLOCK [Kashyap et al., SOSP'19]: queue with NUMA-aware
+    /// shuffling; waiters spin briefly and park; release prefers waiters
+    /// on the releaser's socket.
+    Shfllock {
+        /// Spin budget before parking.
+        spin_ns: u64,
+    },
+}
+
+impl MutexKind {
+    /// Label used in Figure 15.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MutexKind::Pthread => "pthread",
+            MutexKind::Mutexee { .. } => "mutexee",
+            MutexKind::McsTp { .. } => "mcstp",
+            MutexKind::Shfllock { .. } => "shfllock",
+        }
+    }
+
+    /// Spin budget of the kind's waiting phase (0 for pthread).
+    pub fn spin_budget_ns(&self) -> u64 {
+        match *self {
+            MutexKind::Pthread => 0,
+            MutexKind::Mutexee { spin_ns }
+            | MutexKind::McsTp { spin_ns }
+            | MutexKind::Shfllock { spin_ns } => spin_ns,
+        }
+    }
+}
+
+/// Effect of a mutex acquire attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MutexAcquire {
+    /// Fast path: lock taken.
+    Acquired {
+        /// User-space cost.
+        cost_ns: u64,
+    },
+    /// Contended, park immediately on this futex key.
+    Park {
+        /// Key to `futex_wait` on.
+        futex: FutexKey,
+    },
+    /// Contended, spin with this signature for up to `spin_ns`, then park.
+    SpinThenPark {
+        /// Wait-loop shape.
+        sig: SpinSig,
+        /// Spin budget.
+        spin_ns: u64,
+        /// Key to park on when the budget runs out.
+        futex: FutexKey,
+    },
+}
+
+/// What the engine must do after a mutex release.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MutexRelease {
+    /// No waiters.
+    None,
+    /// Hand the lock to a currently-spinning waiter (it claims via
+    /// [`BlockingMutex::try_claim`] when it notices).
+    GrantSpinner(TaskId),
+    /// Wake one parked waiter from this futex key; it will retry.
+    WakeParked {
+        /// Key to `futex_wake(1)`.
+        futex: FutexKey,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum WaiterPhase {
+    Spinning,
+    Parked,
+}
+
+/// A blocking mutex instance.
+#[derive(Debug)]
+pub struct BlockingMutex {
+    kind: MutexKind,
+    /// Base futex key (the user-space mutex word).
+    futex: FutexKey,
+    sig: SpinSig,
+    holder: Option<TaskId>,
+    /// All contended waiters in arrival order with their phase and node.
+    waiters: VecDeque<(TaskId, WaiterPhase, usize)>,
+    /// A spinner the release designated (FIFO kinds).
+    granted: Option<TaskId>,
+    /// Statistics.
+    pub acquisitions: u64,
+    /// Statistics: acquisitions that ran the slow path.
+    pub contended: u64,
+}
+
+impl BlockingMutex {
+    /// New mutex; `futex` is its user-space word.
+    pub fn new(kind: MutexKind, futex: FutexKey) -> Self {
+        BlockingMutex {
+            kind,
+            futex,
+            sig: SpinSig::pause_loop(futex.0 ^ 0x5151),
+            holder: None,
+            waiters: VecDeque::new(),
+            granted: None,
+            acquisitions: 0,
+            contended: 0,
+        }
+    }
+
+    /// The mutex kind.
+    pub fn kind(&self) -> MutexKind {
+        self.kind
+    }
+
+    /// Current holder.
+    pub fn holder(&self) -> Option<TaskId> {
+        self.holder
+    }
+
+    /// The futex key waiters park on.
+    pub fn futex_key(&self) -> FutexKey {
+        self.futex
+    }
+
+    /// The futex key a specific waiter parks on. The pthread mutex parks
+    /// everyone on the mutex word; the queue-based kinds (Mutexee, MCS-TP,
+    /// SHFLLOCK) park each waiter on its own queue node so that releases
+    /// can wake a *specific* waiter (direct hand-off).
+    pub fn futex_key_for(&self, tid: TaskId) -> FutexKey {
+        match self.kind {
+            MutexKind::Pthread => self.futex,
+            _ => FutexKey(self.futex.0 + 64 * (tid.0 as u64 + 1)),
+        }
+    }
+
+    /// Spin signature of the spin-then-park phase.
+    pub fn sig(&self) -> SpinSig {
+        self.sig
+    }
+
+    /// Number of contended waiters (spinning + parked).
+    pub fn num_waiters(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Attempt to acquire.
+    pub fn acquire(&mut self, tid: TaskId, node: usize) -> MutexAcquire {
+        debug_assert_ne!(self.holder, Some(tid), "{tid:?} re-locking mutex");
+        // Direct hand-off: a release may have designated this (parked,
+        // now woken) waiter as the next holder.
+        if self.granted == Some(tid) {
+            self.granted = None;
+            self.holder = Some(tid);
+            self.acquisitions += 1;
+            return MutexAcquire::Acquired {
+                cost_ns: FAST_PATH_NS,
+            };
+        }
+        if self.holder.is_none() && self.granted.is_none() && self.waiters.is_empty() {
+            self.holder = Some(tid);
+            self.acquisitions += 1;
+            return MutexAcquire::Acquired {
+                cost_ns: FAST_PATH_NS,
+            };
+        }
+        self.contended += 1;
+        match self.kind {
+            MutexKind::Pthread => {
+                self.waiters.push_back((tid, WaiterPhase::Parked, node));
+                MutexAcquire::Park {
+                    futex: self.futex_key_for(tid),
+                }
+            }
+            MutexKind::Mutexee { spin_ns }
+            | MutexKind::McsTp { spin_ns }
+            | MutexKind::Shfllock { spin_ns } => {
+                self.waiters.push_back((tid, WaiterPhase::Spinning, node));
+                MutexAcquire::SpinThenPark {
+                    sig: self.sig,
+                    spin_ns,
+                    futex: self.futex_key_for(tid),
+                }
+            }
+        }
+    }
+
+    /// The spin budget of `tid` ran out: it parks on the futex now.
+    pub fn note_parked(&mut self, tid: TaskId) {
+        if let Some(w) = self.waiters.iter_mut().find(|w| w.0 == tid) {
+            w.1 = WaiterPhase::Parked;
+        }
+    }
+
+    /// A parked waiter woke up and is retrying: it is removed from the
+    /// waiter set and must call [`BlockingMutex::acquire`] again (this is
+    /// the barging retry loop of real futex mutexes).
+    pub fn note_wake_retry(&mut self, tid: TaskId) {
+        if let Some(pos) = self.waiters.iter().position(|w| w.0 == tid) {
+            self.waiters.remove(pos);
+        }
+    }
+
+    /// Release by the holder on NUMA `node`.
+    pub fn release(&mut self, tid: TaskId, node: usize) -> (u64, MutexRelease) {
+        debug_assert_eq!(self.holder, Some(tid), "unlock by non-holder {tid:?}");
+        self.holder = None;
+        if self.waiters.is_empty() {
+            return (FAST_PATH_NS, MutexRelease::None);
+        }
+        match self.kind {
+            MutexKind::Pthread | MutexKind::Mutexee { .. } => {
+                // Prefer granting a spinner (mutexee's whole point); fall
+                // back to handing off to the first parked waiter.
+                let pos = self
+                    .waiters
+                    .iter()
+                    .position(|w| w.1 == WaiterPhase::Spinning)
+                    .unwrap_or(0);
+                let (w, phase, _) = self.waiters.remove(pos).expect("non-empty");
+                self.granted = Some(w);
+                match phase {
+                    WaiterPhase::Spinning => (FAST_PATH_NS, MutexRelease::GrantSpinner(w)),
+                    WaiterPhase::Parked => (
+                        FAST_PATH_NS,
+                        MutexRelease::WakeParked {
+                            futex: self.futex_key_for(w),
+                        },
+                    ),
+                }
+            }
+            MutexKind::McsTp { .. } => {
+                // Strict FIFO: hand off to the head whether it spins or
+                // sleeps.
+                let (w, phase, _) = self.waiters.pop_front().expect("non-empty");
+                self.granted = Some(w);
+                match phase {
+                    WaiterPhase::Spinning => (FAST_PATH_NS, MutexRelease::GrantSpinner(w)),
+                    WaiterPhase::Parked => (
+                        FAST_PATH_NS,
+                        MutexRelease::WakeParked {
+                            futex: self.futex_key_for(w),
+                        },
+                    ),
+                }
+            }
+            MutexKind::Shfllock { .. } => {
+                // Shuffling: prefer a spinner on the releaser's node, then
+                // any spinner, then a same-node parked waiter, then the
+                // parked head (NUMA-aware wake order).
+                let pos = self
+                    .waiters
+                    .iter()
+                    .position(|w| w.1 == WaiterPhase::Spinning && w.2 == node)
+                    .or_else(|| {
+                        self.waiters
+                            .iter()
+                            .position(|w| w.1 == WaiterPhase::Spinning)
+                    })
+                    .or_else(|| self.waiters.iter().position(|w| w.2 == node))
+                    .unwrap_or(0);
+                let (w, phase, _) = self.waiters.remove(pos).expect("non-empty");
+                self.granted = Some(w);
+                // Shuffling costs extra queue manipulation.
+                match phase {
+                    WaiterPhase::Spinning => {
+                        (FAST_PATH_NS + 60, MutexRelease::GrantSpinner(w))
+                    }
+                    WaiterPhase::Parked => (
+                        FAST_PATH_NS + 60,
+                        MutexRelease::WakeParked {
+                            futex: self.futex_key_for(w),
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A spinning waiter notices the lock: claim if granted to it, or if
+    /// the lock is free and barging is possible (pthread/mutexee retry).
+    pub fn try_claim(&mut self, tid: TaskId) -> Option<u64> {
+        if self.granted == Some(tid) {
+            self.granted = None;
+            self.holder = Some(tid);
+            self.acquisitions += 1;
+            return Some(FAST_PATH_NS);
+        }
+        None
+    }
+
+    /// True if `tid` has been granted the lock.
+    pub fn claimable_by(&self, tid: TaskId) -> bool {
+        self.granted == Some(tid)
+    }
+
+    /// FIFO order of parked waiters for this mutex's futex queue — used by
+    /// tests to validate agreement with the futex table.
+    pub fn parked_waiters(&self) -> Vec<TaskId> {
+        self.waiters
+            .iter()
+            .filter(|w| w.1 == WaiterPhase::Parked)
+            .map(|w| w.0)
+            .collect()
+    }
+}
+
+/// A POSIX-style condition variable.
+#[derive(Debug)]
+pub struct CondVar {
+    futex: FutexKey,
+    waiters: usize,
+}
+
+impl CondVar {
+    /// New condition variable parking on `futex`.
+    pub fn new(futex: FutexKey) -> Self {
+        CondVar { futex, waiters: 0 }
+    }
+
+    /// The futex key waiters sleep on.
+    pub fn futex_key(&self) -> FutexKey {
+        self.futex
+    }
+
+    /// Current waiter count.
+    pub fn num_waiters(&self) -> usize {
+        self.waiters
+    }
+
+    /// Begin a wait: the caller must release its mutex and `futex_wait` on
+    /// the returned key.
+    pub fn wait(&mut self) -> FutexKey {
+        self.waiters += 1;
+        self.futex
+    }
+
+    /// Wake one waiter. Returns how many to wake on the futex.
+    pub fn signal(&mut self) -> (FutexKey, usize) {
+        let n = usize::from(self.waiters > 0);
+        self.waiters -= n;
+        (self.futex, n)
+    }
+
+    /// Wake all waiters (the paper's group-wakeup stress case).
+    pub fn broadcast(&mut self) -> (FutexKey, usize) {
+        let n = self.waiters;
+        self.waiters = 0;
+        (self.futex, n)
+    }
+}
+
+/// Effect of arriving at a barrier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BarrierEffect {
+    /// Not the last arrival: block on the futex key.
+    Wait {
+        /// Key to `futex_wait` on.
+        futex: FutexKey,
+    },
+    /// Last arrival: wake the other `wake_n` parties and continue.
+    ReleaseAll {
+        /// Key to `futex_wake` on.
+        futex: FutexKey,
+        /// Number of blocked parties to wake.
+        wake_n: usize,
+    },
+}
+
+/// A counting barrier over a futex.
+#[derive(Debug)]
+pub struct Barrier {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    futex: FutexKey,
+}
+
+impl Barrier {
+    /// Barrier for `parties` tasks, parking on `futex`.
+    pub fn new(parties: usize, futex: FutexKey) -> Self {
+        assert!(parties >= 1);
+        Barrier {
+            parties,
+            arrived: 0,
+            generation: 0,
+            futex,
+        }
+    }
+
+    /// Number of parties.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Completed generations.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Arrive at the barrier.
+    pub fn arrive(&mut self) -> BarrierEffect {
+        self.arrived += 1;
+        if self.arrived == self.parties {
+            let wake_n = self.arrived - 1;
+            self.arrived = 0;
+            self.generation += 1;
+            BarrierEffect::ReleaseAll {
+                futex: self.futex,
+                wake_n,
+            }
+        } else {
+            BarrierEffect::Wait { futex: self.futex }
+        }
+    }
+}
+
+/// A counting semaphore over a futex.
+#[derive(Debug)]
+pub struct Semaphore {
+    count: i64,
+    futex: FutexKey,
+}
+
+/// Effect of a semaphore P operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SemEffect {
+    /// Token taken.
+    Acquired,
+    /// Must block on the futex.
+    Wait {
+        /// Key to `futex_wait` on.
+        futex: FutexKey,
+    },
+}
+
+impl Semaphore {
+    /// Semaphore with `initial` tokens, parking on `futex`.
+    pub fn new(initial: i64, futex: FutexKey) -> Self {
+        Semaphore {
+            count: initial,
+            futex,
+        }
+    }
+
+    /// Current token count (negative = waiters).
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// P: take a token or block.
+    pub fn wait(&mut self) -> SemEffect {
+        self.count -= 1;
+        if self.count >= 0 {
+            SemEffect::Acquired
+        } else {
+            SemEffect::Wait { futex: self.futex }
+        }
+    }
+
+    /// V: release a token; returns `(futex, 1)` if a waiter should wake.
+    pub fn post(&mut self) -> Option<(FutexKey, usize)> {
+        self.count += 1;
+        if self.count <= 0 {
+            Some((self.futex, 1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u64) -> FutexKey {
+        FutexKey(v)
+    }
+
+    #[test]
+    fn pthread_mutex_uncontended() {
+        let mut m = BlockingMutex::new(MutexKind::Pthread, key(0x10));
+        let e = m.acquire(TaskId(0), 0);
+        assert!(matches!(e, MutexAcquire::Acquired { .. }));
+        let (_, r) = m.release(TaskId(0), 0);
+        assert_eq!(r, MutexRelease::None);
+        assert_eq!(m.acquisitions, 1);
+        assert_eq!(m.contended, 0);
+    }
+
+    #[test]
+    fn pthread_mutex_parks_and_wakes() {
+        let mut m = BlockingMutex::new(MutexKind::Pthread, key(0x10));
+        m.acquire(TaskId(0), 0);
+        let e = m.acquire(TaskId(1), 0);
+        assert_eq!(e, MutexAcquire::Park { futex: key(0x10) });
+        assert_eq!(m.num_waiters(), 1);
+        let (_, r) = m.release(TaskId(0), 0);
+        assert_eq!(r, MutexRelease::WakeParked { futex: key(0x10) });
+        // The woken task retries.
+        m.note_wake_retry(TaskId(1));
+        let e = m.acquire(TaskId(1), 0);
+        assert!(matches!(e, MutexAcquire::Acquired { .. }));
+    }
+
+    #[test]
+    fn handoff_blocks_bargers_until_heir_claims() {
+        let mut m = BlockingMutex::new(MutexKind::Pthread, key(0x10));
+        m.acquire(TaskId(0), 0);
+        m.acquire(TaskId(1), 0);
+        let (_, r) = m.release(TaskId(0), 0);
+        assert_eq!(r, MutexRelease::WakeParked { futex: key(0x10) });
+        // Task1 is the designated heir: task2 cannot barge in.
+        let e2 = m.acquire(TaskId(2), 0);
+        assert_eq!(e2, MutexAcquire::Park { futex: key(0x10) });
+        m.note_wake_retry(TaskId(1));
+        let e1 = m.acquire(TaskId(1), 0);
+        assert!(matches!(e1, MutexAcquire::Acquired { .. }));
+        assert_eq!(m.holder(), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn mutexee_spins_then_parks() {
+        let mut m = BlockingMutex::new(MutexKind::Mutexee { spin_ns: 3000 }, key(0x20));
+        m.acquire(TaskId(0), 0);
+        let e = m.acquire(TaskId(1), 0);
+        match e {
+            MutexAcquire::SpinThenPark { spin_ns, futex, .. } => {
+                assert_eq!(spin_ns, 3000);
+                // Queue-based kinds park on per-waiter keys.
+                assert_eq!(futex, m.futex_key_for(TaskId(1)));
+                assert_ne!(futex, key(0x20));
+            }
+            other => panic!("expected spin-then-park, got {other:?}"),
+        }
+        // While still spinning, release grants directly.
+        let (_, r) = m.release(TaskId(0), 0);
+        assert_eq!(r, MutexRelease::GrantSpinner(TaskId(1)));
+        assert!(m.claimable_by(TaskId(1)));
+        assert!(m.try_claim(TaskId(1)).is_some());
+        assert_eq!(m.holder(), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn mutexee_wakes_parked_when_no_spinner() {
+        let mut m = BlockingMutex::new(MutexKind::Mutexee { spin_ns: 3000 }, key(0x20));
+        m.acquire(TaskId(0), 0);
+        m.acquire(TaskId(1), 0);
+        m.note_parked(TaskId(1)); // spin budget expired
+        let (_, r) = m.release(TaskId(0), 0);
+        assert_eq!(
+            r,
+            MutexRelease::WakeParked {
+                futex: m.futex_key_for(TaskId(1))
+            }
+        );
+        // The woken waiter claims via the granted fast path.
+        m.note_wake_retry(TaskId(1));
+        assert!(matches!(
+            m.acquire(TaskId(1), 0),
+            MutexAcquire::Acquired { .. }
+        ));
+    }
+
+    #[test]
+    fn mcstp_is_fifo_even_when_head_parked() {
+        let mut m = BlockingMutex::new(MutexKind::McsTp { spin_ns: 1000 }, key(0x30));
+        m.acquire(TaskId(0), 0);
+        m.acquire(TaskId(1), 0);
+        m.acquire(TaskId(2), 0);
+        m.note_parked(TaskId(1)); // head parked, tail still spinning
+        let (_, r) = m.release(TaskId(0), 0);
+        // FIFO: must wake the parked head, not grant the spinning tail.
+        assert_eq!(
+            r,
+            MutexRelease::WakeParked {
+                futex: m.futex_key_for(TaskId(1))
+            }
+        );
+    }
+
+    #[test]
+    fn shfllock_prefers_local_spinner() {
+        let mut m = BlockingMutex::new(MutexKind::Shfllock { spin_ns: 1000 }, key(0x40));
+        m.acquire(TaskId(0), 0);
+        m.acquire(TaskId(1), 1); // remote
+        m.acquire(TaskId(2), 0); // local
+        let (_, r) = m.release(TaskId(0), 0);
+        assert_eq!(r, MutexRelease::GrantSpinner(TaskId(2)));
+    }
+
+    #[test]
+    fn condvar_counts_and_wakes() {
+        let mut cv = CondVar::new(key(0x50));
+        assert_eq!(cv.wait(), key(0x50));
+        cv.wait();
+        cv.wait();
+        assert_eq!(cv.num_waiters(), 3);
+        assert_eq!(cv.signal(), (key(0x50), 1));
+        assert_eq!(cv.broadcast(), (key(0x50), 2));
+        assert_eq!(cv.num_waiters(), 0);
+        assert_eq!(cv.signal(), (key(0x50), 0));
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = Barrier::new(3, key(0x60));
+        assert_eq!(b.arrive(), BarrierEffect::Wait { futex: key(0x60) });
+        assert_eq!(b.arrive(), BarrierEffect::Wait { futex: key(0x60) });
+        assert_eq!(
+            b.arrive(),
+            BarrierEffect::ReleaseAll {
+                futex: key(0x60),
+                wake_n: 2
+            }
+        );
+        assert_eq!(b.generation(), 1);
+        // Reusable for the next generation.
+        assert_eq!(b.arrive(), BarrierEffect::Wait { futex: key(0x60) });
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let mut b = Barrier::new(1, key(0x61));
+        assert_eq!(
+            b.arrive(),
+            BarrierEffect::ReleaseAll {
+                futex: key(0x61),
+                wake_n: 0
+            }
+        );
+    }
+
+    #[test]
+    fn semaphore_counts_tokens() {
+        let mut s = Semaphore::new(2, key(0x70));
+        assert_eq!(s.wait(), SemEffect::Acquired);
+        assert_eq!(s.wait(), SemEffect::Acquired);
+        assert_eq!(s.wait(), SemEffect::Wait { futex: key(0x70) });
+        assert_eq!(s.count(), -1);
+        assert_eq!(s.post(), Some((key(0x70), 1)));
+        assert_eq!(s.post(), None);
+        assert_eq!(s.count(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! User-level synchronization for the simulated process: blocking
+//! primitives over futex, ten spinlock algorithms, spin-then-park locks,
+//! and SHFLLOCK.
+//!
+//! - [`blocking`]: pthread-style mutex / condvar / barrier / semaphore,
+//!   plus the Mutexee, MCS-TP, and SHFLLOCK mutexes compared in §4.4.
+//! - [`spin`]: the ten pure spinlocks of Figure 13 / Table 2.
+//! - [`registry`]: per-process tables of all sync objects and flag words.
+//!
+//! Everything here is a pure state machine emitting effects (who blocks on
+//! which futex key, who is granted a lock); the simulation engine in the
+//! `oversub` crate interprets those effects against the scheduler, futex
+//! table, and hardware model.
+
+pub mod blocking;
+pub mod registry;
+pub mod spin;
+
+pub use blocking::{
+    Barrier, BarrierEffect, BlockingMutex, CondVar, MutexAcquire, MutexKind, MutexRelease,
+    SemEffect, Semaphore, FAST_PATH_NS,
+};
+pub use registry::SyncRegistry;
+pub use spin::{GrantOrder, SpinEffect, SpinLock, SpinPolicy};

@@ -1,0 +1,213 @@
+//! The registry of user-level synchronization objects in one simulated
+//! address space: blocking mutexes, condvars, barriers, semaphores,
+//! spinlocks, and raw flag words (custom busy-wait targets).
+//!
+//! The registry also allocates futex keys (distinct fake user-space
+//! addresses) so that distinct objects hash to distinct futex buckets,
+//! like distinct lock words in a real process.
+
+use crate::blocking::{Barrier, BlockingMutex, CondVar, MutexKind, Semaphore};
+use crate::spin::{SpinLock, SpinPolicy};
+use oversub_task::{BarrierId, CondId, FlagId, FutexKey, LockId, SemId, TaskId};
+
+/// All synchronization objects of a simulated process.
+#[derive(Default)]
+pub struct SyncRegistry {
+    /// Blocking (futex-based) mutexes.
+    pub mutexes: Vec<BlockingMutex>,
+    /// Condition variables.
+    pub condvars: Vec<CondVar>,
+    /// Barriers.
+    pub barriers: Vec<Barrier>,
+    /// Semaphores.
+    pub sems: Vec<Semaphore>,
+    /// Spinlocks.
+    pub spinlocks: Vec<SpinLock>,
+    /// Flag words for custom busy-waiting.
+    flags: Vec<u64>,
+    /// Tasks spinning on each flag, with the value they spin against
+    /// (`while flag == v, spin`).
+    flag_spinners: Vec<Vec<(TaskId, u64)>>,
+    /// Futex address allocator.
+    next_addr: u64,
+}
+
+impl SyncRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        SyncRegistry {
+            next_addr: 0x7f00_0000_0000,
+            ..Default::default()
+        }
+    }
+
+    /// Allocate a fresh futex key (fake user-space address, cacheline
+    /// aligned).
+    pub fn alloc_futex(&mut self) -> FutexKey {
+        let k = FutexKey(self.next_addr);
+        self.next_addr += 64;
+        k
+    }
+
+    /// Create a blocking mutex of `kind`.
+    pub fn create_mutex(&mut self, kind: MutexKind) -> LockId {
+        let futex = self.alloc_futex();
+        let id = LockId(self.mutexes.len());
+        self.mutexes.push(BlockingMutex::new(kind, futex));
+        id
+    }
+
+    /// Create a condition variable.
+    pub fn create_condvar(&mut self) -> CondId {
+        let futex = self.alloc_futex();
+        let id = CondId(self.condvars.len());
+        self.condvars.push(CondVar::new(futex));
+        id
+    }
+
+    /// Create a barrier for `parties`.
+    pub fn create_barrier(&mut self, parties: usize) -> BarrierId {
+        let futex = self.alloc_futex();
+        let id = BarrierId(self.barriers.len());
+        self.barriers.push(Barrier::new(parties, futex));
+        id
+    }
+
+    /// Create a semaphore with `initial` tokens.
+    pub fn create_sem(&mut self, initial: i64) -> SemId {
+        let futex = self.alloc_futex();
+        let id = SemId(self.sems.len());
+        self.sems.push(Semaphore::new(initial, futex));
+        id
+    }
+
+    /// Create a spinlock with `policy`.
+    pub fn create_spinlock(&mut self, policy: SpinPolicy) -> LockId {
+        let id = LockId(self.spinlocks.len());
+        let salt = self.next_addr;
+        self.next_addr += 64;
+        self.spinlocks.push(SpinLock::new(policy, salt));
+        id
+    }
+
+    /// Create a flag word with an initial value.
+    pub fn create_flag(&mut self, initial: u64) -> FlagId {
+        let id = FlagId(self.flags.len());
+        self.flags.push(initial);
+        self.flag_spinners.push(Vec::new());
+        id
+    }
+
+    /// Read a flag word.
+    pub fn flag_get(&self, flag: FlagId) -> u64 {
+        self.flags[flag.0]
+    }
+
+    /// A task starts busy-waiting on `flag` while it equals `while_eq`.
+    /// Returns `true` if the condition already allows it to proceed.
+    pub fn flag_spin_begin(&mut self, flag: FlagId, tid: TaskId, while_eq: u64) -> bool {
+        if self.flags[flag.0] != while_eq {
+            return true;
+        }
+        self.flag_spinners[flag.0].push((tid, while_eq));
+        false
+    }
+
+    /// Store `value` into `flag`; returns the tasks whose spin condition is
+    /// now satisfied (they stop spinning), in arrival order.
+    pub fn flag_set(&mut self, flag: FlagId, value: u64) -> Vec<TaskId> {
+        self.flags[flag.0] = value;
+        let mut released = Vec::new();
+        self.flag_spinners[flag.0].retain(|&(tid, while_eq)| {
+            if value != while_eq {
+                released.push(tid);
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// Tasks currently spinning on `flag`.
+    pub fn flag_spinner_count(&self, flag: FlagId) -> usize {
+        self.flag_spinners[flag.0].len()
+    }
+
+    /// Remove a task from a flag's spinner set (e.g. exits while spinning).
+    pub fn flag_cancel_spin(&mut self, flag: FlagId, tid: TaskId) -> bool {
+        let before = self.flag_spinners[flag.0].len();
+        self.flag_spinners[flag.0].retain(|&(t, _)| t != tid);
+        self.flag_spinners[flag.0].len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn futex_keys_are_distinct_and_aligned() {
+        let mut r = SyncRegistry::new();
+        let a = r.alloc_futex();
+        let b = r.alloc_futex();
+        assert_ne!(a, b);
+        assert_eq!(a.0 % 64, 0);
+        assert_eq!(b.0 - a.0, 64);
+    }
+
+    #[test]
+    fn object_ids_are_dense_per_type() {
+        let mut r = SyncRegistry::new();
+        let m0 = r.create_mutex(MutexKind::Pthread);
+        let m1 = r.create_mutex(MutexKind::Pthread);
+        let s0 = r.create_spinlock(SpinPolicy::ttas());
+        assert_eq!(m0, LockId(0));
+        assert_eq!(m1, LockId(1));
+        assert_eq!(s0, LockId(0), "spinlocks have their own id space");
+        let b = r.create_barrier(4);
+        assert_eq!(b, BarrierId(0));
+        assert_eq!(r.barriers[b.0].parties(), 4);
+    }
+
+    #[test]
+    fn flag_spin_released_by_set() {
+        let mut r = SyncRegistry::new();
+        let f = r.create_flag(0);
+        assert!(!r.flag_spin_begin(f, TaskId(1), 0), "must spin");
+        assert!(!r.flag_spin_begin(f, TaskId(2), 0));
+        assert_eq!(r.flag_spinner_count(f), 2);
+        let released = r.flag_set(f, 1);
+        assert_eq!(released, vec![TaskId(1), TaskId(2)]);
+        assert_eq!(r.flag_spinner_count(f), 0);
+        assert_eq!(r.flag_get(f), 1);
+    }
+
+    #[test]
+    fn flag_spin_proceeds_if_already_satisfied() {
+        let mut r = SyncRegistry::new();
+        let f = r.create_flag(5);
+        assert!(r.flag_spin_begin(f, TaskId(1), 0), "5 != 0: no spin");
+        assert_eq!(r.flag_spinner_count(f), 0);
+    }
+
+    #[test]
+    fn flag_set_releases_only_matching_conditions() {
+        let mut r = SyncRegistry::new();
+        let f = r.create_flag(0);
+        r.flag_spin_begin(f, TaskId(1), 0); // spins while == 0
+        // Setting to 0 again releases nobody.
+        assert!(r.flag_set(f, 0).is_empty());
+        assert_eq!(r.flag_spinner_count(f), 1);
+        assert_eq!(r.flag_set(f, 7), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn cancel_spin_removes_task() {
+        let mut r = SyncRegistry::new();
+        let f = r.create_flag(0);
+        r.flag_spin_begin(f, TaskId(1), 0);
+        assert!(r.flag_cancel_spin(f, TaskId(1)));
+        assert!(!r.flag_cancel_spin(f, TaskId(1)));
+    }
+}

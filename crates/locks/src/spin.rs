@@ -1,0 +1,496 @@
+//! The spinlock algorithms studied in the paper (Figure 13, Table 2).
+//!
+//! Ten algorithms from the SHFLLOCK study [Kashyap et al., SOSP'19] are
+//! modeled: alock-ls, CLH, Malthusian, MCS, partitioned ticket, pthread
+//! spinlock, ticket, TTAS, CNA, and AQS. For the oversubscription study
+//! what distinguishes them is:
+//!
+//! - **grant order**: FIFO queues (MCS/CLH/ticket/...) vs barging
+//!   (TTAS/pthread) vs NUMA-grouped FIFO (CNA/AQS);
+//! - **loop shape**: whether the wait loop executes PAUSE/NOP (visible to
+//!   hardware pause-loop exiting in VMs) or is a bare load loop (invisible);
+//! - **costs**: uncontended acquire/release and contended hand-off costs.
+//!
+//! All of them busy-wait, so all of them melt down when oversubscribed and
+//! are rescued by BWD — which is exactly Figure 13's result.
+//!
+//! The lock objects here are *pure state machines*: they track the holder
+//! and the waiting set and emit effects (`Acquired` / `MustSpin`); the
+//! simulation engine charges time, runs the spin loops, and applies grants.
+
+use oversub_task::{SpinSig, TaskId};
+
+/// Hand-off discipline of a spinlock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GrantOrder {
+    /// Strict arrival order (queue-based locks).
+    Fifo,
+    /// Free-for-all: the first waiter to observe the release wins.
+    Barge,
+    /// Arrival order, but waiters on the releaser's NUMA node first.
+    NumaFifo,
+}
+
+/// Static description of one spinlock algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinPolicy {
+    /// Canonical name as used in the paper's figures.
+    pub name: &'static str,
+    /// Hand-off discipline.
+    pub order: GrantOrder,
+    /// Whether the wait loop contains PAUSE/NOP (PLE-visible in VMs).
+    pub pause: bool,
+    /// Uncontended acquire cost.
+    pub acquire_cost_ns: u64,
+    /// Release cost.
+    pub release_cost_ns: u64,
+    /// Extra cost on a contended hand-off (cacheline transfer to waiter).
+    pub handoff_cost_ns: u64,
+}
+
+impl SpinPolicy {
+    /// Anderson's array lock with local spinning.
+    pub fn alock_ls() -> Self {
+        SpinPolicy {
+            name: "alock-ls",
+            order: GrantOrder::Fifo,
+            pause: false,
+            acquire_cost_ns: 28,
+            release_cost_ns: 18,
+            handoff_cost_ns: 55,
+        }
+    }
+
+    /// CLH queue lock (spin on predecessor's node).
+    pub fn clh() -> Self {
+        SpinPolicy {
+            name: "clh",
+            order: GrantOrder::Fifo,
+            pause: false,
+            acquire_cost_ns: 30,
+            release_cost_ns: 15,
+            handoff_cost_ns: 60,
+        }
+    }
+
+    /// Malthusian lock (culls the active waiter set; we model its spin
+    /// phase — the culling appears as spin-then-park in `blocking`).
+    pub fn malth() -> Self {
+        SpinPolicy {
+            name: "malth",
+            order: GrantOrder::Fifo,
+            pause: true,
+            acquire_cost_ns: 35,
+            release_cost_ns: 22,
+            handoff_cost_ns: 65,
+        }
+    }
+
+    /// MCS queue lock.
+    pub fn mcs() -> Self {
+        SpinPolicy {
+            name: "mcs",
+            order: GrantOrder::Fifo,
+            pause: false,
+            acquire_cost_ns: 32,
+            release_cost_ns: 20,
+            handoff_cost_ns: 60,
+        }
+    }
+
+    /// Partitioned ticket lock.
+    pub fn partitioned() -> Self {
+        SpinPolicy {
+            name: "partitioned",
+            order: GrantOrder::Fifo,
+            pause: false,
+            acquire_cost_ns: 26,
+            release_cost_ns: 16,
+            handoff_cost_ns: 50,
+        }
+    }
+
+    /// pthread spinlock (TTAS with PAUSE, Figure 6 left).
+    pub fn pthread() -> Self {
+        SpinPolicy {
+            name: "pthread",
+            order: GrantOrder::Barge,
+            pause: true,
+            acquire_cost_ns: 20,
+            release_cost_ns: 12,
+            handoff_cost_ns: 45,
+        }
+    }
+
+    /// Classic ticket lock (global spinning with PAUSE).
+    pub fn ticket() -> Self {
+        SpinPolicy {
+            name: "ticket",
+            order: GrantOrder::Fifo,
+            pause: true,
+            acquire_cost_ns: 18,
+            release_cost_ns: 10,
+            handoff_cost_ns: 70,
+        }
+    }
+
+    /// Test-and-test-and-set (bare loop).
+    pub fn ttas() -> Self {
+        SpinPolicy {
+            name: "ttas",
+            order: GrantOrder::Barge,
+            pause: false,
+            acquire_cost_ns: 16,
+            release_cost_ns: 10,
+            handoff_cost_ns: 48,
+        }
+    }
+
+    /// Compact NUMA-aware lock.
+    pub fn cna() -> Self {
+        SpinPolicy {
+            name: "cna",
+            order: GrantOrder::NumaFifo,
+            pause: false,
+            acquire_cost_ns: 34,
+            release_cost_ns: 24,
+            handoff_cost_ns: 52,
+        }
+    }
+
+    /// AQS (adaptive queued spinlock from the SHFLLOCK family).
+    pub fn aqs() -> Self {
+        SpinPolicy {
+            name: "aqs",
+            order: GrantOrder::NumaFifo,
+            pause: false,
+            acquire_cost_ns: 33,
+            release_cost_ns: 22,
+            handoff_cost_ns: 54,
+        }
+    }
+
+    /// All ten algorithms, in the paper's Figure 13 order.
+    pub fn all() -> Vec<SpinPolicy> {
+        vec![
+            Self::alock_ls(),
+            Self::clh(),
+            Self::malth(),
+            Self::mcs(),
+            Self::partitioned(),
+            Self::pthread(),
+            Self::ticket(),
+            Self::ttas(),
+            Self::cna(),
+            Self::aqs(),
+        ]
+    }
+
+    /// Look up a policy by its figure label.
+    pub fn by_name(name: &str) -> Option<SpinPolicy> {
+        Self::all().into_iter().find(|p| p.name == name)
+    }
+}
+
+/// Effect of an acquire attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpinEffect {
+    /// Lock taken; charge this much time.
+    Acquired {
+        /// Acquire cost.
+        cost_ns: u64,
+    },
+    /// Contended: the caller must busy-wait with this loop shape until the
+    /// engine grants it the lock.
+    MustSpin {
+        /// The wait loop's code signature.
+        sig: SpinSig,
+    },
+}
+
+/// A spinlock instance.
+#[derive(Debug)]
+pub struct SpinLock {
+    policy: SpinPolicy,
+    sig: SpinSig,
+    holder: Option<TaskId>,
+    /// Waiters in arrival order, with the NUMA node they wait on.
+    waiters: Vec<(TaskId, usize)>,
+    /// Task the lock has been handed to on release (FIFO orders); it
+    /// completes its acquire when it next runs / notices.
+    granted: Option<TaskId>,
+    /// Statistics.
+    pub acquisitions: u64,
+    /// Statistics: acquisitions that had to spin first.
+    pub contended: u64,
+}
+
+impl SpinLock {
+    /// Create a lock with the given policy; `salt` differentiates the spin
+    /// loop addresses of distinct lock sites.
+    pub fn new(policy: SpinPolicy, salt: u64) -> Self {
+        let sig = if policy.pause {
+            SpinSig::pause_loop(salt)
+        } else {
+            SpinSig::bare_loop(salt)
+        };
+        SpinLock {
+            policy,
+            sig,
+            holder: None,
+            waiters: Vec::new(),
+            granted: None,
+            acquisitions: 0,
+            contended: 0,
+        }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &SpinPolicy {
+        &self.policy
+    }
+
+    /// The wait loop's signature.
+    pub fn sig(&self) -> SpinSig {
+        self.sig
+    }
+
+    /// Current holder.
+    pub fn holder(&self) -> Option<TaskId> {
+        self.holder
+    }
+
+    /// Number of tasks currently spinning on this lock.
+    pub fn num_waiters(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Attempt to acquire by `tid` waiting on NUMA `node`.
+    pub fn acquire(&mut self, tid: TaskId, node: usize) -> SpinEffect {
+        debug_assert_ne!(self.holder, Some(tid), "{tid:?} re-acquiring spinlock");
+        if self.holder.is_none() && self.granted.is_none() && self.waiters.is_empty() {
+            self.holder = Some(tid);
+            self.acquisitions += 1;
+            SpinEffect::Acquired {
+                cost_ns: self.policy.acquire_cost_ns,
+            }
+        } else {
+            self.waiters.push((tid, node));
+            SpinEffect::MustSpin { sig: self.sig }
+        }
+    }
+
+    /// Release by the holder on NUMA `node`. Returns
+    /// `(cost_ns, granted_task)`: for FIFO disciplines the next waiter is
+    /// chosen here; for barging, `None` is returned and any spinner may
+    /// claim the free lock via [`SpinLock::try_claim`].
+    pub fn release(&mut self, tid: TaskId, node: usize) -> (u64, Option<TaskId>) {
+        debug_assert_eq!(self.holder, Some(tid), "release by non-holder {tid:?}");
+        self.holder = None;
+        let cost = self.policy.release_cost_ns;
+        if self.waiters.is_empty() {
+            return (cost, None);
+        }
+        let next = match self.policy.order {
+            GrantOrder::Barge => None,
+            GrantOrder::Fifo => Some(0),
+            GrantOrder::NumaFifo => {
+                // First waiter on the releaser's node, else global FIFO.
+                Some(
+                    self.waiters
+                        .iter()
+                        .position(|&(_, n)| n == node)
+                        .unwrap_or(0),
+                )
+            }
+        };
+        match next {
+            Some(idx) => {
+                let (w, _) = self.waiters.remove(idx);
+                self.granted = Some(w);
+                (cost, Some(w))
+            }
+            None => (cost, None),
+        }
+    }
+
+    /// A running spinner notices the lock state. Returns `Acquired` cost if
+    /// `tid` may take the lock now (it was granted to it, or the lock is
+    /// free under barging and `tid` wins).
+    pub fn try_claim(&mut self, tid: TaskId) -> Option<u64> {
+        if self.granted == Some(tid) {
+            self.granted = None;
+            self.holder = Some(tid);
+            self.acquisitions += 1;
+            self.contended += 1;
+            return Some(self.policy.handoff_cost_ns);
+        }
+        if self.policy.order == GrantOrder::Barge
+            && self.holder.is_none()
+            && self.granted.is_none()
+        {
+            if let Some(pos) = self.waiters.iter().position(|&(w, _)| w == tid) {
+                self.waiters.remove(pos);
+                self.holder = Some(tid);
+                self.acquisitions += 1;
+                self.contended += 1;
+                return Some(self.policy.handoff_cost_ns);
+            }
+        }
+        None
+    }
+
+    /// True if `tid` could claim the lock right now (without mutating).
+    pub fn claimable_by(&self, tid: TaskId) -> bool {
+        self.granted == Some(tid)
+            || (self.policy.order == GrantOrder::Barge
+                && self.holder.is_none()
+                && self.granted.is_none()
+                && self.waiters.iter().any(|&(w, _)| w == tid))
+    }
+
+    /// The task a release has designated as next holder (diagnostics).
+    pub fn granted(&self) -> Option<TaskId> {
+        self.granted
+    }
+
+    /// Current waiters in arrival order (diagnostics).
+    pub fn waiters(&self) -> Vec<TaskId> {
+        self.waiters.iter().map(|&(t, _)| t).collect()
+    }
+
+    /// Remove `tid` from the waiting set (task exiting / converting to a
+    /// parked wait). Returns true if it was waiting.
+    pub fn cancel_wait(&mut self, tid: TaskId) -> bool {
+        if self.granted == Some(tid) {
+            // Already granted: the caller must claim instead.
+            return false;
+        }
+        match self.waiters.iter().position(|&(w, _)| w == tid) {
+            Some(pos) => {
+                self.waiters.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_have_unique_names() {
+        let all = SpinPolicy::all();
+        assert_eq!(all.len(), 10);
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn by_name_finds_policies() {
+        assert_eq!(SpinPolicy::by_name("mcs").unwrap().name, "mcs");
+        assert!(SpinPolicy::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn uncontended_acquire_release() {
+        let mut l = SpinLock::new(SpinPolicy::ttas(), 1);
+        let e = l.acquire(TaskId(0), 0);
+        assert!(matches!(e, SpinEffect::Acquired { .. }));
+        assert_eq!(l.holder(), Some(TaskId(0)));
+        let (cost, next) = l.release(TaskId(0), 0);
+        assert!(cost > 0);
+        assert!(next.is_none());
+        assert_eq!(l.holder(), None);
+        assert_eq!(l.acquisitions, 1);
+    }
+
+    #[test]
+    fn fifo_grant_order() {
+        let mut l = SpinLock::new(SpinPolicy::mcs(), 1);
+        l.acquire(TaskId(0), 0);
+        assert!(matches!(l.acquire(TaskId(1), 0), SpinEffect::MustSpin { .. }));
+        assert!(matches!(l.acquire(TaskId(2), 0), SpinEffect::MustSpin { .. }));
+        let (_, next) = l.release(TaskId(0), 0);
+        assert_eq!(next, Some(TaskId(1)), "FIFO grants the first waiter");
+        assert!(l.claimable_by(TaskId(1)));
+        assert!(!l.claimable_by(TaskId(2)));
+        assert!(l.try_claim(TaskId(2)).is_none());
+        let cost = l.try_claim(TaskId(1)).expect("granted claim");
+        assert_eq!(cost, l.policy().handoff_cost_ns);
+        assert_eq!(l.holder(), Some(TaskId(1)));
+        assert_eq!(l.contended, 1);
+    }
+
+    #[test]
+    fn barge_lets_any_spinner_claim() {
+        let mut l = SpinLock::new(SpinPolicy::ttas(), 1);
+        l.acquire(TaskId(0), 0);
+        l.acquire(TaskId(1), 0);
+        l.acquire(TaskId(2), 0);
+        let (_, next) = l.release(TaskId(0), 0);
+        assert!(next.is_none(), "barging has no designated heir");
+        // Task 2 (arrived later) can barge in.
+        assert!(l.claimable_by(TaskId(2)));
+        assert!(l.try_claim(TaskId(2)).is_some());
+        // Now task 1 cannot claim.
+        assert!(l.try_claim(TaskId(1)).is_none());
+        assert_eq!(l.num_waiters(), 1);
+    }
+
+    #[test]
+    fn numa_fifo_prefers_local_waiters() {
+        let mut l = SpinLock::new(SpinPolicy::cna(), 1);
+        l.acquire(TaskId(0), 0);
+        l.acquire(TaskId(1), 1); // remote node
+        l.acquire(TaskId(2), 0); // local node
+        let (_, next) = l.release(TaskId(0), 0);
+        assert_eq!(next, Some(TaskId(2)), "local waiter preferred");
+        // When no local waiter remains, falls back to FIFO.
+        l.try_claim(TaskId(2));
+        let (_, next) = l.release(TaskId(2), 0);
+        assert_eq!(next, Some(TaskId(1)));
+    }
+
+    #[test]
+    fn pause_flag_flows_into_signature() {
+        let l = SpinLock::new(SpinPolicy::pthread(), 3);
+        assert!(l.sig().uses_pause);
+        let l = SpinLock::new(SpinPolicy::mcs(), 3);
+        assert!(!l.sig().uses_pause);
+        assert!(l.sig().is_backward());
+    }
+
+    #[test]
+    fn cancel_wait_removes_waiter() {
+        let mut l = SpinLock::new(SpinPolicy::mcs(), 1);
+        l.acquire(TaskId(0), 0);
+        l.acquire(TaskId(1), 0);
+        assert!(l.cancel_wait(TaskId(1)));
+        assert!(!l.cancel_wait(TaskId(1)));
+        let (_, next) = l.release(TaskId(0), 0);
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn cancel_of_granted_waiter_fails() {
+        let mut l = SpinLock::new(SpinPolicy::mcs(), 1);
+        l.acquire(TaskId(0), 0);
+        l.acquire(TaskId(1), 0);
+        l.release(TaskId(0), 0);
+        assert!(!l.cancel_wait(TaskId(1)), "granted waiter must claim");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn double_acquire_panics_in_debug() {
+        let mut l = SpinLock::new(SpinPolicy::ttas(), 1);
+        l.acquire(TaskId(0), 0);
+        l.acquire(TaskId(0), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Log-bucketed latency histogram (HDR-style) for request latencies.
+//!
+//! Buckets have ~4.6% relative width (32 sub-buckets per power of two),
+//! which is plenty for reporting means and the p95/p99 tails of Figure 12.
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BUCKETS: u64 = 32;
+const SUB_BITS: u32 = 5;
+
+/// A histogram of nanosecond values.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHist {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) - SUB_BUCKETS;
+    ((shift + 1) as u64 * SUB_BUCKETS + sub) as usize
+}
+
+#[inline]
+fn bucket_lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return idx;
+    }
+    let shift = idx / SUB_BUCKETS - 1;
+    let sub = idx % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << shift
+}
+
+impl LatencyHist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values, 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value, 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at percentile `p` in [0, 100]. Returns the lower bound of the
+    /// bucket containing the target rank (≤4.6% relative error).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hist_is_zeroes() {
+        let h = LatencyHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LatencyHist::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 1000.0);
+        let p = h.percentile(50.0);
+        assert!((968..=1032).contains(&p), "p50={p}");
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut h = LatencyHist::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100);
+        }
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p95 && p95 <= p99);
+        // Within bucket resolution of the true values.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.05, "p50={p50}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.05, "p99={p99}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHist::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 25.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut last = 0;
+        for v in (0..24).map(|s| 1u64 << s) {
+            let b = bucket_of(v);
+            assert!(b >= last);
+            last = b;
+            assert!(bucket_lower_bound(b) <= v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+    }
+}

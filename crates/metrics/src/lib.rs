@@ -1,0 +1,19 @@
+//! Run reports, statistics, and table/figure formatting.
+//!
+//! - [`hist`]: log-bucketed latency histograms (p95/p99 tails).
+//! - [`report`]: the [`RunReport`] produced by every simulation run, with
+//!   the derived quantities the paper reports (normalized execution time,
+//!   CPU utilization in Table-1 units, migration counts, throughput).
+//! - [`table`]: plain-text / CSV rendering used by the per-figure binaries.
+
+pub mod hist;
+pub mod report;
+pub mod stats;
+pub mod table;
+
+pub use hist::LatencyHist;
+pub use report::{
+    BlockingAggregate, BwdAggregate, CpuAggregate, RunReport, TaskAggregate,
+};
+pub use stats::Summary;
+pub use table::{fmt_ns, fmt_ratio, TextTable};

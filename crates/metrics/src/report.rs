@@ -1,0 +1,310 @@
+//! Run reports: everything a simulation run produces, in plain data form
+//! suitable for serialization and for regenerating the paper's tables.
+
+use crate::hist::LatencyHist;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated task-side statistics for one run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TaskAggregate {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Total useful execution time across tasks.
+    pub exec_ns: u64,
+    /// Total busy-wait time.
+    pub spin_ns: u64,
+    /// Total sleep time.
+    pub sleep_ns: u64,
+    /// Total runnable-but-waiting time.
+    pub wait_ns: u64,
+    /// Voluntary context switches.
+    pub nvcsw: u64,
+    /// Involuntary context switches.
+    pub nivcsw: u64,
+    /// In-node migrations (Table 1's "#In-node Migr").
+    pub migrations_local: u64,
+    /// Cross-node migrations (Table 1's "#Cross-nodes Migr").
+    pub migrations_remote: u64,
+    /// Kernel wakeups.
+    pub wakeups: u64,
+    /// Total wake-request-to-run latency.
+    pub wakeup_latency_ns: u64,
+    /// BWD deschedules.
+    pub bwd_deschedules: u64,
+}
+
+impl TaskAggregate {
+    /// Total migrations.
+    pub fn migrations(&self) -> u64 {
+        self.migrations_local + self.migrations_remote
+    }
+
+    /// Mean wakeup latency in nanoseconds.
+    pub fn mean_wakeup_latency_ns(&self) -> f64 {
+        if self.wakeups == 0 {
+            0.0
+        } else {
+            self.wakeup_latency_ns as f64 / self.wakeups as f64
+        }
+    }
+}
+
+/// Per-CPU time breakdown for one run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CpuAggregate {
+    /// Number of CPUs.
+    pub cpus: usize,
+    /// Useful work time summed over CPUs.
+    pub useful_ns: u64,
+    /// Spin time summed over CPUs.
+    pub spin_ns: u64,
+    /// Kernel overhead summed over CPUs.
+    pub kernel_ns: u64,
+    /// Idle time summed over CPUs.
+    pub idle_ns: u64,
+    /// Context switches summed over CPUs.
+    pub context_switches: u64,
+}
+
+/// Kernel blocking-layer statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BlockingAggregate {
+    /// futex/epoll waits that slept.
+    pub sleep_waits: u64,
+    /// Waits that used virtual blocking.
+    pub virtual_waits: u64,
+    /// Wakeups issued.
+    pub wakes: u64,
+}
+
+/// BWD statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct BwdAggregate {
+    /// Timer windows examined.
+    pub checks: u64,
+    /// Spin detections.
+    pub detections: u64,
+    /// Detections on genuine busy-waiting.
+    pub true_positives: u64,
+    /// Detections on innocent tight loops.
+    pub false_positives: u64,
+    /// PLE VM exits (when the PLE arm is on).
+    pub ple_exits: u64,
+    /// Ground-truth busy-wait episodes the workload entered (denominator
+    /// of the sensitivity metric in Table 2).
+    pub spin_episodes: u64,
+}
+
+/// The full result of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Human-readable label of the configuration ("32T(optimized)").
+    pub label: String,
+    /// Virtual makespan of the run (ns) — the benchmark's execution time.
+    pub makespan_ns: u64,
+    /// Task-side aggregates.
+    pub tasks: TaskAggregate,
+    /// CPU-side aggregates.
+    pub cpus: CpuAggregate,
+    /// Blocking-layer stats.
+    pub blocking: BlockingAggregate,
+    /// BWD stats.
+    pub bwd: BwdAggregate,
+    /// Request latency histogram (server workloads only).
+    pub latency: LatencyHist,
+    /// Completed operations (server workloads: requests served).
+    pub completed_ops: u64,
+}
+
+impl RunReport {
+    /// Execution time in (virtual) seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        self.makespan_ns as f64 / 1e9
+    }
+
+    /// CPU utilization in the paper's Table-1 units: percent of one CPU,
+    /// summed over CPUs (8 fully busy cores = 800).
+    pub fn cpu_utilization_pct(&self) -> f64 {
+        let denom = self.makespan_ns as f64 * self.cpus.cpus as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let busy = (self.cpus.useful_ns + self.cpus.spin_ns + self.cpus.kernel_ns) as f64;
+        busy / denom * 100.0 * self.cpus.cpus as f64
+    }
+
+    /// Fraction of busy time that was useful work (not spin, not kernel).
+    pub fn efficiency(&self) -> f64 {
+        let busy = self.cpus.useful_ns + self.cpus.spin_ns + self.cpus.kernel_ns;
+        if busy == 0 {
+            return 1.0;
+        }
+        self.cpus.useful_ns as f64 / busy as f64
+    }
+
+    /// Throughput in operations per (virtual) second.
+    pub fn throughput_ops(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.completed_ops as f64 / self.makespan_secs()
+    }
+
+    /// Ratio of this run's makespan to a baseline's (>1 = slower).
+    pub fn normalized_to(&self, baseline: &RunReport) -> f64 {
+        if baseline.makespan_ns == 0 {
+            return f64::NAN;
+        }
+        self.makespan_ns as f64 / baseline.makespan_ns as f64
+    }
+
+    /// A multi-line human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "run '{}'", self.label);
+        let _ = writeln!(
+            out,
+            "  makespan        {:.3} s ({} tasks, {} cpus)",
+            self.makespan_secs(),
+            self.tasks.tasks,
+            self.cpus.cpus
+        );
+        let busy = (self.cpus.useful_ns + self.cpus.spin_ns + self.cpus.kernel_ns).max(1);
+        let _ = writeln!(
+            out,
+            "  cpu time        useful {:.1}%  spin {:.1}%  kernel {:.1}%  (utilization {:.0})",
+            100.0 * self.cpus.useful_ns as f64 / busy as f64,
+            100.0 * self.cpus.spin_ns as f64 / busy as f64,
+            100.0 * self.cpus.kernel_ns as f64 / busy as f64,
+            self.cpu_utilization_pct()
+        );
+        let _ = writeln!(
+            out,
+            "  switches        {} ({} voluntary, {} preemptions)",
+            self.cpus.context_switches, self.tasks.nvcsw, self.tasks.nivcsw
+        );
+        let _ = writeln!(
+            out,
+            "  migrations      {} in-node, {} cross-node",
+            self.tasks.migrations_local, self.tasks.migrations_remote
+        );
+        let _ = writeln!(
+            out,
+            "  blocking        {} sleeps, {} virtual waits, {} wakes (mean wake latency {:.1} us)",
+            self.blocking.sleep_waits,
+            self.blocking.virtual_waits,
+            self.blocking.wakes,
+            self.tasks.mean_wakeup_latency_ns() / 1e3
+        );
+        if self.bwd.checks > 0 {
+            let _ = writeln!(
+                out,
+                "  bwd             {} windows, {} detections ({} TP / {} FP)",
+                self.bwd.checks,
+                self.bwd.detections,
+                self.bwd.true_positives,
+                self.bwd.false_positives
+            );
+        }
+        if self.completed_ops > 0 {
+            let _ = writeln!(
+                out,
+                "  server          {:.0} ops/s, p50 {} us, p95 {} us, p99 {} us",
+                self.throughput_ops(),
+                self.latency.percentile(50.0) / 1_000,
+                self.latency.percentile(95.0) / 1_000,
+                self.latency.percentile(99.0) / 1_000
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            label: "test".into(),
+            makespan_ns: 1_000_000_000,
+            tasks: TaskAggregate {
+                tasks: 4,
+                wakeups: 10,
+                wakeup_latency_ns: 1000,
+                migrations_local: 3,
+                migrations_remote: 2,
+                ..Default::default()
+            },
+            cpus: CpuAggregate {
+                cpus: 8,
+                useful_ns: 6_000_000_000,
+                spin_ns: 1_000_000_000,
+                kernel_ns: 500_000_000,
+                idle_ns: 500_000_000,
+                context_switches: 100,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn utilization_matches_table1_units() {
+        let r = sample();
+        // busy = 7.5e9 over 8 cpus * 1e9 ns => 93.75% * 8 = 750.
+        assert!((r.cpu_utilization_pct() - 750.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn efficiency_excludes_spin_and_kernel() {
+        let r = sample();
+        assert!((r.efficiency() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization() {
+        let base = sample();
+        let mut slow = sample();
+        slow.makespan_ns = 2_000_000_000;
+        assert!((slow.normalized_to(&base) - 2.0).abs() < 1e-9);
+        assert!((base.normalized_to(&base) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregates_report_means() {
+        let r = sample();
+        assert_eq!(r.tasks.migrations(), 5);
+        assert!((r.tasks.mean_wakeup_latency_ns() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_from_ops() {
+        let mut r = sample();
+        r.completed_ops = 5_000;
+        assert!((r.throughput_ops() - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_renders_key_lines() {
+        let mut r = sample();
+        r.completed_ops = 100;
+        r.bwd.checks = 10;
+        r.bwd.detections = 2;
+        let s = r.summary();
+        assert!(s.contains("makespan"));
+        assert!(s.contains("utilization 750"));
+        assert!(s.contains("migrations"));
+        assert!(s.contains("bwd"));
+        assert!(s.contains("server"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.makespan_ns, r.makespan_ns);
+        assert_eq!(back.cpus.context_switches, 100);
+    }
+}

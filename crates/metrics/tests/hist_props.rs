@@ -1,0 +1,93 @@
+//! Property tests of the latency histogram against a naive exact oracle.
+
+use oversub_metrics::LatencyHist;
+use proptest::prelude::*;
+
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Percentiles are within the bucket resolution (~5 %) of the exact
+    /// answer, for arbitrary data.
+    #[test]
+    fn percentiles_close_to_exact(
+        mut values in proptest::collection::vec(1u64..10_000_000_000, 1..500),
+        p in 1.0f64..100.0,
+    ) {
+        let mut h = LatencyHist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_percentile(&values, p);
+        let got = h.percentile(p);
+        // Bucket lower bound: within one bucket (≤ ~6.25% low), never high
+        // by more than a bucket.
+        let lo = (exact as f64 * 0.90) as u64;
+        let hi = (exact as f64 * 1.07) as u64 + 1;
+        prop_assert!(
+            (lo..=hi).contains(&got),
+            "p{p:.1}: got {got}, exact {exact}"
+        );
+    }
+
+    /// Mean, min, max, and count are exact.
+    #[test]
+    fn moments_are_exact(values in proptest::collection::vec(0u64..1_000_000_000, 1..300)) {
+        let mut h = LatencyHist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    /// Percentile is monotone in p.
+    #[test]
+    fn percentile_monotone(values in proptest::collection::vec(1u64..1_000_000, 2..300)) {
+        let mut h = LatencyHist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// Merging equals recording everything into one histogram.
+    #[test]
+    fn merge_equivalence(
+        a in proptest::collection::vec(1u64..1_000_000, 1..200),
+        b in proptest::collection::vec(1u64..1_000_000, 1..200),
+    ) {
+        let mut ha = LatencyHist::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = LatencyHist::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut all = LatencyHist::new();
+        for &v in a.iter().chain(b.iter()) {
+            all.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), all.count());
+        prop_assert_eq!(ha.min(), all.min());
+        prop_assert_eq!(ha.max(), all.max());
+        for p in [50.0, 95.0, 99.0] {
+            prop_assert_eq!(ha.percentile(p), all.percentile(p));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Run configuration: machine shape, mechanisms, and environment.
+
+use oversub_bwd::{BwdParams, ExecEnv, PleParams};
+use oversub_hw::{CacheParams, Topology};
+use oversub_ksync::FutexParams;
+use oversub_sched::SchedParams;
+use oversub_simcore::SimTime;
+
+/// Which machine the container sees.
+#[derive(Clone, Debug)]
+pub enum MachineSpec {
+    /// `n` cores on one NUMA node, SMT off.
+    Flat(usize),
+    /// The paper's "8 cores" container: 4 + 4 across two sockets.
+    Paper8Cores,
+    /// The paper's "8 hyperthreads on 4 cores" container.
+    Paper8Hyperthreads,
+    /// `n` cores packed like the paper's scaling runs (1 socket up to 18,
+    /// then split across 2).
+    PaperN(usize),
+    /// Explicit NUMA shape: (nodes, cores per node, SMT width).
+    Numa(usize, usize, usize),
+}
+
+impl MachineSpec {
+    /// Materialize the topology.
+    pub fn topology(&self) -> Topology {
+        match *self {
+            MachineSpec::Flat(n) => Topology::flat(n),
+            MachineSpec::Paper8Cores => Topology::paper_8_cores(),
+            MachineSpec::Paper8Hyperthreads => Topology::paper_8_hyperthreads(),
+            MachineSpec::PaperN(n) => Topology::paper_n_cores(n),
+            MachineSpec::Numa(nodes, cores, smt) => Topology::numa(nodes, cores, smt),
+        }
+    }
+}
+
+/// The OS mechanisms under study.
+#[derive(Clone, Copy, Debug)]
+pub struct Mechanisms {
+    /// Virtual blocking in futex and epoll.
+    pub vb: bool,
+    /// VB's waiters-vs-cores auto-disable heuristic.
+    pub vb_auto_disable: bool,
+    /// Busy-waiting detection.
+    pub bwd: bool,
+    /// Hardware pause-loop exiting (only effective in `ExecEnv::Vm`).
+    pub ple: bool,
+}
+
+impl Mechanisms {
+    /// Vanilla Linux: nothing enabled.
+    pub fn vanilla() -> Self {
+        Mechanisms {
+            vb: false,
+            vb_auto_disable: true,
+            bwd: false,
+            ple: false,
+        }
+    }
+
+    /// The paper's "optimized" configuration: VB + BWD.
+    pub fn optimized() -> Self {
+        Mechanisms {
+            vb: true,
+            vb_auto_disable: true,
+            bwd: true,
+            ple: false,
+        }
+    }
+
+    /// Vanilla with hardware PLE armed (the Figure 13b/14 baseline).
+    pub fn ple_only() -> Self {
+        Mechanisms {
+            ple: true,
+            ..Mechanisms::vanilla()
+        }
+    }
+
+    /// VB only (blocking-synchronization studies).
+    pub fn vb_only() -> Self {
+        Mechanisms {
+            vb: true,
+            vb_auto_disable: true,
+            bwd: false,
+            ple: false,
+        }
+    }
+
+    /// BWD only (busy-waiting studies).
+    pub fn bwd_only() -> Self {
+        Mechanisms {
+            vb: false,
+            vb_auto_disable: true,
+            bwd: true,
+            ple: false,
+        }
+    }
+}
+
+/// A scheduled change of the online core count (CPU elasticity).
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticEvent {
+    /// When the reconfiguration happens.
+    pub at: SimTime,
+    /// New number of online cores (prefix of the topology's CPUs).
+    pub cores: usize,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Machine shape.
+    pub machine: MachineSpec,
+    /// Mechanisms enabled.
+    pub mech: Mechanisms,
+    /// Container or VM (decides whether PLE can fire at all).
+    pub env: ExecEnv,
+    /// Pin thread `i` to core `i % cores` (the Figure 11 "pinned" arm).
+    pub pinned: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hard stop for server workloads (batch workloads end when all tasks
+    /// exit).
+    pub max_time: Option<SimTime>,
+    /// Online-core changes during the run.
+    pub elastic: Vec<ElasticEvent>,
+    /// Initially online cores (defaults to all).
+    pub initial_cores: Option<usize>,
+    /// Scheduler tunables.
+    pub sched: SchedParams,
+    /// Memory-system parameters.
+    pub cache: CacheParams,
+    /// BWD tunables.
+    pub bwd_params: BwdParams,
+    /// PLE tunables.
+    pub ple_params: PleParams,
+    /// Record a scheduling-event trace (see [`crate::trace::TraceLog`]).
+    pub trace: bool,
+}
+
+impl RunConfig {
+    /// A vanilla run on `cores` flat cores.
+    pub fn vanilla(cores: usize) -> Self {
+        RunConfig {
+            machine: MachineSpec::Flat(cores),
+            mech: Mechanisms::vanilla(),
+            env: ExecEnv::Container,
+            pinned: false,
+            seed: 42,
+            max_time: None,
+            elastic: Vec::new(),
+            initial_cores: None,
+            sched: SchedParams::default(),
+            cache: CacheParams::default(),
+            bwd_params: BwdParams::default(),
+            ple_params: PleParams::default(),
+            trace: false,
+        }
+    }
+
+    /// The same machine with the paper's optimized mechanisms.
+    pub fn optimized(cores: usize) -> Self {
+        RunConfig {
+            mech: Mechanisms::optimized(),
+            ..RunConfig::vanilla(cores)
+        }
+    }
+
+    /// Builder-style: set the machine spec.
+    pub fn with_machine(mut self, m: MachineSpec) -> Self {
+        self.machine = m;
+        self
+    }
+
+    /// Builder-style: set mechanisms.
+    pub fn with_mech(mut self, m: Mechanisms) -> Self {
+        self.mech = m;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: cap the virtual run time.
+    pub fn with_max_time(mut self, t: SimTime) -> Self {
+        self.max_time = Some(t);
+        self
+    }
+
+    /// Builder-style: run inside a VM (enables PLE detection).
+    pub fn in_vm(mut self) -> Self {
+        self.env = ExecEnv::Vm;
+        self
+    }
+
+    /// Builder-style: pin threads round-robin.
+    pub fn pinned(mut self) -> Self {
+        self.pinned = true;
+        self
+    }
+
+    /// Builder-style: record a scheduling trace.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Derive the futex-layer parameters from the mechanisms.
+    pub fn futex_params(&self) -> FutexParams {
+        FutexParams {
+            vb_enabled: self.mech.vb,
+            vb_auto_disable: self.mech.vb_auto_disable,
+            ..FutexParams::default()
+        }
+    }
+
+    /// Active BWD parameters (enabled flag folded in).
+    pub fn bwd(&self) -> BwdParams {
+        BwdParams {
+            enabled: self.mech.bwd,
+            ..self.bwd_params
+        }
+    }
+
+    /// Active PLE parameters (enabled flag folded in).
+    pub fn ple(&self) -> PleParams {
+        PleParams {
+            enabled: self.mech.ple,
+            ..self.ple_params
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_specs_materialize() {
+        assert_eq!(MachineSpec::Flat(8).topology().num_cpus(), 8);
+        assert_eq!(MachineSpec::Paper8Cores.topology().num_nodes(), 2);
+        assert_eq!(MachineSpec::Paper8Hyperthreads.topology().smt(), 2);
+        assert_eq!(MachineSpec::PaperN(32).topology().num_cpus(), 32);
+        assert_eq!(MachineSpec::Numa(2, 3, 2).topology().num_cpus(), 12);
+    }
+
+    #[test]
+    fn mechanism_presets() {
+        let v = Mechanisms::vanilla();
+        assert!(!v.vb && !v.bwd && !v.ple);
+        let o = Mechanisms::optimized();
+        assert!(o.vb && o.bwd && !o.ple);
+        let p = Mechanisms::ple_only();
+        assert!(p.ple && !p.vb && !p.bwd);
+    }
+
+    #[test]
+    fn futex_params_follow_mechanisms() {
+        let cfg = RunConfig::optimized(8);
+        assert!(cfg.futex_params().vb_enabled);
+        assert!(cfg.bwd().enabled);
+        assert!(!cfg.ple().enabled);
+        let cfg = RunConfig::vanilla(8);
+        assert!(!cfg.futex_params().vb_enabled);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = RunConfig::vanilla(4)
+            .with_seed(7)
+            .in_vm()
+            .pinned()
+            .with_max_time(SimTime::from_secs(1));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.env, ExecEnv::Vm);
+        assert!(cfg.pinned);
+        assert_eq!(cfg.max_time, Some(SimTime::from_secs(1)));
+    }
+}

@@ -1,0 +1,1014 @@
+//! The simulation engine: composes the scheduler, futex/epoll substrate,
+//! user-level locks, hardware monitoring, BWD, and PLE into a runnable
+//! machine, and drives task programs through their actions in virtual time.
+//!
+//! The engine is a discrete-event loop. Each CPU is either idle, in VB
+//! poll mode (only parked tasks queued), or running a task *segment*:
+//! a span of compute / memory traversal / tight loop / busy-wait. Segments
+//! end at action completion, slice expiry, BWD/PLE deschedules, spin-budget
+//! expiry, or when another CPU's release grants a spun-on lock.
+//!
+//! Time accounting invariant: each CPU has a cursor
+//! ([`oversub_sched::CpuState::accounted_until`]) that only moves forward;
+//! every nanosecond between events is attributed to exactly one bucket
+//! (useful / spin / kernel / idle) and, for monitored kinds, fed into the
+//! core's LBR/PMC window so BWD sees exactly what ran.
+
+use crate::config::RunConfig;
+use crate::trace::{TraceKind, TraceLog};
+use oversub_workloads::workload::{Workload, WorldBuilder};
+use oversub_bwd::{Detector, Ple};
+use oversub_hw::{CpuId, MemModel, NormalCodeRates};
+use oversub_ksync::{EpollTable, FutexTable};
+use oversub_locks::SyncRegistry;
+use oversub_metrics::{LatencyHist, RunReport};
+use oversub_simcore::{EventQueue, SimRng, SimTime};
+use oversub_task::{Action, EpollFd, FlagId, LockId, SpinSig, Task, TaskId, TaskState};
+
+/// What kind of time the current segment on a CPU is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum RunKind {
+    /// Program work (compute or memory traversal).
+    Useful,
+    /// Busy-waiting on a lock or flag.
+    Spin(SpinSig),
+    /// A bounded non-synchronization tight loop (BWD false-positive bait).
+    TightLoop(SpinSig),
+}
+
+/// Why the pending per-segment event fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum SegEventKind {
+    /// The work action completes.
+    WorkEnd,
+    /// A spin-then-park budget expires: convert to futex park.
+    ParkDeadline,
+    /// Indefinite spin: no scheduled end.
+    None,
+}
+
+/// How a blocked task resumes when it next runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Resume {
+    /// Retry a mutex acquisition (futex-mutex wake path).
+    MutexRetry(LockId),
+    /// Re-acquire the mutex after a condvar wait.
+    CondReacquire(LockId),
+    /// Nothing more to do: the blocking action is complete.
+    Simple,
+    /// Consume pending epoll events, then proceed.
+    EpollReady(EpollFd),
+    /// I/O completed.
+    Io,
+}
+
+/// Per-task continuation: what the task is in the middle of.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Cont {
+    /// Ask the program for its next action.
+    Ready,
+    /// A partially-executed work action (remaining unscaled nanoseconds).
+    Work {
+        /// The action being executed.
+        action: Action,
+        /// Remaining work at full speed.
+        left_ns: u64,
+    },
+    /// Busy-waiting on a registered lock.
+    SpinLock {
+        /// The lock id (mutex or spinlock table, per `is_mutex`).
+        lock: LockId,
+        /// True: blocking-mutex table (spin-then-park kinds); false:
+        /// spinlock table.
+        is_mutex: bool,
+        /// Loop shape.
+        sig: SpinSig,
+        /// Remaining spin budget before parking (None = spin forever).
+        budget_left: Option<u64>,
+    },
+    /// Busy-waiting on a flag word.
+    SpinFlag {
+        /// The flag.
+        flag: FlagId,
+        /// Spin while the flag equals this.
+        while_eq: u64,
+        /// Loop shape.
+        sig: SpinSig,
+    },
+    /// Blocked in the kernel (futex/epoll/io); `resume` runs on wake.
+    Blocked(Resume),
+    /// Exited.
+    Done,
+}
+
+/// Discrete events.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Event {
+    /// Try to schedule work on an idle CPU.
+    Resched(usize),
+    /// The current segment's scheduled end (work done or park deadline).
+    SegEnd(usize, u64),
+    /// Slice expiry for the current stint.
+    Slice(usize, u64),
+    /// Hardware pause-loop exit for the current spin segment.
+    PleExit(usize, u64),
+    /// Re-evaluate wakeup preemption on this CPU.
+    PreemptCheck(usize),
+    /// BWD monitoring timer.
+    BwdTimer(usize),
+    /// Periodic load balancing.
+    Balance(usize),
+    /// An I/O wait finished.
+    IoDone(usize),
+    /// CPU elasticity: change the online core count.
+    Elastic(usize),
+    /// Hard stop (max_time).
+    Stop,
+}
+
+/// Safety valve against runaway simulations.
+const MAX_EVENTS: u64 = 400_000_000;
+
+/// Default cap when a workload neither exits nor sets `max_time`.
+const DEFAULT_CAP: SimTime = SimTime(600 * oversub_simcore::SECS);
+
+pub(crate) struct Engine {
+    pub cfg: RunConfig,
+    pub sched: oversub_sched::Scheduler,
+    pub futex: FutexTable,
+    pub epoll: EpollTable,
+    pub sync: SyncRegistry,
+    pub bwd: Detector,
+    pub ple: Ple,
+    pub mem: MemModel,
+    pub tasks: Vec<Task>,
+    pub conts: Vec<Cont>,
+    pub rngs: Vec<SimRng>,
+    /// Adaptive PLE window per task (doubles on each exit).
+    pub ple_window: Vec<u64>,
+    pub queue: EventQueue<Event>,
+    /// Per-CPU epoch for stint-level events (Slice).
+    pub stint_epoch: Vec<u64>,
+    /// Per-CPU epoch for segment-level events (SegEnd/Continue/PleExit).
+    pub seg_epoch: Vec<u64>,
+    /// Per-CPU current segment kind (valid while running).
+    pub run_kind: Vec<RunKind>,
+    /// Per-CPU SMT speed factor captured at segment start.
+    pub seg_rate: Vec<f64>,
+    /// Per-CPU scheduled end of the current segment.
+    pub seg_done_at: Vec<SimTime>,
+    /// Per-CPU pending segment event kind.
+    pub seg_event: Vec<SegEventKind>,
+    /// Per-CPU pending PLE exit time, if armed.
+    pub ple_exit_at: Vec<Option<SimTime>>,
+    pub now: SimTime,
+    pub live: usize,
+    pub end_cap: SimTime,
+    pub events_processed: u64,
+    pub last_exit: SimTime,
+    pub rates: NormalCodeRates,
+    /// Ground-truth spin episodes (starts of genuine busy-waiting), for
+    /// the BWD sensitivity table.
+    pub spin_episodes: u64,
+    /// Optional scheduling-event trace.
+    pub trace: TraceLog,
+}
+
+impl Engine {
+    pub(crate) fn new(cfg: RunConfig, workload: &mut dyn Workload) -> Self {
+        let topo = cfg.machine.topology();
+        let mem = MemModel::new(cfg.cache.clone());
+        let mut sched = oversub_sched::Scheduler::new(
+            topo.clone(),
+            cfg.sched.clone(),
+            mem.clone(),
+            cfg.mech.vb,
+        );
+        let initial_cores = cfg.initial_cores.unwrap_or(topo.num_cpus());
+        sched.set_online_count(initial_cores);
+
+        let futex = FutexTable::new(cfg.futex_params());
+        let epoll = EpollTable::new(cfg.futex_params());
+        let mut world = WorldBuilder::new(initial_cores, epoll);
+        workload.build(&mut world);
+
+        let base_rng = SimRng::new(cfg.seed);
+        let n = world.threads.len();
+        let mut tasks = Vec::with_capacity(n);
+        let mut rngs = Vec::with_capacity(n);
+        let online: Vec<usize> = (0..initial_cores).collect();
+        for (i, spec) in world.threads.into_iter().enumerate() {
+            let cpu = spec
+                .initial_cpu
+                .unwrap_or(CpuId(online[i % online.len()]));
+            let mut t = Task::new(TaskId(i), spec.program, cpu);
+            t.footprint_bytes = spec.footprint;
+            t.pinned = spec.pinned;
+            t.allowed = spec.allowed;
+            t.weight = spec.weight;
+            if cfg.pinned && t.pinned.is_none() {
+                t.pinned = Some(cpu);
+            }
+            tasks.push(t);
+            rngs.push(base_rng.fork(i as u64 + 1));
+        }
+
+        let ncpu = topo.num_cpus();
+        let end_cap = cfg.max_time.unwrap_or(DEFAULT_CAP);
+        let mut eng = Engine {
+            bwd: Detector::new(cfg.bwd()),
+            ple: Ple::new(cfg.ple()),
+            ple_window: vec![cfg.ple().window_ns; n],
+            sched,
+            futex,
+            epoll: world.epoll,
+            sync: world.sync,
+            mem,
+            conts: vec![Cont::Ready; n],
+            tasks,
+            rngs,
+            queue: EventQueue::new(),
+            stint_epoch: vec![0; ncpu],
+            seg_epoch: vec![0; ncpu],
+            run_kind: vec![RunKind::Useful; ncpu],
+            seg_rate: vec![1.0; ncpu],
+            seg_done_at: vec![SimTime::ZERO; ncpu],
+            seg_event: vec![SegEventKind::None; ncpu],
+            ple_exit_at: vec![None; ncpu],
+            now: SimTime::ZERO,
+            live: n,
+            end_cap,
+            events_processed: 0,
+            last_exit: SimTime::ZERO,
+            rates: NormalCodeRates::default(),
+            spin_episodes: 0,
+            trace: if cfg.trace {
+                TraceLog::enabled()
+            } else {
+                TraceLog::disabled()
+            },
+            cfg,
+        };
+
+        // Place tasks and arm per-CPU machinery.
+        for i in 0..n {
+            let cpu = eng.tasks[i].last_cpu;
+            eng.sched
+                .enqueue_new(&mut eng.tasks, TaskId(i), cpu, SimTime::ZERO);
+        }
+        for c in 0..ncpu {
+            eng.queue.schedule(SimTime::ZERO, Event::Resched(c));
+            if eng.bwd.params.enabled {
+                // Stagger timers so cores do not all fire at once.
+                let phase = (c as u64 * 7_919) % eng.bwd.params.interval_ns;
+                eng.queue.schedule(
+                    SimTime::from_nanos(eng.bwd.params.interval_ns + phase),
+                    Event::BwdTimer(c),
+                );
+            }
+            let phase = (c as u64 * 104_729) % eng.cfg.sched.balance_interval_ns;
+            eng.queue.schedule(
+                SimTime::from_nanos(eng.cfg.sched.balance_interval_ns + phase),
+                Event::Balance(c),
+            );
+        }
+        for ev in eng.cfg.elastic.clone() {
+            eng.queue.schedule(ev.at, Event::Elastic(ev.cores));
+        }
+        if eng.cfg.max_time.is_some() {
+            eng.queue.schedule(end_cap, Event::Stop);
+        }
+        eng
+    }
+
+    /// Run to completion and build the report (plus the trace, if any).
+    pub(crate) fn run_with_trace(
+        mut self,
+        workload: &dyn Workload,
+        label: &str,
+    ) -> (RunReport, TraceLog) {
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= self.end_cap {
+                self.now = self.end_cap;
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards: {t} < {}", self.now);
+            self.now = t;
+            self.events_processed += 1;
+            if self.events_processed > MAX_EVENTS {
+                break;
+            }
+            if std::env::var_os("OVERSUB_TRACE").is_some()
+                && self.events_processed.is_multiple_of(1_000_000)
+            {
+                eprintln!(
+                    "[trace] events={}M now={} live={} ev={:?}",
+                    self.events_processed / 1_000_000,
+                    self.now,
+                    self.live,
+                    ev
+                );
+            }
+            self.dispatch(ev);
+            if std::env::var_os("OVERSUB_CHECK").is_some() {
+                self.audit_rqs();
+            }
+            if self.live == 0 {
+                break;
+            }
+        }
+        let makespan = if self.live == 0 {
+            self.last_exit
+        } else {
+            if std::env::var_os("OVERSUB_DUMP_STALL").is_some() {
+                self.dump_stall_state();
+            }
+            self.now
+        };
+        let trace = std::mem::take(&mut self.trace);
+        (self.build_report(workload, label, makespan), trace)
+    }
+
+    /// Diagnostic: audit runqueue invariants (enabled via OVERSUB_CHECK).
+    fn audit_rqs(&self) {
+        for (i, c) in self.sched.cpus.iter().enumerate() {
+            let (counter, tree, parked_region) = c.rq.audit(&self.tasks);
+            if counter != tree {
+                eprintln!(
+                    "[audit] now={} cpu={i} counter={counter} tree_schedulable={tree} parked_region_entries={parked_region}",
+                    self.now
+                );
+                for (vr, tid) in c.rq.entries() {
+                    eprintln!(
+                        "    entry vr={vr} {tid:?} state={:?} vb={} task.vruntime={}",
+                        self.tasks[tid.0].state,
+                        self.tasks[tid.0].vb_blocked,
+                        self.tasks[tid.0].vruntime
+                    );
+                }
+                panic!("runqueue audit failed on cpu {i}");
+            }
+        }
+    }
+
+    /// Diagnostic: print why a run ended with live tasks (stall analysis).
+    fn dump_stall_state(&self) {
+        eprintln!("[stall] live={} now={}", self.live, self.now);
+        for (i, t) in self.tasks.iter().enumerate() {
+            if self.conts[i] != Cont::Done {
+                eprintln!(
+                    "  task {i}: state={:?} vb={} skip={} cpu={:?} cont={:?} blocked_on_futex={}",
+                    t.state, t.vb_blocked, t.bwd_skip, t.last_cpu, self.conts[i],
+                    self.futex.is_blocked(TaskId(i)),
+                );
+            }
+        }
+        for (i, c) in self.sched.cpus.iter().enumerate() {
+            eprintln!(
+                "  cpu {i}: current={:?} sched={} parked={} online={}",
+                c.current, c.rq.nr_schedulable(), c.rq.nr_vb_parked(), self.sched.online[i]
+            );
+        }
+        for (i, l) in self.sync.spinlocks.iter().enumerate() {
+            if l.holder().is_some() || l.granted().is_some() || l.num_waiters() > 0 {
+                eprintln!(
+                    "  spinlock {i}: holder={:?} granted={:?} waiters={:?}",
+                    l.holder(),
+                    l.granted(),
+                    l.waiters()
+                );
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        if let Ok(v) = std::env::var("OVERSUB_TRACE_CPU") {
+            if let Ok(n) = v.parse::<usize>() {
+                let touches = match ev {
+                    Event::Resched(c) | Event::SegEnd(c, _) | Event::Slice(c, _)
+                    | Event::PleExit(c, _) | Event::PreemptCheck(c) | Event::BwdTimer(c)
+                    | Event::Balance(c) => c == n,
+                    _ => true,
+                };
+                if touches {
+                    eprintln!(
+                        "[cpu{n}] now={} ev={:?} current={:?} sched={} live={}",
+                        self.now,
+                        ev,
+                        self.sched.cpus[n].current,
+                        self.sched.cpus[n].rq.nr_schedulable(),
+                        self.live
+                    );
+                }
+            }
+        }
+        match ev {
+            Event::Resched(c) => self.on_resched(c),
+            Event::SegEnd(c, e) => self.on_seg_end(c, e),
+            Event::Slice(c, e) => self.on_slice(c, e),
+            Event::PleExit(c, e) => self.on_ple_exit(c, e),
+            Event::PreemptCheck(c) => self.on_preempt_check(c),
+            Event::BwdTimer(c) => self.on_bwd_timer(c),
+            Event::Balance(c) => self.on_balance(c),
+            Event::IoDone(t) => self.on_io_done(t),
+            Event::Elastic(n) => self.on_elastic(n),
+            Event::Stop => { /* handled by end_cap check */ }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Accounting
+    // ---------------------------------------------------------------
+
+    /// Attribute the span since the CPU's cursor up to `to`, according to
+    /// what is running there. Feeds the LBR/PMC window.
+    pub(crate) fn account_progress(&mut self, cpu: usize, to: SimTime) {
+        let cur = self.sched.cpus[cpu].accounted_until;
+        if to <= cur {
+            return;
+        }
+        let span = to - cur;
+        match self.sched.cpus[cpu].current {
+            None => {
+                self.sched.cpus[cpu].time.idle_ns += span;
+            }
+            Some(tid) => match self.run_kind[cpu] {
+                RunKind::Useful => {
+                    self.sched.cpus[cpu].time.useful_ns += span;
+                    self.tasks[tid.0].stats.exec_ns += span;
+                    let salt = self.tasks[tid.0].addr_salt;
+                    let rates = self.rates;
+                    self.sched.cpus[cpu]
+                        .hw
+                        .note_normal_execution(span, &rates, salt);
+                }
+                RunKind::Spin(sig) => {
+                    self.sched.cpus[cpu].time.spin_ns += span;
+                    self.tasks[tid.0].stats.spin_ns += span;
+                    let iters = span / sig.iter_ns.max(1);
+                    self.sched.cpus[cpu].hw.note_spin(
+                        sig.branch_from,
+                        sig.branch_to,
+                        iters.max(1),
+                        sig.instr_per_iter,
+                    );
+                }
+                RunKind::TightLoop(sig) => {
+                    // Program work, but with a spin-shaped LBR footprint.
+                    self.sched.cpus[cpu].time.useful_ns += span;
+                    self.tasks[tid.0].stats.exec_ns += span;
+                    let iters = span / sig.iter_ns.max(1);
+                    self.sched.cpus[cpu].hw.note_spin(
+                        sig.branch_from,
+                        sig.branch_to,
+                        iters.max(1),
+                        sig.instr_per_iter,
+                    );
+                }
+            },
+        }
+        self.sched.cpus[cpu].accounted_until = to;
+    }
+
+    /// Charge kernel time starting at the cursor.
+    pub(crate) fn charge_kernel(&mut self, cpu: usize, span: u64) {
+        self.sched.cpus[cpu].time.kernel_ns += span;
+        let cur = self.sched.cpus[cpu].accounted_until;
+        self.sched.cpus[cpu].accounted_until = cur + span;
+    }
+
+    /// Charge useful (user-space) time starting at the cursor.
+    pub(crate) fn charge_useful(&mut self, cpu: usize, span: u64) {
+        if span == 0 {
+            return;
+        }
+        self.sched.cpus[cpu].time.useful_ns += span;
+        if let Some(tid) = self.sched.cpus[cpu].current {
+            self.tasks[tid.0].stats.exec_ns += span;
+        }
+        let cur = self.sched.cpus[cpu].accounted_until;
+        self.sched.cpus[cpu].accounted_until = cur + span;
+    }
+
+    // ---------------------------------------------------------------
+    // CPU scheduling events
+    // ---------------------------------------------------------------
+
+    pub(crate) fn on_resched(&mut self, cpu: usize) {
+        if self.sched.cpus[cpu].current.is_some() {
+            return; // already busy; preemption is a separate path
+        }
+        self.account_progress(cpu, self.now);
+        if !self.sched.online[cpu] {
+            return;
+        }
+        let mut t = self.now;
+        let mut tried_steal_for_skip = false;
+        loop {
+            match self.sched.pick_next(&mut self.tasks, CpuId(cpu)) {
+                oversub_sched::Pick::Run(tid, forced) => {
+                    self.trace.record(t, cpu, tid, TraceKind::Run);
+                    if forced && !tried_steal_for_skip {
+                        // Every schedulable task here is a skip-flagged
+                        // spinner. Before burning another detection window
+                        // on one of them, try to pull real work from a
+                        // busier core (normal idle balancing composed with
+                        // BWD's skip flags).
+                        tried_steal_for_skip = true;
+                        let (mig, cost) =
+                            self.sched.idle_pull(&mut self.tasks, CpuId(cpu), t);
+                        if let Some(m) = mig {
+                            self.trace.record(t, m.to.0, m.task, TraceKind::Migrate);
+                            self.charge_kernel(cpu, cost);
+                            t += cost;
+                            continue;
+                        }
+                    }
+                    let switched = self.sched.cpus[cpu].last_ran != Some(tid);
+                    let cost = self.sched.start(&mut self.tasks, CpuId(cpu), tid, t);
+                    self.stint_epoch[cpu] += 1;
+                    self.charge_kernel(cpu, cost);
+                    if switched {
+                        // LBR state is saved/restored per task (as Linux
+                        // does for perf LBR), so the monitoring window
+                        // starts clean for the incoming task.
+                        self.sched.cpus[cpu].hw.new_window();
+                    }
+                    let start_t = t + cost;
+                    // Arm the stint's slice timer.
+                    let slice = self.sched.slice_for(CpuId(cpu));
+                    self.queue
+                        .schedule(start_t + slice, Event::Slice(cpu, self.stint_epoch[cpu]));
+                    self.sched.cpus[cpu].time.context_switches += 1;
+                    self.advance_task(cpu, start_t);
+                    return;
+                }
+                oversub_sched::Pick::VbPoll(_) => {
+                    // Semi-idle: parked tasks rotate through flag checks.
+                    // The rotation cost is charged lazily when a wake
+                    // arrives (see `wake_resched_delay`); the CPU idles.
+                    return;
+                }
+                oversub_sched::Pick::Idle => {
+                    // Idle balance: try to steal, and if it succeeds, run
+                    // the stolen task *within this event* — deferring to a
+                    // later event would let other idle CPUs steal it back
+                    // and ping-pong forever.
+                    let (mig, cost) = self.sched.idle_pull(&mut self.tasks, CpuId(cpu), t);
+                    let Some(m) = mig else {
+                        return;
+                    };
+                    self.trace.record(t, m.to.0, m.task, TraceKind::Migrate);
+                    self.charge_kernel(cpu, cost);
+                    t += cost;
+                }
+            }
+        }
+    }
+
+    fn on_seg_end(&mut self, cpu: usize, epoch: u64) {
+        if epoch != self.seg_epoch[cpu] {
+            return;
+        }
+        let Some(tid) = self.sched.cpus[cpu].current else {
+            return;
+        };
+        self.account_progress(cpu, self.now);
+        match self.seg_event[cpu] {
+            SegEventKind::WorkEnd => {
+                // The action completed in full.
+                self.conts[tid.0] = Cont::Ready;
+                self.ple_exit_at[cpu] = None;
+                self.advance_task(cpu, self.now);
+            }
+            SegEventKind::ParkDeadline => {
+                // Spin budget exhausted: park on the mutex futex.
+                self.park_spinner(cpu, tid, self.now);
+            }
+            SegEventKind::None => {}
+        }
+    }
+
+    fn on_slice(&mut self, cpu: usize, epoch: u64) {
+        if epoch != self.stint_epoch[cpu] {
+            return;
+        }
+        let Some(tid) = self.sched.cpus[cpu].current else {
+            return;
+        };
+        self.account_progress(cpu, self.now);
+        if self.sched.cpus[cpu].rq.nr_schedulable() == 0 {
+            // Nobody else: extend the stint.
+            let slice = self.sched.slice_for(CpuId(cpu));
+            self.queue
+                .schedule(self.now + slice, Event::Slice(cpu, epoch));
+            return;
+        }
+        // Preempt: save remaining work, requeue, pick next.
+        self.trace.record(self.now, cpu, tid, TraceKind::Preempt);
+        self.save_partial_progress(cpu, tid);
+        self.sched.stop_current(
+            &mut self.tasks,
+            CpuId(cpu),
+            self.now,
+            oversub_sched::StopReason::Preempted,
+        );
+        self.stint_epoch[cpu] += 1;
+        self.seg_epoch[cpu] += 1;
+        self.ple_exit_at[cpu] = None;
+        self.queue.schedule(self.now, Event::Resched(cpu));
+    }
+
+    fn on_ple_exit(&mut self, cpu: usize, epoch: u64) {
+        if epoch != self.seg_epoch[cpu] {
+            return;
+        }
+        let Some(tid) = self.sched.cpus[cpu].current else {
+            return;
+        };
+        if !matches!(self.run_kind[cpu], RunKind::Spin(_)) {
+            return;
+        }
+        self.account_progress(cpu, self.now);
+        // VM exit + directed yield: the spinner is descheduled but gets no
+        // skip flag — CFS will bring it back soon, and the adaptive window
+        // doubles so future exits get rarer. This is why PLE barely helps.
+        self.charge_kernel(cpu, self.ple.params.exit_cost_ns);
+        self.ple.stats.exits += 1;
+        self.trace.record(self.now, cpu, tid, TraceKind::PleExit);
+        // The window persists and only grows (KVM's adaptive ple_window),
+        // so a vCPU that keeps spinning exits ever more rarely — one of
+        // the reasons PLE ends up behaving like vanilla.
+        self.ple_window[tid.0] = (self.ple_window[tid.0] * 2).min(2_000_000);
+        let t = self.now + self.ple.params.exit_cost_ns;
+        self.save_partial_progress(cpu, tid);
+        self.sched.stop_current(
+            &mut self.tasks,
+            CpuId(cpu),
+            t,
+            oversub_sched::StopReason::Preempted,
+        );
+        self.stint_epoch[cpu] += 1;
+        self.seg_epoch[cpu] += 1;
+        self.ple_exit_at[cpu] = None;
+        self.queue.schedule(t, Event::Resched(cpu));
+    }
+
+    fn on_preempt_check(&mut self, cpu: usize) {
+        let Some(curr) = self.sched.cpus[cpu].current else {
+            self.queue.schedule(self.now, Event::Resched(cpu));
+            return;
+        };
+        // Only preempt if a schedulable task has materially lower
+        // vruntime — CFS's check_preempt_wakeup test against the current
+        // task's effective (stint-adjusted) vruntime. Wakeup preemption is
+        // immediate (the minimum granularity only guards tick preemption).
+        let best = self.sched.cpus[cpu].rq.pick_next(&self.tasks);
+        let Some((cand, _)) = best else { return };
+        let gran = self.sched.params.wakeup_granularity_ns;
+        let cv = self
+            .sched
+            .curr_effective_vruntime(&self.tasks, CpuId(cpu), self.now)
+            .unwrap_or(u64::MAX);
+        let _ = curr;
+        // A candidate that was just woken and has not run since its wake
+        // is always preempt-worthy — the paper's VB explicitly schedules
+        // waking threads immediately, mirroring how wakeup preemption
+        // favours real sleepers.
+        let fresh_wake = self.tasks[cand.0].wake_requested_at.is_some();
+        if !fresh_wake && self.tasks[cand.0].vruntime + gran >= cv {
+            return;
+        }
+        let curr = self.sched.cpus[cpu].current.expect("checked above");
+        self.account_progress(cpu, self.now);
+        self.trace.record(self.now, cpu, curr, TraceKind::Preempt);
+        self.save_partial_progress(cpu, curr);
+        self.sched.stop_current(
+            &mut self.tasks,
+            CpuId(cpu),
+            self.now,
+            oversub_sched::StopReason::Preempted,
+        );
+        self.stint_epoch[cpu] += 1;
+        self.seg_epoch[cpu] += 1;
+        self.ple_exit_at[cpu] = None;
+        self.queue.schedule(self.now, Event::Resched(cpu));
+    }
+
+    fn on_bwd_timer(&mut self, cpu: usize) {
+        if !self.bwd.params.enabled {
+            return;
+        }
+        // Re-arm first so detection handling cannot drop the timer.
+        self.queue.schedule(
+            self.now + self.bwd.params.interval_ns,
+            Event::BwdTimer(cpu),
+        );
+        if !self.sched.online[cpu] {
+            return;
+        }
+        self.account_progress(cpu, self.now);
+        let detected = {
+            let hw = &self.sched.cpus[cpu].hw;
+            self.bwd.check_window(hw)
+        };
+        self.sched.cpus[cpu].hw.new_window();
+        let had_current = self.sched.cpus[cpu].current;
+        // The timer interrupt itself steals a little time from the task.
+        if had_current.is_some() {
+            self.shift_segment(cpu, self.bwd.params.check_cost_ns);
+        }
+        self.charge_kernel(cpu, self.bwd.params.check_cost_ns);
+
+        if !detected {
+            return;
+        }
+        let Some(tid) = had_current else { return };
+        let real_spin = matches!(self.run_kind[cpu], RunKind::Spin(_));
+        self.bwd.classify_detection(real_spin);
+        // Deschedule with the skip flag.
+        let t = self.sched.cpus[cpu].accounted_until;
+        self.trace.record(t, cpu, tid, TraceKind::BwdDeschedule);
+        self.save_partial_progress(cpu, tid);
+        self.sched.bwd_mark_skip(&mut self.tasks, CpuId(cpu), tid);
+        self.sched.stop_current(
+            &mut self.tasks,
+            CpuId(cpu),
+            t,
+            oversub_sched::StopReason::Preempted,
+        );
+        self.stint_epoch[cpu] += 1;
+        self.seg_epoch[cpu] += 1;
+        self.ple_exit_at[cpu] = None;
+        self.queue.schedule(t, Event::Resched(cpu));
+    }
+
+    fn on_balance(&mut self, cpu: usize) {
+        self.queue.schedule(
+            self.now + self.cfg.sched.balance_interval_ns,
+            Event::Balance(cpu),
+        );
+        if !self.sched.online[cpu] {
+            return;
+        }
+        let (migs, cost) = self
+            .sched
+            .periodic_balance(&mut self.tasks, CpuId(cpu), self.now);
+        // Balance runs in softirq context; only charge when idle to keep
+        // the running task's segment timing intact (cost is small).
+        if self.sched.cpus[cpu].current.is_none() {
+            self.account_progress(cpu, self.now);
+            self.charge_kernel(cpu, cost);
+        } else {
+            self.sched.cpus[cpu].time.kernel_ns += cost;
+        }
+        if !migs.is_empty() && self.sched.cpus[cpu].current.is_none() {
+            self.queue.schedule(self.now + cost, Event::Resched(cpu));
+        }
+    }
+
+    fn on_io_done(&mut self, task: usize) {
+        let tid = TaskId(task);
+        if self.tasks[task].state != TaskState::Sleeping {
+            return;
+        }
+        // Interrupt-context wake: placement logic runs, but the cost is
+        // not charged to any task's segment.
+        let waker_cpu = self.tasks[task].last_cpu;
+        let out = self
+            .sched
+            .vanilla_wake(&mut self.tasks, tid, waker_cpu, self.now);
+        self.sched.cpus[out.cpu.0].time.kernel_ns += out.cost_ns;
+        self.trace.record(self.now, out.cpu.0, tid, TraceKind::Wake);
+        let t = self.now + out.cost_ns;
+        self.queue.schedule(t, Event::Resched(out.cpu.0));
+        if out.preempt && self.sched.cpus[out.cpu.0].current.is_some() {
+            self.queue.schedule(t, Event::PreemptCheck(out.cpu.0));
+        }
+    }
+
+    fn on_elastic(&mut self, cores: usize) {
+        let ncpu = self.sched.topo.num_cpus();
+        let cores = cores.min(ncpu).max(1);
+        self.sched.set_online_count(cores);
+        // Drain newly-offline CPUs.
+        for c in cores..ncpu {
+            self.account_progress(c, self.now);
+            if let Some(tid) = self.sched.cpus[c].current {
+                self.save_partial_progress(c, tid);
+                self.sched.stop_current(
+                    &mut self.tasks,
+                    CpuId(c),
+                    self.now,
+                    oversub_sched::StopReason::Preempted,
+                );
+                self.stint_epoch[c] += 1;
+                self.seg_epoch[c] += 1;
+                self.ple_exit_at[c] = None;
+            }
+            // Move every queued, unpinned task to an online CPU.
+            let queued: Vec<TaskId> = self.sched.cpus[c]
+                .rq
+                .schedulable_tasks(&self.tasks)
+                .collect();
+            let parked: Vec<TaskId> = {
+                // Collect movable parked tasks by repeatedly dequeuing;
+                // tasks pinned to the offline CPU stay stuck, exactly
+                // like their runnable siblings (the paper's "pinning
+                // cannot adapt" behaviour must not depend on whether a
+                // task happened to be parked at shrink time).
+                let mut v = Vec::new();
+                loop {
+                    let movable = {
+                        let rq = &self.sched.cpus[c].rq;
+                        rq.entries()
+                            .into_iter()
+                            .map(|(_, tid)| tid)
+                            .find(|&tid| {
+                                self.tasks[tid.0].vb_blocked
+                                    && self.tasks[tid.0].pinned != Some(CpuId(c))
+                            })
+                    };
+                    match movable {
+                        Some(p) => {
+                            self.sched.cpus[c].rq.dequeue(&self.tasks[p.0]);
+                            v.push(p);
+                        }
+                        None => break,
+                    }
+                }
+                v
+            };
+            let mut target = 0usize;
+            for tid in queued {
+                if self.tasks[tid.0].pinned == Some(CpuId(c)) {
+                    continue; // stuck — the paper's "pinning crashes" case
+                }
+                self.sched.cpus[c].rq.dequeue(&self.tasks[tid.0]);
+                let dest = target % cores;
+                target += 1;
+                self.tasks[tid.0].last_cpu = CpuId(dest);
+                self.sched.cpus[dest].rq.enqueue(&self.tasks[tid.0]);
+            }
+            for tid in parked {
+                let dest = target % cores;
+                target += 1;
+                self.tasks[tid.0].last_cpu = CpuId(dest);
+                self.sched.cpus[dest].rq.enqueue(&self.tasks[tid.0]);
+            }
+        }
+        for c in 0..cores {
+            self.queue.schedule(self.now, Event::Resched(c));
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Segment helpers
+    // ---------------------------------------------------------------
+
+    /// Record how much of the current segment's work remains, updating the
+    /// task's continuation. Call after `account_progress` and before
+    /// `stop_current`.
+    pub(crate) fn save_partial_progress(&mut self, cpu: usize, tid: TaskId) {
+        let t = self.sched.cpus[cpu].accounted_until;
+        match self.conts[tid.0] {
+            Cont::Work { action, .. } => {
+                let remaining_scaled = self.seg_done_at[cpu].saturating_since(t);
+                let left = (remaining_scaled as f64 * self.seg_rate[cpu]) as u64;
+                self.conts[tid.0] = Cont::Work {
+                    action,
+                    left_ns: left,
+                };
+            }
+            Cont::SpinLock {
+                lock,
+                is_mutex,
+                sig,
+                budget_left,
+            }
+                if budget_left.is_some() => {
+                    let left = self.seg_done_at[cpu].saturating_since(t);
+                    self.conts[tid.0] = Cont::SpinLock {
+                        lock,
+                        is_mutex,
+                        sig,
+                        budget_left: Some(left),
+                    };
+                }
+            _ => {}
+        }
+    }
+
+    /// Push the current segment's end (and any armed PLE exit) `delta`
+    /// nanoseconds into the future — used when timer interrupts steal time
+    /// from the running task.
+    pub(crate) fn shift_segment(&mut self, cpu: usize, delta: u64) {
+        if self.sched.cpus[cpu].current.is_none() {
+            return;
+        }
+        self.seg_epoch[cpu] += 1;
+        let e = self.seg_epoch[cpu];
+        self.seg_done_at[cpu] += delta;
+        match self.seg_event[cpu] {
+            SegEventKind::WorkEnd | SegEventKind::ParkDeadline => {
+                self.queue.schedule(self.seg_done_at[cpu], Event::SegEnd(cpu, e));
+            }
+            SegEventKind::None => {}
+        }
+        if let Some(p) = self.ple_exit_at[cpu] {
+            let np = p + delta;
+            self.ple_exit_at[cpu] = Some(np);
+            self.queue.schedule(np, Event::PleExit(cpu, e));
+        }
+    }
+
+    /// Extra delay before a VB-woken task starts on a semi-idle core whose
+    /// queue holds only parked tasks: the flag-poll rotation latency.
+    pub(crate) fn wake_resched_delay(&mut self, cpu: usize) -> u64 {
+        let c = &self.sched.cpus[cpu];
+        if c.current.is_none() && c.rq.nr_schedulable() == 0 && c.rq.nr_vb_parked() > 0 {
+            // The delay itself is attributed by account_progress (the CPU
+            // sits in its poll rotation, which we book as idle time), so
+            // only the latency is returned here — adding it to kernel_ns
+            // as well would double-count the interval.
+            let parked = c.rq.nr_vb_parked().min(8) as u64;
+            self.cfg.sched.vb_poll_ns * parked
+        } else {
+            0
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Report
+    // ---------------------------------------------------------------
+
+    fn build_report(mut self, workload: &dyn Workload, label: &str, makespan: SimTime) -> RunReport {
+        // Close accounting on every CPU.
+        for c in 0..self.sched.topo.num_cpus() {
+            self.account_progress(c, makespan);
+        }
+        let mut report = RunReport {
+            label: label.to_string(),
+            makespan_ns: makespan.as_nanos(),
+            latency: LatencyHist::new(),
+            ..RunReport::default()
+        };
+        report.tasks.tasks = self.tasks.len();
+        for t in &self.tasks {
+            let s = &t.stats;
+            report.tasks.exec_ns += s.exec_ns;
+            report.tasks.spin_ns += s.spin_ns;
+            report.tasks.sleep_ns += s.sleep_ns;
+            report.tasks.wait_ns += s.wait_ns;
+            report.tasks.nvcsw += s.nvcsw;
+            report.tasks.nivcsw += s.nivcsw;
+            report.tasks.migrations_local += s.migrations_local;
+            report.tasks.migrations_remote += s.migrations_remote;
+            report.tasks.wakeups += s.wakeups;
+            report.tasks.wakeup_latency_ns += s.wakeup_latency_ns;
+            report.tasks.bwd_deschedules += s.bwd_deschedules;
+        }
+        report.cpus.cpus = self.sched.num_online().max(1);
+        for c in &self.sched.cpus {
+            report.cpus.useful_ns += c.time.useful_ns;
+            report.cpus.spin_ns += c.time.spin_ns;
+            report.cpus.kernel_ns += c.time.kernel_ns;
+            report.cpus.idle_ns += c.time.idle_ns;
+            report.cpus.context_switches += c.time.context_switches;
+        }
+        report.blocking.sleep_waits = self.futex.sleep_waits + self.epoll.sleep_waits;
+        report.blocking.virtual_waits = self.futex.virtual_waits + self.epoll.virtual_waits;
+        report.blocking.wakes = self.futex.wakes + self.epoll.wakes;
+        report.bwd.checks = self.bwd.stats.checks;
+        report.bwd.detections = self.bwd.stats.detections;
+        report.bwd.true_positives = self.bwd.stats.true_positives;
+        report.bwd.false_positives = self.bwd.stats.false_positives;
+        report.bwd.ple_exits = self.ple.stats.exits;
+        report.bwd.spin_episodes = self.spin_episodes;
+        workload.collect(&mut report);
+        report
+    }
+}
+
+/// Run `workload` under `config`, labelling the report.
+pub fn run_labelled(workload: &mut dyn Workload, config: &RunConfig, label: &str) -> RunReport {
+    let engine = Engine::new(config.clone(), workload);
+    engine.run_with_trace(workload, label).0
+}
+
+/// Run `workload` under `config` and return the scheduling trace alongside
+/// the report (enable recording with [`RunConfig::traced`]).
+pub fn run_traced(
+    workload: &mut dyn Workload,
+    config: &RunConfig,
+) -> (RunReport, TraceLog) {
+    let name = workload.name().to_string();
+    let engine = Engine::new(config.clone(), workload);
+    engine.run_with_trace(workload, &name)
+}
+
+/// Run `workload` under `config`.
+pub fn run(workload: &mut dyn Workload, config: &RunConfig) -> RunReport {
+    let name = workload.name().to_string();
+    run_labelled(workload, config, &name)
+}

@@ -1,0 +1,662 @@
+//! Action execution: drives a task's program through its actions,
+//! interpreting synchronization effects against the futex/epoll substrate
+//! and the lock state machines.
+
+use crate::engine::{Cont, Engine, Event, Resume, RunKind, SegEventKind};
+use crate::trace::TraceKind;
+use oversub_hw::CpuId;
+use oversub_locks::{BarrierEffect, MutexAcquire, MutexRelease, SemEffect, SpinEffect};
+use oversub_simcore::SimTime;
+use oversub_task::{
+    Action, FutexKey, LockId, ProgCtx, SpinSig, SyncOp, TaskId, TaskState,
+};
+
+/// Flow control for the inner action loop.
+enum Flow {
+    /// Keep processing actions at the (possibly advanced) time.
+    Continue(SimTime),
+    /// The task left the CPU or started a timed segment; stop the loop.
+    Break,
+}
+
+impl Engine {
+    /// NUMA node index of a CPU.
+    fn node_of(&self, cpu: usize) -> usize {
+        self.sched.topo.node_of(CpuId(cpu)).0
+    }
+
+    /// Process the current task on `cpu` starting at `t` until it blocks,
+    /// yields, exits, or begins a timed segment.
+    ///
+    /// Invariant on entry: `accounted_until == t` for this CPU.
+    pub(crate) fn advance_task(&mut self, cpu: usize, mut t: SimTime) {
+        loop {
+            let Some(tid) = self.sched.cpus[cpu].current else {
+                return;
+            };
+            let cont = self.conts[tid.0];
+            let flow = match cont {
+                Cont::Ready => {
+                    let action = {
+                        let mut ctx = ProgCtx {
+                            task: tid,
+                            now: t,
+                            rng: &mut self.rngs[tid.0],
+                        };
+                        self.tasks[tid.0].program.next(&mut ctx)
+                    };
+                    self.start_action(cpu, tid, action, t)
+                }
+                Cont::Work { .. } => {
+                    self.begin_work_segment(cpu, tid, t);
+                    Flow::Break
+                }
+                Cont::SpinLock {
+                    lock,
+                    is_mutex,
+                    sig,
+                    budget_left,
+                } => self.resume_lock_spin(cpu, tid, lock, is_mutex, sig, budget_left, t),
+                Cont::SpinFlag {
+                    flag,
+                    while_eq,
+                    sig,
+                } => {
+                    if self.sync.flag_get(flag) != while_eq {
+                        self.conts[tid.0] = Cont::Ready;
+                        Flow::Continue(t)
+                    } else {
+                        self.begin_spin_segment(cpu, tid, sig, None, t);
+                        Flow::Break
+                    }
+                }
+                Cont::Blocked(resume) => self.handle_resume(cpu, tid, resume, t),
+                Cont::Done => return,
+            };
+            match flow {
+                Flow::Continue(nt) => t = nt,
+                Flow::Break => return,
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Resumption after kernel blocking
+    // -----------------------------------------------------------------
+
+    fn handle_resume(&mut self, cpu: usize, tid: TaskId, resume: Resume, t: SimTime) -> Flow {
+        match resume {
+            Resume::Simple | Resume::Io => {
+                self.conts[tid.0] = Cont::Ready;
+                Flow::Continue(t)
+            }
+            Resume::EpollReady(ep) => {
+                self.epoll.take_pending(ep);
+                self.conts[tid.0] = Cont::Ready;
+                Flow::Continue(t)
+            }
+            Resume::MutexRetry(l) | Resume::CondReacquire(l) => {
+                self.sync.mutexes[l.0].note_wake_retry(tid);
+                self.acquire_mutex(cpu, tid, l, t)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Actions
+    // -----------------------------------------------------------------
+
+    fn start_action(&mut self, cpu: usize, tid: TaskId, action: Action, t: SimTime) -> Flow {
+        match action {
+            Action::Compute { ns } => {
+                self.conts[tid.0] = Cont::Work {
+                    action,
+                    left_ns: ns,
+                };
+                self.begin_work_segment(cpu, tid, t);
+                Flow::Break
+            }
+            Action::MemTraversal {
+                pattern,
+                ws_bytes,
+                elems,
+            } => {
+                let out = self.mem.traversal(pattern, ws_bytes, elems);
+                self.tasks[tid.0].footprint_bytes = ws_bytes;
+                self.tasks[tid.0].random_access = !pattern.is_sequential();
+                self.conts[tid.0] = Cont::Work {
+                    action,
+                    left_ns: out.ns.max(1),
+                };
+                self.begin_work_segment(cpu, tid, t);
+                Flow::Break
+            }
+            Action::TightLoop { ns, sig } => {
+                self.conts[tid.0] = Cont::Work {
+                    action,
+                    left_ns: ns,
+                };
+                self.begin_work_segment_kind(cpu, tid, t, RunKind::TightLoop(sig));
+                Flow::Break
+            }
+            Action::AtomicRmw { line: _ } => {
+                // Cost grows with the number of cores actively hitting the
+                // line — bounded by active cores, not thread count (§2.3).
+                let busy = self
+                    .sched
+                    .cpus
+                    .iter()
+                    .filter(|c| c.current.is_some())
+                    .count()
+                    .max(1);
+                let cost = 20 + 35 * (busy as u64 - 1).min(16);
+                self.charge_useful(cpu, cost);
+                Flow::Continue(t + cost)
+            }
+            Action::Yield => {
+                self.sched.stop_current(
+                    &mut self.tasks,
+                    CpuId(cpu),
+                    t,
+                    oversub_sched::StopReason::Yielded,
+                );
+                self.stint_epoch[cpu] += 1;
+                self.seg_epoch[cpu] += 1;
+                self.ple_exit_at[cpu] = None;
+                self.queue.schedule(t, Event::Resched(cpu));
+                Flow::Break
+            }
+            Action::IoWait { ns } => {
+                let syscall = self.sched.params.syscall_entry_ns;
+                self.charge_kernel(cpu, syscall);
+                self.sched.stop_current(
+                    &mut self.tasks,
+                    CpuId(cpu),
+                    t + syscall,
+                    oversub_sched::StopReason::Sleep,
+                );
+                self.conts[tid.0] = Cont::Blocked(Resume::Io);
+                self.stint_epoch[cpu] += 1;
+                self.seg_epoch[cpu] += 1;
+                self.ple_exit_at[cpu] = None;
+                self.queue.schedule(t + syscall + ns, Event::IoDone(tid.0));
+                self.queue.schedule(t + syscall, Event::Resched(cpu));
+                Flow::Break
+            }
+            Action::Exit => {
+                self.sched.stop_current(
+                    &mut self.tasks,
+                    CpuId(cpu),
+                    t,
+                    oversub_sched::StopReason::Exit,
+                );
+                self.conts[tid.0] = Cont::Done;
+                self.live -= 1;
+                self.last_exit = self.last_exit.max_of(t);
+                self.stint_epoch[cpu] += 1;
+                self.seg_epoch[cpu] += 1;
+                self.ple_exit_at[cpu] = None;
+                self.queue.schedule(t, Event::Resched(cpu));
+                Flow::Break
+            }
+            Action::Sync(op) => self.handle_sync(cpu, tid, op, t),
+        }
+    }
+
+    fn handle_sync(&mut self, cpu: usize, tid: TaskId, op: SyncOp, t: SimTime) -> Flow {
+        match op {
+            SyncOp::MutexLock(l) => self.acquire_mutex(cpu, tid, l, t),
+            SyncOp::MutexUnlock(l) => {
+                let node = self.node_of(cpu);
+                let (cost, rel) = self.sync.mutexes[l.0].release(tid, node);
+                self.charge_useful(cpu, cost);
+                let mut t2 = t + cost;
+                match rel {
+                    MutexRelease::None => {}
+                    MutexRelease::GrantSpinner(w) => self.deliver_grant(w, true, l, t2),
+                    MutexRelease::WakeParked { futex } => {
+                        t2 = t2 + self.do_futex_wake(cpu, futex, 1, t2);
+                    }
+                }
+                Flow::Continue(t2)
+            }
+            SyncOp::BarrierWait(b) => match self.sync.barriers[b.0].arrive() {
+                BarrierEffect::Wait { futex } => {
+                    self.do_futex_wait(cpu, tid, futex, Resume::Simple, t);
+                    Flow::Break
+                }
+                BarrierEffect::ReleaseAll { futex, wake_n } => {
+                    let cost = self.do_futex_wake(cpu, futex, wake_n, t);
+                    Flow::Continue(t + cost)
+                }
+            },
+            SyncOp::CondWait { cond, mutex } => {
+                // Atomically (in engine terms) unlock the mutex and sleep.
+                let node = self.node_of(cpu);
+                let (cost, rel) = self.sync.mutexes[mutex.0].release(tid, node);
+                self.charge_useful(cpu, cost);
+                let mut t2 = t + cost;
+                match rel {
+                    MutexRelease::None => {}
+                    MutexRelease::GrantSpinner(w) => self.deliver_grant(w, true, mutex, t2),
+                    MutexRelease::WakeParked { futex } => {
+                        t2 = t2 + self.do_futex_wake(cpu, futex, 1, t2);
+                    }
+                }
+                let key = self.sync.condvars[cond.0].wait();
+                self.do_futex_wait(cpu, tid, key, Resume::CondReacquire(mutex), t2);
+                Flow::Break
+            }
+            SyncOp::CondSignal(c) => {
+                let (key, n) = self.sync.condvars[c.0].signal();
+                let cost = if n > 0 {
+                    self.do_futex_wake(cpu, key, n, t)
+                } else {
+                    0
+                };
+                Flow::Continue(t + cost)
+            }
+            SyncOp::CondBroadcast(c) => {
+                let (key, n) = self.sync.condvars[c.0].broadcast();
+                let cost = if n > 0 {
+                    self.do_futex_wake(cpu, key, n, t)
+                } else {
+                    0
+                };
+                Flow::Continue(t + cost)
+            }
+            SyncOp::SemWait(s) => match self.sync.sems[s.0].wait() {
+                SemEffect::Acquired => {
+                    self.charge_useful(cpu, 20);
+                    Flow::Continue(t + 20)
+                }
+                SemEffect::Wait { futex } => {
+                    self.do_futex_wait(cpu, tid, futex, Resume::Simple, t);
+                    Flow::Break
+                }
+            },
+            SyncOp::SemPost(s) => {
+                let wake = self.sync.sems[s.0].post();
+                self.charge_useful(cpu, 20);
+                let mut t2 = t + 20;
+                if let Some((key, n)) = wake {
+                    t2 = t2 + self.do_futex_wake(cpu, key, n, t2);
+                }
+                Flow::Continue(t2)
+            }
+            SyncOp::SpinAcquire(l) => {
+                let node = self.node_of(cpu);
+                match self.sync.spinlocks[l.0].acquire(tid, node) {
+                    SpinEffect::Acquired { cost_ns } => {
+                        self.charge_useful(cpu, cost_ns);
+                        Flow::Continue(t + cost_ns)
+                    }
+                    SpinEffect::MustSpin { sig } => {
+                        self.spin_episodes += 1;
+                        self.conts[tid.0] = Cont::SpinLock {
+                            lock: l,
+                            is_mutex: false,
+                            sig,
+                            budget_left: None,
+                        };
+                        self.begin_spin_segment(cpu, tid, sig, None, t);
+                        Flow::Break
+                    }
+                }
+            }
+            SyncOp::SpinRelease(l) => {
+                let node = self.node_of(cpu);
+                let (cost, granted) = self.sync.spinlocks[l.0].release(tid, node);
+                self.charge_useful(cpu, cost);
+                let t2 = t + cost;
+                match granted {
+                    Some(w) => self.deliver_grant(w, false, l, t2),
+                    None => self.barge_check(l, t2),
+                }
+                Flow::Continue(t2)
+            }
+            SyncOp::FlagSpinWhileEq {
+                flag,
+                while_eq,
+                sig,
+            } => {
+                if self.sync.flag_spin_begin(flag, tid, while_eq) {
+                    Flow::Continue(t)
+                } else {
+                    self.spin_episodes += 1;
+                    self.conts[tid.0] = Cont::SpinFlag {
+                        flag,
+                        while_eq,
+                        sig,
+                    };
+                    self.begin_spin_segment(cpu, tid, sig, None, t);
+                    Flow::Break
+                }
+            }
+            SyncOp::FlagSet { flag, value } => {
+                let released = self.sync.flag_set(flag, value);
+                self.charge_useful(cpu, 15);
+                let t2 = t + 15;
+                for w in released {
+                    self.release_flag_spinner(w, t2);
+                }
+                Flow::Continue(t2)
+            }
+            SyncOp::EpollWait(ep) => {
+                use oversub_ksync::EpollWaitResult;
+                match self.epoll.epoll_wait(
+                    &mut self.sched,
+                    &mut self.tasks,
+                    tid,
+                    ep,
+                    CpuId(cpu),
+                    t,
+                ) {
+                    EpollWaitResult::Ready { events: _, cost_ns } => {
+                        self.charge_kernel(cpu, cost_ns);
+                        Flow::Continue(t + cost_ns)
+                    }
+                    EpollWaitResult::Blocked(out) => {
+                        self.charge_kernel(cpu, out.cost_ns);
+                        self.conts[tid.0] = Cont::Blocked(Resume::EpollReady(ep));
+                        self.stint_epoch[cpu] += 1;
+                        self.seg_epoch[cpu] += 1;
+                        self.ple_exit_at[cpu] = None;
+                        self.queue.schedule(t + out.cost_ns, Event::Resched(cpu));
+                        Flow::Break
+                    }
+                }
+            }
+            SyncOp::EpollPost(ep, n) => {
+                let report = self.epoll.epoll_post(
+                    &mut self.sched,
+                    &mut self.tasks,
+                    ep,
+                    n,
+                    CpuId(cpu),
+                    t,
+                );
+                self.charge_kernel(cpu, report.waker_cost_ns);
+                let done = t + report.waker_cost_ns;
+                self.post_wake_events(&report.woken, done);
+                Flow::Continue(done)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Mutexes
+    // -----------------------------------------------------------------
+
+    fn acquire_mutex(&mut self, cpu: usize, tid: TaskId, l: LockId, t: SimTime) -> Flow {
+        let node = self.node_of(cpu);
+        match self.sync.mutexes[l.0].acquire(tid, node) {
+            MutexAcquire::Acquired { cost_ns } => {
+                self.charge_useful(cpu, cost_ns);
+                self.conts[tid.0] = Cont::Ready;
+                Flow::Continue(t + cost_ns)
+            }
+            MutexAcquire::Park { futex } => {
+                self.do_futex_wait(cpu, tid, futex, Resume::MutexRetry(l), t);
+                Flow::Break
+            }
+            MutexAcquire::SpinThenPark {
+                sig,
+                spin_ns,
+                futex: _,
+            } => {
+                self.spin_episodes += 1;
+                self.conts[tid.0] = Cont::SpinLock {
+                    lock: l,
+                    is_mutex: true,
+                    sig,
+                    budget_left: Some(spin_ns),
+                };
+                self.begin_spin_segment(cpu, tid, sig, Some(spin_ns), t);
+                Flow::Break
+            }
+        }
+    }
+
+    /// A scheduled task resumes a lock spin: claim if possible, else keep
+    /// spinning.
+    #[allow(clippy::too_many_arguments)]
+    fn resume_lock_spin(
+        &mut self,
+        cpu: usize,
+        tid: TaskId,
+        lock: LockId,
+        is_mutex: bool,
+        sig: SpinSig,
+        budget_left: Option<u64>,
+        t: SimTime,
+    ) -> Flow {
+        let claimed = if is_mutex {
+            self.sync.mutexes[lock.0].try_claim(tid)
+        } else {
+            self.sync.spinlocks[lock.0].try_claim(tid)
+        };
+        if let Some(cost) = claimed {
+            self.charge_useful(cpu, cost);
+            self.conts[tid.0] = Cont::Ready;
+            return Flow::Continue(t + cost);
+        }
+        if budget_left == Some(0) {
+            self.park_spinner(cpu, tid, t);
+            return Flow::Break;
+        }
+        self.begin_spin_segment(cpu, tid, sig, budget_left, t);
+        Flow::Break
+    }
+
+    /// A spin-then-park waiter's budget expired: convert to a futex park.
+    pub(crate) fn park_spinner(&mut self, cpu: usize, tid: TaskId, t: SimTime) {
+        let Cont::SpinLock { lock, is_mutex, .. } = self.conts[tid.0] else {
+            return;
+        };
+        debug_assert!(is_mutex, "only mutex kinds have park deadlines");
+        self.sync.mutexes[lock.0].note_parked(tid);
+        let futex = self.sync.mutexes[lock.0].futex_key_for(tid);
+        self.do_futex_wait(cpu, tid, futex, Resume::MutexRetry(lock), t);
+    }
+
+    // -----------------------------------------------------------------
+    // Lock grants and flag releases across CPUs
+    // -----------------------------------------------------------------
+
+    /// A release designated `w` as the next holder. If `w` is running
+    /// (spinning) somewhere, interrupt it so it claims now; otherwise it
+    /// claims when next scheduled (the lock-holder-preemption case: the
+    /// hand-off latency is the victim's scheduling delay).
+    fn deliver_grant(&mut self, w: TaskId, is_mutex: bool, lock: LockId, t: SimTime) {
+        if self.tasks[w.0].state != TaskState::Running {
+            return;
+        }
+        let wcpu = self.tasks[w.0].last_cpu.0;
+        debug_assert_eq!(self.sched.cpus[wcpu].current, Some(w));
+        let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
+        self.account_progress(wcpu, t2);
+        self.seg_epoch[wcpu] += 1;
+        self.ple_exit_at[wcpu] = None;
+        self.seg_event[wcpu] = SegEventKind::None;
+        let claimed = if is_mutex {
+            self.sync.mutexes[lock.0].try_claim(w)
+        } else {
+            self.sync.spinlocks[lock.0].try_claim(w)
+        };
+        let cost = claimed.expect("designated heir must be claimable");
+        self.charge_useful(wcpu, cost);
+        self.conts[w.0] = Cont::Ready;
+        self.advance_task(wcpu, t2 + cost);
+    }
+
+    /// Barging release: the lock is free; the first *running* spinner (by
+    /// CPU index) claims it immediately.
+    fn barge_check(&mut self, l: LockId, t: SimTime) {
+        // Find a running waiter of this spinlock.
+        let waiter = self
+            .sched
+            .cpus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.current.map(|tid| (i, tid)))
+            .find(|&(_, tid)| {
+                matches!(
+                    self.conts[tid.0],
+                    Cont::SpinLock { lock, is_mutex: false, .. } if lock == l
+                )
+            });
+        if let Some((wcpu, w)) = waiter {
+            let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
+            self.account_progress(wcpu, t2);
+            self.seg_epoch[wcpu] += 1;
+            self.ple_exit_at[wcpu] = None;
+            self.seg_event[wcpu] = SegEventKind::None;
+            let cost = self.sync.spinlocks[l.0]
+                .try_claim(w)
+                .expect("running barge spinner must claim a free lock");
+            self.charge_useful(wcpu, cost);
+            self.conts[w.0] = Cont::Ready;
+            self.advance_task(wcpu, t2 + cost);
+        }
+    }
+
+    /// A flag changed and `w`'s spin condition is satisfied.
+    fn release_flag_spinner(&mut self, w: TaskId, t: SimTime) {
+        match self.tasks[w.0].state {
+            TaskState::Running => {
+                let wcpu = self.tasks[w.0].last_cpu.0;
+                let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
+                self.account_progress(wcpu, t2);
+                self.conts[w.0] = Cont::Ready;
+                self.seg_epoch[wcpu] += 1;
+                self.ple_exit_at[wcpu] = None;
+                self.seg_event[wcpu] = SegEventKind::None;
+                self.advance_task(wcpu, t2);
+            }
+            _ => {
+                // Descheduled mid-spin: its accumulated spin time is
+                // already accounted; it proceeds when next scheduled.
+                self.conts[w.0] = Cont::Ready;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Kernel blocking wrappers
+    // -----------------------------------------------------------------
+
+    fn do_futex_wait(&mut self, cpu: usize, tid: TaskId, key: FutexKey, resume: Resume, t: SimTime) {
+        let out = self
+            .futex
+            .futex_wait(&mut self.sched, &mut self.tasks, tid, key, CpuId(cpu), t);
+        self.trace.record(
+            t,
+            cpu,
+            tid,
+            match out.mode {
+                oversub_ksync::WaitMode::Sleep => TraceKind::Sleep,
+                oversub_ksync::WaitMode::Virtual => TraceKind::VbPark,
+            },
+        );
+        self.charge_kernel(cpu, out.cost_ns);
+        self.conts[tid.0] = Cont::Blocked(resume);
+        self.stint_epoch[cpu] += 1;
+        self.seg_epoch[cpu] += 1;
+        self.ple_exit_at[cpu] = None;
+        self.queue.schedule(t + out.cost_ns, Event::Resched(cpu));
+    }
+
+    fn do_futex_wake(&mut self, cpu: usize, key: FutexKey, n: usize, t: SimTime) -> u64 {
+        let report = self
+            .futex
+            .futex_wake(&mut self.sched, &mut self.tasks, key, n, CpuId(cpu), t);
+        self.charge_kernel(cpu, report.waker_cost_ns);
+        let done = t + report.waker_cost_ns;
+        self.post_wake_events(&report.woken, done);
+        report.waker_cost_ns
+    }
+
+    /// Schedule follow-up events for a batch of woken tasks.
+    fn post_wake_events(&mut self, woken: &[(TaskId, CpuId, bool)], done: SimTime) {
+        for &(w, wcpu, preempt) in woken {
+            self.trace.record(done, wcpu.0, w, TraceKind::Wake);
+            let delay = self.wake_resched_delay(wcpu.0);
+            self.queue.schedule(done + delay, Event::Resched(wcpu.0));
+            if preempt && self.sched.cpus[wcpu.0].current.is_some() {
+                self.queue.schedule(done + delay, Event::PreemptCheck(wcpu.0));
+            }
+            // nohz idle kick: if the woken task landed on a busy queue
+            // while another CPU sits idle, poke one idle CPU so its idle
+            // balance can pull the waiter over (as CFS does at wakeup).
+            if self.sched.cpus[wcpu.0].current.is_some() {
+                let idle = self
+                    .sched
+                    .topo
+                    .cpu_ids()
+                    .find(|c| self.sched.online[c.0] && self.sched.cpus[c.0].is_idle());
+                if let Some(c) = idle {
+                    self.queue.schedule(done, Event::Resched(c.0));
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Segment scheduling
+    // -----------------------------------------------------------------
+
+    fn begin_work_segment(&mut self, cpu: usize, tid: TaskId, t: SimTime) {
+        self.begin_work_segment_kind(cpu, tid, t, RunKind::Useful);
+    }
+
+    fn begin_work_segment_kind(&mut self, cpu: usize, tid: TaskId, t: SimTime, kind: RunKind) {
+        let Cont::Work { left_ns, .. } = self.conts[tid.0] else {
+            unreachable!("work segment without Work cont");
+        };
+        let rate = self.sched.smt_factor(CpuId(cpu));
+        let scaled = (left_ns as f64 / rate).ceil() as u64;
+        self.seg_epoch[cpu] += 1;
+        self.seg_rate[cpu] = rate;
+        self.run_kind[cpu] = kind;
+        self.seg_done_at[cpu] = t + scaled.max(1);
+        self.seg_event[cpu] = SegEventKind::WorkEnd;
+        self.ple_exit_at[cpu] = None;
+        self.queue
+            .schedule(self.seg_done_at[cpu], Event::SegEnd(cpu, self.seg_epoch[cpu]));
+    }
+
+    fn begin_spin_segment(
+        &mut self,
+        cpu: usize,
+        tid: TaskId,
+        sig: SpinSig,
+        budget: Option<u64>,
+        t: SimTime,
+    ) {
+        self.seg_epoch[cpu] += 1;
+        self.seg_rate[cpu] = 1.0;
+        self.run_kind[cpu] = RunKind::Spin(sig);
+        match budget {
+            Some(b) => {
+                self.seg_done_at[cpu] = t + b.max(1);
+                self.seg_event[cpu] = SegEventKind::ParkDeadline;
+                self.queue
+                    .schedule(self.seg_done_at[cpu], Event::SegEnd(cpu, self.seg_epoch[cpu]));
+            }
+            None => {
+                self.seg_done_at[cpu] = SimTime::NEVER;
+                self.seg_event[cpu] = SegEventKind::None;
+            }
+        }
+        // Arm PLE if it can see this loop.
+        if self.ple.can_see(&sig, self.cfg.env) {
+            let w = self.ple_window[tid.0];
+            let at = t + w;
+            self.ple_exit_at[cpu] = Some(at);
+            self.queue.schedule(at, Event::PleExit(cpu, self.seg_epoch[cpu]));
+        } else {
+            self.ple_exit_at[cpu] = None;
+        }
+    }
+}

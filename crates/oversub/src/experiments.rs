@@ -1,0 +1,955 @@
+//! Experiment drivers: one function per figure and table of the paper.
+//!
+//! Each driver runs the required simulation arms and renders the same rows
+//! or series the paper reports as a [`TextTable`] (also exportable as
+//! CSV). Bench binaries in `crates/bench` are thin wrappers around these.
+//!
+//! All drivers accept an [`ExpOpts`] whose `scale` shrinks per-run phase
+//! counts proportionally in every arm — relative results are preserved
+//! while quick runs finish in seconds.
+
+use crate::config::{MachineSpec, Mechanisms, RunConfig};
+use crate::engine::run_labelled;
+use oversub_bwd::ExecEnv;
+use oversub_hw::AccessPattern;
+use oversub_locks::{MutexKind, SpinPolicy};
+use oversub_metrics::{RunReport, TextTable};
+use oversub_simcore::{SimTime, MICROS, MILLIS};
+use oversub_metrics::Summary;
+use oversub_workloads::forkjoin::ForkJoin;
+use oversub_workloads::memcached::Memcached;
+use oversub_workloads::micro::{ArrayWalk, ComputeYield, Primitive, PrimitiveStress, SpinlockStress, TpProbe};
+use oversub_workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub_workloads::skeletons::{BenchProfile, Skeleton};
+use oversub_workloads::webserving::WebServing;
+use oversub_workloads::Workload;
+
+/// Options shared by all experiment drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpOpts {
+    /// Phase-count scale (1.0 = paper-sized runs).
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExpOpts {
+    /// Fast runs for CI / smoke testing.
+    pub fn quick() -> Self {
+        ExpOpts {
+            scale: 0.08,
+            seed: 42,
+        }
+    }
+
+    /// Full-sized runs for the bench harness.
+    pub fn full() -> Self {
+        ExpOpts {
+            scale: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Run a benchmark skeleton on the paper's 8-core container (4+4 across
+/// two sockets) with the given thread count and mechanisms.
+pub fn run_skeleton(
+    name: &str,
+    threads: usize,
+    machine: MachineSpec,
+    mech: Mechanisms,
+    opts: ExpOpts,
+) -> RunReport {
+    let profile = BenchProfile::by_name(name).expect("known benchmark");
+    let mut wl = Skeleton::scaled(profile, threads, opts.scale).with_salt(opts.seed);
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(machine)
+        .with_mech(mech)
+        .with_seed(opts.seed);
+    run_labelled(&mut wl, &cfg, &format!("{name}/{threads}T"))
+}
+
+fn fmt_x(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn fmt_s(r: &RunReport) -> String {
+    format!("{:.3}", r.makespan_secs())
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: the oversubscription survey
+// ---------------------------------------------------------------------
+
+/// Figure 1: normalized execution time of all 32 benchmarks with 8T and
+/// 32T on 8 cores (vanilla Linux).
+pub fn fig01_survey(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["benchmark", "group", "8T", "32T(vanilla)", "paper-32T"]);
+    for p in BenchProfile::all() {
+        let base = run_skeleton(p.name, 8, MachineSpec::Paper8Cores, Mechanisms::vanilla(), opts);
+        let over = run_skeleton(p.name, 32, MachineSpec::Paper8Cores, Mechanisms::vanilla(), opts);
+        t.row([
+            p.name.to_string(),
+            format!("{:?}", p.group),
+            "1.00".to_string(),
+            fmt_x(over.normalized_to(&base)),
+            fmt_x(p.paper_fig1_slowdown),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: direct cost of context switching
+// ---------------------------------------------------------------------
+
+/// Figure 2: execution time of the compute(+atomic) microbenchmark with
+/// 1..=8 threads on one core, normalized to one thread.
+pub fn fig02_direct_cost(opts: ExpOpts) -> TextTable {
+    let total = ((400.0 * opts.scale).max(40.0) as u64) * MILLIS;
+    let mut t = TextTable::new(["threads", "pure-compute", "with-atomic"]);
+    let run1 = |wl: &mut dyn Workload| {
+        let cfg = RunConfig::vanilla(1).with_seed(opts.seed);
+        run_labelled(wl, &cfg, "fig2")
+    };
+    let base_a = run1(&mut ComputeYield::fig2a(1, total)).makespan_ns as f64;
+    let base_b = run1(&mut ComputeYield::fig2b(1, total)).makespan_ns as f64;
+    for n in 1..=8usize {
+        let a = run1(&mut ComputeYield::fig2a(n, total)).makespan_ns as f64;
+        let b = run1(&mut ComputeYield::fig2b(n, total)).makespan_ns as f64;
+        t.row([
+            n.to_string(),
+            fmt_x(a / base_a),
+            fmt_x(b / base_b),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: synchronization intervals
+// ---------------------------------------------------------------------
+
+/// Figure 3: histogram of the benchmarks' synchronization intervals
+/// (100 µs bins; the last bin collects everything above 1 ms).
+pub fn fig03_sync_intervals() -> TextTable {
+    let mut bins = [0usize; 11];
+    for p in BenchProfile::all() {
+        let us = p.sync_interval_ns / MICROS;
+        let idx = ((us / 100) as usize).min(10);
+        bins[idx] += 1;
+    }
+    let mut t = TextTable::new(["interval(us)", "programs"]);
+    for (i, &count) in bins.iter().enumerate() {
+        let label = if i == 10 {
+            ">1000".to_string()
+        } else {
+            format!("{}-{}", i * 100, (i + 1) * 100)
+        };
+        t.row([label, count.to_string()]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: indirect cost of context switching
+// ---------------------------------------------------------------------
+
+/// Figure 4: indirect cost per context switch (µs; negative = benefit) of
+/// two threads sharing one core vs one thread, across working-set sizes
+/// and the four access patterns.
+pub fn fig04_indirect_cost(opts: ExpOpts) -> TextTable {
+    let sizes: Vec<u64> = (17..=27).map(|s| 1u64 << s).collect(); // 128KB..128MB
+    let mut t = TextTable::new(["array", "seq-r", "seq-rmw", "rnd-r", "rnd-rmw"]);
+    let passes = ((24.0 * opts.scale).max(4.0)) as u64;
+    for &ws in &sizes {
+        let mut row = vec![if ws >= (1 << 20) {
+            format!("{}MB", ws >> 20)
+        } else {
+            format!("{}KB", ws >> 10)
+        }];
+        for pattern in AccessPattern::ALL {
+            let run = |threads: usize| {
+                let mut wl = ArrayWalk {
+                    threads,
+                    total_ws: ws,
+                    pattern,
+                    passes,
+                };
+                let cfg = RunConfig::vanilla(1).with_seed(opts.seed);
+                run_labelled(&mut wl, &cfg, "fig4")
+            };
+            let serial = run(1);
+            let over = run(2);
+            let ncs = over.cpus.context_switches.max(1);
+            let cost_us = (over.makespan_ns as f64 - serial.makespan_ns as f64)
+                / ncs as f64
+                / 1_000.0;
+            row.push(format!("{cost_us:.2}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 / Table 1: virtual blocking on the blocking benchmarks
+// ---------------------------------------------------------------------
+
+/// Arms of the Figure 9 experiment on one machine shape.
+fn fig09_arms(
+    name: &str,
+    machine: MachineSpec,
+    opts: ExpOpts,
+) -> (RunReport, RunReport, RunReport) {
+    let base = run_skeleton(name, 8, machine.clone(), Mechanisms::vanilla(), opts);
+    let over = run_skeleton(name, 32, machine.clone(), Mechanisms::vanilla(), opts);
+    let opt = run_skeleton(name, 32, machine, Mechanisms::optimized(), opts);
+    (base, over, opt)
+}
+
+/// Figure 9: normalized execution time of the 13 blocking benchmarks under
+/// {8T vanilla, 32T vanilla, 32T optimized} on 8 cores and on 8
+/// hyperthreads of 4 cores.
+pub fn fig09_vb_blocking(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "benchmark",
+        "8T(van-8c)",
+        "32T(van-8c)",
+        "32T(opt-8c)",
+        "8T(van-8ht)",
+        "32T(van-8ht)",
+        "32T(opt-8ht)",
+    ]);
+    for p in BenchProfile::fig9_set() {
+        let (b8, o8, x8) = fig09_arms(p.name, MachineSpec::Paper8Cores, opts);
+        let (bh, oh, xh) = fig09_arms(p.name, MachineSpec::Paper8Hyperthreads, opts);
+        t.row([
+            p.name.to_string(),
+            "1.00".into(),
+            fmt_x(o8.normalized_to(&b8)),
+            fmt_x(x8.normalized_to(&b8)),
+            "1.00".into(),
+            fmt_x(oh.normalized_to(&bh)),
+            fmt_x(xh.normalized_to(&bh)),
+        ]);
+    }
+    t
+}
+
+/// Table 1: CPU utilization and migration counts for the 13 blocking
+/// benchmarks under {8T, 32T, 32T optimized}.
+pub fn table1_runtime_stats(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "app", "util-8T", "util-32T", "util-Opt",
+        "in-node-8T", "in-node-32T", "in-node-Opt",
+        "cross-8T", "cross-32T", "cross-Opt",
+    ]);
+    for p in BenchProfile::fig9_set() {
+        let (b, o, x) = fig09_arms(p.name, MachineSpec::Paper8Cores, opts);
+        t.row([
+            p.name.to_string(),
+            format!("{:.0}", b.cpu_utilization_pct()),
+            format!("{:.0}", o.cpu_utilization_pct()),
+            format!("{:.0}", x.cpu_utilization_pct()),
+            b.tasks.migrations_local.to_string(),
+            o.tasks.migrations_local.to_string(),
+            x.tasks.migrations_local.to_string(),
+            b.tasks.migrations_remote.to_string(),
+            o.tasks.migrations_remote.to_string(),
+            x.tasks.migrations_remote.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: VB on the pthreads primitives
+// ---------------------------------------------------------------------
+
+fn primitive_speedup(
+    primitive: Primitive,
+    threads: usize,
+    cores: usize,
+    opts: ExpOpts,
+) -> f64 {
+    let rounds = ((10_000.0 * opts.scale).max(300.0)) as usize;
+    let mk = || PrimitiveStress {
+        threads,
+        rounds,
+        primitive,
+        work_ns: 2_000,
+    };
+    let cfg = |mech: Mechanisms| {
+        RunConfig::vanilla(cores)
+            .with_machine(MachineSpec::PaperN(cores))
+            .with_mech(mech)
+            .with_seed(opts.seed)
+    };
+    let vanilla = run_labelled(&mut mk(), &cfg(Mechanisms::vanilla()), "vanilla");
+    let vb = run_labelled(&mut mk(), &cfg(Mechanisms::vb_only()), "vb");
+    vanilla.makespan_ns as f64 / vb.makespan_ns.max(1) as f64
+}
+
+/// Figure 10(a): speedup of VB over vanilla for mutex / condvar / barrier
+/// with 1..=32 threads on a single core.
+pub fn fig10a_primitives_threads(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["threads", "pthread_mutex", "pthread_cond", "pthread_barrier"]);
+    for &n in &[1usize, 2, 4, 8, 16, 32] {
+        t.row([
+            n.to_string(),
+            fmt_x(primitive_speedup(Primitive::Mutex, n, 1, opts)),
+            fmt_x(primitive_speedup(Primitive::Cond, n, 1, opts)),
+            fmt_x(primitive_speedup(Primitive::Barrier, n, 1, opts)),
+        ]);
+    }
+    t
+}
+
+/// Figure 10(b): speedup of VB over vanilla with 32 threads on 1..=32
+/// cores.
+pub fn fig10b_primitives_cores(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["cores", "pthread_mutex", "pthread_cond", "pthread_barrier"]);
+    for &c in &[1usize, 2, 4, 8, 16, 32] {
+        t.row([
+            c.to_string(),
+            fmt_x(primitive_speedup(Primitive::Mutex, 32, c, opts)),
+            fmt_x(primitive_speedup(Primitive::Cond, 32, c, opts)),
+            fmt_x(primitive_speedup(Primitive::Barrier, 32, c, opts)),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: CPU elasticity
+// ---------------------------------------------------------------------
+
+/// Figure 11: execution time (s) of five benchmarks across core counts
+/// under {#core-T vanilla, 8T vanilla, 32T vanilla, 32T pinned,
+/// 32T optimized}.
+pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "benchmark", "cores", "#coreT(van)", "8T(van)", "32T(van)", "32T(pinned)", "32T(opt)",
+    ]);
+    for name in ["ep", "facesim", "streamcluster", "ocean", "cg"] {
+        for &cores in &[2usize, 4, 8, 16, 32] {
+            let m = MachineSpec::PaperN(cores);
+            let run = |threads: usize, mech: Mechanisms, pinned: bool| {
+                let profile = BenchProfile::by_name(name).unwrap();
+                let mut wl = Skeleton::scaled(profile, threads, opts.scale);
+                let mut cfg = RunConfig::vanilla(cores)
+                    .with_machine(m.clone())
+                    .with_mech(mech)
+                    .with_seed(opts.seed);
+                cfg.pinned = pinned;
+                run_labelled(&mut wl, &cfg, name)
+            };
+            let coret = run(cores, Mechanisms::vanilla(), false);
+            let t8 = run(8, Mechanisms::vanilla(), false);
+            let t32 = run(32, Mechanisms::vanilla(), false);
+            let pinned = run(32, Mechanisms::vanilla(), true);
+            let opt = run(32, Mechanisms::optimized(), false);
+            t.row([
+                name.to_string(),
+                cores.to_string(),
+                fmt_s(&coret),
+                fmt_s(&t8),
+                fmt_s(&t32),
+                fmt_s(&pinned),
+                fmt_s(&opt),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: memcached
+// ---------------------------------------------------------------------
+
+/// Figure 12: memcached throughput / mean / p95 / p99 under {4T vanilla,
+/// 16T vanilla, 16T optimized} on 4, 8, and 16 server cores.
+pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "cores", "arm", "throughput(op/s)", "mean(us)", "p95(us)", "p99(us)",
+    ]);
+    let duration = SimTime::from_millis(((2_000.0 * opts.scale).max(300.0)) as u64);
+    for &cores in &[4usize, 8, 16] {
+        // Offered load tracks capacity (~80%), as a closed-loop mutilate
+        // client effectively does; a fixed open-loop rate would saturate
+        // the small configurations into unbounded queueing.
+        let rate = (45_000.0 * cores as f64).min(420_000.0);
+        for (label, workers, mech) in [
+            ("4T(vanilla)", 4, Mechanisms::vanilla()),
+            ("16T(vanilla)", 16, Mechanisms::vanilla()),
+            ("16T(optimized)", 16, Mechanisms::optimized()),
+        ] {
+            let mut wl = Memcached::paper(workers, cores, rate);
+            wl.clients = (rate / 70_000.0).ceil() as usize;
+            let cpus = wl.total_cpus();
+            let cfg = RunConfig::vanilla(cpus)
+                .with_mech(mech)
+                .with_seed(opts.seed)
+                .with_max_time(duration);
+            let r = run_labelled(&mut wl, &cfg, label);
+            t.row([
+                cores.to_string(),
+                label.to_string(),
+                format!("{:.0}", r.throughput_ops()),
+                format!("{:.0}", r.latency.mean() / 1_000.0),
+                format!("{}", r.latency.percentile(95.0) / 1_000),
+                format!("{}", r.latency.percentile(99.0) / 1_000),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: the ten spinlocks
+// ---------------------------------------------------------------------
+
+/// Figure 13: execution time (s) of the spinlock stress benchmark for all
+/// ten algorithms, in a container or a VM (the VM adds the PLE arm).
+pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
+    let header: Vec<&str> = match env {
+        ExecEnv::Container => vec!["lock", "8T(vanilla)", "32T(vanilla)", "32T(optimized)"],
+        ExecEnv::Vm => vec!["lock", "8T(vanilla)", "32T(vanilla)", "32T(PLE)", "32T(optimized)"],
+    };
+    let mut t = TextTable::new(header);
+    let iters = ((1_600.0 * opts.scale).max(96.0)) as usize;
+    for policy in SpinPolicy::all() {
+        let run = |threads: usize, mech: Mechanisms| {
+            let mut wl = SpinlockStress::fig13(threads, policy, iters);
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            cfg.env = env;
+            run_labelled(&mut wl, &cfg, policy.name)
+        };
+        let base = run(8, Mechanisms::vanilla());
+        let over = run(32, Mechanisms::vanilla());
+        let opt = run(32, Mechanisms::bwd_only());
+        let mut row = vec![
+            policy.name.to_string(),
+            fmt_s(&base),
+            fmt_s(&over),
+        ];
+        if env == ExecEnv::Vm {
+            let ple = run(32, Mechanisms::ple_only());
+            row.push(fmt_s(&ple));
+        }
+        row.push(fmt_s(&opt));
+        t.row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: user-customized spinning
+// ---------------------------------------------------------------------
+
+/// Figure 14: execution time (s) of `lu` and `volrend` with 8/16/32
+/// threads on 8 cores, in containers and VMs, under vanilla / PLE /
+/// optimized.
+pub fn fig14_custom_spin(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "benchmark", "env", "threads", "vanilla", "PLE", "optimized",
+    ]);
+    for name in ["lu", "volrend"] {
+        for env in [ExecEnv::Container, ExecEnv::Vm] {
+            for &threads in &[8usize, 16, 32] {
+                let run = |mech: Mechanisms| {
+                    let profile = BenchProfile::by_name(name).unwrap();
+                    let mut wl = Skeleton::scaled(profile, threads, opts.scale);
+                    let mut cfg = RunConfig::vanilla(8)
+                        .with_machine(MachineSpec::Paper8Cores)
+                        .with_mech(mech)
+                        .with_seed(opts.seed);
+                    cfg.env = env;
+                    run_labelled(&mut wl, &cfg, name)
+                };
+                let vanilla = run(Mechanisms::vanilla());
+                let ple = if env == ExecEnv::Vm {
+                    fmt_s(&run(Mechanisms::ple_only()))
+                } else {
+                    "n/a".to_string()
+                };
+                let opt = run(Mechanisms::optimized());
+                t.row([
+                    name.to_string(),
+                    format!("{env:?}"),
+                    threads.to_string(),
+                    fmt_s(&vanilla),
+                    ple,
+                    fmt_s(&opt),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 15: SHFLLOCK comparison
+// ---------------------------------------------------------------------
+
+/// Figure 15: normalized execution time (to the 8T pthread baseline) of
+/// five benchmarks at 32T/8c with the synchronization library replaced by
+/// each lock design, vs our optimized kernel.
+pub fn fig15_shfllock(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "benchmark", "pthread", "mutexee", "mcstp", "shfllock", "optimized",
+    ]);
+    let spin_ns = 150_000; // spin budget of the spin-then-park designs
+    for name in ["freqmine", "streamcluster", "lu_cb", "ocean", "radix"] {
+        let profile = BenchProfile::by_name(name).unwrap();
+        let run = |threads: usize, kind: Option<MutexKind>, mech: Mechanisms| {
+            let mut wl = Skeleton::scaled(profile, threads, opts.scale);
+            if let Some(k) = kind {
+                wl = wl.with_barrier_mutex(k);
+            }
+            let cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            run_labelled(&mut wl, &cfg, name)
+        };
+        let base = run(8, None, Mechanisms::vanilla());
+        let pthread = run(32, None, Mechanisms::vanilla());
+        let mutexee = run(32, Some(MutexKind::Mutexee { spin_ns }), Mechanisms::vanilla());
+        let mcstp = run(32, Some(MutexKind::McsTp { spin_ns }), Mechanisms::vanilla());
+        let shfl = run(32, Some(MutexKind::Shfllock { spin_ns }), Mechanisms::vanilla());
+        let opt = run(32, None, Mechanisms::optimized());
+        t.row([
+            name.to_string(),
+            fmt_x(pthread.normalized_to(&base)),
+            fmt_x(mutexee.normalized_to(&base)),
+            fmt_x(mcstp.normalized_to(&base)),
+            fmt_x(shfl.normalized_to(&base)),
+            fmt_x(opt.normalized_to(&base)),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Tables 2 and 3: BWD accuracy
+// ---------------------------------------------------------------------
+
+/// Table 2: BWD's true-positive rate for the ten spinlocks (holder /
+/// contender probe on one core).
+pub fn table2_bwd_tp(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["lock", "tries", "TPs", "sensitivity(%)"]);
+    let tries = ((4_000.0 * opts.scale).max(150.0)) as usize;
+    for policy in SpinPolicy::all() {
+        let mut wl = TpProbe::new(policy, tries);
+        let cfg = RunConfig::vanilla(1)
+            .with_mech(Mechanisms::bwd_only())
+            .with_seed(opts.seed);
+        let r = run_labelled(&mut wl, &cfg, policy.name);
+        let episodes = r.bwd.spin_episodes.max(1);
+        let sens = 100.0 * r.bwd.true_positives.min(episodes) as f64 / episodes as f64;
+        t.row([
+            policy.name.to_string(),
+            episodes.to_string(),
+            r.bwd.true_positives.to_string(),
+            format!("{sens:.2}"),
+        ]);
+    }
+    t
+}
+
+/// Table 3: BWD's false-positive rate on 8 blocking NPB benchmarks that
+/// contain no synchronization spinning (their tight loops are the bait),
+/// plus the FP-induced overhead.
+pub fn table3_bwd_fp(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "app", "windows", "FPs", "specificity(%)", "FP-overhead(%)",
+    ]);
+    for name in ["is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"] {
+        let without = run_skeleton(
+            name,
+            32,
+            MachineSpec::Paper8Cores,
+            Mechanisms::vb_only(),
+            opts,
+        );
+        let with = run_skeleton(
+            name,
+            32,
+            MachineSpec::Paper8Cores,
+            Mechanisms::optimized(),
+            opts,
+        );
+        let checks = with.bwd.checks.max(1);
+        let spec = 100.0 * (1.0 - with.bwd.false_positives as f64 / checks as f64);
+        let overhead = 100.0
+            * (with.makespan_ns as f64 / without.makespan_ns.max(1) as f64 - 1.0).max(0.0);
+        t.row([
+            name.to_string(),
+            checks.to_string(),
+            with.bwd.false_positives.to_string(),
+            format!("{spec:.2}"),
+            format!("{overhead:.2}"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Ablations (beyond the paper's tables)
+// ---------------------------------------------------------------------
+
+/// Ablation: BWD timer interval sweep on the `lu` skeleton (32T / 8c):
+/// detection latency vs timer overhead.
+pub fn ablation_bwd_interval(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["interval(us)", "makespan(s)", "detections", "checks"]);
+    for &us in &[25u64, 50, 100, 200, 400, 800] {
+        let profile = BenchProfile::by_name("lu").unwrap();
+        let mut wl = Skeleton::scaled(profile, 32, opts.scale);
+        let mut cfg = RunConfig::vanilla(8)
+            .with_machine(MachineSpec::Paper8Cores)
+            .with_mech(Mechanisms::optimized())
+            .with_seed(opts.seed);
+        cfg.bwd_params.interval_ns = us * MICROS;
+        let r = run_labelled(&mut wl, &cfg, "lu");
+        t.row([
+            us.to_string(),
+            fmt_s(&r),
+            r.bwd.detections.to_string(),
+            r.bwd.checks.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: LBR-only vs LBR+PMC detection heuristics — false positives on
+/// a blocking NPB benchmark with tight-loop bait.
+pub fn ablation_bwd_heuristics(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["heuristic", "FPs", "windows", "makespan(s)"]);
+    for (label, use_pmc) in [("LBR+PMC", true), ("LBR-only", false)] {
+        let profile = BenchProfile::by_name("cg").unwrap();
+        let mut wl = Skeleton::scaled(profile, 32, opts.scale);
+        let mut cfg = RunConfig::vanilla(8)
+            .with_machine(MachineSpec::Paper8Cores)
+            .with_mech(Mechanisms::optimized())
+            .with_seed(opts.seed);
+        cfg.bwd_params.use_pmc = use_pmc;
+        let r = run_labelled(&mut wl, &cfg, label);
+        t.row([
+            label.to_string(),
+            r.bwd.false_positives.to_string(),
+            r.bwd.checks.to_string(),
+            fmt_s(&r),
+        ]);
+    }
+    t
+}
+
+/// Ablation: VB's auto-disable heuristic under no oversubscription
+/// (8T / 8c): with the heuristic, VB defers to vanilla sleeps; without it,
+/// every wait is virtual.
+pub fn ablation_vb_auto_disable(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["arm", "makespan(s)", "virtual-waits", "sleep-waits"]);
+    for (label, auto) in [("auto-disable-on", true), ("auto-disable-off", false)] {
+        let profile = BenchProfile::by_name("streamcluster").unwrap();
+        let mut wl = Skeleton::scaled(profile, 8, opts.scale);
+        let mut cfg = RunConfig::vanilla(8)
+            .with_machine(MachineSpec::Paper8Cores)
+            .with_mech(Mechanisms::vb_only())
+            .with_seed(opts.seed);
+        cfg.mech.vb_auto_disable = auto;
+        let r = run_labelled(&mut wl, &cfg, label);
+        t.row([
+            label.to_string(),
+            fmt_s(&r),
+            r.blocking.virtual_waits.to_string(),
+            r.blocking.sleep_waits.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Multi-seed helpers and further extensions
+// ---------------------------------------------------------------------
+
+/// Run one skeleton arm across `seeds` seeds and summarize the makespan
+/// (virtual seconds). Runs are deterministic per seed; the spread captures
+/// sensitivity to workload jitter and placement.
+pub fn multi_seed_makespan(
+    name: &str,
+    threads: usize,
+    mech: Mechanisms,
+    opts: ExpOpts,
+    seeds: usize,
+) -> Summary {
+    let samples: Vec<f64> = (0..seeds.max(1))
+        .map(|k| {
+            let o = ExpOpts {
+                seed: opts.seed + k as u64 * 7919,
+                ..opts
+            };
+            run_skeleton(name, threads, MachineSpec::Paper8Cores, mech, o).makespan_secs()
+        })
+        .collect();
+    Summary::of(&samples)
+}
+
+/// Seed-sensitivity table: the Figure 9 headline arms across 5 seeds,
+/// reported as mean ± 95% CI — evidence the shapes are not seed artifacts.
+pub fn seed_sensitivity(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["benchmark", "8T(van)", "32T(van)", "32T(opt)"]);
+    for name in ["streamcluster", "cg", "lu"] {
+        let b = multi_seed_makespan(name, 8, Mechanisms::vanilla(), opts, 5);
+        let o = multi_seed_makespan(name, 32, Mechanisms::vanilla(), opts, 5);
+        let x = multi_seed_makespan(name, 32, Mechanisms::optimized(), opts, 5);
+        t.row([
+            name.to_string(),
+            b.display(3),
+            o.display(3),
+            x.display(3),
+        ]);
+    }
+    t
+}
+
+/// Ablation: migration-cost sensitivity — scale the cross-node refill
+/// multiplier and watch the vanilla oversubscription penalty move while
+/// the VB arm stays flat (it barely migrates).
+pub fn ablation_migration_cost(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["remote-mult", "32T(van)", "32T(opt)", "van-migr", "opt-migr"]);
+    for &mult in &[1.0f64, 1.6, 2.5, 4.0] {
+        let run = |mech: Mechanisms| {
+            let profile = BenchProfile::by_name("streamcluster").unwrap();
+            let mut wl = Skeleton::scaled(profile, 32, opts.scale);
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            cfg.cache.remote_dram_mult = mult;
+            run_labelled(&mut wl, &cfg, "streamcluster")
+        };
+        let van = run(Mechanisms::vanilla());
+        let opt = run(Mechanisms::optimized());
+        t.row([
+            format!("{mult:.1}"),
+            fmt_s(&van),
+            fmt_s(&opt),
+            van.tasks.migrations().to_string(),
+            opt.tasks.migrations().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: wakeup-path cost sweep — scale the fixed `try_to_wake_up`
+/// cost and watch vanilla blocking degrade while VB is untouched (it
+/// never takes that path).
+pub fn ablation_wakeup_cost(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["wakeup-fixed(ns)", "32T(van)", "32T(opt)"]);
+    for &ns in &[350u64, 700, 1_400, 2_800] {
+        let run = |mech: Mechanisms| {
+            let profile = BenchProfile::by_name("cg").unwrap();
+            let mut wl = Skeleton::scaled(profile, 32, opts.scale);
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            cfg.sched.wakeup_fixed_ns = ns;
+            run_labelled(&mut wl, &cfg, "cg")
+        };
+        t.row([
+            ns.to_string(),
+            fmt_s(&run(Mechanisms::vanilla())),
+            fmt_s(&run(Mechanisms::optimized())),
+        ]);
+    }
+    t
+}
+
+/// Extension: the §4.3 pipeline microbenchmark (cascading delays), flag
+/// flavour, across stage counts on 8 cores.
+pub fn ext_pipeline_cascade(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["stages", "vanilla(s)", "optimized(s)", "detections"]);
+    let items = ((240.0 * opts.scale).max(30.0)) as usize;
+    for &stages in &[8usize, 16, 32, 64] {
+        let run = |mech: Mechanisms| {
+            let mut wl = SpinPipeline::new(stages, items, WaitFlavor::Flags);
+            let cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            run_labelled(&mut wl, &cfg, "pipeline")
+        };
+        let van = run(Mechanisms::vanilla());
+        let opt = run(Mechanisms::bwd_only());
+        t.row([
+            stages.to_string(),
+            fmt_s(&van),
+            fmt_s(&opt),
+            opt.bwd.detections.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: huge pages — with 2 MiB pages the whole Figure 4 TLB story
+/// evaporates (64 L1-TLB entries then reach 128 MiB), so random-access
+/// oversubscription loses its TLB benefit. An extension of §2.3's
+/// analysis the paper alludes to via its 4 KiB-page arithmetic.
+pub fn ablation_hugepages(opts: ExpOpts) -> TextTable {
+    use oversub_workloads::micro::ArrayWalk;
+    let mut t = TextTable::new(["array", "rnd-r 4K pages(us/CS)", "rnd-r 2M pages(us/CS)"]);
+    let passes = ((24.0 * opts.scale).max(4.0)) as u64;
+    for &ws in &[512u64 << 10, 8 << 20, 64 << 20] {
+        let mut row = vec![if ws >= (1 << 20) {
+            format!("{}MB", ws >> 20)
+        } else {
+            format!("{}KB", ws >> 10)
+        }];
+        for page in [4096u64, 2 << 20] {
+            let run = |threads: usize| {
+                let mut wl = ArrayWalk {
+                    threads,
+                    total_ws: ws,
+                    pattern: AccessPattern::RndRead,
+                    passes,
+                };
+                let mut cfg = RunConfig::vanilla(1).with_seed(opts.seed);
+                cfg.cache.page_bytes = page;
+                run_labelled(&mut wl, &cfg, "hugepages")
+            };
+            let serial = run(1);
+            let over = run(2);
+            let ncs = over.cpus.context_switches.max(1);
+            let cost_us = (over.makespan_ns as f64 - serial.makespan_ns as f64)
+                / ncs as f64
+                / 1_000.0;
+            row.push(format!("{cost_us:.2}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Extension: dynamic threading (OpenMP-style per-region activation) vs
+/// oversubscription, the alternative the paper's related-work section
+/// argues against. A 32-thread pool runs region-heavy fork-join work on a
+/// varying number of cores: the "dynamic" arm activates exactly
+/// `cores` threads per region, the oversubscribed arms activate all 32.
+pub fn ext_forkjoin_dynamic_threading(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "cores", "dynamic(active=cores)", "32-active(vanilla)", "32-active(optimized)",
+    ]);
+    let regions = ((400.0 * opts.scale).max(60.0)) as usize;
+    for &cores in &[4usize, 8, 16] {
+        let run = |active: usize, mech: Mechanisms| {
+            // Region-heavy: little work per region, so the fork/join
+            // wake-ups dominate and the mechanisms matter.
+            let mut wl = ForkJoin {
+                pool: 32,
+                active,
+                regions,
+                chunks: 64,
+                chunk_ns: 8_000,
+            };
+            let cfg = RunConfig::vanilla(cores)
+                .with_machine(MachineSpec::PaperN(cores))
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            run_labelled(&mut wl, &cfg, "fork-join")
+        };
+        let dynamic = run(cores, Mechanisms::vanilla());
+        let naive = run(32, Mechanisms::vanilla());
+        let opt = run(32, Mechanisms::optimized());
+        t.row([
+            cores.to_string(),
+            fmt_s(&dynamic),
+            fmt_s(&naive),
+            fmt_s(&opt),
+        ]);
+    }
+    t
+}
+
+/// Extension: the CloudSuite-style web-serving workload (the paper cites
+/// its results as confirming the memcached findings).
+pub fn ext_web_serving(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["cores", "arm", "tput(op/s)", "p95(us)", "p99(us)"]);
+    let duration = SimTime::from_millis(((1_200.0 * opts.scale).max(250.0)) as u64);
+    for &cores in &[4usize, 8] {
+        let rate = 15_000.0 * cores as f64;
+        for (label, workers, mech) in [
+            ("4T(vanilla)", 4, Mechanisms::vanilla()),
+            ("16T(vanilla)", 16, Mechanisms::vanilla()),
+            ("16T(optimized)", 16, Mechanisms::optimized()),
+        ] {
+            let mut wl = WebServing::new(workers, cores, rate);
+            let cpus = wl.total_cpus();
+            let cfg = RunConfig::vanilla(cpus)
+                .with_mech(mech)
+                .with_seed(opts.seed)
+                .with_max_time(duration);
+            let r = run_labelled(&mut wl, &cfg, label);
+            t.row([
+                cores.to_string(),
+                label.to_string(),
+                format!("{:.0}", r.throughput_ops()),
+                format!("{}", r.latency.percentile(95.0) / 1_000),
+                format!("{}", r.latency.percentile(99.0) / 1_000),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOpts {
+        ExpOpts {
+            scale: 0.02,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig03_counts_all_benchmarks() {
+        let t = fig03_sync_intervals();
+        assert_eq!(t.len(), 11);
+        let total: usize = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn fig02_is_flat() {
+        let t = fig02_direct_cost(tiny());
+        assert_eq!(t.len(), 8);
+        // Direct CS cost must stay within a few percent at any thread
+        // count (the paper's 0.2% claim; we allow slack on tiny runs).
+        for line in t.to_csv().lines().skip(1) {
+            let v: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+            assert!((0.9..=1.1).contains(&v), "fig2 not flat: {line}");
+        }
+    }
+
+    #[test]
+    fn table2_sensitivity_is_high() {
+        let t = table2_bwd_tp(tiny());
+        assert_eq!(t.len(), 10);
+        for line in t.to_csv().lines().skip(1) {
+            let sens: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert!(sens > 80.0, "sensitivity too low: {line}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Efficient thread oversubscription via virtual blocking and busy-waiting
+//! detection — a full reproduction of the HPDC '21 system as a
+//! deterministic simulation library.
+//!
+//! # Quick start
+//!
+//! ```
+//! use oversub::{run, RunConfig, MachineSpec, Mechanisms};
+//! use oversub::workload::{Workload, WorldBuilder, ThreadSpec};
+//! use oversub_task::{Action, ScriptProgram};
+//!
+//! struct TinyBatch;
+//! impl Workload for TinyBatch {
+//!     fn name(&self) -> &str { "tiny" }
+//!     fn build(&mut self, w: &mut WorldBuilder) {
+//!         for _ in 0..4 {
+//!             w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(vec![
+//!                 Action::Compute { ns: 1_000_000 },
+//!                 Action::Exit,
+//!             ]))));
+//!         }
+//!     }
+//! }
+//!
+//! let report = run(&mut TinyBatch, &RunConfig::vanilla(2));
+//! assert!(report.makespan_ns >= 2_000_000); // 4 ms of work on 2 cores
+//! ```
+//!
+//! The crate exposes:
+//! - [`RunConfig`] / [`Mechanisms`] / [`MachineSpec`]: what to simulate.
+//! - [`workload::Workload`]: how benchmarks plug in.
+//! - [`run`] / [`run_labelled`]: execute and obtain a
+//!   [`oversub_metrics::RunReport`].
+
+pub mod config;
+mod engine;
+mod exec;
+pub mod experiments;
+pub mod trace;
+
+/// The workload interface (re-exported from `oversub-workloads`).
+pub use oversub_workloads::workload;
+
+pub use config::{ElasticEvent, MachineSpec, Mechanisms, RunConfig};
+pub use engine::{run, run_labelled, run_traced};
+pub use oversub_bwd::ExecEnv;
+pub use oversub_metrics::RunReport;
+
+// Re-export the layers a downstream user composes with.
+pub use oversub_hw as hw;
+pub use oversub_ksync as ksync;
+pub use oversub_locks as locks;
+pub use oversub_metrics as metrics;
+pub use oversub_sched as sched;
+pub use oversub_simcore as simcore;
+pub use oversub_task as task;
+pub use oversub_workloads as workloads;

@@ -1,0 +1,215 @@
+//! Execution tracing: an optional per-run timeline of scheduling events.
+//!
+//! Enable with [`crate::RunConfig::traced`]; the engine then records one
+//! [`TraceEvent`] per scheduling transition (bounded by
+//! [`TraceLog::CAPACITY`] — the newest events win). The log renders as a
+//! readable timeline and is the intended first stop when a workload
+//! misbehaves.
+
+use oversub_simcore::SimTime;
+use oversub_task::TaskId;
+use std::collections::VecDeque;
+
+/// One scheduling transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Task started running on the CPU.
+    Run,
+    /// Task left the CPU voluntarily (block / yield / exit).
+    Stop,
+    /// Task was preempted.
+    Preempt,
+    /// Task went to sleep in the kernel.
+    Sleep,
+    /// Task parked under virtual blocking.
+    VbPark,
+    /// Task was woken (kernel wakeup or VB flag clear).
+    Wake,
+    /// Task was migrated to this CPU.
+    Migrate,
+    /// BWD descheduled the task as a spinner.
+    BwdDeschedule,
+    /// PLE exited the task's spin loop.
+    PleExit,
+}
+
+impl TraceKind {
+    /// Short label for the timeline.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Run => "run",
+            TraceKind::Stop => "stop",
+            TraceKind::Preempt => "preempt",
+            TraceKind::Sleep => "sleep",
+            TraceKind::VbPark => "vb-park",
+            TraceKind::Wake => "wake",
+            TraceKind::Migrate => "migrate",
+            TraceKind::BwdDeschedule => "bwd",
+            TraceKind::PleExit => "ple",
+        }
+    }
+}
+
+/// One timeline entry.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// When.
+    pub at: SimTime,
+    /// Which CPU.
+    pub cpu: usize,
+    /// Which task.
+    pub task: TaskId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded scheduling-event log.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Maximum retained events (newest win).
+    pub const CAPACITY: usize = 65_536;
+
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        TraceLog::default()
+    }
+
+    /// An enabled log.
+    pub fn enabled() -> Self {
+        TraceLog {
+            enabled: true,
+            ..TraceLog::default()
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, at: SimTime, cpu: usize, task: TaskId, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= Self::CAPACITY {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            cpu,
+            task,
+            kind,
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that fell off the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the newest `limit` events as a timeline.
+    pub fn render_tail(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let skip = self.events.len().saturating_sub(limit);
+        for e in self.events.iter().skip(skip) {
+            let _ = writeln!(
+                out,
+                "{:>14}  cpu{:<2} {:>4}  {}",
+                e.at.to_string(),
+                e.cpu,
+                e.task.to_string(),
+                e.kind.label()
+            );
+        }
+        out
+    }
+
+    /// Per-task event counts of a given kind (handy in tests: e.g. how many
+    /// times was T3 BWD-descheduled?).
+    pub fn count(&self, task: TaskId, kind: TraceKind) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.task == task && e.kind == kind)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut l = TraceLog::disabled();
+        l.record(SimTime::ZERO, 0, TaskId(0), TraceKind::Run);
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut l = TraceLog::enabled();
+        l.record(SimTime::from_nanos(1), 0, TaskId(0), TraceKind::Run);
+        l.record(SimTime::from_nanos(2), 0, TaskId(0), TraceKind::Preempt);
+        l.record(SimTime::from_nanos(3), 1, TaskId(1), TraceKind::Wake);
+        assert_eq!(l.len(), 3);
+        let kinds: Vec<_> = l.events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TraceKind::Run, TraceKind::Preempt, TraceKind::Wake]
+        );
+        assert_eq!(l.count(TaskId(0), TraceKind::Run), 1);
+        assert_eq!(l.count(TaskId(1), TraceKind::Run), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut l = TraceLog::enabled();
+        for i in 0..(TraceLog::CAPACITY + 10) {
+            l.record(SimTime::from_nanos(i as u64), 0, TaskId(0), TraceKind::Run);
+        }
+        assert_eq!(l.len(), TraceLog::CAPACITY);
+        assert_eq!(l.dropped(), 10);
+        assert_eq!(
+            l.events().next().unwrap().at,
+            SimTime::from_nanos(10),
+            "oldest events dropped"
+        );
+    }
+
+    #[test]
+    fn render_tail_limits() {
+        let mut l = TraceLog::enabled();
+        for i in 0..10 {
+            l.record(SimTime::from_nanos(i), 0, TaskId(0), TraceKind::Run);
+        }
+        let s = l.render_tail(3);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("run"));
+    }
+}

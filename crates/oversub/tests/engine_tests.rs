@@ -1,0 +1,904 @@
+//! Integration tests of the simulation engine: scheduling, blocking,
+//! spinning, VB, BWD, elasticity, and determinism.
+
+use oversub::workload::{ThreadSpec, Workload, WorldBuilder};
+use oversub::{run, run_labelled, ElasticEvent, MachineSpec, Mechanisms, RunConfig, RunReport};
+use oversub_simcore::{SimTime, MILLIS};
+use oversub_task::{Action, BarrierId, LockId, ProgCtx, Program, ScriptProgram, SpinSig, SyncOp};
+
+// ---------------------------------------------------------------------
+// Workload helpers
+// ---------------------------------------------------------------------
+
+/// `threads` independent compute tasks of `ns` each.
+struct ComputeBatch {
+    threads: usize,
+    ns: u64,
+}
+
+impl Workload for ComputeBatch {
+    fn name(&self) -> &str {
+        "compute-batch"
+    }
+    fn build(&mut self, w: &mut WorldBuilder) {
+        for _ in 0..self.threads {
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(vec![
+                Action::Compute { ns: self.ns },
+            ]))));
+        }
+    }
+}
+
+/// Barrier-synchronized phases: `iters` rounds of compute + barrier.
+struct BarrierBench {
+    threads: usize,
+    iters: usize,
+    compute_ns: u64,
+}
+
+impl Workload for BarrierBench {
+    fn name(&self) -> &str {
+        "barrier-bench"
+    }
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let b: BarrierId = w.barrier(self.threads);
+        for i in 0..self.threads {
+            let mut script = Vec::with_capacity(self.iters * 2 + 1);
+            for k in 0..self.iters {
+                // Slightly staggered compute so arrivals are not all
+                // simultaneous (deterministic, per-thread).
+                let ns = self.compute_ns + (i as u64 * 37 + k as u64 * 13) % 500;
+                script.push(Action::Compute { ns });
+                script.push(Action::Sync(SyncOp::BarrierWait(b)));
+            }
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+    }
+}
+
+/// Mutex-protected critical sections.
+struct MutexBench {
+    threads: usize,
+    iters: usize,
+    cs_ns: u64,
+    out_ns: u64,
+}
+
+impl Workload for MutexBench {
+    fn name(&self) -> &str {
+        "mutex-bench"
+    }
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let m: LockId = w.mutex();
+        for _ in 0..self.threads {
+            let mut script = Vec::new();
+            for _ in 0..self.iters {
+                script.push(Action::Sync(SyncOp::MutexLock(m)));
+                script.push(Action::Compute { ns: self.cs_ns });
+                script.push(Action::Sync(SyncOp::MutexUnlock(m)));
+                script.push(Action::Compute { ns: self.out_ns });
+            }
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+    }
+}
+
+/// Spinlock-protected critical sections.
+struct SpinBench {
+    threads: usize,
+    iters: usize,
+    cs_ns: u64,
+    out_ns: u64,
+    policy: oversub::locks::SpinPolicy,
+}
+
+impl Workload for SpinBench {
+    fn name(&self) -> &str {
+        "spin-bench"
+    }
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let l = w.spinlock(self.policy);
+        for _ in 0..self.threads {
+            let mut script = Vec::new();
+            for _ in 0..self.iters {
+                script.push(Action::Sync(SyncOp::SpinAcquire(l)));
+                script.push(Action::Compute { ns: self.cs_ns });
+                script.push(Action::Sync(SyncOp::SpinRelease(l)));
+                script.push(Action::Compute { ns: self.out_ns });
+            }
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+    }
+}
+
+/// Producer/consumer over a condition variable.
+struct CondBench {
+    consumers: usize,
+    rounds: usize,
+}
+
+impl Workload for CondBench {
+    fn name(&self) -> &str {
+        "cond-bench"
+    }
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let m = w.mutex();
+        let cv = w.condvar();
+        // Consumers: lock, wait, unlock — repeated.
+        for _ in 0..self.consumers {
+            let mut script = Vec::new();
+            for _ in 0..self.rounds {
+                script.push(Action::Sync(SyncOp::MutexLock(m)));
+                script.push(Action::Sync(SyncOp::CondWait { cond: cv, mutex: m }));
+                script.push(Action::Compute { ns: 2_000 });
+                script.push(Action::Sync(SyncOp::MutexUnlock(m)));
+            }
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+        // Producer: periodically broadcast.
+        let consumers = self.consumers;
+        let rounds = self.rounds;
+        let mut script = Vec::new();
+        for _ in 0..rounds {
+            script.push(Action::Compute { ns: 200_000 });
+            script.push(Action::Sync(SyncOp::CondBroadcast(cv)));
+        }
+        let _ = consumers;
+        w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+    }
+}
+
+/// A flag-passing pipeline: stage i spins until flag[i] == round, then
+/// computes and releases flag[i+1] (custom busy-waiting, Figure 14 style).
+struct FlagPipeline {
+    stages: usize,
+    rounds: usize,
+    work_ns: u64,
+}
+
+struct StageProg {
+    my_flag: oversub_task::FlagId,
+    next_flag: Option<oversub_task::FlagId>,
+    sig: SpinSig,
+    rounds: usize,
+    work_ns: u64,
+    round: usize,
+    step: u8,
+}
+
+impl Program for StageProg {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.rounds {
+            return Action::Exit;
+        }
+        match self.step {
+            0 => {
+                self.step = 1;
+                // Wait until my flag reaches round+1 (spin while it equals
+                // the current round value).
+                Action::Sync(SyncOp::FlagSpinWhileEq {
+                    flag: self.my_flag,
+                    while_eq: self.round as u64,
+                    sig: self.sig,
+                })
+            }
+            1 => {
+                self.step = 2;
+                Action::Compute { ns: self.work_ns }
+            }
+            _ => {
+                self.step = 0;
+                self.round += 1;
+                match self.next_flag {
+                    Some(f) => Action::Sync(SyncOp::FlagSet {
+                        flag: f,
+                        value: self.round as u64,
+                    }),
+                    None => Action::Compute { ns: 1 },
+                }
+            }
+        }
+    }
+}
+
+/// The driver stage that kicks each round.
+struct DriverProg {
+    first_flag: oversub_task::FlagId,
+    rounds: usize,
+    round: usize,
+    work_ns: u64,
+    step: u8,
+    last_flag: oversub_task::FlagId,
+    sig: SpinSig,
+}
+
+impl Program for DriverProg {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.rounds {
+            return Action::Exit;
+        }
+        match self.step {
+            0 => {
+                self.step = 1;
+                Action::Compute { ns: self.work_ns }
+            }
+            1 => {
+                self.step = 2;
+                Action::Sync(SyncOp::FlagSet {
+                    flag: self.first_flag,
+                    value: self.round as u64 + 1,
+                })
+            }
+            _ => {
+                self.step = 0;
+                self.round += 1;
+                // Wait for the pipeline to complete the round.
+                Action::Sync(SyncOp::FlagSpinWhileEq {
+                    flag: self.last_flag,
+                    while_eq: self.round as u64 - 1,
+                    sig: self.sig,
+                })
+            }
+        }
+    }
+}
+
+impl Workload for FlagPipeline {
+    fn name(&self) -> &str {
+        "flag-pipeline"
+    }
+    fn build(&mut self, w: &mut WorldBuilder) {
+        // flags[0] is set by the driver; stage i waits on flags[i], sets
+        // flags[i+1]; the driver waits on flags[stages].
+        let flags: Vec<_> = (0..=self.stages).map(|_| w.flag(0)).collect();
+        for i in 0..self.stages {
+            w.spawn(ThreadSpec::new(Box::new(StageProg {
+                my_flag: flags[i],
+                next_flag: Some(flags[i + 1]),
+                sig: SpinSig::bare_loop(i as u64 + 1),
+                rounds: self.rounds,
+                work_ns: self.work_ns,
+                round: 0,
+                step: 0,
+            })));
+        }
+        w.spawn(ThreadSpec::new(Box::new(DriverProg {
+            first_flag: flags[0],
+            last_flag: flags[self.stages],
+            rounds: self.rounds,
+            round: 0,
+            work_ns: self.work_ns,
+            step: 0,
+            sig: SpinSig::bare_loop(99),
+        })));
+    }
+}
+
+fn secs(r: &RunReport) -> f64 {
+    r.makespan_secs()
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[test]
+fn compute_batch_scales_with_cores() {
+    // 8 threads x 10ms on 8 cores: ~10ms. Same on 2 cores: ~40ms.
+    let ms10 = 10 * MILLIS;
+    let r8 = run(
+        &mut ComputeBatch {
+            threads: 8,
+            ns: ms10,
+        },
+        &RunConfig::vanilla(8),
+    );
+    let r2 = run(
+        &mut ComputeBatch {
+            threads: 8,
+            ns: ms10,
+        },
+        &RunConfig::vanilla(2),
+    );
+    assert!(
+        (r8.makespan_ns as f64) < 1.05 * ms10 as f64,
+        "8 on 8 should be ~10ms, got {}",
+        r8.makespan_ns
+    );
+    let ratio = r2.makespan_ns as f64 / r8.makespan_ns as f64;
+    assert!(
+        (3.5..=4.5).contains(&ratio),
+        "2 cores should be ~4x slower, got {ratio}"
+    );
+}
+
+#[test]
+fn oversubscribed_compute_has_negligible_overhead() {
+    // The paper's core claim for compute-bound work: 32T on 8 cores is
+    // barely slower than 8T on 8 cores (same total work).
+    let total_work = 320 * MILLIS;
+    let r8 = run(
+        &mut ComputeBatch {
+            threads: 8,
+            ns: total_work / 8,
+        },
+        &RunConfig::vanilla(8),
+    );
+    let r32 = run(
+        &mut ComputeBatch {
+            threads: 32,
+            ns: total_work / 32,
+        },
+        &RunConfig::vanilla(8),
+    );
+    let ratio = r32.makespan_ns as f64 / r8.makespan_ns as f64;
+    assert!(
+        (0.95..=1.10).contains(&ratio),
+        "oversubscribed compute ratio {ratio}"
+    );
+}
+
+#[test]
+fn barrier_bench_runs_and_vb_helps_oversubscribed() {
+    let mk = || BarrierBench {
+        threads: 32,
+        iters: 60,
+        compute_ns: 300_000,
+    };
+    let vanilla = run_labelled(&mut mk(), &RunConfig::vanilla(8), "32T(vanilla)");
+    let vb = run_labelled(
+        &mut mk(),
+        &RunConfig::vanilla(8).with_mech(Mechanisms::vb_only()),
+        "32T(optimized)",
+    );
+    // VB must meaningfully reduce execution time for group wakeups.
+    assert!(
+        vb.makespan_ns < vanilla.makespan_ns,
+        "VB {} should beat vanilla {}",
+        secs(&vb),
+        secs(&vanilla)
+    );
+    // And use virtual waits rather than sleeps.
+    assert!(vb.blocking.virtual_waits > 0, "VB path must be exercised");
+    assert!(vanilla.blocking.virtual_waits == 0);
+    // VB slashes migrations.
+    assert!(
+        vb.tasks.migrations() * 4 < vanilla.tasks.migrations().max(4),
+        "VB migrations {} vs vanilla {}",
+        vb.tasks.migrations(),
+        vanilla.tasks.migrations()
+    );
+}
+
+#[test]
+fn barrier_not_oversubscribed_unaffected_by_vb() {
+    let mk = || BarrierBench {
+        threads: 8,
+        iters: 40,
+        compute_ns: 300_000,
+    };
+    let vanilla = run(&mut mk(), &RunConfig::vanilla(8));
+    let vb = run(&mut mk(), &RunConfig::vanilla(8).with_mech(Mechanisms::vb_only()));
+    let ratio = vb.makespan_ns as f64 / vanilla.makespan_ns as f64;
+    assert!(
+        (0.8..=1.2).contains(&ratio),
+        "VB should be neutral without oversubscription: {ratio}"
+    );
+}
+
+#[test]
+fn mutex_bench_critical_sections_serialize() {
+    // 4 threads x 100 sections x 50µs CS on 4 cores: lower bound is the
+    // serialized CS time = 20ms.
+    let r = run(
+        &mut MutexBench {
+            threads: 4,
+            iters: 100,
+            cs_ns: 50_000,
+            out_ns: 1_000,
+        },
+        &RunConfig::vanilla(4),
+    );
+    assert!(
+        r.makespan_ns >= 20 * MILLIS,
+        "critical sections must serialize: {}",
+        r.makespan_ns
+    );
+    assert!(
+        r.makespan_ns < 40 * MILLIS,
+        "but not be pathologically slow: {}",
+        r.makespan_ns
+    );
+}
+
+#[test]
+fn spinlock_undersubscribed_is_fast() {
+    let r = run(
+        &mut SpinBench {
+            threads: 4,
+            iters: 50,
+            cs_ns: 20_000,
+            out_ns: 20_000,
+            policy: oversub::locks::SpinPolicy::mcs(),
+        },
+        &RunConfig::vanilla(4),
+    );
+    // Serialized CS floor: 50 * 4 * 20µs = 4ms. Spinning costs nothing
+    // extra with dedicated cores.
+    assert!(r.makespan_ns >= 4 * MILLIS);
+    assert!(
+        r.makespan_ns < 8 * MILLIS,
+        "undersubscribed spin too slow: {}",
+        r.makespan_ns
+    );
+}
+
+#[test]
+fn oversubscribed_spinning_collapses_and_bwd_rescues() {
+    let mk = || SpinBench {
+        threads: 16,
+        iters: 40,
+        cs_ns: 20_000,
+        out_ns: 20_000,
+        policy: oversub::locks::SpinPolicy::mcs(),
+    };
+    let base = run(
+        &mut SpinBench {
+            threads: 4,
+            iters: 160, // same total work
+            cs_ns: 20_000,
+            out_ns: 20_000,
+            policy: oversub::locks::SpinPolicy::mcs(),
+        },
+        &RunConfig::vanilla(4),
+    );
+    let vanilla = run(&mut mk(), &RunConfig::vanilla(4));
+    let bwd = run(&mut mk(), &RunConfig::vanilla(4).with_mech(Mechanisms::bwd_only()));
+    // Vanilla oversubscribed spinning is far slower than baseline.
+    let collapse = vanilla.makespan_ns as f64 / base.makespan_ns as f64;
+    assert!(
+        collapse > 3.0,
+        "expected spin collapse, got only {collapse}x"
+    );
+    // BWD recovers most of it.
+    assert!(
+        bwd.makespan_ns * 2 < vanilla.makespan_ns,
+        "BWD {} should be >=2x faster than vanilla {}",
+        secs(&bwd),
+        secs(&vanilla)
+    );
+    assert!(bwd.bwd.detections > 0);
+    assert!(bwd.tasks.bwd_deschedules > 0);
+    // Vanilla wastes most busy time spinning; BWD does not.
+    assert!(vanilla.cpus.spin_ns > vanilla.cpus.useful_ns);
+}
+
+#[test]
+fn condvar_broadcast_wakes_everyone() {
+    let r = run(
+        &mut CondBench {
+            consumers: 8,
+            rounds: 10,
+        },
+        &RunConfig::vanilla(4),
+    );
+    // All tasks must have exited (no deadlock): makespan below the cap.
+    assert!(r.makespan_ns < SimTime::from_secs(500).as_nanos());
+    assert!(r.blocking.wakes > 0);
+}
+
+#[test]
+fn flag_pipeline_progresses_and_bwd_helps_oversubscribed() {
+    let mk = || FlagPipeline {
+        stages: 8,
+        rounds: 30,
+        work_ns: 50_000,
+    };
+    // Undersubscribed: 9 tasks on 9 cores.
+    let under = run(&mut mk(), &RunConfig::vanilla(9));
+    assert!(
+        under.makespan_ns < 100 * MILLIS,
+        "pipeline should fly undersubscribed: {}",
+        under.makespan_ns
+    );
+    // Oversubscribed on 2 cores.
+    let vanilla = run(&mut mk(), &RunConfig::vanilla(2));
+    let bwd = run(&mut mk(), &RunConfig::vanilla(2).with_mech(Mechanisms::bwd_only()));
+    assert!(
+        bwd.makespan_ns < vanilla.makespan_ns,
+        "BWD {} vs vanilla {}",
+        secs(&bwd),
+        secs(&vanilla)
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let mk = || BarrierBench {
+        threads: 16,
+        iters: 20,
+        compute_ns: 200_000,
+    };
+    let a = run(&mut mk(), &RunConfig::vanilla(4).with_seed(7));
+    let b = run(&mut mk(), &RunConfig::vanilla(4).with_seed(7));
+    assert_eq!(a.makespan_ns, b.makespan_ns);
+    assert_eq!(a.tasks.migrations(), b.tasks.migrations());
+    assert_eq!(a.cpus.context_switches, b.cpus.context_switches);
+    assert_eq!(a.blocking.wakes, b.blocking.wakes);
+}
+
+#[test]
+fn time_accounting_is_conserved() {
+    let r = run(
+        &mut MutexBench {
+            threads: 8,
+            iters: 50,
+            cs_ns: 10_000,
+            out_ns: 30_000,
+        },
+        &RunConfig::vanilla(4),
+    );
+    // Sum of per-cpu buckets must equal cpus * makespan (within rounding
+    // slack per event).
+    let total = r.cpus.useful_ns + r.cpus.spin_ns + r.cpus.kernel_ns + r.cpus.idle_ns;
+    let expect = r.makespan_ns * 4;
+    let slack = expect / 100 + 1_000_000;
+    assert!(
+        total.abs_diff(expect) < slack,
+        "accounting drift: buckets {total} vs {expect}"
+    );
+}
+
+#[test]
+fn elasticity_speeds_up_when_cores_grow() {
+    let mk = || ComputeBatch {
+        threads: 32,
+        ns: 20 * MILLIS,
+    };
+    let base = run(
+        &mut mk(),
+        &RunConfig::vanilla(32).with_machine(MachineSpec::PaperN(32)),
+    );
+    // Start with 8 online cores, grow to 32 after 20 ms.
+    let mut cfg = RunConfig::vanilla(32).with_machine(MachineSpec::PaperN(32));
+    cfg.initial_cores = Some(8);
+    cfg.elastic = vec![ElasticEvent {
+        at: SimTime::from_millis(20),
+        cores: 32,
+    }];
+    let grown = run(&mut mk(), &cfg);
+    // Must be slower than always-32 but far faster than always-8 (80ms).
+    assert!(grown.makespan_ns > base.makespan_ns);
+    assert!(
+        grown.makespan_ns < 70 * MILLIS,
+        "cores were added, run should accelerate: {}",
+        grown.makespan_ns
+    );
+    // Shrink case: start 8, drop to 2.
+    let mut cfg = RunConfig::vanilla(8);
+    cfg.elastic = vec![ElasticEvent {
+        at: SimTime::from_millis(20),
+        cores: 2,
+    }];
+    let shrunk = run(&mut mk(), &cfg);
+    assert!(
+        shrunk.makespan_ns > 150 * MILLIS,
+        "losing cores must slow the run: {}",
+        shrunk.makespan_ns
+    );
+}
+
+#[test]
+fn pinned_threads_stay_put() {
+    let mut cfg = RunConfig::vanilla(4);
+    cfg.pinned = true;
+    let r = run(
+        &mut BarrierBench {
+            threads: 16,
+            iters: 20,
+            compute_ns: 100_000,
+        },
+        &cfg,
+    );
+    assert_eq!(r.tasks.migrations(), 0, "pinned tasks must never migrate");
+}
+
+#[test]
+fn smt_machine_is_slower_than_real_cores() {
+    let mk = || ComputeBatch {
+        threads: 8,
+        ns: 10 * MILLIS,
+    };
+    let cores8 = run(
+        &mut mk(),
+        &RunConfig::vanilla(8).with_machine(MachineSpec::Paper8Cores),
+    );
+    let ht8 = run(
+        &mut mk(),
+        &RunConfig::vanilla(8).with_machine(MachineSpec::Paper8Hyperthreads),
+    );
+    assert!(
+        ht8.makespan_ns > (cores8.makespan_ns as f64 * 1.3) as u64,
+        "8 HT on 4 cores should be markedly slower: {} vs {}",
+        ht8.makespan_ns,
+        cores8.makespan_ns
+    );
+}
+
+#[test]
+fn vanilla_wakeups_cost_more_with_more_waiters() {
+    // Mean wakeup latency under heavy oversubscription should exceed the
+    // undersubscribed case.
+    let over = run(
+        &mut BarrierBench {
+            threads: 32,
+            iters: 30,
+            compute_ns: 200_000,
+        },
+        &RunConfig::vanilla(8),
+    );
+    let under = run(
+        &mut BarrierBench {
+            threads: 8,
+            iters: 30,
+            compute_ns: 200_000,
+        },
+        &RunConfig::vanilla(8),
+    );
+    assert!(
+        over.tasks.mean_wakeup_latency_ns() > under.tasks.mean_wakeup_latency_ns(),
+        "oversubscribed wakeups should be slower: {} vs {}",
+        over.tasks.mean_wakeup_latency_ns(),
+        under.tasks.mean_wakeup_latency_ns()
+    );
+}
+
+#[test]
+fn traced_runs_record_the_timeline() {
+    use oversub::run_traced;
+    use oversub::trace::TraceKind;
+    let mut wl = BarrierBench {
+        threads: 8,
+        iters: 10,
+        compute_ns: 100_000,
+    };
+    let cfg = RunConfig::vanilla(2).with_seed(3).traced();
+    let (report, trace) = run_traced(&mut wl, &cfg);
+    assert!(report.makespan_ns > 0);
+    assert!(!trace.is_empty(), "trace must record events");
+    // Every thread ran and slept at least once.
+    for i in 0..8 {
+        let t = oversub_task::TaskId(i);
+        assert!(trace.count(t, TraceKind::Run) > 0, "T{i} never ran");
+        assert!(trace.count(t, TraceKind::Sleep) > 0, "T{i} never slept");
+        assert!(trace.count(t, TraceKind::Wake) > 0, "T{i} never woken");
+    }
+    // The rendered tail is non-empty and mentions the kinds.
+    let tail = trace.render_tail(50);
+    assert!(tail.contains("run"));
+    // Untraced runs record nothing.
+    let (_, quiet) = run_traced(
+        &mut BarrierBench {
+            threads: 4,
+            iters: 5,
+            compute_ns: 100_000,
+        },
+        &RunConfig::vanilla(2),
+    );
+    assert!(quiet.is_empty());
+}
+
+#[test]
+fn ple_fires_only_for_pause_loops_inside_vms() {
+    let run = |policy: oversub::locks::SpinPolicy, vm: bool| {
+        let mut wl = SpinBench {
+            threads: 8,
+            iters: 30,
+            cs_ns: 150_000,
+            out_ns: 50_000,
+            policy,
+        };
+        let mut cfg = RunConfig::vanilla(2).with_mech(Mechanisms::ple_only());
+        if vm {
+            cfg = cfg.in_vm();
+        }
+        run_labelled(&mut wl, &cfg, "ple-probe")
+    };
+    // PAUSE-based loop in a VM: PLE exits happen.
+    let pause_vm = run(oversub::locks::SpinPolicy::pthread(), true);
+    assert!(pause_vm.bwd.ple_exits > 0, "PLE must see PAUSE loops in VMs");
+    // Bare loop in a VM: invisible.
+    let bare_vm = run(oversub::locks::SpinPolicy::ttas(), true);
+    assert_eq!(bare_vm.bwd.ple_exits, 0, "bare loops are invisible to PLE");
+    // PAUSE loop in a container: no VM exits to take.
+    let pause_ct = run(oversub::locks::SpinPolicy::pthread(), false);
+    assert_eq!(pause_ct.bwd.ple_exits, 0, "PLE does nothing for containers");
+}
+
+#[test]
+fn bwd_sees_all_loop_shapes() {
+    // The same probe, but BWD detects both shapes in both environments.
+    for policy in [
+        oversub::locks::SpinPolicy::pthread(),
+        oversub::locks::SpinPolicy::ttas(),
+    ] {
+        let mut wl = SpinBench {
+            threads: 8,
+            iters: 30,
+            cs_ns: 150_000,
+            out_ns: 50_000,
+            policy,
+        };
+        let cfg = RunConfig::vanilla(2).with_mech(Mechanisms::bwd_only());
+        let r = run_labelled(&mut wl, &cfg, "bwd-probe");
+        assert!(
+            r.bwd.detections > 0,
+            "BWD must detect {} loops",
+            policy.name
+        );
+    }
+}
+
+/// Two equal compute tasks, the second with the given weight.
+struct WeightedBatch {
+    second_weight: u32,
+}
+
+impl Workload for WeightedBatch {
+    fn name(&self) -> &str {
+        "weighted"
+    }
+    fn build(&mut self, w: &mut WorldBuilder) {
+        for i in 0..2 {
+            let spec = ThreadSpec::new(Box::new(ScriptProgram::once(vec![
+                Action::Compute { ns: 40_000_000 },
+            ])));
+            let spec = if i == 1 {
+                spec.with_weight(self.second_weight)
+            } else {
+                spec
+            };
+            w.spawn(spec);
+        }
+    }
+}
+
+#[test]
+fn task_weights_shift_cpu_shares() {
+    use oversub::run_traced;
+    // Equal weights: the core is split evenly, makespan ~= total work.
+    let (even, _) = run_traced(
+        &mut WeightedBatch {
+            second_weight: 1024,
+        },
+        &RunConfig::vanilla(1),
+    );
+    assert!((78_000_000..=86_000_000).contains(&even.makespan_ns));
+    // A half-weight second task accrues vruntime twice as fast, so the
+    // nice-0 task finishes earlier and the total run is unchanged — but
+    // the heavier task must get the CPU roughly 2:1 while both live.
+    let (niced, trace) = run_traced(
+        &mut WeightedBatch { second_weight: 512 },
+        &RunConfig::vanilla(1).traced(),
+    );
+    assert!((78_000_000..=90_000_000).contains(&niced.makespan_ns));
+    // The nice-0 task is descheduled less often than the niced one early
+    // on; crude but effective check: it runs at least as many stints.
+    use oversub::trace::TraceKind;
+    let runs0 = trace.count(oversub_task::TaskId(0), TraceKind::Run);
+    let runs1 = trace.count(oversub_task::TaskId(1), TraceKind::Run);
+    assert!(runs0 >= 1 && runs1 >= 1);
+}
+
+#[test]
+fn elastic_shrink_with_pinned_threads_stalls_and_is_visible() {
+    // Pinned threads whose CPU goes offline never run again — the paper's
+    // "programs crashed when CPU count decreased" for pinning. The run
+    // must hit its cap with live tasks rather than panic.
+    let mut wl = BarrierBench {
+        threads: 8,
+        iters: 50,
+        compute_ns: 200_000,
+    };
+    let mut cfg = RunConfig::vanilla(8).pinned();
+    cfg.max_time = Some(SimTime::from_millis(200));
+    cfg.elastic = vec![ElasticEvent {
+        at: SimTime::from_millis(5),
+        cores: 2,
+    }];
+    let r = run(&mut wl, &cfg);
+    assert_eq!(
+        r.makespan_ns, 200_000_000,
+        "pinned threads on offline cores must stall the barrier"
+    );
+}
+
+#[test]
+fn elastic_shrink_without_pinning_completes() {
+    let mut wl = BarrierBench {
+        threads: 8,
+        iters: 50,
+        compute_ns: 200_000,
+    };
+    let mut cfg = RunConfig::vanilla(8);
+    cfg.max_time = Some(SimTime::from_secs(5));
+    cfg.elastic = vec![ElasticEvent {
+        at: SimTime::from_millis(5),
+        cores: 2,
+    }];
+    let r = run(&mut wl, &cfg);
+    assert!(
+        r.makespan_ns < 1_000_000_000,
+        "unpinned threads migrate off offline cores: {}",
+        r.makespan_ns
+    );
+}
+
+#[test]
+fn vb_parked_tasks_survive_core_offlining() {
+    // Tasks parked under VB sit on the offlined CPU's queue; the elastic
+    // handler must move them and their wakes must still work.
+    let mut wl = BarrierBench {
+        threads: 16,
+        iters: 40,
+        compute_ns: 150_000,
+    };
+    let mut cfg = RunConfig::vanilla(8).with_mech(Mechanisms::vb_only());
+    cfg.max_time = Some(SimTime::from_secs(10));
+    cfg.elastic = vec![
+        ElasticEvent {
+            at: SimTime::from_millis(3),
+            cores: 2,
+        },
+        ElasticEvent {
+            at: SimTime::from_millis(30),
+            cores: 8,
+        },
+    ];
+    let r = run(&mut wl, &cfg);
+    assert!(
+        r.makespan_ns < 2_000_000_000,
+        "VB-parked tasks lost across offlining: {}",
+        r.makespan_ns
+    );
+    assert!(r.blocking.virtual_waits > 0);
+}
+
+#[test]
+fn wake_never_lands_on_offline_or_disallowed_cpu() {
+    // Regression for the select_cpu fallback: a task whose cpuset excludes
+    // every online CPU must still be placed on an online CPU (affinity is
+    // broken rather than stranding the task forever).
+    struct Restricted;
+    impl Workload for Restricted {
+        fn name(&self) -> &str {
+            "restricted"
+        }
+        fn build(&mut self, w: &mut WorldBuilder) {
+            for _ in 0..4 {
+                let mut script = Vec::new();
+                for _ in 0..40 {
+                    script.push(Action::IoWait { ns: 50_000 });
+                    script.push(Action::Compute { ns: 50_000 });
+                }
+                // Allowed only on cpus 2..4, which go offline mid-run.
+                w.spawn(
+                    ThreadSpec::new(Box::new(ScriptProgram::once(script)))
+                        .allowed_range(2, 4),
+                );
+            }
+        }
+    }
+    let mut cfg = RunConfig::vanilla(4);
+    cfg.max_time = Some(SimTime::from_secs(5));
+    cfg.elastic = vec![ElasticEvent {
+        at: SimTime::from_millis(1),
+        cores: 2,
+    }];
+    let r = run(&mut Restricted, &cfg);
+    assert!(
+        r.makespan_ns < 2_000_000_000,
+        "tasks stranded after their cpuset went offline: {}",
+        r.makespan_ns
+    );
+}

@@ -1,0 +1,110 @@
+//! Scheduler model parameters.
+//!
+//! Defaults reproduce the paper's platform: Linux 5.1 CFS with a 3 ms
+//! target latency, 750 µs minimum granularity, and a measured direct
+//! context-switch cost of 1.5 µs.
+
+use oversub_simcore::{KernelLockParams, MICROS, MILLIS};
+
+/// Tunables of the CFS model and of the vanilla wakeup path.
+#[derive(Clone, Debug)]
+pub struct SchedParams {
+    /// CFS `sched_latency`: the window in which every runnable task should
+    /// run once ("regular time slice is 3 ms" in the paper's terms).
+    pub target_latency_ns: u64,
+    /// CFS `sched_min_granularity`: minimum slice before preemption.
+    pub min_granularity_ns: u64,
+    /// CFS `sched_wakeup_granularity`: vruntime headroom a waking task
+    /// needs to preempt the current one.
+    pub wakeup_granularity_ns: u64,
+    /// Direct cost of one context switch (mode switch + runqueue ops +
+    /// register state) — the paper measures 1.5 µs.
+    pub ctx_switch_ns: u64,
+    /// Cost of entering the kernel for a blocking syscall (trap + path to
+    /// schedule()).
+    pub syscall_entry_ns: u64,
+    /// Fixed cost of `try_to_wake_up` excluding core selection and rq lock
+    /// wait (state checks, enqueue, preemption test).
+    pub wakeup_fixed_ns: u64,
+    /// Per-candidate-CPU cost of `select_idle_sibling` / idlest-core scan.
+    pub wakeup_scan_per_cpu_ns: u64,
+    /// Hold time of the runqueue lock during a wake-enqueue.
+    pub rq_lock_hold_ns: u64,
+    /// Cost model of each per-CPU runqueue lock.
+    pub rq_lock: KernelLockParams,
+    /// Cost of clearing a virtual-blocking flag and re-positioning the task
+    /// in its runqueue (the whole VB wake path).
+    pub vb_wake_ns: u64,
+    /// Cost of one VB poll visit when every task on a core is parked (each
+    /// parked thread briefly runs to check its flag).
+    pub vb_poll_ns: u64,
+    /// Periodic load-balance interval per CPU.
+    pub balance_interval_ns: u64,
+    /// Imbalance fraction (busiest vs here) required before pulling.
+    pub balance_imbalance_pct: u32,
+    /// Whether an idle CPU immediately tries to steal work (idle balance).
+    pub idle_balance: bool,
+    /// Sleeper credit: a waking sleeper's vruntime is floored at
+    /// `min_vruntime - target_latency/2`, like CFS `place_entity`.
+    pub sleeper_credit: bool,
+}
+
+impl Default for SchedParams {
+    fn default() -> Self {
+        SchedParams {
+            target_latency_ns: 3 * MILLIS,
+            min_granularity_ns: 750 * MICROS,
+            wakeup_granularity_ns: MILLIS,
+            ctx_switch_ns: 1_500,
+            syscall_entry_ns: 400,
+            wakeup_fixed_ns: 700,
+            wakeup_scan_per_cpu_ns: 30,
+            rq_lock_hold_ns: 250,
+            rq_lock: KernelLockParams {
+                base_cost_ns: 25,
+                per_waiter_ns: 45,
+                max_contention_waiters: 16,
+            },
+            vb_wake_ns: 120,
+            vb_poll_ns: 200,
+            balance_interval_ns: 10 * MILLIS,
+            balance_imbalance_pct: 25,
+            idle_balance: true,
+            sleeper_credit: true,
+        }
+    }
+}
+
+impl SchedParams {
+    /// The per-task time slice with `nr` schedulable tasks on a queue.
+    pub fn slice_ns(&self, nr: usize) -> u64 {
+        if nr == 0 {
+            return self.target_latency_ns;
+        }
+        (self.target_latency_ns / nr as u64).max(self.min_granularity_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let p = SchedParams::default();
+        assert_eq!(p.target_latency_ns, 3_000_000);
+        assert_eq!(p.min_granularity_ns, 750_000);
+        assert_eq!(p.ctx_switch_ns, 1_500);
+    }
+
+    #[test]
+    fn slice_divides_latency_with_floor() {
+        let p = SchedParams::default();
+        assert_eq!(p.slice_ns(1), 3_000_000);
+        assert_eq!(p.slice_ns(2), 1_500_000);
+        assert_eq!(p.slice_ns(4), 750_000);
+        // Floor at min granularity for many tasks.
+        assert_eq!(p.slice_ns(32), 750_000);
+        assert_eq!(p.slice_ns(0), 3_000_000);
+    }
+}

@@ -1,0 +1,379 @@
+//! The per-CPU CFS runqueue.
+//!
+//! Linux keeps runnable tasks in a red-black tree ordered by vruntime; we
+//! use a `BTreeSet<(vruntime, TaskId)>`, which has the same ordering
+//! semantics. Virtual blocking inserts parked tasks at the tree's tail by
+//! assigning them an arbitrarily large vruntime (above [`VB_TAIL_BASE`]);
+//! they are skipped by `pick_next` but still counted as load, which is what
+//! stabilizes the load balancer.
+
+use oversub_task::{Task, TaskId};
+use std::collections::BTreeSet;
+
+/// Base of the vruntime region used to park virtually-blocked tasks.
+/// Anything above this sorts after every live task.
+pub const VB_TAIL_BASE: u64 = u64::MAX / 2;
+
+/// A CFS runqueue.
+#[derive(Clone, Debug, Default)]
+pub struct CfsRq {
+    tree: BTreeSet<(u64, TaskId)>,
+    /// Runnable tasks excluding VB-parked ones.
+    nr_schedulable: usize,
+    /// VB-parked tasks on this queue.
+    nr_vb_parked: usize,
+    /// Monotonic floor for vruntimes of newly (re)enqueued tasks.
+    min_vruntime: u64,
+    /// Sequence used to order VB-parked tasks FIFO at the tail.
+    vb_seq: u64,
+}
+
+impl CfsRq {
+    /// Empty queue.
+    pub fn new() -> Self {
+        CfsRq::default()
+    }
+
+    /// Tasks on the queue that the scheduler may pick.
+    #[inline]
+    pub fn nr_schedulable(&self) -> usize {
+        self.nr_schedulable
+    }
+
+    /// VB-parked tasks on the queue.
+    #[inline]
+    pub fn nr_vb_parked(&self) -> usize {
+        self.nr_vb_parked
+    }
+
+    /// Total queued tasks (schedulable + VB-parked). This is the *load*
+    /// the balancer sees: under VB, blocked tasks still contribute.
+    #[inline]
+    pub fn nr_queued(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Current minimum-vruntime floor.
+    #[inline]
+    pub fn min_vruntime(&self) -> u64 {
+        self.min_vruntime
+    }
+
+    /// True if nothing (not even a parked task) is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Next vruntime to use for parking a task at the tail (FIFO among
+    /// parked tasks).
+    pub fn next_vb_tail_vruntime(&mut self) -> u64 {
+        self.vb_seq += 1;
+        VB_TAIL_BASE + self.vb_seq
+    }
+
+    /// Insert a task. The task's `vruntime` field must already be final
+    /// (including sleeper credit or VB tail placement).
+    pub fn enqueue(&mut self, task: &Task) {
+        debug_assert!(
+            task.vb_blocked || task.vruntime < VB_TAIL_BASE,
+            "non-parked task {:?} with tail-region vruntime {}",
+            task.id,
+            task.vruntime
+        );
+        let fresh = self.tree.insert((task.vruntime, task.id));
+        debug_assert!(fresh, "task {:?} double-enqueued", task.id);
+        if task.vb_blocked {
+            self.nr_vb_parked += 1;
+        } else {
+            self.nr_schedulable += 1;
+        }
+    }
+
+    /// Remove a task (must be queued with exactly this vruntime).
+    pub fn dequeue(&mut self, task: &Task) {
+        let existed = self.tree.remove(&(task.vruntime, task.id));
+        debug_assert!(existed, "task {:?} not on queue", task.id);
+        if task.vb_blocked {
+            self.nr_vb_parked -= 1;
+        } else {
+            self.nr_schedulable -= 1;
+            self.update_min_vruntime();
+        }
+    }
+
+    /// Reposition a task whose vruntime changed from `old_vruntime`.
+    /// `was_vb` describes its parked status while at `old_vruntime`.
+    pub fn requeue(&mut self, old_vruntime: u64, was_vb: bool, task: &Task) {
+        let existed = self.tree.remove(&(old_vruntime, task.id));
+        debug_assert!(existed, "task {:?} not on queue for requeue", task.id);
+        self.tree.insert((task.vruntime, task.id));
+        match (was_vb, task.vb_blocked) {
+            (true, false) => {
+                self.nr_vb_parked -= 1;
+                self.nr_schedulable += 1;
+            }
+            (false, true) => {
+                self.nr_schedulable -= 1;
+                self.nr_vb_parked += 1;
+            }
+            _ => {}
+        }
+        self.update_min_vruntime();
+    }
+
+    /// The leftmost schedulable entry, honouring BWD skip flags: the first
+    /// non-skipped schedulable task wins; if every schedulable task is
+    /// skip-flagged, the leftmost is returned (the caller clears its flag).
+    ///
+    /// Returns `(task, forced)` where `forced` means a skip flag had to be
+    /// overridden.
+    pub fn pick_next(&self, tasks: &[Task]) -> Option<(TaskId, bool)> {
+        let mut first_skipped: Option<TaskId> = None;
+        for &(vr, tid) in &self.tree {
+            if vr >= VB_TAIL_BASE {
+                break; // parked region; nothing schedulable beyond
+            }
+            let t = &tasks[tid.0];
+            if !t.schedulable() {
+                continue;
+            }
+            if t.bwd_skip {
+                if first_skipped.is_none() {
+                    first_skipped = Some(tid);
+                }
+                continue;
+            }
+            return Some((tid, false));
+        }
+        first_skipped.map(|t| (t, true))
+    }
+
+    /// Leftmost VB-parked task, if any (used for flag-poll rotation when a
+    /// core has only parked tasks).
+    pub fn first_vb_parked(&self, tasks: &[Task]) -> Option<TaskId> {
+        self.tree
+            .range((VB_TAIL_BASE, TaskId(0))..)
+            .map(|&(_, tid)| tid)
+            .find(|tid| tasks[tid.0].vb_blocked)
+    }
+
+    /// Schedulable tasks in vruntime order — used by the load balancer to
+    /// select migration victims (it never migrates VB-parked tasks).
+    pub fn schedulable_tasks<'a>(
+        &'a self,
+        tasks: &'a [Task],
+    ) -> impl Iterator<Item = TaskId> + 'a {
+        self.tree
+            .iter()
+            .take_while(|&&(vr, _)| vr < VB_TAIL_BASE)
+            .map(|&(_, tid)| tid)
+            .filter(move |tid| tasks[tid.0].schedulable())
+    }
+
+    /// Consistency check (diagnostics): recount schedulable entries from
+    /// the tree and compare with the cached counter. Returns
+    /// `(counter, tree_schedulable, tree_entries_in_parked_region)`.
+    pub fn audit(&self, tasks: &[Task]) -> (usize, usize, usize) {
+        let mut sched = 0;
+        let mut parked_region = 0;
+        for &(vr, tid) in &self.tree {
+            if vr >= VB_TAIL_BASE {
+                parked_region += 1;
+                continue;
+            }
+            if tasks[tid.0].schedulable() {
+                sched += 1;
+            }
+        }
+        (self.nr_schedulable, sched, parked_region)
+    }
+
+    /// All entries (diagnostics).
+    pub fn entries(&self) -> Vec<(u64, TaskId)> {
+        self.tree.iter().copied().collect()
+    }
+
+    /// Raise the min_vruntime floor to track the leftmost live entry.
+    fn update_min_vruntime(&mut self) {
+        if let Some(&(vr, _)) = self.tree.iter().next() {
+            if vr < VB_TAIL_BASE && vr > self.min_vruntime {
+                self.min_vruntime = vr;
+            }
+        }
+    }
+
+    /// Account `delta` of execution to the floor as the current task runs
+    /// (the current task is not in the tree while running, matching CFS).
+    pub fn advance_min_vruntime(&mut self, curr_vruntime: u64) {
+        let leftmost = self
+            .tree
+            .iter()
+            .next()
+            .map(|&(vr, _)| vr)
+            .filter(|&vr| vr < VB_TAIL_BASE);
+        let target = match leftmost {
+            Some(l) => l.min(curr_vruntime),
+            None => curr_vruntime,
+        };
+        if target > self.min_vruntime {
+            self.min_vruntime = target;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oversub_hw::CpuId;
+    use oversub_task::{Action, FnProgram};
+
+    fn mk_task(id: usize, vruntime: u64) -> Task {
+        let mut t = Task::new(
+            TaskId(id),
+            Box::new(FnProgram::new("nop", |_| Action::Exit)),
+            CpuId(0),
+        );
+        t.vruntime = vruntime;
+        t
+    }
+
+    fn table(specs: &[(usize, u64)]) -> Vec<Task> {
+        let max = specs.iter().map(|&(i, _)| i).max().unwrap_or(0);
+        let mut v: Vec<Task> = (0..=max).map(|i| mk_task(i, 0)).collect();
+        for &(i, vr) in specs {
+            v[i].vruntime = vr;
+        }
+        v
+    }
+
+    #[test]
+    fn pick_lowest_vruntime() {
+        let tasks = table(&[(0, 300), (1, 100), (2, 200)]);
+        let mut rq = CfsRq::new();
+        for t in &tasks {
+            rq.enqueue(t);
+        }
+        assert_eq!(rq.pick_next(&tasks), Some((TaskId(1), false)));
+        assert_eq!(rq.nr_schedulable(), 3);
+    }
+
+    #[test]
+    fn vb_parked_tasks_are_skipped_but_counted() {
+        let mut tasks = table(&[(0, 100), (1, 50)]);
+        let mut rq = CfsRq::new();
+        let tail = rq.next_vb_tail_vruntime();
+        tasks[1].vb_park(tail);
+        rq.enqueue(&tasks[0]);
+        rq.enqueue(&tasks[1]);
+        assert_eq!(rq.pick_next(&tasks), Some((TaskId(0), false)));
+        assert_eq!(rq.nr_schedulable(), 1);
+        assert_eq!(rq.nr_vb_parked(), 1);
+        assert_eq!(rq.nr_queued(), 2);
+        assert_eq!(rq.first_vb_parked(&tasks), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn only_parked_tasks_means_no_pick() {
+        let mut tasks = table(&[(0, 100)]);
+        let mut rq = CfsRq::new();
+        let tail = rq.next_vb_tail_vruntime();
+        tasks[0].vb_park(tail);
+        rq.enqueue(&tasks[0]);
+        assert_eq!(rq.pick_next(&tasks), None);
+        assert_eq!(rq.first_vb_parked(&tasks), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn bwd_skip_defers_to_other_tasks() {
+        let mut tasks = table(&[(0, 50), (1, 100)]);
+        tasks[0].bwd_skip = true;
+        let mut rq = CfsRq::new();
+        rq.enqueue(&tasks[0]);
+        rq.enqueue(&tasks[1]);
+        // Task 0 has lower vruntime but is skip-flagged.
+        assert_eq!(rq.pick_next(&tasks), Some((TaskId(1), false)));
+    }
+
+    #[test]
+    fn all_skipped_forces_leftmost() {
+        let mut tasks = table(&[(0, 50), (1, 100)]);
+        tasks[0].bwd_skip = true;
+        tasks[1].bwd_skip = true;
+        let mut rq = CfsRq::new();
+        rq.enqueue(&tasks[0]);
+        rq.enqueue(&tasks[1]);
+        assert_eq!(rq.pick_next(&tasks), Some((TaskId(0), true)));
+    }
+
+    #[test]
+    fn requeue_moves_between_regions() {
+        let mut tasks = table(&[(0, 70)]);
+        let mut rq = CfsRq::new();
+        rq.enqueue(&tasks[0]);
+        // Park it.
+        let old = tasks[0].vruntime;
+        let tail = rq.next_vb_tail_vruntime();
+        tasks[0].vb_park(tail);
+        rq.requeue(old, false, &tasks[0]);
+        assert_eq!(rq.nr_schedulable(), 0);
+        assert_eq!(rq.nr_vb_parked(), 1);
+        // Unpark.
+        let old = tasks[0].vruntime;
+        tasks[0].vb_unpark();
+        rq.requeue(old, true, &tasks[0]);
+        assert_eq!(rq.nr_schedulable(), 1);
+        assert_eq!(rq.nr_vb_parked(), 0);
+        assert_eq!(tasks[0].vruntime, 70);
+    }
+
+    #[test]
+    fn dequeue_updates_counts() {
+        let tasks = table(&[(0, 10), (1, 20)]);
+        let mut rq = CfsRq::new();
+        rq.enqueue(&tasks[0]);
+        rq.enqueue(&tasks[1]);
+        rq.dequeue(&tasks[0]);
+        assert_eq!(rq.nr_schedulable(), 1);
+        assert_eq!(rq.pick_next(&tasks), Some((TaskId(1), false)));
+        rq.dequeue(&tasks[1]);
+        assert!(rq.is_empty());
+    }
+
+    #[test]
+    fn min_vruntime_is_monotonic() {
+        let tasks = table(&[(0, 100), (1, 200)]);
+        let mut rq = CfsRq::new();
+        rq.enqueue(&tasks[0]);
+        rq.enqueue(&tasks[1]);
+        rq.dequeue(&tasks[0]);
+        let v1 = rq.min_vruntime();
+        rq.advance_min_vruntime(250);
+        let v2 = rq.min_vruntime();
+        assert!(v2 >= v1);
+        rq.advance_min_vruntime(10);
+        assert_eq!(rq.min_vruntime(), v2, "floor never decreases");
+    }
+
+    #[test]
+    fn vb_tail_vruntimes_are_fifo() {
+        let mut rq = CfsRq::new();
+        let a = rq.next_vb_tail_vruntime();
+        let b = rq.next_vb_tail_vruntime();
+        assert!(b > a);
+        assert!(a > VB_TAIL_BASE);
+    }
+
+    #[test]
+    fn schedulable_iteration_respects_order_and_filters() {
+        let mut tasks = table(&[(0, 30), (1, 10), (2, 20)]);
+        let mut rq = CfsRq::new();
+        let tail = rq.next_vb_tail_vruntime();
+        tasks[2].vb_park(tail);
+        for t in &tasks {
+            rq.enqueue(t);
+        }
+        let order: Vec<_> = rq.schedulable_tasks(&tasks).collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(0)]);
+    }
+}

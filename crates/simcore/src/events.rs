@@ -1,0 +1,214 @@
+//! The discrete-event queue driving the simulation.
+//!
+//! Events are `(time, payload)` pairs. Ties on time are broken by insertion
+//! order (a monotonically increasing sequence number), which keeps the
+//! simulation fully deterministic without requiring payloads to be `Ord`.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+    cancelled: bool,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time pops first,
+        // and earliest sequence number among equal times.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority event queue.
+///
+/// Cancellation is lazy: cancelled entries stay in the heap until popped,
+/// tracked through a sorted list of cancelled sequence numbers.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `at`. Returns a cancellation
+    /// handle.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+            cancelled: false,
+        });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(handle.0) {
+            // The event may have already fired; popping reconciles `live`
+            // lazily, so only decrement if it is genuinely outstanding.
+            // We cannot cheaply know, so `live` is treated as an upper bound
+            // and `is_empty` consults the heap after draining cancellations.
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.drain_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the next live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.drain_cancelled();
+        self.heap.pop().map(|e| {
+            self.live = self.live.saturating_sub(1);
+            (e.time, e.payload)
+        })
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of entries in the heap including not-yet-drained cancellations
+    /// (an upper bound on live events).
+    pub fn len_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn drain_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if top.cancelled || self.cancelled.contains(&top.seq) {
+                let e = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&e.seq);
+                self.live = self.live.saturating_sub(1);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_nanos(1), "x");
+        q.schedule(SimTime::from_nanos(2), "y");
+        assert!(q.cancel(h1));
+        let (_, p) = q.pop().unwrap();
+        assert_eq!(p, "y");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_returns_false() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_nanos(1), ());
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(99)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_nanos(1), "dead");
+        q.schedule(SimTime::from_nanos(5), "live");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(5)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), 10);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!((t.as_nanos(), v), (10, 10));
+        q.schedule(SimTime::from_nanos(5), 5);
+        q.schedule(SimTime::from_nanos(7), 7);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 7);
+        assert!(q.pop().is_none());
+    }
+}

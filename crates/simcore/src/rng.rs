@@ -1,0 +1,237 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! Every run owns a single [`SimRng`] seeded from the run configuration, so
+//! identical configurations replay identically. The generator is
+//! xoshiro256** (public domain construction by Blackman & Vigna) seeded via
+//! SplitMix64 — small, fast, and with no external state.
+
+/// A deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derive an independent stream from this generator, keyed by `stream`.
+    ///
+    /// Used to give each task / component its own deterministic substream so
+    /// that adding consumers does not perturb unrelated draws.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // Mix the stream id into fresh seed material rather than jumping,
+        // which is simpler and adequate for simulation purposes.
+        let mut sm = self.s[0] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "gen_range bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for open-loop arrival processes (e.g. the mutilate-style
+    /// memcached client).
+    #[inline]
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        // Avoid ln(0).
+        let u = 1.0 - self.gen_f64();
+        -mean * u.ln()
+    }
+
+    /// A value in `[lo, hi]` drawn uniformly; `lo <= hi` required.
+    #[inline]
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.gen_range(hi - lo + 1)
+    }
+
+    /// Normal-ish jitter: multiply `value` by a factor uniform in
+    /// `[1-frac, 1+frac]`. Keeps workloads from being artificially in
+    /// lockstep while staying deterministic.
+    #[inline]
+    pub fn jitter(&mut self, value: u64, frac: f64) -> u64 {
+        if value == 0 || frac <= 0.0 {
+            return value;
+        }
+        let f = 1.0 + frac * (2.0 * self.gen_f64() - 1.0);
+        (value as f64 * f).max(0.0) as u64
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let base = SimRng::new(7);
+        let mut f1 = base.fork(1);
+        let mut f1b = base.fork(1);
+        let mut f2 = base.fork(2);
+        for _ in 0..100 {
+            assert_eq!(f1.next_u64(), f1b.next_u64());
+        }
+        let mut f1 = base.fork(1);
+        let same = (0..64).filter(|_| f1.next_u64() == f2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = SimRng::new(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(17);
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = SimRng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all residues should appear");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SimRng::new(11);
+        for _ in 0..10_000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_exp_has_roughly_right_mean() {
+        let mut r = SimRng::new(5);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.gen_exp(100.0)).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 100.0).abs() < 3.0,
+            "exponential mean off: {mean}"
+        );
+    }
+
+    #[test]
+    fn jitter_brackets_value() {
+        let mut r = SimRng::new(13);
+        for _ in 0..1_000 {
+            let v = r.jitter(1_000, 0.1);
+            assert!((900..=1100).contains(&v), "jitter out of range: {v}");
+        }
+        assert_eq!(r.jitter(0, 0.5), 0);
+        assert_eq!(r.jitter(123, 0.0), 123);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(21);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

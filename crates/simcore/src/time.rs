@@ -1,0 +1,194 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulation time is expressed in nanoseconds of *virtual* time held in
+//! a [`SimTime`]. Nothing in the simulator ever reads a wall clock; this is
+//! what makes runs deterministic and replayable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// One nanosecond of virtual time.
+pub const NANOS: u64 = 1;
+/// One microsecond of virtual time.
+pub const MICROS: u64 = 1_000;
+/// One millisecond of virtual time.
+pub const MILLIS: u64 = 1_000_000;
+/// One second of virtual time.
+pub const SECS: u64 = 1_000_000_000;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is a transparent wrapper over `u64`; arithmetic saturates on
+/// overflow so that "arbitrarily large" sentinel values (used e.g. for the
+/// virtual-blocking vruntime trick) remain safe to add to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel far in the future; used as "never".
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * MICROS)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * MILLIS)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * SECS)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / MICROS
+    }
+
+    /// Whole milliseconds since simulation start.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / MILLIS
+    }
+
+    /// Fractional seconds since simulation start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SECS as f64
+    }
+
+    /// Saturating difference `self - earlier`, zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Saturating addition of a nanosecond delta.
+    #[inline]
+    pub fn saturating_add(self, delta: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delta))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max_of(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == u64::MAX {
+            write!(f, "never")
+        } else if ns >= SECS {
+            write!(f, "{:.3}s", ns as f64 / SECS as f64)
+        } else if ns >= MILLIS {
+            write!(f, "{:.3}ms", ns as f64 / MILLIS as f64)
+        } else if ns >= MICROS {
+            write!(f, "{:.3}us", ns as f64 / MICROS as f64)
+        } else {
+            write!(f, "{}ns", ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimTime::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimTime::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let t = SimTime::NEVER;
+        assert_eq!(t + 100, SimTime::NEVER);
+        assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn subtraction_is_saturating_delta() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(a - b, 6_000);
+        assert_eq!(b - a, 0);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert!(a < b);
+        assert_eq!(a.max_of(b), b);
+        assert_eq!(b.max_of(a), b);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_nanos(7).to_string(), "7ns");
+        assert_eq!(SimTime::from_micros(2).to_string(), "2.000us");
+        assert_eq!(SimTime::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimTime::from_secs(4).to_string(), "4.000s");
+        assert_eq!(SimTime::NEVER.to_string(), "never");
+    }
+}

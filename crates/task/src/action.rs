@@ -1,0 +1,237 @@
+//! Actions — the units of behaviour a simulated program emits.
+//!
+//! A [`crate::Program`] is a resumable state machine: each time the previous
+//! action completes, the kernel asks it for the next [`Action`]. Actions are
+//! intentionally coarse (a compute phase, a whole array traversal, one
+//! synchronization operation) so that simulating a multi-second parallel
+//! program costs milliseconds of host time.
+
+use crate::ids::{BarrierId, CondId, EpollFd, FlagId, LockId, SemId};
+use oversub_hw::AccessPattern;
+
+/// Static description of a spin loop's code shape, used to feed the LBR and
+/// to decide whether hardware pause-loop exiting (PLE) can see it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpinSig {
+    /// Address of the loop's backward conditional branch.
+    pub branch_from: u64,
+    /// Loop head address (must be `< branch_from` for a backward branch).
+    pub branch_to: u64,
+    /// Nanoseconds one loop iteration takes (a few cycles).
+    pub iter_ns: u64,
+    /// Instructions retired per iteration.
+    pub instr_per_iter: u64,
+    /// Whether the loop body executes PAUSE/NOP — detectable by Intel PLE /
+    /// AMD PF when running in a vCPU.
+    pub uses_pause: bool,
+}
+
+impl SpinSig {
+    /// A typical pthread-style spin loop with PAUSE (Figure 6, left).
+    pub fn pause_loop(salt: u64) -> SpinSig {
+        let head = 0x40_1000 + salt * 0x100;
+        SpinSig {
+            branch_from: head + 0x18,
+            branch_to: head,
+            iter_ns: 3,
+            instr_per_iter: 4,
+            uses_pause: true,
+        }
+    }
+
+    /// A bare test-loop without PAUSE, like the `lu` benchmark's
+    /// `while (!flag[k]) {}` (Figure 6, right). Invisible to PLE.
+    pub fn bare_loop(salt: u64) -> SpinSig {
+        let head = 0x48_0000 + salt * 0x100;
+        SpinSig {
+            branch_from: head + 0x0C,
+            branch_to: head,
+            iter_ns: 2,
+            instr_per_iter: 3,
+            uses_pause: false,
+        }
+    }
+
+    /// Sanity: the signature encodes a backward branch.
+    pub fn is_backward(&self) -> bool {
+        self.branch_to < self.branch_from
+    }
+}
+
+/// A synchronization operation against a kernel- or user-level object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SyncOp {
+    /// Acquire a blocking (futex-based) mutex.
+    MutexLock(LockId),
+    /// Release a blocking mutex.
+    MutexUnlock(LockId),
+    /// Wait on a barrier; all parties must arrive before any proceeds.
+    BarrierWait(BarrierId),
+    /// Block on a condition variable, releasing `mutex` while waiting and
+    /// re-acquiring it before returning.
+    CondWait {
+        /// Condition variable to sleep on.
+        cond: CondId,
+        /// Mutex released during the wait.
+        mutex: LockId,
+    },
+    /// Wake one waiter of a condition variable.
+    CondSignal(CondId),
+    /// Wake all waiters of a condition variable.
+    CondBroadcast(CondId),
+    /// Semaphore P operation.
+    SemWait(SemId),
+    /// Semaphore V operation.
+    SemPost(SemId),
+    /// Acquire a registered spinlock (algorithm chosen at registration).
+    SpinAcquire(LockId),
+    /// Release a registered spinlock.
+    SpinRelease(LockId),
+    /// Busy-wait until the flag's value differs from `while_eq`
+    /// (`while (flag == while_eq) spin;`) — user-customized spinning.
+    FlagSpinWhileEq {
+        /// Flag word to poll.
+        flag: FlagId,
+        /// Value that keeps the loop spinning.
+        while_eq: u64,
+        /// Code shape of the loop.
+        sig: SpinSig,
+    },
+    /// Store a value to a flag word (releases flag spinners).
+    FlagSet {
+        /// Flag word to store to.
+        flag: FlagId,
+        /// New value.
+        value: u64,
+    },
+    /// Block in `epoll_wait` until events are posted on this instance.
+    EpollWait(EpollFd),
+    /// Post `count` events to an epoll instance (e.g. packets arriving),
+    /// waking blocked waiters.
+    EpollPost(EpollFd, u32),
+}
+
+/// One unit of simulated program behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// Pure computation touching only registers / L1: `ns` nanoseconds.
+    Compute {
+        /// Duration of the phase at full speed.
+        ns: u64,
+    },
+    /// A priced memory traversal over this task's working set.
+    MemTraversal {
+        /// Access pattern.
+        pattern: AccessPattern,
+        /// Size of the working set being walked (bytes).
+        ws_bytes: u64,
+        /// Number of element accesses.
+        elems: u64,
+    },
+    /// One atomic read-modify-write on a cacheline shared by all threads
+    /// (Figure 2b's `__sync_fetch_and_add`). Cost grows with the number of
+    /// *cores* actively hitting the line.
+    AtomicRmw {
+        /// Identifies the contended cacheline.
+        line: u64,
+    },
+    /// A synchronization operation.
+    Sync(SyncOp),
+    /// Voluntarily yield the CPU (sched_yield).
+    Yield,
+    /// Sleep for `ns` outside the CPU (I/O, timer); not a futex sleep.
+    IoWait {
+        /// Duration off-CPU.
+        ns: u64,
+    },
+    /// A *bounded* tight loop that is NOT synchronization — e.g. a delay
+    /// loop or a convergence test. Runs for `ns`, but its LBR footprint is
+    /// identical to a spin loop: this is what causes BWD false positives.
+    TightLoop {
+        /// Total loop duration.
+        ns: u64,
+        /// Code shape.
+        sig: SpinSig,
+    },
+    /// Terminate this thread.
+    Exit,
+}
+
+impl Action {
+    /// Convenience: a compute phase of `us` microseconds.
+    pub fn compute_us(us: u64) -> Action {
+        Action::Compute { ns: us * 1_000 }
+    }
+
+    /// True if the action can block in the kernel.
+    pub fn may_block(&self) -> bool {
+        matches!(
+            self,
+            Action::Sync(
+                SyncOp::MutexLock(_)
+                    | SyncOp::BarrierWait(_)
+                    | SyncOp::CondWait { .. }
+                    | SyncOp::SemWait(_)
+                    | SyncOp::EpollWait(_)
+            ) | Action::IoWait { .. }
+        )
+    }
+
+    /// True if the action can busy-wait.
+    pub fn may_spin(&self) -> bool {
+        matches!(
+            self,
+            Action::Sync(SyncOp::SpinAcquire(_) | SyncOp::FlagSpinWhileEq { .. })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_signatures_are_backward_branches() {
+        assert!(SpinSig::pause_loop(0).is_backward());
+        assert!(SpinSig::bare_loop(7).is_backward());
+    }
+
+    #[test]
+    fn pause_visibility_differs() {
+        assert!(SpinSig::pause_loop(0).uses_pause);
+        assert!(!SpinSig::bare_loop(0).uses_pause);
+    }
+
+    #[test]
+    fn distinct_salts_make_distinct_addresses() {
+        let a = SpinSig::bare_loop(1);
+        let b = SpinSig::bare_loop(2);
+        assert_ne!(a.branch_from, b.branch_from);
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(Action::Sync(SyncOp::MutexLock(LockId(0))).may_block());
+        assert!(Action::Sync(SyncOp::BarrierWait(BarrierId(0))).may_block());
+        assert!(Action::IoWait { ns: 5 }.may_block());
+        assert!(!Action::Compute { ns: 5 }.may_block());
+        assert!(!Action::Sync(SyncOp::SpinAcquire(LockId(0))).may_block());
+    }
+
+    #[test]
+    fn spinning_classification() {
+        assert!(Action::Sync(SyncOp::SpinAcquire(LockId(0))).may_spin());
+        assert!(Action::Sync(SyncOp::FlagSpinWhileEq {
+            flag: FlagId(0),
+            while_eq: 0,
+            sig: SpinSig::bare_loop(0)
+        })
+        .may_spin());
+        assert!(!Action::Sync(SyncOp::MutexLock(LockId(0))).may_spin());
+    }
+
+    #[test]
+    fn compute_us_converts() {
+        assert_eq!(Action::compute_us(3), Action::Compute { ns: 3000 });
+    }
+}

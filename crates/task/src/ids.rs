@@ -1,0 +1,95 @@
+//! Newtype identifiers shared across the simulated kernel.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A simulated thread.
+    TaskId,
+    "T"
+);
+id_type!(
+    /// A user-level lock object (blocking mutex or spinlock instance).
+    LockId,
+    "L"
+);
+id_type!(
+    /// A barrier object.
+    BarrierId,
+    "B"
+);
+id_type!(
+    /// A condition variable.
+    CondId,
+    "CV"
+);
+id_type!(
+    /// A counting semaphore.
+    SemId,
+    "S"
+);
+id_type!(
+    /// An epoll instance (event fd set).
+    EpollFd,
+    "EP"
+);
+id_type!(
+    /// A shared user-space flag word (custom busy-wait target).
+    FlagId,
+    "F"
+);
+
+/// A futex key: the user-space address a futex word lives at. Futexes hash
+/// into buckets by this key, exactly like the kernel's
+/// `futex_hash_bucket` table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FutexKey(pub u64);
+
+impl fmt::Debug for FutexKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "futex@{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", TaskId(3)), "T3");
+        assert_eq!(format!("{:?}", LockId(1)), "L1");
+        assert_eq!(format!("{}", BarrierId(0)), "B0");
+        assert_eq!(format!("{:?}", FutexKey(0x10)), "futex@0x10");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(TaskId(1));
+        s.insert(TaskId(1));
+        s.insert(TaskId(2));
+        assert_eq!(s.len(), 2);
+        assert!(TaskId(1) < TaskId(2));
+    }
+}

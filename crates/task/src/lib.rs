@@ -1,0 +1,18 @@
+//! Task and program model for the simulated kernel.
+//!
+//! - [`ids`]: the newtype identifiers shared across the OS model.
+//! - [`action`]: the [`Action`] vocabulary programs emit — compute phases,
+//!   priced memory traversals, synchronization ops, spin loops.
+//! - [`state`]: the task control block ([`Task`]) with CFS fields and the
+//!   virtual-blocking / BWD flags the paper adds to `task_struct`.
+//! - [`program`]: the [`Program`] trait workloads implement.
+
+pub mod action;
+pub mod ids;
+pub mod program;
+pub mod state;
+
+pub use action::{Action, SpinSig, SyncOp};
+pub use ids::{BarrierId, CondId, EpollFd, FlagId, FutexKey, LockId, SemId, TaskId};
+pub use program::{FnProgram, ProgCtx, Program, ScriptProgram};
+pub use state::{Task, TaskState, TaskStats};

@@ -1,0 +1,165 @@
+//! The [`Program`] trait — how workloads drive simulated threads.
+
+use crate::action::Action;
+use crate::ids::TaskId;
+use oversub_simcore::{SimRng, SimTime};
+
+/// Context handed to a program when the kernel asks for its next action.
+pub struct ProgCtx<'a> {
+    /// The asking task.
+    pub task: TaskId,
+    /// Current virtual time.
+    pub now: SimTime,
+    /// This task's deterministic random stream.
+    pub rng: &'a mut SimRng,
+}
+
+/// A resumable simulated program.
+///
+/// The kernel calls [`Program::next`] each time the previous action
+/// completes. Programs are state machines; shared workload state (queues,
+/// counters, phase indicators) lives in `Rc<RefCell<...>>` captured by the
+/// per-thread program values — the simulation itself is single-threaded, so
+/// this is sound and keeps programs trivially deterministic.
+pub trait Program {
+    /// Produce the next action. Returning [`Action::Exit`] ends the task.
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action;
+
+    /// Optional human-readable name for traces.
+    fn name(&self) -> &str {
+        "program"
+    }
+}
+
+/// A program built from a closure — convenient for tests and
+/// microbenchmarks.
+pub struct FnProgram<F: FnMut(&mut ProgCtx<'_>) -> Action> {
+    f: F,
+    name: &'static str,
+}
+
+impl<F: FnMut(&mut ProgCtx<'_>) -> Action> FnProgram<F> {
+    /// Wrap a closure as a program.
+    pub fn new(name: &'static str, f: F) -> Self {
+        FnProgram { f, name }
+    }
+}
+
+impl<F: FnMut(&mut ProgCtx<'_>) -> Action> Program for FnProgram<F> {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        (self.f)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// A program that replays a fixed list of actions, then exits.
+pub struct ScriptProgram {
+    script: Vec<Action>,
+    pos: usize,
+    /// Number of times to replay the whole script (1 = once).
+    repeats: usize,
+    done_repeats: usize,
+}
+
+impl ScriptProgram {
+    /// Play `script` once.
+    pub fn once(script: Vec<Action>) -> Self {
+        ScriptProgram {
+            script,
+            pos: 0,
+            repeats: 1,
+            done_repeats: 0,
+        }
+    }
+
+    /// Play `script` `repeats` times.
+    pub fn looped(script: Vec<Action>, repeats: usize) -> Self {
+        assert!(repeats >= 1);
+        ScriptProgram {
+            script,
+            pos: 0,
+            repeats,
+            done_repeats: 0,
+        }
+    }
+}
+
+impl Program for ScriptProgram {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.pos >= self.script.len() {
+            self.done_repeats += 1;
+            if self.done_repeats >= self.repeats {
+                return Action::Exit;
+            }
+            self.pos = 0;
+        }
+        if self.script.is_empty() {
+            return Action::Exit;
+        }
+        let a = self.script[self.pos];
+        self.pos += 1;
+        a
+    }
+
+    fn name(&self) -> &str {
+        "script"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_fixture(rng: &mut SimRng) -> ProgCtx<'_> {
+        ProgCtx {
+            task: TaskId(0),
+            now: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    #[test]
+    fn fn_program_delegates() {
+        let mut rng = SimRng::new(1);
+        let mut p = FnProgram::new("t", |_| Action::Compute { ns: 7 });
+        let mut ctx = ctx_fixture(&mut rng);
+        assert_eq!(p.next(&mut ctx), Action::Compute { ns: 7 });
+        assert_eq!(p.name(), "t");
+    }
+
+    #[test]
+    fn script_plays_once_then_exits() {
+        let mut rng = SimRng::new(1);
+        let mut p = ScriptProgram::once(vec![
+            Action::Compute { ns: 1 },
+            Action::Compute { ns: 2 },
+        ]);
+        let mut ctx = ctx_fixture(&mut rng);
+        assert_eq!(p.next(&mut ctx), Action::Compute { ns: 1 });
+        assert_eq!(p.next(&mut ctx), Action::Compute { ns: 2 });
+        assert_eq!(p.next(&mut ctx), Action::Exit);
+        assert_eq!(p.next(&mut ctx), Action::Exit);
+    }
+
+    #[test]
+    fn script_loops_n_times() {
+        let mut rng = SimRng::new(1);
+        let mut p = ScriptProgram::looped(vec![Action::Yield], 3);
+        let mut ctx = ctx_fixture(&mut rng);
+        for _ in 0..3 {
+            assert_eq!(p.next(&mut ctx), Action::Yield);
+        }
+        assert_eq!(p.next(&mut ctx), Action::Exit);
+    }
+
+    #[test]
+    fn empty_script_exits_immediately() {
+        let mut rng = SimRng::new(1);
+        let mut p = ScriptProgram::once(vec![]);
+        let mut ctx = ctx_fixture(&mut rng);
+        assert_eq!(p.next(&mut ctx), Action::Exit);
+    }
+}

@@ -1,0 +1,248 @@
+//! The task control block of the simulated kernel.
+
+use crate::ids::TaskId;
+use crate::program::Program;
+use oversub_hw::CpuId;
+use oversub_simcore::SimTime;
+
+/// Gross run state of a task, mirroring the kernel's task states.
+///
+/// Virtual blocking deliberately does *not* introduce a new state: a
+/// VB-blocked task stays `Runnable` on its runqueue with
+/// [`Task::vb_blocked`] set, which is the entire point of the mechanism.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskState {
+    /// On a CPU runqueue, waiting to run.
+    Runnable,
+    /// Currently executing on a CPU.
+    Running,
+    /// Asleep in the kernel (futex wait, epoll wait, I/O) — off runqueue
+    /// (`TASK_INTERRUPTIBLE`).
+    Sleeping,
+    /// Finished.
+    Exited,
+}
+
+/// Per-task accounting, aggregated into run reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TaskStats {
+    /// Nanoseconds spent executing useful work.
+    pub exec_ns: u64,
+    /// Nanoseconds spent busy-waiting (spinning).
+    pub spin_ns: u64,
+    /// Nanoseconds asleep in the kernel.
+    pub sleep_ns: u64,
+    /// Nanoseconds runnable but waiting for a CPU.
+    pub wait_ns: u64,
+    /// Voluntary context switches (blocked / yielded).
+    pub nvcsw: u64,
+    /// Involuntary context switches (preempted / slice expired).
+    pub nivcsw: u64,
+    /// Migrations within a NUMA node.
+    pub migrations_local: u64,
+    /// Migrations across NUMA nodes.
+    pub migrations_remote: u64,
+    /// Number of kernel wakeups of this task.
+    pub wakeups: u64,
+    /// Total latency from wake request to first subsequent run.
+    pub wakeup_latency_ns: u64,
+    /// Times this task was descheduled by busy-waiting detection.
+    pub bwd_deschedules: u64,
+}
+
+/// A simulated thread: scheduling state plus its driving [`Program`].
+pub struct Task {
+    /// Identity (index into the kernel's task table).
+    pub id: TaskId,
+    /// The program generating this task's actions.
+    pub program: Box<dyn Program>,
+    /// Current gross state.
+    pub state: TaskState,
+    /// CFS virtual runtime in nanoseconds (weight-adjusted).
+    pub vruntime: u64,
+    /// CFS load weight (1024 = nice 0).
+    pub weight: u32,
+    /// Virtual-blocking flag: the paper's per-thread `thread_state`.
+    /// Set => skipped by the scheduler while staying on the runqueue.
+    pub vb_blocked: bool,
+    /// The true vruntime saved while the task is parked at the runqueue
+    /// tail under virtual blocking; restored on wake.
+    pub vb_saved_vruntime: Option<u64>,
+    /// BWD skip flag: when set, the scheduler runs every other task on the
+    /// core at least once before this one runs again.
+    pub bwd_skip: bool,
+    /// CPU this task last ran on (affinity hint for wakeups).
+    pub last_cpu: CpuId,
+    /// Hard pin, if any (the "32T(pinned)" arm of Figure 11).
+    pub pinned: Option<CpuId>,
+    /// Allowed-CPU bitmask (cpuset); bit `i` set = CPU `i` allowed.
+    pub allowed: u64,
+    /// Bytes of cache-resident working set, for pollution / migration cost.
+    pub footprint_bytes: u64,
+    /// Whether this task's memory accesses are random (true) or
+    /// streaming (false); decides the shape of its context-switch cache
+    /// penalty. Most workloads are random-ish, the default.
+    pub random_access: bool,
+    /// Per-task address salt so LBR streams differ between tasks.
+    pub addr_salt: u64,
+    /// Time this task last became runnable (for wait-time accounting).
+    pub runnable_since: SimTime,
+    /// Time of the wake request pending first run (wakeup latency).
+    pub wake_requested_at: Option<SimTime>,
+    /// Accounting.
+    pub stats: TaskStats,
+}
+
+impl Task {
+    /// Create a task in the `Runnable` state on `cpu`'s queue.
+    pub fn new(id: TaskId, program: Box<dyn Program>, cpu: CpuId) -> Self {
+        Task {
+            id,
+            program,
+            state: TaskState::Runnable,
+            vruntime: 0,
+            weight: 1024,
+            vb_blocked: false,
+            vb_saved_vruntime: None,
+            bwd_skip: false,
+            last_cpu: cpu,
+            pinned: None,
+            allowed: u64::MAX,
+            footprint_bytes: 0,
+            random_access: true,
+            addr_salt: id.0 as u64 + 1,
+            runnable_since: SimTime::ZERO,
+            wake_requested_at: None,
+            stats: TaskStats::default(),
+        }
+    }
+
+    /// True if the scheduler may pick this task: runnable and not parked by
+    /// virtual blocking.
+    #[inline]
+    pub fn schedulable(&self) -> bool {
+        self.state == TaskState::Runnable && !self.vb_blocked
+    }
+
+    /// Enter virtual blocking: save the true vruntime and park at the tail.
+    /// `tail_vruntime` should exceed every live vruntime on the queue.
+    pub fn vb_park(&mut self, tail_vruntime: u64) {
+        debug_assert!(!self.vb_blocked, "double vb_park");
+        self.vb_saved_vruntime = Some(self.vruntime);
+        self.vruntime = tail_vruntime;
+        self.vb_blocked = true;
+    }
+
+    /// Leave virtual blocking: restore the true vruntime.
+    pub fn vb_unpark(&mut self) {
+        debug_assert!(self.vb_blocked, "vb_unpark while not parked");
+        self.vb_blocked = false;
+        if let Some(v) = self.vb_saved_vruntime.take() {
+            self.vruntime = v;
+        }
+    }
+
+    /// True if the task may run on `cpu`.
+    #[inline]
+    pub fn allows(&self, cpu: CpuId) -> bool {
+        cpu.0 < 64 && self.allowed & (1 << cpu.0) != 0
+    }
+
+    /// Record that the task was woken at `now` (for wakeup-latency stats).
+    pub fn note_wake_request(&mut self, now: SimTime) {
+        self.stats.wakeups += 1;
+        self.wake_requested_at = Some(now);
+    }
+
+    /// Record that the task started running at `now`, closing any pending
+    /// wakeup-latency measurement.
+    pub fn note_run_start(&mut self, now: SimTime) {
+        if let Some(w) = self.wake_requested_at.take() {
+            self.stats.wakeup_latency_ns += now.saturating_since(w);
+        }
+        self.stats.wait_ns += now.saturating_since(self.runnable_since);
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("vruntime", &self.vruntime)
+            .field("vb_blocked", &self.vb_blocked)
+            .field("bwd_skip", &self.bwd_skip)
+            .field("last_cpu", &self.last_cpu)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ProgCtx, Program};
+    use crate::Action;
+
+    struct Nop;
+    impl Program for Nop {
+        fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+            Action::Exit
+        }
+    }
+
+    fn task() -> Task {
+        Task::new(TaskId(0), Box::new(Nop), CpuId(0))
+    }
+
+    #[test]
+    fn new_task_is_schedulable() {
+        let t = task();
+        assert_eq!(t.state, TaskState::Runnable);
+        assert!(t.schedulable());
+        assert_eq!(t.weight, 1024);
+    }
+
+    #[test]
+    fn vb_park_hides_task_and_saves_vruntime() {
+        let mut t = task();
+        t.vruntime = 123_456;
+        t.vb_park(u64::MAX / 2);
+        assert!(!t.schedulable());
+        assert_eq!(t.vruntime, u64::MAX / 2);
+        t.vb_unpark();
+        assert!(t.schedulable());
+        assert_eq!(t.vruntime, 123_456);
+    }
+
+    #[test]
+    fn sleeping_task_is_not_schedulable() {
+        let mut t = task();
+        t.state = TaskState::Sleeping;
+        assert!(!t.schedulable());
+    }
+
+    #[test]
+    fn wakeup_latency_accounting() {
+        let mut t = task();
+        t.note_wake_request(SimTime::from_nanos(100));
+        t.runnable_since = SimTime::from_nanos(100);
+        t.note_run_start(SimTime::from_nanos(600));
+        assert_eq!(t.stats.wakeups, 1);
+        assert_eq!(t.stats.wakeup_latency_ns, 500);
+        assert_eq!(t.stats.wait_ns, 500);
+        // Second run start without a wake does not add latency.
+        t.runnable_since = SimTime::from_nanos(600);
+        t.note_run_start(SimTime::from_nanos(700));
+        assert_eq!(t.stats.wakeup_latency_ns, 500);
+        assert_eq!(t.stats.wait_ns, 600);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn double_park_panics_in_debug() {
+        let mut t = task();
+        t.vb_park(10);
+        t.vb_park(10);
+    }
+}

@@ -1,0 +1,235 @@
+//! An OpenMP-style fork-join workload with a persistent worker pool.
+//!
+//! The paper's related work contrasts thread oversubscription with
+//! *dynamic threading*: runtimes like OpenMP keep a pool and activate a
+//! per-region thread count, leaving the rest asleep. This workload models
+//! both modes:
+//!
+//! - `active == pool`: every pool thread works every region — plain
+//!   oversubscription when the pool exceeds the cores;
+//! - `active < pool`: OpenMP-style adaptation — only `active` threads are
+//!   woken per region, the others sleep on their semaphore.
+//!
+//! Each region distributes `chunks` self-scheduled chunks (a shared
+//! counter claimed with an atomic RMW, like an OpenMP `schedule(dynamic)`
+//! loop) and joins on a counting semaphore.
+
+use oversub_task::{Action, ProgCtx, Program, SemId, SyncOp};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+
+/// Shared per-region state: the chunk counter and the completion count.
+struct RegionState {
+    next_chunk: Cell<usize>,
+    chunks: Cell<usize>,
+    finished_workers: Cell<usize>,
+    active: Cell<usize>,
+    retired: Cell<bool>,
+}
+
+/// The fork-join workload.
+pub struct ForkJoin {
+    /// Pool size (threads created).
+    pub pool: usize,
+    /// Threads activated per region (`<= pool`).
+    pub active: usize,
+    /// Parallel regions.
+    pub regions: usize,
+    /// Chunks per region (self-scheduled).
+    pub chunks: usize,
+    /// Compute per chunk.
+    pub chunk_ns: u64,
+}
+
+impl ForkJoin {
+    /// A region-heavy configuration: many small regions, the fork/join
+    /// overhead dominates — the case where wake-up efficiency matters.
+    pub fn region_heavy(pool: usize, active: usize, regions: usize) -> Self {
+        ForkJoin {
+            pool,
+            active,
+            regions,
+            chunks: active * 4,
+            chunk_ns: 40_000,
+        }
+    }
+}
+
+impl Workload for ForkJoin {
+    fn name(&self) -> &str {
+        "fork-join"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        assert!(self.active >= 1 && self.active <= self.pool);
+        let work_sem: SemId = w.semaphore(0);
+        let done_sem: SemId = w.semaphore(0);
+        let state = Rc::new(RegionState {
+            next_chunk: Cell::new(0),
+            chunks: Cell::new(self.chunks),
+            finished_workers: Cell::new(0),
+            active: Cell::new(self.active),
+            retired: Cell::new(false),
+        });
+        for _ in 0..self.pool {
+            w.spawn(ThreadSpec::new(Box::new(PoolWorker {
+                work_sem,
+                done_sem,
+                state: state.clone(),
+                chunk_ns: self.chunk_ns,
+                st: 0,
+                pool_retired: false,
+            })));
+        }
+        w.spawn(ThreadSpec::new(Box::new(Master {
+            work_sem,
+            done_sem,
+            state,
+            regions: self.regions,
+            region: 0,
+            chunks: self.chunks,
+            posted: 0,
+            joined: 0,
+            pool: self.pool,
+            retire_posts: 0,
+            st: 0,
+        })));
+    }
+}
+
+/// The master: per region, reset the chunk counter, release `active`
+/// workers, then join on the done semaphore `active` times.
+struct Master {
+    work_sem: SemId,
+    done_sem: SemId,
+    state: Rc<RegionState>,
+    regions: usize,
+    region: usize,
+    chunks: usize,
+    posted: usize,
+    joined: usize,
+    pool: usize,
+    retire_posts: usize,
+    st: u8,
+}
+
+impl Program for Master {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.region >= self.regions {
+            // Retire the pool: wake every worker so it can observe the
+            // retirement flag and exit (instead of sleeping forever).
+            self.state.retired.set(true);
+            if self.retire_posts < self.pool {
+                self.retire_posts += 1;
+                return Action::Sync(SyncOp::SemPost(self.work_sem));
+            }
+            return Action::Exit;
+        }
+        match self.st {
+            0 => {
+                // Serial part + region setup.
+                self.state.next_chunk.set(0);
+                self.state.chunks.set(self.chunks);
+                self.state.finished_workers.set(0);
+                self.posted = 0;
+                self.joined = 0;
+                self.st = 1;
+                Action::Compute { ns: 15_000 }
+            }
+            1 => {
+                // Fork: release the active workers one post at a time.
+                if self.posted < self.state.active.get() {
+                    self.posted += 1;
+                    Action::Sync(SyncOp::SemPost(self.work_sem))
+                } else {
+                    self.st = 2;
+                    Action::Compute { ns: 1 }
+                }
+            }
+            _ => {
+                // Join: collect one done token per worker.
+                if self.joined < self.state.active.get() {
+                    self.joined += 1;
+                    Action::Sync(SyncOp::SemWait(self.done_sem))
+                } else {
+                    self.st = 0;
+                    self.region += 1;
+                    Action::Compute { ns: 1 }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "forkjoin-master"
+    }
+}
+
+/// A pool worker: wait for a region, self-schedule chunks, report done.
+struct PoolWorker {
+    work_sem: SemId,
+    done_sem: SemId,
+    state: Rc<RegionState>,
+    chunk_ns: u64,
+    st: u8,
+    pool_retired: bool,
+}
+
+impl Program for PoolWorker {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.pool_retired {
+            return Action::Exit;
+        }
+        match self.st {
+            0 => {
+                self.st = 1;
+                Action::Sync(SyncOp::SemWait(self.work_sem))
+            }
+            1 if self.state.retired.get() => {
+                self.pool_retired = true;
+                Action::Exit
+            }
+            1 => {
+                // Claim a chunk (a shared-counter atomic).
+                let n = self.state.next_chunk.get();
+                if n < self.state.chunks.get() {
+                    self.state.next_chunk.set(n + 1);
+                    self.st = 2;
+                    Action::AtomicRmw { line: 0x7000 }
+                } else {
+                    // Region exhausted: report and go back to sleep.
+                    self.state
+                        .finished_workers
+                        .set(self.state.finished_workers.get() + 1);
+                    self.st = 0;
+                    Action::Sync(SyncOp::SemPost(self.done_sem))
+                }
+            }
+            _ => {
+                self.st = 1;
+                Action::Compute {
+                    ns: ctx.rng.jitter(self.chunk_ns, 0.2),
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "forkjoin-worker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_invariants() {
+        let f = ForkJoin::region_heavy(32, 8, 100);
+        assert_eq!(f.pool, 32);
+        assert_eq!(f.active, 8);
+        assert_eq!(f.chunks, 32);
+    }
+}

@@ -1,0 +1,21 @@
+//! Benchmark workloads: the microbenchmarks of the paper's measurement
+//! study, synchronization skeletons of the PARSEC / SPLASH-2 / NPB suites,
+//! and the memcached server used in the cloud-workload evaluation.
+//!
+//! This crate also defines the [`workload::Workload`] interface that the
+//! `oversub` engine executes.
+
+pub mod forkjoin;
+pub mod memcached;
+pub mod micro;
+pub mod pipeline;
+pub mod skeletons;
+pub mod webserving;
+pub mod workload;
+
+pub use forkjoin::ForkJoin;
+pub use memcached::Memcached;
+pub use pipeline::{SpinPipeline, WaitFlavor};
+pub use webserving::WebServing;
+pub use skeletons::{BenchProfile, OversubGroup, Skeleton, Suite, SyncKind};
+pub use workload::{ThreadSpec, Workload, WorldBuilder};

@@ -1,0 +1,260 @@
+//! The memcached server model (paper §4.2, Figure 12).
+//!
+//! Memcached worker threads block in `epoll_wait` (via libevent) until
+//! requests arrive, then look up / update a hash table protected by item
+//! locks (pthread mutexes over futex). We model:
+//!
+//! - `workers` worker threads, each with its own epoll instance, restricted
+//!   to the server cores;
+//! - a mutilate-style open-loop client running on dedicated client CPUs
+//!   (the paper uses a separate client machine): Poisson arrivals at a
+//!   configurable aggregate rate, 10:1 GET/SET mix, requests fanned out to
+//!   workers round-robin;
+//! - per-request latency measured from the client's send to the worker's
+//!   completion, collected into the run report's histogram.
+
+use oversub_hw::CpuId;
+use oversub_metrics::RunReport;
+use oversub_task::{Action, EpollFd, LockId, ProgCtx, Program, SyncOp};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::micro::OpsSink;
+use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+
+/// A queued request: send time and service cost.
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    sent_ns: u64,
+    service_ns: u64,
+    lock_idx: usize,
+}
+
+type Queue = Rc<RefCell<VecDeque<Request>>>;
+
+/// Configuration of the memcached experiment.
+pub struct Memcached {
+    /// Worker threads (the oversubscription knob: 4 vs 16).
+    pub workers: usize,
+    /// Server cores (CPUs `0..server_cores`).
+    pub server_cores: usize,
+    /// Client generator threads (each pinned to its own extra CPU).
+    pub clients: usize,
+    /// Aggregate offered load in requests/second.
+    pub rate_ops: f64,
+    /// GET fraction (paper: 10:1 GET/SET).
+    pub get_frac: f64,
+    /// Service time of a GET (lookup + 2 KiB response).
+    pub get_service_ns: u64,
+    /// Service time of a SET.
+    pub set_service_ns: u64,
+    /// Item locks protecting the hash table.
+    pub hash_locks: usize,
+    sink: OpsSink,
+}
+
+impl Memcached {
+    /// The paper's setup: 128 B keys / 2 KiB values, 10:1 GET/SET.
+    pub fn paper(workers: usize, server_cores: usize, rate_ops: f64) -> Self {
+        Memcached {
+            workers,
+            server_cores,
+            clients: 3,
+            rate_ops,
+            get_frac: 10.0 / 11.0,
+            get_service_ns: 9_000,
+            set_service_ns: 14_000,
+            hash_locks: 16,
+            sink: OpsSink::new(),
+        }
+    }
+
+    /// Total CPUs the machine needs (server + client).
+    pub fn total_cpus(&self) -> usize {
+        self.server_cores + self.clients
+    }
+}
+
+impl Workload for Memcached {
+    fn name(&self) -> &str {
+        "memcached"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let locks: Vec<LockId> = (0..self.hash_locks).map(|_| w.mutex()).collect();
+        let mut eps = Vec::new();
+        let mut queues: Vec<Queue> = Vec::new();
+        for _ in 0..self.workers {
+            eps.push(w.epoll_instance());
+            queues.push(Rc::new(RefCell::new(VecDeque::new())));
+        }
+        for i in 0..self.workers {
+            w.spawn(
+                ThreadSpec::new(Box::new(WorkerProg {
+                    ep: eps[i],
+                    queue: queues[i].clone(),
+                    locks: locks.clone(),
+                    sink: self.sink.clone(),
+                    state: WorkerState::Waiting,
+                }))
+                .allowed_range(0, self.server_cores)
+                // Connection buffers + hot hash-table share: what a
+                // migration or context switch must refetch.
+                .with_footprint(128 << 10),
+            );
+        }
+        let per_client_rate = self.rate_ops / self.clients as f64;
+        for c in 0..self.clients {
+            w.spawn(
+                ThreadSpec::new(Box::new(ClientProg {
+                    eps: eps.clone(),
+                    queues: queues.clone(),
+                    next_worker: c % self.workers,
+                    mean_gap_ns: 1e9 / per_client_rate,
+                    get_frac: self.get_frac,
+                    get_ns: self.get_service_ns,
+                    set_ns: self.set_service_ns,
+                    hash_locks: self.hash_locks,
+                    sending: false,
+                }))
+                .pinned_to(CpuId(self.server_cores + c)),
+            );
+        }
+    }
+
+    fn collect(&self, report: &mut RunReport) {
+        self.sink.collect(report);
+    }
+}
+
+enum WorkerState {
+    /// About to epoll_wait.
+    Waiting,
+    /// Just returned from epoll_wait / finished a request: pop next.
+    Dispatch,
+    /// Holding `lock`, about to compute the service time.
+    InCs {
+        lock: LockId,
+        sent_ns: u64,
+        service_ns: u64,
+    },
+    /// Service done, about to unlock.
+    Unlock { lock: LockId, sent_ns: u64 },
+    /// Request complete: record latency, then dispatch.
+    Record { sent_ns: u64 },
+}
+
+struct WorkerProg {
+    ep: EpollFd,
+    queue: Queue,
+    locks: Vec<LockId>,
+    sink: OpsSink,
+    state: WorkerState,
+}
+
+impl Program for WorkerProg {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        loop {
+            match self.state {
+                WorkerState::Waiting => {
+                    self.state = WorkerState::Dispatch;
+                    return Action::Sync(SyncOp::EpollWait(self.ep));
+                }
+                WorkerState::Dispatch => {
+                    let req = self.queue.borrow_mut().pop_front();
+                    match req {
+                        Some(r) => {
+                            self.state = WorkerState::InCs {
+                                lock: self.locks[r.lock_idx],
+                                sent_ns: r.sent_ns,
+                                service_ns: r.service_ns,
+                            };
+                            let lock = self.locks[r.lock_idx];
+                            return Action::Sync(SyncOp::MutexLock(lock));
+                        }
+                        None => {
+                            self.state = WorkerState::Waiting;
+                            continue;
+                        }
+                    }
+                }
+                WorkerState::InCs {
+                    lock,
+                    sent_ns,
+                    service_ns,
+                } => {
+                    self.state = WorkerState::Unlock { lock, sent_ns };
+                    return Action::Compute { ns: service_ns };
+                }
+                WorkerState::Unlock { lock, sent_ns } => {
+                    self.state = WorkerState::Record { sent_ns };
+                    return Action::Sync(SyncOp::MutexUnlock(lock));
+                }
+                WorkerState::Record { sent_ns } => {
+                    let latency = ctx.now.as_nanos().saturating_sub(sent_ns);
+                    self.sink.record(latency);
+                    self.state = WorkerState::Dispatch;
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "memcached-worker"
+    }
+}
+
+struct ClientProg {
+    eps: Vec<EpollFd>,
+    queues: Vec<Queue>,
+    next_worker: usize,
+    mean_gap_ns: f64,
+    get_frac: f64,
+    get_ns: u64,
+    set_ns: u64,
+    hash_locks: usize,
+    sending: bool,
+}
+
+impl Program for ClientProg {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.sending {
+            // Woken after the inter-arrival gap: emit the request *now*.
+            self.sending = false;
+            let is_get = ctx.rng.gen_bool(self.get_frac);
+            let service_ns =
+                ctx.rng.jitter(if is_get { self.get_ns } else { self.set_ns }, 0.2);
+            let lock_idx = ctx.rng.gen_index(self.hash_locks);
+            let wi = self.next_worker;
+            self.next_worker = (self.next_worker + 1) % self.queues.len();
+            self.queues[wi].borrow_mut().push_back(Request {
+                sent_ns: ctx.now.as_nanos(),
+                service_ns,
+                lock_idx,
+            });
+            return Action::Sync(SyncOp::EpollPost(self.eps[wi], 1));
+        }
+        self.sending = true;
+        let gap = ctx.rng.gen_exp(self.mean_gap_ns).max(200.0) as u64;
+        Action::IoWait { ns: gap }
+    }
+
+    fn name(&self) -> &str {
+        "mutilate-client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_defaults() {
+        let m = Memcached::paper(16, 4, 100_000.0);
+        assert_eq!(m.workers, 16);
+        assert_eq!(m.total_cpus(), 7);
+        assert!((m.get_frac - 10.0 / 11.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,447 @@
+//! Microbenchmarks from the paper's §2 measurement study and §4 evaluation.
+
+use oversub_hw::AccessPattern;
+use oversub_locks::SpinPolicy;
+use oversub_metrics::RunReport;
+use oversub_task::{Action, CondId, LockId, ProgCtx, Program, ScriptProgram, SyncOp};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+
+/// Figure 2(a): pure computation with a fixed total amount of work split
+/// across threads; each thread yields after every 750 µs of work (the
+/// minimum time slice), forcing context switches without any blocking.
+pub struct ComputeYield {
+    /// Number of threads splitting the fixed work.
+    pub threads: usize,
+    /// Total work across all threads (strong scaling).
+    pub total_work_ns: u64,
+    /// Work between voluntary switches (the paper uses 750 µs).
+    pub quantum_ns: u64,
+    /// Add a shared-cacheline atomic RMW per quantum (Figure 2b).
+    pub atomic: bool,
+}
+
+impl ComputeYield {
+    /// Figure 2(a) configuration.
+    pub fn fig2a(threads: usize, total_work_ns: u64) -> Self {
+        ComputeYield {
+            threads,
+            total_work_ns,
+            quantum_ns: 750_000,
+            atomic: false,
+        }
+    }
+
+    /// Figure 2(b) configuration (adds the `__sync_fetch_and_add`).
+    pub fn fig2b(threads: usize, total_work_ns: u64) -> Self {
+        ComputeYield {
+            atomic: true,
+            ..Self::fig2a(threads, total_work_ns)
+        }
+    }
+}
+
+impl Workload for ComputeYield {
+    fn name(&self) -> &str {
+        if self.atomic {
+            "compute-yield-atomic"
+        } else {
+            "compute-yield"
+        }
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let per_thread = self.total_work_ns / self.threads as u64;
+        let quanta = (per_thread / self.quantum_ns).max(1);
+        for _ in 0..self.threads {
+            let mut script = Vec::new();
+            for _ in 0..quanta {
+                script.push(Action::Compute {
+                    ns: self.quantum_ns,
+                });
+                if self.atomic {
+                    script.push(Action::AtomicRmw { line: 0x1000 });
+                }
+                script.push(Action::Yield);
+            }
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+    }
+}
+
+/// Figure 4: the array-walk microbenchmark measuring the indirect cost of
+/// context switching. `threads` threads each repeatedly traverse a private
+/// sub-array (`total_ws / threads` bytes) and yield after each traversal;
+/// all threads share one core. The single-thread run is the serial
+/// baseline.
+pub struct ArrayWalk {
+    /// Number of threads sharing the core (paper uses 1 vs 2).
+    pub threads: usize,
+    /// Total array size in bytes (split across threads).
+    pub total_ws: u64,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Number of full-array passes (each thread does `passes` traversals
+    /// of its sub-array).
+    pub passes: u64,
+}
+
+impl Workload for ArrayWalk {
+    fn name(&self) -> &str {
+        "array-walk"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let sub_ws = (self.total_ws / self.threads as u64).max(64);
+        let elems = sub_ws / 8; // doubles, as in the paper
+        for _ in 0..self.threads {
+            let mut script = Vec::new();
+            for _ in 0..self.passes {
+                script.push(Action::MemTraversal {
+                    pattern: self.pattern,
+                    ws_bytes: sub_ws,
+                    elems,
+                });
+                script.push(Action::Yield);
+            }
+            w.spawn(
+                ThreadSpec::new(Box::new(ScriptProgram::once(script)))
+                    .with_footprint(sub_ws),
+            );
+        }
+    }
+}
+
+/// Which pthreads primitive the Figure 10 stress test exercises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Primitive {
+    /// `pthread_mutex`: serial lock/unlock pairs.
+    Mutex,
+    /// `pthread_cond`: N-1 waiters, one broadcaster per round.
+    Cond,
+    /// `pthread_barrier`: all threads meet each round.
+    Barrier,
+}
+
+impl Primitive {
+    /// Figure 10 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Primitive::Mutex => "pthread_mutex",
+            Primitive::Cond => "pthread_cond",
+            Primitive::Barrier => "pthread_barrier",
+        }
+    }
+}
+
+/// Figure 10: threads repeatedly exercising one blocking primitive
+/// (10 000 rounds in the paper; configurable here).
+pub struct PrimitiveStress {
+    /// Thread count.
+    pub threads: usize,
+    /// Rounds of the primitive.
+    pub rounds: usize,
+    /// Which primitive.
+    pub primitive: Primitive,
+    /// Small compute between operations.
+    pub work_ns: u64,
+}
+
+impl PrimitiveStress {
+    /// The paper's configuration: 10 000 iterations.
+    pub fn paper(threads: usize, primitive: Primitive) -> Self {
+        PrimitiveStress {
+            threads,
+            rounds: 10_000,
+            primitive,
+            work_ns: 2_000,
+        }
+    }
+}
+
+impl Workload for PrimitiveStress {
+    fn name(&self) -> &str {
+        self.primitive.label()
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        match self.primitive {
+            Primitive::Mutex => {
+                let m = w.mutex();
+                for _ in 0..self.threads {
+                    let mut script = Vec::new();
+                    for _ in 0..self.rounds {
+                        script.push(Action::Sync(SyncOp::MutexLock(m)));
+                        script.push(Action::Compute { ns: self.work_ns });
+                        script.push(Action::Sync(SyncOp::MutexUnlock(m)));
+                        script.push(Action::Compute { ns: self.work_ns });
+                    }
+                    w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+                }
+            }
+            Primitive::Barrier => {
+                let b = w.barrier(self.threads);
+                for i in 0..self.threads {
+                    let mut script = Vec::new();
+                    for k in 0..self.rounds {
+                        let jitter = (i as u64 * 131 + k as u64 * 17) % (self.work_ns / 2 + 1);
+                        script.push(Action::Compute {
+                            ns: self.work_ns + jitter,
+                        });
+                        script.push(Action::Sync(SyncOp::BarrierWait(b)));
+                    }
+                    w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+                }
+            }
+            Primitive::Cond => {
+                // Generation-guarded broadcast rounds (predicate re-checked
+                // after every wake, as correct condvar usage demands).
+                let m = w.mutex();
+                let cv = w.condvar();
+                let gen: Rc<Cell<usize>> = Rc::new(Cell::new(0));
+                for _ in 0..self.threads.saturating_sub(1) {
+                    w.spawn(ThreadSpec::new(Box::new(CondStressWaiter {
+                        m,
+                        cv,
+                        gen: gen.clone(),
+                        rounds: self.rounds,
+                        round: 0,
+                        work_ns: self.work_ns,
+                        st: 0,
+                    })));
+                }
+                w.spawn(ThreadSpec::new(Box::new(CondStressMaster {
+                    m,
+                    cv,
+                    gen,
+                    rounds: self.rounds,
+                    round: 0,
+                    work_ns: self.work_ns * 4,
+                    st: 0,
+                })));
+            }
+        }
+    }
+}
+
+struct CondStressMaster {
+    m: LockId,
+    cv: CondId,
+    gen: Rc<Cell<usize>>,
+    rounds: usize,
+    round: usize,
+    work_ns: u64,
+    st: u8,
+}
+
+impl Program for CondStressMaster {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.rounds {
+            return Action::Exit;
+        }
+        match self.st {
+            0 => {
+                self.st = 1;
+                Action::Compute { ns: self.work_ns }
+            }
+            1 => {
+                self.st = 2;
+                Action::Sync(SyncOp::MutexLock(self.m))
+            }
+            2 => {
+                self.gen.set(self.round + 1);
+                self.st = 3;
+                Action::Sync(SyncOp::CondBroadcast(self.cv))
+            }
+            _ => {
+                self.st = 0;
+                self.round += 1;
+                Action::Sync(SyncOp::MutexUnlock(self.m))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cond-stress-master"
+    }
+}
+
+struct CondStressWaiter {
+    m: LockId,
+    cv: CondId,
+    gen: Rc<Cell<usize>>,
+    rounds: usize,
+    round: usize,
+    work_ns: u64,
+    st: u8,
+}
+
+impl Program for CondStressWaiter {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.rounds {
+            return Action::Exit;
+        }
+        match self.st {
+            0 => {
+                self.st = 1;
+                Action::Sync(SyncOp::MutexLock(self.m))
+            }
+            1 => {
+                if self.gen.get() > self.round {
+                    self.st = 2;
+                    Action::Sync(SyncOp::MutexUnlock(self.m))
+                } else {
+                    Action::Sync(SyncOp::CondWait {
+                        cond: self.cv,
+                        mutex: self.m,
+                    })
+                }
+            }
+            _ => {
+                self.st = 0;
+                self.round += 1;
+                Action::Compute { ns: self.work_ns }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cond-stress-waiter"
+    }
+}
+
+/// Figure 13 / stress harness for the ten spinlock algorithms: all threads
+/// contend one spinlock of the given policy. Strong scaling: `iters` is
+/// the *total* number of pipeline stages, divided among threads.
+pub struct SpinlockStress {
+    /// Thread count.
+    pub threads: usize,
+    /// Total lock acquisitions across all threads (strong scaling).
+    pub iters: usize,
+    /// Critical-section length.
+    pub cs_ns: u64,
+    /// Work outside the lock.
+    pub out_ns: u64,
+    /// Which algorithm.
+    pub policy: SpinPolicy,
+}
+
+impl SpinlockStress {
+    /// The Figure 13 shape: stages are tightly coupled — critical sections
+    /// long enough that lock-holder preemption is frequent under
+    /// oversubscription, which is what makes every algorithm collapse.
+    pub fn fig13(threads: usize, policy: SpinPolicy, iters: usize) -> Self {
+        SpinlockStress {
+            threads,
+            iters,
+            cs_ns: 400_000,
+            out_ns: 400_000,
+            policy,
+        }
+    }
+}
+
+impl Workload for SpinlockStress {
+    fn name(&self) -> &str {
+        self.policy.name
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let l = w.spinlock(self.policy);
+        let per_thread = (self.iters / self.threads).max(1);
+        for i in 0..self.threads {
+            let mut script = Vec::new();
+            for k in 0..per_thread {
+                script.push(Action::Sync(SyncOp::SpinAcquire(l)));
+                script.push(Action::Compute { ns: self.cs_ns });
+                script.push(Action::Sync(SyncOp::SpinRelease(l)));
+                let jitter = (i as u64 * 251 + k as u64 * 31) % (self.out_ns / 2 + 1);
+                script.push(Action::Compute {
+                    ns: self.out_ns + jitter,
+                });
+            }
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+    }
+}
+
+/// Table 2's sensitivity probe: on a single core, thread #1 holds a
+/// spinlock for long stretches while thread #2 keeps trying to acquire it;
+/// every contended attempt is a ground-truth spin episode.
+pub struct TpProbe {
+    /// Spinlock algorithm under test.
+    pub policy: SpinPolicy,
+    /// Number of lock acquisitions attempted by the contender.
+    pub tries: usize,
+    /// Hold time of the holder per acquisition.
+    pub hold_ns: u64,
+}
+
+impl TpProbe {
+    /// A paper-scale probe (tens of thousands of tries take a while; the
+    /// defaults keep unit runs fast and the bench harness scales up).
+    pub fn new(policy: SpinPolicy, tries: usize) -> Self {
+        TpProbe {
+            policy,
+            tries,
+            hold_ns: 400_000,
+        }
+    }
+}
+
+impl Workload for TpProbe {
+    fn name(&self) -> &str {
+        "bwd-tp-probe"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let l = w.spinlock(self.policy);
+        // Holder: long critical sections, brief gaps.
+        let mut script = Vec::new();
+        for _ in 0..self.tries {
+            script.push(Action::Sync(SyncOp::SpinAcquire(l)));
+            script.push(Action::Compute { ns: self.hold_ns });
+            script.push(Action::Sync(SyncOp::SpinRelease(l)));
+            script.push(Action::Compute { ns: 2_000 });
+        }
+        w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        // Contender: short critical sections, immediately retries.
+        let mut script = Vec::new();
+        for _ in 0..self.tries {
+            script.push(Action::Sync(SyncOp::SpinAcquire(l)));
+            script.push(Action::Compute { ns: 1_000 });
+            script.push(Action::Sync(SyncOp::SpinRelease(l)));
+            script.push(Action::Compute { ns: 1_000 });
+        }
+        w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+    }
+}
+
+/// Shared result sink for workloads that record per-op latencies.
+#[derive(Clone, Default)]
+pub struct OpsSink {
+    inner: Rc<RefCell<(oversub_metrics::LatencyHist, u64)>>,
+}
+
+impl OpsSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one operation's latency.
+    pub fn record(&self, latency_ns: u64) {
+        let mut g = self.inner.borrow_mut();
+        g.0.record(latency_ns);
+        g.1 += 1;
+    }
+
+    /// Fold the collected data into a report.
+    pub fn collect(&self, report: &mut RunReport) {
+        let g = self.inner.borrow();
+        report.latency = g.0.clone();
+        report.completed_ops = g.1;
+    }
+}

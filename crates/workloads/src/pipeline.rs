@@ -1,0 +1,270 @@
+//! The multi-stage pipeline microbenchmark of §4.3.
+//!
+//! "We designed a micro-benchmark with a multi-stage pipeline, with each
+//! stage assigned to a separate thread. Each thread spins on the
+//! completion of the previous stage before starting its own stage. As
+//! such, the slowdown of one stage could cause cascading delays to the
+//! downstream stages."
+//!
+//! Two waiting flavours are provided:
+//! - [`WaitFlavor::Flags`]: bare flag polling (the `lu`-style loop of
+//!   Figure 6 — invisible to PLE);
+//! - [`WaitFlavor::SpinLock`]: waiting through one of the ten spinlock
+//!   algorithms (each stage's completion guarded by a lock the consumer
+//!   must acquire).
+
+use oversub_locks::SpinPolicy;
+use oversub_task::{Action, FlagId, LockId, ProgCtx, Program, SpinSig, SyncOp};
+
+use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+
+/// How downstream stages wait for upstream completion.
+#[derive(Clone, Copy, Debug)]
+pub enum WaitFlavor {
+    /// Poll a shared flag word with a bare loop.
+    Flags,
+    /// Acquire a spinlock of the given policy protecting the stage's
+    /// hand-off slot.
+    SpinLock(SpinPolicy),
+}
+
+/// The pipeline benchmark.
+pub struct SpinPipeline {
+    /// Number of stages (= threads).
+    pub stages: usize,
+    /// Items pushed through the pipeline.
+    pub items: usize,
+    /// Per-stage processing time per item.
+    pub stage_ns: u64,
+    /// Waiting flavour.
+    pub flavor: WaitFlavor,
+}
+
+impl SpinPipeline {
+    /// The paper-shaped configuration.
+    pub fn new(stages: usize, items: usize, flavor: WaitFlavor) -> Self {
+        SpinPipeline {
+            stages,
+            items,
+            stage_ns: 120_000,
+            flavor,
+        }
+    }
+}
+
+impl Workload for SpinPipeline {
+    fn name(&self) -> &str {
+        "spin-pipeline"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        match self.flavor {
+            WaitFlavor::Flags => {
+                // progress[i] = number of items stage i has completed.
+                // Stage i processes item k once progress[i-1] > k.
+                let progress: Vec<FlagId> =
+                    (0..self.stages).map(|_| w.flag(0)).collect();
+                for i in 0..self.stages {
+                    w.spawn(ThreadSpec::new(Box::new(FlagStage {
+                        upstream: if i == 0 { None } else { Some(progress[i - 1]) },
+                        // Bounded buffer of 1: a stage may not run more
+                        // than one item ahead of its consumer — the
+                        // tight coupling that makes one descheduled
+                        // stage cascade through the whole pipeline.
+                        downstream: if i + 1 < self.stages {
+                            Some(progress[i + 1])
+                        } else {
+                            None
+                        },
+                        mine: progress[i],
+                        items: self.items,
+                        stage_ns: self.stage_ns,
+                        done: 0,
+                        st: 0,
+                        salt: i as u64 + 1,
+                    })));
+                }
+            }
+            WaitFlavor::SpinLock(policy) => {
+                // One hand-off lock per stage boundary; the shared counter
+                // behind it says how many items have crossed.
+                let locks: Vec<LockId> = (0..self.stages)
+                    .map(|_| w.spinlock(policy))
+                    .collect();
+                let counters: Vec<FlagId> =
+                    (0..self.stages).map(|_| w.flag(0)).collect();
+                for i in 0..self.stages {
+                    w.spawn(ThreadSpec::new(Box::new(LockStage {
+                        upstream_lock: if i == 0 { None } else { Some(locks[i - 1]) },
+                        upstream_count: if i == 0 { None } else { Some(counters[i - 1]) },
+                        my_lock: locks[i],
+                        my_count: counters[i],
+                        items: self.items,
+                        stage_ns: self.stage_ns,
+                        done: 0,
+                        st: 0,
+                        salt: i as u64 + 1,
+                    })));
+                }
+            }
+        }
+    }
+}
+
+/// Flag-polling stage: spin until upstream's progress counter passes the
+/// item we need, process, publish.
+struct FlagStage {
+    upstream: Option<FlagId>,
+    downstream: Option<FlagId>,
+    mine: FlagId,
+    items: usize,
+    stage_ns: u64,
+    done: usize,
+    st: u8,
+    salt: u64,
+}
+
+impl Program for FlagStage {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.done >= self.items {
+            return Action::Exit;
+        }
+        match self.st {
+            0 => {
+                self.st = 1;
+                match self.upstream {
+                    // Spin while upstream's progress still equals our done
+                    // count (it has not produced our item yet).
+                    Some(f) => Action::Sync(SyncOp::FlagSpinWhileEq {
+                        flag: f,
+                        while_eq: self.done as u64,
+                        sig: SpinSig::bare_loop(0x50 + self.salt),
+                    }),
+                    None => Action::Compute { ns: 1 },
+                }
+            }
+            1 => {
+                self.st = 2;
+                // Back-pressure: wait until the consumer is at most one
+                // item behind before producing the next.
+                match (self.downstream, self.done) {
+                    (Some(f), d) if d >= 1 => Action::Sync(SyncOp::FlagSpinWhileEq {
+                        flag: f,
+                        while_eq: (d - 1) as u64,
+                        sig: SpinSig::bare_loop(0x70 + self.salt),
+                    }),
+                    _ => Action::Compute { ns: 1 },
+                }
+            }
+            2 => {
+                self.st = 3;
+                Action::Compute { ns: self.stage_ns }
+            }
+            _ => {
+                self.st = 0;
+                self.done += 1;
+                Action::Sync(SyncOp::FlagSet {
+                    flag: self.mine,
+                    value: self.done as u64,
+                })
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pipeline-flag-stage"
+    }
+}
+
+/// Spinlock-guarded stage: take the upstream hand-off lock to check/claim
+/// the item, process under own lock, publish.
+struct LockStage {
+    upstream_lock: Option<LockId>,
+    upstream_count: Option<FlagId>,
+    my_lock: LockId,
+    my_count: FlagId,
+    items: usize,
+    stage_ns: u64,
+    done: usize,
+    st: u8,
+    salt: u64,
+}
+
+impl Program for LockStage {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.done >= self.items {
+            return Action::Exit;
+        }
+        match self.st {
+            0 => {
+                // Wait for the upstream item (flag poll models the
+                // condition; the lock acquisition models the hand-off
+                // contention through the chosen algorithm).
+                self.st = 1;
+                match self.upstream_count {
+                    Some(f) => Action::Sync(SyncOp::FlagSpinWhileEq {
+                        flag: f,
+                        while_eq: self.done as u64,
+                        sig: SpinSig::bare_loop(0x90 + self.salt),
+                    }),
+                    None => Action::Compute { ns: 1 },
+                }
+            }
+            1 => {
+                self.st = 2;
+                match self.upstream_lock {
+                    Some(l) => Action::Sync(SyncOp::SpinAcquire(l)),
+                    None => Action::Compute { ns: 1 },
+                }
+            }
+            2 => {
+                self.st = 3;
+                match self.upstream_lock {
+                    Some(l) => Action::Sync(SyncOp::SpinRelease(l)),
+                    None => Action::Compute { ns: 1 },
+                }
+            }
+            3 => {
+                self.st = 4;
+                Action::Compute { ns: self.stage_ns }
+            }
+            4 => {
+                self.st = 5;
+                Action::Sync(SyncOp::SpinAcquire(self.my_lock))
+            }
+            5 => {
+                self.st = 6;
+                Action::Sync(SyncOp::FlagSet {
+                    flag: self.my_count,
+                    value: self.done as u64 + 1,
+                })
+            }
+            _ => {
+                // Increment only here: the top-of-next exit check must not
+                // fire while the stage still holds its lock.
+                self.st = 0;
+                self.done += 1;
+                let _ = ctx;
+                Action::Sync(SyncOp::SpinRelease(self.my_lock))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pipeline-lock-stage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        let p = SpinPipeline::new(8, 100, WaitFlavor::Flags);
+        assert_eq!(p.stages, 8);
+        assert_eq!(p.items, 100);
+        let q = SpinPipeline::new(4, 10, WaitFlavor::SpinLock(SpinPolicy::mcs()));
+        assert!(matches!(q.flavor, WaitFlavor::SpinLock(_)));
+    }
+}

@@ -1,0 +1,842 @@
+//! Synchronization skeletons of the PARSEC 3.0, SPLASH-2, and NPB
+//! benchmarks.
+//!
+//! We cannot run the real suites inside a simulator, but the paper's
+//! results depend on each benchmark's *synchronization structure* — what
+//! primitive it uses, how often it synchronizes (Figure 3), how its lock
+//! count scales, whether it busy-waits — and on its memory behaviour.
+//! Each [`BenchProfile`] captures exactly those properties, taken from the
+//! paper's descriptions and the well-known structure of the suites, and
+//! [`Skeleton`] expands a profile into a strong-scaling workload:
+//! the total work is fixed and divided among however many threads the run
+//! provisions.
+
+use oversub_hw::{AccessPattern, MemModel};
+use oversub_simcore::MICROS;
+use oversub_task::{Action, CondId, FlagId, LockId, ProgCtx, Program, ScriptProgram, SpinSig, SyncOp};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+
+/// Benchmark suite of origin.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// PARSEC 3.0.
+    Parsec,
+    /// SPLASH-2.
+    Splash2,
+    /// NAS Parallel Benchmarks.
+    Npb,
+}
+
+/// The paper's Figure 1 classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OversubGroup {
+    /// Not affected by oversubscription.
+    Neutral,
+    /// Benefits from oversubscription (TLB effects).
+    Benefits,
+    /// Suffers under oversubscription.
+    Suffers,
+}
+
+/// Synchronization structure of a benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncKind {
+    /// Embarrassingly parallel: no inter-thread synchronization.
+    None,
+    /// Iterations guarded by locks from a pool.
+    MutexPool {
+        /// Locks in the pool (at the reference thread count).
+        locks: usize,
+        /// Lock operations per iteration grow with the thread count
+        /// (fluidanimate's boundary-cell locks).
+        scales_with_threads: bool,
+    },
+    /// Phases separated by pthread barriers.
+    Barrier,
+    /// Master/worker rounds coordinated by a condition variable.
+    CondPhases,
+    /// Phases separated by a *custom spin barrier* (flag polling — the
+    /// `lu` / `volrend` pattern of Figure 6/14).
+    SpinBarrier,
+}
+
+/// Static description of one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// Figure 1 group.
+    pub group: OversubGroup,
+    /// Synchronization structure.
+    pub sync: SyncKind,
+    /// Mean work between synchronizations at the reference thread count
+    /// (16), i.e. the Figure 3 interval.
+    pub sync_interval_ns: u64,
+    /// Synchronization episodes (barrier rounds / iteration count).
+    pub phases: usize,
+    /// Working set in bytes, divided among threads (strong scaling).
+    pub ws_bytes: u64,
+    /// Memory pattern of the compute phases, if memory-bound.
+    pub mem_pattern: Option<AccessPattern>,
+    /// Serial (master-only) work per phase — Amdahl limit for Figure 11.
+    pub serial_ns: u64,
+    /// Emit a short non-sync tight loop every N phases (BWD FP bait:
+    /// convergence tests, delay loops).
+    pub tight_loop_every: usize,
+    /// The paper's Figure 1 normalized execution time at 32T/8c (vanilla),
+    /// used for EXPERIMENTS.md comparisons.
+    pub paper_fig1_slowdown: f64,
+}
+
+impl BenchProfile {
+    /// All 32 benchmarks in the paper's Figure 1 order.
+    pub fn all() -> Vec<BenchProfile> {
+        use AccessPattern::*;
+        use OversubGroup::*;
+        use Suite::*;
+        let us = MICROS;
+        vec![
+            // ---- Group 1: unaffected --------------------------------
+            BenchProfile { name: "blackscholes", suite: Parsec, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 4000 * us, phases: 60, ws_bytes: 8 << 20, mem_pattern: None, serial_ns: 20_000, tight_loop_every: 0, paper_fig1_slowdown: 1.00 },
+            BenchProfile { name: "canneal", suite: Parsec, group: Neutral, sync: SyncKind::MutexPool { locks: 64, scales_with_threads: false }, sync_interval_ns: 1500 * us, phases: 180, ws_bytes: 64 << 20, mem_pattern: Some(RndRead), serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.97 },
+            BenchProfile { name: "ferret", suite: Parsec, group: Neutral, sync: SyncKind::CondPhases, sync_interval_ns: 2000 * us, phases: 120, ws_bytes: 16 << 20, mem_pattern: None, serial_ns: 40_000, tight_loop_every: 0, paper_fig1_slowdown: 1.02 },
+            BenchProfile { name: "swaptions", suite: Parsec, group: Neutral, sync: SyncKind::None, sync_interval_ns: 5000 * us, phases: 64, ws_bytes: 2 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 1.00 },
+            BenchProfile { name: "vips", suite: Parsec, group: Neutral, sync: SyncKind::CondPhases, sync_interval_ns: 1800 * us, phases: 140, ws_bytes: 32 << 20, mem_pattern: None, serial_ns: 30_000, tight_loop_every: 0, paper_fig1_slowdown: 1.01 },
+            BenchProfile { name: "barnes", suite: Splash2, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 2500 * us, phases: 90, ws_bytes: 16 << 20, mem_pattern: None, serial_ns: 50_000, tight_loop_every: 0, paper_fig1_slowdown: 0.98 },
+            BenchProfile { name: "fft", suite: Splash2, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 3000 * us, phases: 48, ws_bytes: 48 << 20, mem_pattern: Some(RndRead), serial_ns: 20_000, tight_loop_every: 0, paper_fig1_slowdown: 0.93 },
+            BenchProfile { name: "fmm", suite: Splash2, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 2200 * us, phases: 80, ws_bytes: 24 << 20, mem_pattern: None, serial_ns: 40_000, tight_loop_every: 0, paper_fig1_slowdown: 0.97 },
+            BenchProfile { name: "radiosity", suite: Splash2, group: Neutral, sync: SyncKind::MutexPool { locks: 32, scales_with_threads: false }, sync_interval_ns: 1600 * us, phases: 200, ws_bytes: 12 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.95 },
+            BenchProfile { name: "raytrace", suite: Splash2, group: Neutral, sync: SyncKind::MutexPool { locks: 16, scales_with_threads: false }, sync_interval_ns: 2800 * us, phases: 110, ws_bytes: 20 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.98 },
+            BenchProfile { name: "ep", suite: Npb, group: Neutral, sync: SyncKind::None, sync_interval_ns: 8000 * us, phases: 48, ws_bytes: 1 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.85 },
+            // ---- Group 2: benefits ----------------------------------
+            BenchProfile { name: "bodytrack", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 900 * us, phases: 240, ws_bytes: 96 << 20, mem_pattern: Some(RndRead), serial_ns: 60_000, tight_loop_every: 0, paper_fig1_slowdown: 0.92 },
+            BenchProfile { name: "facesim", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 160 * us, phases: 900, ws_bytes: 128 << 20, mem_pattern: Some(RndRmw), serial_ns: 18_000, tight_loop_every: 0, paper_fig1_slowdown: 0.88 },
+            BenchProfile { name: "x264", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 700 * us, phases: 300, ws_bytes: 64 << 20, mem_pattern: Some(RndRead), serial_ns: 25_000, tight_loop_every: 0, paper_fig1_slowdown: 0.93 },
+            BenchProfile { name: "water", suite: Splash2, group: Benefits, sync: SyncKind::Barrier, sync_interval_ns: 1100 * us, phases: 160, ws_bytes: 80 << 20, mem_pattern: Some(RndRmw), serial_ns: 15_000, tight_loop_every: 0, paper_fig1_slowdown: 0.94 },
+            BenchProfile { name: "dedup", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 800 * us, phases: 220, ws_bytes: 72 << 20, mem_pattern: Some(RndRead), serial_ns: 40_000, tight_loop_every: 0, paper_fig1_slowdown: 0.91 },
+            // ---- Group 3: suffers -----------------------------------
+            BenchProfile { name: "fluidanimate", suite: Parsec, group: Suffers, sync: SyncKind::MutexPool { locks: 40, scales_with_threads: true }, sync_interval_ns: 250 * us, phases: 1200, ws_bytes: 48 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 1.35 },
+            BenchProfile { name: "freqmine", suite: Parsec, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 350 * us, phases: 700, ws_bytes: 40 << 20, mem_pattern: Some(RndRead), serial_ns: 25_000, tight_loop_every: 0, paper_fig1_slowdown: 1.21 },
+            BenchProfile { name: "streamcluster", suite: Parsec, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 170 * us, phases: 1600, ws_bytes: 24 << 20, mem_pattern: None, serial_ns: 12_000, tight_loop_every: 0, paper_fig1_slowdown: 1.62 },
+            BenchProfile { name: "cholesky", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 300 * us, phases: 650, ws_bytes: 32 << 20, mem_pattern: None, serial_ns: 18_000, tight_loop_every: 0, paper_fig1_slowdown: 1.40 },
+            BenchProfile { name: "lu_cb", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 280 * us, phases: 800, ws_bytes: 32 << 20, mem_pattern: None, serial_ns: 15_000, tight_loop_every: 0, paper_fig1_slowdown: 1.48 },
+            BenchProfile { name: "ocean", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 220 * us, phases: 1100, ws_bytes: 56 << 20, mem_pattern: None, serial_ns: 14_000, tight_loop_every: 0, paper_fig1_slowdown: 1.52 },
+            BenchProfile { name: "radix", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 380 * us, phases: 520, ws_bytes: 64 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 0, paper_fig1_slowdown: 1.28 },
+            BenchProfile { name: "volrend", suite: Splash2, group: Suffers, sync: SyncKind::SpinBarrier, sync_interval_ns: 240 * us, phases: 850, ws_bytes: 16 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 19, paper_fig1_slowdown: 25.66 },
+            BenchProfile { name: "is", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 420 * us, phases: 420, ws_bytes: 64 << 20, mem_pattern: None, serial_ns: 8_000, tight_loop_every: 23, paper_fig1_slowdown: 1.30 },
+            BenchProfile { name: "cg", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 180 * us, phases: 1500, ws_bytes: 96 << 20, mem_pattern: None, serial_ns: 9_000, tight_loop_every: 31, paper_fig1_slowdown: 1.72 },
+            BenchProfile { name: "mg", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 260 * us, phases: 950, ws_bytes: 112 << 20, mem_pattern: None, serial_ns: 11_000, tight_loop_every: 29, paper_fig1_slowdown: 1.50 },
+            BenchProfile { name: "ft", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 340 * us, phases: 600, ws_bytes: 128 << 20, mem_pattern: None, serial_ns: 12_000, tight_loop_every: 37, paper_fig1_slowdown: 1.42 },
+            BenchProfile { name: "sp", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 200 * us, phases: 1300, ws_bytes: 72 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 41, paper_fig1_slowdown: 1.60 },
+            BenchProfile { name: "bt", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 240 * us, phases: 1000, ws_bytes: 80 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 43, paper_fig1_slowdown: 1.52 },
+            BenchProfile { name: "ua", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 130 * us, phases: 2100, ws_bytes: 64 << 20, mem_pattern: None, serial_ns: 9_000, tight_loop_every: 47, paper_fig1_slowdown: 2.78 },
+            BenchProfile { name: "lu", suite: Npb, group: Suffers, sync: SyncKind::SpinBarrier, sync_interval_ns: 210 * us, phases: 1100, ws_bytes: 48 << 20, mem_pattern: None, serial_ns: 8_000, tight_loop_every: 17, paper_fig1_slowdown: 9.95 },
+        ]
+    }
+
+    /// Look up a benchmark by name.
+    pub fn by_name(name: &str) -> Option<BenchProfile> {
+        Self::all().into_iter().find(|p| p.name == name)
+    }
+
+    /// The 13 blocking-synchronization benchmarks of Figure 9 / Table 1.
+    pub fn fig9_set() -> Vec<BenchProfile> {
+        [
+            "fluidanimate", "freqmine", "streamcluster", "lu_cb", "ocean",
+            "radix", "is", "cg", "mg", "ft", "sp", "bt", "ua",
+        ]
+        .iter()
+        .map(|n| Self::by_name(n).expect("known benchmark"))
+        .collect()
+    }
+
+    /// Reference thread count the sync interval is quoted at.
+    pub const REF_THREADS: usize = 16;
+
+    /// Per-thread work between synchronizations when run with `threads`
+    /// (strong scaling: the same total work is divided further).
+    pub fn work_per_phase_ns(&self, threads: usize) -> u64 {
+        (self.sync_interval_ns * Self::REF_THREADS as u64) / threads.max(1) as u64
+    }
+}
+
+/// A runnable skeleton: a profile plus a thread count.
+pub struct Skeleton {
+    /// Profile to expand.
+    pub profile: BenchProfile,
+    /// Threads to provision.
+    pub threads: usize,
+    /// Scale factor on `phases` (harnesses shrink runs for quick tests).
+    pub phase_scale: f64,
+    /// Replace the native futex barrier with a barrier built over a mutex
+    /// of this kind (the §4.4 SHFLLOCK comparison substitutes the lock
+    /// library under the pthreads primitives).
+    pub barrier_mutex: Option<oversub_locks::MutexKind>,
+    /// Perturbation salt: folded into the per-thread work jitter so
+    /// different seeds exercise different interleavings.
+    pub salt: u64,
+}
+
+impl Skeleton {
+    /// Full-size skeleton.
+    pub fn new(profile: BenchProfile, threads: usize) -> Self {
+        Skeleton {
+            profile,
+            threads,
+            phase_scale: 1.0,
+            barrier_mutex: None,
+            salt: 0,
+        }
+    }
+
+    /// Reduced-phase skeleton (for fast harness runs; relative results are
+    /// unchanged because every arm shrinks identically).
+    pub fn scaled(profile: BenchProfile, threads: usize, phase_scale: f64) -> Self {
+        Skeleton {
+            profile,
+            threads,
+            phase_scale,
+            barrier_mutex: None,
+            salt: 0,
+        }
+    }
+
+    /// Fold a seed into the jitter (different interleavings per seed).
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Substitute the synchronization library: barriers are rebuilt over a
+    /// mutex of `kind` plus a condition variable (Figure 15's arms).
+    pub fn with_barrier_mutex(mut self, kind: oversub_locks::MutexKind) -> Self {
+        self.barrier_mutex = Some(kind);
+        self
+    }
+
+    fn phases(&self) -> usize {
+        ((self.profile.phases as f64 * self.phase_scale) as usize).max(4)
+    }
+
+    /// Work for one phase of one thread: a compute part and, for
+    /// memory-bound benchmarks, a memory-traversal part.
+    ///
+    /// Real programs are a blend: [`MEM_SHARE`] of each phase is memory
+    /// traversal sized in *elements* (strong scaling — the total element
+    /// count per phase is fixed, so splitting the working set across more
+    /// threads can genuinely speed phases up via the paper's TLB effect),
+    /// the rest is plain compute sized in time.
+    fn work_actions(&self, ns: u64) -> (Action, Option<Action>) {
+        /// Fraction of a memory-bound phase spent in the traversal.
+        const MEM_SHARE: f64 = 0.45;
+        match self.profile.mem_pattern {
+            Some(pattern) => {
+                let sub_ws = (self.profile.ws_bytes / self.threads as u64).max(4096);
+                // Calibrate the per-phase element total at the reference
+                // thread count, then divide among this run's threads.
+                let mem = MemModel::default();
+                let ref_ws =
+                    (self.profile.ws_bytes / BenchProfile::REF_THREADS as u64).max(4096);
+                let per_ref = mem.per_elem(pattern, ref_ws).0.max(0.25);
+                let total_elems = (self.profile.sync_interval_ns as f64
+                    * MEM_SHARE
+                    * BenchProfile::REF_THREADS as f64
+                    / per_ref) as u64;
+                let elems = (total_elems / self.threads as u64).max(64);
+                let compute = Action::Compute {
+                    ns: ((ns as f64) * (1.0 - MEM_SHARE)) as u64,
+                };
+                (
+                    compute,
+                    Some(Action::MemTraversal {
+                        pattern,
+                        ws_bytes: sub_ws,
+                        elems,
+                    }),
+                )
+            }
+            None => (Action::Compute { ns }, None),
+        }
+    }
+
+}
+
+impl Workload for Skeleton {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let threads = self.threads;
+        let phases = self.phases();
+        let work = self.profile.work_per_phase_ns(threads);
+        match self.profile.sync {
+            SyncKind::None => {
+                for i in 0..threads {
+                    let mut script = Vec::with_capacity(phases * 2);
+                    for k in 0..phases {
+                        let jitter = (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 8 + 1);
+                        let (compute, mem) = self.work_actions(work + jitter);
+                        script.push(compute);
+                        if let Some(m) = mem {
+                            script.push(m);
+                        }
+                    }
+                    w.spawn(
+                        ThreadSpec::new(Box::new(ScriptProgram::once(script)))
+                            .with_footprint(self.profile.ws_bytes / threads as u64),
+                    );
+                }
+            }
+            SyncKind::Barrier if self.barrier_mutex.is_some() => {
+                // Library-substituted barrier: a counter + condvar over a
+                // mutex of the requested kind (how pthread_barrier is
+                // built, with the low-level lock swapped out).
+                let kind = self.barrier_mutex.expect("guarded");
+                let m = w.mutex_of(kind);
+                let cv = w.condvar();
+                let state: Rc<Cell<(usize, u64)>> = Rc::new(Cell::new((0, 0)));
+                for i in 0..threads {
+                    let jitter = |k: usize| (i as u64 * 61 + k as u64 * 7) % (work / 6 + 1);
+                    let _ = jitter;
+                    let work_i = work + (i as u64 * 61 + self.salt * 131) % (work / 6 + 1);
+                    w.spawn(
+                        ThreadSpec::new(Box::new(LockBarrierThread {
+                            m,
+                            cv,
+                            state: state.clone(),
+                            parties: threads,
+                            phases,
+                            round: 0,
+                            target_gen: 0,
+                            work_ns: work_i,
+                            serial_ns: if i == 0 { self.profile.serial_ns } else { 0 },
+                            st: 0,
+                        }))
+                        .with_footprint(self.profile.ws_bytes / threads as u64),
+                    );
+                }
+            }
+            SyncKind::Barrier => {
+                let b = w.barrier(threads);
+                for i in 0..threads {
+                    let mut script = Vec::with_capacity(phases * 2);
+                    for k in 0..phases {
+                        let jitter = (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 6 + 1);
+                        let (compute, mem) = self.work_actions(work + jitter);
+                        script.push(compute);
+                        if let Some(m) = mem {
+                            script.push(m);
+                        }
+                        if i == 0 && self.profile.serial_ns > 0 {
+                            script.push(Action::Compute {
+                                ns: self.profile.serial_ns,
+                            });
+                        }
+                        if self.profile.tight_loop_every > 0
+                            && i == 0
+                            && k % self.profile.tight_loop_every == 0
+                        {
+                            script.push(Action::TightLoop {
+                                ns: 3_000,
+                                sig: SpinSig::bare_loop(900 + i as u64),
+                            });
+                        }
+                        script.push(Action::Sync(SyncOp::BarrierWait(b)));
+                    }
+                    w.spawn(
+                        ThreadSpec::new(Box::new(ScriptProgram::once(script)))
+                            .with_footprint(self.profile.ws_bytes / threads as u64),
+                    );
+                }
+            }
+            SyncKind::MutexPool {
+                locks,
+                scales_with_threads,
+            } => {
+                let nlocks = if scales_with_threads {
+                    locks * threads / BenchProfile::REF_THREADS.min(threads)
+                } else {
+                    locks
+                };
+                let lock_ids: Vec<_> = (0..nlocks.max(1)).map(|_| w.mutex()).collect();
+                let ops_per_iter = if scales_with_threads {
+                    1 + threads / 8
+                } else {
+                    1
+                };
+                for i in 0..threads {
+                    let mut script = Vec::with_capacity(phases * 4);
+                    for k in 0..phases {
+                        let jitter = (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 6 + 1);
+                        let (compute, mem) = self.work_actions(work + jitter);
+                        script.push(compute);
+                        if let Some(m) = mem {
+                            script.push(m);
+                        }
+                        for op in 0..ops_per_iter {
+                            let l = lock_ids
+                                [(i * 31 + k * 7 + op * 13) % lock_ids.len()];
+                            script.push(Action::Sync(SyncOp::MutexLock(l)));
+                            script.push(Action::Compute { ns: 3_000 });
+                            script.push(Action::Sync(SyncOp::MutexUnlock(l)));
+                        }
+                    }
+                    w.spawn(
+                        ThreadSpec::new(Box::new(ScriptProgram::once(script)))
+                            .with_footprint(self.profile.ws_bytes / threads as u64),
+                    );
+                }
+            }
+            SyncKind::CondPhases => {
+                // Master/worker rounds: workers wait on a condition
+                // variable guarded by a generation predicate (standard
+                // lost-signal-safe usage); the master computes its serial
+                // part, bumps the generation, and broadcasts.
+                let m = w.mutex();
+                let cv = w.condvar();
+                let gen: Rc<Cell<usize>> = Rc::new(Cell::new(0));
+                for i in 0..threads {
+                    let work_i = work + (i as u64 * 61 + self.salt * 131) % (work / 6 + 1);
+                    let (action, mem_action) = self.work_actions(work_i);
+                    if i == 0 {
+                        w.spawn(
+                            ThreadSpec::new(Box::new(CondMaster {
+                                m,
+                                cv,
+                                gen: gen.clone(),
+                                rounds: phases,
+                                round: 0,
+                                work: action,
+                                mem: mem_action,
+                                serial_ns: self.profile.serial_ns.max(1),
+                                state: 0,
+                            }))
+                            .with_footprint(self.profile.ws_bytes / threads as u64),
+                        );
+                    } else {
+                        w.spawn(
+                            ThreadSpec::new(Box::new(CondWorker {
+                                m,
+                                cv,
+                                gen: gen.clone(),
+                                rounds: phases,
+                                round: 0,
+                                work: action,
+                                mem: mem_action,
+                                state: 0,
+                            }))
+                            .with_footprint(self.profile.ws_bytes / threads as u64),
+                        );
+                    }
+                }
+            }
+            SyncKind::SpinBarrier => {
+                // Custom sense-reversing spin barrier over flag words:
+                // workers publish arrival on their own flag and poll the
+                // master's "go" flag; the master polls every worker flag,
+                // then releases the round. All waiting is busy-waiting in
+                // user code — invisible to futex, visible to BWD.
+                let go = w.flag(0);
+                let done: Vec<FlagId> = (0..threads - 1).map(|_| w.flag(0)).collect();
+                let work_ns = work;
+                let phases_n = phases;
+                for i in 0..threads {
+                    if i == 0 {
+                        w.spawn(ThreadSpec::new(Box::new(SpinMaster {
+                            round: 0,
+                            phases: phases_n,
+                            work_ns,
+                            serial_ns: self.profile.serial_ns,
+                            done: done.clone(),
+                            next_wait: 0,
+                            go,
+                            state: 0,
+                            tight_loop_every: self.profile.tight_loop_every,
+                        })));
+                    } else {
+                        w.spawn(ThreadSpec::new(Box::new(SpinWorker {
+                            round: 0,
+                            phases: phases_n,
+                            work_ns: work_ns + (i as u64 * 61 + self.salt * 131) % (work_ns / 6 + 1),
+                            mine: done[i - 1],
+                            go,
+                            state: 0,
+                            salt: i as u64,
+                        })));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One participant of a barrier rebuilt over an arbitrary mutex kind:
+/// `lock; arrived += 1; last ? (gen += 1, broadcast) : wait-until-gen;
+/// unlock` — the classic centralized barrier, with the mutex kind deciding
+/// how contended waiters behave (park, spin-then-park, shuffle).
+struct LockBarrierThread {
+    m: LockId,
+    cv: CondId,
+    /// (arrived, generation).
+    state: Rc<Cell<(usize, u64)>>,
+    parties: usize,
+    phases: usize,
+    round: usize,
+    target_gen: u64,
+    work_ns: u64,
+    serial_ns: u64,
+    st: u8,
+}
+
+impl Program for LockBarrierThread {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.phases {
+            return Action::Exit;
+        }
+        match self.st {
+            0 => {
+                self.st = 1;
+                Action::Compute {
+                    ns: self.work_ns + self.serial_ns,
+                }
+            }
+            1 => {
+                self.st = 2;
+                Action::Sync(SyncOp::MutexLock(self.m))
+            }
+            2 => {
+                // Holding the mutex: register arrival.
+                let (arrived, gen) = self.state.get();
+                if arrived + 1 == self.parties {
+                    self.state.set((0, gen + 1));
+                    self.st = 3;
+                    Action::Sync(SyncOp::CondBroadcast(self.cv))
+                } else {
+                    self.state.set((arrived + 1, gen));
+                    self.target_gen = gen + 1;
+                    self.st = 4;
+                    Action::Sync(SyncOp::CondWait {
+                        cond: self.cv,
+                        mutex: self.m,
+                    })
+                }
+            }
+            3 => {
+                // Broadcast done: release and start the next round.
+                self.st = 0;
+                self.round += 1;
+                Action::Sync(SyncOp::MutexUnlock(self.m))
+            }
+            _ => {
+                // Woken with the mutex held: re-check the generation.
+                let (_, gen) = self.state.get();
+                if gen >= self.target_gen {
+                    self.st = 0;
+                    self.round += 1;
+                    Action::Sync(SyncOp::MutexUnlock(self.m))
+                } else {
+                    Action::Sync(SyncOp::CondWait {
+                        cond: self.cv,
+                        mutex: self.m,
+                    })
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lock-barrier"
+    }
+}
+
+/// Master of the condvar master/worker rounds: computes, bumps the shared
+/// generation under the mutex, broadcasts.
+struct CondMaster {
+    m: LockId,
+    cv: CondId,
+    gen: Rc<Cell<usize>>,
+    rounds: usize,
+    round: usize,
+    work: Action,
+    mem: Option<Action>,
+    serial_ns: u64,
+    state: u8,
+}
+
+impl Program for CondMaster {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.rounds {
+            return Action::Exit;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                self.work
+            }
+            1 => {
+                self.state = 2;
+                self.mem.unwrap_or(Action::Compute { ns: 1 })
+            }
+            2 => {
+                self.state = 3;
+                Action::Compute { ns: self.serial_ns }
+            }
+            3 => {
+                self.state = 4;
+                Action::Sync(SyncOp::MutexLock(self.m))
+            }
+            4 => {
+                // Holding the mutex: advance the generation, broadcast.
+                self.gen.set(self.round + 1);
+                self.state = 5;
+                Action::Sync(SyncOp::CondBroadcast(self.cv))
+            }
+            _ => {
+                self.state = 0;
+                self.round += 1;
+                Action::Sync(SyncOp::MutexUnlock(self.m))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cond-master"
+    }
+}
+
+/// Worker of the condvar rounds: waits until the generation passes its
+/// round (predicate re-checked after every wake — no lost signals).
+struct CondWorker {
+    m: LockId,
+    cv: CondId,
+    gen: Rc<Cell<usize>>,
+    rounds: usize,
+    round: usize,
+    work: Action,
+    mem: Option<Action>,
+    state: u8,
+}
+
+impl Program for CondWorker {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.rounds {
+            return Action::Exit;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                self.work
+            }
+            1 => {
+                self.state = 2;
+                self.mem.unwrap_or(Action::Compute { ns: 1 })
+            }
+            2 => {
+                self.state = 3;
+                Action::Sync(SyncOp::MutexLock(self.m))
+            }
+            _ => {
+                // Mutex held here (CondWait re-acquires on return).
+                if self.gen.get() > self.round {
+                    self.state = 0;
+                    self.round += 1;
+                    Action::Sync(SyncOp::MutexUnlock(self.m))
+                } else {
+                    Action::Sync(SyncOp::CondWait {
+                        cond: self.cv,
+                        mutex: self.m,
+                    })
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cond-worker"
+    }
+}
+
+/// Master of the custom spin barrier.
+struct SpinMaster {
+    round: usize,
+    phases: usize,
+    work_ns: u64,
+    serial_ns: u64,
+    done: Vec<FlagId>,
+    next_wait: usize,
+    go: FlagId,
+    state: u8,
+    tight_loop_every: usize,
+}
+
+impl Program for SpinMaster {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.phases {
+            return Action::Exit;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                Action::Compute {
+                    ns: self.work_ns + self.serial_ns,
+                }
+            }
+            1 => {
+                // Poll each worker's arrival flag in turn.
+                if self.next_wait < self.done.len() {
+                    let f = self.done[self.next_wait];
+                    self.next_wait += 1;
+                    Action::Sync(SyncOp::FlagSpinWhileEq {
+                        flag: f,
+                        while_eq: self.round as u64,
+                        sig: SpinSig::bare_loop(7_000 + self.next_wait as u64),
+                    })
+                } else {
+                    self.next_wait = 0;
+                    self.state = 2;
+                    // Release the round.
+                    Action::Sync(SyncOp::FlagSet {
+                        flag: self.go,
+                        value: self.round as u64 + 1,
+                    })
+                }
+            }
+            _ => {
+                self.state = 0;
+                self.round += 1;
+                if self.tight_loop_every > 0 && self.round.is_multiple_of(self.tight_loop_every) {
+                    Action::TightLoop {
+                        ns: 3_000,
+                        sig: SpinSig::bare_loop(8_000),
+                    }
+                } else {
+                    Action::Compute { ns: 1 }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spin-barrier-master"
+    }
+}
+
+/// Worker of the custom spin barrier.
+struct SpinWorker {
+    round: usize,
+    phases: usize,
+    work_ns: u64,
+    mine: FlagId,
+    go: FlagId,
+    state: u8,
+    salt: u64,
+}
+
+impl Program for SpinWorker {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        if self.round >= self.phases {
+            return Action::Exit;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                Action::Compute { ns: self.work_ns }
+            }
+            1 => {
+                self.state = 2;
+                // Publish arrival.
+                Action::Sync(SyncOp::FlagSet {
+                    flag: self.mine,
+                    value: self.round as u64 + 1,
+                })
+            }
+            _ => {
+                self.state = 0;
+                let r = self.round;
+                self.round += 1;
+                // Busy-wait for the release.
+                Action::Sync(SyncOp::FlagSpinWhileEq {
+                    flag: self.go,
+                    while_eq: r as u64,
+                    sig: SpinSig::bare_loop(6_000 + self.salt),
+                })
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spin-barrier-worker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_32_benchmarks_present_with_unique_names() {
+        let all = BenchProfile::all();
+        assert_eq!(all.len(), 32);
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn fig9_set_is_the_papers_13() {
+        let set = BenchProfile::fig9_set();
+        assert_eq!(set.len(), 13);
+        assert!(set
+            .iter()
+            .all(|p| p.group == OversubGroup::Suffers));
+        // Spin benchmarks are excluded from the blocking study.
+        assert!(set.iter().all(|p| p.sync != SyncKind::SpinBarrier));
+    }
+
+    #[test]
+    fn groups_partition_as_in_figure1() {
+        let all = BenchProfile::all();
+        let neutral = all.iter().filter(|p| p.group == OversubGroup::Neutral).count();
+        let benefits = all.iter().filter(|p| p.group == OversubGroup::Benefits).count();
+        let suffers = all.iter().filter(|p| p.group == OversubGroup::Suffers).count();
+        assert_eq!(neutral + benefits + suffers, 32);
+        assert!(suffers >= 13, "group 3 contains the Figure 9 set");
+        // The custom-spin benchmarks carry the extreme slowdowns.
+        for name in ["lu", "volrend"] {
+            let p = BenchProfile::by_name(name).unwrap();
+            assert_eq!(p.sync, SyncKind::SpinBarrier);
+            assert!(p.paper_fig1_slowdown > 5.0);
+        }
+    }
+
+    #[test]
+    fn strong_scaling_divides_work() {
+        let p = BenchProfile::by_name("cg").unwrap();
+        let w16 = p.work_per_phase_ns(16);
+        let w32 = p.work_per_phase_ns(32);
+        assert_eq!(w16, p.sync_interval_ns);
+        assert_eq!(w32 * 2, w16);
+    }
+
+    #[test]
+    fn sync_intervals_match_figure3_shape() {
+        // Most benchmarks synchronize less often than every 1000 µs is
+        // FALSE for the suffering group; the paper's histogram has most
+        // mass below 1000 µs with facesim at 160 µs.
+        let all = BenchProfile::all();
+        let min = all.iter().map(|p| p.sync_interval_ns).min().unwrap();
+        assert!(min >= 100_000, "no interval below 100 µs");
+        let below_ms = all
+            .iter()
+            .filter(|p| p.sync_interval_ns <= 1_000_000)
+            .count();
+        assert!(below_ms >= 15, "most of groups 2-3 sync within 1 ms");
+    }
+}

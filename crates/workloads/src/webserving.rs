@@ -1,0 +1,244 @@
+//! A CloudSuite-style web-serving workload (the paper's §4.2 mentions the
+//! CloudSuite web-serving results "confirmed our findings" for
+//! loosely-coupled cloud workloads).
+//!
+//! Structure: `workers` epoll-driven request handlers on the server cores.
+//! Each request goes through three phases:
+//! 1. parse + session lookup under a session-table mutex,
+//! 2. an off-CPU backend call (database/memcached round trip — `IoWait`),
+//! 3. response rendering (compute).
+//!
+//! The backend wait makes every request sleep and wake *twice* (epoll +
+//! I/O completion), doubling the pressure on the kernel wakeup path
+//! compared to memcached — exactly the kind of service that benefits from
+//! VB while barely noticing oversubscription otherwise.
+
+use oversub_hw::CpuId;
+use oversub_metrics::RunReport;
+use oversub_task::{Action, EpollFd, LockId, ProgCtx, Program, SyncOp};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::micro::OpsSink;
+use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    sent_ns: u64,
+    parse_ns: u64,
+    backend_ns: u64,
+    render_ns: u64,
+    session_lock: usize,
+}
+
+type Queue = Rc<RefCell<VecDeque<Request>>>;
+
+/// Web-serving configuration.
+pub struct WebServing {
+    /// Worker threads.
+    pub workers: usize,
+    /// Server cores (workers restricted to CPUs `0..server_cores`).
+    pub server_cores: usize,
+    /// Client generator threads (one extra CPU each).
+    pub clients: usize,
+    /// Aggregate offered load, requests/second.
+    pub rate_ops: f64,
+    /// Session-table locks.
+    pub session_locks: usize,
+    /// Mean backend (database) round trip.
+    pub backend_ns: u64,
+    sink: OpsSink,
+}
+
+impl WebServing {
+    /// A nginx/php-like shape: ~8 µs parse, ~60 µs backend, ~20 µs render.
+    pub fn new(workers: usize, server_cores: usize, rate_ops: f64) -> Self {
+        WebServing {
+            workers,
+            server_cores,
+            clients: 2,
+            rate_ops,
+            session_locks: 32,
+            backend_ns: 60_000,
+            sink: OpsSink::new(),
+        }
+    }
+
+    /// Total CPUs needed (server + clients).
+    pub fn total_cpus(&self) -> usize {
+        self.server_cores + self.clients
+    }
+}
+
+impl Workload for WebServing {
+    fn name(&self) -> &str {
+        "web-serving"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let locks: Vec<LockId> = (0..self.session_locks).map(|_| w.mutex()).collect();
+        let mut eps = Vec::new();
+        let mut queues: Vec<Queue> = Vec::new();
+        for _ in 0..self.workers {
+            eps.push(w.epoll_instance());
+            queues.push(Rc::new(RefCell::new(VecDeque::new())));
+        }
+        for i in 0..self.workers {
+            w.spawn(
+                ThreadSpec::new(Box::new(WebWorker {
+                    ep: eps[i],
+                    queue: queues[i].clone(),
+                    locks: locks.clone(),
+                    sink: self.sink.clone(),
+                    st: WState::Waiting,
+                }))
+                .allowed_range(0, self.server_cores)
+                .with_footprint(256 << 10),
+            );
+        }
+        let per_client = self.rate_ops / self.clients as f64;
+        for c in 0..self.clients {
+            w.spawn(
+                ThreadSpec::new(Box::new(WebClient {
+                    eps: eps.clone(),
+                    queues: queues.clone(),
+                    next: c % self.workers,
+                    mean_gap_ns: 1e9 / per_client,
+                    backend_ns: self.backend_ns,
+                    sending: false,
+                }))
+                .pinned_to(CpuId(self.server_cores + c)),
+            );
+        }
+    }
+
+    fn collect(&self, report: &mut RunReport) {
+        self.sink.collect(report);
+    }
+}
+
+enum WState {
+    Waiting,
+    Dispatch,
+    /// Parsing done; holding the session lock.
+    Session { req: Request },
+    /// Unlock after the session update.
+    Unlock { req: Request },
+    /// Backend round trip.
+    Backend { req: Request },
+    /// Render the response.
+    Render { req: Request },
+    /// Record and loop.
+    Record { sent_ns: u64 },
+}
+
+struct WebWorker {
+    ep: EpollFd,
+    queue: Queue,
+    locks: Vec<LockId>,
+    sink: OpsSink,
+    st: WState,
+}
+
+impl Program for WebWorker {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        loop {
+            match self.st {
+                WState::Waiting => {
+                    self.st = WState::Dispatch;
+                    return Action::Sync(SyncOp::EpollWait(self.ep));
+                }
+                WState::Dispatch => match self.queue.borrow_mut().pop_front() {
+                    Some(req) => {
+                        self.st = WState::Session { req };
+                        return Action::Sync(SyncOp::MutexLock(
+                            self.locks[req.session_lock % self.locks.len()],
+                        ));
+                    }
+                    None => {
+                        self.st = WState::Waiting;
+                        continue;
+                    }
+                },
+                WState::Session { req } => {
+                    self.st = WState::Unlock { req };
+                    return Action::Compute { ns: req.parse_ns };
+                }
+                WState::Unlock { req } => {
+                    self.st = WState::Backend { req };
+                    return Action::Sync(SyncOp::MutexUnlock(
+                        self.locks[req.session_lock % self.locks.len()],
+                    ));
+                }
+                WState::Backend { req } => {
+                    self.st = WState::Render { req };
+                    return Action::IoWait { ns: req.backend_ns };
+                }
+                WState::Render { req } => {
+                    self.st = WState::Record {
+                        sent_ns: req.sent_ns,
+                    };
+                    return Action::Compute { ns: req.render_ns };
+                }
+                WState::Record { sent_ns } => {
+                    self.sink
+                        .record(ctx.now.as_nanos().saturating_sub(sent_ns));
+                    self.st = WState::Dispatch;
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "web-worker"
+    }
+}
+
+struct WebClient {
+    eps: Vec<EpollFd>,
+    queues: Vec<Queue>,
+    next: usize,
+    mean_gap_ns: f64,
+    backend_ns: u64,
+    sending: bool,
+}
+
+impl Program for WebClient {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.sending {
+            self.sending = false;
+            let wi = self.next;
+            self.next = (self.next + 1) % self.queues.len();
+            let req = Request {
+                sent_ns: ctx.now.as_nanos(),
+                parse_ns: ctx.rng.jitter(8_000, 0.3),
+                backend_ns: ctx.rng.jitter(self.backend_ns, 0.4),
+                render_ns: ctx.rng.jitter(20_000, 0.3),
+                session_lock: ctx.rng.gen_index(1024),
+            };
+            self.queues[wi].borrow_mut().push_back(req);
+            return Action::Sync(SyncOp::EpollPost(self.eps[wi], 1));
+        }
+        self.sending = true;
+        let gap = ctx.rng.gen_exp(self.mean_gap_ns).max(500.0) as u64;
+        Action::IoWait { ns: gap }
+    }
+
+    fn name(&self) -> &str {
+        "web-client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_defaults() {
+        let w = WebServing::new(16, 4, 50_000.0);
+        assert_eq!(w.total_cpus(), 6);
+        assert_eq!(w.session_locks, 32);
+    }
+}

@@ -1,0 +1,187 @@
+//! The workload interface: how benchmarks plug into the simulation engine.
+
+use oversub_hw::CpuId;
+use oversub_ksync::EpollTable;
+use oversub_locks::{MutexKind, SpinPolicy, SyncRegistry};
+use oversub_metrics::RunReport;
+use oversub_task::{BarrierId, CondId, EpollFd, FlagId, LockId, Program, SemId};
+
+/// A thread to launch: its program and optional placement constraints.
+pub struct ThreadSpec {
+    /// The driving program.
+    pub program: Box<dyn Program>,
+    /// Preferred initial CPU (defaults to round-robin).
+    pub initial_cpu: Option<CpuId>,
+    /// Hard pin (overrides the run-level `pinned` flag).
+    pub pinned: Option<CpuId>,
+    /// Initial cache footprint estimate in bytes.
+    pub footprint: u64,
+    /// Allowed-CPU bitmask (cpuset). Defaults to all CPUs.
+    pub allowed: u64,
+    /// CFS load weight (1024 = nice 0; 512 ~ nice +3; 2048 ~ nice -3).
+    pub weight: u32,
+}
+
+impl ThreadSpec {
+    /// A plain thread running `program`.
+    pub fn new(program: Box<dyn Program>) -> Self {
+        ThreadSpec {
+            program,
+            initial_cpu: None,
+            pinned: None,
+            footprint: 0,
+            allowed: u64::MAX,
+            weight: 1024,
+        }
+    }
+
+    /// Set the CFS load weight (1024 = nice 0).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Restrict the thread to CPUs `[lo, hi)` (cpuset).
+    pub fn allowed_range(mut self, lo: usize, hi: usize) -> Self {
+        let mut mask = 0u64;
+        for c in lo..hi.min(64) {
+            mask |= 1 << c;
+        }
+        self.allowed = mask;
+        if self.initial_cpu.is_none() {
+            self.initial_cpu = Some(CpuId(lo));
+        }
+        self
+    }
+
+    /// Set the cache footprint estimate.
+    pub fn with_footprint(mut self, bytes: u64) -> Self {
+        self.footprint = bytes;
+        self
+    }
+
+    /// Pin to a CPU.
+    pub fn pinned_to(mut self, cpu: CpuId) -> Self {
+        self.pinned = Some(cpu);
+        self.initial_cpu = Some(cpu);
+        self
+    }
+}
+
+/// Handed to [`Workload::build`]: create sync objects and threads here.
+pub struct WorldBuilder {
+    /// Synchronization objects of the simulated process.
+    pub sync: SyncRegistry,
+    /// The epoll layer (create instances for server workloads).
+    pub epoll: EpollTable,
+    /// Threads to launch.
+    pub threads: Vec<ThreadSpec>,
+    /// Number of online cores the run starts with.
+    pub cores: usize,
+}
+
+impl WorldBuilder {
+    /// Create a builder for a machine with `cores` online CPUs.
+    pub fn new(cores: usize, epoll: EpollTable) -> Self {
+        WorldBuilder {
+            sync: SyncRegistry::new(),
+            epoll,
+            threads: Vec::new(),
+            cores,
+        }
+    }
+
+    /// Add a thread; returns its index (== its `TaskId`).
+    pub fn spawn(&mut self, spec: ThreadSpec) -> usize {
+        self.threads.push(spec);
+        self.threads.len() - 1
+    }
+
+    /// Shorthand: create a pthread mutex.
+    pub fn mutex(&mut self) -> LockId {
+        self.sync.create_mutex(MutexKind::Pthread)
+    }
+
+    /// Shorthand: create a mutex of a specific kind.
+    pub fn mutex_of(&mut self, kind: MutexKind) -> LockId {
+        self.sync.create_mutex(kind)
+    }
+
+    /// Shorthand: create a condition variable.
+    pub fn condvar(&mut self) -> CondId {
+        self.sync.create_condvar()
+    }
+
+    /// Shorthand: create a barrier.
+    pub fn barrier(&mut self, parties: usize) -> BarrierId {
+        self.sync.create_barrier(parties)
+    }
+
+    /// Shorthand: create a semaphore.
+    pub fn semaphore(&mut self, initial: i64) -> SemId {
+        self.sync.create_sem(initial)
+    }
+
+    /// Shorthand: create a spinlock.
+    pub fn spinlock(&mut self, policy: SpinPolicy) -> LockId {
+        self.sync.create_spinlock(policy)
+    }
+
+    /// Shorthand: create a flag word.
+    pub fn flag(&mut self, initial: u64) -> FlagId {
+        self.sync.create_flag(initial)
+    }
+
+    /// Shorthand: create an epoll instance.
+    pub fn epoll_instance(&mut self) -> EpollFd {
+        self.epoll.create()
+    }
+}
+
+/// A benchmark: builds its world, then harvests workload-specific results
+/// into the report after the run.
+pub trait Workload {
+    /// Canonical name (used as figure/table row labels).
+    fn name(&self) -> &str;
+
+    /// Create synchronization objects and threads.
+    fn build(&mut self, world: &mut WorldBuilder);
+
+    /// Harvest workload-level results (latency histograms, op counts).
+    fn collect(&self, _report: &mut RunReport) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oversub_ksync::FutexParams;
+    use oversub_task::{Action, FnProgram};
+
+    #[test]
+    fn builder_allocates_objects() {
+        let mut w = WorldBuilder::new(4, EpollTable::new(FutexParams::default()));
+        let m = w.mutex();
+        let b = w.barrier(4);
+        let f = w.flag(0);
+        let ep = w.epoll_instance();
+        assert_eq!(m.0, 0);
+        assert_eq!(b.0, 0);
+        assert_eq!(f.0, 0);
+        assert_eq!(ep.0, 0);
+        let idx = w.spawn(ThreadSpec::new(Box::new(FnProgram::new("t", |_| {
+            Action::Exit
+        }))));
+        assert_eq!(idx, 0);
+        assert_eq!(w.threads.len(), 1);
+    }
+
+    #[test]
+    fn thread_spec_builders() {
+        let s = ThreadSpec::new(Box::new(FnProgram::new("t", |_| Action::Exit)))
+            .with_footprint(1 << 20)
+            .pinned_to(CpuId(3));
+        assert_eq!(s.footprint, 1 << 20);
+        assert_eq!(s.pinned, Some(CpuId(3)));
+        assert_eq!(s.initial_cpu, Some(CpuId(3)));
+    }
+}

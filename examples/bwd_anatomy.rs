@@ -1,0 +1,88 @@
+//! Anatomy of a busy-waiting detection: watch the detector's inputs and
+//! the scheduling timeline for one spin episode.
+//!
+//! Run with: `cargo run --release --example bwd_anatomy`
+
+use oversub::hw::{CoreHw, NormalCodeRates};
+use oversub::task::SpinSig;
+use oversub::trace::TraceKind;
+use oversub::workload::{ThreadSpec, Workload, WorldBuilder};
+use oversub::{run_traced, Mechanisms, RunConfig};
+use oversub::task::{Action, ScriptProgram, SyncOp};
+use oversub_bwd::{BwdParams, Detector};
+
+fn main() {
+    println!("1. What the detector sees\n");
+    let mut det = Detector::new(BwdParams {
+        enabled: true,
+        ..BwdParams::default()
+    });
+
+    // A 100 µs window of ordinary code.
+    let mut hw = CoreHw::new();
+    hw.note_normal_execution(100_000, &NormalCodeRates::default(), 7);
+    println!(
+        "   normal window: ring full of identical backward branches? {}   misses: L1D {}, TLB {}",
+        hw.lbr.all_identical_backward(),
+        hw.pmc.l1d_misses,
+        hw.pmc.tlb_misses,
+    );
+    println!("   -> detected: {}\n", det.check_window(&hw));
+
+    // A window that is pure spin (the lu-style bare loop of Figure 6).
+    let sig = SpinSig::bare_loop(1);
+    let mut hw = CoreHw::new();
+    hw.note_spin(sig.branch_from, sig.branch_to, 100_000 / sig.iter_ns, sig.instr_per_iter);
+    println!(
+        "   spin window:   ring full of identical backward branches? {}   misses: L1D {}, TLB {}",
+        hw.lbr.all_identical_backward(),
+        hw.pmc.l1d_misses,
+        hw.pmc.tlb_misses,
+    );
+    println!("   -> detected: {}\n", det.check_window(&hw));
+
+    println!("2. The detection in a real run\n");
+    // One holder grabs a spinlock for a long stretch; one waiter spins.
+    struct Probe;
+    impl Workload for Probe {
+        fn name(&self) -> &str {
+            "bwd-anatomy"
+        }
+        fn build(&mut self, w: &mut WorldBuilder) {
+            let l = w.spinlock(oversub::locks::SpinPolicy::mcs());
+            // The holder grabs the lock and computes for 4 ms — longer
+            // than its time slice, so the waiter gets scheduled mid-hold
+            // and burns CPU spinning until BWD notices.
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(vec![
+                Action::Sync(SyncOp::SpinAcquire(l)),
+                Action::Compute { ns: 4_000_000 },
+                Action::Sync(SyncOp::SpinRelease(l)),
+            ]))));
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(vec![
+                Action::Compute { ns: 10_000 },
+                Action::Sync(SyncOp::SpinAcquire(l)), // spins on one core
+                Action::Compute { ns: 10_000 },
+                Action::Sync(SyncOp::SpinRelease(l)),
+            ]))));
+        }
+    }
+    let cfg = RunConfig::vanilla(1)
+        .with_mech(Mechanisms::bwd_only())
+        .traced();
+    let (report, trace) = run_traced(&mut Probe, &cfg);
+    println!("   timeline (one core, holder + spinner):");
+    print!("{}", trace.render_tail(40));
+    println!();
+    println!(
+        "   detections: {}   deschedules: {}   spin time burnt: {:.0} us",
+        report.bwd.detections,
+        report.tasks.bwd_deschedules,
+        report.cpus.spin_ns as f64 / 1e3,
+    );
+    let spinner = oversub::task::TaskId(1);
+    println!(
+        "   the spinner was BWD-descheduled {} time(s), then ran to completion.",
+        trace.count(spinner, TraceKind::BwdDeschedule)
+    );
+    println!("\n   (report summary)\n{}", report.summary());
+}

@@ -1,0 +1,52 @@
+//! Busy-waiting under oversubscription (paper §4.3, Figures 6 and 13):
+//! ten spinlock algorithms collapse when threads outnumber cores, hardware
+//! pause-loop exiting barely helps (and only sees PAUSE-based loops inside
+//! VMs), and software busy-waiting detection rescues them all.
+//!
+//! Run with: `cargo run --release --example spinlock_showdown`
+
+use oversub::workload::Workload;
+use oversub::{run_labelled, ExecEnv, MachineSpec, Mechanisms, RunConfig};
+use oversub::locks::SpinPolicy;
+use oversub::workloads::micro::SpinlockStress;
+
+fn time(policy: SpinPolicy, threads: usize, mech: Mechanisms, env: ExecEnv) -> f64 {
+    let mut wl = SpinlockStress::fig13(threads, policy, 256);
+    let mut cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::Paper8Cores)
+        .with_mech(mech);
+    cfg.env = env;
+    let label = wl.name().to_string();
+    run_labelled(&mut wl, &cfg, &label).makespan_secs()
+}
+
+fn main() {
+    println!("Figure 6's two spin shapes:");
+    println!("  pthread spinlock   -> PAUSE/NOP loop  (PLE can see it, in a VM)");
+    println!("  NPB-lu style       -> bare test loop  (invisible to PLE)\n");
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12}",
+        "lock", "8T", "32T vanilla", "32T PLE", "32T BWD"
+    );
+    for policy in SpinPolicy::all() {
+        let base = time(policy, 8, Mechanisms::vanilla(), ExecEnv::Vm);
+        let over = time(policy, 32, Mechanisms::vanilla(), ExecEnv::Vm);
+        let ple = time(policy, 32, Mechanisms::ple_only(), ExecEnv::Vm);
+        let bwd = time(policy, 32, Mechanisms::bwd_only(), ExecEnv::Vm);
+        println!(
+            "{:<12} {:>9.3}s {:>11.3}s {:>9.3}s {:>11.3}s   {}",
+            policy.name,
+            base,
+            over,
+            ple,
+            bwd,
+            if policy.pause { "(PAUSE loop)" } else { "(bare loop)" },
+        );
+    }
+    println!(
+        "\nBWD reads the 16-entry LBR every 100 us: a full ring of identical\n\
+         backward branches with zero TLB/L1D misses is a spinner, whatever the\n\
+         loop looks like — so all ten algorithms recover to near the 8T baseline."
+    );
+}

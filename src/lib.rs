@@ -1,0 +1,3 @@
+//! Umbrella crate re-exporting the public API of the thread-oversubscription
+//! library. See [`oversub`] for the main entry points.
+pub use oversub::*;

@@ -1,0 +1,158 @@
+//! Calibration tests: the headline shapes of the paper must emerge from
+//! the model — Figure 1's three groups, Figure 9's VB recovery, Figure
+//! 13/14's BWD recovery, and Figure 12's tail-latency collapse.
+
+use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
+use oversub::metrics::RunReport;
+use oversub_workloads::memcached::Memcached;
+use oversub_workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::simcore::SimTime;
+
+/// Run one benchmark skeleton at a reduced phase scale.
+fn run_skel(name: &str, threads: usize, cores: usize, mech: Mechanisms, scale: f64) -> RunReport {
+    let profile = BenchProfile::by_name(name).expect("benchmark exists");
+    let mut wl = Skeleton::scaled(profile, threads, scale);
+    let cfg = RunConfig::vanilla(cores)
+        .with_machine(MachineSpec::PaperN(cores))
+        .with_mech(mech)
+        .with_seed(12345);
+    run_labelled(&mut wl, &cfg, name)
+}
+
+fn slowdown(name: &str, scale: f64) -> f64 {
+    let base = run_skel(name, 8, 8, Mechanisms::vanilla(), scale);
+    let over = run_skel(name, 32, 8, Mechanisms::vanilla(), scale);
+    over.normalized_to(&base)
+}
+
+#[test]
+fn neutral_group_is_unaffected() {
+    for name in ["blackscholes", "swaptions", "ep", "barnes"] {
+        let s = slowdown(name, 0.25);
+        assert!(
+            (0.75..=1.15).contains(&s),
+            "{name} should be ~1.0, got {s:.2}"
+        );
+    }
+}
+
+#[test]
+fn benefit_group_speeds_up() {
+    // The paper's group 2 sits at 0.88-0.94 under vanilla oversubscription.
+    for name in ["bodytrack", "water"] {
+        let s = slowdown(name, 0.2);
+        assert!(s < 1.0, "{name} should benefit, got {s:.2}");
+    }
+    // facesim's frequent condvar rounds almost cancel its memory benefit
+    // in our model; it must at least break even-ish.
+    let s = slowdown("facesim", 0.2);
+    assert!(s < 1.15, "facesim should be near break-even, got {s:.2}");
+}
+
+#[test]
+fn blocking_group_suffers_and_vb_recovers() {
+    for name in ["streamcluster", "cg", "ua"] {
+        let s = slowdown(name, 0.15);
+        assert!(
+            (1.10..=4.0).contains(&s),
+            "{name} vanilla oversub slowdown {s:.2} out of the paper's range"
+        );
+        let base = run_skel(name, 8, 8, Mechanisms::vanilla(), 0.15);
+        let opt = run_skel(name, 32, 8, Mechanisms::optimized(), 0.15);
+        let rec = opt.normalized_to(&base);
+        assert!(
+            rec < s && rec <= 1.35,
+            "{name}: optimized {rec:.2} should be close to baseline (vanilla was {s:.2})"
+        );
+    }
+}
+
+#[test]
+fn custom_spin_group_collapses_and_bwd_recovers() {
+    for name in ["lu", "volrend"] {
+        let base = run_skel(name, 8, 8, Mechanisms::vanilla(), 0.06);
+        let over = run_skel(name, 32, 8, Mechanisms::vanilla(), 0.06);
+        let s = over.normalized_to(&base);
+        assert!(s > 4.0, "{name} should collapse under oversubscription, got {s:.2}");
+        let opt = run_skel(name, 32, 8, Mechanisms::optimized(), 0.06);
+        let rec = opt.normalized_to(&base);
+        // BWD recovers the bulk of the collapse. A residual overhead
+        // remains (the paper also reports it growing with the
+        // oversubscription ratio): each spin episode burns up to ~1.5
+        // detection windows before the deschedule.
+        assert!(
+            rec < s / 2.0 && rec < 3.0,
+            "{name}: BWD should recover (vanilla {s:.2}, optimized {rec:.2})"
+        );
+    }
+}
+
+#[test]
+fn vb_cuts_migrations_table1_style() {
+    let name = "streamcluster";
+    let over = run_skel(name, 32, 8, Mechanisms::vanilla(), 0.15);
+    let opt = run_skel(name, 32, 8, Mechanisms::optimized(), 0.15);
+    assert!(
+        over.tasks.migrations() > 10 * opt.tasks.migrations().max(1),
+        "vanilla migrations {} vs optimized {}",
+        over.tasks.migrations(),
+        opt.tasks.migrations()
+    );
+    // Utilization improves (Table 1's CPU utilization column).
+    assert!(opt.cpu_utilization_pct() >= over.cpu_utilization_pct());
+}
+
+fn run_memcached(workers: usize, cores: usize, mech: Mechanisms) -> RunReport {
+    let mut wl = Memcached::paper(workers, cores, 300_000.0);
+    let cpus = wl.total_cpus();
+    let cfg = RunConfig::vanilla(cpus)
+        .with_mech(mech)
+        .with_seed(99)
+        .with_max_time(SimTime::from_millis(800));
+    run_labelled(&mut wl, &cfg, "memcached")
+}
+
+#[test]
+fn memcached_tail_latency_shape() {
+    // 4 cores: 4 workers (baseline) vs 16 workers (oversubscribed).
+    let base = run_memcached(4, 4, Mechanisms::vanilla());
+    let over = run_memcached(16, 4, Mechanisms::vanilla());
+    let opt = run_memcached(16, 4, Mechanisms::optimized());
+    assert!(base.completed_ops > 10_000, "baseline must serve load");
+    assert!(over.completed_ops > 10_000);
+    let p99_base = base.latency.percentile(99.0);
+    let p99_over = over.latency.percentile(99.0);
+    let p99_opt = opt.latency.percentile(99.0);
+    assert!(
+        p99_over > 2 * p99_base,
+        "oversubscription should inflate p99: base {p99_base} vs over {p99_over}"
+    );
+    assert!(
+        p99_opt < p99_over,
+        "VB should cut the tail: over {p99_over} vs opt {p99_opt}"
+    );
+}
+
+#[test]
+fn barrier_stress_with_tiny_work_terminates() {
+    // Regression: repeated idle-pull migrations between queues with
+    // lagging min_vruntimes used to compound vruntime re-bases until
+    // vruntimes overflowed into the VB tail region, stranding runnable
+    // tasks (observed with 32 threads of 2 µs barrier rounds on 8 cores).
+    use oversub::workloads::micro::{Primitive, PrimitiveStress};
+    let mut wl = PrimitiveStress {
+        threads: 32,
+        rounds: 2_500,
+        primitive: Primitive::Barrier,
+        work_ns: 2_000,
+    };
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::PaperN(8))
+        .with_seed(42);
+    let r = run_labelled(&mut wl, &cfg, "barrier-stress");
+    assert!(
+        r.makespan_ns < 5_000_000_000,
+        "stress run stalled: {} ns",
+        r.makespan_ns
+    );
+}

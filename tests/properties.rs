@@ -1,0 +1,191 @@
+//! Property-based engine invariants: random small workloads must always
+//! terminate, conserve per-CPU time, and replay deterministically — under
+//! every mechanism combination.
+
+use oversub::metrics::RunReport;
+use oversub::workload::{ThreadSpec, Workload, WorldBuilder};
+use oversub::{run, MachineSpec, Mechanisms, RunConfig};
+use oversub::task::{Action, ScriptProgram, SyncOp};
+use proptest::prelude::*;
+
+/// A randomly-shaped but always-well-formed workload: every thread does
+/// `rounds` of [compute, optional lock/unlock pair, barrier], so no
+/// workload can deadlock by construction.
+#[derive(Clone, Debug)]
+struct RandomBsp {
+    threads: usize,
+    rounds: usize,
+    compute_ns: Vec<u64>,
+    use_mutex: bool,
+    use_spin: bool,
+}
+
+impl Workload for RandomBsp {
+    fn name(&self) -> &str {
+        "random-bsp"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let b = w.barrier(self.threads);
+        let m = w.mutex();
+        let s = w.spinlock(oversub::locks::SpinPolicy::ttas());
+        for i in 0..self.threads {
+            let mut script = Vec::new();
+            for k in 0..self.rounds {
+                let ns = self.compute_ns[(i * 7 + k) % self.compute_ns.len()];
+                script.push(Action::Compute { ns });
+                if self.use_mutex {
+                    script.push(Action::Sync(SyncOp::MutexLock(m)));
+                    script.push(Action::Compute { ns: 2_000 });
+                    script.push(Action::Sync(SyncOp::MutexUnlock(m)));
+                }
+                if self.use_spin {
+                    script.push(Action::Sync(SyncOp::SpinAcquire(s)));
+                    script.push(Action::Compute { ns: 1_500 });
+                    script.push(Action::Sync(SyncOp::SpinRelease(s)));
+                }
+                script.push(Action::Sync(SyncOp::BarrierWait(b)));
+            }
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+    }
+}
+
+fn arb_workload() -> impl Strategy<Value = RandomBsp> {
+    (
+        2usize..12,
+        2usize..8,
+        proptest::collection::vec(5_000u64..400_000, 1..6),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(threads, rounds, compute_ns, use_mutex, use_spin)| RandomBsp {
+            threads,
+            rounds,
+            compute_ns,
+            use_mutex,
+            use_spin,
+        })
+}
+
+fn arb_mech() -> impl Strategy<Value = Mechanisms> {
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(vb, bwd, auto)| Mechanisms {
+        vb,
+        vb_auto_disable: auto,
+        bwd,
+        ple: false,
+    })
+}
+
+fn run_once(wl: &RandomBsp, cores: usize, mech: Mechanisms, seed: u64) -> RunReport {
+    let cfg = RunConfig::vanilla(cores)
+        .with_machine(MachineSpec::PaperN(cores))
+        .with_mech(mech)
+        .with_seed(seed);
+    run(&mut wl.clone(), &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every well-formed workload terminates well before the safety cap.
+    #[test]
+    fn workloads_always_terminate(
+        wl in arb_workload(),
+        cores in 1usize..9,
+        mech in arb_mech(),
+    ) {
+        let r = run_once(&wl, cores, mech, 11);
+        prop_assert!(
+            r.makespan_ns < 100_000_000_000,
+            "run hit the cap: {} threads, {} cores, {:?}",
+            wl.threads, cores, mech
+        );
+    }
+
+    /// Per-CPU time buckets account for (almost) every nanosecond.
+    #[test]
+    fn time_is_conserved(
+        wl in arb_workload(),
+        cores in 1usize..9,
+        mech in arb_mech(),
+    ) {
+        let r = run_once(&wl, cores, mech, 13);
+        let total = r.cpus.useful_ns + r.cpus.spin_ns + r.cpus.kernel_ns + r.cpus.idle_ns;
+        let expect = r.makespan_ns * cores as u64;
+        let slack = expect / 50 + 2_000_000;
+        prop_assert!(
+            total.abs_diff(expect) <= slack,
+            "accounting drift: {total} vs {expect}"
+        );
+    }
+
+    /// Identical configurations replay identically.
+    #[test]
+    fn runs_are_reproducible(
+        wl in arb_workload(),
+        cores in 1usize..9,
+        mech in arb_mech(),
+        seed in any::<u64>(),
+    ) {
+        let a = run_once(&wl, cores, mech, seed);
+        let b = run_once(&wl, cores, mech, seed);
+        prop_assert_eq!(a.makespan_ns, b.makespan_ns);
+        prop_assert_eq!(a.cpus.context_switches, b.cpus.context_switches);
+        prop_assert_eq!(a.tasks.migrations(), b.tasks.migrations());
+        prop_assert_eq!(a.blocking.wakes, b.blocking.wakes);
+        prop_assert_eq!(a.bwd.detections, b.bwd.detections);
+    }
+
+    /// The mechanisms never break a workload: total useful work is
+    /// invariant across mechanism choices (it is the program's own work).
+    #[test]
+    fn useful_work_is_mechanism_invariant(
+        wl in arb_workload(),
+        cores in 2usize..9,
+    ) {
+        let vanilla = run_once(&wl, cores, Mechanisms::vanilla(), 17);
+        let opt = run_once(&wl, cores, Mechanisms::optimized(), 17);
+        // Compute work is identical by construction; allow tolerance for
+        // lock fast-path costs being counted as useful time.
+        let a = vanilla.cpus.useful_ns as f64;
+        let b = opt.cpus.useful_ns as f64;
+        prop_assert!(
+            (a - b).abs() / a.max(1.0) < 0.02,
+            "useful work changed: vanilla {a} vs optimized {b}"
+        );
+    }
+}
+
+/// Soak test (run explicitly with `cargo test -- --ignored`): a large mixed
+/// workload across every mechanism, checking termination and conservation
+/// at a scale the regular suite does not reach.
+#[test]
+#[ignore = "soak test: ~a minute of host time"]
+fn soak_large_mixed_workload() {
+    let wl = RandomBsp {
+        threads: 64,
+        rounds: 200,
+        compute_ns: vec![20_000, 150_000, 700_000, 80_000, 350_000],
+        use_mutex: true,
+        use_spin: true,
+    };
+    for mech in [
+        Mechanisms::vanilla(),
+        Mechanisms::vb_only(),
+        Mechanisms::bwd_only(),
+        Mechanisms::optimized(),
+    ] {
+        let r = run_once(&wl, 8, mech, 99);
+        assert!(
+            r.makespan_ns < 300_000_000_000,
+            "soak stalled under {mech:?}"
+        );
+        let total = r.cpus.useful_ns + r.cpus.spin_ns + r.cpus.kernel_ns + r.cpus.idle_ns;
+        let expect = r.makespan_ns * 8;
+        assert!(
+            total.abs_diff(expect) < expect / 50 + 2_000_000,
+            "conservation broke at scale under {mech:?}: {total} vs {expect}"
+        );
+    }
+}

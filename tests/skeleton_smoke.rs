@@ -1,0 +1,102 @@
+//! Smoke coverage: every one of the 32 benchmark skeletons builds and
+//! terminates at every thread count and under every mechanism — nothing in
+//! the library may deadlock or stall.
+
+use oversub::workload::Workload;
+use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton, SyncKind};
+
+fn run_one(profile: BenchProfile, threads: usize, mech: Mechanisms) -> u64 {
+    let mut wl = Skeleton::scaled(profile, threads, 0.02).with_salt(1);
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::Paper8Cores)
+        .with_mech(mech)
+        .with_seed(9);
+    let label = wl.name().to_string();
+    run_labelled(&mut wl, &cfg, &label).makespan_ns
+}
+
+#[test]
+fn all_skeletons_terminate_at_8_threads_vanilla() {
+    for p in BenchProfile::all() {
+        let ns = run_one(p, 8, Mechanisms::vanilla());
+        assert!(
+            ns < 200_000_000_000,
+            "{} stalled at 8T vanilla: {ns} ns",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn all_skeletons_terminate_at_32_threads_optimized() {
+    for p in BenchProfile::all() {
+        let ns = run_one(p, 32, Mechanisms::optimized());
+        assert!(
+            ns < 200_000_000_000,
+            "{} stalled at 32T optimized: {ns} ns",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn all_skeletons_terminate_at_32_threads_vanilla() {
+    for p in BenchProfile::all() {
+        let ns = run_one(p, 32, Mechanisms::vanilla());
+        assert!(
+            ns < 200_000_000_000,
+            "{} stalled at 32T vanilla: {ns} ns",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn odd_thread_counts_work() {
+    // Thread counts that do not divide the core count exercise uneven
+    // placement and the balancer.
+    for p in [
+        BenchProfile::by_name("streamcluster").unwrap(),
+        BenchProfile::by_name("lu").unwrap(),
+        BenchProfile::by_name("canneal").unwrap(),
+    ] {
+        for threads in [3usize, 7, 13, 27] {
+            let ns = run_one(p, threads, Mechanisms::optimized());
+            assert!(ns < 200_000_000_000, "{}@{threads}T stalled", p.name);
+        }
+    }
+}
+
+#[test]
+fn lock_substituted_barriers_terminate_for_all_kinds() {
+    use oversub::locks::MutexKind;
+    let p = BenchProfile::by_name("ocean").unwrap();
+    for kind in [
+        MutexKind::Pthread,
+        MutexKind::Mutexee { spin_ns: 50_000 },
+        MutexKind::McsTp { spin_ns: 50_000 },
+        MutexKind::Shfllock { spin_ns: 50_000 },
+    ] {
+        let mut wl = Skeleton::scaled(p, 32, 0.02).with_barrier_mutex(kind);
+        let cfg = RunConfig::vanilla(8)
+            .with_machine(MachineSpec::Paper8Cores)
+            .with_seed(9);
+        let r = run_labelled(&mut wl, &cfg, kind.label());
+        assert!(
+            r.makespan_ns < 200_000_000_000,
+            "{:?} barrier stalled",
+            kind
+        );
+    }
+}
+
+#[test]
+fn every_sync_kind_is_exercised_by_the_suite() {
+    use std::collections::HashSet;
+    let kinds: HashSet<std::mem::Discriminant<SyncKind>> = BenchProfile::all()
+        .iter()
+        .map(|p| std::mem::discriminant(&p.sync))
+        .collect();
+    assert_eq!(kinds.len(), 5, "all five sync structures represented");
+}

@@ -1,0 +1,148 @@
+//! End-to-end tests of the pipeline and web-serving workloads: the
+//! paper's cascading-delay story and the cloud-workload story.
+
+use oversub::metrics::RunReport;
+use oversub::simcore::SimTime;
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::webserving::WebServing;
+use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
+
+fn run_pipeline(
+    stages: usize,
+    cores: usize,
+    flavor: WaitFlavor,
+    mech: Mechanisms,
+) -> RunReport {
+    let mut wl = SpinPipeline::new(stages, 60, flavor);
+    let cfg = RunConfig::vanilla(cores)
+        .with_machine(MachineSpec::PaperN(cores))
+        .with_mech(mech)
+        .with_seed(5);
+    run_labelled(&mut wl, &cfg, "pipeline")
+}
+
+#[test]
+fn pipeline_cascades_under_oversubscription_and_bwd_rescues() {
+    // 8 stages on 8 cores: the wave flows freely.
+    let under = run_pipeline(8, 8, WaitFlavor::Flags, Mechanisms::vanilla());
+    // 32 stages on 8 cores: one descheduled stage delays all downstream
+    // stages — the paper's cascading collapse.
+    let over = run_pipeline(32, 8, WaitFlavor::Flags, Mechanisms::vanilla());
+    let bwd = run_pipeline(32, 8, WaitFlavor::Flags, Mechanisms::bwd_only());
+
+    // The oversubscribed pipeline has 4x the total work; anything beyond
+    // ~6x the undersubscribed time is cascade, not work.
+    let ratio = over.makespan_ns as f64 / under.makespan_ns as f64;
+    assert!(ratio > 5.5, "expected a cascade, got {ratio:.1}x");
+    assert!(
+        bwd.makespan_ns * 2 < over.makespan_ns,
+        "BWD should break the cascade: {} vs {}",
+        bwd.makespan_ns,
+        over.makespan_ns
+    );
+    assert!(bwd.bwd.detections > 0);
+}
+
+#[test]
+fn pipeline_spinlock_flavor_works_for_every_policy() {
+    use oversub::locks::SpinPolicy;
+    for policy in [SpinPolicy::mcs(), SpinPolicy::ttas(), SpinPolicy::cna()] {
+        let r = run_pipeline(8, 8, WaitFlavor::SpinLock(policy), Mechanisms::vanilla());
+        assert!(
+            r.makespan_ns < 60_000_000_000,
+            "{}-guarded pipeline stalled",
+            policy.name
+        );
+    }
+}
+
+fn run_web(workers: usize, cores: usize, mech: Mechanisms) -> RunReport {
+    let mut wl = WebServing::new(workers, cores, 60_000.0);
+    let cpus = wl.total_cpus();
+    let cfg = RunConfig::vanilla(cpus)
+        .with_mech(mech)
+        .with_seed(7)
+        .with_max_time(SimTime::from_millis(600));
+    run_labelled(&mut wl, &cfg, "web")
+}
+
+#[test]
+fn web_serving_tails_shrink_under_vb() {
+    let base = run_web(4, 4, Mechanisms::vanilla());
+    let over = run_web(16, 4, Mechanisms::vanilla());
+    let opt = run_web(16, 4, Mechanisms::optimized());
+    assert!(base.completed_ops > 5_000, "server must serve");
+    assert!(over.completed_ops > 5_000);
+    // Oversubscription barely moves throughput (loosely-coupled threads)…
+    let tput_drop = 1.0 - over.completed_ops as f64 / base.completed_ops as f64;
+    assert!(
+        tput_drop < 0.15,
+        "throughput should hold for cloud workloads: drop {tput_drop:.2}"
+    );
+    // …and VB keeps the p99 at or below the oversubscribed vanilla tail.
+    let p99_over = over.latency.percentile(99.0);
+    let p99_opt = opt.latency.percentile(99.0);
+    assert!(
+        p99_opt <= p99_over,
+        "VB should not worsen the tail: {p99_opt} vs {p99_over}"
+    );
+    // Each request sleeps twice (epoll + backend), so VB must be exercised.
+    assert!(opt.blocking.virtual_waits > 0);
+}
+
+#[test]
+fn web_serving_scales_out_with_more_cores() {
+    let small = run_web(16, 4, Mechanisms::optimized());
+    let big = {
+        let mut wl = WebServing::new(16, 16, 200_000.0);
+        let cpus = wl.total_cpus();
+        let cfg = RunConfig::vanilla(cpus)
+            .with_mech(Mechanisms::optimized())
+            .with_seed(7)
+            .with_max_time(SimTime::from_millis(600));
+        run_labelled(&mut wl, &cfg, "web-16c")
+    };
+    // The same 16 threads serve >2.5x the load when cores quadruple —
+    // the oversubscription-for-elasticity payoff.
+    assert!(
+        big.completed_ops as f64 > 2.2 * small.completed_ops as f64,
+        "expansion failed: {} vs {}",
+        big.completed_ops,
+        small.completed_ops
+    );
+}
+
+#[test]
+fn forkjoin_terminates_in_both_modes_and_oversubscription_pays_off() {
+    use oversub::workloads::forkjoin::ForkJoin;
+    let run = |active: usize, cores: usize, mech: Mechanisms| {
+        let mut wl = ForkJoin {
+            pool: 32,
+            active,
+            regions: 60,
+            chunks: 128,
+            chunk_ns: 40_000,
+        };
+        let cfg = RunConfig::vanilla(cores)
+            .with_machine(MachineSpec::PaperN(cores))
+            .with_mech(mech)
+            .with_seed(3);
+        run_labelled(&mut wl, &cfg, "fj")
+    };
+    // Everything terminates (pool retirement works).
+    let dynamic8 = run(8, 8, Mechanisms::vanilla());
+    let naive8 = run(32, 8, Mechanisms::vanilla());
+    let opt8 = run(32, 8, Mechanisms::optimized());
+    for r in [&dynamic8, &naive8, &opt8] {
+        assert!(r.makespan_ns < 100_000_000_000, "fork-join stalled");
+    }
+    // Fully-activated 32 threads on 16 cores beat the dynamic-8 pool at 8:
+    // the elasticity payoff of oversubscription.
+    let opt16 = run(32, 16, Mechanisms::optimized());
+    assert!(
+        opt16.makespan_ns < dynamic8.makespan_ns,
+        "32 active on 16 cores ({}) should beat 8 active on 8 ({})",
+        opt16.makespan_ns,
+        dynamic8.makespan_ns
+    );
+}
