@@ -120,20 +120,93 @@ fn bench_runqueue(c: &mut Criterion) {
 }
 
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_1k", |b| {
-        let mut rng = SimRng::new(7);
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(SimTime::from_nanos(rng.gen_range(1_000_000)), i);
+    // One-shot events, random times: slab queue vs the reference
+    // heap+HashSet queue.
+    let mut g = c.benchmark_group("event_queue_schedule_pop_1k");
+    for (name, classic, nocancel) in [
+        ("fast", false, false),
+        // The engine's hot path: events retired by epoch checks never get
+        // a cancellation handle, skipping the slab entirely.
+        ("fast_nocancel", false, true),
+        ("classic", true, false),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = SimRng::new(7);
+            b.iter(|| {
+                let mut q = if classic {
+                    EventQueue::classic()
+                } else {
+                    EventQueue::new()
+                };
+                for i in 0..1_000u64 {
+                    let at = SimTime::from_nanos(rng.gen_range(1_000_000));
+                    if nocancel {
+                        q.schedule_nocancel(at, i);
+                    } else {
+                        q.schedule(at, i);
+                    }
+                }
+                let mut n = 0;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+
+    // The simulator's periodic cadence: 64 per-CPU timer streams, each
+    // re-arming itself 100 µs ahead as it fires — the timer wheel's case.
+    let mut g = c.benchmark_group("event_queue_periodic_ticks_64cpus");
+    for (name, classic) in [("fast", false), ("classic", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = if classic {
+                    EventQueue::classic()
+                } else {
+                    EventQueue::new()
+                };
+                for cpu in 0..64u64 {
+                    q.schedule_periodic(SimTime::from_nanos(100_000 + cpu * 7_919), cpu);
+                }
+                let mut fired = 0u64;
+                while fired < 10_000 {
+                    let (t, cpu) = q.pop().expect("periodic stream never drains");
+                    fired += 1;
+                    q.schedule_periodic(t + 100_000, cpu);
+                }
+                fired
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pick_next(c: &mut Criterion) {
+    use oversub::sched::CfsRq;
+
+    // 32 runnable tasks, the 8 leftmost carrying BWD skip flags so the
+    // ordered scan has a prefix to step over; steady-state repeated picks
+    // (the cache's hit case vs the reference scan).
+    let mut tasks = mk_tasks(32);
+    for (i, t) in tasks.iter_mut().enumerate() {
+        t.vruntime = 1_000 * (i as u64 + 1);
+        t.bwd_skip = i < 8;
+    }
+    let mut g = c.benchmark_group("rq_pick_next_32_tasks_8_skipped");
+    for (name, scan) in [("cached", false), ("scan", true)] {
+        let rq = {
+            let mut rq = CfsRq::new();
+            for t in &tasks {
+                rq.enqueue(t);
             }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            n
-        })
-    });
+            rq.set_scan_mode(scan);
+            rq
+        };
+        g.bench_function(name, |b| b.iter(|| rq.pick_next(&tasks)));
+    }
+    g.finish();
 }
 
 fn bench_spinlock_state_machine(c: &mut Criterion) {
@@ -191,7 +264,9 @@ fn bench_whole_simulation(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("whole_run_16T_4c");
     g.sample_size(20);
-    g.bench_function("vanilla", |b| b.iter(|| run(&mut B, &RunConfig::vanilla(4))));
+    g.bench_function("vanilla", |b| {
+        b.iter(|| run(&mut B, &RunConfig::vanilla(4)))
+    });
     g.bench_function("optimized", |b| {
         b.iter(|| {
             run(
@@ -209,6 +284,7 @@ criterion_group!(
     bench_bwd_check,
     bench_runqueue,
     bench_event_queue,
+    bench_pick_next,
     bench_spinlock_state_machine,
     bench_whole_simulation
 );

@@ -4,8 +4,8 @@
 //! Usage: `export_report <benchmark> <threads> [--cores N] [--mech vanilla|vb|bwd|optimized|ple] [--scale F] [--seed N] [--vm]`
 
 use oversub::workload::Workload;
-use oversub::{run_labelled, ExecEnv, MachineSpec, Mechanisms, RunConfig};
 use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::{run_labelled, ExecEnv, MachineSpec, Mechanisms, RunConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -59,10 +59,7 @@ fn main() {
     cfg.env = env;
     let label = format!("{}/{}T/{}c", wl.name(), threads, cores);
     let report = run_labelled(&mut wl, &cfg, &label);
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&report).expect("report serializes")
-    );
+    println!("{}", report.to_json_pretty());
 }
 
 fn usage() -> ! {

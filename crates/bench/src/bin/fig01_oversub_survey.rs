@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig01_survey(a.opts);
-    emit("Figure 1: oversubscription survey (8T vs 32T on 8 cores)", "Figure 1", &t, a.csv);
+    emit(
+        "Figure 1: oversubscription survey (8T vs 32T on 8 cores)",
+        "Figure 1",
+        &t,
+        a.csv,
+    );
 }

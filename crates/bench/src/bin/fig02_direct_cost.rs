@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig02_direct_cost(a.opts);
-    emit("Figure 2: direct cost of context switching (1..8 threads, 1 core)", "Figure 2(a,b)", &t, a.csv);
+    emit(
+        "Figure 2: direct cost of context switching (1..8 threads, 1 core)",
+        "Figure 2(a,b)",
+        &t,
+        a.csv,
+    );
 }

@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig03_sync_intervals();
-    emit("Figure 3: synchronization intervals across the suites", "Figure 3", &t, a.csv);
+    emit(
+        "Figure 3: synchronization intervals across the suites",
+        "Figure 3",
+        &t,
+        a.csv,
+    );
 }

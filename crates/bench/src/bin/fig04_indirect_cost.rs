@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig04_indirect_cost(a.opts);
-    emit("Figure 4: indirect cost of context switching (per-CS us; negative = benefit)", "Figure 4", &t, a.csv);
+    emit(
+        "Figure 4: indirect cost of context switching (per-CS us; negative = benefit)",
+        "Figure 4",
+        &t,
+        a.csv,
+    );
 }

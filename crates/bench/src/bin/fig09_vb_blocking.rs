@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig09_vb_blocking(a.opts);
-    emit("Figure 9: virtual blocking on the 13 blocking benchmarks", "Figure 9", &t, a.csv);
+    emit(
+        "Figure 9: virtual blocking on the 13 blocking benchmarks",
+        "Figure 9",
+        &t,
+        a.csv,
+    );
 }

@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig11_elasticity(a.opts);
-    emit("Figure 11: exploiting CPU elasticity (execution time vs cores)", "Figure 11", &t, a.csv);
+    emit(
+        "Figure 11: exploiting CPU elasticity (execution time vs cores)",
+        "Figure 11",
+        &t,
+        a.csv,
+    );
 }

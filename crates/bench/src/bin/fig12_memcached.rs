@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig12_memcached(a.opts);
-    emit("Figure 12: memcached throughput and latency", "Figure 12", &t, a.csv);
+    emit(
+        "Figure 12: memcached throughput and latency",
+        "Figure 12",
+        &t,
+        a.csv,
+    );
 }

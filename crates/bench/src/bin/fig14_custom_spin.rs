@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig14_custom_spin(a.opts);
-    emit("Figure 14: user-customized spinning (lu, volrend)", "Figure 14", &t, a.csv);
+    emit(
+        "Figure 14: user-customized spinning (lu, volrend)",
+        "Figure 14",
+        &t,
+        a.csv,
+    );
 }

@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::fig15_shfllock(a.opts);
-    emit("Figure 15: SHFLLOCK / spin-then-park comparison", "Figure 15", &t, a.csv);
+    emit(
+        "Figure 15: SHFLLOCK / spin-then-park comparison",
+        "Figure 15",
+        &t,
+        a.csv,
+    );
 }

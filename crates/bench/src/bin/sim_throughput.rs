@@ -1,0 +1,190 @@
+//! Simulator throughput benchmark: events/sec and wall-clock of the
+//! optimized engine (slab-cancellation queue + timer wheel, cached picks,
+//! resched coalescing) versus the reference engine (classic heap+HashSet
+//! queue, uncached scans, no coalescing) on three representative
+//! workloads. Both engines produce bit-identical metrics — see
+//! `tests/determinism.rs` — so this measures pure host-side speed.
+//!
+//! Writes `BENCH_sim_throughput.json` at the repo root and prints a
+//! table. Usage: `sim_throughput [--reps N]` (default 5; best-of-N wall
+//! time is reported to suppress scheduling noise).
+
+use std::time::Instant;
+
+use oversub::metrics::json::{obj, JsonValue};
+use oversub::simcore::SimTime;
+use oversub::workload::Workload;
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::{run_counted, MachineSpec, Mechanisms, RunConfig};
+
+struct Arm {
+    name: &'static str,
+    cfg: RunConfig,
+    mk: Box<dyn Fn() -> Box<dyn Workload>>,
+}
+
+fn arms() -> Vec<Arm> {
+    let mut v = Vec::new();
+
+    // Server workload: futex/epoll heavy, 19 CPUs, periodic BWD timers on
+    // every CPU make the timer wheel earn its keep.
+    let cpus = Memcached::paper(16, 8, 60_000.0).total_cpus();
+    v.push(Arm {
+        name: "memcached/16T/8c",
+        cfg: RunConfig::vanilla(cpus)
+            .with_mech(Mechanisms::optimized())
+            .with_seed(42)
+            .with_max_time(SimTime::from_millis(300)),
+        mk: Box::new(|| Box::new(Memcached::paper(16, 8, 60_000.0))),
+    });
+
+    // Batch skeleton: heavy oversubscription (64 threads, 32 cores) makes
+    // `pick_next` scans long and wakeup bursts dense.
+    v.push(Arm {
+        name: "skeleton/streamcluster/64T/32c",
+        cfg: RunConfig::vanilla(32)
+            .with_machine(MachineSpec::PaperN(32))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(7),
+        mk: Box::new(|| {
+            let p = BenchProfile::by_name("streamcluster").expect("known benchmark");
+            Box::new(Skeleton::scaled(p, 64, 0.10).with_salt(7))
+        }),
+    });
+
+    // Tick-dominated: 8 threads on a 64-CPU machine. Most cores sit idle
+    // and the event mix is dominated by periodic BWD timers and balance
+    // passes — the timer wheel's cadence, plus the waiter-board O(1)
+    // early-outs for idle_pull and periodic_balance.
+    v.push(Arm {
+        name: "skeleton/streamcluster/8T/64c",
+        cfg: RunConfig::vanilla(64)
+            .with_machine(MachineSpec::PaperN(64))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(11)
+            .with_max_time(SimTime::from_millis(300)),
+        mk: Box::new(|| {
+            let p = BenchProfile::by_name("streamcluster").expect("known benchmark");
+            Box::new(Skeleton::scaled(p, 8, 0.60).with_salt(11))
+        }),
+    });
+
+    // Spin pipeline: flag-wait heavy, exercises BWD skip flags and the
+    // cached-pick invalidation paths.
+    v.push(Arm {
+        name: "pipeline/16S/4c",
+        cfg: RunConfig::vanilla(4)
+            .with_machine(MachineSpec::PaperN(4))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(5),
+        mk: Box::new(|| Box::new(SpinPipeline::new(16, 60, WaitFlavor::Flags))),
+    });
+
+    v
+}
+
+/// Best-of-`reps` wall time in nanoseconds, plus the (deterministic)
+/// processed-event count, for one engine flavor.
+fn measure(arm: &Arm, reference: bool, reps: usize) -> (u64, u64) {
+    let cfg = arm.cfg.clone().with_reference_engine(reference);
+    let mut best_ns = u64::MAX;
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let mut wl = (arm.mk)();
+        let t0 = Instant::now();
+        let (_report, n) = run_counted(&mut *wl, &cfg, arm.name);
+        let dt = t0.elapsed().as_nanos() as u64;
+        best_ns = best_ns.min(dt.max(1));
+        events = n;
+    }
+    (best_ns, events)
+}
+
+fn eps(events: u64, wall_ns: u64) -> u64 {
+    ((events as u128) * 1_000_000_000 / (wall_ns as u128)) as u64
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--reps" {
+            reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(5).max(1);
+        }
+    }
+
+    println!(
+        "{:<32} {:>12} {:>10} {:>12} {:>10} {:>8} {:>8}",
+        "workload", "ref ev/s", "ref ms", "fast ev/s", "fast ms", "ev/s x", "wall x"
+    );
+    let mut rows = Vec::new();
+    for arm in arms() {
+        let (ref_ns, ref_events) = measure(&arm, true, reps);
+        let (fast_ns, fast_events) = measure(&arm, false, reps);
+        let ref_eps = eps(ref_events, ref_ns);
+        let fast_eps = eps(fast_events, fast_ns);
+        // Coalescing removes events, so events/sec on the fast engine's
+        // own (smaller) count understates the win; wall-clock speedup is
+        // the honest end-to-end number. Report both, in milli-units.
+        let eps_x_milli = (fast_eps as u128 * 1000 / ref_eps.max(1) as u128) as u64;
+        let wall_x_milli = (ref_ns as u128 * 1000 / fast_ns.max(1) as u128) as u64;
+        println!(
+            "{:<32} {:>12} {:>10.2} {:>12} {:>10.2} {:>7}.{:03} {:>7}.{:03}",
+            arm.name,
+            ref_eps,
+            ref_ns as f64 / 1e6,
+            fast_eps,
+            fast_ns as f64 / 1e6,
+            eps_x_milli / 1000,
+            eps_x_milli % 1000,
+            wall_x_milli / 1000,
+            wall_x_milli % 1000,
+        );
+        rows.push(obj(vec![
+            ("workload", JsonValue::Str(arm.name.to_string())),
+            ("reference_events", JsonValue::UInt(ref_events as u128)),
+            ("reference_wall_ns", JsonValue::UInt(ref_ns as u128)),
+            ("reference_events_per_sec", JsonValue::UInt(ref_eps as u128)),
+            ("optimized_events", JsonValue::UInt(fast_events as u128)),
+            ("optimized_wall_ns", JsonValue::UInt(fast_ns as u128)),
+            (
+                "optimized_events_per_sec",
+                JsonValue::UInt(fast_eps as u128),
+            ),
+            (
+                "events_per_sec_speedup_milli",
+                JsonValue::UInt(eps_x_milli as u128),
+            ),
+            (
+                "wall_clock_speedup_milli",
+                JsonValue::UInt(wall_x_milli as u128),
+            ),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("bench", JsonValue::Str("sim_throughput".to_string())),
+        ("reps", JsonValue::UInt(reps as u128)),
+        (
+            "note",
+            JsonValue::Str(
+                "best-of-reps wall time; speedups in milli-units (1300 = 1.3x); \
+             metrics are bit-identical across engines (tests/determinism.rs)"
+                    .to_string(),
+            ),
+        ),
+        ("workloads", JsonValue::Array(rows)),
+    ]);
+
+    // The bench crate sits at <root>/crates/bench, so the repo root is two
+    // levels up from the compile-time manifest dir.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root");
+    let path = root.join("BENCH_sim_throughput.json");
+    std::fs::write(&path, doc.to_string_pretty() + "\n").expect("write benchmark json");
+    println!("\nwrote {}", path.display());
+}

@@ -4,5 +4,10 @@ use oversub_bench::{emit, parse_args};
 fn main() {
     let a = parse_args();
     let t = oversub::experiments::table1_runtime_stats(a.opts);
-    emit("Table 1: runtime statistics under oversubscription", "Table 1", &t, a.csv);
+    emit(
+        "Table 1: runtime statistics under oversubscription",
+        "Table 1",
+        &t,
+        a.csv,
+    );
 }

@@ -18,7 +18,10 @@ pub struct HarnessArgs {
 
 /// Parse `std::env::args` into [`HarnessArgs`].
 pub fn parse_args() -> HarnessArgs {
-    let mut opts = ExpOpts { scale: 0.25, seed: 42 };
+    let mut opts = ExpOpts {
+        scale: 0.25,
+        seed: 42,
+    };
     let mut csv = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {

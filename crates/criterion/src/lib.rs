@@ -1,0 +1,192 @@
+//! A small, dependency-free benchmarking shim exposing the subset of the
+//! `criterion` crate API used by this workspace's benches.
+//!
+//! The workspace must build hermetically (no network access), so the real
+//! `criterion` is replaced by this in-tree harness: it warms each routine
+//! up, times a fixed number of samples with `std::time::Instant`, and
+//! prints `name  time: [median ...]` lines in a criterion-like format.
+//! Statistical analysis, plotting, and CLI filtering are intentionally
+//! out of scope.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Controls how `iter_batched` amortizes setup; only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batched generously).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup on every iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 60,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples_wanted: samples,
+        per_iter_ns: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    b.per_iter_ns.sort_unstable_by(f64::total_cmp);
+    let (lo, med, hi) = match b.per_iter_ns.len() {
+        0 => (0.0, 0.0, 0.0),
+        n => (
+            b.per_iter_ns[n / 20],
+            b.per_iter_ns[n / 2],
+            b.per_iter_ns[n - 1 - n / 20],
+        ),
+    };
+    println!("{name:<50} time: [{lo:>12.1} ns {med:>12.1} ns {hi:>12.1} ns]");
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples_wanted: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~1 ms per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let batch = (1_000_000 / once_ns).clamp(1, 10_000);
+        for _ in 0..self.samples_wanted {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.per_iter_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples_wanted {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.per_iter_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            $( $g(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { sample_size: 3 };
+        let mut runs = 0u64;
+        c.bench_function("shim_smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion { sample_size: 4 };
+        let mut setups = 0u64;
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 4);
+    }
+}

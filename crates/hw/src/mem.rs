@@ -206,10 +206,7 @@ impl MemModel {
         } else {
             let miss_l1 = 1.0 - l1_reach as f64 / pages as f64;
             let miss_l2 = 1.0 - l2_reach as f64 / pages as f64;
-            (
-                miss_l1 * p.lat_stlb_ns + miss_l2 * p.lat_walk_ns,
-                miss_l2,
-            )
+            (miss_l1 * p.lat_stlb_ns + miss_l2 * p.lat_walk_ns, miss_l2)
         }
     }
 

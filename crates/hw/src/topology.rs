@@ -149,7 +149,9 @@ impl Topology {
 
     /// CPUs belonging to a node.
     pub fn cpus_of_node(&self, node: NodeId) -> Vec<CpuId> {
-        self.cpu_ids().filter(|&c| self.node_of(c) == node).collect()
+        self.cpu_ids()
+            .filter(|&c| self.node_of(c) == node)
+            .collect()
     }
 }
 

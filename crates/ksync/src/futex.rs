@@ -171,9 +171,10 @@ impl FutexTable {
     ) -> WaitOutcome {
         debug_assert!(!self.is_blocked(tid), "{tid:?} double futex_wait");
         let b = self.bucket_of(key);
-        let grant = self.buckets[b]
-            .lock
-            .acquire(now + sched.params.syscall_entry_ns, self.params.bucket_hold_ns);
+        let grant = self.buckets[b].lock.acquire(
+            now + sched.params.syscall_entry_ns,
+            self.params.bucket_hold_ns,
+        );
         let cost_ns = grant.end - now;
 
         // VB decision: enabled, and (unless auto-disable fires) used
@@ -226,13 +227,17 @@ impl FutexTable {
         if self.queue_len(key) == 0 {
             // Uncontended fast path: peek the bucket without finding
             // waiters (still takes the lock briefly).
-            let grant = self.buckets[b].lock.acquire(now, self.params.bucket_hold_ns);
+            let grant = self.buckets[b]
+                .lock
+                .acquire(now, self.params.bucket_hold_ns);
             report.waker_cost_ns = grant.end - now;
             return report;
         }
 
         // Take the bucket lock and move up to n waiters to the wake_q.
-        let grant = self.buckets[b].lock.acquire(now, self.params.bucket_hold_ns);
+        let grant = self.buckets[b]
+            .lock
+            .acquire(now, self.params.bucket_hold_ns);
         let mut t = grant.end;
         let mut wake_q = Vec::new();
         if let Some(q) = self.buckets[b].queues.get_mut(&key) {
@@ -315,7 +320,10 @@ impl FutexTable {
             let dst = self.buckets[bt].queues.entry(to).or_default();
             for w in moved {
                 t += self.params.wake_q_move_ns;
-                *self.blocked.get_mut(&w.task).expect("requeued waiter must be blocked") = to;
+                *self
+                    .blocked
+                    .get_mut(&w.task)
+                    .expect("requeued waiter must be blocked") = to;
                 dst.push_back(w);
             }
             report.waker_cost_ns = t - now;
@@ -426,8 +434,7 @@ mod tests {
                 let t = run_task(&mut sched, &mut tasks, CpuId(0));
                 ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
             }
-            let report =
-                ft.futex_wake(&mut sched, &mut tasks, key, 8, CpuId(0), SimTime::ZERO);
+            let report = ft.futex_wake(&mut sched, &mut tasks, key, 8, CpuId(0), SimTime::ZERO);
             assert_eq!(report.woken.len(), 8);
             report.waker_cost_ns
         };

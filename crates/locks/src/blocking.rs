@@ -293,9 +293,7 @@ impl BlockingMutex {
                 self.granted = Some(w);
                 // Shuffling costs extra queue manipulation.
                 match phase {
-                    WaiterPhase::Spinning => {
-                        (FAST_PATH_NS + 60, MutexRelease::GrantSpinner(w))
-                    }
+                    WaiterPhase::Spinning => (FAST_PATH_NS + 60, MutexRelease::GrantSpinner(w)),
                     WaiterPhase::Parked => (
                         FAST_PATH_NS + 60,
                         MutexRelease::WakeParked {

@@ -196,7 +196,7 @@ mod tests {
         let mut r = SyncRegistry::new();
         let f = r.create_flag(0);
         r.flag_spin_begin(f, TaskId(1), 0); // spins while == 0
-        // Setting to 0 again releases nobody.
+                                            // Setting to 0 again releases nobody.
         assert!(r.flag_set(f, 0).is_empty());
         assert_eq!(r.flag_spinner_count(f), 1);
         assert_eq!(r.flag_set(f, 7), vec![TaskId(1)]);

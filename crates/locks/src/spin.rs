@@ -325,9 +325,7 @@ impl SpinLock {
             self.contended += 1;
             return Some(self.policy.handoff_cost_ns);
         }
-        if self.policy.order == GrantOrder::Barge
-            && self.holder.is_none()
-            && self.granted.is_none()
+        if self.policy.order == GrantOrder::Barge && self.holder.is_none() && self.granted.is_none()
         {
             if let Some(pos) = self.waiters.iter().position(|&(w, _)| w == tid) {
                 self.waiters.remove(pos);
@@ -413,8 +411,14 @@ mod tests {
     fn fifo_grant_order() {
         let mut l = SpinLock::new(SpinPolicy::mcs(), 1);
         l.acquire(TaskId(0), 0);
-        assert!(matches!(l.acquire(TaskId(1), 0), SpinEffect::MustSpin { .. }));
-        assert!(matches!(l.acquire(TaskId(2), 0), SpinEffect::MustSpin { .. }));
+        assert!(matches!(
+            l.acquire(TaskId(1), 0),
+            SpinEffect::MustSpin { .. }
+        ));
+        assert!(matches!(
+            l.acquire(TaskId(2), 0),
+            SpinEffect::MustSpin { .. }
+        ));
         let (_, next) = l.release(TaskId(0), 0);
         assert_eq!(next, Some(TaskId(1)), "FIFO grants the first waiter");
         assert!(l.claimable_by(TaskId(1)));

@@ -3,13 +3,13 @@
 //! Buckets have ~4.6% relative width (32 sub-buckets per power of two),
 //! which is plenty for reporting means and the p95/p99 tails of Figure 12.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{field, field_u64, obj, JsonValue};
 
 const SUB_BUCKETS: u64 = 32;
 const SUB_BITS: u32 = 5;
 
 /// A histogram of nanosecond values.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LatencyHist {
     counts: Vec<u64>,
     total: u64,
@@ -116,6 +116,44 @@ impl LatencyHist {
         self.max
     }
 
+    /// Serialize to a JSON tree (exact: all fields are integers).
+    pub fn to_json_value(&self) -> JsonValue {
+        obj(vec![
+            (
+                "counts",
+                JsonValue::Array(
+                    self.counts
+                        .iter()
+                        .map(|&c| JsonValue::UInt(c as u128))
+                        .collect(),
+                ),
+            ),
+            ("total", JsonValue::UInt(self.total as u128)),
+            ("sum", JsonValue::UInt(self.sum)),
+            ("min", JsonValue::UInt(self.min as u128)),
+            ("max", JsonValue::UInt(self.max as u128)),
+        ])
+    }
+
+    /// Rebuild from [`LatencyHist::to_json_value`] output.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let counts = field(v, "counts")?
+            .as_array()
+            .ok_or("'counts' is not an array")?
+            .iter()
+            .map(|c| c.as_u64().ok_or_else(|| "bad count".to_string()))
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(LatencyHist {
+            counts,
+            total: field_u64(v, "total")?,
+            sum: field(v, "sum")?
+                .as_u128()
+                .ok_or("'sum' is not an integer")?,
+            min: field_u64(v, "min")?,
+            max: field_u64(v, "max")?,
+        })
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHist) {
         if self.counts.len() < other.counts.len() {
@@ -167,8 +205,14 @@ mod tests {
         let p99 = h.percentile(99.0);
         assert!(p50 <= p95 && p95 <= p99);
         // Within bucket resolution of the true values.
-        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.05, "p50={p50}");
-        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.05, "p99={p99}");
+        assert!(
+            (p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.05,
+            "p50={p50}"
+        );
+        assert!(
+            (p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.05,
+            "p99={p99}"
+        );
     }
 
     #[test]

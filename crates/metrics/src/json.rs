@@ -1,0 +1,392 @@
+//! Minimal JSON tree, emitter, and parser.
+//!
+//! The metrics this repo serializes are integers, strings, arrays, and
+//! objects — no floats are stored in a [`crate::RunReport`] — so a small
+//! hand-rolled JSON module keeps serialization dependency-free (hermetic
+//! builds) while staying bit-exact: integer round-trips are lossless,
+//! which the golden determinism test relies on.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are unsigned integers (up to `u128`), which is
+/// every numeric field the metrics layer produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u128),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; key order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a small enough integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u128`, if it is an integer.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if it is a small enough integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::UInt(v) => usize::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Indented multi-line rendering.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            JsonValue::Object(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    write_escaped(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                pairs.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'0'..=b'9') => {
+            let start = *pos;
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+            let digits = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+            digits
+                .parse::<u128>()
+                .map(JsonValue::UInt)
+                .map_err(|e| format!("bad integer '{digits}': {e}"))
+        }
+        Some(&b) => Err(format!("unexpected byte '{}' at {}", b as char, pos)),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let mut chunk_start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+                chunk_start = *pos;
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Build an object from `(key, value)` pairs.
+pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Fetch `key` from `v` or produce a descriptive error.
+pub fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Fetch an integer field as `u64`.
+pub fn field_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not a u64"))
+}
+
+/// Fetch an integer field as `usize`.
+pub fn field_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    field(v, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field '{key}' is not a usize"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = obj(vec![
+            ("a", JsonValue::UInt(42)),
+            ("b", JsonValue::Str("x \"y\"\n".into())),
+            (
+                "c",
+                JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
+            ("d", JsonValue::Object(Vec::new())),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(JsonValue::parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn big_integers_are_lossless() {
+        let v = JsonValue::UInt(u128::MAX);
+        let text = v.to_string_compact();
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(JsonValue::parse("{} x").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = obj(vec![("k", JsonValue::UInt(7))]);
+        assert_eq!(field_u64(&v, "k").unwrap(), 7);
+        assert!(field_u64(&v, "missing").is_err());
+    }
+}

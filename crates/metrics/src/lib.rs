@@ -7,13 +7,12 @@
 //! - [`table`]: plain-text / CSV rendering used by the per-figure binaries.
 
 pub mod hist;
+pub mod json;
 pub mod report;
 pub mod stats;
 pub mod table;
 
 pub use hist::LatencyHist;
-pub use report::{
-    BlockingAggregate, BwdAggregate, CpuAggregate, RunReport, TaskAggregate,
-};
+pub use report::{BlockingAggregate, BwdAggregate, CpuAggregate, RunReport, TaskAggregate};
 pub use stats::Summary;
 pub use table::{fmt_ns, fmt_ratio, TextTable};

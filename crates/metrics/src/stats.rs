@@ -1,9 +1,7 @@
 //! Small-sample summary statistics for multi-seed experiment runs.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean / spread summary of a set of measurements.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -63,7 +61,13 @@ impl Summary {
         if self.n < 2 {
             format!("{:.*}", decimals, self.mean)
         } else {
-            format!("{:.*} ±{:.*}", decimals, self.mean, decimals, self.ci95_half_width())
+            format!(
+                "{:.*} ±{:.*}",
+                decimals,
+                self.mean,
+                decimals,
+                self.ci95_half_width()
+            )
         }
     }
 }

@@ -137,6 +137,12 @@ pub struct RunConfig {
     pub ple_params: PleParams,
     /// Record a scheduling-event trace (see [`crate::trace::TraceLog`]).
     pub trace: bool,
+    /// Use the pre-overhaul reference engine internals (classic event
+    /// queue, uncached runqueue picks, no resched coalescing). Metrics are
+    /// bit-identical either way — this knob exists for the golden
+    /// determinism test and before/after throughput comparisons. Can also
+    /// be forced with the `OVERSUB_REFERENCE_ENGINE` environment variable.
+    pub reference_engine: bool,
 }
 
 impl RunConfig {
@@ -156,6 +162,7 @@ impl RunConfig {
             bwd_params: BwdParams::default(),
             ple_params: PleParams::default(),
             trace: false,
+            reference_engine: false,
         }
     }
 
@@ -206,6 +213,12 @@ impl RunConfig {
     /// Builder-style: record a scheduling trace.
     pub fn traced(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Builder-style: run on the reference (pre-overhaul) engine internals.
+    pub fn with_reference_engine(mut self, on: bool) -> Self {
+        self.reference_engine = on;
         self
     }
 

@@ -16,7 +16,6 @@
 
 use crate::config::RunConfig;
 use crate::trace::{TraceKind, TraceLog};
-use oversub_workloads::workload::{Workload, WorldBuilder};
 use oversub_bwd::{Detector, Ple};
 use oversub_hw::{CpuId, MemModel, NormalCodeRates};
 use oversub_ksync::{EpollTable, FutexTable};
@@ -24,6 +23,7 @@ use oversub_locks::SyncRegistry;
 use oversub_metrics::{LatencyHist, RunReport};
 use oversub_simcore::{EventQueue, SimRng, SimTime};
 use oversub_task::{Action, EpollFd, FlagId, LockId, SpinSig, Task, TaskId, TaskState};
+use oversub_workloads::workload::{Workload, WorldBuilder};
 
 /// What kind of time the current segment on a CPU is.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -161,6 +161,21 @@ pub(crate) struct Engine {
     pub seg_event: Vec<SegEventKind>,
     /// Per-CPU pending PLE exit time, if armed.
     pub ple_exit_at: Vec<Option<SimTime>>,
+    /// `(timestamp, queue seq mark)` of the most recently scheduled
+    /// `Event::Resched(cpu)` per CPU. A duplicate request is coalesced
+    /// into it only when both match — the mark proves no other event was
+    /// scheduled in between, so the duplicate would pop immediately after
+    /// its twin with identical state (see `sched_resched`).
+    pub resched_pending: Vec<Option<(SimTime, u64)>>,
+    /// Reference mode: classic queue, uncached picks, no coalescing.
+    pub reference: bool,
+    /// `OVERSUB_TRACE` progress logging (read once at construction; env
+    /// lookups are too slow for the per-event hot loop).
+    trace_progress: bool,
+    /// `OVERSUB_CHECK` runqueue audits (read once at construction).
+    check_rqs: bool,
+    /// `OVERSUB_TRACE_CPU` filter (read once at construction).
+    trace_cpu: Option<usize>,
     pub now: SimTime,
     pub live: usize,
     pub end_cap: SimTime,
@@ -198,9 +213,7 @@ impl Engine {
         let mut rngs = Vec::with_capacity(n);
         let online: Vec<usize> = (0..initial_cores).collect();
         for (i, spec) in world.threads.into_iter().enumerate() {
-            let cpu = spec
-                .initial_cpu
-                .unwrap_or(CpuId(online[i % online.len()]));
+            let cpu = spec.initial_cpu.unwrap_or(CpuId(online[i % online.len()]));
             let mut t = Task::new(TaskId(i), spec.program, cpu);
             t.footprint_bytes = spec.footprint;
             t.pinned = spec.pinned;
@@ -215,6 +228,11 @@ impl Engine {
 
         let ncpu = topo.num_cpus();
         let end_cap = cfg.max_time.unwrap_or(DEFAULT_CAP);
+        let reference =
+            cfg.reference_engine || std::env::var_os("OVERSUB_REFERENCE_ENGINE").is_some();
+        if reference {
+            sched.set_reference_mode(true);
+        }
         let mut eng = Engine {
             bwd: Detector::new(cfg.bwd()),
             ple: Ple::new(cfg.ple()),
@@ -227,7 +245,18 @@ impl Engine {
             conts: vec![Cont::Ready; n],
             tasks,
             rngs,
-            queue: EventQueue::new(),
+            queue: if reference {
+                EventQueue::classic()
+            } else {
+                EventQueue::new()
+            },
+            resched_pending: vec![None; ncpu],
+            reference,
+            trace_progress: std::env::var_os("OVERSUB_TRACE").is_some(),
+            check_rqs: std::env::var_os("OVERSUB_CHECK").is_some(),
+            trace_cpu: std::env::var("OVERSUB_TRACE_CPU")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok()),
             stint_epoch: vec![0; ncpu],
             seg_epoch: vec![0; ncpu],
             run_kind: vec![RunKind::Useful; ncpu],
@@ -257,36 +286,37 @@ impl Engine {
                 .enqueue_new(&mut eng.tasks, TaskId(i), cpu, SimTime::ZERO);
         }
         for c in 0..ncpu {
-            eng.queue.schedule(SimTime::ZERO, Event::Resched(c));
+            eng.sched_resched(SimTime::ZERO, c);
             if eng.bwd.params.enabled {
                 // Stagger timers so cores do not all fire at once.
                 let phase = (c as u64 * 7_919) % eng.bwd.params.interval_ns;
-                eng.queue.schedule(
+                eng.queue.schedule_periodic(
                     SimTime::from_nanos(eng.bwd.params.interval_ns + phase),
                     Event::BwdTimer(c),
                 );
             }
             let phase = (c as u64 * 104_729) % eng.cfg.sched.balance_interval_ns;
-            eng.queue.schedule(
+            eng.queue.schedule_periodic(
                 SimTime::from_nanos(eng.cfg.sched.balance_interval_ns + phase),
                 Event::Balance(c),
             );
         }
         for ev in eng.cfg.elastic.clone() {
-            eng.queue.schedule(ev.at, Event::Elastic(ev.cores));
+            eng.queue.schedule_nocancel(ev.at, Event::Elastic(ev.cores));
         }
         if eng.cfg.max_time.is_some() {
-            eng.queue.schedule(end_cap, Event::Stop);
+            eng.queue.schedule_nocancel(end_cap, Event::Stop);
         }
         eng
     }
 
-    /// Run to completion and build the report (plus the trace, if any).
+    /// Run to completion and build the report (plus the trace and the
+    /// number of processed events).
     pub(crate) fn run_with_trace(
         mut self,
         workload: &dyn Workload,
         label: &str,
-    ) -> (RunReport, TraceLog) {
+    ) -> (RunReport, TraceLog, u64) {
         while let Some((t, ev)) = self.queue.pop() {
             if t >= self.end_cap {
                 self.now = self.end_cap;
@@ -298,9 +328,7 @@ impl Engine {
             if self.events_processed > MAX_EVENTS {
                 break;
             }
-            if std::env::var_os("OVERSUB_TRACE").is_some()
-                && self.events_processed.is_multiple_of(1_000_000)
-            {
+            if self.trace_progress && self.events_processed.is_multiple_of(1_000_000) {
                 eprintln!(
                     "[trace] events={}M now={} live={} ev={:?}",
                     self.events_processed / 1_000_000,
@@ -310,7 +338,7 @@ impl Engine {
                 );
             }
             self.dispatch(ev);
-            if std::env::var_os("OVERSUB_CHECK").is_some() {
+            if self.check_rqs {
                 self.audit_rqs();
             }
             if self.live == 0 {
@@ -326,7 +354,37 @@ impl Engine {
             self.now
         };
         let trace = std::mem::take(&mut self.trace);
-        (self.build_report(workload, label, makespan), trace)
+        let events = self.events_processed;
+        (self.build_report(workload, label, makespan), trace, events)
+    }
+
+    /// Request an `Event::Resched(cpu)` at `at`, coalescing adjacent
+    /// duplicates. A duplicate is suppressed only when a `Resched(cpu)`
+    /// was already scheduled for the *same timestamp* and the queue's
+    /// sequence mark has not moved since — i.e. no event of any kind was
+    /// scheduled in between. Events pop in `(time, seq)` order, so an
+    /// unmoved mark proves the twin would pop immediately after the
+    /// covering event with no intervening handler: if the covering
+    /// resched started a task the twin sees a busy CPU and returns; if it
+    /// found nothing, the twin re-runs `pick_next` on bit-identical state
+    /// (skip-flag expiry is idempotent within a pick round, a failed
+    /// `idle_pull` is stateless, and `account_progress` at an unchanged
+    /// cursor adds zero). Either way the twin is a provable no-op, so
+    /// dropping it cannot perturb metrics — the golden determinism test
+    /// (`tests/determinism.rs`) checks this end to end. Any suppression
+    /// window wider than "strictly adjacent" is unsound: an intervening
+    /// same-timestamp event (e.g. a `PreemptCheck`) can requeue a task
+    /// that the twin's `idle_pull` would then steal.
+    pub(crate) fn sched_resched(&mut self, at: SimTime, cpu: usize) {
+        if self.reference {
+            self.queue.schedule_nocancel(at, Event::Resched(cpu));
+            return;
+        }
+        if self.resched_pending[cpu] == Some((at, self.queue.seq_mark())) {
+            return;
+        }
+        self.queue.schedule_nocancel(at, Event::Resched(cpu));
+        self.resched_pending[cpu] = Some((at, self.queue.seq_mark()));
     }
 
     /// Diagnostic: audit runqueue invariants (enabled via OVERSUB_CHECK).
@@ -358,7 +416,11 @@ impl Engine {
             if self.conts[i] != Cont::Done {
                 eprintln!(
                     "  task {i}: state={:?} vb={} skip={} cpu={:?} cont={:?} blocked_on_futex={}",
-                    t.state, t.vb_blocked, t.bwd_skip, t.last_cpu, self.conts[i],
+                    t.state,
+                    t.vb_blocked,
+                    t.bwd_skip,
+                    t.last_cpu,
+                    self.conts[i],
                     self.futex.is_blocked(TaskId(i)),
                 );
             }
@@ -366,7 +428,10 @@ impl Engine {
         for (i, c) in self.sched.cpus.iter().enumerate() {
             eprintln!(
                 "  cpu {i}: current={:?} sched={} parked={} online={}",
-                c.current, c.rq.nr_schedulable(), c.rq.nr_vb_parked(), self.sched.online[i]
+                c.current,
+                c.rq.nr_schedulable(),
+                c.rq.nr_vb_parked(),
+                self.sched.online[i]
             );
         }
         for (i, l) in self.sync.spinlocks.iter().enumerate() {
@@ -382,24 +447,26 @@ impl Engine {
     }
 
     fn dispatch(&mut self, ev: Event) {
-        if let Ok(v) = std::env::var("OVERSUB_TRACE_CPU") {
-            if let Ok(n) = v.parse::<usize>() {
-                let touches = match ev {
-                    Event::Resched(c) | Event::SegEnd(c, _) | Event::Slice(c, _)
-                    | Event::PleExit(c, _) | Event::PreemptCheck(c) | Event::BwdTimer(c)
-                    | Event::Balance(c) => c == n,
-                    _ => true,
-                };
-                if touches {
-                    eprintln!(
-                        "[cpu{n}] now={} ev={:?} current={:?} sched={} live={}",
-                        self.now,
-                        ev,
-                        self.sched.cpus[n].current,
-                        self.sched.cpus[n].rq.nr_schedulable(),
-                        self.live
-                    );
-                }
+        if let Some(n) = self.trace_cpu {
+            let touches = match ev {
+                Event::Resched(c)
+                | Event::SegEnd(c, _)
+                | Event::Slice(c, _)
+                | Event::PleExit(c, _)
+                | Event::PreemptCheck(c)
+                | Event::BwdTimer(c)
+                | Event::Balance(c) => c == n,
+                _ => true,
+            };
+            if touches {
+                eprintln!(
+                    "[cpu{n}] now={} ev={:?} current={:?} sched={} live={}",
+                    self.now,
+                    ev,
+                    self.sched.cpus[n].current,
+                    self.sched.cpus[n].rq.nr_schedulable(),
+                    self.live
+                );
             }
         }
         match ev {
@@ -515,8 +582,7 @@ impl Engine {
                         // busier core (normal idle balancing composed with
                         // BWD's skip flags).
                         tried_steal_for_skip = true;
-                        let (mig, cost) =
-                            self.sched.idle_pull(&mut self.tasks, CpuId(cpu), t);
+                        let (mig, cost) = self.sched.idle_pull(&mut self.tasks, CpuId(cpu), t);
                         if let Some(m) = mig {
                             self.trace.record(t, m.to.0, m.task, TraceKind::Migrate);
                             self.charge_kernel(cpu, cost);
@@ -616,7 +682,7 @@ impl Engine {
         self.stint_epoch[cpu] += 1;
         self.seg_epoch[cpu] += 1;
         self.ple_exit_at[cpu] = None;
-        self.queue.schedule(self.now, Event::Resched(cpu));
+        self.sched_resched(self.now, cpu);
     }
 
     fn on_ple_exit(&mut self, cpu: usize, epoch: u64) {
@@ -651,12 +717,12 @@ impl Engine {
         self.stint_epoch[cpu] += 1;
         self.seg_epoch[cpu] += 1;
         self.ple_exit_at[cpu] = None;
-        self.queue.schedule(t, Event::Resched(cpu));
+        self.sched_resched(t, cpu);
     }
 
     fn on_preempt_check(&mut self, cpu: usize) {
         let Some(curr) = self.sched.cpus[cpu].current else {
-            self.queue.schedule(self.now, Event::Resched(cpu));
+            self.sched_resched(self.now, cpu);
             return;
         };
         // Only preempt if a schedulable task has materially lower
@@ -692,7 +758,7 @@ impl Engine {
         self.stint_epoch[cpu] += 1;
         self.seg_epoch[cpu] += 1;
         self.ple_exit_at[cpu] = None;
-        self.queue.schedule(self.now, Event::Resched(cpu));
+        self.sched_resched(self.now, cpu);
     }
 
     fn on_bwd_timer(&mut self, cpu: usize) {
@@ -700,10 +766,8 @@ impl Engine {
             return;
         }
         // Re-arm first so detection handling cannot drop the timer.
-        self.queue.schedule(
-            self.now + self.bwd.params.interval_ns,
-            Event::BwdTimer(cpu),
-        );
+        self.queue
+            .schedule_periodic(self.now + self.bwd.params.interval_ns, Event::BwdTimer(cpu));
         if !self.sched.online[cpu] {
             return;
         }
@@ -740,11 +804,11 @@ impl Engine {
         self.stint_epoch[cpu] += 1;
         self.seg_epoch[cpu] += 1;
         self.ple_exit_at[cpu] = None;
-        self.queue.schedule(t, Event::Resched(cpu));
+        self.sched_resched(t, cpu);
     }
 
     fn on_balance(&mut self, cpu: usize) {
-        self.queue.schedule(
+        self.queue.schedule_periodic(
             self.now + self.cfg.sched.balance_interval_ns,
             Event::Balance(cpu),
         );
@@ -763,7 +827,7 @@ impl Engine {
             self.sched.cpus[cpu].time.kernel_ns += cost;
         }
         if !migs.is_empty() && self.sched.cpus[cpu].current.is_none() {
-            self.queue.schedule(self.now + cost, Event::Resched(cpu));
+            self.sched_resched(self.now + cost, cpu);
         }
     }
 
@@ -781,9 +845,10 @@ impl Engine {
         self.sched.cpus[out.cpu.0].time.kernel_ns += out.cost_ns;
         self.trace.record(self.now, out.cpu.0, tid, TraceKind::Wake);
         let t = self.now + out.cost_ns;
-        self.queue.schedule(t, Event::Resched(out.cpu.0));
+        self.sched_resched(t, out.cpu.0);
         if out.preempt && self.sched.cpus[out.cpu.0].current.is_some() {
-            self.queue.schedule(t, Event::PreemptCheck(out.cpu.0));
+            self.queue
+                .schedule_nocancel(t, Event::PreemptCheck(out.cpu.0));
         }
     }
 
@@ -821,13 +886,10 @@ impl Engine {
                 loop {
                     let movable = {
                         let rq = &self.sched.cpus[c].rq;
-                        rq.entries()
-                            .into_iter()
-                            .map(|(_, tid)| tid)
-                            .find(|&tid| {
-                                self.tasks[tid.0].vb_blocked
-                                    && self.tasks[tid.0].pinned != Some(CpuId(c))
-                            })
+                        rq.entries().into_iter().map(|(_, tid)| tid).find(|&tid| {
+                            self.tasks[tid.0].vb_blocked
+                                && self.tasks[tid.0].pinned != Some(CpuId(c))
+                        })
                     };
                     match movable {
                         Some(p) => {
@@ -858,7 +920,7 @@ impl Engine {
             }
         }
         for c in 0..cores {
-            self.queue.schedule(self.now, Event::Resched(c));
+            self.sched_resched(self.now, c);
         }
     }
 
@@ -885,16 +947,15 @@ impl Engine {
                 is_mutex,
                 sig,
                 budget_left,
+            } if budget_left.is_some() => {
+                let left = self.seg_done_at[cpu].saturating_since(t);
+                self.conts[tid.0] = Cont::SpinLock {
+                    lock,
+                    is_mutex,
+                    sig,
+                    budget_left: Some(left),
+                };
             }
-                if budget_left.is_some() => {
-                    let left = self.seg_done_at[cpu].saturating_since(t);
-                    self.conts[tid.0] = Cont::SpinLock {
-                        lock,
-                        is_mutex,
-                        sig,
-                        budget_left: Some(left),
-                    };
-                }
             _ => {}
         }
     }
@@ -911,14 +972,15 @@ impl Engine {
         self.seg_done_at[cpu] += delta;
         match self.seg_event[cpu] {
             SegEventKind::WorkEnd | SegEventKind::ParkDeadline => {
-                self.queue.schedule(self.seg_done_at[cpu], Event::SegEnd(cpu, e));
+                self.queue
+                    .schedule_nocancel(self.seg_done_at[cpu], Event::SegEnd(cpu, e));
             }
             SegEventKind::None => {}
         }
         if let Some(p) = self.ple_exit_at[cpu] {
             let np = p + delta;
             self.ple_exit_at[cpu] = Some(np);
-            self.queue.schedule(np, Event::PleExit(cpu, e));
+            self.queue.schedule_nocancel(np, Event::PleExit(cpu, e));
         }
     }
 
@@ -942,7 +1004,12 @@ impl Engine {
     // Report
     // ---------------------------------------------------------------
 
-    fn build_report(mut self, workload: &dyn Workload, label: &str, makespan: SimTime) -> RunReport {
+    fn build_report(
+        mut self,
+        workload: &dyn Workload,
+        label: &str,
+        makespan: SimTime,
+    ) -> RunReport {
         // Close accounting on every CPU.
         for c in 0..self.sched.topo.num_cpus() {
             self.account_progress(c, makespan);
@@ -996,15 +1063,29 @@ pub fn run_labelled(workload: &mut dyn Workload, config: &RunConfig, label: &str
     engine.run_with_trace(workload, label).0
 }
 
-/// Run `workload` under `config` and return the scheduling trace alongside
-/// the report (enable recording with [`RunConfig::traced`]).
-pub fn run_traced(
+/// Run `workload` under `config`, additionally returning the number of
+/// discrete events the engine processed — the denominator of the
+/// events-per-second throughput benchmark. The count is *not* part of
+/// [`RunReport`]: it is an engine-internal quantity that legitimately
+/// differs between the optimized and reference engines (resched
+/// coalescing), while every report metric stays bit-identical.
+pub fn run_counted(
     workload: &mut dyn Workload,
     config: &RunConfig,
-) -> (RunReport, TraceLog) {
+    label: &str,
+) -> (RunReport, u64) {
+    let engine = Engine::new(config.clone(), workload);
+    let (report, _, events) = engine.run_with_trace(workload, label);
+    (report, events)
+}
+
+/// Run `workload` under `config` and return the scheduling trace alongside
+/// the report (enable recording with [`RunConfig::traced`]).
+pub fn run_traced(workload: &mut dyn Workload, config: &RunConfig) -> (RunReport, TraceLog) {
     let name = workload.name().to_string();
     let engine = Engine::new(config.clone(), workload);
-    engine.run_with_trace(workload, &name)
+    let (report, trace, _) = engine.run_with_trace(workload, &name);
+    (report, trace)
 }
 
 /// Run `workload` under `config`.

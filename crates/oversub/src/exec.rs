@@ -7,9 +7,7 @@ use crate::trace::TraceKind;
 use oversub_hw::CpuId;
 use oversub_locks::{BarrierEffect, MutexAcquire, MutexRelease, SemEffect, SpinEffect};
 use oversub_simcore::SimTime;
-use oversub_task::{
-    Action, FutexKey, LockId, ProgCtx, SpinSig, SyncOp, TaskId, TaskState,
-};
+use oversub_task::{Action, FutexKey, LockId, ProgCtx, SpinSig, SyncOp, TaskId, TaskState};
 
 /// Flow control for the inner action loop.
 enum Flow {
@@ -163,7 +161,7 @@ impl Engine {
                 self.stint_epoch[cpu] += 1;
                 self.seg_epoch[cpu] += 1;
                 self.ple_exit_at[cpu] = None;
-                self.queue.schedule(t, Event::Resched(cpu));
+                self.sched_resched(t, cpu);
                 Flow::Break
             }
             Action::IoWait { ns } => {
@@ -179,8 +177,9 @@ impl Engine {
                 self.stint_epoch[cpu] += 1;
                 self.seg_epoch[cpu] += 1;
                 self.ple_exit_at[cpu] = None;
-                self.queue.schedule(t + syscall + ns, Event::IoDone(tid.0));
-                self.queue.schedule(t + syscall, Event::Resched(cpu));
+                self.queue
+                    .schedule_nocancel(t + syscall + ns, Event::IoDone(tid.0));
+                self.sched_resched(t + syscall, cpu);
                 Flow::Break
             }
             Action::Exit => {
@@ -196,7 +195,7 @@ impl Engine {
                 self.stint_epoch[cpu] += 1;
                 self.seg_epoch[cpu] += 1;
                 self.ple_exit_at[cpu] = None;
-                self.queue.schedule(t, Event::Resched(cpu));
+                self.sched_resched(t, cpu);
                 Flow::Break
             }
             Action::Sync(op) => self.handle_sync(cpu, tid, op, t),
@@ -362,20 +361,15 @@ impl Engine {
                         self.stint_epoch[cpu] += 1;
                         self.seg_epoch[cpu] += 1;
                         self.ple_exit_at[cpu] = None;
-                        self.queue.schedule(t + out.cost_ns, Event::Resched(cpu));
+                        self.sched_resched(t + out.cost_ns, cpu);
                         Flow::Break
                     }
                 }
             }
             SyncOp::EpollPost(ep, n) => {
-                let report = self.epoll.epoll_post(
-                    &mut self.sched,
-                    &mut self.tasks,
-                    ep,
-                    n,
-                    CpuId(cpu),
-                    t,
-                );
+                let report =
+                    self.epoll
+                        .epoll_post(&mut self.sched, &mut self.tasks, ep, n, CpuId(cpu), t);
                 self.charge_kernel(cpu, report.waker_cost_ns);
                 let done = t + report.waker_cost_ns;
                 self.post_wake_events(&report.woken, done);
@@ -546,7 +540,14 @@ impl Engine {
     // Kernel blocking wrappers
     // -----------------------------------------------------------------
 
-    fn do_futex_wait(&mut self, cpu: usize, tid: TaskId, key: FutexKey, resume: Resume, t: SimTime) {
+    fn do_futex_wait(
+        &mut self,
+        cpu: usize,
+        tid: TaskId,
+        key: FutexKey,
+        resume: Resume,
+        t: SimTime,
+    ) {
         let out = self
             .futex
             .futex_wait(&mut self.sched, &mut self.tasks, tid, key, CpuId(cpu), t);
@@ -564,7 +565,7 @@ impl Engine {
         self.stint_epoch[cpu] += 1;
         self.seg_epoch[cpu] += 1;
         self.ple_exit_at[cpu] = None;
-        self.queue.schedule(t + out.cost_ns, Event::Resched(cpu));
+        self.sched_resched(t + out.cost_ns, cpu);
     }
 
     fn do_futex_wake(&mut self, cpu: usize, key: FutexKey, n: usize, t: SimTime) -> u64 {
@@ -582,9 +583,10 @@ impl Engine {
         for &(w, wcpu, preempt) in woken {
             self.trace.record(done, wcpu.0, w, TraceKind::Wake);
             let delay = self.wake_resched_delay(wcpu.0);
-            self.queue.schedule(done + delay, Event::Resched(wcpu.0));
+            self.sched_resched(done + delay, wcpu.0);
             if preempt && self.sched.cpus[wcpu.0].current.is_some() {
-                self.queue.schedule(done + delay, Event::PreemptCheck(wcpu.0));
+                self.queue
+                    .schedule_nocancel(done + delay, Event::PreemptCheck(wcpu.0));
             }
             // nohz idle kick: if the woken task landed on a busy queue
             // while another CPU sits idle, poke one idle CPU so its idle
@@ -596,7 +598,7 @@ impl Engine {
                     .cpu_ids()
                     .find(|c| self.sched.online[c.0] && self.sched.cpus[c.0].is_idle());
                 if let Some(c) = idle {
-                    self.queue.schedule(done, Event::Resched(c.0));
+                    self.sched_resched(done, c.0);
                 }
             }
         }
@@ -622,8 +624,10 @@ impl Engine {
         self.seg_done_at[cpu] = t + scaled.max(1);
         self.seg_event[cpu] = SegEventKind::WorkEnd;
         self.ple_exit_at[cpu] = None;
-        self.queue
-            .schedule(self.seg_done_at[cpu], Event::SegEnd(cpu, self.seg_epoch[cpu]));
+        self.queue.schedule(
+            self.seg_done_at[cpu],
+            Event::SegEnd(cpu, self.seg_epoch[cpu]),
+        );
     }
 
     fn begin_spin_segment(
@@ -641,8 +645,10 @@ impl Engine {
             Some(b) => {
                 self.seg_done_at[cpu] = t + b.max(1);
                 self.seg_event[cpu] = SegEventKind::ParkDeadline;
-                self.queue
-                    .schedule(self.seg_done_at[cpu], Event::SegEnd(cpu, self.seg_epoch[cpu]));
+                self.queue.schedule(
+                    self.seg_done_at[cpu],
+                    Event::SegEnd(cpu, self.seg_epoch[cpu]),
+                );
             }
             None => {
                 self.seg_done_at[cpu] = SimTime::NEVER;
@@ -654,7 +660,8 @@ impl Engine {
             let w = self.ple_window[tid.0];
             let at = t + w;
             self.ple_exit_at[cpu] = Some(at);
-            self.queue.schedule(at, Event::PleExit(cpu, self.seg_epoch[cpu]));
+            self.queue
+                .schedule_nocancel(at, Event::PleExit(cpu, self.seg_epoch[cpu]));
         } else {
             self.ple_exit_at[cpu] = None;
         }

@@ -13,12 +13,14 @@ use crate::engine::run_labelled;
 use oversub_bwd::ExecEnv;
 use oversub_hw::AccessPattern;
 use oversub_locks::{MutexKind, SpinPolicy};
+use oversub_metrics::Summary;
 use oversub_metrics::{RunReport, TextTable};
 use oversub_simcore::{SimTime, MICROS, MILLIS};
-use oversub_metrics::Summary;
 use oversub_workloads::forkjoin::ForkJoin;
 use oversub_workloads::memcached::Memcached;
-use oversub_workloads::micro::{ArrayWalk, ComputeYield, Primitive, PrimitiveStress, SpinlockStress, TpProbe};
+use oversub_workloads::micro::{
+    ArrayWalk, ComputeYield, Primitive, PrimitiveStress, SpinlockStress, TpProbe,
+};
 use oversub_workloads::pipeline::{SpinPipeline, WaitFlavor};
 use oversub_workloads::skeletons::{BenchProfile, Skeleton};
 use oversub_workloads::webserving::WebServing;
@@ -86,8 +88,20 @@ fn fmt_s(r: &RunReport) -> String {
 pub fn fig01_survey(opts: ExpOpts) -> TextTable {
     let mut t = TextTable::new(["benchmark", "group", "8T", "32T(vanilla)", "paper-32T"]);
     for p in BenchProfile::all() {
-        let base = run_skeleton(p.name, 8, MachineSpec::Paper8Cores, Mechanisms::vanilla(), opts);
-        let over = run_skeleton(p.name, 32, MachineSpec::Paper8Cores, Mechanisms::vanilla(), opts);
+        let base = run_skeleton(
+            p.name,
+            8,
+            MachineSpec::Paper8Cores,
+            Mechanisms::vanilla(),
+            opts,
+        );
+        let over = run_skeleton(
+            p.name,
+            32,
+            MachineSpec::Paper8Cores,
+            Mechanisms::vanilla(),
+            opts,
+        );
         t.row([
             p.name.to_string(),
             format!("{:?}", p.group),
@@ -117,11 +131,7 @@ pub fn fig02_direct_cost(opts: ExpOpts) -> TextTable {
     for n in 1..=8usize {
         let a = run1(&mut ComputeYield::fig2a(n, total)).makespan_ns as f64;
         let b = run1(&mut ComputeYield::fig2b(n, total)).makespan_ns as f64;
-        t.row([
-            n.to_string(),
-            fmt_x(a / base_a),
-            fmt_x(b / base_b),
-        ]);
+        t.row([n.to_string(), fmt_x(a / base_a), fmt_x(b / base_b)]);
     }
     t
 }
@@ -182,9 +192,8 @@ pub fn fig04_indirect_cost(opts: ExpOpts) -> TextTable {
             let serial = run(1);
             let over = run(2);
             let ncs = over.cpus.context_switches.max(1);
-            let cost_us = (over.makespan_ns as f64 - serial.makespan_ns as f64)
-                / ncs as f64
-                / 1_000.0;
+            let cost_us =
+                (over.makespan_ns as f64 - serial.makespan_ns as f64) / ncs as f64 / 1_000.0;
             row.push(format!("{cost_us:.2}"));
         }
         t.row(row);
@@ -241,9 +250,16 @@ pub fn fig09_vb_blocking(opts: ExpOpts) -> TextTable {
 /// benchmarks under {8T, 32T, 32T optimized}.
 pub fn table1_runtime_stats(opts: ExpOpts) -> TextTable {
     let mut t = TextTable::new([
-        "app", "util-8T", "util-32T", "util-Opt",
-        "in-node-8T", "in-node-32T", "in-node-Opt",
-        "cross-8T", "cross-32T", "cross-Opt",
+        "app",
+        "util-8T",
+        "util-32T",
+        "util-Opt",
+        "in-node-8T",
+        "in-node-32T",
+        "in-node-Opt",
+        "cross-8T",
+        "cross-32T",
+        "cross-Opt",
     ]);
     for p in BenchProfile::fig9_set() {
         let (b, o, x) = fig09_arms(p.name, MachineSpec::Paper8Cores, opts);
@@ -267,12 +283,7 @@ pub fn table1_runtime_stats(opts: ExpOpts) -> TextTable {
 // Figure 10: VB on the pthreads primitives
 // ---------------------------------------------------------------------
 
-fn primitive_speedup(
-    primitive: Primitive,
-    threads: usize,
-    cores: usize,
-    opts: ExpOpts,
-) -> f64 {
+fn primitive_speedup(primitive: Primitive, threads: usize, cores: usize, opts: ExpOpts) -> f64 {
     let rounds = ((10_000.0 * opts.scale).max(300.0)) as usize;
     let mk = || PrimitiveStress {
         threads,
@@ -294,7 +305,12 @@ fn primitive_speedup(
 /// Figure 10(a): speedup of VB over vanilla for mutex / condvar / barrier
 /// with 1..=32 threads on a single core.
 pub fn fig10a_primitives_threads(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new(["threads", "pthread_mutex", "pthread_cond", "pthread_barrier"]);
+    let mut t = TextTable::new([
+        "threads",
+        "pthread_mutex",
+        "pthread_cond",
+        "pthread_barrier",
+    ]);
     for &n in &[1usize, 2, 4, 8, 16, 32] {
         t.row([
             n.to_string(),
@@ -330,7 +346,13 @@ pub fn fig10b_primitives_cores(opts: ExpOpts) -> TextTable {
 /// 32T optimized}.
 pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
     let mut t = TextTable::new([
-        "benchmark", "cores", "#coreT(van)", "8T(van)", "32T(van)", "32T(pinned)", "32T(opt)",
+        "benchmark",
+        "cores",
+        "#coreT(van)",
+        "8T(van)",
+        "32T(van)",
+        "32T(pinned)",
+        "32T(opt)",
     ]);
     for name in ["ep", "facesim", "streamcluster", "ocean", "cg"] {
         for &cores in &[2usize, 4, 8, 16, 32] {
@@ -372,7 +394,12 @@ pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
 /// 16T vanilla, 16T optimized} on 4, 8, and 16 server cores.
 pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
     let mut t = TextTable::new([
-        "cores", "arm", "throughput(op/s)", "mean(us)", "p95(us)", "p99(us)",
+        "cores",
+        "arm",
+        "throughput(op/s)",
+        "mean(us)",
+        "p95(us)",
+        "p99(us)",
     ]);
     let duration = SimTime::from_millis(((2_000.0 * opts.scale).max(300.0)) as u64);
     for &cores in &[4usize, 8, 16] {
@@ -415,7 +442,13 @@ pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
 pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
     let header: Vec<&str> = match env {
         ExecEnv::Container => vec!["lock", "8T(vanilla)", "32T(vanilla)", "32T(optimized)"],
-        ExecEnv::Vm => vec!["lock", "8T(vanilla)", "32T(vanilla)", "32T(PLE)", "32T(optimized)"],
+        ExecEnv::Vm => vec![
+            "lock",
+            "8T(vanilla)",
+            "32T(vanilla)",
+            "32T(PLE)",
+            "32T(optimized)",
+        ],
     };
     let mut t = TextTable::new(header);
     let iters = ((1_600.0 * opts.scale).max(96.0)) as usize;
@@ -432,11 +465,7 @@ pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
         let base = run(8, Mechanisms::vanilla());
         let over = run(32, Mechanisms::vanilla());
         let opt = run(32, Mechanisms::bwd_only());
-        let mut row = vec![
-            policy.name.to_string(),
-            fmt_s(&base),
-            fmt_s(&over),
-        ];
+        let mut row = vec![policy.name.to_string(), fmt_s(&base), fmt_s(&over)];
         if env == ExecEnv::Vm {
             let ple = run(32, Mechanisms::ple_only());
             row.push(fmt_s(&ple));
@@ -455,9 +484,7 @@ pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
 /// threads on 8 cores, in containers and VMs, under vanilla / PLE /
 /// optimized.
 pub fn fig14_custom_spin(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new([
-        "benchmark", "env", "threads", "vanilla", "PLE", "optimized",
-    ]);
+    let mut t = TextTable::new(["benchmark", "env", "threads", "vanilla", "PLE", "optimized"]);
     for name in ["lu", "volrend"] {
         for env in [ExecEnv::Container, ExecEnv::Vm] {
             for &threads in &[8usize, 16, 32] {
@@ -501,7 +528,12 @@ pub fn fig14_custom_spin(opts: ExpOpts) -> TextTable {
 /// each lock design, vs our optimized kernel.
 pub fn fig15_shfllock(opts: ExpOpts) -> TextTable {
     let mut t = TextTable::new([
-        "benchmark", "pthread", "mutexee", "mcstp", "shfllock", "optimized",
+        "benchmark",
+        "pthread",
+        "mutexee",
+        "mcstp",
+        "shfllock",
+        "optimized",
     ]);
     let spin_ns = 150_000; // spin budget of the spin-then-park designs
     for name in ["freqmine", "streamcluster", "lu_cb", "ocean", "radix"] {
@@ -519,9 +551,21 @@ pub fn fig15_shfllock(opts: ExpOpts) -> TextTable {
         };
         let base = run(8, None, Mechanisms::vanilla());
         let pthread = run(32, None, Mechanisms::vanilla());
-        let mutexee = run(32, Some(MutexKind::Mutexee { spin_ns }), Mechanisms::vanilla());
-        let mcstp = run(32, Some(MutexKind::McsTp { spin_ns }), Mechanisms::vanilla());
-        let shfl = run(32, Some(MutexKind::Shfllock { spin_ns }), Mechanisms::vanilla());
+        let mutexee = run(
+            32,
+            Some(MutexKind::Mutexee { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let mcstp = run(
+            32,
+            Some(MutexKind::McsTp { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let shfl = run(
+            32,
+            Some(MutexKind::Shfllock { spin_ns }),
+            Mechanisms::vanilla(),
+        );
         let opt = run(32, None, Mechanisms::optimized());
         t.row([
             name.to_string(),
@@ -566,9 +610,7 @@ pub fn table2_bwd_tp(opts: ExpOpts) -> TextTable {
 /// contain no synchronization spinning (their tight loops are the bait),
 /// plus the FP-induced overhead.
 pub fn table3_bwd_fp(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new([
-        "app", "windows", "FPs", "specificity(%)", "FP-overhead(%)",
-    ]);
+    let mut t = TextTable::new(["app", "windows", "FPs", "specificity(%)", "FP-overhead(%)"]);
     for name in ["is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"] {
         let without = run_skeleton(
             name,
@@ -586,8 +628,8 @@ pub fn table3_bwd_fp(opts: ExpOpts) -> TextTable {
         );
         let checks = with.bwd.checks.max(1);
         let spec = 100.0 * (1.0 - with.bwd.false_positives as f64 / checks as f64);
-        let overhead = 100.0
-            * (with.makespan_ns as f64 / without.makespan_ns.max(1) as f64 - 1.0).max(0.0);
+        let overhead =
+            100.0 * (with.makespan_ns as f64 / without.makespan_ns.max(1) as f64 - 1.0).max(0.0);
         t.row([
             name.to_string(),
             checks.to_string(),
@@ -707,12 +749,7 @@ pub fn seed_sensitivity(opts: ExpOpts) -> TextTable {
         let b = multi_seed_makespan(name, 8, Mechanisms::vanilla(), opts, 5);
         let o = multi_seed_makespan(name, 32, Mechanisms::vanilla(), opts, 5);
         let x = multi_seed_makespan(name, 32, Mechanisms::optimized(), opts, 5);
-        t.row([
-            name.to_string(),
-            b.display(3),
-            o.display(3),
-            x.display(3),
-        ]);
+        t.row([name.to_string(), b.display(3), o.display(3), x.display(3)]);
     }
     t
 }
@@ -721,7 +758,13 @@ pub fn seed_sensitivity(opts: ExpOpts) -> TextTable {
 /// multiplier and watch the vanilla oversubscription penalty move while
 /// the VB arm stays flat (it barely migrates).
 pub fn ablation_migration_cost(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new(["remote-mult", "32T(van)", "32T(opt)", "van-migr", "opt-migr"]);
+    let mut t = TextTable::new([
+        "remote-mult",
+        "32T(van)",
+        "32T(opt)",
+        "van-migr",
+        "opt-migr",
+    ]);
     for &mult in &[1.0f64, 1.6, 2.5, 4.0] {
         let run = |mech: Mechanisms| {
             let profile = BenchProfile::by_name("streamcluster").unwrap();
@@ -826,9 +869,8 @@ pub fn ablation_hugepages(opts: ExpOpts) -> TextTable {
             let serial = run(1);
             let over = run(2);
             let ncs = over.cpus.context_switches.max(1);
-            let cost_us = (over.makespan_ns as f64 - serial.makespan_ns as f64)
-                / ncs as f64
-                / 1_000.0;
+            let cost_us =
+                (over.makespan_ns as f64 - serial.makespan_ns as f64) / ncs as f64 / 1_000.0;
             row.push(format!("{cost_us:.2}"));
         }
         t.row(row);
@@ -843,7 +885,10 @@ pub fn ablation_hugepages(opts: ExpOpts) -> TextTable {
 /// `cores` threads per region, the oversubscribed arms activate all 32.
 pub fn ext_forkjoin_dynamic_threading(opts: ExpOpts) -> TextTable {
     let mut t = TextTable::new([
-        "cores", "dynamic(active=cores)", "32-active(vanilla)", "32-active(optimized)",
+        "cores",
+        "dynamic(active=cores)",
+        "32-active(vanilla)",
+        "32-active(optimized)",
     ]);
     let regions = ((400.0 * opts.scale).max(60.0)) as usize;
     for &cores in &[4usize, 8, 16] {

@@ -42,7 +42,7 @@ pub mod trace;
 pub use oversub_workloads::workload;
 
 pub use config::{ElasticEvent, MachineSpec, Mechanisms, RunConfig};
-pub use engine::{run, run_labelled, run_traced};
+pub use engine::{run, run_counted, run_labelled, run_traced};
 pub use oversub_bwd::ExecEnv;
 pub use oversub_metrics::RunReport;
 

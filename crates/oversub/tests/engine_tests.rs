@@ -378,7 +378,10 @@ fn barrier_not_oversubscribed_unaffected_by_vb() {
         compute_ns: 300_000,
     };
     let vanilla = run(&mut mk(), &RunConfig::vanilla(8));
-    let vb = run(&mut mk(), &RunConfig::vanilla(8).with_mech(Mechanisms::vb_only()));
+    let vb = run(
+        &mut mk(),
+        &RunConfig::vanilla(8).with_mech(Mechanisms::vb_only()),
+    );
     let ratio = vb.makespan_ns as f64 / vanilla.makespan_ns as f64;
     assert!(
         (0.8..=1.2).contains(&ratio),
@@ -453,7 +456,10 @@ fn oversubscribed_spinning_collapses_and_bwd_rescues() {
         &RunConfig::vanilla(4),
     );
     let vanilla = run(&mut mk(), &RunConfig::vanilla(4));
-    let bwd = run(&mut mk(), &RunConfig::vanilla(4).with_mech(Mechanisms::bwd_only()));
+    let bwd = run(
+        &mut mk(),
+        &RunConfig::vanilla(4).with_mech(Mechanisms::bwd_only()),
+    );
     // Vanilla oversubscribed spinning is far slower than baseline.
     let collapse = vanilla.makespan_ns as f64 / base.makespan_ns as f64;
     assert!(
@@ -503,7 +509,10 @@ fn flag_pipeline_progresses_and_bwd_helps_oversubscribed() {
     );
     // Oversubscribed on 2 cores.
     let vanilla = run(&mut mk(), &RunConfig::vanilla(2));
-    let bwd = run(&mut mk(), &RunConfig::vanilla(2).with_mech(Mechanisms::bwd_only()));
+    let bwd = run(
+        &mut mk(),
+        &RunConfig::vanilla(2).with_mech(Mechanisms::bwd_only()),
+    );
     assert!(
         bwd.makespan_ns < vanilla.makespan_ns,
         "BWD {} vs vanilla {}",
@@ -706,7 +715,10 @@ fn ple_fires_only_for_pause_loops_inside_vms() {
     };
     // PAUSE-based loop in a VM: PLE exits happen.
     let pause_vm = run(oversub::locks::SpinPolicy::pthread(), true);
-    assert!(pause_vm.bwd.ple_exits > 0, "PLE must see PAUSE loops in VMs");
+    assert!(
+        pause_vm.bwd.ple_exits > 0,
+        "PLE must see PAUSE loops in VMs"
+    );
     // Bare loop in a VM: invisible.
     let bare_vm = run(oversub::locks::SpinPolicy::ttas(), true);
     assert_eq!(bare_vm.bwd.ple_exits, 0, "bare loops are invisible to PLE");
@@ -750,9 +762,9 @@ impl Workload for WeightedBatch {
     }
     fn build(&mut self, w: &mut WorldBuilder) {
         for i in 0..2 {
-            let spec = ThreadSpec::new(Box::new(ScriptProgram::once(vec![
-                Action::Compute { ns: 40_000_000 },
-            ])));
+            let spec = ThreadSpec::new(Box::new(ScriptProgram::once(vec![Action::Compute {
+                ns: 40_000_000,
+            }])));
             let spec = if i == 1 {
                 spec.with_weight(self.second_weight)
             } else {
@@ -882,10 +894,7 @@ fn wake_never_lands_on_offline_or_disallowed_cpu() {
                     script.push(Action::Compute { ns: 50_000 });
                 }
                 // Allowed only on cpus 2..4, which go offline mid-run.
-                w.spawn(
-                    ThreadSpec::new(Box::new(ScriptProgram::once(script)))
-                        .allowed_range(2, 4),
-                );
+                w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))).allowed_range(2, 4));
             }
         }
     }

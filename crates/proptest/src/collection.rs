@@ -1,0 +1,94 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A `Vec` of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start).max(1) as u64;
+        let n = self.size.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeMap` with between `size.start` and `size.end - 1` entries
+/// (distinct keys; the key strategy's domain must be large enough to
+/// reach the minimum size).
+pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+/// See [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start).max(1) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut map = BTreeMap::new();
+        // Keys may collide; keep drawing until the target size is reached
+        // (bounded, in case the key domain is smaller than the target).
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < 64 * (target + 1) {
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let s = vec(0u64..100, 2..7);
+        let mut rng = TestRng::new(9, 0);
+        for _ in 0..128 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_min_size() {
+        let s = btree_map(0usize..8, 0u64..10, 1..8);
+        let mut rng = TestRng::new(11, 0);
+        for _ in 0..128 {
+            let m = s.generate(&mut rng);
+            assert!(!m.is_empty() && m.len() < 8);
+            assert!(m.keys().all(|&k| k < 8));
+        }
+    }
+}

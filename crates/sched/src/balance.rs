@@ -97,6 +97,14 @@ impl Scheduler {
         if !self.online[cpu.0] {
             return (migrations, 0);
         }
+        if !self.reference && self.waiter_board.get() == 0 {
+            // No runqueue anywhere holds a schedulable waiter, so
+            // `pick_victim` would return `None` for every source and the
+            // pass below would migrate nothing at cost `BALANCE_PASS_NS`
+            // (an imbalanced-looking source can only carry VB-parked
+            // tasks, which are never victims). Same result, O(1).
+            return (migrations, cost);
+        }
         // Find the busiest CPU, in-node candidates preferred via a lower
         // imbalance threshold (CFS balances smaller domains more often).
         let mut busiest: Option<(CpuId, usize, bool)> = None;
@@ -111,8 +119,8 @@ impl Scheduler {
             } else {
                 self.params.balance_imbalance_pct * 2
             };
-            let imbalanced = load * 100 > my_load * (100 + threshold_pct as usize)
-                && load >= my_load + 2;
+            let imbalanced =
+                load * 100 > my_load * (100 + threshold_pct as usize) && load >= my_load + 2;
             if imbalanced {
                 match busiest {
                     // Prefer in-node sources, then higher load.
@@ -149,6 +157,13 @@ impl Scheduler {
     ) -> (Option<MigrationEvent>, u64) {
         if !self.params.idle_balance || !self.online[cpu.0] {
             return (None, 0);
+        }
+        if !self.reference && self.waiter_board.get() == 0 {
+            // No runqueue anywhere has a schedulable waiter, so the scan
+            // below would find no candidate. Same result, O(1) — this is
+            // the common case on wake-heavy workloads, where most resched
+            // pokes find an idle machine.
+            return (None, BALANCE_PASS_NS / 2);
         }
         // Steal from the most loaded CPU that has at least 2 queued
         // schedulable tasks (leave it one).
@@ -256,7 +271,12 @@ mod tests {
                 panic!()
             };
             s.start(&mut tasks, CpuId(0), t, now);
-            s.stop_current(&mut tasks, CpuId(0), now, crate::sched::StopReason::VirtualBlock);
+            s.stop_current(
+                &mut tasks,
+                CpuId(0),
+                now,
+                crate::sched::StopReason::VirtualBlock,
+            );
             let _ = t;
             let _ = i;
         }

@@ -8,7 +8,9 @@
 //! stabilizes the load balancer.
 
 use oversub_task::{Task, TaskId};
+use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 /// Base of the vruntime region used to park virtually-blocked tasks.
 /// Anything above this sorts after every live task.
@@ -26,6 +28,26 @@ pub struct CfsRq {
     min_vruntime: u64,
     /// Sequence used to order VB-parked tasks FIFO at the tail.
     vb_seq: u64,
+    /// Cached unforced pick: the leftmost pickable `(vruntime, TaskId)` as
+    /// of the last scan, maintained across enqueue/dequeue/requeue so
+    /// `pick_next` is O(1) amortized. `None` means "unknown — scan".
+    /// Interior mutability keeps `pick_next(&self)` read-only for callers.
+    pick_cache: Cell<Option<(u64, TaskId)>>,
+    /// When set, `pick_next` always scans (reference mode; the cache is
+    /// bypassed and never populated).
+    scan_mode: Cell<bool>,
+    /// Machine-wide count of runqueues with at least one schedulable
+    /// waiter, shared by every runqueue of one scheduler. Maintained on
+    /// the 0↔nonzero transitions of `nr_schedulable` so the idle balancer
+    /// can answer "is there anything to steal anywhere?" in O(1) instead
+    /// of striding over every CPU's state (see `Scheduler::idle_pull`).
+    waiter_board: Option<Rc<Cell<usize>>>,
+}
+
+/// Can `pick_next` return this in-tree entry as an unforced pick?
+#[inline]
+fn pickable(task: &Task, vruntime: u64) -> bool {
+    vruntime < VB_TAIL_BASE && task.schedulable() && !task.bwd_skip
 }
 
 impl CfsRq {
@@ -65,6 +87,30 @@ impl CfsRq {
         self.tree.is_empty()
     }
 
+    /// Share the machine-wide waiter count with this runqueue. Folds the
+    /// queue's current population into the count, so it can be attached
+    /// at any point.
+    pub fn attach_waiter_board(&mut self, board: Rc<Cell<usize>>) {
+        if self.nr_schedulable > 0 {
+            board.set(board.get() + 1);
+        }
+        self.waiter_board = Some(board);
+    }
+
+    #[inline]
+    fn waiters_became_nonzero(&self) {
+        if let Some(b) = &self.waiter_board {
+            b.set(b.get() + 1);
+        }
+    }
+
+    #[inline]
+    fn waiters_became_zero(&self) {
+        if let Some(b) = &self.waiter_board {
+            b.set(b.get() - 1);
+        }
+    }
+
     /// Next vruntime to use for parking a task at the tail (FIFO among
     /// parked tasks).
     pub fn next_vb_tail_vruntime(&mut self) -> u64 {
@@ -87,6 +133,30 @@ impl CfsRq {
             self.nr_vb_parked += 1;
         } else {
             self.nr_schedulable += 1;
+            if self.nr_schedulable == 1 {
+                self.waiters_became_nonzero();
+            }
+        }
+        self.note_inserted(task);
+    }
+
+    /// Fold a freshly placed entry into the pick cache: a pickable entry
+    /// left of the cached one becomes the new cached pick. A `None` cache
+    /// stays `None` (a smaller unknown entry may exist) unless the tree
+    /// holds only this entry.
+    fn note_inserted(&self, task: &Task) {
+        if self.scan_mode.get() || !pickable(task, task.vruntime) {
+            return;
+        }
+        let key = (task.vruntime, task.id);
+        match self.pick_cache.get() {
+            Some(c) if key < c => self.pick_cache.set(Some(key)),
+            Some(_) => {}
+            None => {
+                if self.tree.len() == 1 {
+                    self.pick_cache.set(Some(key));
+                }
+            }
         }
     }
 
@@ -94,10 +164,16 @@ impl CfsRq {
     pub fn dequeue(&mut self, task: &Task) {
         let existed = self.tree.remove(&(task.vruntime, task.id));
         debug_assert!(existed, "task {:?} not on queue", task.id);
+        if self.pick_cache.get() == Some((task.vruntime, task.id)) {
+            self.pick_cache.set(None);
+        }
         if task.vb_blocked {
             self.nr_vb_parked -= 1;
         } else {
             self.nr_schedulable -= 1;
+            if self.nr_schedulable == 0 {
+                self.waiters_became_zero();
+            }
             self.update_min_vruntime();
         }
     }
@@ -107,14 +183,24 @@ impl CfsRq {
     pub fn requeue(&mut self, old_vruntime: u64, was_vb: bool, task: &Task) {
         let existed = self.tree.remove(&(old_vruntime, task.id));
         debug_assert!(existed, "task {:?} not on queue for requeue", task.id);
+        if self.pick_cache.get() == Some((old_vruntime, task.id)) {
+            self.pick_cache.set(None);
+        }
         self.tree.insert((task.vruntime, task.id));
+        self.note_inserted(task);
         match (was_vb, task.vb_blocked) {
             (true, false) => {
                 self.nr_vb_parked -= 1;
                 self.nr_schedulable += 1;
+                if self.nr_schedulable == 1 {
+                    self.waiters_became_nonzero();
+                }
             }
             (false, true) => {
                 self.nr_schedulable -= 1;
+                if self.nr_schedulable == 0 {
+                    self.waiters_became_zero();
+                }
                 self.nr_vb_parked += 1;
             }
             _ => {}
@@ -128,7 +214,36 @@ impl CfsRq {
     ///
     /// Returns `(task, forced)` where `forced` means a skip flag had to be
     /// overridden.
+    ///
+    /// O(1) amortized: the leftmost pickable entry is cached across calls
+    /// and revalidated here (tree membership + schedulability + skip flag);
+    /// only a miss pays for the ordered scan, whose unforced result is
+    /// cached for the next call. Forced picks (every schedulable task
+    /// skip-flagged) are never cached. External eligibility changes that
+    /// bypass the queue API — BWD skip-flag expiry on in-tree tasks — must
+    /// call [`CfsRq::invalidate_pick_cache`].
     pub fn pick_next(&self, tasks: &[Task]) -> Option<(TaskId, bool)> {
+        if !self.scan_mode.get() {
+            if let Some((vr, tid)) = self.pick_cache.get() {
+                let t = &tasks[tid.0];
+                if t.vruntime == vr && pickable(t, vr) && self.tree.contains(&(vr, tid)) {
+                    return Some((tid, false));
+                }
+                self.pick_cache.set(None);
+            }
+        }
+        let picked = self.pick_next_scan(tasks);
+        if !self.scan_mode.get() {
+            if let Some((tid, false)) = picked {
+                self.pick_cache.set(Some((tasks[tid.0].vruntime, tid)));
+            }
+        }
+        picked
+    }
+
+    /// The uncached ordered scan behind [`CfsRq::pick_next`] (also the
+    /// reference model for the cache's property tests).
+    pub fn pick_next_scan(&self, tasks: &[Task]) -> Option<(TaskId, bool)> {
         let mut first_skipped: Option<TaskId> = None;
         for &(vr, tid) in &self.tree {
             if vr >= VB_TAIL_BASE {
@@ -149,6 +264,20 @@ impl CfsRq {
         first_skipped.map(|t| (t, true))
     }
 
+    /// Drop the cached pick. Must be called whenever an in-tree task's
+    /// eligibility changes without going through
+    /// enqueue/dequeue/requeue — today that is BWD skip-flag expiry.
+    #[inline]
+    pub fn invalidate_pick_cache(&self) {
+        self.pick_cache.set(None);
+    }
+
+    /// Force `pick_next` to always use the ordered scan (reference mode).
+    pub fn set_scan_mode(&self, on: bool) {
+        self.scan_mode.set(on);
+        self.pick_cache.set(None);
+    }
+
     /// Leftmost VB-parked task, if any (used for flag-poll rotation when a
     /// core has only parked tasks).
     pub fn first_vb_parked(&self, tasks: &[Task]) -> Option<TaskId> {
@@ -160,10 +289,7 @@ impl CfsRq {
 
     /// Schedulable tasks in vruntime order — used by the load balancer to
     /// select migration victims (it never migrates VB-parked tasks).
-    pub fn schedulable_tasks<'a>(
-        &'a self,
-        tasks: &'a [Task],
-    ) -> impl Iterator<Item = TaskId> + 'a {
+    pub fn schedulable_tasks<'a>(&'a self, tasks: &'a [Task]) -> impl Iterator<Item = TaskId> + 'a {
         self.tree
             .iter()
             .take_while(|&&(vr, _)| vr < VB_TAIL_BASE)

@@ -11,6 +11,8 @@ use crate::rq::VB_TAIL_BASE;
 use oversub_hw::{CpuId, MemModel, Topology};
 use oversub_simcore::SimTime;
 use oversub_task::{Task, TaskId, TaskState};
+use std::cell::Cell;
+use std::rc::Rc;
 
 /// What `pick_next` decided for a CPU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,13 +89,25 @@ pub struct Scheduler {
     /// Online mask: offline CPUs are never picked as wake or balance
     /// destinations (CPU elasticity).
     pub online: Vec<bool>,
+    /// Machine-wide count of runqueues with schedulable waiters (shared
+    /// with every [`crate::rq::CfsRq`]): the idle balancer's O(1)
+    /// "anything to steal?" check.
+    pub(crate) waiter_board: Rc<Cell<usize>>,
+    /// Reference (pre-overhaul) mode: uncached picks and full balancer
+    /// scans. See [`Scheduler::set_reference_mode`].
+    pub(crate) reference: bool,
 }
 
 impl Scheduler {
     /// Build a scheduler for `topo`.
     pub fn new(topo: Topology, params: SchedParams, mem: MemModel, vb_enabled: bool) -> Self {
-        let cpus = (0..topo.num_cpus())
-            .map(|_| CpuState::new(params.rq_lock))
+        let waiter_board = Rc::new(Cell::new(0));
+        let cpus: Vec<CpuState> = (0..topo.num_cpus())
+            .map(|_| {
+                let mut c = CpuState::new(params.rq_lock);
+                c.rq.attach_waiter_board(Rc::clone(&waiter_board));
+                c
+            })
             .collect();
         let online = vec![true; topo.num_cpus()];
         Scheduler {
@@ -104,6 +118,20 @@ impl Scheduler {
             vb_enabled,
             pending_penalty: Vec::new(),
             online,
+            waiter_board,
+            reference: false,
+        }
+    }
+
+    /// Switch the scheduler to its pre-overhaul reference internals:
+    /// every runqueue scans instead of using its pick cache, and the
+    /// balancer skips its O(1) waiter-board fast paths. Behaviour is
+    /// bit-identical either way (the golden determinism test proves it);
+    /// this exists as the baseline for throughput comparisons.
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference = on;
+        for c in &self.cpus {
+            c.rq.set_scan_mode(on);
         }
     }
 
@@ -186,14 +214,21 @@ impl Scheduler {
         // set.
         let round = self.cpus[cpu.0].pick_round;
         let c = &mut self.cpus[cpu.0];
+        let mut released = false;
         c.skip_release.retain(|&tid, &mut r| {
             if round >= r {
                 tasks[tid.0].bwd_skip = false;
+                released = true;
                 false
             } else {
                 true
             }
         });
+        if released {
+            // Skip expiry changes in-tree eligibility without touching the
+            // runqueue, so the cached pick may no longer be leftmost.
+            c.rq.invalidate_pick_cache();
+        }
         match self.cpus[cpu.0].rq.pick_next(tasks) {
             Some((tid, forced)) => Pick::Run(tid, forced),
             None => match self.cpus[cpu.0].rq.first_vb_parked(tasks) {
@@ -217,7 +252,13 @@ impl Scheduler {
         let same_as_last = c.last_ran == Some(tid);
         let prev_footprint = c
             .last_ran
-            .map(|p| if p == tid { 0 } else { tasks[p.0].footprint_bytes })
+            .map(|p| {
+                if p == tid {
+                    0
+                } else {
+                    tasks[p.0].footprint_bytes
+                }
+            })
             .unwrap_or(0);
         {
             let t = &mut tasks[tid.0];
@@ -314,10 +355,7 @@ impl Scheduler {
             + self.params.wakeup_scan_per_cpu_ns * self.topo.num_cpus() as u64;
 
         // Fast path: previous CPU idle (and still online and allowed).
-        if self.online[t.last_cpu.0]
-            && t.allows(t.last_cpu)
-            && self.cpus[t.last_cpu.0].is_idle()
-        {
+        if self.online[t.last_cpu.0] && t.allows(t.last_cpu) && self.cpus[t.last_cpu.0].is_idle() {
             return (t.last_cpu, scan_cost);
         }
         // Otherwise pick the least-loaded CPU, preferring the task's node,
@@ -420,12 +458,7 @@ impl Scheduler {
     /// Virtual-blocking wake: clear `thread_state`, restore the true
     /// vruntime, and reposition the task in its (unchanged) runqueue.
     /// Returns `(cpu, cost_ns, preempt)`.
-    pub fn vb_wake(
-        &mut self,
-        tasks: &mut [Task],
-        tid: TaskId,
-        now: SimTime,
-    ) -> (CpuId, u64, bool) {
+    pub fn vb_wake(&mut self, tasks: &mut [Task], tid: TaskId, now: SimTime) -> (CpuId, u64, bool) {
         let cpu = tasks[tid.0].last_cpu;
         let rq_min = self.cpus[cpu.0].rq.min_vruntime();
         let t = &mut tasks[tid.0];
@@ -712,12 +745,7 @@ mod tests {
     #[test]
     fn smt_factor_reflects_sibling_activity() {
         let topo = Topology::paper_8_hyperthreads();
-        let mut s = Scheduler::new(
-            topo,
-            SchedParams::default(),
-            MemModel::default(),
-            false,
-        );
+        let mut s = Scheduler::new(topo, SchedParams::default(), MemModel::default(), false);
         let mut tasks = mk_tasks(1);
         assert_eq!(s.smt_factor(CpuId(0)), 1.0);
         // Busy sibling on cpu1 slows cpu0.

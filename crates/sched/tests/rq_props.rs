@@ -104,6 +104,82 @@ proptest! {
         }
     }
 
+    /// The cached pick always agrees with the uncached ordered scan, and
+    /// the shared waiter board always equals "this queue has schedulable
+    /// waiters", under arbitrary op sequences including BWD skip flags.
+    ///
+    /// Skip-flag discipline mirrors the engine: *setting* a flag needs no
+    /// cache action (the cache revalidates pickability on every hit), but
+    /// *clearing* one must call `invalidate_pick_cache` — a task left of
+    /// the cached entry may have just become pickable.
+    #[test]
+    fn cached_pick_matches_scan(ops in arb_ops(), skips in proptest::collection::vec((0usize..8, 0u64..2), 0..64)) {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut rq = CfsRq::new();
+        let board = Rc::new(Cell::new(0usize));
+        rq.attach_waiter_board(Rc::clone(&board));
+        let mut tasks = mk_tasks();
+        let mut queued = [false; 8];
+        let mut skips = skips.into_iter();
+        for op in ops {
+            match op {
+                Op::Enqueue(i, v) => {
+                    if !queued[i] && !tasks[i].vb_blocked {
+                        tasks[i].vruntime = v;
+                        rq.enqueue(&tasks[i]);
+                        queued[i] = true;
+                    }
+                }
+                Op::Dequeue(i) => {
+                    if queued[i] && !tasks[i].vb_blocked {
+                        rq.dequeue(&tasks[i]);
+                        queued[i] = false;
+                    }
+                }
+                Op::Park(i) => {
+                    if queued[i] && !tasks[i].vb_blocked {
+                        let old = tasks[i].vruntime;
+                        let tail = rq.next_vb_tail_vruntime();
+                        tasks[i].vb_park(tail);
+                        rq.requeue(old, false, &tasks[i]);
+                    }
+                }
+                Op::Unpark(i) => {
+                    if queued[i] && tasks[i].vb_blocked {
+                        let old = tasks[i].vruntime;
+                        tasks[i].vb_unpark();
+                        rq.requeue(old, true, &tasks[i]);
+                    }
+                }
+                Op::Pick => {
+                    // Interleave skip-flag churn with picks.
+                    if let Some((i, on)) = skips.next().map(|(i, b)| (i, b == 1)) {
+                        let was = tasks[i].bwd_skip;
+                        tasks[i].bwd_skip = on;
+                        if was && !on {
+                            rq.invalidate_pick_cache();
+                        }
+                    }
+                    prop_assert_eq!(
+                        rq.pick_next(&tasks),
+                        rq.pick_next_scan(&tasks),
+                        "cached pick diverged from ordered scan"
+                    );
+                    // A second pick immediately after exercises the
+                    // cache-hit path against the same scan.
+                    prop_assert_eq!(rq.pick_next(&tasks), rq.pick_next_scan(&tasks));
+                }
+            }
+            prop_assert_eq!(
+                board.get(),
+                usize::from(rq.nr_schedulable() > 0),
+                "waiter board out of sync"
+            );
+        }
+    }
+
     /// pick_next always returns the schedulable task with the smallest
     /// vruntime (ignoring BWD skip flags, which these ops never set).
     #[test]

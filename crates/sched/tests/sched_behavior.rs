@@ -132,7 +132,12 @@ fn same_task_restart_is_cheap() {
     ts[0].footprint_bytes = 4 << 20;
     s.enqueue_new(&mut ts, TaskId(0), CpuId(0), SimTime::ZERO);
     let t = run_someone(&mut s, &mut ts, CpuId(0), SimTime::ZERO);
-    s.stop_current(&mut ts, CpuId(0), SimTime::from_micros(10), StopReason::Yielded);
+    s.stop_current(
+        &mut ts,
+        CpuId(0),
+        SimTime::from_micros(10),
+        StopReason::Yielded,
+    );
     // Restarting the same task: syscall-entry cost only, no cache refill.
     let Pick::Run(t2, _) = s.pick_next(&mut ts, CpuId(0)) else {
         panic!()

@@ -3,37 +3,81 @@
 //! Events are `(time, payload)` pairs. Ties on time are broken by insertion
 //! order (a monotonically increasing sequence number), which keeps the
 //! simulation fully deterministic without requiring payloads to be `Ord`.
+//!
+//! Two implementations live behind [`EventQueue`]:
+//!
+//! - The default **fast** queue: a binary heap for irregular events with
+//!   O(1) slot/generation cancellation (no hashing on `peek_time`/`pop`),
+//!   plus a bucketed timer wheel ([`WHEEL_BUCKETS`] × [`WHEEL_GRAIN_NS`])
+//!   that absorbs strictly periodic ticks scheduled through
+//!   [`EventQueue::schedule_periodic`], keeping them out of the comparison
+//!   heap entirely.
+//! - The **classic** queue ([`EventQueue::classic`]): the original
+//!   `BinaryHeap` + `HashSet` lazy-cancellation structure, kept as the
+//!   measurement baseline and as the reference model for the golden
+//!   determinism test. Both implementations draw sequence numbers the same
+//!   way, so they pop the exact same `(time, seq)` order for the same call
+//!   sequence.
+//!
+//! Cancellation in the fast queue is still lazy in the heap (a cancelled
+//! entry stays until it surfaces), but the liveness check is a slab index
+//! lookup instead of a hash probe, cancel-after-pop is detected exactly
+//! via slot generations (the classic structure leaked those seqs forever),
+//! and [`EventQueue::len`] is an exact live count, not an upper bound.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Timer-wheel bucket granularity: events within the same 2^15 ns
+/// (≈32.8 µs) window share a bucket.
+pub const WHEEL_GRAIN_NS: u64 = 1 << WHEEL_SHIFT;
+const WHEEL_SHIFT: u32 = 15;
+/// Number of wheel buckets; the horizon is `WHEEL_BUCKETS * WHEEL_GRAIN_NS`
+/// ≈ 33.6 ms, which covers the periodic BWD timer (100 µs) and balance
+/// tick (10 ms) with generous slack. Periodic events beyond the horizon
+/// fall back to the heap, so correctness never depends on the sizing.
+pub const WHEEL_BUCKETS: usize = 1024;
+
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventHandle(u64);
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    payload: E,
-    cancelled: bool,
+impl EventHandle {
+    fn fast(slot: u32, gen: u32) -> Self {
+        EventHandle(((slot as u64) << 32) | gen as u64)
+    }
+    fn fast_parts(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Sentinel slot index for heap entries that have no cancellation slot
+/// (periodic events that overflowed the wheel horizon).
+const NO_SLOT: u32 = u32::MAX;
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest time pops first,
-        // and earliest sequence number among equal times.
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
         other
             .time
             .cmp(&self.time)
@@ -41,15 +85,348 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic min-priority event queue.
-///
-/// Cancellation is lazy: cancelled entries stay in the heap until popped,
-/// tracked through a sorted list of cancelled sequence numbers.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    Vacant,
+    Pending,
+    Cancelled,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    gen: u32,
+    state: SlotState,
+}
+
+struct WheelEntry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+/// Bucketed timer wheel for strictly periodic events. Entries are binned
+/// by `time >> WHEEL_SHIFT`; the bucket at the cursor is drained into a
+/// small sorted run (`current`, descending so the next event is `last()`),
+/// from which peeks and pops are O(1).
+struct Wheel<E> {
+    buckets: Vec<Vec<WheelEntry<E>>>,
+    /// Next tick index to drain. The drained tick's events live in
+    /// `current`.
+    cur_tick: u64,
+    /// Events of already-drained ticks, sorted descending by `(time, seq)`.
+    current: Vec<WheelEntry<E>>,
+    len: usize,
+}
+
+fn tick_of(time: SimTime) -> u64 {
+    time.as_nanos() >> WHEEL_SHIFT
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            cur_tick: 0,
+            current: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Insert if the event fits the horizon; on overflow the payload is
+    /// handed back so the caller can fall back to the heap.
+    fn insert(&mut self, time: SimTime, seq: u64, payload: E) -> Result<(), E> {
+        if self.len == 0 {
+            // Empty wheel: re-anchor the cursor at the new event's tick so
+            // the horizon always starts "now".
+            self.cur_tick = tick_of(time);
+            self.current.clear();
+        }
+        let t = tick_of(time);
+        if t < self.cur_tick {
+            // A tick that was already drained (scheduling into the past of
+            // the cursor): merge into the sorted run.
+            let key = (time, seq);
+            let idx = self.current.partition_point(|e| (e.time, e.seq) > key);
+            self.current.insert(idx, WheelEntry { time, seq, payload });
+        } else if t - self.cur_tick < WHEEL_BUCKETS as u64 {
+            self.buckets[(t % WHEEL_BUCKETS as u64) as usize].push(WheelEntry {
+                time,
+                seq,
+                payload,
+            });
+        } else {
+            return Err(payload);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// `(time, seq)` of the earliest wheel event, advancing the cursor
+    /// over empty buckets as needed.
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        loop {
+            if let Some(e) = self.current.last() {
+                return Some((e.time, e.seq));
+            }
+            if self.len == 0 {
+                return None;
+            }
+            // Drain the cursor bucket: entries of this tick move to
+            // `current`; later wraps of the same bucket stay.
+            let b = (self.cur_tick % WHEEL_BUCKETS as u64) as usize;
+            let bucket = std::mem::take(&mut self.buckets[b]);
+            let ct = self.cur_tick;
+            let mut keep = Vec::new();
+            for e in bucket {
+                if tick_of(e.time) == ct {
+                    self.current.push(e);
+                } else {
+                    keep.push(e);
+                }
+            }
+            self.buckets[b] = keep;
+            self.cur_tick += 1;
+            self.current
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.peek_key()?;
+        let e = self.current.pop().expect("peek_key positioned an entry");
+        self.len -= 1;
+        Some((e.time, e.payload))
+    }
+}
+
+/// The default implementation: slab-cancellation heap + timer wheel.
+struct FastQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    wheel: Wheel<E>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    next_seq: u64,
+    /// Exact number of live (scheduled, not cancelled, not popped) events.
+    live: usize,
+}
+
+impl<E> FastQueue<E> {
+    fn new() -> Self {
+        FastQueue {
+            heap: BinaryHeap::new(),
+            wheel: Wheel::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize].state = SlotState::Pending;
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            assert!(slot < NO_SLOT, "slot space exhausted");
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Pending,
+            });
+            slot
+        }
+    }
+
+    fn release_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.state = SlotState::Vacant;
+        self.free.push(slot);
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = self.alloc_slot();
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            slot,
+            payload,
+        });
+        self.live += 1;
+        EventHandle::fast(slot, gen)
+    }
+
+    /// Schedule without a cancellation slot: the entry can never be
+    /// cancelled, so pops skip the slab entirely. This is the engine's
+    /// hot path — it retires events by epoch checks, never by handle.
+    fn schedule_nocancel(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            slot: NO_SLOT,
+            payload,
+        });
+        self.live += 1;
+    }
+
+    fn schedule_periodic(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.wheel.insert(at, seq, payload) {
+            Ok(()) => {}
+            // Beyond the wheel horizon: fall back to the heap, with no
+            // cancellation slot (periodic events are never cancelled).
+            Err(payload) => self.heap.push(HeapEntry {
+                time: at,
+                seq,
+                slot: NO_SLOT,
+                payload,
+            }),
+        }
+        self.live += 1;
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        let (slot, gen) = handle.fast_parts();
+        let Some(s) = self.slots.get_mut(slot as usize) else {
+            return false;
+        };
+        if s.gen != gen || s.state != SlotState::Pending {
+            return false;
+        }
+        s.state = SlotState::Cancelled;
+        self.live -= 1;
+        true
+    }
+
+    /// Discard cancelled entries sitting on top of the heap, releasing
+    /// their slots for reuse.
+    fn drain_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            let slot = top.slot;
+            if slot != NO_SLOT && self.slots[slot as usize].state == SlotState::Cancelled {
+                self.heap.pop();
+                self.release_slot(slot);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.drain_cancelled();
+        let hk = self.heap.peek().map(|e| (e.time, e.seq));
+        let wk = self.wheel.peek_key();
+        match (hk, wk) {
+            (Some(h), Some(w)) => Some(h.min(w)),
+            (h, w) => h.or(w),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.drain_cancelled();
+        let hk = self.heap.peek().map(|e| (e.time, e.seq));
+        let wk = self.wheel.peek_key();
+        let from_heap = match (hk, wk) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(h), Some(w)) => h < w,
+        };
+        self.live -= 1;
+        if from_heap {
+            let e = self.heap.pop().expect("peeked entry must pop");
+            if e.slot != NO_SLOT {
+                self.release_slot(e.slot);
+            }
+            Some((e.time, e.payload))
+        } else {
+            self.wheel.pop()
+        }
+    }
+}
+
+/// The original seed implementation: lazy cancellation through a
+/// `HashSet` of cancelled sequence numbers, probed on every peek/pop.
+/// Retained verbatim (including its cancel-after-pop leak) as the
+/// reference baseline; the engine never cancels events, so reference runs
+/// are behaviorally identical to the seed engine.
+struct ClassicQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
     live: usize,
+}
+
+impl<E> ClassicQueue<E> {
+    fn new() -> Self {
+        ClassicQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            slot: NO_SLOT,
+            payload,
+        });
+        self.live += 1;
+        EventHandle(seq)
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(handle.0)
+    }
+
+    fn drain_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let e = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&e.seq);
+                self.live = self.live.saturating_sub(1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.drain_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.drain_cancelled();
+        self.heap.pop().map(|e| {
+            self.live = self.live.saturating_sub(1);
+            (e.time, e.payload)
+        })
+    }
+}
+
+enum Imp<E> {
+    Fast(FastQueue<E>),
+    Classic(ClassicQueue<E>),
+}
+
+/// A deterministic min-priority event queue.
+pub struct EventQueue<E> {
+    imp: Imp<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -59,83 +436,125 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Create an empty queue.
+    /// Create an empty queue (fast implementation: slab cancellation +
+    /// timer wheel).
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
-            live: 0,
+            imp: Imp::Fast(FastQueue::new()),
         }
+    }
+
+    /// Create an empty queue using the pre-overhaul reference
+    /// implementation (`BinaryHeap` + `HashSet` lazy cancellation).
+    pub fn classic() -> Self {
+        EventQueue {
+            imp: Imp::Classic(ClassicQueue::new()),
+        }
+    }
+
+    /// True if this queue uses the reference implementation.
+    pub fn is_classic(&self) -> bool {
+        matches!(self.imp, Imp::Classic(_))
     }
 
     /// Schedule `payload` at absolute time `at`. Returns a cancellation
     /// handle.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            payload,
-            cancelled: false,
-        });
-        self.live += 1;
-        EventHandle(seq)
+        match &mut self.imp {
+            Imp::Fast(q) => q.schedule(at, payload),
+            Imp::Classic(q) => q.schedule(at, payload),
+        }
     }
 
-    /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending (i.e. not yet popped or cancelled).
-    pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false;
+    /// Schedule an event that will never be cancelled (no handle). On the
+    /// fast queue this skips cancellation-slot bookkeeping entirely, so
+    /// the pop path is a pure heap operation; on the classic queue it is
+    /// a plain `schedule`. This is the engine's hot path: the simulator
+    /// retires stale events with epoch checks, not cancellation.
+    pub fn schedule_nocancel(&mut self, at: SimTime, payload: E) {
+        match &mut self.imp {
+            Imp::Fast(q) => q.schedule_nocancel(at, payload),
+            Imp::Classic(q) => {
+                q.schedule(at, payload);
+            }
         }
-        if self.cancelled.insert(handle.0) {
-            // The event may have already fired; popping reconciles `live`
-            // lazily, so only decrement if it is genuinely outstanding.
-            // We cannot cheaply know, so `live` is treated as an upper bound
-            // and `is_empty` consults the heap after draining cancellations.
-            true
-        } else {
-            false
+    }
+
+    /// Schedule a strictly periodic event (no cancellation handle). On the
+    /// fast queue these are routed through the timer wheel, so the
+    /// comparison heap holds only irregular events; beyond the wheel
+    /// horizon (or on the classic queue) they take the heap path. Ordering
+    /// is identical either way: periodic events share the queue's sequence
+    /// counter.
+    pub fn schedule_periodic(&mut self, at: SimTime, payload: E) {
+        match &mut self.imp {
+            Imp::Fast(q) => q.schedule_periodic(at, payload),
+            Imp::Classic(q) => {
+                q.schedule(at, payload);
+            }
+        }
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event
+    /// was still pending (not yet popped or cancelled). On the fast queue
+    /// this is exact and O(1): cancelling an already-popped event returns
+    /// `false` even if its slot has been reused (generation check), and no
+    /// state is leaked.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        match &mut self.imp {
+            Imp::Fast(q) => q.cancel(handle),
+            Imp::Classic(q) => q.cancel(handle),
+        }
+    }
+
+    /// Monotone counter advanced on every `schedule`/`schedule_periodic`
+    /// call (it is the queue's internal tie-break sequence). Two reads
+    /// returning the same value prove that *no event of any kind* was
+    /// scheduled in between, which callers use to detect that two entries
+    /// are adjacent among same-time events (see the engine's resched
+    /// coalescing).
+    pub fn seq_mark(&self) -> u64 {
+        match &self.imp {
+            Imp::Fast(q) => q.next_seq,
+            Imp::Classic(q) => q.next_seq,
         }
     }
 
     /// Time of the next live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.drain_cancelled();
-        self.heap.peek().map(|e| e.time)
+        match &mut self.imp {
+            Imp::Fast(q) => q.peek_key().map(|(t, _)| t),
+            Imp::Classic(q) => q.peek_time(),
+        }
     }
 
     /// Pop the next live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.drain_cancelled();
-        self.heap.pop().map(|e| {
-            self.live = self.live.saturating_sub(1);
-            (e.time, e.payload)
-        })
+        match &mut self.imp {
+            Imp::Fast(q) => q.pop(),
+            Imp::Classic(q) => q.pop(),
+        }
     }
 
-    /// True if no live events remain.
+    /// True if no live events remain. Takes `&mut self` because the
+    /// classic flavor must drain lazily-cancelled heap tops to answer
+    /// exactly (the fast flavor's count is always exact).
     pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+        match &mut self.imp {
+            Imp::Fast(q) => q.live == 0,
+            Imp::Classic(q) => q.peek_time().is_none(),
+        }
     }
 
-    /// Number of entries in the heap including not-yet-drained cancellations
-    /// (an upper bound on live events).
-    pub fn len_upper_bound(&self) -> usize {
-        self.heap.len()
-    }
-
-    fn drain_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
-            if top.cancelled || self.cancelled.contains(&top.seq) {
-                let e = self.heap.pop().expect("peeked entry must pop");
-                self.cancelled.remove(&e.seq);
-                self.live = self.live.saturating_sub(1);
-            } else {
-                break;
-            }
+    /// Number of live events. Exact on the fast queue; on the classic
+    /// queue this is the legacy upper bound (heap entries including
+    /// not-yet-drained cancellations) — which is also why `is_empty`
+    /// needs `&mut self` and trips this lint.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        match &self.imp {
+            Imp::Fast(q) => q.live,
+            Imp::Classic(q) => q.heap.len(),
         }
     }
 }
@@ -188,6 +607,7 @@ mod tests {
     fn cancel_unknown_handle_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventHandle(99)));
+        assert!(!q.cancel(EventHandle::fast(7, 0)));
     }
 
     #[test]
@@ -210,5 +630,133 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 5);
         assert_eq!(q.pop().unwrap().1, 7);
         assert!(q.pop().is_none());
+    }
+
+    /// Satellite fix: cancelling an already-popped event must return
+    /// `false` and must not leak state — even after its slot is reused.
+    #[test]
+    fn cancel_after_pop_is_false_and_leak_free() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(!q.cancel(h), "cancel after pop must be false");
+        assert_eq!(q.len(), 0, "no leaked live count");
+        // The slot is reused by the next schedule; the stale handle must
+        // not be able to cancel the new occupant.
+        let h2 = q.schedule(SimTime::from_nanos(2), "b");
+        assert!(!q.cancel(h), "stale handle must not hit reused slot");
+        assert!(q.cancel(h2));
+        assert!(q.pop().is_none());
+    }
+
+    /// Satellite fix: `len` is an exact live count, immediately reflecting
+    /// cancellations that are still physically in the heap.
+    #[test]
+    fn len_is_exact_under_cancellation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_nanos(1), 1);
+        q.schedule(SimTime::from_nanos(2), 2);
+        let h3 = q.schedule(SimTime::from_nanos(3), 3);
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(h1));
+        assert!(q.cancel(h3));
+        assert_eq!(q.len(), 1, "exact count, not heap upper bound");
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    /// Periodic (wheel) and irregular (heap) events interleave in exact
+    /// global `(time, seq)` order, including ties.
+    #[test]
+    fn periodic_and_irregular_share_total_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        q.schedule(t, 1);
+        q.schedule_periodic(t, 2);
+        q.schedule(t, 3);
+        q.schedule_periodic(SimTime::from_nanos(50), 0);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    /// Periodic events beyond the wheel horizon fall back to the heap and
+    /// still pop in order.
+    #[test]
+    fn periodic_beyond_horizon_falls_back_to_heap() {
+        let mut q = EventQueue::new();
+        let horizon = WHEEL_BUCKETS as u64 * WHEEL_GRAIN_NS;
+        q.schedule_periodic(SimTime::from_nanos(10), "near");
+        q.schedule_periodic(SimTime::from_nanos(10 + 4 * horizon), "far");
+        q.schedule(SimTime::from_nanos(20), "mid");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    /// The wheel keeps working across many horizon wraps (re-anchoring on
+    /// empty, distinguishing wrapped bucket occupants).
+    #[test]
+    fn wheel_survives_wraps_and_reanchors() {
+        let mut q = EventQueue::new();
+        let step = 100_000u64; // 100 µs, the BWD cadence
+        let mut now = 0u64;
+        let mut popped = 0usize;
+        q.schedule_periodic(SimTime::from_nanos(now + step), ());
+        while popped < 10_000 {
+            let (t, ()) = q.pop().unwrap();
+            assert!(t.as_nanos() > now);
+            now = t.as_nanos();
+            popped += 1;
+            q.schedule_periodic(SimTime::from_nanos(now + step), ());
+        }
+        assert_eq!(q.len(), 1);
+    }
+
+    /// Wrap-distinguishing: two periodic events exactly one horizon apart
+    /// land in the same bucket but must pop in time order.
+    #[test]
+    fn same_bucket_different_wrap_pops_in_order() {
+        let mut q = EventQueue::new();
+        let horizon = WHEEL_BUCKETS as u64 * WHEEL_GRAIN_NS;
+        q.schedule_periodic(SimTime::from_nanos(1_000), "first");
+        // Pop to anchor the cursor at tick(1_000), then schedule one
+        // horizon-minus-one-bucket ahead → same bucket index, later wrap.
+        assert_eq!(q.pop().unwrap().1, "first");
+        q.schedule_periodic(SimTime::from_nanos(1_000 + WHEEL_GRAIN_NS), "a");
+        q.schedule_periodic(
+            SimTime::from_nanos(1_000 + WHEEL_GRAIN_NS + horizon - WHEEL_GRAIN_NS),
+            "b",
+        );
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    /// The classic queue pops the same order as the fast queue for the
+    /// same schedule sequence.
+    #[test]
+    fn classic_matches_fast_order() {
+        let mut fast = EventQueue::new();
+        let mut classic = EventQueue::classic();
+        assert!(classic.is_classic() && !fast.is_classic());
+        let times = [30u64, 10, 10, 99, 5, 10, 70, 5];
+        for (i, &t) in times.iter().enumerate() {
+            if i % 2 == 0 {
+                fast.schedule(SimTime::from_nanos(t), i);
+                classic.schedule(SimTime::from_nanos(t), i);
+            } else {
+                fast.schedule_periodic(SimTime::from_nanos(t), i);
+                classic.schedule_periodic(SimTime::from_nanos(t), i);
+            }
+        }
+        loop {
+            let (a, b) = (fast.pop(), classic.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

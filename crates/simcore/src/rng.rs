@@ -208,10 +208,7 @@ mod tests {
         let n = 50_000;
         let sum: f64 = (0..n).map(|_| r.gen_exp(100.0)).sum();
         let mean = sum / n as f64;
-        assert!(
-            (mean - 100.0).abs() < 3.0,
-            "exponential mean off: {mean}"
-        );
+        assert!((mean - 100.0).abs() < 3.0, "exponential mean off: {mean}");
     }
 
     #[test]

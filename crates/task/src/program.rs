@@ -133,10 +133,7 @@ mod tests {
     #[test]
     fn script_plays_once_then_exits() {
         let mut rng = SimRng::new(1);
-        let mut p = ScriptProgram::once(vec![
-            Action::Compute { ns: 1 },
-            Action::Compute { ns: 2 },
-        ]);
+        let mut p = ScriptProgram::once(vec![Action::Compute { ns: 1 }, Action::Compute { ns: 2 }]);
         let mut ctx = ctx_fixture(&mut rng);
         assert_eq!(p.next(&mut ctx), Action::Compute { ns: 1 });
         assert_eq!(p.next(&mut ctx), Action::Compute { ns: 2 });

@@ -16,6 +16,6 @@ pub mod workload;
 pub use forkjoin::ForkJoin;
 pub use memcached::Memcached;
 pub use pipeline::{SpinPipeline, WaitFlavor};
-pub use webserving::WebServing;
 pub use skeletons::{BenchProfile, OversubGroup, Skeleton, Suite, SyncKind};
+pub use webserving::WebServing;
 pub use workload::{ThreadSpec, Workload, WorldBuilder};

@@ -224,8 +224,9 @@ impl Program for ClientProg {
             // Woken after the inter-arrival gap: emit the request *now*.
             self.sending = false;
             let is_get = ctx.rng.gen_bool(self.get_frac);
-            let service_ns =
-                ctx.rng.jitter(if is_get { self.get_ns } else { self.set_ns }, 0.2);
+            let service_ns = ctx
+                .rng
+                .jitter(if is_get { self.get_ns } else { self.set_ns }, 0.2);
             let lock_idx = ctx.rng.gen_index(self.hash_locks);
             let wi = self.next_worker;
             self.next_worker = (self.next_worker + 1) % self.queues.len();

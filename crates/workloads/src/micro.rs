@@ -106,10 +106,7 @@ impl Workload for ArrayWalk {
                 });
                 script.push(Action::Yield);
             }
-            w.spawn(
-                ThreadSpec::new(Box::new(ScriptProgram::once(script)))
-                    .with_footprint(sub_ws),
-            );
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))).with_footprint(sub_ws));
         }
     }
 }

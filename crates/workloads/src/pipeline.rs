@@ -62,8 +62,7 @@ impl Workload for SpinPipeline {
             WaitFlavor::Flags => {
                 // progress[i] = number of items stage i has completed.
                 // Stage i processes item k once progress[i-1] > k.
-                let progress: Vec<FlagId> =
-                    (0..self.stages).map(|_| w.flag(0)).collect();
+                let progress: Vec<FlagId> = (0..self.stages).map(|_| w.flag(0)).collect();
                 for i in 0..self.stages {
                     w.spawn(ThreadSpec::new(Box::new(FlagStage {
                         upstream: if i == 0 { None } else { Some(progress[i - 1]) },
@@ -88,11 +87,8 @@ impl Workload for SpinPipeline {
             WaitFlavor::SpinLock(policy) => {
                 // One hand-off lock per stage boundary; the shared counter
                 // behind it says how many items have crossed.
-                let locks: Vec<LockId> = (0..self.stages)
-                    .map(|_| w.spinlock(policy))
-                    .collect();
-                let counters: Vec<FlagId> =
-                    (0..self.stages).map(|_| w.flag(0)).collect();
+                let locks: Vec<LockId> = (0..self.stages).map(|_| w.spinlock(policy)).collect();
+                let counters: Vec<FlagId> = (0..self.stages).map(|_| w.flag(0)).collect();
                 for i in 0..self.stages {
                     w.spawn(ThreadSpec::new(Box::new(LockStage {
                         upstream_lock: if i == 0 { None } else { Some(locks[i - 1]) },

@@ -13,7 +13,9 @@
 
 use oversub_hw::{AccessPattern, MemModel};
 use oversub_simcore::MICROS;
-use oversub_task::{Action, CondId, FlagId, LockId, ProgCtx, Program, ScriptProgram, SpinSig, SyncOp};
+use oversub_task::{
+    Action, CondId, FlagId, LockId, ProgCtx, Program, ScriptProgram, SpinSig, SyncOp,
+};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -102,40 +104,436 @@ impl BenchProfile {
         let us = MICROS;
         vec![
             // ---- Group 1: unaffected --------------------------------
-            BenchProfile { name: "blackscholes", suite: Parsec, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 4000 * us, phases: 60, ws_bytes: 8 << 20, mem_pattern: None, serial_ns: 20_000, tight_loop_every: 0, paper_fig1_slowdown: 1.00 },
-            BenchProfile { name: "canneal", suite: Parsec, group: Neutral, sync: SyncKind::MutexPool { locks: 64, scales_with_threads: false }, sync_interval_ns: 1500 * us, phases: 180, ws_bytes: 64 << 20, mem_pattern: Some(RndRead), serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.97 },
-            BenchProfile { name: "ferret", suite: Parsec, group: Neutral, sync: SyncKind::CondPhases, sync_interval_ns: 2000 * us, phases: 120, ws_bytes: 16 << 20, mem_pattern: None, serial_ns: 40_000, tight_loop_every: 0, paper_fig1_slowdown: 1.02 },
-            BenchProfile { name: "swaptions", suite: Parsec, group: Neutral, sync: SyncKind::None, sync_interval_ns: 5000 * us, phases: 64, ws_bytes: 2 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 1.00 },
-            BenchProfile { name: "vips", suite: Parsec, group: Neutral, sync: SyncKind::CondPhases, sync_interval_ns: 1800 * us, phases: 140, ws_bytes: 32 << 20, mem_pattern: None, serial_ns: 30_000, tight_loop_every: 0, paper_fig1_slowdown: 1.01 },
-            BenchProfile { name: "barnes", suite: Splash2, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 2500 * us, phases: 90, ws_bytes: 16 << 20, mem_pattern: None, serial_ns: 50_000, tight_loop_every: 0, paper_fig1_slowdown: 0.98 },
-            BenchProfile { name: "fft", suite: Splash2, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 3000 * us, phases: 48, ws_bytes: 48 << 20, mem_pattern: Some(RndRead), serial_ns: 20_000, tight_loop_every: 0, paper_fig1_slowdown: 0.93 },
-            BenchProfile { name: "fmm", suite: Splash2, group: Neutral, sync: SyncKind::Barrier, sync_interval_ns: 2200 * us, phases: 80, ws_bytes: 24 << 20, mem_pattern: None, serial_ns: 40_000, tight_loop_every: 0, paper_fig1_slowdown: 0.97 },
-            BenchProfile { name: "radiosity", suite: Splash2, group: Neutral, sync: SyncKind::MutexPool { locks: 32, scales_with_threads: false }, sync_interval_ns: 1600 * us, phases: 200, ws_bytes: 12 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.95 },
-            BenchProfile { name: "raytrace", suite: Splash2, group: Neutral, sync: SyncKind::MutexPool { locks: 16, scales_with_threads: false }, sync_interval_ns: 2800 * us, phases: 110, ws_bytes: 20 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.98 },
-            BenchProfile { name: "ep", suite: Npb, group: Neutral, sync: SyncKind::None, sync_interval_ns: 8000 * us, phases: 48, ws_bytes: 1 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 0.85 },
+            BenchProfile {
+                name: "blackscholes",
+                suite: Parsec,
+                group: Neutral,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 4000 * us,
+                phases: 60,
+                ws_bytes: 8 << 20,
+                mem_pattern: None,
+                serial_ns: 20_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.00,
+            },
+            BenchProfile {
+                name: "canneal",
+                suite: Parsec,
+                group: Neutral,
+                sync: SyncKind::MutexPool {
+                    locks: 64,
+                    scales_with_threads: false,
+                },
+                sync_interval_ns: 1500 * us,
+                phases: 180,
+                ws_bytes: 64 << 20,
+                mem_pattern: Some(RndRead),
+                serial_ns: 0,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.97,
+            },
+            BenchProfile {
+                name: "ferret",
+                suite: Parsec,
+                group: Neutral,
+                sync: SyncKind::CondPhases,
+                sync_interval_ns: 2000 * us,
+                phases: 120,
+                ws_bytes: 16 << 20,
+                mem_pattern: None,
+                serial_ns: 40_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.02,
+            },
+            BenchProfile {
+                name: "swaptions",
+                suite: Parsec,
+                group: Neutral,
+                sync: SyncKind::None,
+                sync_interval_ns: 5000 * us,
+                phases: 64,
+                ws_bytes: 2 << 20,
+                mem_pattern: None,
+                serial_ns: 0,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.00,
+            },
+            BenchProfile {
+                name: "vips",
+                suite: Parsec,
+                group: Neutral,
+                sync: SyncKind::CondPhases,
+                sync_interval_ns: 1800 * us,
+                phases: 140,
+                ws_bytes: 32 << 20,
+                mem_pattern: None,
+                serial_ns: 30_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.01,
+            },
+            BenchProfile {
+                name: "barnes",
+                suite: Splash2,
+                group: Neutral,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 2500 * us,
+                phases: 90,
+                ws_bytes: 16 << 20,
+                mem_pattern: None,
+                serial_ns: 50_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.98,
+            },
+            BenchProfile {
+                name: "fft",
+                suite: Splash2,
+                group: Neutral,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 3000 * us,
+                phases: 48,
+                ws_bytes: 48 << 20,
+                mem_pattern: Some(RndRead),
+                serial_ns: 20_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.93,
+            },
+            BenchProfile {
+                name: "fmm",
+                suite: Splash2,
+                group: Neutral,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 2200 * us,
+                phases: 80,
+                ws_bytes: 24 << 20,
+                mem_pattern: None,
+                serial_ns: 40_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.97,
+            },
+            BenchProfile {
+                name: "radiosity",
+                suite: Splash2,
+                group: Neutral,
+                sync: SyncKind::MutexPool {
+                    locks: 32,
+                    scales_with_threads: false,
+                },
+                sync_interval_ns: 1600 * us,
+                phases: 200,
+                ws_bytes: 12 << 20,
+                mem_pattern: None,
+                serial_ns: 0,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.95,
+            },
+            BenchProfile {
+                name: "raytrace",
+                suite: Splash2,
+                group: Neutral,
+                sync: SyncKind::MutexPool {
+                    locks: 16,
+                    scales_with_threads: false,
+                },
+                sync_interval_ns: 2800 * us,
+                phases: 110,
+                ws_bytes: 20 << 20,
+                mem_pattern: None,
+                serial_ns: 0,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.98,
+            },
+            BenchProfile {
+                name: "ep",
+                suite: Npb,
+                group: Neutral,
+                sync: SyncKind::None,
+                sync_interval_ns: 8000 * us,
+                phases: 48,
+                ws_bytes: 1 << 20,
+                mem_pattern: None,
+                serial_ns: 0,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.85,
+            },
             // ---- Group 2: benefits ----------------------------------
-            BenchProfile { name: "bodytrack", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 900 * us, phases: 240, ws_bytes: 96 << 20, mem_pattern: Some(RndRead), serial_ns: 60_000, tight_loop_every: 0, paper_fig1_slowdown: 0.92 },
-            BenchProfile { name: "facesim", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 160 * us, phases: 900, ws_bytes: 128 << 20, mem_pattern: Some(RndRmw), serial_ns: 18_000, tight_loop_every: 0, paper_fig1_slowdown: 0.88 },
-            BenchProfile { name: "x264", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 700 * us, phases: 300, ws_bytes: 64 << 20, mem_pattern: Some(RndRead), serial_ns: 25_000, tight_loop_every: 0, paper_fig1_slowdown: 0.93 },
-            BenchProfile { name: "water", suite: Splash2, group: Benefits, sync: SyncKind::Barrier, sync_interval_ns: 1100 * us, phases: 160, ws_bytes: 80 << 20, mem_pattern: Some(RndRmw), serial_ns: 15_000, tight_loop_every: 0, paper_fig1_slowdown: 0.94 },
-            BenchProfile { name: "dedup", suite: Parsec, group: Benefits, sync: SyncKind::CondPhases, sync_interval_ns: 800 * us, phases: 220, ws_bytes: 72 << 20, mem_pattern: Some(RndRead), serial_ns: 40_000, tight_loop_every: 0, paper_fig1_slowdown: 0.91 },
+            BenchProfile {
+                name: "bodytrack",
+                suite: Parsec,
+                group: Benefits,
+                sync: SyncKind::CondPhases,
+                sync_interval_ns: 900 * us,
+                phases: 240,
+                ws_bytes: 96 << 20,
+                mem_pattern: Some(RndRead),
+                serial_ns: 60_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.92,
+            },
+            BenchProfile {
+                name: "facesim",
+                suite: Parsec,
+                group: Benefits,
+                sync: SyncKind::CondPhases,
+                sync_interval_ns: 160 * us,
+                phases: 900,
+                ws_bytes: 128 << 20,
+                mem_pattern: Some(RndRmw),
+                serial_ns: 18_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.88,
+            },
+            BenchProfile {
+                name: "x264",
+                suite: Parsec,
+                group: Benefits,
+                sync: SyncKind::CondPhases,
+                sync_interval_ns: 700 * us,
+                phases: 300,
+                ws_bytes: 64 << 20,
+                mem_pattern: Some(RndRead),
+                serial_ns: 25_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.93,
+            },
+            BenchProfile {
+                name: "water",
+                suite: Splash2,
+                group: Benefits,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 1100 * us,
+                phases: 160,
+                ws_bytes: 80 << 20,
+                mem_pattern: Some(RndRmw),
+                serial_ns: 15_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.94,
+            },
+            BenchProfile {
+                name: "dedup",
+                suite: Parsec,
+                group: Benefits,
+                sync: SyncKind::CondPhases,
+                sync_interval_ns: 800 * us,
+                phases: 220,
+                ws_bytes: 72 << 20,
+                mem_pattern: Some(RndRead),
+                serial_ns: 40_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 0.91,
+            },
             // ---- Group 3: suffers -----------------------------------
-            BenchProfile { name: "fluidanimate", suite: Parsec, group: Suffers, sync: SyncKind::MutexPool { locks: 40, scales_with_threads: true }, sync_interval_ns: 250 * us, phases: 1200, ws_bytes: 48 << 20, mem_pattern: None, serial_ns: 0, tight_loop_every: 0, paper_fig1_slowdown: 1.35 },
-            BenchProfile { name: "freqmine", suite: Parsec, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 350 * us, phases: 700, ws_bytes: 40 << 20, mem_pattern: Some(RndRead), serial_ns: 25_000, tight_loop_every: 0, paper_fig1_slowdown: 1.21 },
-            BenchProfile { name: "streamcluster", suite: Parsec, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 170 * us, phases: 1600, ws_bytes: 24 << 20, mem_pattern: None, serial_ns: 12_000, tight_loop_every: 0, paper_fig1_slowdown: 1.62 },
-            BenchProfile { name: "cholesky", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 300 * us, phases: 650, ws_bytes: 32 << 20, mem_pattern: None, serial_ns: 18_000, tight_loop_every: 0, paper_fig1_slowdown: 1.40 },
-            BenchProfile { name: "lu_cb", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 280 * us, phases: 800, ws_bytes: 32 << 20, mem_pattern: None, serial_ns: 15_000, tight_loop_every: 0, paper_fig1_slowdown: 1.48 },
-            BenchProfile { name: "ocean", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 220 * us, phases: 1100, ws_bytes: 56 << 20, mem_pattern: None, serial_ns: 14_000, tight_loop_every: 0, paper_fig1_slowdown: 1.52 },
-            BenchProfile { name: "radix", suite: Splash2, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 380 * us, phases: 520, ws_bytes: 64 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 0, paper_fig1_slowdown: 1.28 },
-            BenchProfile { name: "volrend", suite: Splash2, group: Suffers, sync: SyncKind::SpinBarrier, sync_interval_ns: 240 * us, phases: 850, ws_bytes: 16 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 19, paper_fig1_slowdown: 25.66 },
-            BenchProfile { name: "is", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 420 * us, phases: 420, ws_bytes: 64 << 20, mem_pattern: None, serial_ns: 8_000, tight_loop_every: 23, paper_fig1_slowdown: 1.30 },
-            BenchProfile { name: "cg", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 180 * us, phases: 1500, ws_bytes: 96 << 20, mem_pattern: None, serial_ns: 9_000, tight_loop_every: 31, paper_fig1_slowdown: 1.72 },
-            BenchProfile { name: "mg", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 260 * us, phases: 950, ws_bytes: 112 << 20, mem_pattern: None, serial_ns: 11_000, tight_loop_every: 29, paper_fig1_slowdown: 1.50 },
-            BenchProfile { name: "ft", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 340 * us, phases: 600, ws_bytes: 128 << 20, mem_pattern: None, serial_ns: 12_000, tight_loop_every: 37, paper_fig1_slowdown: 1.42 },
-            BenchProfile { name: "sp", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 200 * us, phases: 1300, ws_bytes: 72 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 41, paper_fig1_slowdown: 1.60 },
-            BenchProfile { name: "bt", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 240 * us, phases: 1000, ws_bytes: 80 << 20, mem_pattern: None, serial_ns: 10_000, tight_loop_every: 43, paper_fig1_slowdown: 1.52 },
-            BenchProfile { name: "ua", suite: Npb, group: Suffers, sync: SyncKind::Barrier, sync_interval_ns: 130 * us, phases: 2100, ws_bytes: 64 << 20, mem_pattern: None, serial_ns: 9_000, tight_loop_every: 47, paper_fig1_slowdown: 2.78 },
-            BenchProfile { name: "lu", suite: Npb, group: Suffers, sync: SyncKind::SpinBarrier, sync_interval_ns: 210 * us, phases: 1100, ws_bytes: 48 << 20, mem_pattern: None, serial_ns: 8_000, tight_loop_every: 17, paper_fig1_slowdown: 9.95 },
+            BenchProfile {
+                name: "fluidanimate",
+                suite: Parsec,
+                group: Suffers,
+                sync: SyncKind::MutexPool {
+                    locks: 40,
+                    scales_with_threads: true,
+                },
+                sync_interval_ns: 250 * us,
+                phases: 1200,
+                ws_bytes: 48 << 20,
+                mem_pattern: None,
+                serial_ns: 0,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.35,
+            },
+            BenchProfile {
+                name: "freqmine",
+                suite: Parsec,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 350 * us,
+                phases: 700,
+                ws_bytes: 40 << 20,
+                mem_pattern: Some(RndRead),
+                serial_ns: 25_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.21,
+            },
+            BenchProfile {
+                name: "streamcluster",
+                suite: Parsec,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 170 * us,
+                phases: 1600,
+                ws_bytes: 24 << 20,
+                mem_pattern: None,
+                serial_ns: 12_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.62,
+            },
+            BenchProfile {
+                name: "cholesky",
+                suite: Splash2,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 300 * us,
+                phases: 650,
+                ws_bytes: 32 << 20,
+                mem_pattern: None,
+                serial_ns: 18_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.40,
+            },
+            BenchProfile {
+                name: "lu_cb",
+                suite: Splash2,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 280 * us,
+                phases: 800,
+                ws_bytes: 32 << 20,
+                mem_pattern: None,
+                serial_ns: 15_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.48,
+            },
+            BenchProfile {
+                name: "ocean",
+                suite: Splash2,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 220 * us,
+                phases: 1100,
+                ws_bytes: 56 << 20,
+                mem_pattern: None,
+                serial_ns: 14_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.52,
+            },
+            BenchProfile {
+                name: "radix",
+                suite: Splash2,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 380 * us,
+                phases: 520,
+                ws_bytes: 64 << 20,
+                mem_pattern: None,
+                serial_ns: 10_000,
+                tight_loop_every: 0,
+                paper_fig1_slowdown: 1.28,
+            },
+            BenchProfile {
+                name: "volrend",
+                suite: Splash2,
+                group: Suffers,
+                sync: SyncKind::SpinBarrier,
+                sync_interval_ns: 240 * us,
+                phases: 850,
+                ws_bytes: 16 << 20,
+                mem_pattern: None,
+                serial_ns: 10_000,
+                tight_loop_every: 19,
+                paper_fig1_slowdown: 25.66,
+            },
+            BenchProfile {
+                name: "is",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 420 * us,
+                phases: 420,
+                ws_bytes: 64 << 20,
+                mem_pattern: None,
+                serial_ns: 8_000,
+                tight_loop_every: 23,
+                paper_fig1_slowdown: 1.30,
+            },
+            BenchProfile {
+                name: "cg",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 180 * us,
+                phases: 1500,
+                ws_bytes: 96 << 20,
+                mem_pattern: None,
+                serial_ns: 9_000,
+                tight_loop_every: 31,
+                paper_fig1_slowdown: 1.72,
+            },
+            BenchProfile {
+                name: "mg",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 260 * us,
+                phases: 950,
+                ws_bytes: 112 << 20,
+                mem_pattern: None,
+                serial_ns: 11_000,
+                tight_loop_every: 29,
+                paper_fig1_slowdown: 1.50,
+            },
+            BenchProfile {
+                name: "ft",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 340 * us,
+                phases: 600,
+                ws_bytes: 128 << 20,
+                mem_pattern: None,
+                serial_ns: 12_000,
+                tight_loop_every: 37,
+                paper_fig1_slowdown: 1.42,
+            },
+            BenchProfile {
+                name: "sp",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 200 * us,
+                phases: 1300,
+                ws_bytes: 72 << 20,
+                mem_pattern: None,
+                serial_ns: 10_000,
+                tight_loop_every: 41,
+                paper_fig1_slowdown: 1.60,
+            },
+            BenchProfile {
+                name: "bt",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 240 * us,
+                phases: 1000,
+                ws_bytes: 80 << 20,
+                mem_pattern: None,
+                serial_ns: 10_000,
+                tight_loop_every: 43,
+                paper_fig1_slowdown: 1.52,
+            },
+            BenchProfile {
+                name: "ua",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::Barrier,
+                sync_interval_ns: 130 * us,
+                phases: 2100,
+                ws_bytes: 64 << 20,
+                mem_pattern: None,
+                serial_ns: 9_000,
+                tight_loop_every: 47,
+                paper_fig1_slowdown: 2.78,
+            },
+            BenchProfile {
+                name: "lu",
+                suite: Npb,
+                group: Suffers,
+                sync: SyncKind::SpinBarrier,
+                sync_interval_ns: 210 * us,
+                phases: 1100,
+                ws_bytes: 48 << 20,
+                mem_pattern: None,
+                serial_ns: 8_000,
+                tight_loop_every: 17,
+                paper_fig1_slowdown: 9.95,
+            },
         ]
     }
 
@@ -147,8 +545,19 @@ impl BenchProfile {
     /// The 13 blocking-synchronization benchmarks of Figure 9 / Table 1.
     pub fn fig9_set() -> Vec<BenchProfile> {
         [
-            "fluidanimate", "freqmine", "streamcluster", "lu_cb", "ocean",
-            "radix", "is", "cg", "mg", "ft", "sp", "bt", "ua",
+            "fluidanimate",
+            "freqmine",
+            "streamcluster",
+            "lu_cb",
+            "ocean",
+            "radix",
+            "is",
+            "cg",
+            "mg",
+            "ft",
+            "sp",
+            "bt",
+            "ua",
         ]
         .iter()
         .map(|n| Self::by_name(n).expect("known benchmark"))
@@ -240,8 +649,7 @@ impl Skeleton {
                 // Calibrate the per-phase element total at the reference
                 // thread count, then divide among this run's threads.
                 let mem = MemModel::default();
-                let ref_ws =
-                    (self.profile.ws_bytes / BenchProfile::REF_THREADS as u64).max(4096);
+                let ref_ws = (self.profile.ws_bytes / BenchProfile::REF_THREADS as u64).max(4096);
                 let per_ref = mem.per_elem(pattern, ref_ws).0.max(0.25);
                 let total_elems = (self.profile.sync_interval_ns as f64
                     * MEM_SHARE
@@ -263,7 +671,6 @@ impl Skeleton {
             None => (Action::Compute { ns }, None),
         }
     }
-
 }
 
 impl Workload for Skeleton {
@@ -280,7 +687,8 @@ impl Workload for Skeleton {
                 for i in 0..threads {
                     let mut script = Vec::with_capacity(phases * 2);
                     for k in 0..phases {
-                        let jitter = (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 8 + 1);
+                        let jitter =
+                            (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 8 + 1);
                         let (compute, mem) = self.work_actions(work + jitter);
                         script.push(compute);
                         if let Some(m) = mem {
@@ -327,7 +735,8 @@ impl Workload for Skeleton {
                 for i in 0..threads {
                     let mut script = Vec::with_capacity(phases * 2);
                     for k in 0..phases {
-                        let jitter = (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 6 + 1);
+                        let jitter =
+                            (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 6 + 1);
                         let (compute, mem) = self.work_actions(work + jitter);
                         script.push(compute);
                         if let Some(m) = mem {
@@ -373,15 +782,15 @@ impl Workload for Skeleton {
                 for i in 0..threads {
                     let mut script = Vec::with_capacity(phases * 4);
                     for k in 0..phases {
-                        let jitter = (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 6 + 1);
+                        let jitter =
+                            (i as u64 * 61 + k as u64 * 7 + self.salt * 131) % (work / 6 + 1);
                         let (compute, mem) = self.work_actions(work + jitter);
                         script.push(compute);
                         if let Some(m) = mem {
                             script.push(m);
                         }
                         for op in 0..ops_per_iter {
-                            let l = lock_ids
-                                [(i * 31 + k * 7 + op * 13) % lock_ids.len()];
+                            let l = lock_ids[(i * 31 + k * 7 + op * 13) % lock_ids.len()];
                             script.push(Action::Sync(SyncOp::MutexLock(l)));
                             script.push(Action::Compute { ns: 3_000 });
                             script.push(Action::Sync(SyncOp::MutexUnlock(l)));
@@ -463,7 +872,8 @@ impl Workload for Skeleton {
                         w.spawn(ThreadSpec::new(Box::new(SpinWorker {
                             round: 0,
                             phases: phases_n,
-                            work_ns: work_ns + (i as u64 * 61 + self.salt * 131) % (work_ns / 6 + 1),
+                            work_ns: work_ns
+                                + (i as u64 * 61 + self.salt * 131) % (work_ns / 6 + 1),
                             mine: done[i - 1],
                             go,
                             state: 0,
@@ -793,9 +1203,7 @@ mod tests {
     fn fig9_set_is_the_papers_13() {
         let set = BenchProfile::fig9_set();
         assert_eq!(set.len(), 13);
-        assert!(set
-            .iter()
-            .all(|p| p.group == OversubGroup::Suffers));
+        assert!(set.iter().all(|p| p.group == OversubGroup::Suffers));
         // Spin benchmarks are excluded from the blocking study.
         assert!(set.iter().all(|p| p.sync != SyncKind::SpinBarrier));
     }
@@ -803,9 +1211,18 @@ mod tests {
     #[test]
     fn groups_partition_as_in_figure1() {
         let all = BenchProfile::all();
-        let neutral = all.iter().filter(|p| p.group == OversubGroup::Neutral).count();
-        let benefits = all.iter().filter(|p| p.group == OversubGroup::Benefits).count();
-        let suffers = all.iter().filter(|p| p.group == OversubGroup::Suffers).count();
+        let neutral = all
+            .iter()
+            .filter(|p| p.group == OversubGroup::Neutral)
+            .count();
+        let benefits = all
+            .iter()
+            .filter(|p| p.group == OversubGroup::Benefits)
+            .count();
+        let suffers = all
+            .iter()
+            .filter(|p| p.group == OversubGroup::Suffers)
+            .count();
         assert_eq!(neutral + benefits + suffers, 32);
         assert!(suffers >= 13, "group 3 contains the Figure 9 set");
         // The custom-spin benchmarks carry the extreme slowdowns.

@@ -122,15 +122,25 @@ enum WState {
     Waiting,
     Dispatch,
     /// Parsing done; holding the session lock.
-    Session { req: Request },
+    Session {
+        req: Request,
+    },
     /// Unlock after the session update.
-    Unlock { req: Request },
+    Unlock {
+        req: Request,
+    },
     /// Backend round trip.
-    Backend { req: Request },
+    Backend {
+        req: Request,
+    },
     /// Render the response.
-    Render { req: Request },
+    Render {
+        req: Request,
+    },
     /// Record and loop.
-    Record { sent_ns: u64 },
+    Record {
+        sent_ns: u64,
+    },
 }
 
 struct WebWorker {
@@ -182,8 +192,7 @@ impl Program for WebWorker {
                     return Action::Compute { ns: req.render_ns };
                 }
                 WState::Record { sent_ns } => {
-                    self.sink
-                        .record(ctx.now.as_nanos().saturating_sub(sent_ns));
+                    self.sink.record(ctx.now.as_nanos().saturating_sub(sent_ns));
                     self.st = WState::Dispatch;
                     continue;
                 }

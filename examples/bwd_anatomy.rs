@@ -5,10 +5,10 @@
 
 use oversub::hw::{CoreHw, NormalCodeRates};
 use oversub::task::SpinSig;
+use oversub::task::{Action, ScriptProgram, SyncOp};
 use oversub::trace::TraceKind;
 use oversub::workload::{ThreadSpec, Workload, WorldBuilder};
 use oversub::{run_traced, Mechanisms, RunConfig};
-use oversub::task::{Action, ScriptProgram, SyncOp};
 use oversub_bwd::{BwdParams, Detector};
 
 fn main() {
@@ -32,7 +32,12 @@ fn main() {
     // A window that is pure spin (the lu-style bare loop of Figure 6).
     let sig = SpinSig::bare_loop(1);
     let mut hw = CoreHw::new();
-    hw.note_spin(sig.branch_from, sig.branch_to, 100_000 / sig.iter_ns, sig.instr_per_iter);
+    hw.note_spin(
+        sig.branch_from,
+        sig.branch_to,
+        100_000 / sig.iter_ns,
+        sig.instr_per_iter,
+    );
     println!(
         "   spin window:   ring full of identical backward branches? {}   misses: L1D {}, TLB {}",
         hw.lbr.all_identical_backward(),

@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example elastic_scaling`
 
-use oversub::workload::Workload;
-use oversub::{run_labelled, ElasticEvent, MachineSpec, Mechanisms, RunConfig};
 use oversub::simcore::SimTime;
+use oversub::workload::Workload;
 use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::{run_labelled, ElasticEvent, MachineSpec, Mechanisms, RunConfig};
 
 fn run(name: &str, threads: usize, mech: Mechanisms, trace: &[(u64, usize)]) -> f64 {
     let profile = BenchProfile::by_name(name).expect("benchmark");

@@ -5,16 +5,14 @@
 //!
 //! Run with: `cargo run --release --example memcached_tail_latency`
 
-use oversub::{run_labelled, Mechanisms, RunConfig};
 use oversub::simcore::SimTime;
 use oversub::workloads::memcached::Memcached;
+use oversub::{run_labelled, Mechanisms, RunConfig};
 
 fn main() {
     let cores = 4;
     let rate = 200_000.0;
-    println!(
-        "memcached: {cores} server cores, {rate:.0} req/s offered, 10:1 GET/SET\n"
-    );
+    println!("memcached: {cores} server cores, {rate:.0} req/s offered, 10:1 GET/SET\n");
     println!(
         "{:<22} {:>12} {:>10} {:>10} {:>10}",
         "arm", "tput(op/s)", "mean(us)", "p95(us)", "p99(us)"

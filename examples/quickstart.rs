@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use oversub::task::{Action, ScriptProgram, SyncOp};
 use oversub::workload::{ThreadSpec, Workload, WorldBuilder};
 use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
-use oversub::task::{Action, ScriptProgram, SyncOp};
 
 /// A miniature BSP program: every thread computes ~200 µs, then all meet
 /// at a barrier — 400 rounds.

@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example spinlock_showdown`
 
-use oversub::workload::Workload;
-use oversub::{run_labelled, ExecEnv, MachineSpec, Mechanisms, RunConfig};
 use oversub::locks::SpinPolicy;
+use oversub::workload::Workload;
 use oversub::workloads::micro::SpinlockStress;
+use oversub::{run_labelled, ExecEnv, MachineSpec, Mechanisms, RunConfig};
 
 fn time(policy: SpinPolicy, threads: usize, mech: Mechanisms, env: ExecEnv) -> f64 {
     let mut wl = SpinlockStress::fig13(threads, policy, 256);
@@ -41,7 +41,11 @@ fn main() {
             over,
             ple,
             bwd,
-            if policy.pause { "(PAUSE loop)" } else { "(bare loop)" },
+            if policy.pause {
+                "(PAUSE loop)"
+            } else {
+                "(bare loop)"
+            },
         );
     }
     println!(

@@ -2,11 +2,11 @@
 //! the model — Figure 1's three groups, Figure 9's VB recovery, Figure
 //! 13/14's BWD recovery, and Figure 12's tail-latency collapse.
 
-use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
 use oversub::metrics::RunReport;
+use oversub::simcore::SimTime;
+use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
 use oversub_workloads::memcached::Memcached;
 use oversub_workloads::skeletons::{BenchProfile, Skeleton};
-use oversub::simcore::SimTime;
 
 /// Run one benchmark skeleton at a reduced phase scale.
 fn run_skel(name: &str, threads: usize, cores: usize, mech: Mechanisms, scale: f64) -> RunReport {
@@ -73,7 +73,10 @@ fn custom_spin_group_collapses_and_bwd_recovers() {
         let base = run_skel(name, 8, 8, Mechanisms::vanilla(), 0.06);
         let over = run_skel(name, 32, 8, Mechanisms::vanilla(), 0.06);
         let s = over.normalized_to(&base);
-        assert!(s > 4.0, "{name} should collapse under oversubscription, got {s:.2}");
+        assert!(
+            s > 4.0,
+            "{name} should collapse under oversubscription, got {s:.2}"
+        );
         let opt = run_skel(name, 32, 8, Mechanisms::optimized(), 0.06);
         let rec = opt.normalized_to(&base);
         // BWD recovers the bulk of the collapse. A residual overhead

@@ -1,0 +1,156 @@
+//! Golden determinism test for the engine hot-path overhaul.
+//!
+//! The optimized engine (slab-cancellation event queue + timer wheel,
+//! cached runqueue picks, resched coalescing) must produce **bit-identical
+//! metrics** to the reference engine (classic heap+HashSet queue, uncached
+//! scans, no coalescing) on every workload class the tier-1 suite covers.
+//! Reports are compared through their canonical JSON serialization, which
+//! is integer-exact, so equality here means every counter, histogram
+//! bucket, and timing field matches to the last bit.
+
+use oversub::simcore::SimTime;
+use oversub::workload::Workload;
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::workloads::webserving::WebServing;
+use oversub::{run_counted, ElasticEvent, MachineSpec, Mechanisms, RunConfig};
+
+/// Run one workload twice — optimized vs reference engine — and assert
+/// byte-identical report JSON. Returns the two event counts.
+fn assert_golden(mut mk: impl FnMut() -> Box<dyn Workload>, cfg: &RunConfig, label: &str) {
+    let optimized = {
+        let mut wl = mk();
+        run_counted(&mut *wl, &cfg.clone().with_reference_engine(false), label)
+    };
+    let reference = {
+        let mut wl = mk();
+        run_counted(&mut *wl, &cfg.clone().with_reference_engine(true), label)
+    };
+    assert_eq!(
+        optimized.0.to_json(),
+        reference.0.to_json(),
+        "{label}: optimized engine diverged from reference"
+    );
+    // Coalescing may only ever *remove* events, never add.
+    assert!(
+        optimized.1 <= reference.1,
+        "{label}: optimized engine processed more events ({} > {})",
+        optimized.1,
+        reference.1
+    );
+}
+
+#[test]
+fn memcached_reports_are_bit_identical() {
+    // The machine must host server cores plus the client threads.
+    let cpus = Memcached::paper(16, 8, 40_000.0).total_cpus();
+    let cfg = RunConfig::vanilla(cpus)
+        .with_mech(Mechanisms::optimized())
+        .with_seed(42)
+        .with_max_time(SimTime::from_millis(120));
+    assert_golden(
+        || Box::new(Memcached::paper(16, 8, 40_000.0)),
+        &cfg,
+        "memcached/16T/8c",
+    );
+}
+
+#[test]
+fn pipeline_reports_are_bit_identical_across_mechanisms() {
+    for (mech, name) in [
+        (Mechanisms::vanilla(), "vanilla"),
+        (Mechanisms::bwd_only(), "bwd"),
+        (Mechanisms::optimized(), "optimized"),
+    ] {
+        let cfg = RunConfig::vanilla(4)
+            .with_machine(MachineSpec::PaperN(4))
+            .with_mech(mech)
+            .with_seed(5);
+        assert_golden(
+            || Box::new(SpinPipeline::new(16, 30, WaitFlavor::Flags)),
+            &cfg,
+            &format!("pipeline/{name}"),
+        );
+    }
+}
+
+#[test]
+fn skeleton_benchmarks_are_bit_identical() {
+    for bench in ["fluidanimate", "streamcluster"] {
+        let profile = BenchProfile::by_name(bench).expect("known benchmark");
+        let cfg = RunConfig::vanilla(8)
+            .with_machine(MachineSpec::Paper8Cores)
+            .with_mech(Mechanisms::optimized())
+            .with_seed(7);
+        assert_golden(
+            || Box::new(Skeleton::scaled(profile, 16, 0.05).with_salt(7)),
+            &cfg,
+            &format!("skeleton/{bench}"),
+        );
+    }
+}
+
+#[test]
+fn idle_heavy_machine_is_bit_identical() {
+    // 8 threads on 64 CPUs: the event mix is dominated by periodic BWD
+    // timers and balance passes on idle cores, which is exactly where the
+    // timer wheel and the waiter-board O(1) early-outs (idle_pull,
+    // periodic_balance) fire most — this pins their equivalence proofs.
+    let profile = BenchProfile::by_name("streamcluster").expect("known benchmark");
+    let cfg = RunConfig::vanilla(64)
+        .with_machine(MachineSpec::PaperN(64))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(11)
+        .with_max_time(SimTime::from_millis(120));
+    assert_golden(
+        || Box::new(Skeleton::scaled(profile, 8, 0.60).with_salt(11)),
+        &cfg,
+        "skeleton/8T/64c",
+    );
+}
+
+#[test]
+fn web_serving_with_elasticity_is_bit_identical() {
+    // Exercises the elastic path (core count changes mid-run) plus epoll.
+    let cpus = WebServing::new(24, 8, 50_000.0).total_cpus();
+    let mut cfg = RunConfig::vanilla(cpus)
+        .with_mech(Mechanisms::optimized())
+        .with_seed(11)
+        .with_max_time(SimTime::from_millis(80));
+    cfg.elastic = vec![
+        ElasticEvent {
+            at: SimTime::from_millis(20),
+            cores: 4,
+        },
+        ElasticEvent {
+            at: SimTime::from_millis(50),
+            cores: 8,
+        },
+    ];
+    assert_golden(
+        || Box::new(WebServing::new(24, 8, 50_000.0)),
+        &cfg,
+        "web/24T/8c",
+    );
+}
+
+#[test]
+fn vm_ple_runs_are_bit_identical() {
+    let cfg = RunConfig::vanilla(4)
+        .with_machine(MachineSpec::PaperN(4))
+        .with_mech(Mechanisms::ple_only())
+        .with_seed(13)
+        .in_vm();
+    assert_golden(
+        || {
+            Box::new(SpinPipeline::new(
+                12,
+                20,
+                WaitFlavor::SpinLock(oversub::locks::SpinPolicy::ttas()),
+            ))
+        },
+        &cfg,
+        "pipeline/ple-vm",
+    );
+}

@@ -57,9 +57,15 @@ fn fig04_has_the_three_random_regions() {
             .map(|l| cell(l, 3)) // rnd-r column
             .expect("row exists")
     };
-    assert!(find("512KB") < -5.0, "region A (TLB reach) must be negative");
+    assert!(
+        find("512KB") < -5.0,
+        "region A (TLB reach) must be negative"
+    );
     assert!(find("4MB") > -5.0, "region B must rise toward positive");
-    assert!(find("16MB") < -50.0, "region C (sTLB reach) must be negative");
+    assert!(
+        find("16MB") < -50.0,
+        "region C (sTLB reach) must be negative"
+    );
     // Sequential column climbs monotonically at the top end.
     let seq_64 = csv
         .lines()
@@ -90,10 +96,7 @@ fn fig09_optimized_always_beats_vanilla_oversubscription() {
         );
         let van_ht = cell(row, 5);
         let opt_ht = cell(row, 6);
-        assert!(
-            opt_ht < van_ht,
-            "{name}: optimized must beat vanilla (8ht)"
-        );
+        assert!(opt_ht < van_ht, "{name}: optimized must beat vanilla (8ht)");
     }
 }
 
@@ -141,7 +144,10 @@ fn table2_and_3_report_bwd_accuracy() {
     assert_eq!(t3.len(), 8);
     for row in t3.to_csv().lines().skip(1) {
         assert!(cell(row, 3) > 99.0, "low specificity: {row}");
-        assert!(cell(row, 4) < 3.0, "timer overhead above the paper's 3%: {row}");
+        assert!(
+            cell(row, 4) < 3.0,
+            "timer overhead above the paper's 3%: {row}"
+        );
     }
 }
 

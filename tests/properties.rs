@@ -3,9 +3,9 @@
 //! every mechanism combination.
 
 use oversub::metrics::RunReport;
+use oversub::task::{Action, ScriptProgram, SyncOp};
 use oversub::workload::{ThreadSpec, Workload, WorldBuilder};
 use oversub::{run, MachineSpec, Mechanisms, RunConfig};
-use oversub::task::{Action, ScriptProgram, SyncOp};
 use proptest::prelude::*;
 
 /// A randomly-shaped but always-well-formed workload: every thread does
@@ -59,13 +59,15 @@ fn arb_workload() -> impl Strategy<Value = RandomBsp> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(threads, rounds, compute_ns, use_mutex, use_spin)| RandomBsp {
-            threads,
-            rounds,
-            compute_ns,
-            use_mutex,
-            use_spin,
-        })
+        .prop_map(
+            |(threads, rounds, compute_ns, use_mutex, use_spin)| RandomBsp {
+                threads,
+                rounds,
+                compute_ns,
+                use_mutex,
+                use_spin,
+            },
+        )
 }
 
 fn arb_mech() -> impl Strategy<Value = Mechanisms> {

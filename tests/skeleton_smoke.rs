@@ -3,8 +3,8 @@
 //! the library may deadlock or stall.
 
 use oversub::workload::Workload;
-use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
 use oversub::workloads::skeletons::{BenchProfile, Skeleton, SyncKind};
+use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
 
 fn run_one(profile: BenchProfile, threads: usize, mech: Mechanisms) -> u64 {
     let mut wl = Skeleton::scaled(profile, threads, 0.02).with_salt(1);

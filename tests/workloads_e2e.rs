@@ -7,12 +7,7 @@ use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
 use oversub::workloads::webserving::WebServing;
 use oversub::{run_labelled, MachineSpec, Mechanisms, RunConfig};
 
-fn run_pipeline(
-    stages: usize,
-    cores: usize,
-    flavor: WaitFlavor,
-    mech: Mechanisms,
-) -> RunReport {
+fn run_pipeline(stages: usize, cores: usize, flavor: WaitFlavor, mech: Mechanisms) -> RunReport {
     let mut wl = SpinPipeline::new(stages, 60, flavor);
     let cfg = RunConfig::vanilla(cores)
         .with_machine(MachineSpec::PaperN(cores))
