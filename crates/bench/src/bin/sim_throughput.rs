@@ -6,8 +6,13 @@
 //! `tests/determinism.rs` — so this measures pure host-side speed.
 //!
 //! Writes `BENCH_sim_throughput.json` at the repo root and prints a
-//! table. Usage: `sim_throughput [--reps N]` (default 5; best-of-N wall
-//! time is reported to suppress scheduling noise).
+//! table. Usage: `sim_throughput [--reps N] [--check]` (default 5 reps;
+//! best-of-N wall time is reported to suppress scheduling noise).
+//!
+//! With `--check` the committed baseline is left untouched: the fresh
+//! optimized-engine events/sec of every arm is compared against the
+//! committed `optimized_events_per_sec`, and the process exits non-zero
+//! if any arm regressed below 0.9x — the CI throughput gate.
 
 use std::time::Instant;
 
@@ -85,21 +90,28 @@ fn arms() -> Vec<Arm> {
     v
 }
 
-/// Best-of-`reps` wall time in nanoseconds, plus the (deterministic)
-/// processed-event count, for one engine flavor.
-fn measure(arm: &Arm, reference: bool, reps: usize) -> (u64, u64) {
+/// Best-of-`reps` wall time in nanoseconds, the (deterministic)
+/// processed-event count, and the per-mechanism counters of the run, for
+/// one engine flavor.
+fn measure(arm: &Arm, reference: bool, reps: usize) -> (u64, u64, Vec<JsonValue>) {
     let cfg = arm.cfg.clone().with_reference_engine(reference);
     let mut best_ns = u64::MAX;
     let mut events = 0u64;
+    let mut mechs = Vec::new();
     for _ in 0..reps {
         let mut wl = (arm.mk)();
         let t0 = Instant::now();
-        let (_report, n) = run_counted(&mut *wl, &cfg, arm.name);
+        let (report, n) = run_counted(&mut *wl, &cfg, arm.name);
         let dt = t0.elapsed().as_nanos() as u64;
         best_ns = best_ns.min(dt.max(1));
         events = n;
+        mechs = report
+            .mechanisms
+            .iter()
+            .map(|m| m.to_json_value())
+            .collect();
     }
-    (best_ns, events)
+    (best_ns, events, mechs)
 }
 
 fn eps(events: u64, wall_ns: u64) -> u64 {
@@ -108,10 +120,13 @@ fn eps(events: u64, wall_ns: u64) -> u64 {
 
 fn main() {
     let mut reps = 5usize;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--reps" {
             reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(5).max(1);
+        } else if a == "--check" {
+            check = true;
         }
     }
 
@@ -121,8 +136,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for arm in arms() {
-        let (ref_ns, ref_events) = measure(&arm, true, reps);
-        let (fast_ns, fast_events) = measure(&arm, false, reps);
+        let (ref_ns, ref_events, _) = measure(&arm, true, reps);
+        let (fast_ns, fast_events, mechs) = measure(&arm, false, reps);
         let ref_eps = eps(ref_events, ref_ns);
         let fast_eps = eps(fast_events, fast_ns);
         // Coalescing removes events, so events/sec on the fast engine's
@@ -161,6 +176,7 @@ fn main() {
                 "wall_clock_speedup_milli",
                 JsonValue::UInt(wall_x_milli as u128),
             ),
+            ("mechanisms", JsonValue::Array(mechs)),
         ]));
     }
 
@@ -185,6 +201,73 @@ fn main() {
         .nth(2)
         .expect("repo root");
     let path = root.join("BENCH_sim_throughput.json");
+
+    if check {
+        match check_against_baseline(&doc, &path) {
+            Ok(()) => println!("\nthroughput gate passed against {}", path.display()),
+            Err(e) => {
+                eprintln!("\nthroughput gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     std::fs::write(&path, doc.to_string_pretty() + "\n").expect("write benchmark json");
     println!("\nwrote {}", path.display());
+}
+
+/// Compare a fresh measurement against the committed baseline: every arm's
+/// optimized events/sec must stay above 0.9x of the committed value. The
+/// baseline file is not rewritten.
+fn check_against_baseline(fresh: &JsonValue, path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline: {e}"))?;
+    let baseline = JsonValue::parse(&text)?;
+    let base_rows = baseline
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .ok_or("baseline has no 'workloads' array")?;
+    let fresh_rows = fresh
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .ok_or("fresh run has no 'workloads' array")?;
+    let mut failures = Vec::new();
+    for row in fresh_rows {
+        let name = row
+            .get("workload")
+            .and_then(|v| v.as_str())
+            .ok_or("row without 'workload'")?;
+        let fresh_eps = row
+            .get("optimized_events_per_sec")
+            .and_then(|v| v.as_u64())
+            .ok_or("row without 'optimized_events_per_sec'")?;
+        let Some(base) = base_rows
+            .iter()
+            .find(|b| b.get("workload").and_then(|v| v.as_str()) == Some(name))
+        else {
+            // A new arm has no baseline yet; skip rather than fail, so
+            // adding arms does not require regenerating in the same PR.
+            println!("  {name}: no committed baseline, skipped");
+            continue;
+        };
+        let base_eps = base
+            .get("optimized_events_per_sec")
+            .and_then(|v| v.as_u64())
+            .ok_or("baseline row without 'optimized_events_per_sec'")?;
+        let ok = (fresh_eps as u128) * 10 >= (base_eps as u128) * 9;
+        println!(
+            "  {name}: fresh {fresh_eps} ev/s vs committed {base_eps} ev/s -> {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures.push(format!(
+                "{name}: {fresh_eps} ev/s < 0.9x committed {base_eps} ev/s"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }

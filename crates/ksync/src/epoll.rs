@@ -7,7 +7,7 @@
 //! the wait queue is kept for ordering, but waiters are parked in place via
 //! schedule skipping instead of sleeping.
 
-use crate::futex::{FutexParams, WaitMode, WaitOutcome, WakeReport};
+use crate::futex::{FutexParams, WaitMode, WaitOutcome, WakeReport, Woken};
 use oversub_hw::CpuId;
 use oversub_sched::{Scheduler, StopReason};
 use oversub_simcore::{KernelLock, SimTime};
@@ -158,12 +158,22 @@ impl EpollTable {
                 WaitMode::Sleep => {
                     let out = sched.vanilla_wake(tasks, tid, poster_cpu, t);
                     t += out.cost_ns;
-                    report.woken.push((tid, out.cpu, out.preempt));
+                    report.woken.push(Woken {
+                        task: tid,
+                        cpu: out.cpu,
+                        preempt: out.preempt,
+                        mode: WaitMode::Sleep,
+                    });
                 }
                 WaitMode::Virtual => {
                     let (cpu, cost, preempt) = sched.vb_wake(tasks, tid, t);
                     t += cost;
-                    report.woken.push((tid, cpu, preempt));
+                    report.woken.push(Woken {
+                        task: tid,
+                        cpu,
+                        preempt,
+                        mode: WaitMode::Virtual,
+                    });
                 }
             }
         }
@@ -272,7 +282,7 @@ mod tests {
 
         let report = ept.epoll_post(&mut sched, &mut tasks, ep, 1, CpuId(0), SimTime::ZERO);
         assert_eq!(report.woken.len(), 1);
-        assert_eq!(report.woken[0].0, t0, "FIFO wake");
+        assert_eq!(report.woken[0].task, t0, "FIFO wake");
         assert_eq!(ept.waiter_count(ep), 1);
         assert_eq!(ept.take_pending(ep), 1);
     }

@@ -89,12 +89,25 @@ pub struct WaitOutcome {
     pub cost_ns: u64,
 }
 
+/// One task woken by a `futex_wake` / `epoll_post`.
+#[derive(Clone, Copy, Debug)]
+pub struct Woken {
+    /// The woken task.
+    pub task: TaskId,
+    /// The CPU it landed on.
+    pub cpu: CpuId,
+    /// Whether that CPU should re-check wakeup preemption.
+    pub preempt: bool,
+    /// How the task had been blocked (drives the `on_wake` mechanism
+    /// hook: a `Virtual` wake is a VB unpark, not a kernel wakeup).
+    pub mode: WaitMode,
+}
+
 /// Result of a `futex_wake`.
 #[derive(Debug, Default)]
 pub struct WakeReport {
-    /// Tasks woken, in queue order, with the CPU each landed on and whether
-    /// that CPU should preempt its current task.
-    pub woken: Vec<(TaskId, CpuId, bool)>,
+    /// Tasks woken, in queue order.
+    pub woken: Vec<Woken>,
     /// Total kernel time the *waker* spent performing the wakeups.
     pub waker_cost_ns: u64,
 }
@@ -263,12 +276,22 @@ impl FutexTable {
                 WaitMode::Sleep => {
                     let out = sched.vanilla_wake(tasks, w.task, waker_cpu, t);
                     t += out.cost_ns;
-                    report.woken.push((w.task, out.cpu, out.preempt));
+                    report.woken.push(Woken {
+                        task: w.task,
+                        cpu: out.cpu,
+                        preempt: out.preempt,
+                        mode: WaitMode::Sleep,
+                    });
                 }
                 WaitMode::Virtual => {
                     let (cpu, cost, preempt) = sched.vb_wake(tasks, w.task, t);
                     t += cost;
-                    report.woken.push((w.task, cpu, preempt));
+                    report.woken.push(Woken {
+                        task: w.task,
+                        cpu,
+                        preempt,
+                        mode: WaitMode::Virtual,
+                    });
                 }
             }
         }
@@ -414,7 +437,7 @@ mod tests {
             .collect();
         // Waker is external (no running task needed for the call itself).
         let report = ft.futex_wake(&mut sched, &mut tasks, key, 3, CpuId(0), SimTime::ZERO);
-        let woken: Vec<TaskId> = report.woken.iter().map(|&(t, _, _)| t).collect();
+        let woken: Vec<TaskId> = report.woken.iter().map(|w| w.task).collect();
         assert_eq!(woken, order, "FIFO wake order");
         assert_eq!(ft.queue_len(key), 0);
         for t in woken {

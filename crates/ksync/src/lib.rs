@@ -12,4 +12,4 @@ pub mod epoll;
 pub mod futex;
 
 pub use epoll::{EpollTable, EpollWaitResult};
-pub use futex::{FutexParams, FutexTable, WaitMode, WaitOutcome, WakeReport};
+pub use futex::{FutexParams, FutexTable, WaitMode, WaitOutcome, WakeReport, Woken};

@@ -140,7 +140,7 @@ impl World {
             self.now,
         );
         self.now += 10_000;
-        report.woken.iter().map(|&(t, _, _)| t).collect()
+        report.woken.iter().map(|w| w.task).collect()
     }
 }
 

@@ -13,6 +13,8 @@ pub mod stats;
 pub mod table;
 
 pub use hist::LatencyHist;
-pub use report::{BlockingAggregate, BwdAggregate, CpuAggregate, RunReport, TaskAggregate};
+pub use report::{
+    BlockingAggregate, BwdAggregate, CpuAggregate, MechCounters, RunReport, TaskAggregate,
+};
 pub use stats::Summary;
 pub use table::{fmt_ns, fmt_ratio, TextTable};

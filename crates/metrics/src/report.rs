@@ -95,6 +95,72 @@ pub struct BwdAggregate {
     pub spin_episodes: u64,
 }
 
+/// Structured decision counters for one mechanism in the engine's
+/// mechanism pipeline (VB, BWD, PLE, or a user-registered mechanism).
+/// Every field is an exact integer, so serialization is byte-stable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MechCounters {
+    /// Mechanism name ("vb", "bwd", "ple", ...).
+    pub name: String,
+    /// Total decisions the mechanism took (mechanism-defined: VB counts
+    /// parks + unparks, BWD counts deschedules, PLE counts exits).
+    pub decisions: u64,
+    /// Blocking calls diverted to an in-place park (VB).
+    pub parks: u64,
+    /// Parked tasks woken by a flag clear + vruntime restore (VB).
+    pub unparks: u64,
+    /// Skip flags set on descheduled spinners (BWD).
+    pub skips_set: u64,
+    /// Skip flags released after every other task ran (BWD).
+    pub skips_cleared: u64,
+    /// Spin-window exits taken (PLE VM exits, or a custom mechanism's
+    /// spin-throttle trips).
+    pub spin_exits: u64,
+    /// Monitoring windows examined by the mechanism's periodic timer.
+    pub timer_checks: u64,
+}
+
+impl MechCounters {
+    /// A zeroed counter block for mechanism `name`.
+    pub fn named(name: &str) -> Self {
+        MechCounters {
+            name: name.to_string(),
+            ..MechCounters::default()
+        }
+    }
+
+    /// Serialize to a JSON tree.
+    pub fn to_json_value(&self) -> JsonValue {
+        obj(vec![
+            ("name", JsonValue::Str(self.name.clone())),
+            ("decisions", JsonValue::UInt(self.decisions as u128)),
+            ("parks", JsonValue::UInt(self.parks as u128)),
+            ("unparks", JsonValue::UInt(self.unparks as u128)),
+            ("skips_set", JsonValue::UInt(self.skips_set as u128)),
+            ("skips_cleared", JsonValue::UInt(self.skips_cleared as u128)),
+            ("spin_exits", JsonValue::UInt(self.spin_exits as u128)),
+            ("timer_checks", JsonValue::UInt(self.timer_checks as u128)),
+        ])
+    }
+
+    /// Rebuild from [`Self::to_json_value`] output.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        Ok(MechCounters {
+            name: field(v, "name")?
+                .as_str()
+                .ok_or("'name' is not a string")?
+                .to_string(),
+            decisions: field_u64(v, "decisions")?,
+            parks: field_u64(v, "parks")?,
+            unparks: field_u64(v, "unparks")?,
+            skips_set: field_u64(v, "skips_set")?,
+            skips_cleared: field_u64(v, "skips_cleared")?,
+            spin_exits: field_u64(v, "spin_exits")?,
+            timer_checks: field_u64(v, "timer_checks")?,
+        })
+    }
+}
+
 /// The full result of one simulation run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
@@ -114,6 +180,8 @@ pub struct RunReport {
     pub latency: LatencyHist,
     /// Completed operations (server workloads: requests served).
     pub completed_ops: u64,
+    /// Per-mechanism decision counters, in pipeline order.
+    pub mechanisms: Vec<MechCounters>,
 }
 
 /// Emit `to_json_value` / `from_json_value` for a plain aggregate struct
@@ -189,6 +257,15 @@ impl RunReport {
             ("bwd", self.bwd.to_json_value()),
             ("latency", self.latency.to_json_value()),
             ("completed_ops", JsonValue::UInt(self.completed_ops as u128)),
+            (
+                "mechanisms",
+                JsonValue::Array(
+                    self.mechanisms
+                        .iter()
+                        .map(MechCounters::to_json_value)
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -217,6 +294,16 @@ impl RunReport {
             bwd: BwdAggregate::from_json_value(field(&v, "bwd")?)?,
             latency: LatencyHist::from_json_value(field(&v, "latency")?)?,
             completed_ops: field_u64(&v, "completed_ops")?,
+            // Absent in reports serialized before the mechanism layer.
+            mechanisms: match v.get("mechanisms") {
+                Some(m) => m
+                    .as_array()
+                    .ok_or("'mechanisms' is not an array")?
+                    .iter()
+                    .map(MechCounters::from_json_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            },
         })
     }
 
@@ -251,6 +338,11 @@ impl RunReport {
             return 0.0;
         }
         self.completed_ops as f64 / self.makespan_secs()
+    }
+
+    /// Look up a mechanism's counters by name ("vb", "bwd", "ple", ...).
+    pub fn mech(&self, name: &str) -> Option<&MechCounters> {
+        self.mechanisms.iter().find(|m| m.name == name)
     }
 
     /// Ratio of this run's makespan to a baseline's (>1 = slower).
@@ -308,6 +400,20 @@ impl RunReport {
                 self.bwd.detections,
                 self.bwd.true_positives,
                 self.bwd.false_positives
+            );
+        }
+        for m in &self.mechanisms {
+            let _ = writeln!(
+                out,
+                "  mech {:<10} {} decisions (parks {} / unparks {} / skips {}+{}- / exits {} / checks {})",
+                m.name,
+                m.decisions,
+                m.parks,
+                m.unparks,
+                m.skips_set,
+                m.skips_cleared,
+                m.spin_exits,
+                m.timer_checks
             );
         }
         if self.completed_ops > 0 {
@@ -407,6 +513,19 @@ mod tests {
         let mut r = sample();
         r.latency.record(12_345);
         r.latency.record(999);
+        r.mechanisms.push(MechCounters {
+            decisions: 7,
+            parks: 4,
+            unparks: 3,
+            ..MechCounters::named("vb")
+        });
+        r.mechanisms.push(MechCounters {
+            decisions: 2,
+            skips_set: 2,
+            skips_cleared: 1,
+            timer_checks: 90,
+            ..MechCounters::named("bwd")
+        });
         let json = r.to_json();
         let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back, r);
@@ -415,5 +534,32 @@ mod tests {
         assert_eq!(RunReport::from_json(&r.to_json_pretty()).unwrap(), r);
         // Equal reports serialize byte-identically (golden-test invariant).
         assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_mechanisms_field() {
+        // Reports serialized before the mechanism layer have no
+        // "mechanisms" key; they must still parse (as an empty pipeline).
+        let mut r = sample();
+        r.mechanisms.clear();
+        let json = r.to_json();
+        let legacy = json.replace(",\"mechanisms\":[]", "");
+        assert_ne!(legacy, json, "replacement must have removed the field");
+        let back = RunReport::from_json(&legacy).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn summary_renders_mechanism_lines() {
+        let mut r = sample();
+        r.mechanisms.push(MechCounters {
+            decisions: 11,
+            parks: 6,
+            unparks: 5,
+            ..MechCounters::named("vb")
+        });
+        let s = r.summary();
+        assert!(s.contains("mech vb"));
+        assert!(s.contains("11 decisions"));
     }
 }

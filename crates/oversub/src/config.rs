@@ -1,5 +1,6 @@
 //! Run configuration: machine shape, mechanisms, and environment.
 
+use crate::mechanism::{Mechanism, MechanismFactory};
 use oversub_bwd::{BwdParams, ExecEnv, PleParams};
 use oversub_hw::{CacheParams, Topology};
 use oversub_ksync::FutexParams;
@@ -143,6 +144,9 @@ pub struct RunConfig {
     /// determinism test and before/after throughput comparisons. Can also
     /// be forced with the `OVERSUB_REFERENCE_ENGINE` environment variable.
     pub reference_engine: bool,
+    /// Out-of-tree mechanisms, appended to the pipeline after the in-tree
+    /// ones selected by [`Mechanisms`]. See [`RunConfig::with_mechanism`].
+    pub custom_mechanisms: Vec<MechanismFactory>,
 }
 
 impl RunConfig {
@@ -163,6 +167,7 @@ impl RunConfig {
             ple_params: PleParams::default(),
             trace: false,
             reference_engine: false,
+            custom_mechanisms: Vec::new(),
         }
     }
 
@@ -222,6 +227,15 @@ impl RunConfig {
         self
     }
 
+    /// Builder-style: register an out-of-tree [`Mechanism`]. The factory
+    /// is invoked once per engine construction so every run gets a fresh
+    /// instance; registration order is pipeline order (after the in-tree
+    /// mechanisms). See `examples/custom_mechanism.rs`.
+    pub fn with_mechanism(mut self, f: impl Fn() -> Box<dyn Mechanism> + 'static) -> Self {
+        self.custom_mechanisms.push(MechanismFactory::new(f));
+        self
+    }
+
     /// Derive the futex-layer parameters from the mechanisms.
     pub fn futex_params(&self) -> FutexParams {
         FutexParams {
@@ -245,6 +259,68 @@ impl RunConfig {
             enabled: self.mech.ple,
             ..self.ple_params
         }
+    }
+
+    /// Sanity-check the configuration before a run.
+    ///
+    /// Returns `Err` for combinations that cannot produce a meaningful
+    /// simulation (the engine refuses to start), and `Ok(warnings)` for
+    /// legal-but-suspicious ones — each warning is a human-readable line
+    /// the runner prints to stderr.
+    pub fn validate(&self) -> Result<Vec<String>, String> {
+        let ncpu = self.machine.topology().num_cpus();
+        if let Some(ic) = self.initial_cores {
+            if ic == 0 {
+                return Err("initial_cores must be at least 1".into());
+            }
+            if ic > ncpu {
+                return Err(format!(
+                    "initial_cores ({ic}) exceeds the machine's {ncpu} CPUs"
+                ));
+            }
+        }
+        if self.mech.bwd && self.bwd().interval_ns == 0 {
+            return Err("BWD is enabled with interval_ns = 0 (timer would never advance)".into());
+        }
+        if self.mech.ple && self.ple().window_ns == 0 {
+            return Err("PLE is enabled with window_ns = 0 (exit storm on every spin)".into());
+        }
+
+        let mut warnings = Vec::new();
+        if self.mech.ple && self.env == ExecEnv::Container {
+            warnings.push(
+                "PLE is enabled but env is Container: pause-loop exiting only fires \
+                 inside a VM, so it will never trigger"
+                    .to_string(),
+            );
+        }
+        for ev in &self.elastic {
+            if ev.cores > ncpu {
+                warnings.push(format!(
+                    "elastic event at {} ns requests {} cores but the machine has {} \
+                     (will be clamped)",
+                    ev.at.as_nanos(),
+                    ev.cores,
+                    ncpu
+                ));
+            }
+            if ev.cores == 0 {
+                warnings.push(format!(
+                    "elastic event at {} ns requests 0 cores (will be clamped to 1)",
+                    ev.at.as_nanos()
+                ));
+            }
+        }
+        if self.pinned && !self.elastic.is_empty() {
+            warnings.push(
+                "threads are pinned while the online core count changes: pinned \
+                 threads cannot migrate off offlined cores and will stack up on the \
+                 surviving ones (this is the paper's Figure 11 'pinned' arm — \
+                 intentional there)"
+                    .to_string(),
+            );
+        }
+        Ok(warnings)
     }
 }
 
@@ -279,6 +355,72 @@ mod tests {
         assert!(!cfg.ple().enabled);
         let cfg = RunConfig::vanilla(8);
         assert!(!cfg.futex_params().vb_enabled);
+    }
+
+    #[test]
+    fn validate_accepts_the_paper_configs() {
+        assert_eq!(RunConfig::vanilla(8).validate(), Ok(Vec::new()));
+        assert_eq!(RunConfig::optimized(8).validate(), Ok(Vec::new()));
+        assert_eq!(
+            RunConfig::vanilla(4)
+                .with_mech(Mechanisms::ple_only())
+                .in_vm()
+                .validate(),
+            Ok(Vec::new())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_broken_configs() {
+        let mut cfg = RunConfig::vanilla(4);
+        cfg.initial_cores = Some(0);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = RunConfig::vanilla(4);
+        cfg.initial_cores = Some(9);
+        assert!(cfg.validate().unwrap_err().contains("exceeds"));
+
+        let mut cfg = RunConfig::optimized(4);
+        cfg.bwd_params.interval_ns = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = RunConfig::vanilla(4).with_mech(Mechanisms::ple_only());
+        cfg.ple_params.window_ns = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_warns_on_suspicious_configs() {
+        // PLE in a container never fires.
+        let w = RunConfig::vanilla(4)
+            .with_mech(Mechanisms::ple_only())
+            .validate()
+            .unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("Container"));
+
+        // Elastic targets beyond the machine, or zero.
+        let mut cfg = RunConfig::vanilla(4);
+        cfg.elastic.push(ElasticEvent {
+            at: SimTime::from_millis(1),
+            cores: 16,
+        });
+        cfg.elastic.push(ElasticEvent {
+            at: SimTime::from_millis(2),
+            cores: 0,
+        });
+        let w = cfg.validate().unwrap();
+        assert_eq!(w.len(), 2);
+
+        // Pinned + elastic stacks threads on surviving cores.
+        let mut cfg = RunConfig::vanilla(4).pinned();
+        cfg.elastic.push(ElasticEvent {
+            at: SimTime::from_millis(1),
+            cores: 2,
+        });
+        let w = cfg.validate().unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("pinned"));
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Opt-in diagnostics: runqueue invariant audits (`OVERSUB_CHECK`) and
+//! stall-state dumps (`OVERSUB_DUMP_STALL`).
+
+use super::{Cont, Engine};
+use oversub_task::TaskId;
+
+impl Engine {
+    /// Diagnostic: audit runqueue invariants (enabled via OVERSUB_CHECK).
+    pub(super) fn audit_rqs(&self) {
+        for (i, c) in self.sched.cpus.iter().enumerate() {
+            let (counter, tree, parked_region) = c.rq.audit(&self.tasks);
+            if counter != tree {
+                eprintln!(
+                    "[audit] now={} cpu={i} counter={counter} tree_schedulable={tree} parked_region_entries={parked_region}",
+                    self.now
+                );
+                for (vr, tid) in c.rq.entries() {
+                    eprintln!(
+                        "    entry vr={vr} {tid:?} state={:?} vb={} task.vruntime={}",
+                        self.tasks[tid.0].state,
+                        self.tasks[tid.0].vb_blocked,
+                        self.tasks[tid.0].vruntime
+                    );
+                }
+                panic!("runqueue audit failed on cpu {i}");
+            }
+        }
+    }
+
+    /// Diagnostic: print why a run ended with live tasks (stall analysis).
+    pub(super) fn dump_stall_state(&self) {
+        eprintln!("[stall] live={} now={}", self.live, self.now);
+        for (i, t) in self.tasks.iter().enumerate() {
+            if self.conts[i] != Cont::Done {
+                eprintln!(
+                    "  task {i}: state={:?} vb={} skip={} cpu={:?} cont={:?} blocked_on_futex={}",
+                    t.state,
+                    t.vb_blocked,
+                    t.bwd_skip,
+                    t.last_cpu,
+                    self.conts[i],
+                    self.futex.is_blocked(TaskId(i)),
+                );
+            }
+        }
+        for (i, c) in self.sched.cpus.iter().enumerate() {
+            eprintln!(
+                "  cpu {i}: current={:?} sched={} parked={} online={}",
+                c.current,
+                c.rq.nr_schedulable(),
+                c.rq.nr_vb_parked(),
+                self.sched.online[i]
+            );
+        }
+        for (i, l) in self.sync.spinlocks.iter().enumerate() {
+            if l.holder().is_some() || l.granted().is_some() || l.num_waiters() > 0 {
+                eprintln!(
+                    "  spinlock {i}: holder={:?} granted={:?} waiters={:?}",
+                    l.holder(),
+                    l.granted(),
+                    l.waiters()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! The simulation engine: composes the scheduler, futex/epoll substrate,
+//! user-level locks, hardware monitoring, and the mechanism pipeline into
+//! a runnable machine, and drives task programs through their actions in
+//! virtual time.
+//!
+//! The engine is a discrete-event loop. Each CPU is either idle, in VB
+//! poll mode (only parked tasks queued), or running a task *segment*:
+//! a span of compute / memory traversal / tight loop / busy-wait. Segments
+//! end at action completion, slice expiry, mechanism deschedules (BWD
+//! timer detections, PLE spin exits), spin-budget expiry, or when another
+//! CPU's release grants a spun-on lock.
+//!
+//! The event loop itself is mechanism-agnostic: everything VB, BWD, and
+//! PLE do flows through the [`crate::mechanism::Mechanism`] hook points —
+//! the loop consults the pipeline at each hook and applies the returned
+//! verdicts. Module layout:
+//!
+//! - [`mod@self`]: the [`Engine`] struct, construction, the event loop,
+//!   and resched coalescing.
+//! - `events`: time accounting and the per-event handlers (resched,
+//!   segment end, slice, preemption, balancing, I/O, elasticity).
+//! - `spin`: segment bookkeeping plus the mechanism timer / spin-exit
+//!   handlers.
+//! - `blocking`: futex/epoll wrappers and cross-CPU lock grants.
+//! - `report`: metric aggregation into a [`RunReport`].
+//! - `diag`: opt-in runqueue audits and stall dumps.
+//!
+//! Time accounting invariant: each CPU has a cursor
+//! ([`oversub_sched::CpuState::accounted_until`]) that only moves forward;
+//! every nanosecond between events is attributed to exactly one bucket
+//! (useful / spin / kernel / idle) and, for monitored kinds, fed into the
+//! core's LBR/PMC window so BWD sees exactly what ran.
+
+mod blocking;
+mod diag;
+mod events;
+mod report;
+mod spin;
+
+use crate::config::RunConfig;
+use crate::mechanism::MechanismSet;
+use crate::trace::TraceLog;
+use oversub_hw::{CpuId, MemModel, NormalCodeRates};
+use oversub_ksync::{EpollTable, FutexTable};
+use oversub_locks::SyncRegistry;
+use oversub_metrics::RunReport;
+use oversub_simcore::{EventQueue, SimRng, SimTime};
+use oversub_task::{Action, EpollFd, FlagId, LockId, SpinSig, Task, TaskId};
+use oversub_workloads::workload::{Workload, WorldBuilder};
+
+/// What kind of time the current segment on a CPU is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum RunKind {
+    /// Program work (compute or memory traversal).
+    Useful,
+    /// Busy-waiting on a lock or flag.
+    Spin(SpinSig),
+    /// A bounded non-synchronization tight loop (BWD false-positive bait).
+    TightLoop(SpinSig),
+}
+
+/// Why the pending per-segment event fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum SegEventKind {
+    /// The work action completes.
+    WorkEnd,
+    /// A spin-then-park budget expires: convert to futex park.
+    ParkDeadline,
+    /// Indefinite spin: no scheduled end.
+    None,
+}
+
+/// How a blocked task resumes when it next runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Resume {
+    /// Retry a mutex acquisition (futex-mutex wake path).
+    MutexRetry(LockId),
+    /// Re-acquire the mutex after a condvar wait.
+    CondReacquire(LockId),
+    /// Nothing more to do: the blocking action is complete.
+    Simple,
+    /// Consume pending epoll events, then proceed.
+    EpollReady(EpollFd),
+    /// I/O completed.
+    Io,
+}
+
+/// Per-task continuation: what the task is in the middle of.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum Cont {
+    /// Ask the program for its next action.
+    Ready,
+    /// A partially-executed work action (remaining unscaled nanoseconds).
+    Work {
+        /// The action being executed.
+        action: Action,
+        /// Remaining work at full speed.
+        left_ns: u64,
+    },
+    /// Busy-waiting on a registered lock.
+    SpinLock {
+        /// The lock id (mutex or spinlock table, per `is_mutex`).
+        lock: LockId,
+        /// True: blocking-mutex table (spin-then-park kinds); false:
+        /// spinlock table.
+        is_mutex: bool,
+        /// Loop shape.
+        sig: SpinSig,
+        /// Remaining spin budget before parking (None = spin forever).
+        budget_left: Option<u64>,
+    },
+    /// Busy-waiting on a flag word.
+    SpinFlag {
+        /// The flag.
+        flag: FlagId,
+        /// Spin while the flag equals this.
+        while_eq: u64,
+        /// Loop shape.
+        sig: SpinSig,
+    },
+    /// Blocked in the kernel (futex/epoll/io); `resume` runs on wake.
+    Blocked(Resume),
+    /// Exited.
+    Done,
+}
+
+/// Discrete events.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Event {
+    /// Try to schedule work on an idle CPU.
+    Resched(usize),
+    /// The current segment's scheduled end (work done or park deadline).
+    SegEnd(usize, u64),
+    /// Slice expiry for the current stint.
+    Slice(usize, u64),
+    /// A mechanism-armed spin exit for the current spin segment (PLE's
+    /// pause-loop exit; any mechanism may arm one).
+    SpinExit(usize, u64),
+    /// Re-evaluate wakeup preemption on this CPU.
+    PreemptCheck(usize),
+    /// A mechanism's periodic monitoring timer: `(mechanism index, cpu)`.
+    MechTimer(usize, usize),
+    /// Periodic load balancing.
+    Balance(usize),
+    /// An I/O wait finished.
+    IoDone(usize),
+    /// CPU elasticity: change the online core count.
+    Elastic(usize),
+    /// Hard stop (max_time).
+    Stop,
+}
+
+/// Safety valve against runaway simulations.
+const MAX_EVENTS: u64 = 400_000_000;
+
+/// Default cap when a workload neither exits nor sets `max_time`.
+const DEFAULT_CAP: SimTime = SimTime(600 * oversub_simcore::SECS);
+
+pub(crate) struct Engine {
+    pub cfg: RunConfig,
+    pub sched: oversub_sched::Scheduler,
+    pub futex: FutexTable,
+    pub epoll: EpollTable,
+    pub sync: SyncRegistry,
+    /// The mechanism pipeline (VB / BWD / PLE / custom).
+    pub mechs: MechanismSet,
+    pub mem: MemModel,
+    pub tasks: Vec<Task>,
+    pub conts: Vec<Cont>,
+    pub rngs: Vec<SimRng>,
+    pub queue: EventQueue<Event>,
+    /// Per-CPU epoch for stint-level events (Slice).
+    pub stint_epoch: Vec<u64>,
+    /// Per-CPU epoch for segment-level events (SegEnd/SpinExit).
+    pub seg_epoch: Vec<u64>,
+    /// Per-CPU current segment kind (valid while running).
+    pub run_kind: Vec<RunKind>,
+    /// Per-CPU SMT speed factor captured at segment start.
+    pub seg_rate: Vec<f64>,
+    /// Per-CPU scheduled end of the current segment.
+    pub seg_done_at: Vec<SimTime>,
+    /// Per-CPU pending segment event kind.
+    pub seg_event: Vec<SegEventKind>,
+    /// Per-CPU pending spin exit, if a mechanism armed one:
+    /// `(exit time, index of the owning mechanism)`.
+    pub spin_exit_at: Vec<Option<(SimTime, usize)>>,
+    /// `(timestamp, queue seq mark)` of the most recently scheduled
+    /// `Event::Resched(cpu)` per CPU. A duplicate request is coalesced
+    /// into it only when both match — the mark proves no other event was
+    /// scheduled in between, so the duplicate would pop immediately after
+    /// its twin with identical state (see `sched_resched`).
+    pub resched_pending: Vec<Option<(SimTime, u64)>>,
+    /// Reference mode: classic queue, uncached picks, no coalescing.
+    pub reference: bool,
+    /// `OVERSUB_TRACE` progress logging (read once at construction; env
+    /// lookups are too slow for the per-event hot loop).
+    trace_progress: bool,
+    /// `OVERSUB_CHECK` runqueue audits (read once at construction).
+    check_rqs: bool,
+    /// `OVERSUB_TRACE_CPU` filter (read once at construction).
+    trace_cpu: Option<usize>,
+    pub now: SimTime,
+    pub live: usize,
+    pub end_cap: SimTime,
+    pub events_processed: u64,
+    pub last_exit: SimTime,
+    pub rates: NormalCodeRates,
+    /// Ground-truth spin episodes (starts of genuine busy-waiting), for
+    /// the BWD sensitivity table.
+    pub spin_episodes: u64,
+    /// Optional scheduling-event trace.
+    pub trace: TraceLog,
+}
+
+impl Engine {
+    pub(crate) fn new(cfg: RunConfig, workload: &mut dyn Workload) -> Self {
+        match cfg.validate() {
+            Ok(warnings) => {
+                for w in warnings {
+                    eprintln!("[oversub] config warning: {w}");
+                }
+            }
+            Err(e) => panic!("invalid RunConfig: {e}"),
+        }
+
+        // Build the mechanism pipeline and let it configure the kernel
+        // substrate (VB flips the futex/epoll/scheduler flags here).
+        let mut mechs = MechanismSet::from_config(&cfg);
+        let sub = mechs.configure_substrate();
+
+        let topo = cfg.machine.topology();
+        let mem = MemModel::new(cfg.cache.clone());
+        let mut sched = oversub_sched::Scheduler::new(
+            topo.clone(),
+            cfg.sched.clone(),
+            mem.clone(),
+            sub.sched_vb,
+        );
+        let initial_cores = cfg.initial_cores.unwrap_or(topo.num_cpus());
+        sched.set_online_count(initial_cores);
+
+        let futex = FutexTable::new(sub.futex);
+        let epoll = EpollTable::new(sub.futex);
+        let mut world = WorldBuilder::new(initial_cores, epoll);
+        workload.build(&mut world);
+
+        let base_rng = SimRng::new(cfg.seed);
+        let n = world.threads.len();
+        let mut tasks = Vec::with_capacity(n);
+        let mut rngs = Vec::with_capacity(n);
+        let online: Vec<usize> = (0..initial_cores).collect();
+        for (i, spec) in world.threads.into_iter().enumerate() {
+            let cpu = spec.initial_cpu.unwrap_or(CpuId(online[i % online.len()]));
+            let mut t = Task::new(TaskId(i), spec.program, cpu);
+            t.footprint_bytes = spec.footprint;
+            t.pinned = spec.pinned;
+            t.allowed = spec.allowed;
+            t.weight = spec.weight;
+            if cfg.pinned && t.pinned.is_none() {
+                t.pinned = Some(cpu);
+            }
+            tasks.push(t);
+            rngs.push(base_rng.fork(i as u64 + 1));
+        }
+
+        let ncpu = topo.num_cpus();
+        let end_cap = cfg.max_time.unwrap_or(DEFAULT_CAP);
+        let reference =
+            cfg.reference_engine || std::env::var_os("OVERSUB_REFERENCE_ENGINE").is_some();
+        if reference {
+            sched.set_reference_mode(true);
+        }
+        let mut eng = Engine {
+            mechs,
+            sched,
+            futex,
+            epoll: world.epoll,
+            sync: world.sync,
+            mem,
+            conts: vec![Cont::Ready; n],
+            tasks,
+            rngs,
+            queue: if reference {
+                EventQueue::classic()
+            } else {
+                EventQueue::new()
+            },
+            resched_pending: vec![None; ncpu],
+            reference,
+            trace_progress: std::env::var_os("OVERSUB_TRACE").is_some(),
+            check_rqs: std::env::var_os("OVERSUB_CHECK").is_some(),
+            trace_cpu: std::env::var("OVERSUB_TRACE_CPU")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok()),
+            stint_epoch: vec![0; ncpu],
+            seg_epoch: vec![0; ncpu],
+            run_kind: vec![RunKind::Useful; ncpu],
+            seg_rate: vec![1.0; ncpu],
+            seg_done_at: vec![SimTime::ZERO; ncpu],
+            seg_event: vec![SegEventKind::None; ncpu],
+            spin_exit_at: vec![None; ncpu],
+            now: SimTime::ZERO,
+            live: n,
+            end_cap,
+            events_processed: 0,
+            last_exit: SimTime::ZERO,
+            rates: NormalCodeRates::default(),
+            spin_episodes: 0,
+            trace: if cfg.trace {
+                TraceLog::enabled()
+            } else {
+                TraceLog::disabled()
+            },
+            cfg,
+        };
+
+        // Place tasks and arm per-CPU machinery.
+        for i in 0..n {
+            let cpu = eng.tasks[i].last_cpu;
+            eng.sched
+                .enqueue_new(&mut eng.tasks, TaskId(i), cpu, SimTime::ZERO);
+        }
+        let timers = eng.mechs.timers();
+        for c in 0..ncpu {
+            eng.sched_resched(SimTime::ZERO, c);
+            for &(idx, interval_ns) in &timers {
+                // Stagger timers so cores do not all fire at once.
+                let phase = (c as u64 * 7_919) % interval_ns;
+                eng.queue.schedule_periodic(
+                    SimTime::from_nanos(interval_ns + phase),
+                    Event::MechTimer(idx, c),
+                );
+            }
+            let phase = (c as u64 * 104_729) % eng.cfg.sched.balance_interval_ns;
+            eng.queue.schedule_periodic(
+                SimTime::from_nanos(eng.cfg.sched.balance_interval_ns + phase),
+                Event::Balance(c),
+            );
+        }
+        for ev in eng.cfg.elastic.clone() {
+            eng.queue.schedule_nocancel(ev.at, Event::Elastic(ev.cores));
+        }
+        if eng.cfg.max_time.is_some() {
+            eng.queue.schedule_nocancel(end_cap, Event::Stop);
+        }
+        eng
+    }
+
+    /// Run to completion and build the report (plus the trace and the
+    /// number of processed events).
+    pub(crate) fn run_with_trace(
+        mut self,
+        workload: &dyn Workload,
+        label: &str,
+    ) -> (RunReport, TraceLog, u64) {
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= self.end_cap {
+                self.now = self.end_cap;
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards: {t} < {}", self.now);
+            self.now = t;
+            self.events_processed += 1;
+            if self.events_processed > MAX_EVENTS {
+                break;
+            }
+            if self.trace_progress && self.events_processed.is_multiple_of(1_000_000) {
+                eprintln!(
+                    "[trace] events={}M now={} live={} ev={:?}",
+                    self.events_processed / 1_000_000,
+                    self.now,
+                    self.live,
+                    ev
+                );
+            }
+            self.dispatch(ev);
+            if self.check_rqs {
+                self.audit_rqs();
+            }
+            if self.live == 0 {
+                break;
+            }
+        }
+        let makespan = if self.live == 0 {
+            self.last_exit
+        } else {
+            if std::env::var_os("OVERSUB_DUMP_STALL").is_some() {
+                self.dump_stall_state();
+            }
+            self.now
+        };
+        let trace = std::mem::take(&mut self.trace);
+        let events = self.events_processed;
+        (self.build_report(workload, label, makespan), trace, events)
+    }
+
+    /// Request an `Event::Resched(cpu)` at `at`, coalescing adjacent
+    /// duplicates. A duplicate is suppressed only when a `Resched(cpu)`
+    /// was already scheduled for the *same timestamp* and the queue's
+    /// sequence mark has not moved since — i.e. no event of any kind was
+    /// scheduled in between. Events pop in `(time, seq)` order, so an
+    /// unmoved mark proves the twin would pop immediately after the
+    /// covering event with no intervening handler: if the covering
+    /// resched started a task the twin sees a busy CPU and returns; if it
+    /// found nothing, the twin re-runs `pick_next` on bit-identical state
+    /// (skip-flag expiry is idempotent within a pick round, a failed
+    /// `idle_pull` is stateless, and `account_progress` at an unchanged
+    /// cursor adds zero). Either way the twin is a provable no-op, so
+    /// dropping it cannot perturb metrics — the golden determinism test
+    /// (`tests/determinism.rs`) checks this end to end. Any suppression
+    /// window wider than "strictly adjacent" is unsound: an intervening
+    /// same-timestamp event (e.g. a `PreemptCheck`) can requeue a task
+    /// that the twin's `idle_pull` would then steal.
+    pub(crate) fn sched_resched(&mut self, at: SimTime, cpu: usize) {
+        if self.reference {
+            self.queue.schedule_nocancel(at, Event::Resched(cpu));
+            return;
+        }
+        if self.resched_pending[cpu] == Some((at, self.queue.seq_mark())) {
+            return;
+        }
+        self.queue.schedule_nocancel(at, Event::Resched(cpu));
+        self.resched_pending[cpu] = Some((at, self.queue.seq_mark()));
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        if let Some(n) = self.trace_cpu {
+            let touches = match ev {
+                Event::Resched(c)
+                | Event::SegEnd(c, _)
+                | Event::Slice(c, _)
+                | Event::SpinExit(c, _)
+                | Event::PreemptCheck(c)
+                | Event::MechTimer(_, c)
+                | Event::Balance(c) => c == n,
+                _ => true,
+            };
+            if touches {
+                eprintln!(
+                    "[cpu{n}] now={} ev={:?} current={:?} sched={} live={}",
+                    self.now,
+                    ev,
+                    self.sched.cpus[n].current,
+                    self.sched.cpus[n].rq.nr_schedulable(),
+                    self.live
+                );
+            }
+        }
+        match ev {
+            Event::Resched(c) => self.on_resched(c),
+            Event::SegEnd(c, e) => self.on_seg_end(c, e),
+            Event::Slice(c, e) => self.on_slice(c, e),
+            Event::SpinExit(c, e) => self.on_spin_exit(c, e),
+            Event::PreemptCheck(c) => self.on_preempt_check(c),
+            Event::MechTimer(m, c) => self.on_mech_timer(m, c),
+            Event::Balance(c) => self.on_balance(c),
+            Event::IoDone(t) => self.on_io_done(t),
+            Event::Elastic(n) => self.on_elastic(n),
+            Event::Stop => { /* handled by end_cap check */ }
+        }
+    }
+}
+
+/// Run `workload` under `config`, labelling the report.
+pub fn run_labelled(workload: &mut dyn Workload, config: &RunConfig, label: &str) -> RunReport {
+    let engine = Engine::new(config.clone(), workload);
+    engine.run_with_trace(workload, label).0
+}
+
+/// Run `workload` under `config`, additionally returning the number of
+/// discrete events the engine processed — the denominator of the
+/// events-per-second throughput benchmark. The count is *not* part of
+/// [`RunReport`]: it is an engine-internal quantity that legitimately
+/// differs between the optimized and reference engines (resched
+/// coalescing), while every report metric stays bit-identical.
+pub fn run_counted(
+    workload: &mut dyn Workload,
+    config: &RunConfig,
+    label: &str,
+) -> (RunReport, u64) {
+    let engine = Engine::new(config.clone(), workload);
+    let (report, _, events) = engine.run_with_trace(workload, label);
+    (report, events)
+}
+
+/// Run `workload` under `config` and return the scheduling trace alongside
+/// the report (enable recording with [`RunConfig::traced`]).
+pub fn run_traced(workload: &mut dyn Workload, config: &RunConfig) -> (RunReport, TraceLog) {
+    let name = workload.name().to_string();
+    let engine = Engine::new(config.clone(), workload);
+    let (report, trace, _) = engine.run_with_trace(workload, &name);
+    (report, trace)
+}
+
+/// Run `workload` under `config`.
+pub fn run(workload: &mut dyn Workload, config: &RunConfig) -> RunReport {
+    let name = workload.name().to_string();
+    run_labelled(workload, config, &name)
+}

@@ -1,0 +1,73 @@
+//! Metric aggregation: close out per-CPU accounting and fold engine,
+//! substrate, and mechanism state into a [`RunReport`].
+
+use super::Engine;
+use crate::mechanism::{BwdMechanism, PleMechanism};
+use oversub_metrics::{LatencyHist, RunReport};
+use oversub_simcore::SimTime;
+use oversub_workloads::workload::Workload;
+
+impl Engine {
+    pub(super) fn build_report(
+        mut self,
+        workload: &dyn Workload,
+        label: &str,
+        makespan: SimTime,
+    ) -> RunReport {
+        // Close accounting on every CPU.
+        for c in 0..self.sched.topo.num_cpus() {
+            self.account_progress(c, makespan);
+        }
+        let mut report = RunReport {
+            label: label.to_string(),
+            makespan_ns: makespan.as_nanos(),
+            latency: LatencyHist::new(),
+            ..RunReport::default()
+        };
+        report.tasks.tasks = self.tasks.len();
+        for t in &self.tasks {
+            let s = &t.stats;
+            report.tasks.exec_ns += s.exec_ns;
+            report.tasks.spin_ns += s.spin_ns;
+            report.tasks.sleep_ns += s.sleep_ns;
+            report.tasks.wait_ns += s.wait_ns;
+            report.tasks.nvcsw += s.nvcsw;
+            report.tasks.nivcsw += s.nivcsw;
+            report.tasks.migrations_local += s.migrations_local;
+            report.tasks.migrations_remote += s.migrations_remote;
+            report.tasks.wakeups += s.wakeups;
+            report.tasks.wakeup_latency_ns += s.wakeup_latency_ns;
+            report.tasks.bwd_deschedules += s.bwd_deschedules;
+        }
+        report.cpus.cpus = self.sched.num_online().max(1);
+        for c in &self.sched.cpus {
+            report.cpus.useful_ns += c.time.useful_ns;
+            report.cpus.spin_ns += c.time.spin_ns;
+            report.cpus.kernel_ns += c.time.kernel_ns;
+            report.cpus.idle_ns += c.time.idle_ns;
+            report.cpus.context_switches += c.time.context_switches;
+        }
+        report.blocking.sleep_waits = self.futex.sleep_waits + self.epoll.sleep_waits;
+        report.blocking.virtual_waits = self.futex.virtual_waits + self.epoll.virtual_waits;
+        report.blocking.wakes = self.futex.wakes + self.epoll.wakes;
+        // The legacy `bwd` aggregate reads through to the in-tree
+        // mechanisms when present (zeros otherwise, exactly as the old
+        // always-constructed-but-disabled detector reported).
+        if let Some(bwd) = self.mechs.find::<BwdMechanism>() {
+            let s = bwd.stats();
+            report.bwd.checks = s.checks;
+            report.bwd.detections = s.detections;
+            report.bwd.true_positives = s.true_positives;
+            report.bwd.false_positives = s.false_positives;
+        }
+        report.bwd.ple_exits = self
+            .mechs
+            .find::<PleMechanism>()
+            .map(|p| p.exits())
+            .unwrap_or(0);
+        report.bwd.spin_episodes = self.spin_episodes;
+        report.mechanisms = self.mechs.counters();
+        workload.collect(&mut report);
+        report
+    }
+}

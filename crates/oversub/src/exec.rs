@@ -1,13 +1,15 @@
 //! Action execution: drives a task's program through its actions,
 //! interpreting synchronization effects against the futex/epoll substrate
 //! and the lock state machines.
+//!
+//! The blocking wrappers and cross-CPU grant paths these handlers lean on
+//! live in `engine::blocking`; segment arming lives in `engine::spin`.
 
-use crate::engine::{Cont, Engine, Event, Resume, RunKind, SegEventKind};
-use crate::trace::TraceKind;
+use crate::engine::{Cont, Engine, Event, Resume, RunKind};
 use oversub_hw::CpuId;
 use oversub_locks::{BarrierEffect, MutexAcquire, MutexRelease, SemEffect, SpinEffect};
 use oversub_simcore::SimTime;
-use oversub_task::{Action, FutexKey, LockId, ProgCtx, SpinSig, SyncOp, TaskId, TaskState};
+use oversub_task::{Action, LockId, ProgCtx, SpinSig, SyncOp, TaskId};
 
 /// Flow control for the inner action loop.
 enum Flow {
@@ -160,7 +162,7 @@ impl Engine {
                 );
                 self.stint_epoch[cpu] += 1;
                 self.seg_epoch[cpu] += 1;
-                self.ple_exit_at[cpu] = None;
+                self.spin_exit_at[cpu] = None;
                 self.sched_resched(t, cpu);
                 Flow::Break
             }
@@ -176,7 +178,7 @@ impl Engine {
                 self.conts[tid.0] = Cont::Blocked(Resume::Io);
                 self.stint_epoch[cpu] += 1;
                 self.seg_epoch[cpu] += 1;
-                self.ple_exit_at[cpu] = None;
+                self.spin_exit_at[cpu] = None;
                 self.queue
                     .schedule_nocancel(t + syscall + ns, Event::IoDone(tid.0));
                 self.sched_resched(t + syscall, cpu);
@@ -194,7 +196,7 @@ impl Engine {
                 self.last_exit = self.last_exit.max_of(t);
                 self.stint_epoch[cpu] += 1;
                 self.seg_epoch[cpu] += 1;
-                self.ple_exit_at[cpu] = None;
+                self.spin_exit_at[cpu] = None;
                 self.sched_resched(t, cpu);
                 Flow::Break
             }
@@ -356,11 +358,14 @@ impl Engine {
                         Flow::Continue(t + cost_ns)
                     }
                     EpollWaitResult::Blocked(out) => {
+                        if !self.mechs.is_empty() {
+                            self.mechs.on_block(cpu, tid, out.mode);
+                        }
                         self.charge_kernel(cpu, out.cost_ns);
                         self.conts[tid.0] = Cont::Blocked(Resume::EpollReady(ep));
                         self.stint_epoch[cpu] += 1;
                         self.seg_epoch[cpu] += 1;
-                        self.ple_exit_at[cpu] = None;
+                        self.spin_exit_at[cpu] = None;
                         self.sched_resched(t + out.cost_ns, cpu);
                         Flow::Break
                     }
@@ -441,229 +446,5 @@ impl Engine {
         }
         self.begin_spin_segment(cpu, tid, sig, budget_left, t);
         Flow::Break
-    }
-
-    /// A spin-then-park waiter's budget expired: convert to a futex park.
-    pub(crate) fn park_spinner(&mut self, cpu: usize, tid: TaskId, t: SimTime) {
-        let Cont::SpinLock { lock, is_mutex, .. } = self.conts[tid.0] else {
-            return;
-        };
-        debug_assert!(is_mutex, "only mutex kinds have park deadlines");
-        self.sync.mutexes[lock.0].note_parked(tid);
-        let futex = self.sync.mutexes[lock.0].futex_key_for(tid);
-        self.do_futex_wait(cpu, tid, futex, Resume::MutexRetry(lock), t);
-    }
-
-    // -----------------------------------------------------------------
-    // Lock grants and flag releases across CPUs
-    // -----------------------------------------------------------------
-
-    /// A release designated `w` as the next holder. If `w` is running
-    /// (spinning) somewhere, interrupt it so it claims now; otherwise it
-    /// claims when next scheduled (the lock-holder-preemption case: the
-    /// hand-off latency is the victim's scheduling delay).
-    fn deliver_grant(&mut self, w: TaskId, is_mutex: bool, lock: LockId, t: SimTime) {
-        if self.tasks[w.0].state != TaskState::Running {
-            return;
-        }
-        let wcpu = self.tasks[w.0].last_cpu.0;
-        debug_assert_eq!(self.sched.cpus[wcpu].current, Some(w));
-        let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
-        self.account_progress(wcpu, t2);
-        self.seg_epoch[wcpu] += 1;
-        self.ple_exit_at[wcpu] = None;
-        self.seg_event[wcpu] = SegEventKind::None;
-        let claimed = if is_mutex {
-            self.sync.mutexes[lock.0].try_claim(w)
-        } else {
-            self.sync.spinlocks[lock.0].try_claim(w)
-        };
-        let cost = claimed.expect("designated heir must be claimable");
-        self.charge_useful(wcpu, cost);
-        self.conts[w.0] = Cont::Ready;
-        self.advance_task(wcpu, t2 + cost);
-    }
-
-    /// Barging release: the lock is free; the first *running* spinner (by
-    /// CPU index) claims it immediately.
-    fn barge_check(&mut self, l: LockId, t: SimTime) {
-        // Find a running waiter of this spinlock.
-        let waiter = self
-            .sched
-            .cpus
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.current.map(|tid| (i, tid)))
-            .find(|&(_, tid)| {
-                matches!(
-                    self.conts[tid.0],
-                    Cont::SpinLock { lock, is_mutex: false, .. } if lock == l
-                )
-            });
-        if let Some((wcpu, w)) = waiter {
-            let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
-            self.account_progress(wcpu, t2);
-            self.seg_epoch[wcpu] += 1;
-            self.ple_exit_at[wcpu] = None;
-            self.seg_event[wcpu] = SegEventKind::None;
-            let cost = self.sync.spinlocks[l.0]
-                .try_claim(w)
-                .expect("running barge spinner must claim a free lock");
-            self.charge_useful(wcpu, cost);
-            self.conts[w.0] = Cont::Ready;
-            self.advance_task(wcpu, t2 + cost);
-        }
-    }
-
-    /// A flag changed and `w`'s spin condition is satisfied.
-    fn release_flag_spinner(&mut self, w: TaskId, t: SimTime) {
-        match self.tasks[w.0].state {
-            TaskState::Running => {
-                let wcpu = self.tasks[w.0].last_cpu.0;
-                let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
-                self.account_progress(wcpu, t2);
-                self.conts[w.0] = Cont::Ready;
-                self.seg_epoch[wcpu] += 1;
-                self.ple_exit_at[wcpu] = None;
-                self.seg_event[wcpu] = SegEventKind::None;
-                self.advance_task(wcpu, t2);
-            }
-            _ => {
-                // Descheduled mid-spin: its accumulated spin time is
-                // already accounted; it proceeds when next scheduled.
-                self.conts[w.0] = Cont::Ready;
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Kernel blocking wrappers
-    // -----------------------------------------------------------------
-
-    fn do_futex_wait(
-        &mut self,
-        cpu: usize,
-        tid: TaskId,
-        key: FutexKey,
-        resume: Resume,
-        t: SimTime,
-    ) {
-        let out = self
-            .futex
-            .futex_wait(&mut self.sched, &mut self.tasks, tid, key, CpuId(cpu), t);
-        self.trace.record(
-            t,
-            cpu,
-            tid,
-            match out.mode {
-                oversub_ksync::WaitMode::Sleep => TraceKind::Sleep,
-                oversub_ksync::WaitMode::Virtual => TraceKind::VbPark,
-            },
-        );
-        self.charge_kernel(cpu, out.cost_ns);
-        self.conts[tid.0] = Cont::Blocked(resume);
-        self.stint_epoch[cpu] += 1;
-        self.seg_epoch[cpu] += 1;
-        self.ple_exit_at[cpu] = None;
-        self.sched_resched(t + out.cost_ns, cpu);
-    }
-
-    fn do_futex_wake(&mut self, cpu: usize, key: FutexKey, n: usize, t: SimTime) -> u64 {
-        let report = self
-            .futex
-            .futex_wake(&mut self.sched, &mut self.tasks, key, n, CpuId(cpu), t);
-        self.charge_kernel(cpu, report.waker_cost_ns);
-        let done = t + report.waker_cost_ns;
-        self.post_wake_events(&report.woken, done);
-        report.waker_cost_ns
-    }
-
-    /// Schedule follow-up events for a batch of woken tasks.
-    fn post_wake_events(&mut self, woken: &[(TaskId, CpuId, bool)], done: SimTime) {
-        for &(w, wcpu, preempt) in woken {
-            self.trace.record(done, wcpu.0, w, TraceKind::Wake);
-            let delay = self.wake_resched_delay(wcpu.0);
-            self.sched_resched(done + delay, wcpu.0);
-            if preempt && self.sched.cpus[wcpu.0].current.is_some() {
-                self.queue
-                    .schedule_nocancel(done + delay, Event::PreemptCheck(wcpu.0));
-            }
-            // nohz idle kick: if the woken task landed on a busy queue
-            // while another CPU sits idle, poke one idle CPU so its idle
-            // balance can pull the waiter over (as CFS does at wakeup).
-            if self.sched.cpus[wcpu.0].current.is_some() {
-                let idle = self
-                    .sched
-                    .topo
-                    .cpu_ids()
-                    .find(|c| self.sched.online[c.0] && self.sched.cpus[c.0].is_idle());
-                if let Some(c) = idle {
-                    self.sched_resched(done, c.0);
-                }
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Segment scheduling
-    // -----------------------------------------------------------------
-
-    fn begin_work_segment(&mut self, cpu: usize, tid: TaskId, t: SimTime) {
-        self.begin_work_segment_kind(cpu, tid, t, RunKind::Useful);
-    }
-
-    fn begin_work_segment_kind(&mut self, cpu: usize, tid: TaskId, t: SimTime, kind: RunKind) {
-        let Cont::Work { left_ns, .. } = self.conts[tid.0] else {
-            unreachable!("work segment without Work cont");
-        };
-        let rate = self.sched.smt_factor(CpuId(cpu));
-        let scaled = (left_ns as f64 / rate).ceil() as u64;
-        self.seg_epoch[cpu] += 1;
-        self.seg_rate[cpu] = rate;
-        self.run_kind[cpu] = kind;
-        self.seg_done_at[cpu] = t + scaled.max(1);
-        self.seg_event[cpu] = SegEventKind::WorkEnd;
-        self.ple_exit_at[cpu] = None;
-        self.queue.schedule(
-            self.seg_done_at[cpu],
-            Event::SegEnd(cpu, self.seg_epoch[cpu]),
-        );
-    }
-
-    fn begin_spin_segment(
-        &mut self,
-        cpu: usize,
-        tid: TaskId,
-        sig: SpinSig,
-        budget: Option<u64>,
-        t: SimTime,
-    ) {
-        self.seg_epoch[cpu] += 1;
-        self.seg_rate[cpu] = 1.0;
-        self.run_kind[cpu] = RunKind::Spin(sig);
-        match budget {
-            Some(b) => {
-                self.seg_done_at[cpu] = t + b.max(1);
-                self.seg_event[cpu] = SegEventKind::ParkDeadline;
-                self.queue.schedule(
-                    self.seg_done_at[cpu],
-                    Event::SegEnd(cpu, self.seg_epoch[cpu]),
-                );
-            }
-            None => {
-                self.seg_done_at[cpu] = SimTime::NEVER;
-                self.seg_event[cpu] = SegEventKind::None;
-            }
-        }
-        // Arm PLE if it can see this loop.
-        if self.ple.can_see(&sig, self.cfg.env) {
-            let w = self.ple_window[tid.0];
-            let at = t + w;
-            self.ple_exit_at[cpu] = Some(at);
-            self.queue
-                .schedule_nocancel(at, Event::PleExit(cpu, self.seg_epoch[cpu]));
-        } else {
-            self.ple_exit_at[cpu] = None;
-        }
     }
 }

@@ -1,0 +1,470 @@
+//! Drivers for the paper's figures (1–4, 9–15).
+
+use super::{fig09_arms, fmt_s, fmt_x, run_skeleton, ExpOpts};
+use crate::config::{MachineSpec, Mechanisms, RunConfig};
+use crate::engine::run_labelled;
+use oversub_bwd::ExecEnv;
+use oversub_hw::AccessPattern;
+use oversub_locks::{MutexKind, SpinPolicy};
+use oversub_metrics::TextTable;
+use oversub_simcore::{SimTime, MICROS, MILLIS};
+use oversub_workloads::memcached::Memcached;
+use oversub_workloads::micro::{ArrayWalk, ComputeYield, Primitive, PrimitiveStress};
+use oversub_workloads::skeletons::{BenchProfile, Skeleton};
+use oversub_workloads::Workload;
+
+// ---------------------------------------------------------------------
+// Figure 1: the oversubscription survey
+// ---------------------------------------------------------------------
+
+/// Figure 1: normalized execution time of all 32 benchmarks with 8T and
+/// 32T on 8 cores (vanilla Linux).
+pub fn fig01_survey(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["benchmark", "group", "8T", "32T(vanilla)", "paper-32T"]);
+    for p in BenchProfile::all() {
+        let base = run_skeleton(
+            p.name,
+            8,
+            MachineSpec::Paper8Cores,
+            Mechanisms::vanilla(),
+            opts,
+        );
+        let over = run_skeleton(
+            p.name,
+            32,
+            MachineSpec::Paper8Cores,
+            Mechanisms::vanilla(),
+            opts,
+        );
+        t.row([
+            p.name.to_string(),
+            format!("{:?}", p.group),
+            "1.00".to_string(),
+            fmt_x(over.normalized_to(&base)),
+            fmt_x(p.paper_fig1_slowdown),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: direct cost of context switching
+// ---------------------------------------------------------------------
+
+/// Figure 2: execution time of the compute(+atomic) microbenchmark with
+/// 1..=8 threads on one core, normalized to one thread.
+pub fn fig02_direct_cost(opts: ExpOpts) -> TextTable {
+    let total = ((400.0 * opts.scale).max(40.0) as u64) * MILLIS;
+    let mut t = TextTable::new(["threads", "pure-compute", "with-atomic"]);
+    let run1 = |wl: &mut dyn Workload| {
+        let cfg = RunConfig::vanilla(1).with_seed(opts.seed);
+        run_labelled(wl, &cfg, "fig2")
+    };
+    let base_a = run1(&mut ComputeYield::fig2a(1, total)).makespan_ns as f64;
+    let base_b = run1(&mut ComputeYield::fig2b(1, total)).makespan_ns as f64;
+    for n in 1..=8usize {
+        let a = run1(&mut ComputeYield::fig2a(n, total)).makespan_ns as f64;
+        let b = run1(&mut ComputeYield::fig2b(n, total)).makespan_ns as f64;
+        t.row([n.to_string(), fmt_x(a / base_a), fmt_x(b / base_b)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: synchronization intervals
+// ---------------------------------------------------------------------
+
+/// Figure 3: histogram of the benchmarks' synchronization intervals
+/// (100 µs bins; the last bin collects everything above 1 ms).
+pub fn fig03_sync_intervals() -> TextTable {
+    let mut bins = [0usize; 11];
+    for p in BenchProfile::all() {
+        let us = p.sync_interval_ns / MICROS;
+        let idx = ((us / 100) as usize).min(10);
+        bins[idx] += 1;
+    }
+    let mut t = TextTable::new(["interval(us)", "programs"]);
+    for (i, &count) in bins.iter().enumerate() {
+        let label = if i == 10 {
+            ">1000".to_string()
+        } else {
+            format!("{}-{}", i * 100, (i + 1) * 100)
+        };
+        t.row([label, count.to_string()]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: indirect cost of context switching
+// ---------------------------------------------------------------------
+
+/// Figure 4: indirect cost per context switch (µs; negative = benefit) of
+/// two threads sharing one core vs one thread, across working-set sizes
+/// and the four access patterns.
+pub fn fig04_indirect_cost(opts: ExpOpts) -> TextTable {
+    let sizes: Vec<u64> = (17..=27).map(|s| 1u64 << s).collect(); // 128KB..128MB
+    let mut t = TextTable::new(["array", "seq-r", "seq-rmw", "rnd-r", "rnd-rmw"]);
+    let passes = ((24.0 * opts.scale).max(4.0)) as u64;
+    for &ws in &sizes {
+        let mut row = vec![if ws >= (1 << 20) {
+            format!("{}MB", ws >> 20)
+        } else {
+            format!("{}KB", ws >> 10)
+        }];
+        for pattern in AccessPattern::ALL {
+            let run = |threads: usize| {
+                let mut wl = ArrayWalk {
+                    threads,
+                    total_ws: ws,
+                    pattern,
+                    passes,
+                };
+                let cfg = RunConfig::vanilla(1).with_seed(opts.seed);
+                run_labelled(&mut wl, &cfg, "fig4")
+            };
+            let serial = run(1);
+            let over = run(2);
+            let ncs = over.cpus.context_switches.max(1);
+            let cost_us =
+                (over.makespan_ns as f64 - serial.makespan_ns as f64) / ncs as f64 / 1_000.0;
+            row.push(format!("{cost_us:.2}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: virtual blocking on the blocking benchmarks
+// ---------------------------------------------------------------------
+
+/// Figure 9: normalized execution time of the 13 blocking benchmarks under
+/// {8T vanilla, 32T vanilla, 32T optimized} on 8 cores and on 8
+/// hyperthreads of 4 cores.
+pub fn fig09_vb_blocking(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "benchmark",
+        "8T(van-8c)",
+        "32T(van-8c)",
+        "32T(opt-8c)",
+        "8T(van-8ht)",
+        "32T(van-8ht)",
+        "32T(opt-8ht)",
+    ]);
+    for p in BenchProfile::fig9_set() {
+        let (b8, o8, x8) = fig09_arms(p.name, MachineSpec::Paper8Cores, opts);
+        let (bh, oh, xh) = fig09_arms(p.name, MachineSpec::Paper8Hyperthreads, opts);
+        t.row([
+            p.name.to_string(),
+            "1.00".into(),
+            fmt_x(o8.normalized_to(&b8)),
+            fmt_x(x8.normalized_to(&b8)),
+            "1.00".into(),
+            fmt_x(oh.normalized_to(&bh)),
+            fmt_x(xh.normalized_to(&bh)),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: VB on the pthreads primitives
+// ---------------------------------------------------------------------
+
+fn primitive_speedup(primitive: Primitive, threads: usize, cores: usize, opts: ExpOpts) -> f64 {
+    let rounds = ((10_000.0 * opts.scale).max(300.0)) as usize;
+    let mk = || PrimitiveStress {
+        threads,
+        rounds,
+        primitive,
+        work_ns: 2_000,
+    };
+    let cfg = |mech: Mechanisms| {
+        RunConfig::vanilla(cores)
+            .with_machine(MachineSpec::PaperN(cores))
+            .with_mech(mech)
+            .with_seed(opts.seed)
+    };
+    let vanilla = run_labelled(&mut mk(), &cfg(Mechanisms::vanilla()), "vanilla");
+    let vb = run_labelled(&mut mk(), &cfg(Mechanisms::vb_only()), "vb");
+    vanilla.makespan_ns as f64 / vb.makespan_ns.max(1) as f64
+}
+
+/// Figure 10(a): speedup of VB over vanilla for mutex / condvar / barrier
+/// with 1..=32 threads on a single core.
+pub fn fig10a_primitives_threads(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "threads",
+        "pthread_mutex",
+        "pthread_cond",
+        "pthread_barrier",
+    ]);
+    for &n in &[1usize, 2, 4, 8, 16, 32] {
+        t.row([
+            n.to_string(),
+            fmt_x(primitive_speedup(Primitive::Mutex, n, 1, opts)),
+            fmt_x(primitive_speedup(Primitive::Cond, n, 1, opts)),
+            fmt_x(primitive_speedup(Primitive::Barrier, n, 1, opts)),
+        ]);
+    }
+    t
+}
+
+/// Figure 10(b): speedup of VB over vanilla with 32 threads on 1..=32
+/// cores.
+pub fn fig10b_primitives_cores(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["cores", "pthread_mutex", "pthread_cond", "pthread_barrier"]);
+    for &c in &[1usize, 2, 4, 8, 16, 32] {
+        t.row([
+            c.to_string(),
+            fmt_x(primitive_speedup(Primitive::Mutex, 32, c, opts)),
+            fmt_x(primitive_speedup(Primitive::Cond, 32, c, opts)),
+            fmt_x(primitive_speedup(Primitive::Barrier, 32, c, opts)),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: CPU elasticity
+// ---------------------------------------------------------------------
+
+/// Figure 11: execution time (s) of five benchmarks across core counts
+/// under {#core-T vanilla, 8T vanilla, 32T vanilla, 32T pinned,
+/// 32T optimized}.
+pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "benchmark",
+        "cores",
+        "#coreT(van)",
+        "8T(van)",
+        "32T(van)",
+        "32T(pinned)",
+        "32T(opt)",
+    ]);
+    for name in ["ep", "facesim", "streamcluster", "ocean", "cg"] {
+        for &cores in &[2usize, 4, 8, 16, 32] {
+            let m = MachineSpec::PaperN(cores);
+            let run = |threads: usize, mech: Mechanisms, pinned: bool| {
+                let profile = BenchProfile::by_name(name).unwrap();
+                let mut wl = Skeleton::scaled(profile, threads, opts.scale);
+                let mut cfg = RunConfig::vanilla(cores)
+                    .with_machine(m.clone())
+                    .with_mech(mech)
+                    .with_seed(opts.seed);
+                cfg.pinned = pinned;
+                run_labelled(&mut wl, &cfg, name)
+            };
+            let coret = run(cores, Mechanisms::vanilla(), false);
+            let t8 = run(8, Mechanisms::vanilla(), false);
+            let t32 = run(32, Mechanisms::vanilla(), false);
+            let pinned = run(32, Mechanisms::vanilla(), true);
+            let opt = run(32, Mechanisms::optimized(), false);
+            t.row([
+                name.to_string(),
+                cores.to_string(),
+                fmt_s(&coret),
+                fmt_s(&t8),
+                fmt_s(&t32),
+                fmt_s(&pinned),
+                fmt_s(&opt),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 12: memcached
+// ---------------------------------------------------------------------
+
+/// Figure 12: memcached throughput / mean / p95 / p99 under {4T vanilla,
+/// 16T vanilla, 16T optimized} on 4, 8, and 16 server cores.
+pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "cores",
+        "arm",
+        "throughput(op/s)",
+        "mean(us)",
+        "p95(us)",
+        "p99(us)",
+    ]);
+    let duration = SimTime::from_millis(((2_000.0 * opts.scale).max(300.0)) as u64);
+    for &cores in &[4usize, 8, 16] {
+        // Offered load tracks capacity (~80%), as a closed-loop mutilate
+        // client effectively does; a fixed open-loop rate would saturate
+        // the small configurations into unbounded queueing.
+        let rate = (45_000.0 * cores as f64).min(420_000.0);
+        for (label, workers, mech) in [
+            ("4T(vanilla)", 4, Mechanisms::vanilla()),
+            ("16T(vanilla)", 16, Mechanisms::vanilla()),
+            ("16T(optimized)", 16, Mechanisms::optimized()),
+        ] {
+            let mut wl = Memcached::paper(workers, cores, rate);
+            wl.clients = (rate / 70_000.0).ceil() as usize;
+            let cpus = wl.total_cpus();
+            let cfg = RunConfig::vanilla(cpus)
+                .with_mech(mech)
+                .with_seed(opts.seed)
+                .with_max_time(duration);
+            let r = run_labelled(&mut wl, &cfg, label);
+            t.row([
+                cores.to_string(),
+                label.to_string(),
+                format!("{:.0}", r.throughput_ops()),
+                format!("{:.0}", r.latency.mean() / 1_000.0),
+                format!("{}", r.latency.percentile(95.0) / 1_000),
+                format!("{}", r.latency.percentile(99.0) / 1_000),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: the ten spinlocks
+// ---------------------------------------------------------------------
+
+/// Figure 13: execution time (s) of the spinlock stress benchmark for all
+/// ten algorithms, in a container or a VM (the VM adds the PLE arm).
+pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
+    use oversub_workloads::micro::SpinlockStress;
+    let header: Vec<&str> = match env {
+        ExecEnv::Container => vec!["lock", "8T(vanilla)", "32T(vanilla)", "32T(optimized)"],
+        ExecEnv::Vm => vec![
+            "lock",
+            "8T(vanilla)",
+            "32T(vanilla)",
+            "32T(PLE)",
+            "32T(optimized)",
+        ],
+    };
+    let mut t = TextTable::new(header);
+    let iters = ((1_600.0 * opts.scale).max(96.0)) as usize;
+    for policy in SpinPolicy::all() {
+        let run = |threads: usize, mech: Mechanisms| {
+            let mut wl = SpinlockStress::fig13(threads, policy, iters);
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            cfg.env = env;
+            run_labelled(&mut wl, &cfg, policy.name)
+        };
+        let base = run(8, Mechanisms::vanilla());
+        let over = run(32, Mechanisms::vanilla());
+        let opt = run(32, Mechanisms::bwd_only());
+        let mut row = vec![policy.name.to_string(), fmt_s(&base), fmt_s(&over)];
+        if env == ExecEnv::Vm {
+            let ple = run(32, Mechanisms::ple_only());
+            row.push(fmt_s(&ple));
+        }
+        row.push(fmt_s(&opt));
+        t.row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: user-customized spinning
+// ---------------------------------------------------------------------
+
+/// Figure 14: execution time (s) of `lu` and `volrend` with 8/16/32
+/// threads on 8 cores, in containers and VMs, under vanilla / PLE /
+/// optimized.
+pub fn fig14_custom_spin(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["benchmark", "env", "threads", "vanilla", "PLE", "optimized"]);
+    for name in ["lu", "volrend"] {
+        for env in [ExecEnv::Container, ExecEnv::Vm] {
+            for &threads in &[8usize, 16, 32] {
+                let run = |mech: Mechanisms| {
+                    let profile = BenchProfile::by_name(name).unwrap();
+                    let mut wl = Skeleton::scaled(profile, threads, opts.scale);
+                    let mut cfg = RunConfig::vanilla(8)
+                        .with_machine(MachineSpec::Paper8Cores)
+                        .with_mech(mech)
+                        .with_seed(opts.seed);
+                    cfg.env = env;
+                    run_labelled(&mut wl, &cfg, name)
+                };
+                let vanilla = run(Mechanisms::vanilla());
+                let ple = if env == ExecEnv::Vm {
+                    fmt_s(&run(Mechanisms::ple_only()))
+                } else {
+                    "n/a".to_string()
+                };
+                let opt = run(Mechanisms::optimized());
+                t.row([
+                    name.to_string(),
+                    format!("{env:?}"),
+                    threads.to_string(),
+                    fmt_s(&vanilla),
+                    ple,
+                    fmt_s(&opt),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 15: SHFLLOCK comparison
+// ---------------------------------------------------------------------
+
+/// Figure 15: normalized execution time (to the 8T pthread baseline) of
+/// five benchmarks at 32T/8c with the synchronization library replaced by
+/// each lock design, vs our optimized kernel.
+pub fn fig15_shfllock(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "benchmark",
+        "pthread",
+        "mutexee",
+        "mcstp",
+        "shfllock",
+        "optimized",
+    ]);
+    let spin_ns = 150_000; // spin budget of the spin-then-park designs
+    for name in ["freqmine", "streamcluster", "lu_cb", "ocean", "radix"] {
+        let profile = BenchProfile::by_name(name).unwrap();
+        let run = |threads: usize, kind: Option<MutexKind>, mech: Mechanisms| {
+            let mut wl = Skeleton::scaled(profile, threads, opts.scale);
+            if let Some(k) = kind {
+                wl = wl.with_barrier_mutex(k);
+            }
+            let cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            run_labelled(&mut wl, &cfg, name)
+        };
+        let base = run(8, None, Mechanisms::vanilla());
+        let pthread = run(32, None, Mechanisms::vanilla());
+        let mutexee = run(
+            32,
+            Some(MutexKind::Mutexee { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let mcstp = run(
+            32,
+            Some(MutexKind::McsTp { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let shfl = run(
+            32,
+            Some(MutexKind::Shfllock { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let opt = run(32, None, Mechanisms::optimized());
+        t.row([
+            name.to_string(),
+            fmt_x(pthread.normalized_to(&base)),
+            fmt_x(mutexee.normalized_to(&base)),
+            fmt_x(mcstp.normalized_to(&base)),
+            fmt_x(shfl.normalized_to(&base)),
+            fmt_x(opt.normalized_to(&base)),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,106 @@
+//! Drivers for the paper's tables (1–3).
+
+use super::{fig09_arms, run_skeleton, ExpOpts};
+use crate::config::{MachineSpec, Mechanisms, RunConfig};
+use crate::engine::run_labelled;
+use oversub_locks::SpinPolicy;
+use oversub_metrics::TextTable;
+use oversub_workloads::micro::TpProbe;
+
+/// Table 1: CPU utilization and migration counts for the 13 blocking
+/// benchmarks under {8T, 32T, 32T optimized}, plus the per-mechanism
+/// activity of the optimized arm (VB parks, BWD skips).
+pub fn table1_runtime_stats(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new([
+        "app",
+        "util-8T",
+        "util-32T",
+        "util-Opt",
+        "in-node-8T",
+        "in-node-32T",
+        "in-node-Opt",
+        "cross-8T",
+        "cross-32T",
+        "cross-Opt",
+        "vb-parks-Opt",
+        "bwd-skips-Opt",
+    ]);
+    for p in oversub_workloads::skeletons::BenchProfile::fig9_set() {
+        let (b, o, x) = fig09_arms(p.name, MachineSpec::Paper8Cores, opts);
+        let vb_parks = x.mech("vb").map(|m| m.parks).unwrap_or(0);
+        let bwd_skips = x.mech("bwd").map(|m| m.skips_set).unwrap_or(0);
+        t.row([
+            p.name.to_string(),
+            format!("{:.0}", b.cpu_utilization_pct()),
+            format!("{:.0}", o.cpu_utilization_pct()),
+            format!("{:.0}", x.cpu_utilization_pct()),
+            b.tasks.migrations_local.to_string(),
+            o.tasks.migrations_local.to_string(),
+            x.tasks.migrations_local.to_string(),
+            b.tasks.migrations_remote.to_string(),
+            o.tasks.migrations_remote.to_string(),
+            x.tasks.migrations_remote.to_string(),
+            vb_parks.to_string(),
+            bwd_skips.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 2: BWD's true-positive rate for the ten spinlocks (holder /
+/// contender probe on one core).
+pub fn table2_bwd_tp(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["lock", "tries", "TPs", "sensitivity(%)"]);
+    let tries = ((4_000.0 * opts.scale).max(150.0)) as usize;
+    for policy in SpinPolicy::all() {
+        let mut wl = TpProbe::new(policy, tries);
+        let cfg = RunConfig::vanilla(1)
+            .with_mech(Mechanisms::bwd_only())
+            .with_seed(opts.seed);
+        let r = run_labelled(&mut wl, &cfg, policy.name);
+        let episodes = r.bwd.spin_episodes.max(1);
+        let sens = 100.0 * r.bwd.true_positives.min(episodes) as f64 / episodes as f64;
+        t.row([
+            policy.name.to_string(),
+            episodes.to_string(),
+            r.bwd.true_positives.to_string(),
+            format!("{sens:.2}"),
+        ]);
+    }
+    t
+}
+
+/// Table 3: BWD's false-positive rate on 8 blocking NPB benchmarks that
+/// contain no synchronization spinning (their tight loops are the bait),
+/// plus the FP-induced overhead.
+pub fn table3_bwd_fp(opts: ExpOpts) -> TextTable {
+    let mut t = TextTable::new(["app", "windows", "FPs", "specificity(%)", "FP-overhead(%)"]);
+    for name in ["is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"] {
+        let without = run_skeleton(
+            name,
+            32,
+            MachineSpec::Paper8Cores,
+            Mechanisms::vb_only(),
+            opts,
+        );
+        let with = run_skeleton(
+            name,
+            32,
+            MachineSpec::Paper8Cores,
+            Mechanisms::optimized(),
+            opts,
+        );
+        let checks = with.bwd.checks.max(1);
+        let spec = 100.0 * (1.0 - with.bwd.false_positives as f64 / checks as f64);
+        let overhead =
+            100.0 * (with.makespan_ns as f64 / without.makespan_ns.max(1) as f64 - 1.0).max(0.0);
+        t.row([
+            name.to_string(),
+            checks.to_string(),
+            with.bwd.false_positives.to_string(),
+            format!("{spec:.2}"),
+            format!("{overhead:.2}"),
+        ]);
+    }
+    t
+}

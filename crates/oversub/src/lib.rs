@@ -36,6 +36,7 @@ pub mod config;
 mod engine;
 mod exec;
 pub mod experiments;
+pub mod mechanism;
 pub mod trace;
 
 /// The workload interface (re-exported from `oversub-workloads`).
@@ -43,8 +44,12 @@ pub use oversub_workloads::workload;
 
 pub use config::{ElasticEvent, MachineSpec, Mechanisms, RunConfig};
 pub use engine::{run, run_counted, run_labelled, run_traced};
+pub use mechanism::{
+    BwdMechanism, Mechanism, MechanismFactory, MechanismSet, PleMechanism, SpinExitVerdict,
+    SubstrateConfig, TimerCtx, TimerVerdict, VbMechanism,
+};
 pub use oversub_bwd::ExecEnv;
-pub use oversub_metrics::RunReport;
+pub use oversub_metrics::{MechCounters, RunReport};
 
 // Re-export the layers a downstream user composes with.
 pub use oversub_hw as hw;

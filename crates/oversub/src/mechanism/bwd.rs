@@ -1,0 +1,82 @@
+//! Busy-waiting detection (paper §3.2) as a [`Mechanism`].
+//!
+//! BWD is the mechanism layer's showcase: it owns a per-core 100 µs timer
+//! ([`Mechanism::timer_interval_ns`]), inspects the hardware monitoring
+//! window on each tick ([`Mechanism::on_timer`]), and when the window
+//! matches the spin signature asks the engine to deschedule the runner
+//! with the skip flag set. Skip-flag expiry is reported back through
+//! [`Mechanism::on_pick`].
+
+use super::{Mechanism, SubstrateConfig, TimerCtx, TimerVerdict};
+use oversub_bwd::{BwdParams, BwdStats, Detector};
+use oversub_metrics::MechCounters;
+use std::any::Any;
+
+/// The busy-waiting-detection mechanism.
+#[derive(Debug)]
+pub struct BwdMechanism {
+    det: Detector,
+    skips_set: u64,
+    skips_cleared: u64,
+}
+
+impl BwdMechanism {
+    /// Build BWD around the paper's LBR + PMC detector.
+    pub fn new(params: BwdParams) -> Self {
+        BwdMechanism {
+            det: Detector::new(params),
+            skips_set: 0,
+            skips_cleared: 0,
+        }
+    }
+
+    /// The underlying detector's statistics (checks, detections, TP/FP).
+    pub fn stats(&self) -> &BwdStats {
+        &self.det.stats
+    }
+}
+
+impl Mechanism for BwdMechanism {
+    fn name(&self) -> &'static str {
+        "bwd"
+    }
+
+    fn configure(&mut self, _sub: &mut SubstrateConfig) {}
+
+    fn timer_interval_ns(&self) -> Option<u64> {
+        Some(self.det.params.interval_ns)
+    }
+
+    fn on_timer(&mut self, ctx: &mut TimerCtx<'_>) -> TimerVerdict {
+        let detected = self.det.check_window(ctx.hw);
+        ctx.hw.new_window();
+        let deschedule = detected && ctx.has_current;
+        if deschedule {
+            self.det.classify_detection(ctx.real_spin);
+            self.skips_set += 1;
+        }
+        TimerVerdict {
+            charge_ns: self.det.params.check_cost_ns,
+            deschedule,
+            set_skip: true,
+        }
+    }
+
+    fn on_pick(&mut self, _cpu: usize, skips_released: u64) {
+        self.skips_cleared += skips_released;
+    }
+
+    fn counters(&self) -> MechCounters {
+        MechCounters {
+            decisions: self.det.stats.detections,
+            skips_set: self.skips_set,
+            skips_cleared: self.skips_cleared,
+            timer_checks: self.det.stats.checks,
+            ..MechCounters::named("bwd")
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

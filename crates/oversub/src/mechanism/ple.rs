@@ -1,0 +1,94 @@
+//! Pause-loop exiting as a [`Mechanism`] — the hardware baseline.
+//!
+//! PLE watches spin segments rather than timer windows: when a new
+//! busy-wait segment starts, [`Mechanism::on_spin_segment`] arms a VM exit
+//! after the current detection window if PLE can see the loop at all (VM
+//! environment + PAUSE in the loop body). On exit the window doubles
+//! (modelling the ple_window growth that keeps exit storms bounded) and
+//! the engine charges the exit cost — but no skip flag is set, which is
+//! exactly why the paper finds PLE barely helps (§5, Figure 13/14).
+
+use super::{Mechanism, SpinExitVerdict};
+use oversub_bwd::{ExecEnv, Ple, PleParams};
+use oversub_metrics::MechCounters;
+use oversub_simcore::SimTime;
+use oversub_task::{SpinSig, TaskId};
+use std::any::Any;
+
+/// Upper bound on the per-task adaptive window (2 ms).
+const MAX_WINDOW_NS: u64 = 2_000_000;
+
+/// The pause-loop-exiting mechanism.
+#[derive(Debug)]
+pub struct PleMechanism {
+    ple: Ple,
+    /// Per-task adaptive detection window, grown lazily as task ids
+    /// appear.
+    window: Vec<u64>,
+}
+
+impl PleMechanism {
+    /// Build the PLE model.
+    pub fn new(params: PleParams) -> Self {
+        PleMechanism {
+            ple: Ple::new(params),
+            window: Vec::new(),
+        }
+    }
+
+    /// VM exits taken so far.
+    pub fn exits(&self) -> u64 {
+        self.ple.stats.exits
+    }
+
+    fn window_slot(&mut self, tid: TaskId) -> &mut u64 {
+        if self.window.len() <= tid.0 {
+            self.window.resize(tid.0 + 1, self.ple.params.window_ns);
+        }
+        &mut self.window[tid.0]
+    }
+}
+
+impl Mechanism for PleMechanism {
+    fn name(&self) -> &'static str {
+        "ple"
+    }
+
+    fn on_spin_segment(
+        &mut self,
+        _cpu: usize,
+        tid: TaskId,
+        sig: &SpinSig,
+        env: ExecEnv,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        if !self.ple.can_see(sig, env) {
+            return None;
+        }
+        let w = *self.window_slot(tid);
+        Some(now + w)
+    }
+
+    fn on_spin_exit(&mut self, _cpu: usize, tid: TaskId) -> SpinExitVerdict {
+        self.ple.stats.exits += 1;
+        let slot = self.window_slot(tid);
+        *slot = (*slot * 2).min(MAX_WINDOW_NS);
+        SpinExitVerdict {
+            charge_ns: self.ple.params.exit_cost_ns,
+            // PLE's key limitation vs BWD: the spinner is not deprioritized.
+            set_skip: false,
+        }
+    }
+
+    fn counters(&self) -> MechCounters {
+        MechCounters {
+            decisions: self.ple.stats.exits,
+            spin_exits: self.ple.stats.exits,
+            ..MechCounters::named("ple")
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,76 @@
+//! Virtual blocking (paper §3.1) as a [`Mechanism`].
+//!
+//! VB's behaviour lives in the kernel substrate — the futex/epoll wait
+//! paths and the scheduler's VB-park support — so this mechanism's job is
+//! to *configure* that substrate and to account what it does: every
+//! VB-park and VB-unpark passes through [`Mechanism::on_block`] /
+//! [`Mechanism::on_wake`] and is counted.
+
+use super::{Mechanism, SubstrateConfig};
+use oversub_ksync::WaitMode;
+use oversub_metrics::MechCounters;
+use oversub_task::TaskId;
+use std::any::Any;
+
+/// The virtual-blocking mechanism.
+#[derive(Debug)]
+pub struct VbMechanism {
+    auto_disable: bool,
+    parks: u64,
+    unparks: u64,
+    sleeps: u64,
+}
+
+impl VbMechanism {
+    /// Build VB; `auto_disable` is the paper's §3.1 refinement that falls
+    /// back to sleeping when a futex queue is shorter than the online core
+    /// count (undersubscribed buckets gain nothing from parking).
+    pub fn new(auto_disable: bool) -> Self {
+        VbMechanism {
+            auto_disable,
+            parks: 0,
+            unparks: 0,
+            sleeps: 0,
+        }
+    }
+}
+
+impl Mechanism for VbMechanism {
+    fn name(&self) -> &'static str {
+        "vb"
+    }
+
+    fn configure(&mut self, sub: &mut SubstrateConfig) {
+        sub.futex.vb_enabled = true;
+        sub.futex.vb_auto_disable = self.auto_disable;
+        sub.sched_vb = true;
+    }
+
+    fn on_block(&mut self, _cpu: usize, _tid: TaskId, mode: WaitMode) {
+        match mode {
+            WaitMode::Virtual => self.parks += 1,
+            WaitMode::Sleep => self.sleeps += 1,
+        }
+    }
+
+    fn on_wake(&mut self, _tid: TaskId, mode: WaitMode) {
+        if mode == WaitMode::Virtual {
+            self.unparks += 1;
+        }
+    }
+
+    fn counters(&self) -> MechCounters {
+        MechCounters {
+            // Every block-path decision VB made: park vs (auto-disabled)
+            // sleep.
+            decisions: self.parks + self.sleeps,
+            parks: self.parks,
+            unparks: self.unparks,
+            ..MechCounters::named("vb")
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -96,6 +96,10 @@ pub struct Scheduler {
     /// Reference (pre-overhaul) mode: uncached picks and full balancer
     /// scans. See [`Scheduler::set_reference_mode`].
     pub(crate) reference: bool,
+    /// BWD skip flags released by round expiry since the last drain
+    /// (consumed via [`Scheduler::take_skips_released`] by the BWD
+    /// mechanism's `on_pick` hook for its `skips_cleared` counter).
+    skips_released: u64,
 }
 
 impl Scheduler {
@@ -120,7 +124,14 @@ impl Scheduler {
             online,
             waiter_board,
             reference: false,
+            skips_released: 0,
         }
+    }
+
+    /// Drain the count of skip flags released by round expiry since the
+    /// last call.
+    pub fn take_skips_released(&mut self) -> u64 {
+        std::mem::take(&mut self.skips_released)
     }
 
     /// Switch the scheduler to its pre-overhaul reference internals:
@@ -215,15 +226,18 @@ impl Scheduler {
         let round = self.cpus[cpu.0].pick_round;
         let c = &mut self.cpus[cpu.0];
         let mut released = false;
+        let mut released_count = 0u64;
         c.skip_release.retain(|&tid, &mut r| {
             if round >= r {
                 tasks[tid.0].bwd_skip = false;
                 released = true;
+                released_count += 1;
                 false
             } else {
                 true
             }
         });
+        self.skips_released += released_count;
         if released {
             // Skip expiry changes in-tree eligibility without touching the
             // runqueue, so the cached pick may no longer be leftmost.

@@ -8,13 +8,23 @@
 //! is integer-exact, so equality here means every counter, histogram
 //! bucket, and timing field matches to the last bit.
 
+use oversub::ksync::WaitMode;
+use oversub::metrics::MechCounters;
 use oversub::simcore::SimTime;
+use oversub::task::{SpinSig, TaskId};
 use oversub::workload::Workload;
 use oversub::workloads::memcached::Memcached;
 use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
 use oversub::workloads::skeletons::{BenchProfile, Skeleton};
 use oversub::workloads::webserving::WebServing;
-use oversub::{run_counted, ElasticEvent, MachineSpec, Mechanisms, RunConfig};
+use oversub::{
+    run, run_counted, ElasticEvent, ExecEnv, MachineSpec, Mechanism, Mechanisms, RunConfig,
+    SpinExitVerdict,
+};
+use proptest::prelude::*;
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Run one workload twice — optimized vs reference engine — and assert
 /// byte-identical report JSON. Returns the two event counts.
@@ -135,6 +145,75 @@ fn web_serving_with_elasticity_is_bit_identical() {
     );
 }
 
+/// An active out-of-tree mechanism for the golden tests: throttle any
+/// spin segment after a fixed window (it deschedules tasks, so it truly
+/// perturbs the schedule — both engines must agree on every perturbation).
+struct ThrottleSpin {
+    window_ns: u64,
+    exits: u64,
+}
+
+impl Mechanism for ThrottleSpin {
+    fn name(&self) -> &'static str {
+        "throttle"
+    }
+    fn on_spin_segment(
+        &mut self,
+        _cpu: usize,
+        _tid: TaskId,
+        _sig: &SpinSig,
+        _env: ExecEnv,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        Some(now + self.window_ns)
+    }
+    fn on_spin_exit(&mut self, _cpu: usize, _tid: TaskId) -> SpinExitVerdict {
+        self.exits += 1;
+        SpinExitVerdict {
+            charge_ns: 900,
+            set_skip: false,
+        }
+    }
+    fn counters(&self) -> MechCounters {
+        MechCounters {
+            decisions: self.exits,
+            spin_exits: self.exits,
+            ..MechCounters::named("throttle")
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[test]
+fn custom_mechanism_runs_are_bit_identical() {
+    // A custom mechanism registered through the public API must replay
+    // identically on both engines: the factory builds a fresh instance
+    // per engine, so the reference twin starts from the same state.
+    let cfg = RunConfig::vanilla(4)
+        .with_machine(MachineSpec::PaperN(4))
+        .with_seed(23)
+        .with_mechanism(|| {
+            Box::new(ThrottleSpin {
+                window_ns: 80_000,
+                exits: 0,
+            })
+        });
+    assert_golden(
+        || Box::new(SpinPipeline::new(12, 24, WaitFlavor::Flags)),
+        &cfg,
+        "pipeline/custom-throttle",
+    );
+    // And it must actually have fired, or the test proves nothing.
+    let mut wl = SpinPipeline::new(12, 24, WaitFlavor::Flags);
+    let r = run(&mut wl, &cfg);
+    assert!(
+        r.mech("throttle").map(|m| m.spin_exits).unwrap_or(0) > 0,
+        "custom mechanism never fired"
+    );
+}
+
 #[test]
 fn vm_ple_runs_are_bit_identical() {
     let cfg = RunConfig::vanilla(4)
@@ -153,4 +232,120 @@ fn vm_ple_runs_are_bit_identical() {
         &cfg,
         "pipeline/ple-vm",
     );
+}
+
+// ---------------------------------------------------------------------
+// Hook invocation order is deterministic
+// ---------------------------------------------------------------------
+
+/// A passive observer mechanism: records every hook invocation (with its
+/// arguments) into a shared log and never changes any verdict, so it can
+/// ride along any configuration without perturbing the run.
+struct Recorder {
+    log: Rc<RefCell<Vec<String>>>,
+}
+
+impl Mechanism for Recorder {
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+    fn on_block(&mut self, cpu: usize, tid: TaskId, mode: WaitMode) {
+        self.log
+            .borrow_mut()
+            .push(format!("block cpu={cpu} tid={} mode={mode:?}", tid.0));
+    }
+    fn on_wake(&mut self, tid: TaskId, mode: WaitMode) {
+        self.log
+            .borrow_mut()
+            .push(format!("wake tid={} mode={mode:?}", tid.0));
+    }
+    fn on_pick(&mut self, cpu: usize, skips_released: u64) {
+        self.log
+            .borrow_mut()
+            .push(format!("pick cpu={cpu} released={skips_released}"));
+    }
+    fn on_slice_expiry(&mut self, cpu: usize, tid: TaskId) {
+        self.log
+            .borrow_mut()
+            .push(format!("slice cpu={cpu} tid={}", tid.0));
+    }
+    fn on_spin_segment(
+        &mut self,
+        cpu: usize,
+        tid: TaskId,
+        sig: &SpinSig,
+        env: ExecEnv,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        self.log.borrow_mut().push(format!(
+            "spin cpu={cpu} tid={} pause={} env={env:?} now={now}",
+            tid.0, sig.uses_pause
+        ));
+        None
+    }
+    fn on_elastic_change(&mut self, cores: usize) {
+        self.log.borrow_mut().push(format!("elastic cores={cores}"));
+    }
+    fn counters(&self) -> MechCounters {
+        MechCounters::named("recorder")
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Run one SpinPipeline config with a Recorder appended to the pipeline
+/// and return the full hook log.
+fn hook_log(
+    stages: usize,
+    items: usize,
+    cores: usize,
+    mech: Mechanisms,
+    seed: u64,
+    vm: bool,
+) -> Vec<String> {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let handle = Rc::clone(&log);
+    let mut cfg = RunConfig::vanilla(cores)
+        .with_machine(MachineSpec::PaperN(cores))
+        .with_mech(mech)
+        .with_seed(seed)
+        .with_mechanism(move || {
+            Box::new(Recorder {
+                log: Rc::clone(&handle),
+            })
+        });
+    if vm {
+        cfg = cfg.in_vm();
+    }
+    let mut wl = SpinPipeline::new(stages, items, WaitFlavor::Flags);
+    run(&mut wl, &cfg);
+    // The factory closure inside `cfg` keeps a handle alive; read through.
+    let out = log.borrow().clone();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The exact sequence of hook invocations — names, arguments, and
+    /// order — replays identically for identical configurations, under
+    /// random mechanism pipelines, core counts, seeds, and environments.
+    #[test]
+    fn hook_order_is_deterministic(
+        stages in 4usize..10,
+        items in 6usize..20,
+        cores in 2usize..6,
+        vb in any::<bool>(),
+        bwd in any::<bool>(),
+        ple in any::<bool>(),
+        vm in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mech = Mechanisms { vb, vb_auto_disable: true, bwd, ple: ple && vm };
+        let a = hook_log(stages, items, cores, mech, seed, vm);
+        let b = hook_log(stages, items, cores, mech, seed, vm);
+        prop_assert!(!a.is_empty(), "recorder saw no hooks at all");
+        prop_assert_eq!(a, b);
+    }
 }
