@@ -1,0 +1,149 @@
+//! CI chaos smoke: the fault-injection matrix as a pass/fail gate.
+//!
+//! Runs three representative workloads (futex/epoll-heavy memcached, a
+//! flag-spinning pipeline, and an oversubscribed batch skeleton) under
+//! each headline fault kind — lost wakeups, monitoring-timer jitter and
+//! drops, and LBR/PMC sensor noise — with the liveness watchdog armed and
+//! an event budget as the hang backstop.
+//!
+//! A cell **passes** when the run produces a report, cleanly or with
+//! watchdog diagnostics. A cell **fails** — and the process exits
+//! non-zero — when the engine panics, errors, or reports an invariant
+//! violation (`rq-inconsistency`, `waiter-board-mismatch`,
+//! `event-order`): chaos is allowed to degrade a run, never to corrupt
+//! the engine. The whole matrix stays well under the ~3 minute CI slot.
+//!
+//! Usage: `cargo run --release -p oversub-bench --bin chaos_smoke`
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use oversub::simcore::SimTime;
+use oversub::workload::Workload;
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::{try_run, FaultPlan, MachineSpec, Mechanisms, RunConfig, WatchdogParams};
+
+/// Diagnostic kinds that mean the engine itself broke.
+const FAILURE_KINDS: &[&str] = &["rq-inconsistency", "waiter-board-mismatch", "event-order"];
+
+struct Scenario {
+    workload: &'static str,
+    cpus: usize,
+    mk: Box<dyn Fn() -> Box<dyn Workload>>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            workload: "memcached/16T/8c",
+            cpus: Memcached::paper(16, 8, 40_000.0).total_cpus(),
+            mk: Box::new(|| Box::new(Memcached::paper(16, 8, 40_000.0))),
+        },
+        Scenario {
+            workload: "pipeline/12S/8c",
+            cpus: 8,
+            mk: Box::new(|| Box::new(SpinPipeline::new(12, 40, WaitFlavor::Flags))),
+        },
+        Scenario {
+            workload: "skeleton/streamcluster/24T/8c",
+            cpus: 8,
+            mk: Box::new(|| {
+                let p = BenchProfile::by_name("streamcluster").expect("known benchmark");
+                Box::new(Skeleton::scaled(p, 24, 0.15).with_salt(13))
+            }),
+        },
+    ]
+}
+
+fn plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("lost-wakeup", FaultPlan::default().lost_wakeups(0.3)),
+        (
+            "timer-jitter",
+            FaultPlan::default().timer_jitter(200_000).timer_drops(0.2),
+        ),
+        ("sensor-noise", FaultPlan::default().sensor_noise(0.3)),
+    ]
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let mut failures = Vec::new();
+    println!(
+        "{:<32} {:<14} {:>10} {:>8} {:>10}  outcome",
+        "workload", "fault", "makespan", "diags", "recoveries"
+    );
+    for sc in scenarios() {
+        for (plan_name, plan) in plans() {
+            let cfg = RunConfig::vanilla(sc.cpus)
+                .with_machine(MachineSpec::PaperN(sc.cpus))
+                .with_mech(Mechanisms::optimized())
+                .with_seed(2026)
+                .with_max_time(SimTime::from_millis(200))
+                .with_faults(plan)
+                .with_watchdog(WatchdogParams::default())
+                .with_max_events(50_000_000);
+            let mut wl = (sc.mk)();
+            let outcome = catch_unwind(AssertUnwindSafe(|| try_run(&mut *wl, &cfg)));
+            let cell = format!("{} x {plan_name}", sc.workload);
+            match outcome {
+                Err(_) => {
+                    println!(
+                        "{:<32} {:<14} {:>10} {:>8} {:>10}  PANIC",
+                        sc.workload, plan_name, "-", "-", "-"
+                    );
+                    failures.push(format!("{cell}: engine panicked"));
+                }
+                Ok(Err(e)) => {
+                    println!(
+                        "{:<32} {:<14} {:>10} {:>8} {:>10}  ERROR",
+                        sc.workload, plan_name, "-", "-", "-"
+                    );
+                    failures.push(format!("{cell}: engine error: {e}"));
+                }
+                Ok(Ok(report)) => {
+                    let violations: Vec<_> = report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| FAILURE_KINDS.contains(&d.kind.as_str()))
+                        .collect();
+                    let recoveries: u64 = report.mechanisms.iter().map(|m| m.recoveries).sum();
+                    let verdict = if violations.is_empty() {
+                        "ok"
+                    } else {
+                        "INVARIANT"
+                    };
+                    println!(
+                        "{:<32} {:<14} {:>8.1}ms {:>8} {:>10}  {verdict}",
+                        sc.workload,
+                        plan_name,
+                        report.makespan_ns as f64 / 1e6,
+                        report.diagnostics.len(),
+                        recoveries,
+                    );
+                    for v in violations {
+                        failures.push(format!(
+                            "{cell}: {} at {} ns: {}",
+                            v.kind, v.at_ns, v.detail
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "\nchaos smoke finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    if failures.is_empty() {
+        println!("all {} cells passed", scenarios().len() * plans().len());
+    } else {
+        eprintln!("\nchaos smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -196,10 +196,16 @@ fn main() {
 
     // The bench crate sits at <root>/crates/bench, so the repo root is two
     // levels up from the compile-time manifest dir.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+    let Some(root) = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("repo root");
+    else {
+        eprintln!(
+            "sim_throughput: cannot locate the repo root from manifest dir {}",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::process::exit(1);
+    };
     let path = root.join("BENCH_sim_throughput.json");
 
     if check {
@@ -207,13 +213,20 @@ fn main() {
             Ok(()) => println!("\nthroughput gate passed against {}", path.display()),
             Err(e) => {
                 eprintln!("\nthroughput gate FAILED: {e}");
+                eprintln!(
+                    "(regenerate the baseline with `cargo run --release -p oversub-bench \
+                     --bin sim_throughput` and commit the JSON)"
+                );
                 std::process::exit(1);
             }
         }
         return;
     }
 
-    std::fs::write(&path, doc.to_string_pretty() + "\n").expect("write benchmark json");
+    if let Err(e) = std::fs::write(&path, doc.to_string_pretty() + "\n") {
+        eprintln!("sim_throughput: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("\nwrote {}", path.display());
 }
 
@@ -221,8 +234,10 @@ fn main() {
 /// optimized events/sec must stay above 0.9x of the committed value. The
 /// baseline file is not rewritten.
 fn check_against_baseline(fresh: &JsonValue, path: &std::path::Path) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline: {e}"))?;
-    let baseline = JsonValue::parse(&text)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let baseline = JsonValue::parse(&text)
+        .map_err(|e| format!("baseline {} is malformed: {e}", path.display()))?;
     let base_rows = baseline
         .get("workloads")
         .and_then(|w| w.as_array())

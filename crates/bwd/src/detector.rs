@@ -29,6 +29,15 @@ pub struct BwdParams {
     pub use_pmc: bool,
     /// Cost of one timer interrupt + LBR/PMC read, charged to the core.
     pub check_cost_ns: u64,
+    /// Degrade gracefully under sensor noise: when a core's observed
+    /// false-positive rate crosses [`BwdParams::backoff_fp_threshold`],
+    /// first widen its detection window (inspect every Nth tick), then
+    /// disable detection on that core entirely.
+    pub adaptive_backoff: bool,
+    /// False-positive fraction (FP / detections) that trips the backoff.
+    pub backoff_fp_threshold: f64,
+    /// Minimum detections on a core before its FP rate is trusted.
+    pub backoff_min_detections: u64,
 }
 
 impl Default for BwdParams {
@@ -38,6 +47,9 @@ impl Default for BwdParams {
             interval_ns: 100 * MICROS,
             use_pmc: true,
             check_cost_ns: 250,
+            adaptive_backoff: false,
+            backoff_fp_threshold: 0.5,
+            backoff_min_detections: 8,
         }
     }
 }
@@ -97,14 +109,26 @@ impl Detector {
     /// matches the spin signature. The caller must clear the window
     /// (`CoreHw::new_window`) afterwards.
     pub fn check_window(&mut self, hw: &CoreHw) -> bool {
-        self.stats.checks += 1;
+        let detected = self.check_window_quiet(hw);
+        self.note_check(detected);
+        detected
+    }
+
+    /// Classify a window without touching the counters — used by callers
+    /// that perturb the raw verdict (fault-injected sensor noise) and then
+    /// record the perturbed result via [`Detector::note_check`].
+    pub fn check_window_quiet(&self, hw: &CoreHw) -> bool {
         let lbr_spin = hw.lbr.all_identical_backward();
         let pmc_clean = !self.params.use_pmc || hw.pmc.no_misses();
-        let detected = lbr_spin && pmc_clean;
+        lbr_spin && pmc_clean
+    }
+
+    /// Record one window check and its (possibly perturbed) verdict.
+    pub fn note_check(&mut self, detected: bool) {
+        self.stats.checks += 1;
         if detected {
             self.stats.detections += 1;
         }
-        detected
     }
 
     /// Record ground truth for the latest detection (engine callback).

@@ -74,14 +74,23 @@ impl EpollTable {
         fd
     }
 
-    /// Number of waiters currently blocked on `ep`.
+    /// Number of waiters currently blocked on `ep` (0 for an unknown fd).
     pub fn waiter_count(&self, ep: EpollFd) -> usize {
-        self.instances[ep.0].waiters.len()
+        self.instances.get(ep.0).map_or(0, |i| i.waiters.len())
     }
 
-    /// Events currently pending on `ep`.
+    /// Events currently pending on `ep` (0 for an unknown fd).
     pub fn pending(&self, ep: EpollFd) -> u32 {
-        self.instances[ep.0].pending
+        self.instances.get(ep.0).map_or(0, |i| i.pending)
+    }
+
+    /// True when `tid` is blocked (sleeping or VB-parked) on any epoll
+    /// instance. Used by the liveness watchdog to distinguish an orphaned
+    /// VB-park from one that still has a registered waker.
+    pub fn is_waiter(&self, tid: TaskId) -> bool {
+        self.instances
+            .iter()
+            .any(|i| i.waiters.iter().any(|&(t, _)| t == tid))
     }
 
     /// `epoll_wait` by the task currently running on `cpu`: returns pending
@@ -96,6 +105,15 @@ impl EpollTable {
         now: SimTime,
     ) -> EpollWaitResult {
         let syscall = sched.params.syscall_entry_ns;
+        if ep.0 >= self.instances.len() {
+            // A wait on an fd that was never created: the real syscall
+            // returns EBADF. Model it as an immediate empty return.
+            debug_assert!(false, "epoll_wait on unknown fd {}", ep.0);
+            return EpollWaitResult::Ready {
+                events: 0,
+                cost_ns: syscall,
+            };
+        }
         if self.instances[ep.0].pending > 0 {
             let events = std::mem::take(&mut self.instances[ep.0].pending);
             return EpollWaitResult::Ready {
@@ -143,8 +161,12 @@ impl EpollTable {
         poster_cpu: CpuId,
         now: SimTime,
     ) -> WakeReport {
-        self.instances[ep.0].pending += count;
         let mut report = WakeReport::default();
+        if ep.0 >= self.instances.len() {
+            debug_assert!(false, "epoll_post on unknown fd {}", ep.0);
+            return report;
+        }
+        self.instances[ep.0].pending += count;
         if self.instances[ep.0].waiters.is_empty() {
             return report;
         }
@@ -184,7 +206,9 @@ impl EpollTable {
     /// Consume all pending events of `ep` (a woken worker draining its
     /// ready list). Returns the number taken.
     pub fn take_pending(&mut self, ep: EpollFd) -> u32 {
-        std::mem::take(&mut self.instances[ep.0].pending)
+        self.instances
+            .get_mut(ep.0)
+            .map_or(0, |i| std::mem::take(&mut i.pending))
     }
 }
 
@@ -298,6 +322,27 @@ mod tests {
         let r = ept.epoll_post(&mut sched, &mut tasks, ep, 2, CpuId(0), SimTime::ZERO);
         assert!(r.woken.is_empty());
         assert_eq!(ept.pending(ep), 5);
+    }
+
+    #[test]
+    fn is_waiter_tracks_blocked_tasks() {
+        let (mut sched, mut tasks, mut ept) = setup(true);
+        let ep = ept.create();
+        let t = run_task(&mut sched, &mut tasks, CpuId(0));
+        assert!(!ept.is_waiter(t));
+        ept.epoll_wait(&mut sched, &mut tasks, t, ep, CpuId(0), SimTime::ZERO);
+        assert!(ept.is_waiter(t));
+        ept.epoll_post(&mut sched, &mut tasks, ep, 1, CpuId(0), SimTime::ZERO);
+        assert!(!ept.is_waiter(t));
+    }
+
+    #[test]
+    fn unknown_fd_accessors_are_graceful() {
+        let (_sched, _tasks, mut ept) = setup(false);
+        let bogus = EpollFd(99);
+        assert_eq!(ept.waiter_count(bogus), 0);
+        assert_eq!(ept.pending(bogus), 0);
+        assert_eq!(ept.take_pending(bogus), 0);
     }
 
     #[test]

@@ -343,15 +343,94 @@ impl FutexTable {
             let dst = self.buckets[bt].queues.entry(to).or_default();
             for w in moved {
                 t += self.params.wake_q_move_ns;
-                *self
-                    .blocked
-                    .get_mut(&w.task)
-                    .expect("requeued waiter must be blocked") = to;
+                match self.blocked.get_mut(&w.task) {
+                    Some(k) => *k = to,
+                    None => {
+                        // A waiter sitting in a queue is always in the
+                        // blocked map; re-inserting keeps the tables
+                        // consistent if that ever breaks.
+                        debug_assert!(false, "requeued waiter {:?} not in blocked map", w.task);
+                        self.blocked.insert(w.task, to);
+                    }
+                }
                 dst.push_back(w);
             }
             report.waker_cost_ns = t - now;
         }
         report
+    }
+
+    /// Wake one *specific* blocked waiter, regardless of queue position —
+    /// the fault-injection path for spurious wakeups (a signal landing on
+    /// a futex-parked thread) and the watchdog's rescue of orphaned VB
+    /// parks. Returns `None` when `tid` is not blocked in the table.
+    pub fn futex_wake_task(
+        &mut self,
+        sched: &mut Scheduler,
+        tasks: &mut [Task],
+        tid: TaskId,
+        waker_cpu: CpuId,
+        now: SimTime,
+    ) -> Option<WakeReport> {
+        let key = *self.blocked.get(&tid)?;
+        let b = self.bucket_of(key);
+        let grant = self.buckets[b]
+            .lock
+            .acquire(now, self.params.bucket_hold_ns);
+        let mut t = grant.end;
+        let (mode, emptied) = {
+            let q = self.buckets[b].queues.get_mut(&key)?;
+            let pos = q.iter().position(|w| w.task == tid)?;
+            t += self.params.wake_q_move_ns;
+            let w = q.remove(pos)?;
+            (w.mode, q.is_empty())
+        };
+        if emptied {
+            self.buckets[b].queues.remove(&key);
+        }
+        self.blocked.remove(&tid);
+        self.wakes += 1;
+        let mut report = WakeReport::default();
+        match mode {
+            WaitMode::Sleep => {
+                let out = sched.vanilla_wake(tasks, tid, waker_cpu, t);
+                t += out.cost_ns;
+                report.woken.push(Woken {
+                    task: tid,
+                    cpu: out.cpu,
+                    preempt: out.preempt,
+                    mode: WaitMode::Sleep,
+                });
+            }
+            WaitMode::Virtual => {
+                let (cpu, cost, preempt) = sched.vb_wake(tasks, tid, t);
+                t += cost;
+                report.woken.push(Woken {
+                    task: tid,
+                    cpu,
+                    preempt,
+                    mode: WaitMode::Virtual,
+                });
+            }
+        }
+        report.waker_cost_ns = t - now;
+        Some(report)
+    }
+
+    /// Tasks currently blocked in the table whose wait mode matches
+    /// `mode`, in deterministic (TaskId) order — the candidate set for a
+    /// spurious-wakeup draw.
+    pub fn blocked_tasks(&self, mode: WaitMode) -> Vec<TaskId> {
+        let mut out: Vec<TaskId> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.queues.values())
+            .flatten()
+            .filter(|w| w.mode == mode)
+            .map(|w| w.task)
+            .collect();
+        out.sort_unstable_by_key(|t| t.0);
+        out
     }
 }
 
@@ -564,6 +643,50 @@ mod tests {
             .filter(|t| t.state == TaskState::Sleeping)
             .count();
         assert_eq!(still_blocked, 2);
+    }
+
+    #[test]
+    fn wake_task_extracts_a_specific_waiter() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 4, false);
+        let key = FutexKey(0x12);
+        let order: Vec<TaskId> = (0..3)
+            .map(|_| {
+                let t = run_task(&mut sched, &mut tasks, CpuId(0));
+                ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
+                t
+            })
+            .collect();
+        // Wake the middle waiter out of FIFO order.
+        let victim = order[1];
+        let report = ft
+            .futex_wake_task(&mut sched, &mut tasks, victim, CpuId(0), SimTime::ZERO)
+            .expect("victim is blocked");
+        assert_eq!(report.woken.len(), 1);
+        assert_eq!(report.woken[0].task, victim);
+        assert!(!ft.is_blocked(victim));
+        assert_eq!(ft.queue_len(key), 2);
+        // The others stay queued and a later bulk wake still works.
+        let report = ft.futex_wake(&mut sched, &mut tasks, key, 2, CpuId(0), SimTime::ZERO);
+        let woken: Vec<TaskId> = report.woken.iter().map(|w| w.task).collect();
+        assert_eq!(woken, vec![order[0], order[2]]);
+        // Waking a non-blocked task is a no-op.
+        assert!(ft
+            .futex_wake_task(&mut sched, &mut tasks, victim, CpuId(0), SimTime::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn blocked_tasks_lists_by_mode() {
+        let (mut sched, mut tasks, mut ft) = setup(1, 3, true);
+        let key = FutexKey(0x13);
+        for _ in 0..2 {
+            let t = run_task(&mut sched, &mut tasks, CpuId(0));
+            ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
+        }
+        let vb = ft.blocked_tasks(WaitMode::Virtual);
+        assert_eq!(vb.len(), 2);
+        assert!(vb.windows(2).all(|w| w[0].0 < w[1].0), "sorted by id");
+        assert!(ft.blocked_tasks(WaitMode::Sleep).is_empty());
     }
 
     #[test]

@@ -14,7 +14,8 @@ pub mod table;
 
 pub use hist::LatencyHist;
 pub use report::{
-    BlockingAggregate, BwdAggregate, CpuAggregate, MechCounters, RunReport, TaskAggregate,
+    BlockingAggregate, BwdAggregate, CpuAggregate, Diagnostic, MechCounters, RunReport,
+    TaskAggregate,
 };
 pub use stats::Summary;
 pub use table::{fmt_ns, fmt_ratio, TextTable};

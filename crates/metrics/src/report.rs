@@ -118,6 +118,9 @@ pub struct MechCounters {
     pub spin_exits: u64,
     /// Monitoring windows examined by the mechanism's periodic timer.
     pub timer_checks: u64,
+    /// Graceful-degradation actions: watchdog rescues of lost VB parks,
+    /// BWD window widenings / per-core disables under sensor noise.
+    pub recoveries: u64,
 }
 
 impl MechCounters {
@@ -140,6 +143,7 @@ impl MechCounters {
             ("skips_cleared", JsonValue::UInt(self.skips_cleared as u128)),
             ("spin_exits", JsonValue::UInt(self.spin_exits as u128)),
             ("timer_checks", JsonValue::UInt(self.timer_checks as u128)),
+            ("recoveries", JsonValue::UInt(self.recoveries as u128)),
         ])
     }
 
@@ -157,6 +161,73 @@ impl MechCounters {
             skips_cleared: field_u64(v, "skips_cleared")?,
             spin_exits: field_u64(v, "spin_exits")?,
             timer_checks: field_u64(v, "timer_checks")?,
+            // Absent in reports serialized before the fault layer.
+            recoveries: match v.get("recoveries") {
+                Some(r) => r.as_u64().ok_or("'recoveries' is not a u64")?,
+                None => 0,
+            },
+        })
+    }
+}
+
+/// One structured engine diagnostic: an invariant violation or a liveness
+/// watchdog finding. Diagnostics are facts about the run ("task 3 was
+/// parked with no waker for 12 ms"), not errors — a run that degrades
+/// gracefully completes with a non-empty diagnostics list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable kind tag ("lost_wakeup_rescue", "starvation",
+    /// "rq_inconsistency", "time_regression", "no_progress", ...).
+    pub kind: String,
+    /// Virtual time the condition was observed (ns).
+    pub at_ns: u64,
+    /// The task involved, if the condition is task-scoped.
+    pub task: Option<usize>,
+    /// The CPU involved, if the condition is CPU-scoped.
+    pub cpu: Option<usize>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Diagnostic {
+    /// Serialize to a JSON tree.
+    pub fn to_json_value(&self) -> JsonValue {
+        let opt = |v: Option<usize>| match v {
+            Some(n) => JsonValue::UInt(n as u128),
+            None => JsonValue::Null,
+        };
+        obj(vec![
+            ("kind", JsonValue::Str(self.kind.clone())),
+            ("at_ns", JsonValue::UInt(self.at_ns as u128)),
+            ("task", opt(self.task)),
+            ("cpu", opt(self.cpu)),
+            ("detail", JsonValue::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Rebuild from [`Self::to_json_value`] output.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        let opt = |key: &str| -> Result<Option<usize>, String> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(n) => n
+                    .as_usize()
+                    .map(Some)
+                    .ok_or_else(|| format!("'{key}' is not a usize")),
+            }
+        };
+        Ok(Diagnostic {
+            kind: field(v, "kind")?
+                .as_str()
+                .ok_or("'kind' is not a string")?
+                .to_string(),
+            at_ns: field_u64(v, "at_ns")?,
+            task: opt("task")?,
+            cpu: opt("cpu")?,
+            detail: field(v, "detail")?
+                .as_str()
+                .ok_or("'detail' is not a string")?
+                .to_string(),
         })
     }
 }
@@ -182,6 +253,9 @@ pub struct RunReport {
     pub completed_ops: u64,
     /// Per-mechanism decision counters, in pipeline order.
     pub mechanisms: Vec<MechCounters>,
+    /// Invariant-checker and liveness-watchdog findings, in detection
+    /// order. Empty on a clean run.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Emit `to_json_value` / `from_json_value` for a plain aggregate struct
@@ -266,6 +340,15 @@ impl RunReport {
                         .collect(),
                 ),
             ),
+            (
+                "diagnostics",
+                JsonValue::Array(
+                    self.diagnostics
+                        .iter()
+                        .map(Diagnostic::to_json_value)
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -301,6 +384,16 @@ impl RunReport {
                     .ok_or("'mechanisms' is not an array")?
                     .iter()
                     .map(MechCounters::from_json_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            },
+            // Absent in reports serialized before the fault layer.
+            diagnostics: match v.get("diagnostics") {
+                Some(d) => d
+                    .as_array()
+                    .ok_or("'diagnostics' is not an array")?
+                    .iter()
+                    .map(Diagnostic::from_json_value)
                     .collect::<Result<Vec<_>, _>>()?,
                 None => Vec::new(),
             },
@@ -405,7 +498,7 @@ impl RunReport {
         for m in &self.mechanisms {
             let _ = writeln!(
                 out,
-                "  mech {:<10} {} decisions (parks {} / unparks {} / skips {}+{}- / exits {} / checks {})",
+                "  mech {:<10} {} decisions (parks {} / unparks {} / skips {}+{}- / exits {} / checks {} / recoveries {})",
                 m.name,
                 m.decisions,
                 m.parks,
@@ -413,8 +506,15 @@ impl RunReport {
                 m.skips_set,
                 m.skips_cleared,
                 m.spin_exits,
-                m.timer_checks
+                m.timer_checks,
+                m.recoveries
             );
+        }
+        if !self.diagnostics.is_empty() {
+            let _ = writeln!(out, "  diagnostics     {}", self.diagnostics.len());
+            for d in &self.diagnostics {
+                let _ = writeln!(out, "    [{} @ {} ns] {}", d.kind, d.at_ns, d.detail);
+            }
         }
         if self.completed_ops > 0 {
             let _ = writeln!(
@@ -534,6 +634,45 @@ mod tests {
         assert_eq!(RunReport::from_json(&r.to_json_pretty()).unwrap(), r);
         // Equal reports serialize byte-identically (golden-test invariant).
         assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn diagnostics_round_trip() {
+        let mut r = sample();
+        r.diagnostics.push(Diagnostic {
+            kind: "lost_wakeup_rescue".into(),
+            at_ns: 42_000_000,
+            task: Some(3),
+            cpu: Some(1),
+            detail: "task 3 parked 12 ms with no waker".into(),
+        });
+        r.diagnostics.push(Diagnostic {
+            kind: "no_progress".into(),
+            at_ns: 99_000_000,
+            task: None,
+            cpu: None,
+            detail: "no task made progress for 50 ms".into(),
+        });
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(json, back.to_json());
+        assert!(r.summary().contains("lost_wakeup_rescue"));
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_fault_layer_fields() {
+        // Reports serialized before the fault layer have no "diagnostics"
+        // key and no per-mechanism "recoveries"; they must still parse.
+        let mut r = sample();
+        r.mechanisms.push(MechCounters::named("vb"));
+        let json = r.to_json();
+        let legacy = json
+            .replace(",\"diagnostics\":[]", "")
+            .replace(",\"recoveries\":0", "");
+        assert_ne!(legacy, json, "replacement must have removed the fields");
+        let back = RunReport::from_json(&legacy).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Run configuration: machine shape, mechanisms, and environment.
 
+use crate::faults::{FaultPlan, WatchdogParams};
 use crate::mechanism::{Mechanism, MechanismFactory};
 use oversub_bwd::{BwdParams, ExecEnv, PleParams};
 use oversub_hw::{CacheParams, Topology};
@@ -147,6 +148,14 @@ pub struct RunConfig {
     /// Out-of-tree mechanisms, appended to the pipeline after the in-tree
     /// ones selected by [`Mechanisms`]. See [`RunConfig::with_mechanism`].
     pub custom_mechanisms: Vec<MechanismFactory>,
+    /// Deterministic fault injection (see [`crate::faults`]). The default
+    /// zero-rate plan leaves the run bit-identical to no fault layer.
+    pub faults: FaultPlan,
+    /// Liveness watchdog; `None` disarms it entirely.
+    pub watchdog: Option<WatchdogParams>,
+    /// Hard cap on processed events (a step budget for chaos testing);
+    /// `None` uses the engine's built-in runaway safety valve.
+    pub max_events: Option<u64>,
 }
 
 impl RunConfig {
@@ -168,6 +177,9 @@ impl RunConfig {
             trace: false,
             reference_engine: false,
             custom_mechanisms: Vec::new(),
+            faults: FaultPlan::default(),
+            watchdog: None,
+            max_events: None,
         }
     }
 
@@ -227,6 +239,24 @@ impl RunConfig {
         self
     }
 
+    /// Builder-style: set the fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Builder-style: arm the liveness watchdog.
+    pub fn with_watchdog(mut self, wd: WatchdogParams) -> Self {
+        self.watchdog = Some(wd);
+        self
+    }
+
+    /// Builder-style: cap the number of processed events (step budget).
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
+        self
+    }
+
     /// Builder-style: register an out-of-tree [`Mechanism`]. The factory
     /// is invoked once per engine construction so every run gets a fresh
     /// instance; registration order is pipeline order (after the in-tree
@@ -245,10 +275,16 @@ impl RunConfig {
         }
     }
 
-    /// Active BWD parameters (enabled flag folded in).
+    /// Active BWD parameters (enabled flag folded in). Injected sensor
+    /// noise auto-arms the adaptive backoff so BWD degrades gracefully
+    /// instead of thrashing on flipped classifications; noise-free runs
+    /// keep whatever the caller set (default off), so calibration and
+    /// false-positive studies are unperturbed.
     pub fn bwd(&self) -> BwdParams {
         BwdParams {
             enabled: self.mech.bwd,
+            adaptive_backoff: self.bwd_params.adaptive_backoff
+                || self.faults.sensor_noise_prob > 0.0,
             ..self.bwd_params
         }
     }
@@ -285,8 +321,30 @@ impl RunConfig {
         if self.mech.ple && self.ple().window_ns == 0 {
             return Err("PLE is enabled with window_ns = 0 (exit storm on every spin)".into());
         }
+        self.faults.validate()?;
+        if let Some(wd) = &self.watchdog {
+            wd.validate(self.sched.slice_ns(1))?;
+        }
+        if self.max_events == Some(0) {
+            return Err("max_events must be non-zero (no event would ever run)".into());
+        }
 
         let mut warnings = Vec::new();
+        if self.faults.enabled() && self.reference_engine {
+            warnings.push(
+                "fault injection is combined with the golden-determinism reference \
+                 engine: the reference exists to prove fault-free byte-identity, so \
+                 a chaos run on it proves nothing about the optimized engine"
+                    .to_string(),
+            );
+        }
+        if self.faults.enabled() && self.watchdog.is_none() {
+            warnings.push(
+                "fault injection is enabled with the watchdog disarmed: lost wakeups \
+                 will hang the run until the event cap instead of being rescued"
+                    .to_string(),
+            );
+        }
         if self.mech.ple && self.env == ExecEnv::Container {
             warnings.push(
                 "PLE is enabled but env is Container: pause-loop exiting only fires \
@@ -327,6 +385,7 @@ impl RunConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, WatchdogParams};
 
     #[test]
     fn machine_specs_materialize() {
@@ -421,6 +480,56 @@ mod tests {
         let w = cfg.validate().unwrap();
         assert_eq!(w.len(), 1);
         assert!(w[0].contains("pinned"));
+    }
+
+    #[test]
+    fn validate_rejects_impossible_fault_configs() {
+        let cfg = RunConfig::vanilla(4).with_faults(FaultPlan::default().lost_wakeups(1.5));
+        assert!(cfg.validate().unwrap_err().contains("[0, 1]"));
+
+        // Watchdog park timeout shorter than a scheduler slice.
+        let wd = WatchdogParams {
+            park_timeout_ns: 1_000,
+            ..WatchdogParams::default()
+        };
+        let cfg = RunConfig::vanilla(4).with_watchdog(wd);
+        assert!(cfg.validate().unwrap_err().contains("slice"));
+
+        // Starvation bound of zero.
+        let wd = WatchdogParams {
+            starvation_bound_ns: 0,
+            ..WatchdogParams::default()
+        };
+        let cfg = RunConfig::vanilla(4).with_watchdog(wd);
+        assert!(cfg.validate().is_err());
+
+        let cfg = RunConfig::vanilla(4).with_max_events(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_warns_on_faults_with_reference_engine() {
+        let cfg = RunConfig::vanilla(4)
+            .with_faults(FaultPlan::default().lost_wakeups(0.1))
+            .with_watchdog(WatchdogParams::default())
+            .with_reference_engine(true);
+        let w = cfg.validate().unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("reference"));
+
+        // Faults without a watchdog also warn.
+        let cfg = RunConfig::vanilla(4).with_faults(FaultPlan::default().lost_wakeups(0.1));
+        let w = cfg.validate().unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("watchdog"));
+    }
+
+    #[test]
+    fn sensor_noise_auto_arms_bwd_backoff() {
+        let cfg = RunConfig::optimized(4);
+        assert!(!cfg.bwd().adaptive_backoff);
+        let noisy = cfg.with_faults(FaultPlan::default().sensor_noise(0.2));
+        assert!(noisy.bwd().adaptive_backoff);
     }
 
     #[test]

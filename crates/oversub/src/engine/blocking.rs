@@ -34,6 +34,11 @@ impl Engine {
         );
         self.charge_kernel(cpu, out.cost_ns);
         self.conts[tid.0] = Cont::Blocked(resume);
+        if out.mode == WaitMode::Virtual {
+            if let Some(s) = self.vb_park_since.get_mut(tid.0) {
+                *s = Some(t);
+            }
+        }
         self.stint_epoch[cpu] += 1;
         self.seg_epoch[cpu] += 1;
         self.spin_exit_at[cpu] = None;
@@ -53,6 +58,28 @@ impl Engine {
     /// Schedule follow-up events for a batch of woken tasks.
     pub(crate) fn post_wake_events(&mut self, woken: &[Woken], done: SimTime) {
         for &w in woken {
+            if w.mode == WaitMode::Virtual {
+                if self.faults.as_mut().is_some_and(|f| f.lose_wakeup()) {
+                    // Injected lost wakeup: the futex layer already
+                    // dequeued the waiter, but the unpark never lands —
+                    // re-park the task in place with no registered waker
+                    // (the classic lost-wakeup bug the watchdog hunts).
+                    let old_vr = self.tasks[w.task.0].vruntime;
+                    let tail = self.sched.cpus[w.cpu.0].rq.next_vb_tail_vruntime();
+                    self.tasks[w.task.0].vb_park(tail);
+                    self.sched.cpus[w.cpu.0]
+                        .rq
+                        .requeue(old_vr, false, &self.tasks[w.task.0]);
+                    if let Some(s) = self.vb_park_since.get_mut(w.task.0) {
+                        *s = Some(done);
+                    }
+                    self.trace.record(done, w.cpu.0, w.task, TraceKind::VbPark);
+                    continue;
+                }
+                if let Some(s) = self.vb_park_since.get_mut(w.task.0) {
+                    *s = None;
+                }
+            }
             if !self.mechs.is_empty() {
                 self.mechs.on_wake(w.task, w.mode);
             }

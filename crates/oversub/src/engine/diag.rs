@@ -5,25 +5,38 @@ use super::{Cont, Engine};
 use oversub_task::TaskId;
 
 impl Engine {
-    /// Diagnostic: audit runqueue invariants (enabled via OVERSUB_CHECK).
-    pub(super) fn audit_rqs(&self) {
+    /// Audit runqueue invariants without panicking: `None` when every
+    /// queue is consistent, otherwise a description of the first mismatch
+    /// (the watchdog folds it into the report's diagnostics).
+    pub(super) fn audit_rqs_check(&self) -> Option<String> {
         for (i, c) in self.sched.cpus.iter().enumerate() {
             let (counter, tree, parked_region) = c.rq.audit(&self.tasks);
             if counter != tree {
-                eprintln!(
-                    "[audit] now={} cpu={i} counter={counter} tree_schedulable={tree} parked_region_entries={parked_region}",
-                    self.now
-                );
+                return Some(format!(
+                    "cpu {i}: schedulable counter {counter} != tree count {tree} \
+                     (parked-region entries {parked_region})"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Diagnostic: audit runqueue invariants (enabled via OVERSUB_CHECK),
+    /// dumping queue contents and panicking on a mismatch.
+    pub(super) fn audit_rqs(&self) {
+        if let Some(msg) = self.audit_rqs_check() {
+            eprintln!("[audit] now={} {msg}", self.now);
+            for (i, c) in self.sched.cpus.iter().enumerate() {
                 for (vr, tid) in c.rq.entries() {
                     eprintln!(
-                        "    entry vr={vr} {tid:?} state={:?} vb={} task.vruntime={}",
+                        "    cpu{i} entry vr={vr} {tid:?} state={:?} vb={} task.vruntime={}",
                         self.tasks[tid.0].state,
                         self.tasks[tid.0].vb_blocked,
                         self.tasks[tid.0].vruntime
                     );
                 }
-                panic!("runqueue audit failed on cpu {i}");
             }
+            panic!("runqueue audit failed: {msg}");
         }
     }
 

@@ -134,8 +134,9 @@ impl Engine {
                         self.sched.cpus[cpu].hw.new_window();
                     }
                     let start_t = t + cost;
-                    // Arm the stint's slice timer.
-                    let slice = self.sched.slice_for(CpuId(cpu));
+                    // Arm the stint's slice timer (chaos runs may add an
+                    // injected expiry delay).
+                    let slice = self.sched.slice_for(CpuId(cpu)) + self.slice_fault_delay();
                     self.queue
                         .schedule(start_t + slice, Event::Slice(cpu, self.stint_epoch[cpu]));
                     self.sched.cpus[cpu].time.context_switches += 1;
@@ -198,7 +199,7 @@ impl Engine {
         self.account_progress(cpu, self.now);
         if self.sched.cpus[cpu].rq.nr_schedulable() == 0 {
             // Nobody else: extend the stint.
-            let slice = self.sched.slice_for(CpuId(cpu));
+            let slice = self.sched.slice_for(CpuId(cpu)) + self.slice_fault_delay();
             self.queue
                 .schedule(self.now + slice, Event::Slice(cpu, epoch));
             return;

@@ -36,14 +36,16 @@ mod diag;
 mod events;
 mod report;
 mod spin;
+mod watchdog;
 
 use crate::config::RunConfig;
+use crate::faults::{EngineError, FaultInjector, WatchdogParams};
 use crate::mechanism::MechanismSet;
 use crate::trace::TraceLog;
 use oversub_hw::{CpuId, MemModel, NormalCodeRates};
 use oversub_ksync::{EpollTable, FutexTable};
 use oversub_locks::SyncRegistry;
-use oversub_metrics::RunReport;
+use oversub_metrics::{Diagnostic, RunReport};
 use oversub_simcore::{EventQueue, SimRng, SimTime};
 use oversub_task::{Action, EpollFd, FlagId, LockId, SpinSig, Task, TaskId};
 use oversub_workloads::workload::{Workload, WorldBuilder};
@@ -146,6 +148,11 @@ pub(crate) enum Event {
     IoDone(usize),
     /// CPU elasticity: change the online core count.
     Elastic(usize),
+    /// Periodic fault-injection tick (spurious wakeups, revocation
+    /// storms). Only scheduled when the fault plan needs it.
+    FaultTick,
+    /// Periodic liveness-watchdog sweep. Only scheduled when armed.
+    Watchdog,
     /// Hard stop (max_time).
     Stop,
 }
@@ -210,17 +217,44 @@ pub(crate) struct Engine {
     pub spin_episodes: u64,
     /// Optional scheduling-event trace.
     pub trace: TraceLog,
+    /// Fault injector; `None` unless the config's plan enables any fault,
+    /// so clean runs carry no injector state at all.
+    pub faults: Option<FaultInjector>,
+    /// Liveness-watchdog parameters (copied out of the config; `None`
+    /// keeps the watchdog fully disarmed — no events, no sweeps).
+    pub watchdog: Option<WatchdogParams>,
+    /// When each task's current VB park began (orphan ageing; only
+    /// allocated when the watchdog is armed).
+    pub vb_park_since: Vec<Option<SimTime>>,
+    /// Per-task latch so starvation is reported once per task (sized with
+    /// `vb_park_since`).
+    pub starvation_reported: Vec<bool>,
+    /// Structured invariant/watchdog findings, folded into the report.
+    pub diagnostics: Vec<Diagnostic>,
+    /// `(progress sum, when it last changed)` for the hang detector.
+    pub last_progress: (u64, SimTime),
+    /// Set when the watchdog halts the run (no-progress hang).
+    pub halted: bool,
+    /// Event budget for this run (config override or the safety valve).
+    pub max_events: u64,
 }
 
 impl Engine {
     pub(crate) fn new(cfg: RunConfig, workload: &mut dyn Workload) -> Self {
+        Self::try_new(cfg, workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub(crate) fn try_new(
+        cfg: RunConfig,
+        workload: &mut dyn Workload,
+    ) -> Result<Self, EngineError> {
         match cfg.validate() {
             Ok(warnings) => {
                 for w in warnings {
                     eprintln!("[oversub] config warning: {w}");
                 }
             }
-            Err(e) => panic!("invalid RunConfig: {e}"),
+            Err(e) => return Err(EngineError::InvalidConfig(e)),
         }
 
         // Build the mechanism pipeline and let it configure the kernel
@@ -270,6 +304,16 @@ impl Engine {
         if reference {
             sched.set_reference_mode(true);
         }
+        // Chaos-layer state: an injector only when the plan enables a
+        // fault, park-ageing vectors only when the watchdog is armed, so
+        // clean runs are bit-identical to builds without the fault layer.
+        let faults = cfg
+            .faults
+            .enabled()
+            .then(|| FaultInjector::new(cfg.faults.clone(), &base_rng));
+        let watchdog = cfg.watchdog;
+        let wd_slots = if watchdog.is_some() { n } else { 0 };
+        let max_events = cfg.max_events.unwrap_or(MAX_EVENTS);
         let mut eng = Engine {
             mechs,
             sched,
@@ -311,6 +355,14 @@ impl Engine {
             } else {
                 TraceLog::disabled()
             },
+            faults,
+            watchdog,
+            vb_park_since: vec![None; wd_slots],
+            starvation_reported: vec![false; wd_slots],
+            diagnostics: Vec::new(),
+            last_progress: (0, SimTime::ZERO),
+            halted: false,
+            max_events,
             cfg,
         };
 
@@ -340,10 +392,22 @@ impl Engine {
         for ev in eng.cfg.elastic.clone() {
             eng.queue.schedule_nocancel(ev.at, Event::Elastic(ev.cores));
         }
+        if let Some(f) = &eng.faults {
+            if f.plan.needs_tick() {
+                eng.queue.schedule_periodic(
+                    SimTime::from_nanos(f.plan.tick_interval_ns),
+                    Event::FaultTick,
+                );
+            }
+        }
+        if let Some(wd) = eng.watchdog {
+            eng.queue
+                .schedule_periodic(SimTime::from_nanos(wd.check_interval_ns), Event::Watchdog);
+        }
         if eng.cfg.max_time.is_some() {
             eng.queue.schedule_nocancel(end_cap, Event::Stop);
         }
-        eng
+        Ok(eng)
     }
 
     /// Run to completion and build the report (plus the trace and the
@@ -359,9 +423,21 @@ impl Engine {
                 break;
             }
             debug_assert!(t >= self.now, "time went backwards: {t} < {}", self.now);
+            if t < self.now {
+                // Event-queue monotonicity violated: surface it and stop
+                // instead of corrupting accounting with backwards time.
+                let msg = format!("event at {t} popped after clock reached {}", self.now);
+                self.push_diagnostic("event-order", None, None, msg);
+                break;
+            }
             self.now = t;
             self.events_processed += 1;
-            if self.events_processed > MAX_EVENTS {
+            if self.events_processed > self.max_events {
+                let msg = format!(
+                    "event budget of {} exhausted with {} tasks live",
+                    self.max_events, self.live
+                );
+                self.push_diagnostic("event-budget", None, None, msg);
                 break;
             }
             if self.trace_progress && self.events_processed.is_multiple_of(1_000_000) {
@@ -377,7 +453,7 @@ impl Engine {
             if self.check_rqs {
                 self.audit_rqs();
             }
-            if self.live == 0 {
+            if self.live == 0 || self.halted {
                 break;
             }
         }
@@ -456,6 +532,8 @@ impl Engine {
             Event::Balance(c) => self.on_balance(c),
             Event::IoDone(t) => self.on_io_done(t),
             Event::Elastic(n) => self.on_elastic(n),
+            Event::FaultTick => self.on_fault_tick(),
+            Event::Watchdog => self.on_watchdog(),
             Event::Stop => { /* handled by end_cap check */ }
         }
     }
@@ -496,4 +574,24 @@ pub fn run_traced(workload: &mut dyn Workload, config: &RunConfig) -> (RunReport
 pub fn run(workload: &mut dyn Workload, config: &RunConfig) -> RunReport {
     let name = workload.name().to_string();
     run_labelled(workload, config, &name)
+}
+
+/// Run `workload` under `config`, surfacing configuration errors as a
+/// typed [`EngineError`] instead of a panic. Chaos harnesses and
+/// property tests use this entry point: a fault-injected run either
+/// completes or terminates with structured diagnostics in the report,
+/// never a panic or a hang.
+pub fn try_run(workload: &mut dyn Workload, config: &RunConfig) -> Result<RunReport, EngineError> {
+    let name = workload.name().to_string();
+    try_run_labelled(workload, config, &name)
+}
+
+/// [`try_run`] with an explicit report label.
+pub fn try_run_labelled(
+    workload: &mut dyn Workload,
+    config: &RunConfig,
+    label: &str,
+) -> Result<RunReport, EngineError> {
+    let engine = Engine::try_new(config.clone(), workload)?;
+    Ok(engine.run_with_trace(workload, label).0)
 }

@@ -67,6 +67,38 @@ impl Engine {
             .unwrap_or(0);
         report.bwd.spin_episodes = self.spin_episodes;
         report.mechanisms = self.mechs.counters();
+        report.diagnostics = std::mem::take(&mut self.diagnostics);
+        // Summarize what the chaos layer actually injected, so a report
+        // from a fault run is self-describing.
+        if let Some(f) = &self.faults {
+            let c = f.counters;
+            let injected = c.lost_wakeups
+                + c.spurious_wakeups
+                + c.dropped_ticks
+                + c.jittered_ticks
+                + c.sensor_flips
+                + c.delayed_slices
+                + c.storms;
+            if injected > 0 {
+                report.diagnostics.push(oversub_metrics::Diagnostic {
+                    kind: "fault-injection".to_string(),
+                    at_ns: makespan.as_nanos(),
+                    task: None,
+                    cpu: None,
+                    detail: format!(
+                        "injected: {} lost wakeups, {} spurious wakeups, {} dropped ticks, \
+                         {} jittered ticks, {} sensor flips, {} delayed slices, {} storms",
+                        c.lost_wakeups,
+                        c.spurious_wakeups,
+                        c.dropped_ticks,
+                        c.jittered_ticks,
+                        c.sensor_flips,
+                        c.delayed_slices,
+                        c.storms
+                    ),
+                });
+            }
+        }
         workload.collect(&mut report);
         report
     }

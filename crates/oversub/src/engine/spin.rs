@@ -19,15 +19,26 @@ impl Engine {
         let Some(interval_ns) = self.mechs.timer_interval_ns(idx) else {
             return;
         };
-        // Re-arm first so detection handling cannot drop the timer.
+        // Re-arm first so detection handling cannot drop the timer. An
+        // injected drop still re-arms (the interrupt is lost, not the
+        // timer); injected jitter perturbs the re-arm point.
+        let mut rearm_at = self.now + interval_ns;
+        let mut dropped = false;
+        if let Some(f) = self.faults.as_mut() {
+            dropped = f.drop_timer();
+            if !dropped {
+                rearm_at += f.timer_jitter();
+            }
+        }
         self.queue
-            .schedule_periodic(self.now + interval_ns, Event::MechTimer(idx, cpu));
-        if !self.sched.online[cpu] {
+            .schedule_periodic(rearm_at, Event::MechTimer(idx, cpu));
+        if dropped || !self.sched.online[cpu] {
             return;
         }
         self.account_progress(cpu, self.now);
         let had_current = self.sched.cpus[cpu].current;
         let real_spin = matches!(self.run_kind[cpu], RunKind::Spin(_));
+        let sensor_flip = self.faults.as_mut().is_some_and(|f| f.flip_sensor());
         let verdict = {
             let mechs = &mut self.mechs;
             let mut ctx = TimerCtx {
@@ -36,6 +47,7 @@ impl Engine {
                 hw: &mut self.sched.cpus[cpu].hw,
                 has_current: had_current.is_some(),
                 real_spin,
+                sensor_flip,
             };
             mechs.get_mut(idx).on_timer(&mut ctx)
         };

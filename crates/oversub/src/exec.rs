@@ -363,6 +363,11 @@ impl Engine {
                         }
                         self.charge_kernel(cpu, out.cost_ns);
                         self.conts[tid.0] = Cont::Blocked(Resume::EpollReady(ep));
+                        if out.mode == oversub_ksync::WaitMode::Virtual {
+                            if let Some(s) = self.vb_park_since.get_mut(tid.0) {
+                                *s = Some(t);
+                            }
+                        }
                         self.stint_epoch[cpu] += 1;
                         self.seg_epoch[cpu] += 1;
                         self.spin_exit_at[cpu] = None;

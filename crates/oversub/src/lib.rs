@@ -36,6 +36,7 @@ pub mod config;
 mod engine;
 mod exec;
 pub mod experiments;
+pub mod faults;
 pub mod mechanism;
 pub mod trace;
 
@@ -43,13 +44,16 @@ pub mod trace;
 pub use oversub_workloads::workload;
 
 pub use config::{ElasticEvent, MachineSpec, Mechanisms, RunConfig};
-pub use engine::{run, run_counted, run_labelled, run_traced};
+pub use engine::{run, run_counted, run_labelled, run_traced, try_run, try_run_labelled};
+pub use faults::{
+    EngineError, FaultCounters, FaultInjector, FaultPlan, RevocationStorm, WatchdogParams,
+};
 pub use mechanism::{
     BwdMechanism, Mechanism, MechanismFactory, MechanismSet, PleMechanism, SpinExitVerdict,
     SubstrateConfig, TimerCtx, TimerVerdict, VbMechanism,
 };
 pub use oversub_bwd::ExecEnv;
-pub use oversub_metrics::{MechCounters, RunReport};
+pub use oversub_metrics::{Diagnostic, MechCounters, RunReport};
 
 // Re-export the layers a downstream user composes with.
 pub use oversub_hw as hw;

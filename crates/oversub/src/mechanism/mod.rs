@@ -71,6 +71,10 @@ pub struct TimerCtx<'a> {
     /// engine knows; a mechanism may use this only for classification
     /// counters, never for the decision itself.)
     pub real_spin: bool,
+    /// Fault injection: the sensor readout is corrupted this tick and the
+    /// window classification must be inverted (spin reads as work, work
+    /// reads as spin). Always `false` outside chaos runs.
+    pub sensor_flip: bool,
 }
 
 /// What the engine should do after [`Mechanism::on_timer`].
@@ -160,6 +164,11 @@ pub trait Mechanism {
 
     /// The online core count changed (CPU elasticity).
     fn on_elastic_change(&mut self, _cores: usize) {}
+
+    /// The liveness watchdog rescued `tid` from a lost VB park by falling
+    /// back to a real wake — the mechanism's graceful-degradation signal
+    /// (VB counts these as recoveries).
+    fn on_watchdog_recovery(&mut self, _tid: TaskId) {}
 
     /// Structured counters for the run report.
     fn counters(&self) -> MechCounters;
@@ -295,6 +304,13 @@ impl MechanismSet {
     pub fn on_elastic_change(&mut self, cores: usize) {
         for m in &mut self.items {
             m.on_elastic_change(cores);
+        }
+    }
+
+    /// Fan [`Mechanism::on_watchdog_recovery`] out to the pipeline.
+    pub fn on_watchdog_recovery(&mut self, tid: TaskId) {
+        for m in &mut self.items {
+            m.on_watchdog_recovery(tid);
         }
     }
 

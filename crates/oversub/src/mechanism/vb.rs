@@ -19,6 +19,7 @@ pub struct VbMechanism {
     parks: u64,
     unparks: u64,
     sleeps: u64,
+    rescues: u64,
 }
 
 impl VbMechanism {
@@ -31,7 +32,14 @@ impl VbMechanism {
             parks: 0,
             unparks: 0,
             sleeps: 0,
+            rescues: 0,
         }
+    }
+
+    /// Watchdog rescues of parks whose wakeup was lost (VB degraded to a
+    /// real wake for those tasks).
+    pub fn rescues(&self) -> u64 {
+        self.rescues
     }
 }
 
@@ -59,6 +67,10 @@ impl Mechanism for VbMechanism {
         }
     }
 
+    fn on_watchdog_recovery(&mut self, _tid: TaskId) {
+        self.rescues += 1;
+    }
+
     fn counters(&self) -> MechCounters {
         MechCounters {
             // Every block-path decision VB made: park vs (auto-disabled)
@@ -66,6 +78,7 @@ impl Mechanism for VbMechanism {
             decisions: self.parks + self.sleeps,
             parks: self.parks,
             unparks: self.unparks,
+            recoveries: self.rescues,
             ..MechCounters::named("vb")
         }
     }

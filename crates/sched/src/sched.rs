@@ -134,6 +134,22 @@ impl Scheduler {
         std::mem::take(&mut self.skips_released)
     }
 
+    /// Cross-check the O(1) waiter board against the per-runqueue truth:
+    /// the board must equal the number of runqueues with at least one
+    /// schedulable task. Returns `None` when consistent, or a description
+    /// of the mismatch for the watchdog's diagnostics.
+    pub fn audit_waiter_board(&self) -> Option<String> {
+        let actual = self
+            .cpus
+            .iter()
+            .filter(|c| c.rq.nr_schedulable() > 0)
+            .count();
+        let board = self.waiter_board.get();
+        (board != actual).then(|| {
+            format!("waiter board reads {board} but {actual} runqueues have schedulable tasks")
+        })
+    }
+
     /// Switch the scheduler to its pre-overhaul reference internals:
     /// every runqueue scans instead of using its pick cache, and the
     /// balancer skips its O(1) waiter-board fast paths. Behaviour is
@@ -308,16 +324,21 @@ impl Scheduler {
     }
 
     /// Stop the task currently running on `cpu` at `now`, charging its
-    /// vruntime for the stint and applying `reason` semantics.
+    /// vruntime for the stint and applying `reason` semantics. Returns
+    /// `None` (and does nothing) if the CPU was idle — a caller bug, but
+    /// one the simulation survives instead of tearing down.
     pub fn stop_current(
         &mut self,
         tasks: &mut [Task],
         cpu: CpuId,
         now: SimTime,
         reason: StopReason,
-    ) -> TaskId {
+    ) -> Option<TaskId> {
         let c = &mut self.cpus[cpu.0];
-        let tid = c.current.take().expect("stop_current on idle cpu");
+        let Some(tid) = c.current.take() else {
+            debug_assert!(false, "stop_current on idle cpu {}", cpu.0);
+            return None;
+        };
         let stint = now.saturating_since(c.curr_since);
         let t = &mut tasks[tid.0];
         t.vruntime = t
@@ -355,7 +376,7 @@ impl Scheduler {
             }
         }
         c.time.context_switches += 1;
-        tid
+        Some(tid)
     }
 
     /// Select the CPU a waking task should run on (vanilla CFS
@@ -580,7 +601,7 @@ mod tests {
         // Run 1ms then get preempted; vruntime advances.
         let later = SimTime::from_millis(1);
         let stopped = s.stop_current(&mut tasks, CpuId(0), later, StopReason::Preempted);
-        assert_eq!(stopped, t0);
+        assert_eq!(stopped, Some(t0));
         assert_eq!(tasks[t0.0].vruntime, 1_000_000);
         assert_eq!(tasks[t0.0].stats.nivcsw, 1);
 

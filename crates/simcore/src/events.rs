@@ -193,7 +193,10 @@ impl<E> Wheel<E> {
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
         self.peek_key()?;
-        let e = self.current.pop().expect("peek_key positioned an entry");
+        let Some(e) = self.current.pop() else {
+            debug_assert!(false, "peek_key positioned an entry");
+            return None;
+        };
         self.len -= 1;
         Some((e.time, e.payload))
     }
@@ -340,7 +343,11 @@ impl<E> FastQueue<E> {
         };
         self.live -= 1;
         if from_heap {
-            let e = self.heap.pop().expect("peeked entry must pop");
+            let Some(e) = self.heap.pop() else {
+                debug_assert!(false, "peeked heap entry must pop");
+                self.live += 1;
+                return None;
+            };
             if e.slot != NO_SLOT {
                 self.release_slot(e.slot);
             }
@@ -396,7 +403,10 @@ impl<E> ClassicQueue<E> {
     fn drain_cancelled(&mut self) {
         while let Some(top) = self.heap.peek() {
             if self.cancelled.contains(&top.seq) {
-                let e = self.heap.pop().expect("peeked entry must pop");
+                let Some(e) = self.heap.pop() else {
+                    debug_assert!(false, "peeked heap entry must pop");
+                    break;
+                };
                 self.cancelled.remove(&e.seq);
                 self.live = self.live.saturating_sub(1);
             } else {

@@ -131,14 +131,19 @@ fn main() {
         );
     }
 
-    assert!(
-        custom
-            .mech("yield-on-spin")
-            .map(|m| m.spin_exits)
-            .unwrap_or(0)
-            > 0,
-        "the custom mechanism should have fired"
-    );
+    let fired = custom
+        .mech("yield-on-spin")
+        .map(|m| m.spin_exits)
+        .unwrap_or(0);
+    if fired == 0 {
+        eprintln!(
+            "custom_mechanism: the yield-on-spin mechanism never fired \
+             (expected at least one forced yield on this workload); \
+             report counters: {:?}",
+            custom.mechanisms
+        );
+        std::process::exit(1);
+    }
     println!(
         "\nyield-on-spin recovered {:.1}% of vanilla's makespan",
         100.0 * (1.0 - custom.makespan_ns as f64 / vanilla.makespan_ns as f64)

@@ -1,0 +1,287 @@
+//! Chaos suite for the fault-injection layer and liveness watchdog.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Golden zero-rate determinism** — a `FaultPlan::default()` (all
+//!    rates zero) must be byte-identical, through the canonical report
+//!    JSON, to a run with no fault layer at all. The injector draws zero
+//!    random numbers, schedules zero events, and allocates zero state.
+//! 2. **Chaos matrix** — every fault kind crossed with representative
+//!    workloads either completes cleanly or terminates with a structured
+//!    watchdog diagnostic. No panic, no hang, and never an invariant
+//!    violation (`rq-inconsistency` / `waiter-board-mismatch` /
+//!    `event-order` are engine bugs, not acceptable fault outcomes).
+//! 3. **Degradation actually engages** — heavy lost wakeups drive the
+//!    watchdog's VB rescue path (counted in `MechCounters::recoveries`),
+//!    and sensor noise drives BWD's adaptive backoff.
+
+use oversub::simcore::SimTime;
+use oversub::workload::Workload;
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::micro::{Primitive, PrimitiveStress};
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::{
+    run, try_run, FaultPlan, MachineSpec, Mechanisms, RunConfig, RunReport, WatchdogParams,
+};
+use proptest::prelude::*;
+
+/// Diagnostic kinds that indicate an engine bug rather than an injected
+/// fault or a watchdog-mediated outcome. These must never appear.
+const FAILURE_KINDS: &[&str] = &["rq-inconsistency", "waiter-board-mismatch", "event-order"];
+
+/// A named workload case: label, CPU count, and a fresh-instance factory.
+type WorkloadCase<'a> = (&'a str, usize, Box<dyn FnMut() -> Box<dyn Workload>>);
+
+fn assert_no_invariant_violations(report: &RunReport, scenario: &str) {
+    for d in &report.diagnostics {
+        assert!(
+            !FAILURE_KINDS.contains(&d.kind.as_str()),
+            "{scenario}: invariant violation diagnostic: {} at {} ns: {}",
+            d.kind,
+            d.at_ns,
+            d.detail
+        );
+    }
+}
+
+fn base_cfg(cpus: usize, seed: u64) -> RunConfig {
+    RunConfig::vanilla(cpus)
+        .with_machine(MachineSpec::PaperN(cpus))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(seed)
+        .with_max_time(SimTime::from_millis(150))
+}
+
+/// Golden test: a zero-rate fault plan must not perturb a single byte of
+/// the report, on every workload class the fault hooks touch (futex
+/// parks, epoll waits, BWD timers, slice arming).
+#[test]
+fn zero_rate_fault_plan_is_bit_identical() {
+    let mc_cpus = Memcached::paper(16, 8, 40_000.0).total_cpus();
+    let mut cases: Vec<WorkloadCase> = vec![
+        (
+            "pipeline",
+            8,
+            Box::new(|| Box::new(SpinPipeline::new(12, 40, WaitFlavor::Flags))),
+        ),
+        (
+            "memcached",
+            mc_cpus,
+            Box::new(|| Box::new(Memcached::paper(16, 8, 40_000.0))),
+        ),
+        (
+            "mutex-stress",
+            8,
+            Box::new(|| {
+                Box::new(PrimitiveStress {
+                    threads: 12,
+                    rounds: 200,
+                    primitive: Primitive::Mutex,
+                    work_ns: 2_000,
+                })
+            }),
+        ),
+    ];
+    for (name, cpus, mk) in &mut cases {
+        let cfg = base_cfg(*cpus, 42);
+        let plain = run(&mut *mk(), &cfg).to_json();
+        let zeroed = run(&mut *mk(), &cfg.clone().with_faults(FaultPlan::default())).to_json();
+        assert_eq!(
+            plain, zeroed,
+            "{name}: zero-rate fault plan perturbed the run"
+        );
+    }
+}
+
+/// An armed watchdog on a healthy run is pure observation: no rescues, no
+/// diagnostics, and a byte-identical report.
+#[test]
+fn quiet_watchdog_is_invisible() {
+    let cfg = base_cfg(Memcached::paper(16, 8, 40_000.0).total_cpus(), 7);
+    let plain = run(&mut Memcached::paper(16, 8, 40_000.0), &cfg);
+    let watched = run(
+        &mut Memcached::paper(16, 8, 40_000.0),
+        &cfg.clone().with_watchdog(WatchdogParams::default()),
+    );
+    assert!(
+        watched.diagnostics.is_empty(),
+        "healthy run produced diagnostics: {:?}",
+        watched.diagnostics
+    );
+    assert_eq!(plain.to_json(), watched.to_json());
+}
+
+/// The chaos matrix: every fault kind crossed with three workload shapes,
+/// watchdog armed, bounded by an event budget. Each cell must produce a
+/// report (clean or diagnosed) — never a panic, never a violated engine
+/// invariant.
+#[test]
+fn chaos_matrix_completes_or_diagnoses() {
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("lost-wakeup", FaultPlan::default().lost_wakeups(0.3)),
+        (
+            "timer-jitter",
+            FaultPlan::default().timer_jitter(200_000).timer_drops(0.2),
+        ),
+        ("sensor-noise", FaultPlan::default().sensor_noise(0.3)),
+        (
+            "spurious-storm",
+            FaultPlan::default()
+                .spurious_wakeups(0.5)
+                .revocation_storms(0.2, 2),
+        ),
+        ("slice-delay", FaultPlan::default().slice_delays(100_000)),
+    ];
+    let mc_cpus = Memcached::paper(16, 8, 40_000.0).total_cpus();
+    let mut workloads: Vec<WorkloadCase> = vec![
+        (
+            "pipeline",
+            8,
+            Box::new(|| Box::new(SpinPipeline::new(12, 30, WaitFlavor::Flags))),
+        ),
+        (
+            "memcached",
+            mc_cpus,
+            Box::new(|| Box::new(Memcached::paper(16, 8, 40_000.0))),
+        ),
+        (
+            "barrier-stress",
+            8,
+            Box::new(|| {
+                Box::new(PrimitiveStress {
+                    threads: 16,
+                    rounds: 150,
+                    primitive: Primitive::Barrier,
+                    work_ns: 2_000,
+                })
+            }),
+        ),
+    ];
+    for (plan_name, plan) in &plans {
+        for (wl_name, cpus, mk) in &mut workloads {
+            let scenario = format!("{plan_name}/{wl_name}");
+            let cfg = base_cfg(*cpus, 9)
+                .with_faults(plan.clone())
+                .with_watchdog(WatchdogParams::default())
+                .with_max_events(20_000_000);
+            let report = try_run(&mut *mk(), &cfg)
+                .unwrap_or_else(|e| panic!("{scenario}: engine error: {e}"));
+            assert_no_invariant_violations(&report, &scenario);
+        }
+    }
+}
+
+/// Heavy lost wakeups + an armed watchdog: parked orphans must be rescued
+/// (VB degrades to a real wake), visible both as `recoveries` on the VB
+/// mechanism and as `lost-wakeup-rescue` diagnostics.
+#[test]
+fn lost_wakeups_are_rescued_by_the_watchdog() {
+    let cfg = RunConfig::vanilla(4)
+        .with_machine(MachineSpec::PaperN(4))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(11)
+        .with_max_time(SimTime::from_millis(400))
+        .with_faults(FaultPlan::default().lost_wakeups(0.5))
+        .with_watchdog(WatchdogParams::default())
+        .with_max_events(20_000_000);
+    let mut wl = PrimitiveStress {
+        threads: 16,
+        rounds: 400,
+        primitive: Primitive::Mutex,
+        work_ns: 2_000,
+    };
+    let report = try_run(&mut wl, &cfg).expect("chaos run must not error");
+    assert_no_invariant_violations(&report, "lost-wakeup-rescue");
+    let vb = report.mech("vb").expect("vb mechanism present");
+    assert!(
+        vb.recoveries > 0,
+        "expected watchdog rescues, got none; diagnostics: {:?}",
+        report.diagnostics
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == "lost-wakeup-rescue"),
+        "rescues happened but no lost-wakeup-rescue diagnostic was recorded"
+    );
+}
+
+/// Sensor noise with BWD enabled: the adaptive backoff must engage
+/// (counted as `recoveries` on the BWD mechanism) once the false-positive
+/// rate crosses its threshold.
+#[test]
+fn sensor_noise_triggers_bwd_backoff() {
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::PaperN(8))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(5)
+        .with_max_time(SimTime::from_millis(300))
+        .with_faults(FaultPlan::default().sensor_noise(0.6))
+        .with_watchdog(WatchdogParams::default())
+        .with_max_events(20_000_000);
+    let mut wl = Skeleton::scaled(
+        BenchProfile::by_name("streamcluster").expect("known benchmark"),
+        16,
+        0.3,
+    )
+    .with_salt(3);
+    let report = try_run(&mut wl, &cfg).expect("chaos run must not error");
+    assert_no_invariant_violations(&report, "sensor-noise-backoff");
+    let bwd = report.mech("bwd").expect("bwd mechanism present");
+    assert!(
+        bwd.recoveries > 0,
+        "expected BWD backoff escalations under 60% sensor noise, got none \
+         (checks {}, detections {})",
+        report.bwd.checks,
+        report.bwd.detections
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any fault schedule — arbitrary rates, seed, and core count — must
+    /// complete or terminate with a watchdog diagnostic within the step
+    /// budget. Never a panic, never an invariant violation.
+    #[test]
+    fn arbitrary_fault_schedules_are_safe(
+        seed in any::<u64>(),
+        cpus in 2usize..8,
+        lost in 0.0f64..1.0,
+        spurious in 0.0f64..1.0,
+        drops in 0.0f64..1.0,
+        jitter in 0u64..500_000,
+        noise in 0.0f64..1.0,
+        slice in 0u64..200_000,
+        storm in 0.0f64..1.0,
+    ) {
+        let plan = FaultPlan::default()
+            .lost_wakeups(lost)
+            .spurious_wakeups(spurious)
+            .timer_drops(drops)
+            .timer_jitter(jitter)
+            .sensor_noise(noise)
+            .slice_delays(slice)
+            .revocation_storms(storm, 1);
+        let cfg = RunConfig::vanilla(cpus)
+            .with_machine(MachineSpec::PaperN(cpus))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(seed)
+            .with_max_time(SimTime::from_millis(60))
+            .with_faults(plan)
+            .with_watchdog(WatchdogParams::default())
+            .with_max_events(5_000_000);
+        let mut wl = SpinPipeline::new(8, 20, WaitFlavor::Flags);
+        let report = try_run(&mut wl, &cfg);
+        prop_assert!(report.is_ok(), "engine error: {:?}", report.err());
+        let report = report.unwrap();
+        for d in &report.diagnostics {
+            prop_assert!(
+                !FAILURE_KINDS.contains(&d.kind.as_str()),
+                "invariant violation under faults: {} — {}", d.kind, d.detail
+            );
+        }
+    }
+}
