@@ -1,0 +1,112 @@
+//! `detlint` — determinism lint pass for the simulator workspace.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p analysis --bin detlint              # human-readable report
+//! cargo run -p analysis --bin detlint -- --check   # exit non-zero on findings
+//! cargo run -p analysis --bin detlint -- --json    # stable JSON report
+//! cargo run -p analysis --bin detlint -- --root P  # scan workspace at P
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or stale allow entries, 2 usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analysis::{find_workspace_root, parse_allowlist, scan_workspace, RULESET_VERSION};
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("detlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("detlint [--check] [--json] [--root PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("detlint: could not locate the workspace root (no Cargo.toml + crates/)");
+        return ExitCode::from(2);
+    };
+
+    let allow_path = root.join("detlint.toml");
+    let allows = if allow_path.is_file() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("detlint: cannot read {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match parse_allowlist(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("detlint: {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let report = match scan_workspace(&root, &allows) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!(
+            "detlint {} — scanned {} files, {} violation(s), {} allowed, {} stale allow(s)",
+            RULESET_VERSION,
+            report.files_scanned,
+            report.violations.len(),
+            report.allowed.len(),
+            report.unused_allows.len()
+        );
+        for v in &report.violations {
+            println!("  {v}");
+        }
+        for v in &report.allowed {
+            println!(
+                "  (allowed) {v}\n            reason: {}",
+                v.allowed_by.as_deref().unwrap_or("")
+            );
+        }
+        for a in &report.unused_allows {
+            println!(
+                "  stale allow entry: rule {} path {} pattern `{}` matched nothing",
+                a.rule, a.path, a.pattern
+            );
+        }
+    }
+
+    if check && !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -10,8 +10,12 @@
 //! watchdog diagnostics. A cell **fails** — and the process exits
 //! non-zero — when the engine panics, errors, or reports an invariant
 //! violation (`rq-inconsistency`, `waiter-board-mismatch`,
-//! `event-order`): chaos is allowed to degrade a run, never to corrupt
-//! the engine. The whole matrix stays well under the ~3 minute CI slot.
+//! `event-order`, `lock-grant-mismatch`): chaos is allowed to degrade a
+//! run, never to corrupt the engine. Every cell runs with lockdep armed;
+//! on the clean (no-fault) arm a `deadlock-cycle` diagnostic is also a
+//! failure — these workloads are lock-order clean, so a cycle there is a
+//! lockdep false positive or an engine bug. The whole matrix stays well
+//! under the ~3 minute CI slot.
 //!
 //! Usage: `cargo run --release -p oversub-bench --bin chaos_smoke`
 
@@ -26,7 +30,12 @@ use oversub::workloads::skeletons::{BenchProfile, Skeleton};
 use oversub::{try_run, FaultPlan, MachineSpec, Mechanisms, RunConfig, WatchdogParams};
 
 /// Diagnostic kinds that mean the engine itself broke.
-const FAILURE_KINDS: &[&str] = &["rq-inconsistency", "waiter-board-mismatch", "event-order"];
+const FAILURE_KINDS: &[&str] = &[
+    "rq-inconsistency",
+    "waiter-board-mismatch",
+    "event-order",
+    "lock-grant-mismatch",
+];
 
 struct Scenario {
     workload: &'static str,
@@ -59,6 +68,9 @@ fn scenarios() -> Vec<Scenario> {
 
 fn plans() -> Vec<(&'static str, FaultPlan)> {
     vec![
+        // The clean arm doubles as the lockdep false-positive gate: no
+        // injected faults, so any deadlock-cycle diagnostic is a failure.
+        ("clean", FaultPlan::default()),
         ("lost-wakeup", FaultPlan::default().lost_wakeups(0.3)),
         (
             "timer-jitter",
@@ -72,6 +84,10 @@ fn main() {
     let t0 = Instant::now();
     let mut failures = Vec::new();
     println!(
+        "{{\"bench\":\"chaos_smoke\",\"detlint_ruleset\":\"{}\"}}",
+        analysis::RULESET_VERSION
+    );
+    println!(
         "{:<32} {:<14} {:>10} {:>8} {:>10}  outcome",
         "workload", "fault", "makespan", "diags", "recoveries"
     );
@@ -83,6 +99,7 @@ fn main() {
                 .with_seed(2026)
                 .with_max_time(SimTime::from_millis(200))
                 .with_faults(plan)
+                .with_lockdep()
                 .with_watchdog(WatchdogParams::default())
                 .with_max_events(50_000_000);
             let mut wl = (sc.mk)();
@@ -104,10 +121,14 @@ fn main() {
                     failures.push(format!("{cell}: engine error: {e}"));
                 }
                 Ok(Ok(report)) => {
+                    let clean_arm = plan_name == "clean";
                     let violations: Vec<_> = report
                         .diagnostics
                         .iter()
-                        .filter(|d| FAILURE_KINDS.contains(&d.kind.as_str()))
+                        .filter(|d| {
+                            FAILURE_KINDS.contains(&d.kind.as_str())
+                                || (clean_arm && d.kind == "deadlock-cycle")
+                        })
                         .collect();
                     let recoveries: u64 = report.mechanisms.iter().map(|m| m.recoveries).sum();
                     let verdict = if violations.is_empty() {

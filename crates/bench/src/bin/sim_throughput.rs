@@ -182,6 +182,10 @@ fn main() {
 
     let doc = obj(vec![
         ("bench", JsonValue::Str("sim_throughput".to_string())),
+        (
+            "detlint_ruleset",
+            JsonValue::Str(analysis::RULESET_VERSION.to_string()),
+        ),
         ("reps", JsonValue::UInt(reps as u128)),
         (
             "note",

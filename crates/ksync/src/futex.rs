@@ -21,7 +21,7 @@ use oversub_hw::CpuId;
 use oversub_sched::{Scheduler, StopReason};
 use oversub_simcore::{KernelLock, KernelLockParams, SimTime};
 use oversub_task::{FutexKey, Task, TaskId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Number of hash buckets (power of two).
 const NUM_BUCKETS: usize = 64;
@@ -45,7 +45,7 @@ struct Waiter {
 /// One futex hash bucket: a lock plus per-key FIFO queues.
 struct Bucket {
     lock: KernelLock,
-    queues: HashMap<FutexKey, VecDeque<Waiter>>,
+    queues: BTreeMap<FutexKey, VecDeque<Waiter>>,
 }
 
 /// Configuration of the futex layer.
@@ -117,7 +117,7 @@ pub struct FutexTable {
     params: FutexParams,
     buckets: Vec<Bucket>,
     /// Waiters currently blocked, for sanity checks and introspection.
-    blocked: HashMap<TaskId, FutexKey>,
+    blocked: BTreeMap<TaskId, FutexKey>,
     /// Statistics: waits taken via each mode.
     pub sleep_waits: u64,
     /// Statistics: waits taken via virtual blocking.
@@ -132,13 +132,13 @@ impl FutexTable {
         let buckets = (0..NUM_BUCKETS)
             .map(|_| Bucket {
                 lock: KernelLock::new(params.bucket_lock),
-                queues: HashMap::new(),
+                queues: BTreeMap::new(),
             })
             .collect();
         FutexTable {
             params,
             buckets,
-            blocked: HashMap::new(),
+            blocked: BTreeMap::new(),
             sleep_waits: 0,
             virtual_waits: 0,
             wakes: 0,

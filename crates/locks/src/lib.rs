@@ -6,6 +6,8 @@
 //!   plus the Mutexee, MCS-TP, and SHFLLOCK mutexes compared in §4.4.
 //! - [`spin`]: the ten pure spinlocks of Figure 13 / Table 2.
 //! - [`registry`]: per-process tables of all sync objects and flag words.
+//! - [`lockdep`]: lock-order and wait-for graphs over every registered
+//!   lock, reporting acquisition-order inversions and live deadlocks.
 //!
 //! Everything here is a pure state machine emitting effects (who blocks on
 //! which futex key, who is granted a lock); the simulation engine in the
@@ -13,6 +15,7 @@
 //! table, and hardware model.
 
 pub mod blocking;
+pub mod lockdep;
 pub mod registry;
 pub mod spin;
 
@@ -20,5 +23,6 @@ pub use blocking::{
     Barrier, BarrierEffect, BlockingMutex, CondVar, MutexAcquire, MutexKind, MutexRelease,
     SemEffect, Semaphore, FAST_PATH_NS,
 };
+pub use lockdep::{LockClass, LockDep, LockDepFinding, LockDepKind, LockKey};
 pub use registry::SyncRegistry;
 pub use spin::{GrantOrder, SpinEffect, SpinLock, SpinPolicy};

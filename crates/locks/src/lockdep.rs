@@ -1,0 +1,570 @@
+//! Lockdep for the simulated process: a lock-order graph and a wait-for
+//! graph over every registered mutex, spinlock, and semaphore.
+//!
+//! Modelled on the kernel's lockdep, adapted to the simulator: the engine
+//! reports every acquisition *attempt*, completed acquisition, blocking
+//! wait, and release. From those four hooks this module maintains
+//!
+//! 1. a global **lock-order graph** — a directed edge `A -> B` whenever
+//!    some task attempted `B` while holding `A`. A cycle means two code
+//!    paths acquire the same locks in opposite orders (ABBA or longer),
+//!    which can deadlock under the right interleaving even if this run
+//!    survived. Edges are recorded at *attempt* time, so a true deadlock
+//!    (where the second acquisition never completes) still contributes
+//!    the closing edge.
+//! 2. a **wait-for graph** — blocked task → requested lock → current
+//!    holder(s). A cycle here is an actual deadlock in this run.
+//!
+//! All state is `BTreeMap`/`Vec`-based and every traversal iterates in
+//! sorted key order, so findings are bit-reproducible. The module is
+//! strictly observational: it never influences scheduling, accounting, or
+//! lock state, which the lockdep on/off golden test pins end to end.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which sync-object table a tracked lock lives in. The registry keeps a
+/// dense id space per table, so a bare index is ambiguous without this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockClass {
+    /// Blocking mutexes (`SyncRegistry::mutexes`), including the mutex a
+    /// condvar wait releases and re-acquires.
+    Mutex,
+    /// Spinlocks (`SyncRegistry::spinlocks`).
+    Spin,
+    /// Semaphores (`SyncRegistry::sems`), treated as locks for ordering
+    /// purposes; a post by a non-holder releases the oldest holder.
+    Sem,
+}
+
+/// A lock identity in the order/wait-for graphs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockKey {
+    /// Which table.
+    pub class: LockClass,
+    /// Index within the table.
+    pub index: usize,
+}
+
+impl LockKey {
+    /// A blocking mutex.
+    pub fn mutex(index: usize) -> Self {
+        LockKey {
+            class: LockClass::Mutex,
+            index,
+        }
+    }
+
+    /// A spinlock.
+    pub fn spin(index: usize) -> Self {
+        LockKey {
+            class: LockClass::Spin,
+            index,
+        }
+    }
+
+    /// A semaphore.
+    pub fn sem(index: usize) -> Self {
+        LockKey {
+            class: LockClass::Sem,
+            index,
+        }
+    }
+}
+
+impl fmt::Display for LockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.class {
+            LockClass::Mutex => "mutex",
+            LockClass::Spin => "spinlock",
+            LockClass::Sem => "semaphore",
+        };
+        write!(f, "{name} {}", self.index)
+    }
+}
+
+/// What a finding reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockDepKind {
+    /// A cycle in the acquisition-order graph: these locks are taken in
+    /// conflicting orders somewhere in the workload.
+    OrderInversion,
+    /// A cycle in the wait-for graph: these tasks are deadlocked now.
+    DeadlockCycle,
+}
+
+impl LockDepKind {
+    /// The diagnostic kind string used in `RunReport.diagnostics`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LockDepKind::OrderInversion => "lock-order-inversion",
+            LockDepKind::DeadlockCycle => "deadlock-cycle",
+        }
+    }
+}
+
+/// One lockdep finding, ready to become a structured diagnostic.
+#[derive(Clone, Debug)]
+pub struct LockDepFinding {
+    /// What was detected.
+    pub kind: LockDepKind,
+    /// The task whose attempt/wait closed the cycle.
+    pub task: usize,
+    /// The locks on the cycle, in traversal order.
+    pub cycle: Vec<LockKey>,
+    /// Human-readable description naming every lock and hold site.
+    pub detail: String,
+}
+
+/// A held lock plus where it was taken (the hold site).
+#[derive(Clone, Copy, Debug)]
+struct Held {
+    key: LockKey,
+    since_ns: u64,
+}
+
+/// First witness of an order edge `A -> B`.
+#[derive(Clone, Copy, Debug)]
+struct EdgeSite {
+    task: usize,
+    at_ns: u64,
+}
+
+/// The lockdep state machine. One instance per engine run, sized to the
+/// task count.
+#[derive(Debug, Default)]
+pub struct LockDep {
+    /// Per-task acquisition stack (hold sites), in acquisition order.
+    held: Vec<Vec<Held>>,
+    /// Order graph: `edges[a][b]` exists iff some task attempted `b`
+    /// while holding `a`; the value is the first witness.
+    edges: BTreeMap<LockKey, BTreeMap<LockKey, EdgeSite>>,
+    /// Current holder(s) per lock, in acquisition order (semaphores can
+    /// have several).
+    owners: BTreeMap<LockKey, Vec<usize>>,
+    /// The lock each task is currently blocked or spinning on.
+    waiting: Vec<Option<LockKey>>,
+    /// Canonicalized order cycles already reported (dedup).
+    reported_orders: BTreeSet<Vec<LockKey>>,
+    /// Canonicalized wait-for cycles already reported (dedup).
+    reported_waits: BTreeSet<Vec<usize>>,
+}
+
+impl LockDep {
+    /// Fresh state for `tasks` tasks.
+    pub fn new(tasks: usize) -> Self {
+        LockDep {
+            held: vec![Vec::new(); tasks],
+            edges: BTreeMap::new(),
+            owners: BTreeMap::new(),
+            waiting: vec![None; tasks],
+            reported_orders: BTreeSet::new(),
+            reported_waits: BTreeSet::new(),
+        }
+    }
+
+    /// `task` is about to try to acquire `key` (outcome unknown). Records
+    /// order edges from every lock `task` holds and reports any new
+    /// acquisition-order cycle those edges close.
+    pub fn on_acquire_attempt(
+        &mut self,
+        task: usize,
+        key: LockKey,
+        now_ns: u64,
+    ) -> Vec<LockDepFinding> {
+        let mut findings = Vec::new();
+        let held: Vec<Held> = self.held[task].clone();
+        for h in held {
+            if h.key == key {
+                continue; // re-entrant attempt; not an ordering edge
+            }
+            let slot = self.edges.entry(h.key).or_default();
+            if slot.contains_key(&key) {
+                continue; // known edge: any cycle was reported when new
+            }
+            slot.insert(
+                key,
+                EdgeSite {
+                    task,
+                    at_ns: now_ns,
+                },
+            );
+            // The new edge is h.key -> key. A pre-existing path
+            // key ->* h.key now closes a cycle.
+            if let Some(path) = self.order_path(key, h.key) {
+                let mut cycle = path; // key, ..., h.key
+                cycle.push(key); // close the loop for display
+                if self.note_order_cycle(&cycle) {
+                    let detail = self.describe_order_cycle(task, key, h, &cycle);
+                    findings.push(LockDepFinding {
+                        kind: LockDepKind::OrderInversion,
+                        task,
+                        cycle,
+                        detail,
+                    });
+                }
+            }
+        }
+        findings
+    }
+
+    /// `task` now holds `key` (fast path, spin win, grant, or post-wake
+    /// retry success).
+    pub fn on_acquired(&mut self, task: usize, key: LockKey, now_ns: u64) {
+        self.waiting[task] = None;
+        if self.held[task].iter().any(|h| h.key == key) {
+            return; // defensive: never double-count a hold
+        }
+        self.held[task].push(Held {
+            key,
+            since_ns: now_ns,
+        });
+        self.owners.entry(key).or_default().push(task);
+    }
+
+    /// `task` is now blocked (parked or spinning) on `key`. Reports any
+    /// wait-for cycle — an actual deadlock among the current waiters.
+    pub fn on_wait(&mut self, task: usize, key: LockKey, _now_ns: u64) -> Vec<LockDepFinding> {
+        self.waiting[task] = Some(key);
+        let mut findings = Vec::new();
+        if let Some(tasks) = self.wait_cycle_from(task) {
+            if self.note_wait_cycle(&tasks) {
+                let cycle: Vec<LockKey> = tasks.iter().filter_map(|&t| self.waiting[t]).collect();
+                let detail = self.describe_wait_cycle(&tasks);
+                findings.push(LockDepFinding {
+                    kind: LockDepKind::DeadlockCycle,
+                    task,
+                    cycle,
+                    detail,
+                });
+            }
+        }
+        findings
+    }
+
+    /// `task` released `key`. A semaphore may legitimately be posted by a
+    /// non-holder (producer/consumer); the oldest holder is released then.
+    pub fn on_release(&mut self, task: usize, key: LockKey) {
+        let releaser = if self.held[task].iter().any(|h| h.key == key) {
+            task
+        } else if let Some(owners) = self.owners.get(&key) {
+            match owners.first() {
+                Some(&o) => o,
+                None => return,
+            }
+        } else {
+            return; // e.g. a semaphore posted above its watermark
+        };
+        if let Some(pos) = self.held[releaser].iter().position(|h| h.key == key) {
+            self.held[releaser].remove(pos);
+        }
+        if let Some(owners) = self.owners.get_mut(&key) {
+            if let Some(pos) = owners.iter().position(|&o| o == releaser) {
+                owners.remove(pos);
+            }
+            if owners.is_empty() {
+                self.owners.remove(&key);
+            }
+        }
+    }
+
+    /// One line per blocked task: what it waits on and who holds that —
+    /// the watchdog appends this to its no-progress diagnostic so a hang
+    /// is attributed instead of opaque. A wait on a lock nobody holds is
+    /// the lost-wakeup signature.
+    pub fn wait_summary(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (t, w) in self.waiting.iter().enumerate() {
+            let Some(key) = w else { continue };
+            let holders = self.owners.get(key).cloned().unwrap_or_default();
+            if holders.is_empty() {
+                lines.push(format!("task {t} waits on {key} (held by nobody)"));
+            } else {
+                let list: Vec<String> = holders.iter().map(|o| format!("task {o}")).collect();
+                lines.push(format!(
+                    "task {t} waits on {key} (held by {})",
+                    list.join(", ")
+                ));
+            }
+        }
+        lines
+    }
+
+    /// True if any task is recorded as blocked on a lock.
+    pub fn has_waiters(&self) -> bool {
+        self.waiting.iter().any(|w| w.is_some())
+    }
+
+    /// Number of distinct order edges recorded (test observability).
+    pub fn order_edge_count(&self) -> usize {
+        self.edges.values().map(|m| m.len()).sum()
+    }
+
+    // -----------------------------------------------------------------
+    // Internals
+    // -----------------------------------------------------------------
+
+    /// Deterministic DFS: a path `from ->* to` in the order graph,
+    /// inclusive of both endpoints.
+    fn order_path(&self, from: LockKey, to: LockKey) -> Option<Vec<LockKey>> {
+        let mut visited = BTreeSet::new();
+        visited.insert(from);
+        let mut path = Vec::new();
+        self.dfs_path(from, to, &mut visited, &mut path)
+    }
+
+    fn dfs_path(
+        &self,
+        at: LockKey,
+        to: LockKey,
+        visited: &mut BTreeSet<LockKey>,
+        path: &mut Vec<LockKey>,
+    ) -> Option<Vec<LockKey>> {
+        path.push(at);
+        if at == to {
+            return Some(path.clone());
+        }
+        if let Some(next) = self.edges.get(&at) {
+            for (&n, _) in next.iter() {
+                if visited.insert(n) {
+                    if let Some(found) = self.dfs_path(n, to, visited, path) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+        path.pop();
+        None
+    }
+
+    /// Follow waiting-task → lock → holder links from `start`; returns
+    /// the task cycle if the walk loops. Holders are visited in sorted
+    /// order so the first cycle found is deterministic.
+    fn wait_cycle_from(&self, start: usize) -> Option<Vec<usize>> {
+        let mut chain = vec![start];
+        let mut on_chain = BTreeSet::new();
+        on_chain.insert(start);
+        self.wait_dfs(start, &mut chain, &mut on_chain)
+    }
+
+    fn wait_dfs(
+        &self,
+        at: usize,
+        chain: &mut Vec<usize>,
+        on_chain: &mut BTreeSet<usize>,
+    ) -> Option<Vec<usize>> {
+        let key = self.waiting[at]?;
+        let mut holders = self.owners.get(&key).cloned().unwrap_or_default();
+        holders.sort_unstable();
+        for h in holders {
+            if h == at {
+                continue;
+            }
+            if on_chain.contains(&h) {
+                // Cycle: the suffix of the chain starting at h.
+                let pos = chain.iter().position(|&t| t == h)?;
+                return Some(chain[pos..].to_vec());
+            }
+            if self.waiting[h].is_some() {
+                chain.push(h);
+                on_chain.insert(h);
+                if let Some(found) = self.wait_dfs(h, chain, on_chain) {
+                    return Some(found);
+                }
+                on_chain.remove(&h);
+                chain.pop();
+            }
+        }
+        None
+    }
+
+    /// Record a canonicalized order cycle; false if already reported.
+    fn note_order_cycle(&mut self, cycle: &[LockKey]) -> bool {
+        self.reported_orders.insert(canonical_cycle(cycle))
+    }
+
+    /// Record a canonicalized wait cycle; false if already reported.
+    fn note_wait_cycle(&mut self, tasks: &[usize]) -> bool {
+        let mut canon = tasks.to_vec();
+        canon.sort_unstable();
+        self.reported_waits.insert(canon)
+    }
+
+    fn describe_order_cycle(
+        &self,
+        task: usize,
+        requested: LockKey,
+        holding: Held,
+        cycle: &[LockKey],
+    ) -> String {
+        let chain: Vec<String> = cycle.iter().map(|k| k.to_string()).collect();
+        let mut s = format!(
+            "acquisition-order cycle: {}; task {task} requests {requested} while holding \
+             {} (held since {} ns)",
+            chain.join(" -> "),
+            holding.key,
+            holding.since_ns
+        );
+        // The cycle runs requested ->* holding.key; its first hop is the
+        // previously-established conflicting order.
+        if let Some(&next) = cycle.get(1) {
+            if let Some(site) = self.edges.get(&requested).and_then(|m| m.get(&next)) {
+                s.push_str(&format!(
+                    "; conflicting order {requested} -> {next} first seen from task {} at {} ns",
+                    site.task, site.at_ns
+                ));
+            }
+        }
+        s
+    }
+
+    fn describe_wait_cycle(&self, tasks: &[usize]) -> String {
+        let mut parts = Vec::new();
+        for &t in tasks {
+            let Some(key) = self.waiting[t] else { continue };
+            let holders = self.owners.get(&key).cloned().unwrap_or_default();
+            let list: Vec<String> = holders.iter().map(|o| format!("task {o}")).collect();
+            let held_by = if list.is_empty() {
+                "nobody".to_string()
+            } else {
+                list.join(", ")
+            };
+            parts.push(format!("task {t} waits on {key} held by {held_by}"));
+        }
+        format!("wait-for cycle: {}", parts.join("; "))
+    }
+}
+
+/// Rotate a closed cycle (`first == last`) to start at its smallest lock,
+/// dropping the duplicated endpoint — a canonical form for deduplication.
+fn canonical_cycle(cycle: &[LockKey]) -> Vec<LockKey> {
+    let body = if cycle.len() > 1 && cycle.first() == cycle.last() {
+        &cycle[..cycle.len() - 1]
+    } else {
+        cycle
+    };
+    if body.is_empty() {
+        return Vec::new();
+    }
+    let min_pos = body
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, k)| *k)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut canon = Vec::with_capacity(body.len());
+    canon.extend_from_slice(&body[min_pos..]);
+    canon.extend_from_slice(&body[..min_pos]);
+    canon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: LockKey = LockKey {
+        class: LockClass::Mutex,
+        index: 0,
+    };
+    const B: LockKey = LockKey {
+        class: LockClass::Mutex,
+        index: 1,
+    };
+    const C: LockKey = LockKey {
+        class: LockClass::Mutex,
+        index: 2,
+    };
+
+    #[test]
+    fn abba_attempt_order_reports_inversion() {
+        let mut ld = LockDep::new(2);
+        // T0: holds A, attempts B (edge A->B).
+        assert!(ld.on_acquire_attempt(0, A, 0).is_empty());
+        ld.on_acquired(0, A, 0);
+        assert!(ld.on_acquire_attempt(0, B, 10).is_empty());
+        // T1: holds B, attempts A (edge B->A closes the cycle).
+        ld.on_acquired(1, B, 5);
+        let f = ld.on_acquire_attempt(1, A, 12);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, LockDepKind::OrderInversion);
+        assert!(f[0].detail.contains("mutex 0") && f[0].detail.contains("mutex 1"));
+        // The same inversion is not reported twice.
+        assert!(ld.on_acquire_attempt(1, A, 20).is_empty());
+    }
+
+    #[test]
+    fn three_lock_cycle_is_found() {
+        let mut ld = LockDep::new(3);
+        ld.on_acquired(0, A, 0);
+        assert!(ld.on_acquire_attempt(0, B, 1).is_empty()); // A->B
+        ld.on_acquired(1, B, 0);
+        assert!(ld.on_acquire_attempt(1, C, 2).is_empty()); // B->C
+        ld.on_acquired(2, C, 0);
+        let f = ld.on_acquire_attempt(2, A, 3); // C->A closes A->B->C->A
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cycle.len(), 4); // closed loop repeats the start
+    }
+
+    #[test]
+    fn ordered_acquisition_is_clean() {
+        let mut ld = LockDep::new(4);
+        for t in 0..4 {
+            ld.on_acquired(t, A, 0);
+            assert!(ld.on_acquire_attempt(t, B, 1).is_empty());
+            ld.on_acquired(t, B, 1);
+            assert!(ld.on_acquire_attempt(t, C, 2).is_empty());
+            ld.on_acquired(t, C, 2);
+            ld.on_release(t, C);
+            ld.on_release(t, B);
+            ld.on_release(t, A);
+        }
+        assert_eq!(ld.order_edge_count(), 3); // A->B, A->C, B->C
+    }
+
+    #[test]
+    fn wait_for_cycle_reports_deadlock() {
+        let mut ld = LockDep::new(2);
+        ld.on_acquired(0, A, 0);
+        ld.on_acquired(1, B, 0);
+        assert!(ld.on_wait(0, B, 10).is_empty()); // T0 waits on B (held by T1)
+        let f = ld.on_wait(1, A, 12); // T1 waits on A (held by T0): cycle
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, LockDepKind::DeadlockCycle);
+        assert!(f[0].detail.contains("task 0") && f[0].detail.contains("task 1"));
+        assert!(f[0].detail.contains("mutex 0") && f[0].detail.contains("mutex 1"));
+    }
+
+    #[test]
+    fn wait_on_free_lock_is_the_lost_wakeup_signature() {
+        let mut ld = LockDep::new(2);
+        ld.on_acquired(0, A, 0);
+        ld.on_wait(1, A, 5);
+        ld.on_release(0, A);
+        let lines = ld.wait_summary();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("held by nobody"), "{lines:?}");
+    }
+
+    #[test]
+    fn sem_post_by_non_holder_releases_oldest() {
+        let mut ld = LockDep::new(3);
+        let s = LockKey::sem(0);
+        ld.on_acquired(0, s, 0);
+        ld.on_acquired(1, s, 1);
+        ld.on_release(2, s); // task 2 posts without holding: frees task 0's hold
+        assert_eq!(ld.owners.get(&s).cloned().unwrap(), vec![1]);
+        assert!(ld.held[0].is_empty());
+    }
+
+    #[test]
+    fn release_clears_holds_and_acquire_clears_waiting() {
+        let mut ld = LockDep::new(1);
+        ld.on_wait(0, A, 1);
+        assert!(ld.has_waiters());
+        ld.on_acquired(0, A, 2);
+        assert!(!ld.has_waiters());
+        ld.on_release(0, A);
+        assert!(ld.held[0].is_empty());
+        assert!(ld.owners.is_empty());
+    }
+}

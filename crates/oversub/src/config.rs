@@ -156,6 +156,12 @@ pub struct RunConfig {
     /// Hard cap on processed events (a step budget for chaos testing);
     /// `None` uses the engine's built-in runaway safety valve.
     pub max_events: Option<u64>,
+    /// Track lock-acquisition order and wait-for graphs (lockdep) and
+    /// surface inversion/deadlock cycles as diagnostics. Observation-only:
+    /// every non-diagnostic report byte is identical either way (pinned by
+    /// the lockdep golden test). Off by default so clean golden runs carry
+    /// no analysis state.
+    pub lockdep: bool,
 }
 
 impl RunConfig {
@@ -180,6 +186,7 @@ impl RunConfig {
             faults: FaultPlan::default(),
             watchdog: None,
             max_events: None,
+            lockdep: false,
         }
     }
 
@@ -254,6 +261,13 @@ impl RunConfig {
     /// Builder-style: cap the number of processed events (step budget).
     pub fn with_max_events(mut self, n: u64) -> Self {
         self.max_events = Some(n);
+        self
+    }
+
+    /// Builder-style: enable lockdep (lock-order inversion and deadlock
+    /// cycle detection, surfaced as diagnostics).
+    pub fn with_lockdep(mut self) -> Self {
+        self.lockdep = true;
         self
     }
 

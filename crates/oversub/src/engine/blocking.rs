@@ -5,6 +5,7 @@ use super::{Cont, Engine, Event, Resume, SegEventKind};
 use crate::trace::TraceKind;
 use oversub_hw::CpuId;
 use oversub_ksync::{WaitMode, Woken};
+use oversub_locks::LockKey;
 use oversub_simcore::SimTime;
 use oversub_task::{FutexKey, LockId, TaskId, TaskState};
 
@@ -157,7 +158,25 @@ impl Engine {
         } else {
             self.sync.spinlocks[lock.0].try_claim(w)
         };
-        let cost = claimed.expect("designated heir must be claimable");
+        // A designated heir is always claimable; if the lock state machine
+        // ever disagrees, record the inconsistency and leave the waiter
+        // spinning (it will retry on its next schedule) instead of
+        // panicking mid-run.
+        let Some(cost) = claimed else {
+            self.push_diagnostic(
+                "lock-grant-mismatch",
+                Some(w.0),
+                Some(wcpu),
+                format!("designated heir of lock {} could not claim it", lock.0),
+            );
+            return;
+        };
+        let key = if is_mutex {
+            LockKey::mutex(lock.0)
+        } else {
+            LockKey::spin(lock.0)
+        };
+        self.ld_acquired(w, key, t2);
         self.charge_useful(wcpu, cost);
         self.conts[w.0] = Cont::Ready;
         self.advance_task(wcpu, t2 + cost);
@@ -185,9 +204,19 @@ impl Engine {
             self.seg_epoch[wcpu] += 1;
             self.spin_exit_at[wcpu] = None;
             self.seg_event[wcpu] = SegEventKind::None;
-            let cost = self.sync.spinlocks[l.0]
-                .try_claim(w)
-                .expect("running barge spinner must claim a free lock");
+            // The lock was just released with no designated heir, so a
+            // running spinner must win the barge; on a state-machine
+            // disagreement, record it and let the spinner keep spinning.
+            let Some(cost) = self.sync.spinlocks[l.0].try_claim(w) else {
+                self.push_diagnostic(
+                    "lock-grant-mismatch",
+                    Some(w.0),
+                    Some(wcpu),
+                    format!("barging spinner could not claim free spinlock {}", l.0),
+                );
+                return;
+            };
+            self.ld_acquired(w, LockKey::spin(l.0), t2);
             self.charge_useful(wcpu, cost);
             self.conts[w.0] = Cont::Ready;
             self.advance_task(wcpu, t2 + cost);

@@ -247,7 +247,9 @@ impl Engine {
         if !fresh_wake && self.tasks[cand.0].vruntime + gran >= cv {
             return;
         }
-        let curr = self.sched.cpus[cpu].current.expect("checked above");
+        let Some(curr) = self.sched.cpus[cpu].current else {
+            return;
+        };
         self.account_progress(cpu, self.now);
         self.trace.record(self.now, cpu, curr, TraceKind::Preempt);
         self.save_partial_progress(cpu, curr);

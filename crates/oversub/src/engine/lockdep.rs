@@ -1,0 +1,52 @@
+//! Engine-side lockdep hooks: thin adapters between the lock state
+//! machines in `exec`/`engine::blocking` and the observational
+//! [`LockDep`] graphs in `oversub_locks::lockdep`.
+//!
+//! Every hook is a no-op when the config did not opt in (`self.lockdep`
+//! is `None`), so clean runs pay one branch per lock operation and carry
+//! no analysis state. Findings become structured diagnostics
+//! (`lock-order-inversion`, `deadlock-cycle`) in the report.
+
+use super::Engine;
+use oversub_locks::LockKey;
+use oversub_simcore::SimTime;
+use oversub_task::TaskId;
+
+impl Engine {
+    /// `tid` is about to attempt `key` (fast path, spin, or park —
+    /// outcome unknown). Records order edges from every held lock.
+    pub(crate) fn ld_attempt(&mut self, tid: TaskId, key: LockKey, t: SimTime) {
+        let Some(ld) = self.lockdep.as_mut() else {
+            return;
+        };
+        let findings = ld.on_acquire_attempt(tid.0, key, t.as_nanos());
+        for f in findings {
+            self.push_diagnostic(f.kind.as_str(), Some(f.task), None, f.detail);
+        }
+    }
+
+    /// `tid` now holds `key`.
+    pub(crate) fn ld_acquired(&mut self, tid: TaskId, key: LockKey, t: SimTime) {
+        if let Some(ld) = self.lockdep.as_mut() {
+            ld.on_acquired(tid.0, key, t.as_nanos());
+        }
+    }
+
+    /// `tid` is blocked (parked or spinning) on `key`.
+    pub(crate) fn ld_wait(&mut self, tid: TaskId, key: LockKey, t: SimTime) {
+        let Some(ld) = self.lockdep.as_mut() else {
+            return;
+        };
+        let findings = ld.on_wait(tid.0, key, t.as_nanos());
+        for f in findings {
+            self.push_diagnostic(f.kind.as_str(), Some(f.task), None, f.detail);
+        }
+    }
+
+    /// `tid` released `key`.
+    pub(crate) fn ld_release(&mut self, tid: TaskId, key: LockKey) {
+        if let Some(ld) = self.lockdep.as_mut() {
+            ld.on_release(tid.0, key);
+        }
+    }
+}

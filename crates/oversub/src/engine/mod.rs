@@ -34,6 +34,7 @@
 mod blocking;
 mod diag;
 mod events;
+mod lockdep;
 mod report;
 mod spin;
 mod watchdog;
@@ -44,10 +45,10 @@ use crate::mechanism::MechanismSet;
 use crate::trace::TraceLog;
 use oversub_hw::{CpuId, MemModel, NormalCodeRates};
 use oversub_ksync::{EpollTable, FutexTable};
-use oversub_locks::SyncRegistry;
+use oversub_locks::{LockDep, SyncRegistry};
 use oversub_metrics::{Diagnostic, RunReport};
 use oversub_simcore::{EventQueue, SimRng, SimTime};
-use oversub_task::{Action, EpollFd, FlagId, LockId, SpinSig, Task, TaskId};
+use oversub_task::{Action, EpollFd, FlagId, LockId, SemId, SpinSig, Task, TaskId};
 use oversub_workloads::workload::{Workload, WorldBuilder};
 
 /// What kind of time the current segment on a CPU is.
@@ -79,6 +80,8 @@ pub(crate) enum Resume {
     MutexRetry(LockId),
     /// Re-acquire the mutex after a condvar wait.
     CondReacquire(LockId),
+    /// A parked semaphore waiter received its token with the wake.
+    SemAcquired(SemId),
     /// Nothing more to do: the blocking action is complete.
     Simple,
     /// Consume pending epoll events, then proceed.
@@ -237,6 +240,9 @@ pub(crate) struct Engine {
     pub halted: bool,
     /// Event budget for this run (config override or the safety valve).
     pub max_events: u64,
+    /// Lock-order / wait-for graph tracking; `None` unless the config
+    /// opts in, so clean runs carry no analysis state at all.
+    pub lockdep: Option<LockDep>,
 }
 
 impl Engine {
@@ -314,6 +320,7 @@ impl Engine {
         let watchdog = cfg.watchdog;
         let wd_slots = if watchdog.is_some() { n } else { 0 };
         let max_events = cfg.max_events.unwrap_or(MAX_EVENTS);
+        let lockdep = cfg.lockdep.then(|| LockDep::new(n));
         let mut eng = Engine {
             mechs,
             sched,
@@ -363,6 +370,7 @@ impl Engine {
             last_progress: (0, SimTime::ZERO),
             halted: false,
             max_events,
+            lockdep,
             cfg,
         };
 

@@ -196,7 +196,20 @@ impl Engine {
         kind: RunKind,
     ) {
         let Cont::Work { left_ns, .. } = self.conts[tid.0] else {
-            unreachable!("work segment without Work cont");
+            // A work segment can only be begun for a task holding a Work
+            // continuation; record the inconsistency and skip the segment
+            // rather than tearing the run down.
+            debug_assert!(false, "work segment without Work cont");
+            self.push_diagnostic(
+                "cont-mismatch",
+                Some(tid.0),
+                Some(cpu),
+                format!(
+                    "work segment requested with {:?} continuation",
+                    self.conts[tid.0]
+                ),
+            );
+            return;
         };
         let rate = self.sched.smt_factor(CpuId(cpu));
         let scaled = (left_ns as f64 / rate).ceil() as u64;

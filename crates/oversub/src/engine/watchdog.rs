@@ -181,12 +181,20 @@ impl Engine {
         {
             let since = self.last_progress.1;
             let live = self.live;
-            self.push_diagnostic(
-                "no-progress",
-                None,
-                None,
-                format!("no task progress since {since} with {live} tasks live; halting run"),
-            );
+            let mut msg =
+                format!("no task progress since {since} with {live} tasks live; halting run");
+            // Lockdep cause attribution: name what every blocked task is
+            // waiting on and who (if anybody) holds it. A wait on a lock
+            // held by nobody is the lost-wakeup signature; mutual holds
+            // are a deadlock (reported separately as `deadlock-cycle`).
+            if let Some(ld) = &self.lockdep {
+                let lines = ld.wait_summary();
+                if !lines.is_empty() {
+                    msg.push_str("; wait-for: ");
+                    msg.push_str(&lines.join("; "));
+                }
+            }
+            self.push_diagnostic("no-progress", None, None, msg);
             self.halted = true;
         }
     }

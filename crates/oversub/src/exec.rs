@@ -7,7 +7,7 @@
 
 use crate::engine::{Cont, Engine, Event, Resume, RunKind};
 use oversub_hw::CpuId;
-use oversub_locks::{BarrierEffect, MutexAcquire, MutexRelease, SemEffect, SpinEffect};
+use oversub_locks::{BarrierEffect, LockKey, MutexAcquire, MutexRelease, SemEffect, SpinEffect};
 use oversub_simcore::SimTime;
 use oversub_task::{Action, LockId, ProgCtx, SpinSig, SyncOp, TaskId};
 
@@ -87,6 +87,12 @@ impl Engine {
     fn handle_resume(&mut self, cpu: usize, tid: TaskId, resume: Resume, t: SimTime) -> Flow {
         match resume {
             Resume::Simple | Resume::Io => {
+                self.conts[tid.0] = Cont::Ready;
+                Flow::Continue(t)
+            }
+            Resume::SemAcquired(s) => {
+                // The post handed this waiter its token along with the wake.
+                self.ld_acquired(tid, LockKey::sem(s.0), t);
                 self.conts[tid.0] = Cont::Ready;
                 Flow::Continue(t)
             }
@@ -209,6 +215,7 @@ impl Engine {
             SyncOp::MutexLock(l) => self.acquire_mutex(cpu, tid, l, t),
             SyncOp::MutexUnlock(l) => {
                 let node = self.node_of(cpu);
+                self.ld_release(tid, LockKey::mutex(l.0));
                 let (cost, rel) = self.sync.mutexes[l.0].release(tid, node);
                 self.charge_useful(cpu, cost);
                 let mut t2 = t + cost;
@@ -234,6 +241,7 @@ impl Engine {
             SyncOp::CondWait { cond, mutex } => {
                 // Atomically (in engine terms) unlock the mutex and sleep.
                 let node = self.node_of(cpu);
+                self.ld_release(tid, LockKey::mutex(mutex.0));
                 let (cost, rel) = self.sync.mutexes[mutex.0].release(tid, node);
                 self.charge_useful(cpu, cost);
                 let mut t2 = t + cost;
@@ -266,17 +274,23 @@ impl Engine {
                 };
                 Flow::Continue(t + cost)
             }
-            SyncOp::SemWait(s) => match self.sync.sems[s.0].wait() {
-                SemEffect::Acquired => {
-                    self.charge_useful(cpu, 20);
-                    Flow::Continue(t + 20)
+            SyncOp::SemWait(s) => {
+                self.ld_attempt(tid, LockKey::sem(s.0), t);
+                match self.sync.sems[s.0].wait() {
+                    SemEffect::Acquired => {
+                        self.ld_acquired(tid, LockKey::sem(s.0), t);
+                        self.charge_useful(cpu, 20);
+                        Flow::Continue(t + 20)
+                    }
+                    SemEffect::Wait { futex } => {
+                        self.ld_wait(tid, LockKey::sem(s.0), t);
+                        self.do_futex_wait(cpu, tid, futex, Resume::SemAcquired(s), t);
+                        Flow::Break
+                    }
                 }
-                SemEffect::Wait { futex } => {
-                    self.do_futex_wait(cpu, tid, futex, Resume::Simple, t);
-                    Flow::Break
-                }
-            },
+            }
             SyncOp::SemPost(s) => {
+                self.ld_release(tid, LockKey::sem(s.0));
                 let wake = self.sync.sems[s.0].post();
                 self.charge_useful(cpu, 20);
                 let mut t2 = t + 20;
@@ -287,12 +301,15 @@ impl Engine {
             }
             SyncOp::SpinAcquire(l) => {
                 let node = self.node_of(cpu);
+                self.ld_attempt(tid, LockKey::spin(l.0), t);
                 match self.sync.spinlocks[l.0].acquire(tid, node) {
                     SpinEffect::Acquired { cost_ns } => {
+                        self.ld_acquired(tid, LockKey::spin(l.0), t);
                         self.charge_useful(cpu, cost_ns);
                         Flow::Continue(t + cost_ns)
                     }
                     SpinEffect::MustSpin { sig } => {
+                        self.ld_wait(tid, LockKey::spin(l.0), t);
                         self.spin_episodes += 1;
                         self.conts[tid.0] = Cont::SpinLock {
                             lock: l,
@@ -307,6 +324,7 @@ impl Engine {
             }
             SyncOp::SpinRelease(l) => {
                 let node = self.node_of(cpu);
+                self.ld_release(tid, LockKey::spin(l.0));
                 let (cost, granted) = self.sync.spinlocks[l.0].release(tid, node);
                 self.charge_useful(cpu, cost);
                 let t2 = t + cost;
@@ -394,13 +412,16 @@ impl Engine {
 
     fn acquire_mutex(&mut self, cpu: usize, tid: TaskId, l: LockId, t: SimTime) -> Flow {
         let node = self.node_of(cpu);
+        self.ld_attempt(tid, LockKey::mutex(l.0), t);
         match self.sync.mutexes[l.0].acquire(tid, node) {
             MutexAcquire::Acquired { cost_ns } => {
+                self.ld_acquired(tid, LockKey::mutex(l.0), t);
                 self.charge_useful(cpu, cost_ns);
                 self.conts[tid.0] = Cont::Ready;
                 Flow::Continue(t + cost_ns)
             }
             MutexAcquire::Park { futex } => {
+                self.ld_wait(tid, LockKey::mutex(l.0), t);
                 self.do_futex_wait(cpu, tid, futex, Resume::MutexRetry(l), t);
                 Flow::Break
             }
@@ -409,6 +430,7 @@ impl Engine {
                 spin_ns,
                 futex: _,
             } => {
+                self.ld_wait(tid, LockKey::mutex(l.0), t);
                 self.spin_episodes += 1;
                 self.conts[tid.0] = Cont::SpinLock {
                     lock: l,
@@ -441,6 +463,12 @@ impl Engine {
             self.sync.spinlocks[lock.0].try_claim(tid)
         };
         if let Some(cost) = claimed {
+            let key = if is_mutex {
+                LockKey::mutex(lock.0)
+            } else {
+                LockKey::spin(lock.0)
+            };
+            self.ld_acquired(tid, key, t);
             self.charge_useful(cpu, cost);
             self.conts[tid.0] = Cont::Ready;
             return Flow::Continue(t + cost);

@@ -4,7 +4,7 @@ use crate::rq::CfsRq;
 use oversub_hw::CoreHw;
 use oversub_simcore::{KernelLock, KernelLockParams, SimTime};
 use oversub_task::TaskId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Breakdown of where a CPU's time went — the basis of the paper's
 /// "CPU utilization" column in Table 1.
@@ -53,7 +53,7 @@ pub struct CpuState {
     /// Monotone counter of picks, used to expire BWD skip flags.
     pub pick_round: u64,
     /// `task -> pick_round` at which its BWD skip flag expires.
-    pub skip_release: HashMap<TaskId, u64>,
+    pub skip_release: BTreeMap<TaskId, u64>,
     /// Next periodic load-balance time.
     pub next_balance: SimTime,
     /// Time accounting.
@@ -73,7 +73,7 @@ impl CpuState {
             hw: CoreHw::new(),
             last_ran: None,
             pick_round: 0,
-            skip_release: HashMap::new(),
+            skip_release: BTreeMap::new(),
             next_balance: SimTime::ZERO,
             time: CpuTimeStats::default(),
             accounted_until: SimTime::ZERO,

@@ -442,3 +442,45 @@ impl OpsSink {
         report.completed_ops = g.1;
     }
 }
+
+/// A deliberate ABBA deadlock: two threads, two mutexes, opposite
+/// acquisition order, with a hold window wide enough that both first
+/// acquisitions overlap. Run with lockdep enabled
+/// (`RunConfig::with_lockdep`) this deterministically produces a
+/// `lock-order-inversion` diagnostic (conflicting acquisition orders) and
+/// a `deadlock-cycle` diagnostic (the live wait-for cycle) naming both
+/// mutexes — the validation workload for the engine's lockdep layer.
+pub struct AbbaDeadlock {
+    /// Nanoseconds each thread computes while holding its first lock.
+    /// Must exceed the lock fast-path cost so the windows overlap.
+    pub hold_ns: u64,
+}
+
+impl Default for AbbaDeadlock {
+    fn default() -> Self {
+        AbbaDeadlock { hold_ns: 50_000 }
+    }
+}
+
+impl Workload for AbbaDeadlock {
+    fn name(&self) -> &str {
+        "abba-deadlock"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let a = w.mutex();
+        let b = w.mutex();
+        for (first, second) in [(a, b), (b, a)] {
+            let script = vec![
+                Action::Sync(SyncOp::MutexLock(first)),
+                Action::Compute { ns: self.hold_ns },
+                Action::Sync(SyncOp::MutexLock(second)),
+                Action::Compute { ns: 1_000 },
+                Action::Sync(SyncOp::MutexUnlock(second)),
+                Action::Sync(SyncOp::MutexUnlock(first)),
+                Action::Exit,
+            ];
+            w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+        }
+    }
+}

@@ -28,7 +28,12 @@ use proptest::prelude::*;
 
 /// Diagnostic kinds that indicate an engine bug rather than an injected
 /// fault or a watchdog-mediated outcome. These must never appear.
-const FAILURE_KINDS: &[&str] = &["rq-inconsistency", "waiter-board-mismatch", "event-order"];
+const FAILURE_KINDS: &[&str] = &[
+    "rq-inconsistency",
+    "waiter-board-mismatch",
+    "event-order",
+    "lock-grant-mismatch",
+];
 
 /// A named workload case: label, CPU count, and a fresh-instance factory.
 type WorkloadCase<'a> = (&'a str, usize, Box<dyn FnMut() -> Box<dyn Workload>>);
@@ -205,6 +210,55 @@ fn lost_wakeups_are_rescued_by_the_watchdog() {
             .iter()
             .any(|d| d.kind == "lost-wakeup-rescue"),
         "rescues happened but no lost-wakeup-rescue diagnostic was recorded"
+    );
+}
+
+/// A lost-wakeup stall, observed with lockdep armed but the rescue path
+/// suppressed (enormous park timeout): the watchdog's `no-progress`
+/// diagnostic must be *attributed* — its detail carries the wait-for
+/// summary, and the stranded waiter's lock shows up as held by nobody,
+/// which is exactly the lost-wakeup signature (a deadlock would show a
+/// cycle of owners instead).
+#[test]
+fn lost_wakeup_stall_is_attributed_by_lockdep() {
+    let cfg = RunConfig::vanilla(2)
+        .with_machine(MachineSpec::PaperN(2))
+        // VB is what makes wakeups losable (virtual parks); without it
+        // every park is a real sleep and the fault hook never fires.
+        .with_mech(Mechanisms::optimized())
+        .with_seed(3)
+        .with_max_time(SimTime::from_millis(200))
+        .with_faults(FaultPlan::default().lost_wakeups(1.0))
+        .with_lockdep()
+        .with_watchdog(WatchdogParams {
+            // No rescue: the park timeout never fires inside the run.
+            park_timeout_ns: u64::MAX / 2,
+            hang_timeout_ns: 5_000_000,
+            ..WatchdogParams::default()
+        })
+        .with_max_events(5_000_000);
+    let mut wl = PrimitiveStress {
+        threads: 6,
+        rounds: 50,
+        primitive: Primitive::Mutex,
+        work_ns: 2_000,
+    };
+    let report = try_run(&mut wl, &cfg).expect("stalled run must still produce a report");
+    assert_no_invariant_violations(&report, "lost-wakeup-attribution");
+    let hang = report
+        .diagnostics
+        .iter()
+        .find(|d| d.kind == "no-progress")
+        .expect("fully lost wakeups with no rescue must stall into no-progress");
+    assert!(
+        hang.detail.contains("wait-for:"),
+        "no-progress detail lacks lockdep attribution: {}",
+        hang.detail
+    );
+    assert!(
+        hang.detail.contains("held by nobody"),
+        "lost-wakeup signature (waiting on a free lock) missing: {}",
+        hang.detail
     );
 }
 

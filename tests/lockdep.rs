@@ -1,0 +1,213 @@
+//! Lock-order and deadlock analysis (lockdep) integration tests.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **ABBA detection is deterministic** — the canonical two-mutex
+//!    order-inversion workload reports both a `lock-order-inversion` and a
+//!    `deadlock-cycle` diagnostic naming both locks, identically across
+//!    repeated runs.
+//! 2. **Lockdep is pure observation** — enabling it on golden-style
+//!    configurations changes nothing but the diagnostics list: with
+//!    diagnostics cleared, the reports are byte-identical through the
+//!    canonical JSON.
+//! 3. **No false positives** — workloads that acquire locks in a
+//!    consistent order never trip either diagnostic, across arbitrary
+//!    seeds and thread counts.
+
+use oversub::simcore::SimTime;
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::micro::{AbbaDeadlock, Primitive, PrimitiveStress};
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::{run, MachineSpec, Mechanisms, RunConfig, RunReport, WatchdogParams};
+use proptest::prelude::*;
+
+/// Watchdog tuned so the deadlocked ABBA pair trips `no-progress`
+/// quickly, without the park-timeout rescue racing ahead of it.
+fn abba_watchdog() -> WatchdogParams {
+    WatchdogParams {
+        hang_timeout_ns: 5_000_000,
+        ..WatchdogParams::default()
+    }
+}
+
+fn abba_cfg() -> RunConfig {
+    RunConfig::vanilla(2)
+        .with_machine(MachineSpec::PaperN(2))
+        .with_seed(1)
+        .with_max_time(SimTime::from_millis(50))
+        .with_lockdep()
+        .with_watchdog(abba_watchdog())
+        .with_max_events(5_000_000)
+}
+
+fn kinds(report: &RunReport) -> Vec<&str> {
+    report.diagnostics.iter().map(|d| d.kind.as_str()).collect()
+}
+
+/// A named workload case: label, CPU count, and a fresh-instance factory.
+type WorkloadCase<'a> = (
+    &'a str,
+    usize,
+    Box<dyn Fn() -> Box<dyn oversub::workload::Workload>>,
+);
+
+/// The canonical ABBA workload must produce both lockdep diagnostics, each
+/// naming both mutexes, plus a no-progress report attributed via the
+/// wait-for graph.
+#[test]
+fn abba_reports_inversion_and_deadlock_cycle() {
+    let cfg = abba_cfg();
+    let report = run(&mut AbbaDeadlock::default(), &cfg);
+
+    let inversion = report
+        .diagnostics
+        .iter()
+        .find(|d| d.kind == "lock-order-inversion")
+        .unwrap_or_else(|| {
+            panic!(
+                "no lock-order-inversion diagnostic; got {:?}",
+                kinds(&report)
+            )
+        });
+    assert!(
+        inversion.detail.contains("mutex 0") && inversion.detail.contains("mutex 1"),
+        "inversion must name both locks: {}",
+        inversion.detail
+    );
+    assert!(
+        inversion.detail.contains("acquisition-order cycle"),
+        "inversion must spell out the cycle: {}",
+        inversion.detail
+    );
+
+    let deadlock = report
+        .diagnostics
+        .iter()
+        .find(|d| d.kind == "deadlock-cycle")
+        .unwrap_or_else(|| panic!("no deadlock-cycle diagnostic; got {:?}", kinds(&report)));
+    assert!(
+        deadlock.detail.contains("mutex 0") && deadlock.detail.contains("mutex 1"),
+        "deadlock cycle must name both locks: {}",
+        deadlock.detail
+    );
+    assert!(
+        deadlock.detail.contains("waits on"),
+        "deadlock cycle must show the wait-for edges: {}",
+        deadlock.detail
+    );
+
+    // The watchdog's no-progress report is attributed: the wait-for
+    // summary names who is stuck on what.
+    let hang = report
+        .diagnostics
+        .iter()
+        .find(|d| d.kind == "no-progress")
+        .unwrap_or_else(|| {
+            panic!(
+                "deadlocked run produced no no-progress; got {:?}",
+                kinds(&report)
+            )
+        });
+    assert!(
+        hang.detail.contains("wait-for:"),
+        "no-progress must carry lockdep attribution: {}",
+        hang.detail
+    );
+}
+
+/// The ABBA analysis is bit-deterministic: two identical runs serialize to
+/// the same canonical JSON, diagnostics included.
+#[test]
+fn abba_analysis_is_deterministic() {
+    let cfg = abba_cfg();
+    let a = run(&mut AbbaDeadlock::default(), &cfg).to_json();
+    let b = run(&mut AbbaDeadlock::default(), &cfg).to_json();
+    assert_eq!(a, b, "lockdep-enabled ABBA run is not reproducible");
+}
+
+/// Golden bit-identity: lockdep on vs off over golden-style configs must
+/// agree on every byte of the report once the (new) diagnostics are set
+/// aside. Lockdep must never perturb scheduling, timing, or counters.
+#[test]
+fn lockdep_is_observation_only_on_golden_configs() {
+    let mc_cpus = Memcached::paper(16, 8, 40_000.0).total_cpus();
+    let cases: Vec<WorkloadCase> = vec![
+        (
+            "pipeline",
+            8,
+            Box::new(|| Box::new(SpinPipeline::new(12, 40, WaitFlavor::Flags))),
+        ),
+        (
+            "memcached",
+            mc_cpus,
+            Box::new(|| Box::new(Memcached::paper(16, 8, 40_000.0))),
+        ),
+        (
+            "mutex-stress",
+            8,
+            Box::new(|| {
+                Box::new(PrimitiveStress {
+                    threads: 12,
+                    rounds: 200,
+                    primitive: Primitive::Mutex,
+                    work_ns: 2_000,
+                })
+            }),
+        ),
+    ];
+    for (name, cpus, mk) in &cases {
+        let cfg = RunConfig::vanilla(*cpus)
+            .with_machine(MachineSpec::PaperN(*cpus))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(42)
+            .with_max_time(SimTime::from_millis(150));
+        let mut plain = run(&mut *mk(), &cfg);
+        let mut watched = run(&mut *mk(), &cfg.clone().with_lockdep());
+        plain.diagnostics.clear();
+        watched.diagnostics.clear();
+        assert_eq!(
+            plain.to_json(),
+            watched.to_json(),
+            "{name}: lockdep perturbed the run beyond diagnostics"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Workloads whose locks are acquired in a consistent order must never
+    /// trip either lockdep diagnostic, for any seed or thread count.
+    #[test]
+    fn ordered_acquisition_never_reports(
+        seed in any::<u64>(),
+        threads in 2usize..16,
+        rounds in 20usize..120,
+        prim in prop_oneof![
+            Just(Primitive::Mutex),
+            Just(Primitive::Cond),
+            Just(Primitive::Barrier),
+        ],
+    ) {
+        let cfg = RunConfig::vanilla(4)
+            .with_machine(MachineSpec::PaperN(4))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(seed)
+            .with_max_time(SimTime::from_millis(80))
+            .with_lockdep()
+            .with_max_events(5_000_000);
+        let mut wl = PrimitiveStress {
+            threads,
+            rounds,
+            primitive: prim,
+            work_ns: 1_500,
+        };
+        let report = run(&mut wl, &cfg);
+        for d in &report.diagnostics {
+            prop_assert!(
+                d.kind != "lock-order-inversion" && d.kind != "deadlock-cycle",
+                "false positive on ordered workload: {} — {}", d.kind, d.detail
+            );
+        }
+    }
+}
