@@ -5,7 +5,7 @@
 //! `HashMap` whose iteration order leaks into simulation state, a
 //! wall-clock read, or a panic on an engine path that was deliberately
 //! converted to graceful degradation. This crate is a small, hermetic
-//! (no external dependencies) workspace scanner enforcing four rules:
+//! (no external dependencies) workspace scanner enforcing five rules:
 //!
 //! | rule | what it flags | where |
 //! |------|---------------|-------|
@@ -13,6 +13,7 @@
 //! | D2 | wall-clock / ambient entropy (`Instant::now`, `SystemTime`, `thread_rng`, …) | everywhere except `bench` / `criterion` |
 //! | D3 | `unwrap` / `expect` / `panic!` / `unreachable!` on engine hot paths | `oversub/src/engine/*`, `oversub/src/exec.rs` |
 //! | D4 | mutable / public statics and `thread_local!` (state escaping seeding) | everywhere |
+//! | D5 | ad-hoc host threads (`thread::spawn` / `thread::scope` / `thread::Builder`) | everywhere except `simcore/src/pool.rs` and `bench` / `criterion` |
 //!
 //! Violations can be suppressed with a justified entry in `detlint.toml`
 //! (rule + path + pattern + reason); unused entries are themselves
@@ -31,7 +32,7 @@ use oversub_metrics::json::{obj, JsonValue};
 /// Version stamp of the rule set, printed by `detlint` and recorded in
 /// bench JSON headers so artifacts say which invariants were in force.
 /// Bump when a rule is added, removed, or materially changed.
-pub const RULESET_VERSION: &str = "detlint-v1";
+pub const RULESET_VERSION: &str = "detlint-v2";
 
 /// Crates whose containers can reach simulation state: a nondeterministic
 /// iteration order here can change scheduling decisions and break the
@@ -50,6 +51,10 @@ const SIM_CRATES: &[&str] = &[
 /// Crates allowed to read wall clocks (they measure the host, not the
 /// simulation).
 const TIME_EXEMPT_CRATES: &[&str] = &["bench", "criterion"];
+
+/// The one library file allowed to create host threads: the deterministic
+/// worker pool every parallel code path must go through (D5).
+const THREAD_POOL_FILE: &str = "crates/simcore/src/pool.rs";
 
 /// One lint rule: id, searched tokens, and a description.
 struct Rule {
@@ -99,6 +104,14 @@ const RULES: &[Rule] = &[
         message: "mutable or public static state escapes per-run seeding; thread run \
                   state through the engine so every run starts identical",
     },
+    Rule {
+        id: "D5",
+        tokens: &["thread::spawn", "thread::scope", "thread::Builder"],
+        message: "ad-hoc host thread outside the deterministic worker pool; route \
+                  parallel work through simcore::pool / oversub::sweep so results \
+                  merge in submission order and stay byte-identical at any jobs \
+                  count",
+    },
 ];
 
 /// Is `crate_name` subject to `rule` for a file at `rel_path`?
@@ -111,6 +124,7 @@ fn rule_applies(rule: &Rule, crate_name: &str, rel_path: &str) -> bool {
                 || rel_path == "crates/oversub/src/exec.rs"
         }
         "D4" => true,
+        "D5" => rel_path != THREAD_POOL_FILE && !TIME_EXEMPT_CRATES.contains(&crate_name),
         _ => false,
     }
 }
@@ -118,7 +132,7 @@ fn rule_applies(rule: &Rule, crate_name: &str, rel_path: &str) -> bool {
 /// One finding.
 #[derive(Clone, Debug)]
 pub struct Violation {
-    /// Rule id (`D1`..`D4`).
+    /// Rule id (`D1`..`D5`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -642,6 +656,50 @@ mod tests {
     }
 
     #[test]
+    fn d5_confines_host_threads_to_the_pool() {
+        let src = "std::thread::spawn(|| {});\n";
+        // Fires in sim and support crates alike…
+        assert_eq!(
+            scan_source("oversub", "crates/oversub/src/sweep.rs", src).len(),
+            1
+        );
+        assert_eq!(
+            scan_source("metrics", "crates/metrics/src/x.rs", src).len(),
+            1
+        );
+        // …but not in the pool itself or the host-measuring crates.
+        assert!(scan_source("simcore", "crates/simcore/src/pool.rs", src).is_empty());
+        assert!(scan_source("bench", "crates/bench/src/bin/x.rs", src).is_empty());
+        assert!(scan_source("criterion", "crates/criterion/src/x.rs", src).is_empty());
+        // Scoped spawns and named builders are the same hazard.
+        assert_eq!(
+            scan_source(
+                "sched",
+                "crates/sched/src/x.rs",
+                "std::thread::scope(|s| {});\n"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            scan_source(
+                "sched",
+                "crates/sched/src/x.rs",
+                "thread::Builder::new();\n"
+            )
+            .len(),
+            1
+        );
+        // available_parallelism is a read, not a thread, and stays legal.
+        assert!(scan_source(
+            "oversub",
+            "crates/oversub/src/sweep.rs",
+            "std::thread::available_parallelism();\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn d4_flags_statics_everywhere() {
         let src = "static mut COUNTER: u64 = 0;\n";
         assert_eq!(
@@ -695,7 +753,7 @@ reason = "probe-only set; never iterated"
         let a = r.to_json().to_string_compact();
         let b = r.to_json().to_string_compact();
         assert_eq!(a, b);
-        assert!(a.contains("\"ruleset\":\"detlint-v1\""));
+        assert!(a.contains("\"ruleset\":\"detlint-v2\""));
         assert!(!r.is_clean());
     }
 }

@@ -1,164 +1,22 @@
 //! Regenerate every table and figure in one run (the `bench_output.txt`
-//! driver). Experiments run in parallel across host threads — each
-//! simulation is independent and deterministic.
-use oversub::experiments as exp;
-use oversub::metrics::TextTable;
-use oversub::ExecEnv;
-use oversub_bench::parse_args;
-
-type Job = (
-    &'static str,
-    &'static str,
-    Box<dyn Fn() -> TextTable + Send>,
-);
+//! driver). Each driver batches its simulation arms onto the shared sweep
+//! worker pool (`--jobs N` / `OVERSUB_JOBS`, default: available
+//! parallelism), and repeated arms across figures are served from the
+//! memoized run cache — the output is byte-identical at any jobs count.
+use oversub_bench::{parse_args, render_experiment_set};
 
 fn main() {
     let a = parse_args();
-    let o = a.opts;
-    let jobs: Vec<Job> = vec![
-        (
-            "Figure 1",
-            "oversubscription survey",
-            Box::new(move || exp::fig01_survey(o)),
-        ),
-        (
-            "Figure 2",
-            "direct cost of context switching",
-            Box::new(move || exp::fig02_direct_cost(o)),
-        ),
-        (
-            "Figure 3",
-            "synchronization intervals",
-            Box::new(exp::fig03_sync_intervals),
-        ),
-        (
-            "Figure 4",
-            "indirect cost of context switching (us per CS)",
-            Box::new(move || exp::fig04_indirect_cost(o)),
-        ),
-        (
-            "Figure 9",
-            "virtual blocking on blocking benchmarks",
-            Box::new(move || exp::fig09_vb_blocking(o)),
-        ),
-        (
-            "Figure 10a",
-            "VB speedup vs threads (1 core)",
-            Box::new(move || exp::fig10a_primitives_threads(o)),
-        ),
-        (
-            "Figure 10b",
-            "VB speedup vs cores (32 threads)",
-            Box::new(move || exp::fig10b_primitives_cores(o)),
-        ),
-        (
-            "Figure 11",
-            "CPU elasticity",
-            Box::new(move || exp::fig11_elasticity(o)),
-        ),
-        (
-            "Figure 12",
-            "memcached",
-            Box::new(move || exp::fig12_memcached(o)),
-        ),
-        (
-            "Figure 13a",
-            "spinlocks in a container",
-            Box::new(move || exp::fig13_spinlocks(ExecEnv::Container, o)),
-        ),
-        (
-            "Figure 13b",
-            "spinlocks in KVM (PLE arm)",
-            Box::new(move || exp::fig13_spinlocks(ExecEnv::Vm, o)),
-        ),
-        (
-            "Figure 14",
-            "user-customized spinning",
-            Box::new(move || exp::fig14_custom_spin(o)),
-        ),
-        (
-            "Figure 15",
-            "SHFLLOCK comparison",
-            Box::new(move || exp::fig15_shfllock(o)),
-        ),
-        (
-            "Table 1",
-            "runtime statistics",
-            Box::new(move || exp::table1_runtime_stats(o)),
-        ),
-        (
-            "Table 2",
-            "BWD true positives",
-            Box::new(move || exp::table2_bwd_tp(o)),
-        ),
-        (
-            "Table 3",
-            "BWD false positives",
-            Box::new(move || exp::table3_bwd_fp(o)),
-        ),
-        (
-            "Ablation",
-            "BWD interval sweep",
-            Box::new(move || exp::ablation_bwd_interval(o)),
-        ),
-        (
-            "Ablation",
-            "BWD heuristics",
-            Box::new(move || exp::ablation_bwd_heuristics(o)),
-        ),
-        (
-            "Ablation",
-            "VB auto-disable",
-            Box::new(move || exp::ablation_vb_auto_disable(o)),
-        ),
-        (
-            "Ablation",
-            "migration-cost sensitivity",
-            Box::new(move || exp::ablation_migration_cost(o)),
-        ),
-        (
-            "Ablation",
-            "wakeup-path cost sweep",
-            Box::new(move || exp::ablation_wakeup_cost(o)),
-        ),
-        (
-            "Extension",
-            "pipeline cascade",
-            Box::new(move || exp::ext_pipeline_cascade(o)),
-        ),
-        (
-            "Extension",
-            "web serving",
-            Box::new(move || exp::ext_web_serving(o)),
-        ),
-        (
-            "Extension",
-            "dynamic threading vs oversubscription",
-            Box::new(move || exp::ext_forkjoin_dynamic_threading(o)),
-        ),
-        (
-            "Ablation",
-            "huge pages remove the TLB benefit",
-            Box::new(move || exp::ablation_hugepages(o)),
-        ),
-        (
-            "Methodology",
-            "seed sensitivity",
-            Box::new(move || exp::seed_sensitivity(o)),
-        ),
-    ];
-    let results: Vec<(String, String)> = std::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .into_iter()
-            .map(|(id, desc, f)| {
-                let title = format!("{id}: {desc}");
-                s.spawn(move || (title, f().render()))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    for (title, body) in results {
-        println!("==== {title}");
-        println!("{body}");
-    }
+    print!("{}", render_experiment_set(a.opts));
+    let s = oversub::sweep::stats();
+    eprintln!(
+        "[sweep] jobs={} pool-jobs={} cache-hits={} cache-misses={} uncached={} utilization={}.{:03}",
+        oversub::sweep::jobs(),
+        s.pool.jobs,
+        s.cache_hits,
+        s.cache_misses,
+        s.uncached_runs,
+        s.pool.utilization_milli() / 1000,
+        s.pool.utilization_milli() % 1000,
+    );
 }

@@ -6,6 +6,10 @@
 //! drops, and LBR/PMC sensor noise — with the liveness watchdog armed and
 //! an event budget as the hang backstop.
 //!
+//! The cells are independent simulations, so the matrix runs on the sweep
+//! worker pool (`OVERSUB_JOBS`, default: available parallelism); rows are
+//! printed in matrix order regardless of the jobs count.
+//!
 //! A cell **passes** when the run produces a report, cleanly or with
 //! watchdog diagnostics. A cell **fails** — and the process exits
 //! non-zero — when the engine panics, errors, or reports an invariant
@@ -22,12 +26,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use oversub::simcore::pool::Job;
 use oversub::simcore::SimTime;
 use oversub::workload::Workload;
 use oversub::workloads::memcached::Memcached;
 use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
 use oversub::workloads::skeletons::{BenchProfile, Skeleton};
-use oversub::{try_run, FaultPlan, MachineSpec, Mechanisms, RunConfig, WatchdogParams};
+use oversub::{sweep, try_run, FaultPlan, MachineSpec, Mechanisms, RunConfig, WatchdogParams};
 
 /// Diagnostic kinds that mean the engine itself broke.
 const FAILURE_KINDS: &[&str] = &[
@@ -40,7 +45,7 @@ const FAILURE_KINDS: &[&str] = &[
 struct Scenario {
     workload: &'static str,
     cpus: usize,
-    mk: Box<dyn Fn() -> Box<dyn Workload>>,
+    mk: Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -80,18 +85,82 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
+/// One cell of the matrix: its printable row plus any failure records.
+fn run_cell(
+    workload: &str,
+    plan_name: &str,
+    cfg: &RunConfig,
+    mk: &(dyn Fn() -> Box<dyn Workload> + Send + Sync),
+) -> (String, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut wl = mk();
+    let outcome = catch_unwind(AssertUnwindSafe(|| try_run(&mut *wl, cfg)));
+    let cell = format!("{workload} x {plan_name}");
+    let row = match outcome {
+        Err(_) => {
+            failures.push(format!("{cell}: engine panicked"));
+            format!(
+                "{:<32} {:<14} {:>10} {:>8} {:>10}  PANIC",
+                workload, plan_name, "-", "-", "-"
+            )
+        }
+        Ok(Err(e)) => {
+            failures.push(format!("{cell}: engine error: {e}"));
+            format!(
+                "{:<32} {:<14} {:>10} {:>8} {:>10}  ERROR",
+                workload, plan_name, "-", "-", "-"
+            )
+        }
+        Ok(Ok(report)) => {
+            let clean_arm = plan_name == "clean";
+            let violations: Vec<_> = report
+                .diagnostics
+                .iter()
+                .filter(|d| {
+                    FAILURE_KINDS.contains(&d.kind.as_str())
+                        || (clean_arm && d.kind == "deadlock-cycle")
+                })
+                .collect();
+            let recoveries: u64 = report.mechanisms.iter().map(|m| m.recoveries).sum();
+            let verdict = if violations.is_empty() {
+                "ok"
+            } else {
+                "INVARIANT"
+            };
+            for v in &violations {
+                failures.push(format!(
+                    "{cell}: {} at {} ns: {}",
+                    v.kind, v.at_ns, v.detail
+                ));
+            }
+            format!(
+                "{:<32} {:<14} {:>8.1}ms {:>8} {:>10}  {verdict}",
+                workload,
+                plan_name,
+                report.makespan_ns as f64 / 1e6,
+                report.diagnostics.len(),
+                recoveries,
+            )
+        }
+    };
+    (row, failures)
+}
+
 fn main() {
     let t0 = Instant::now();
-    let mut failures = Vec::new();
     println!(
-        "{{\"bench\":\"chaos_smoke\",\"detlint_ruleset\":\"{}\"}}",
-        analysis::RULESET_VERSION
+        "{{\"bench\":\"chaos_smoke\",\"detlint_ruleset\":\"{}\",\"pool_jobs\":{}}}",
+        analysis::RULESET_VERSION,
+        sweep::jobs(),
     );
     println!(
         "{:<32} {:<14} {:>10} {:>8} {:>10}  outcome",
         "workload", "fault", "makespan", "diags", "recoveries"
     );
-    for sc in scenarios() {
+
+    let scenarios = scenarios();
+    let mut cells: Vec<Job<'_, (String, Vec<String>)>> = Vec::new();
+    for sc in &scenarios {
         for (plan_name, plan) in plans() {
             let cfg = RunConfig::vanilla(sc.cpus)
                 .with_machine(MachineSpec::PaperN(sc.cpus))
@@ -102,64 +171,26 @@ fn main() {
                 .with_lockdep()
                 .with_watchdog(WatchdogParams::default())
                 .with_max_events(50_000_000);
-            let mut wl = (sc.mk)();
-            let outcome = catch_unwind(AssertUnwindSafe(|| try_run(&mut *wl, &cfg)));
-            let cell = format!("{} x {plan_name}", sc.workload);
-            match outcome {
-                Err(_) => {
-                    println!(
-                        "{:<32} {:<14} {:>10} {:>8} {:>10}  PANIC",
-                        sc.workload, plan_name, "-", "-", "-"
-                    );
-                    failures.push(format!("{cell}: engine panicked"));
-                }
-                Ok(Err(e)) => {
-                    println!(
-                        "{:<32} {:<14} {:>10} {:>8} {:>10}  ERROR",
-                        sc.workload, plan_name, "-", "-", "-"
-                    );
-                    failures.push(format!("{cell}: engine error: {e}"));
-                }
-                Ok(Ok(report)) => {
-                    let clean_arm = plan_name == "clean";
-                    let violations: Vec<_> = report
-                        .diagnostics
-                        .iter()
-                        .filter(|d| {
-                            FAILURE_KINDS.contains(&d.kind.as_str())
-                                || (clean_arm && d.kind == "deadlock-cycle")
-                        })
-                        .collect();
-                    let recoveries: u64 = report.mechanisms.iter().map(|m| m.recoveries).sum();
-                    let verdict = if violations.is_empty() {
-                        "ok"
-                    } else {
-                        "INVARIANT"
-                    };
-                    println!(
-                        "{:<32} {:<14} {:>8.1}ms {:>8} {:>10}  {verdict}",
-                        sc.workload,
-                        plan_name,
-                        report.makespan_ns as f64 / 1e6,
-                        report.diagnostics.len(),
-                        recoveries,
-                    );
-                    for v in violations {
-                        failures.push(format!(
-                            "{cell}: {} at {} ns: {}",
-                            v.kind, v.at_ns, v.detail
-                        ));
-                    }
-                }
-            }
+            let workload = sc.workload;
+            let mk = &sc.mk;
+            cells.push(Box::new(move || {
+                run_cell(workload, plan_name, &cfg, mk.as_ref())
+            }));
         }
     }
+
+    let mut failures = Vec::new();
+    for (row, cell_failures) in sweep::run_batch(cells) {
+        println!("{row}");
+        failures.extend(cell_failures);
+    }
+
     println!(
         "\nchaos smoke finished in {:.1}s",
         t0.elapsed().as_secs_f64()
     );
     if failures.is_empty() {
-        println!("all {} cells passed", scenarios().len() * plans().len());
+        println!("all {} cells passed", scenarios.len() * plans().len());
     } else {
         eprintln!("\nchaos smoke FAILED:");
         for f in &failures {

@@ -6,8 +6,12 @@
 //! `tests/determinism.rs` — so this measures pure host-side speed.
 //!
 //! Writes `BENCH_sim_throughput.json` at the repo root and prints a
-//! table. Usage: `sim_throughput [--reps N] [--check]` (default 5 reps;
-//! best-of-N wall time is reported to suppress scheduling noise).
+//! table. Usage: `sim_throughput [--reps N] [--jobs N] [--check]`
+//! (default 5 reps; best-of-N wall time is reported to suppress
+//! scheduling noise). Reps run on the sweep worker pool, but `--jobs`
+//! defaults to **1** here — co-running reps contend for host cores and
+//! depress the very wall times this benchmark exists to measure. Raise it
+//! only for smoke runs where absolute numbers don't matter.
 //!
 //! With `--check` the committed baseline is left untouched: the fresh
 //! optimized-engine events/sec of every arm is compared against the
@@ -17,17 +21,18 @@
 use std::time::Instant;
 
 use oversub::metrics::json::{obj, JsonValue};
+use oversub::simcore::pool::Job;
 use oversub::simcore::SimTime;
 use oversub::workload::Workload;
 use oversub::workloads::memcached::Memcached;
 use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
 use oversub::workloads::skeletons::{BenchProfile, Skeleton};
-use oversub::{run_counted, MachineSpec, Mechanisms, RunConfig};
+use oversub::{run_counted, sweep, MachineSpec, Mechanisms, RunConfig};
 
 struct Arm {
     name: &'static str,
     cfg: RunConfig,
-    mk: Box<dyn Fn() -> Box<dyn Workload>>,
+    mk: Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
 }
 
 fn arms() -> Vec<Arm> {
@@ -92,24 +97,36 @@ fn arms() -> Vec<Arm> {
 
 /// Best-of-`reps` wall time in nanoseconds, the (deterministic)
 /// processed-event count, and the per-mechanism counters of the run, for
-/// one engine flavor.
-fn measure(arm: &Arm, reference: bool, reps: usize) -> (u64, u64, Vec<JsonValue>) {
+/// one engine flavor. The reps execute as a pool batch at the given jobs
+/// count (default 1: timing fidelity).
+fn measure(arm: &Arm, reference: bool, reps: usize, jobs: usize) -> (u64, u64, Vec<JsonValue>) {
     let cfg = arm.cfg.clone().with_reference_engine(reference);
+    let batch: Vec<Job<'_, (u64, u64, Vec<JsonValue>)>> = (0..reps)
+        .map(|_| {
+            let cfg = cfg.clone();
+            let mk = &arm.mk;
+            let name = arm.name;
+            Box::new(move || {
+                let mut wl = mk();
+                let t0 = Instant::now();
+                let (report, n) = run_counted(&mut *wl, &cfg, name);
+                let dt = t0.elapsed().as_nanos() as u64;
+                let mechs = report
+                    .mechanisms
+                    .iter()
+                    .map(|m| m.to_json_value())
+                    .collect();
+                (dt.max(1), n, mechs)
+            }) as Job<'_, (u64, u64, Vec<JsonValue>)>
+        })
+        .collect();
     let mut best_ns = u64::MAX;
     let mut events = 0u64;
     let mut mechs = Vec::new();
-    for _ in 0..reps {
-        let mut wl = (arm.mk)();
-        let t0 = Instant::now();
-        let (report, n) = run_counted(&mut *wl, &cfg, arm.name);
-        let dt = t0.elapsed().as_nanos() as u64;
-        best_ns = best_ns.min(dt.max(1));
+    for (dt, n, m) in sweep::run_batch_with_jobs(batch, jobs) {
+        best_ns = best_ns.min(dt);
         events = n;
-        mechs = report
-            .mechanisms
-            .iter()
-            .map(|m| m.to_json_value())
-            .collect();
+        mechs = m;
     }
     (best_ns, events, mechs)
 }
@@ -120,11 +137,14 @@ fn eps(events: u64, wall_ns: u64) -> u64 {
 
 fn main() {
     let mut reps = 5usize;
+    let mut jobs = 1usize;
     let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--reps" {
             reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(5).max(1);
+        } else if a == "--jobs" {
+            jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
         } else if a == "--check" {
             check = true;
         }
@@ -136,8 +156,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for arm in arms() {
-        let (ref_ns, ref_events, _) = measure(&arm, true, reps);
-        let (fast_ns, fast_events, mechs) = measure(&arm, false, reps);
+        let (ref_ns, ref_events, _) = measure(&arm, true, reps, jobs);
+        let (fast_ns, fast_events, mechs) = measure(&arm, false, reps, jobs);
         let ref_eps = eps(ref_events, ref_ns);
         let fast_eps = eps(fast_events, fast_ns);
         // Coalescing removes events, so events/sec on the fast engine's
@@ -180,6 +200,7 @@ fn main() {
         ]));
     }
 
+    let sweep_stats = sweep::stats();
     let doc = obj(vec![
         ("bench", JsonValue::Str("sim_throughput".to_string())),
         (
@@ -187,6 +208,15 @@ fn main() {
             JsonValue::Str(analysis::RULESET_VERSION.to_string()),
         ),
         ("reps", JsonValue::UInt(reps as u128)),
+        ("pool_jobs", JsonValue::UInt(jobs as u128)),
+        (
+            "pool_jobs_executed",
+            JsonValue::UInt(sweep_stats.pool.jobs as u128),
+        ),
+        (
+            "cache_hits",
+            JsonValue::UInt(sweep_stats.cache_hits as u128),
+        ),
         (
             "note",
             JsonValue::Str(

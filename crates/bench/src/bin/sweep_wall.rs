@@ -1,0 +1,190 @@
+//! Parallel-harness wall-clock benchmark: the full experiment set at
+//! quick scale, once at `--jobs 1` (the exact legacy sequential path) and
+//! once at `--jobs N` (default: available parallelism), with the run
+//! cache reset between passes so each pays full cost.
+//!
+//! Two numbers fall out:
+//! - **determinism**: the two passes' rendered output is byte-compared;
+//!   any difference is a bug in the pool's submission-order merge and
+//!   fails the run immediately,
+//! - **speedup**: sequential wall over parallel wall, written (with pool
+//!   utilization and run-cache counters) to `BENCH_sweep_wall.json` at
+//!   the repo root.
+//!
+//! Usage: `sweep_wall [--scale F] [--seed N] [--jobs N] [--check]`.
+//! With `--check` the committed baseline is left untouched and the run
+//! becomes the CI gate: byte-identity always, and speedup >= 1.5x when
+//! the host has at least 4 CPUs (on smaller hosts there is no parallelism
+//! to win, so only determinism is enforced).
+
+use std::time::Instant;
+
+use oversub::experiments::ExpOpts;
+use oversub::metrics::json::{obj, JsonValue};
+use oversub::sweep;
+use oversub_bench::render_experiment_set;
+
+const MIN_SPEEDUP_MILLI: u64 = 1500;
+const MIN_GATE_CPUS: usize = 4;
+
+/// One full rendering pass at a fixed jobs count, from a cold cache.
+fn pass(o: ExpOpts, jobs: usize) -> (String, u64, sweep::SweepStats) {
+    sweep::reset();
+    sweep::set_jobs(jobs);
+    let t0 = Instant::now();
+    let out = render_experiment_set(o);
+    let wall = (t0.elapsed().as_nanos() as u64).max(1);
+    (out, wall, sweep::stats())
+}
+
+fn main() {
+    let mut o = ExpOpts::quick();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut jobs = host_cpus;
+    let mut check = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => o.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(o.scale),
+            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(o.seed),
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(jobs)
+                    .max(1)
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: sweep_wall [--scale F] [--seed N] [--jobs N] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("sweep_wall: sequential pass (jobs=1)...");
+    let (seq_out, seq_ns, seq_stats) = pass(o, 1);
+    println!("sweep_wall: parallel pass (jobs={jobs})...");
+    let (par_out, par_ns, par_stats) = pass(o, jobs);
+
+    // The determinism gate: both passes must render identical bytes.
+    if seq_out != par_out {
+        let at = seq_out
+            .bytes()
+            .zip(par_out.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| seq_out.len().min(par_out.len()));
+        eprintln!(
+            "sweep_wall FAILED: output differs between jobs=1 and jobs={jobs} \
+             (first difference at byte {at}) — the pool's submission-order \
+             merge is broken"
+        );
+        std::process::exit(1);
+    }
+
+    let speedup_milli = ((seq_ns as u128) * 1000 / (par_ns as u128)) as u64;
+    println!(
+        "jobs=1: {:.2}s   jobs={}: {:.2}s   speedup {}.{:03}x   \
+         (cache: {} hits / {} misses / {} uncached; pool utilization {}.{:03})",
+        seq_ns as f64 / 1e9,
+        jobs,
+        par_ns as f64 / 1e9,
+        speedup_milli / 1000,
+        speedup_milli % 1000,
+        par_stats.cache_hits,
+        par_stats.cache_misses,
+        par_stats.uncached_runs,
+        par_stats.pool.utilization_milli() / 1000,
+        par_stats.pool.utilization_milli() % 1000,
+    );
+
+    if check {
+        println!("byte-identity gate passed ({} bytes)", seq_out.len());
+        if host_cpus >= MIN_GATE_CPUS && jobs >= MIN_GATE_CPUS {
+            if speedup_milli < MIN_SPEEDUP_MILLI {
+                eprintln!(
+                    "sweep_wall FAILED: speedup {}.{:03}x < 1.500x at jobs={jobs} \
+                     on a {host_cpus}-CPU host",
+                    speedup_milli / 1000,
+                    speedup_milli % 1000,
+                );
+                std::process::exit(1);
+            }
+            println!("speedup gate passed (>= 1.500x)");
+        } else {
+            println!(
+                "speedup gate skipped: host has {host_cpus} CPU(s) at jobs={jobs} \
+                 (needs >= {MIN_GATE_CPUS} of both)"
+            );
+        }
+        return;
+    }
+
+    let doc = obj(vec![
+        ("bench", JsonValue::Str("sweep_wall".to_string())),
+        (
+            "detlint_ruleset",
+            JsonValue::Str(analysis::RULESET_VERSION.to_string()),
+        ),
+        ("host_cpus", JsonValue::UInt(host_cpus as u128)),
+        ("jobs", JsonValue::UInt(jobs as u128)),
+        ("scale_milli", JsonValue::UInt((o.scale * 1000.0) as u128)),
+        ("seed", JsonValue::UInt(o.seed as u128)),
+        ("sequential_wall_ns", JsonValue::UInt(seq_ns as u128)),
+        ("parallel_wall_ns", JsonValue::UInt(par_ns as u128)),
+        ("speedup_milli", JsonValue::UInt(speedup_milli as u128)),
+        ("byte_identical", JsonValue::Bool(true)),
+        ("output_bytes", JsonValue::UInt(seq_out.len() as u128)),
+        ("cache_hits", JsonValue::UInt(par_stats.cache_hits as u128)),
+        (
+            "cache_misses",
+            JsonValue::UInt(par_stats.cache_misses as u128),
+        ),
+        (
+            "uncached_runs",
+            JsonValue::UInt(par_stats.uncached_runs as u128),
+        ),
+        (
+            "pool_jobs_executed",
+            JsonValue::UInt(par_stats.pool.jobs as u128),
+        ),
+        (
+            "pool_utilization_milli",
+            JsonValue::UInt(par_stats.pool.utilization_milli() as u128),
+        ),
+        (
+            "sequential_cache_hits",
+            JsonValue::UInt(seq_stats.cache_hits as u128),
+        ),
+        (
+            "note",
+            JsonValue::Str(
+                "full experiment set, cold cache per pass; speedup in milli-units \
+                 (1500 = 1.5x); output byte-compared between jobs=1 and jobs=N; \
+                 speedup is hardware-dependent — the CI gate (--check) only \
+                 enforces it on hosts with >= 4 CPUs"
+                    .to_string(),
+            ),
+        ),
+    ]);
+
+    let Some(root) = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+    else {
+        eprintln!(
+            "sweep_wall: cannot locate the repo root from manifest dir {}",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::process::exit(1);
+    };
+    let path = root.join("BENCH_sweep_wall.json");
+    if let Err(e) = std::fs::write(&path, doc.to_string_pretty() + "\n") {
+        eprintln!("sweep_wall: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", path.display());
+}

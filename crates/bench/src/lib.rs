@@ -3,10 +3,13 @@
 //! Every binary accepts:
 //! - `--scale <f64>`: phase-count scale (default 0.25; 1.0 = paper-sized),
 //! - `--seed <u64>`: RNG seed (default 42),
+//! - `--jobs <N>`: sweep worker count (default: `OVERSUB_JOBS` or the
+//!   host's available parallelism; results are identical at any value),
 //! - `--csv`: emit CSV instead of the aligned table.
 
-use oversub::experiments::ExpOpts;
+use oversub::experiments::{self as exp, ExpOpts};
 use oversub::metrics::TextTable;
+use oversub::ExecEnv;
 
 /// Parsed command line for a figure binary.
 pub struct HarnessArgs {
@@ -16,7 +19,8 @@ pub struct HarnessArgs {
     pub csv: bool,
 }
 
-/// Parse `std::env::args` into [`HarnessArgs`].
+/// Parse `std::env::args` into [`HarnessArgs`]. A `--jobs N` flag is
+/// applied process-wide via [`oversub::sweep::set_jobs`].
 pub fn parse_args() -> HarnessArgs {
     let mut opts = ExpOpts {
         scale: 0.25,
@@ -38,12 +42,23 @@ pub fn parse_args() -> HarnessArgs {
                     std::process::exit(2);
                 });
             }
+            "--jobs" => {
+                let n: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --jobs needs a positive integer");
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("error: --jobs needs a positive integer");
+                    std::process::exit(2);
+                }
+                oversub::sweep::set_jobs(n);
+            }
             "--csv" => csv = true,
             "--quick" => opts.scale = 0.08,
             "--full" => opts.scale = 1.0,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: [--scale F] [--seed N] [--csv] [--quick] [--full]");
+                eprintln!("usage: [--scale F] [--seed N] [--jobs N] [--csv] [--quick] [--full]");
                 std::process::exit(2);
             }
         }
@@ -61,4 +76,159 @@ pub fn emit(title: &str, paper_ref: &str, table: &TextTable, csv: bool) {
         println!();
         print!("{}", table.render());
     }
+}
+
+/// One entry of the full regeneration set: (id, description, driver).
+pub type Experiment = (&'static str, &'static str, Box<dyn Fn() -> TextTable>);
+
+/// Every figure, table, ablation, and extension driver, in report order.
+/// Shared by `all_experiments` (regeneration) and `sweep_wall` (the
+/// parallel-harness benchmark); each driver batches its own arms onto the
+/// sweep pool, so the list itself is iterated sequentially.
+pub fn experiment_set(o: ExpOpts) -> Vec<Experiment> {
+    vec![
+        (
+            "Figure 1",
+            "oversubscription survey",
+            Box::new(move || exp::fig01_survey(o)),
+        ),
+        (
+            "Figure 2",
+            "direct cost of context switching",
+            Box::new(move || exp::fig02_direct_cost(o)),
+        ),
+        (
+            "Figure 3",
+            "synchronization intervals",
+            Box::new(exp::fig03_sync_intervals),
+        ),
+        (
+            "Figure 4",
+            "indirect cost of context switching (us per CS)",
+            Box::new(move || exp::fig04_indirect_cost(o)),
+        ),
+        (
+            "Figure 9",
+            "virtual blocking on blocking benchmarks",
+            Box::new(move || exp::fig09_vb_blocking(o)),
+        ),
+        (
+            "Figure 10a",
+            "VB speedup vs threads (1 core)",
+            Box::new(move || exp::fig10a_primitives_threads(o)),
+        ),
+        (
+            "Figure 10b",
+            "VB speedup vs cores (32 threads)",
+            Box::new(move || exp::fig10b_primitives_cores(o)),
+        ),
+        (
+            "Figure 11",
+            "CPU elasticity",
+            Box::new(move || exp::fig11_elasticity(o)),
+        ),
+        (
+            "Figure 12",
+            "memcached",
+            Box::new(move || exp::fig12_memcached(o)),
+        ),
+        (
+            "Figure 13a",
+            "spinlocks in a container",
+            Box::new(move || exp::fig13_spinlocks(ExecEnv::Container, o)),
+        ),
+        (
+            "Figure 13b",
+            "spinlocks in KVM (PLE arm)",
+            Box::new(move || exp::fig13_spinlocks(ExecEnv::Vm, o)),
+        ),
+        (
+            "Figure 14",
+            "user-customized spinning",
+            Box::new(move || exp::fig14_custom_spin(o)),
+        ),
+        (
+            "Figure 15",
+            "SHFLLOCK comparison",
+            Box::new(move || exp::fig15_shfllock(o)),
+        ),
+        (
+            "Table 1",
+            "runtime statistics",
+            Box::new(move || exp::table1_runtime_stats(o)),
+        ),
+        (
+            "Table 2",
+            "BWD true positives",
+            Box::new(move || exp::table2_bwd_tp(o)),
+        ),
+        (
+            "Table 3",
+            "BWD false positives",
+            Box::new(move || exp::table3_bwd_fp(o)),
+        ),
+        (
+            "Ablation",
+            "BWD interval sweep",
+            Box::new(move || exp::ablation_bwd_interval(o)),
+        ),
+        (
+            "Ablation",
+            "BWD heuristics",
+            Box::new(move || exp::ablation_bwd_heuristics(o)),
+        ),
+        (
+            "Ablation",
+            "VB auto-disable",
+            Box::new(move || exp::ablation_vb_auto_disable(o)),
+        ),
+        (
+            "Ablation",
+            "migration-cost sensitivity",
+            Box::new(move || exp::ablation_migration_cost(o)),
+        ),
+        (
+            "Ablation",
+            "wakeup-path cost sweep",
+            Box::new(move || exp::ablation_wakeup_cost(o)),
+        ),
+        (
+            "Extension",
+            "pipeline cascade",
+            Box::new(move || exp::ext_pipeline_cascade(o)),
+        ),
+        (
+            "Extension",
+            "web serving",
+            Box::new(move || exp::ext_web_serving(o)),
+        ),
+        (
+            "Extension",
+            "dynamic threading vs oversubscription",
+            Box::new(move || exp::ext_forkjoin_dynamic_threading(o)),
+        ),
+        (
+            "Ablation",
+            "huge pages remove the TLB benefit",
+            Box::new(move || exp::ablation_hugepages(o)),
+        ),
+        (
+            "Methodology",
+            "seed sensitivity",
+            Box::new(move || exp::seed_sensitivity(o)),
+        ),
+    ]
+}
+
+/// Render the full experiment set into the canonical `bench_output.txt`
+/// text form (`==== id: desc` headers). This is the byte-compared payload
+/// of the `sweep_wall` determinism gate.
+pub fn render_experiment_set(o: ExpOpts) -> String {
+    let mut out = String::new();
+    for (id, desc, f) in experiment_set(o) {
+        out.push_str(&format!("==== {id}: {desc}\n"));
+        out.push_str(&f().render());
+        out.push('\n');
+    }
+    out
 }

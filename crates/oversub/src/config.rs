@@ -275,7 +275,10 @@ impl RunConfig {
     /// is invoked once per engine construction so every run gets a fresh
     /// instance; registration order is pipeline order (after the in-tree
     /// mechanisms). See `examples/custom_mechanism.rs`.
-    pub fn with_mechanism(mut self, f: impl Fn() -> Box<dyn Mechanism> + 'static) -> Self {
+    pub fn with_mechanism(
+        mut self,
+        f: impl Fn() -> Box<dyn Mechanism> + Send + Sync + 'static,
+    ) -> Self {
         self.custom_mechanisms.push(MechanismFactory::new(f));
         self
     }

@@ -1,8 +1,13 @@
 //! Ablations, seed-sensitivity sweeps, and extensions beyond the paper.
+//!
+//! All drivers batch their arms through [`Sweep`] (submission-order
+//! results, worker-pool execution, memoized repeats); each arm owns its
+//! config and workload inputs, so execution order cannot leak between
+//! arms.
 
-use super::{fmt_s, run_skeleton, ExpOpts};
+use super::{fmt_s, submit_skeleton, ExpOpts};
 use crate::config::{MachineSpec, Mechanisms, RunConfig};
-use crate::engine::run_labelled;
+use crate::sweep::Sweep;
 use oversub_hw::AccessPattern;
 use oversub_metrics::{Summary, TextTable};
 use oversub_simcore::{SimTime, MICROS};
@@ -14,21 +19,33 @@ use oversub_workloads::webserving::WebServing;
 /// Ablation: BWD timer interval sweep on the `lu` skeleton (32T / 8c):
 /// detection latency vs timer overhead.
 pub fn ablation_bwd_interval(opts: ExpOpts) -> TextTable {
+    let intervals = [25u64, 50, 100, 200, 400, 800];
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = intervals
+        .into_iter()
+        .map(|us| {
+            let profile = BenchProfile::by_name("lu").unwrap();
+            let scale = opts.scale;
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(Mechanisms::optimized())
+                .with_seed(opts.seed);
+            cfg.bwd_params.interval_ns = us * MICROS;
+            let idx = sweep.add("lu", cfg, move || {
+                Box::new(Skeleton::scaled(profile, 32, scale))
+            });
+            (us, idx)
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new(["interval(us)", "makespan(s)", "detections", "checks"]);
-    for &us in &[25u64, 50, 100, 200, 400, 800] {
-        let profile = BenchProfile::by_name("lu").unwrap();
-        let mut wl = Skeleton::scaled(profile, 32, opts.scale);
-        let mut cfg = RunConfig::vanilla(8)
-            .with_machine(MachineSpec::Paper8Cores)
-            .with_mech(Mechanisms::optimized())
-            .with_seed(opts.seed);
-        cfg.bwd_params.interval_ns = us * MICROS;
-        let r = run_labelled(&mut wl, &cfg, "lu");
+    for (us, idx) in arms {
         t.row([
             us.to_string(),
-            fmt_s(&r),
-            r.bwd.detections.to_string(),
-            r.bwd.checks.to_string(),
+            fmt_s(&r[idx]),
+            r[idx].bwd.detections.to_string(),
+            r[idx].bwd.checks.to_string(),
         ]);
     }
     t
@@ -37,21 +54,32 @@ pub fn ablation_bwd_interval(opts: ExpOpts) -> TextTable {
 /// Ablation: LBR-only vs LBR+PMC detection heuristics — false positives on
 /// a blocking NPB benchmark with tight-loop bait.
 pub fn ablation_bwd_heuristics(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = [("LBR+PMC", true), ("LBR-only", false)]
+        .into_iter()
+        .map(|(label, use_pmc)| {
+            let profile = BenchProfile::by_name("cg").unwrap();
+            let scale = opts.scale;
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(Mechanisms::optimized())
+                .with_seed(opts.seed);
+            cfg.bwd_params.use_pmc = use_pmc;
+            let idx = sweep.add(label, cfg, move || {
+                Box::new(Skeleton::scaled(profile, 32, scale))
+            });
+            (label, idx)
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new(["heuristic", "FPs", "windows", "makespan(s)"]);
-    for (label, use_pmc) in [("LBR+PMC", true), ("LBR-only", false)] {
-        let profile = BenchProfile::by_name("cg").unwrap();
-        let mut wl = Skeleton::scaled(profile, 32, opts.scale);
-        let mut cfg = RunConfig::vanilla(8)
-            .with_machine(MachineSpec::Paper8Cores)
-            .with_mech(Mechanisms::optimized())
-            .with_seed(opts.seed);
-        cfg.bwd_params.use_pmc = use_pmc;
-        let r = run_labelled(&mut wl, &cfg, label);
+    for (label, idx) in arms {
         t.row([
             label.to_string(),
-            r.bwd.false_positives.to_string(),
-            r.bwd.checks.to_string(),
-            fmt_s(&r),
+            r[idx].bwd.false_positives.to_string(),
+            r[idx].bwd.checks.to_string(),
+            fmt_s(&r[idx]),
         ]);
     }
     t
@@ -61,21 +89,32 @@ pub fn ablation_bwd_heuristics(opts: ExpOpts) -> TextTable {
 /// (8T / 8c): with the heuristic, VB defers to vanilla sleeps; without it,
 /// every wait is virtual.
 pub fn ablation_vb_auto_disable(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = [("auto-disable-on", true), ("auto-disable-off", false)]
+        .into_iter()
+        .map(|(label, auto)| {
+            let profile = BenchProfile::by_name("streamcluster").unwrap();
+            let scale = opts.scale;
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(Mechanisms::vb_only())
+                .with_seed(opts.seed);
+            cfg.mech.vb_auto_disable = auto;
+            let idx = sweep.add(label, cfg, move || {
+                Box::new(Skeleton::scaled(profile, 8, scale))
+            });
+            (label, idx)
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new(["arm", "makespan(s)", "virtual-waits", "sleep-waits"]);
-    for (label, auto) in [("auto-disable-on", true), ("auto-disable-off", false)] {
-        let profile = BenchProfile::by_name("streamcluster").unwrap();
-        let mut wl = Skeleton::scaled(profile, 8, opts.scale);
-        let mut cfg = RunConfig::vanilla(8)
-            .with_machine(MachineSpec::Paper8Cores)
-            .with_mech(Mechanisms::vb_only())
-            .with_seed(opts.seed);
-        cfg.mech.vb_auto_disable = auto;
-        let r = run_labelled(&mut wl, &cfg, label);
+    for (label, idx) in arms {
         t.row([
             label.to_string(),
-            fmt_s(&r),
-            r.blocking.virtual_waits.to_string(),
-            r.blocking.sleep_waits.to_string(),
+            fmt_s(&r[idx]),
+            r[idx].blocking.virtual_waits.to_string(),
+            r[idx].blocking.sleep_waits.to_string(),
         ]);
     }
     t
@@ -91,27 +130,59 @@ pub fn multi_seed_makespan(
     opts: ExpOpts,
     seeds: usize,
 ) -> Summary {
-    let samples: Vec<f64> = (0..seeds.max(1))
-        .map(|k| {
-            let o = ExpOpts {
-                seed: opts.seed + k as u64 * 7919,
-                ..opts
-            };
-            run_skeleton(name, threads, MachineSpec::Paper8Cores, mech, o).makespan_secs()
-        })
-        .collect();
+    let mut sweep = Sweep::new();
+    for k in 0..seeds.max(1) {
+        let o = ExpOpts {
+            seed: opts.seed + k as u64 * 7919,
+            ..opts
+        };
+        submit_skeleton(&mut sweep, name, threads, MachineSpec::Paper8Cores, mech, o);
+    }
+    let samples: Vec<f64> = sweep.run().iter().map(|r| r.makespan_secs()).collect();
     Summary::of(&samples)
 }
 
 /// Seed-sensitivity table: the Figure 9 headline arms across 5 seeds,
 /// reported as mean ± 95% CI — evidence the shapes are not seed artifacts.
 pub fn seed_sensitivity(opts: ExpOpts) -> TextTable {
+    const SEEDS: usize = 5;
+    let mut sweep = Sweep::new();
+    let mut submit_group = |name: &str, threads: usize, mech: Mechanisms| -> Vec<usize> {
+        (0..SEEDS)
+            .map(|k| {
+                let o = ExpOpts {
+                    seed: opts.seed + k as u64 * 7919,
+                    ..opts
+                };
+                submit_skeleton(&mut sweep, name, threads, MachineSpec::Paper8Cores, mech, o)
+            })
+            .collect()
+    };
+    let arms: Vec<_> = ["streamcluster", "cg", "lu"]
+        .into_iter()
+        .map(|name| {
+            (
+                name,
+                submit_group(name, 8, Mechanisms::vanilla()),
+                submit_group(name, 32, Mechanisms::vanilla()),
+                submit_group(name, 32, Mechanisms::optimized()),
+            )
+        })
+        .collect();
+    let r = sweep.run();
+    let summarize = |idxs: &[usize]| {
+        let samples: Vec<f64> = idxs.iter().map(|&i| r[i].makespan_secs()).collect();
+        Summary::of(&samples)
+    };
+
     let mut t = TextTable::new(["benchmark", "8T(van)", "32T(van)", "32T(opt)"]);
-    for name in ["streamcluster", "cg", "lu"] {
-        let b = multi_seed_makespan(name, 8, Mechanisms::vanilla(), opts, 5);
-        let o = multi_seed_makespan(name, 32, Mechanisms::vanilla(), opts, 5);
-        let x = multi_seed_makespan(name, 32, Mechanisms::optimized(), opts, 5);
-        t.row([name.to_string(), b.display(3), o.display(3), x.display(3)]);
+    for (name, b, o, x) in arms {
+        t.row([
+            name.to_string(),
+            summarize(&b).display(3),
+            summarize(&o).display(3),
+            summarize(&x).display(3),
+        ]);
     }
     t
 }
@@ -120,6 +191,27 @@ pub fn seed_sensitivity(opts: ExpOpts) -> TextTable {
 /// multiplier and watch the vanilla oversubscription penalty move while
 /// the VB arm stays flat (it barely migrates).
 pub fn ablation_migration_cost(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
+    for &mult in &[1.0f64, 1.6, 2.5, 4.0] {
+        let mut submit = |mech: Mechanisms| {
+            let profile = BenchProfile::by_name("streamcluster").unwrap();
+            let scale = opts.scale;
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            cfg.cache.remote_dram_mult = mult;
+            sweep.add("streamcluster", cfg, move || {
+                Box::new(Skeleton::scaled(profile, 32, scale))
+            })
+        };
+        let van = submit(Mechanisms::vanilla());
+        let opt = submit(Mechanisms::optimized());
+        arms.push((mult, van, opt));
+    }
+    let r = sweep.run();
+
     let mut t = TextTable::new([
         "remote-mult",
         "32T(van)",
@@ -127,25 +219,13 @@ pub fn ablation_migration_cost(opts: ExpOpts) -> TextTable {
         "van-migr",
         "opt-migr",
     ]);
-    for &mult in &[1.0f64, 1.6, 2.5, 4.0] {
-        let run = |mech: Mechanisms| {
-            let profile = BenchProfile::by_name("streamcluster").unwrap();
-            let mut wl = Skeleton::scaled(profile, 32, opts.scale);
-            let mut cfg = RunConfig::vanilla(8)
-                .with_machine(MachineSpec::Paper8Cores)
-                .with_mech(mech)
-                .with_seed(opts.seed);
-            cfg.cache.remote_dram_mult = mult;
-            run_labelled(&mut wl, &cfg, "streamcluster")
-        };
-        let van = run(Mechanisms::vanilla());
-        let opt = run(Mechanisms::optimized());
+    for (mult, van, opt) in arms {
         t.row([
             format!("{mult:.1}"),
-            fmt_s(&van),
-            fmt_s(&opt),
-            van.tasks.migrations().to_string(),
-            opt.tasks.migrations().to_string(),
+            fmt_s(&r[van]),
+            fmt_s(&r[opt]),
+            r[van].tasks.migrations().to_string(),
+            r[opt].tasks.migrations().to_string(),
         ]);
     }
     t
@@ -155,23 +235,30 @@ pub fn ablation_migration_cost(opts: ExpOpts) -> TextTable {
 /// cost and watch vanilla blocking degrade while VB is untouched (it
 /// never takes that path).
 pub fn ablation_wakeup_cost(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new(["wakeup-fixed(ns)", "32T(van)", "32T(opt)"]);
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
     for &ns in &[350u64, 700, 1_400, 2_800] {
-        let run = |mech: Mechanisms| {
+        let mut submit = |mech: Mechanisms| {
             let profile = BenchProfile::by_name("cg").unwrap();
-            let mut wl = Skeleton::scaled(profile, 32, opts.scale);
+            let scale = opts.scale;
             let mut cfg = RunConfig::vanilla(8)
                 .with_machine(MachineSpec::Paper8Cores)
                 .with_mech(mech)
                 .with_seed(opts.seed);
             cfg.sched.wakeup_fixed_ns = ns;
-            run_labelled(&mut wl, &cfg, "cg")
+            sweep.add("cg", cfg, move || {
+                Box::new(Skeleton::scaled(profile, 32, scale))
+            })
         };
-        t.row([
-            ns.to_string(),
-            fmt_s(&run(Mechanisms::vanilla())),
-            fmt_s(&run(Mechanisms::optimized())),
-        ]);
+        let van = submit(Mechanisms::vanilla());
+        let opt = submit(Mechanisms::optimized());
+        arms.push((ns, van, opt));
+    }
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["wakeup-fixed(ns)", "32T(van)", "32T(opt)"]);
+    for (ns, van, opt) in arms {
+        t.row([ns.to_string(), fmt_s(&r[van]), fmt_s(&r[opt])]);
     }
     t
 }
@@ -179,24 +266,32 @@ pub fn ablation_wakeup_cost(opts: ExpOpts) -> TextTable {
 /// Extension: the §4.3 pipeline microbenchmark (cascading delays), flag
 /// flavour, across stage counts on 8 cores.
 pub fn ext_pipeline_cascade(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new(["stages", "vanilla(s)", "optimized(s)", "detections"]);
     let items = ((240.0 * opts.scale).max(30.0)) as usize;
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
     for &stages in &[8usize, 16, 32, 64] {
-        let run = |mech: Mechanisms| {
-            let mut wl = SpinPipeline::new(stages, items, WaitFlavor::Flags);
+        let mut submit = |mech: Mechanisms| {
             let cfg = RunConfig::vanilla(8)
                 .with_machine(MachineSpec::Paper8Cores)
                 .with_mech(mech)
                 .with_seed(opts.seed);
-            run_labelled(&mut wl, &cfg, "pipeline")
+            sweep.add("pipeline", cfg, move || {
+                Box::new(SpinPipeline::new(stages, items, WaitFlavor::Flags))
+            })
         };
-        let van = run(Mechanisms::vanilla());
-        let opt = run(Mechanisms::bwd_only());
+        let van = submit(Mechanisms::vanilla());
+        let opt = submit(Mechanisms::bwd_only());
+        arms.push((stages, van, opt));
+    }
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["stages", "vanilla(s)", "optimized(s)", "detections"]);
+    for (stages, van, opt) in arms {
         t.row([
             stages.to_string(),
-            fmt_s(&van),
-            fmt_s(&opt),
-            opt.bwd.detections.to_string(),
+            fmt_s(&r[van]),
+            fmt_s(&r[opt]),
+            r[opt].bwd.detections.to_string(),
         ]);
     }
     t
@@ -208,31 +303,43 @@ pub fn ext_pipeline_cascade(opts: ExpOpts) -> TextTable {
 /// analysis the paper alludes to via its 4 KiB-page arithmetic.
 pub fn ablation_hugepages(opts: ExpOpts) -> TextTable {
     use oversub_workloads::micro::ArrayWalk;
-    let mut t = TextTable::new(["array", "rnd-r 4K pages(us/CS)", "rnd-r 2M pages(us/CS)"]);
     let passes = ((24.0 * opts.scale).max(4.0)) as u64;
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new(); // (ws, [(serial, over); 2])
     for &ws in &[512u64 << 10, 8 << 20, 64 << 20] {
+        let cells: Vec<(usize, usize)> = [4096u64, 2 << 20]
+            .into_iter()
+            .map(|page| {
+                let mut submit = |threads: usize| {
+                    let mut cfg = RunConfig::vanilla(1).with_seed(opts.seed);
+                    cfg.cache.page_bytes = page;
+                    sweep.add("hugepages", cfg, move || {
+                        Box::new(ArrayWalk {
+                            threads,
+                            total_ws: ws,
+                            pattern: AccessPattern::RndRead,
+                            passes,
+                        })
+                    })
+                };
+                (submit(1), submit(2))
+            })
+            .collect();
+        arms.push((ws, cells));
+    }
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["array", "rnd-r 4K pages(us/CS)", "rnd-r 2M pages(us/CS)"]);
+    for (ws, cells) in arms {
         let mut row = vec![if ws >= (1 << 20) {
             format!("{}MB", ws >> 20)
         } else {
             format!("{}KB", ws >> 10)
         }];
-        for page in [4096u64, 2 << 20] {
-            let run = |threads: usize| {
-                let mut wl = ArrayWalk {
-                    threads,
-                    total_ws: ws,
-                    pattern: AccessPattern::RndRead,
-                    passes,
-                };
-                let mut cfg = RunConfig::vanilla(1).with_seed(opts.seed);
-                cfg.cache.page_bytes = page;
-                run_labelled(&mut wl, &cfg, "hugepages")
-            };
-            let serial = run(1);
-            let over = run(2);
-            let ncs = over.cpus.context_switches.max(1);
+        for (serial, over) in cells {
+            let ncs = r[over].cpus.context_switches.max(1);
             let cost_us =
-                (over.makespan_ns as f64 - serial.makespan_ns as f64) / ncs as f64 / 1_000.0;
+                (r[over].makespan_ns as f64 - r[serial].makespan_ns as f64) / ncs as f64 / 1_000.0;
             row.push(format!("{cost_us:.2}"));
         }
         t.row(row);
@@ -246,38 +353,46 @@ pub fn ablation_hugepages(opts: ExpOpts) -> TextTable {
 /// varying number of cores: the "dynamic" arm activates exactly
 /// `cores` threads per region, the oversubscribed arms activate all 32.
 pub fn ext_forkjoin_dynamic_threading(opts: ExpOpts) -> TextTable {
+    let regions = ((400.0 * opts.scale).max(60.0)) as usize;
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
+    for &cores in &[4usize, 8, 16] {
+        let mut submit = |active: usize, mech: Mechanisms| {
+            let cfg = RunConfig::vanilla(cores)
+                .with_machine(MachineSpec::PaperN(cores))
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            // Region-heavy: little work per region, so the fork/join
+            // wake-ups dominate and the mechanisms matter.
+            sweep.add("fork-join", cfg, move || {
+                Box::new(ForkJoin {
+                    pool: 32,
+                    active,
+                    regions,
+                    chunks: 64,
+                    chunk_ns: 8_000,
+                })
+            })
+        };
+        let dynamic = submit(cores, Mechanisms::vanilla());
+        let naive = submit(32, Mechanisms::vanilla());
+        let opt = submit(32, Mechanisms::optimized());
+        arms.push((cores, dynamic, naive, opt));
+    }
+    let r = sweep.run();
+
     let mut t = TextTable::new([
         "cores",
         "dynamic(active=cores)",
         "32-active(vanilla)",
         "32-active(optimized)",
     ]);
-    let regions = ((400.0 * opts.scale).max(60.0)) as usize;
-    for &cores in &[4usize, 8, 16] {
-        let run = |active: usize, mech: Mechanisms| {
-            // Region-heavy: little work per region, so the fork/join
-            // wake-ups dominate and the mechanisms matter.
-            let mut wl = ForkJoin {
-                pool: 32,
-                active,
-                regions,
-                chunks: 64,
-                chunk_ns: 8_000,
-            };
-            let cfg = RunConfig::vanilla(cores)
-                .with_machine(MachineSpec::PaperN(cores))
-                .with_mech(mech)
-                .with_seed(opts.seed);
-            run_labelled(&mut wl, &cfg, "fork-join")
-        };
-        let dynamic = run(cores, Mechanisms::vanilla());
-        let naive = run(32, Mechanisms::vanilla());
-        let opt = run(32, Mechanisms::optimized());
+    for (cores, dynamic, naive, opt) in arms {
         t.row([
             cores.to_string(),
-            fmt_s(&dynamic),
-            fmt_s(&naive),
-            fmt_s(&opt),
+            fmt_s(&r[dynamic]),
+            fmt_s(&r[naive]),
+            fmt_s(&r[opt]),
         ]);
     }
     t
@@ -286,8 +401,9 @@ pub fn ext_forkjoin_dynamic_threading(opts: ExpOpts) -> TextTable {
 /// Extension: the CloudSuite-style web-serving workload (the paper cites
 /// its results as confirming the memcached findings).
 pub fn ext_web_serving(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new(["cores", "arm", "tput(op/s)", "p95(us)", "p99(us)"]);
     let duration = SimTime::from_millis(((1_200.0 * opts.scale).max(250.0)) as u64);
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
     for &cores in &[4usize, 8] {
         let rate = 15_000.0 * cores as f64;
         for (label, workers, mech) in [
@@ -295,21 +411,28 @@ pub fn ext_web_serving(opts: ExpOpts) -> TextTable {
             ("16T(vanilla)", 16, Mechanisms::vanilla()),
             ("16T(optimized)", 16, Mechanisms::optimized()),
         ] {
-            let mut wl = WebServing::new(workers, cores, rate);
-            let cpus = wl.total_cpus();
+            let cpus = WebServing::new(workers, cores, rate).total_cpus();
             let cfg = RunConfig::vanilla(cpus)
                 .with_mech(mech)
                 .with_seed(opts.seed)
                 .with_max_time(duration);
-            let r = run_labelled(&mut wl, &cfg, label);
-            t.row([
-                cores.to_string(),
-                label.to_string(),
-                format!("{:.0}", r.throughput_ops()),
-                format!("{}", r.latency.percentile(95.0) / 1_000),
-                format!("{}", r.latency.percentile(99.0) / 1_000),
-            ]);
+            let idx = sweep.add(label, cfg, move || {
+                Box::new(WebServing::new(workers, cores, rate))
+            });
+            arms.push((cores, label, idx));
         }
+    }
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["cores", "arm", "tput(op/s)", "p95(us)", "p99(us)"]);
+    for (cores, label, idx) in arms {
+        t.row([
+            cores.to_string(),
+            label.to_string(),
+            format!("{:.0}", r[idx].throughput_ops()),
+            format!("{}", r[idx].latency.percentile(95.0) / 1_000),
+            format!("{}", r[idx].latency.percentile(99.0) / 1_000),
+        ]);
     }
     t
 }

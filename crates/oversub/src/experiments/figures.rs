@@ -1,17 +1,22 @@
 //! Drivers for the paper's figures (1–4, 9–15).
+//!
+//! Every driver is two-phase: it *submits* all its simulation arms to a
+//! [`Sweep`] batch (each arm built from owned inputs, so arms are safe to
+//! execute in any order on the worker pool), then *formats* the results —
+//! which come back in submission order, keeping the rendered tables
+//! byte-identical at any jobs count.
 
-use super::{fig09_arms, fmt_s, fmt_x, run_skeleton, ExpOpts};
+use super::{fig09_submit, fmt_s, fmt_x, ExpOpts};
 use crate::config::{MachineSpec, Mechanisms, RunConfig};
-use crate::engine::run_labelled;
+use crate::sweep::Sweep;
 use oversub_bwd::ExecEnv;
 use oversub_hw::AccessPattern;
 use oversub_locks::{MutexKind, SpinPolicy};
-use oversub_metrics::TextTable;
+use oversub_metrics::{RunReport, TextTable};
 use oversub_simcore::{SimTime, MICROS, MILLIS};
 use oversub_workloads::memcached::Memcached;
 use oversub_workloads::micro::{ArrayWalk, ComputeYield, Primitive, PrimitiveStress};
 use oversub_workloads::skeletons::{BenchProfile, Skeleton};
-use oversub_workloads::Workload;
 
 // ---------------------------------------------------------------------
 // Figure 1: the oversubscription survey
@@ -20,27 +25,38 @@ use oversub_workloads::Workload;
 /// Figure 1: normalized execution time of all 32 benchmarks with 8T and
 /// 32T on 8 cores (vanilla Linux).
 pub fn fig01_survey(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let arms: Vec<(BenchProfile, usize, usize)> = BenchProfile::all()
+        .into_iter()
+        .map(|p| {
+            let base = super::submit_skeleton(
+                &mut sweep,
+                p.name,
+                8,
+                MachineSpec::Paper8Cores,
+                Mechanisms::vanilla(),
+                opts,
+            );
+            let over = super::submit_skeleton(
+                &mut sweep,
+                p.name,
+                32,
+                MachineSpec::Paper8Cores,
+                Mechanisms::vanilla(),
+                opts,
+            );
+            (p, base, over)
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new(["benchmark", "group", "8T", "32T(vanilla)", "paper-32T"]);
-    for p in BenchProfile::all() {
-        let base = run_skeleton(
-            p.name,
-            8,
-            MachineSpec::Paper8Cores,
-            Mechanisms::vanilla(),
-            opts,
-        );
-        let over = run_skeleton(
-            p.name,
-            32,
-            MachineSpec::Paper8Cores,
-            Mechanisms::vanilla(),
-            opts,
-        );
+    for (p, base, over) in arms {
         t.row([
             p.name.to_string(),
             format!("{:?}", p.group),
             "1.00".to_string(),
-            fmt_x(over.normalized_to(&base)),
+            fmt_x(r[over].normalized_to(&r[base])),
             fmt_x(p.paper_fig1_slowdown),
         ]);
     }
@@ -55,17 +71,34 @@ pub fn fig01_survey(opts: ExpOpts) -> TextTable {
 /// 1..=8 threads on one core, normalized to one thread.
 pub fn fig02_direct_cost(opts: ExpOpts) -> TextTable {
     let total = ((400.0 * opts.scale).max(40.0) as u64) * MILLIS;
-    let mut t = TextTable::new(["threads", "pure-compute", "with-atomic"]);
-    let run1 = |wl: &mut dyn Workload| {
+    let mut sweep = Sweep::new();
+    let mut submit = |atomic: bool, n: usize| {
         let cfg = RunConfig::vanilla(1).with_seed(opts.seed);
-        run_labelled(wl, &cfg, "fig2")
+        sweep.add("fig2", cfg, move || {
+            Box::new(if atomic {
+                ComputeYield::fig2b(n, total)
+            } else {
+                ComputeYield::fig2a(n, total)
+            })
+        })
     };
-    let base_a = run1(&mut ComputeYield::fig2a(1, total)).makespan_ns as f64;
-    let base_b = run1(&mut ComputeYield::fig2b(1, total)).makespan_ns as f64;
-    for n in 1..=8usize {
-        let a = run1(&mut ComputeYield::fig2a(n, total)).makespan_ns as f64;
-        let b = run1(&mut ComputeYield::fig2b(n, total)).makespan_ns as f64;
-        t.row([n.to_string(), fmt_x(a / base_a), fmt_x(b / base_b)]);
+    // The n=1 arms double as the normalization bases; the run cache
+    // collapses the duplicates.
+    let base_a = submit(false, 1);
+    let base_b = submit(true, 1);
+    let arms: Vec<(usize, usize, usize)> = (1..=8usize)
+        .map(|n| (n, submit(false, n), submit(true, n)))
+        .collect();
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["threads", "pure-compute", "with-atomic"]);
+    let (norm_a, norm_b) = (r[base_a].makespan_ns as f64, r[base_b].makespan_ns as f64);
+    for (n, a, b) in arms {
+        t.row([
+            n.to_string(),
+            fmt_x(r[a].makespan_ns as f64 / norm_a),
+            fmt_x(r[b].makespan_ns as f64 / norm_b),
+        ]);
     }
     t
 }
@@ -104,30 +137,40 @@ pub fn fig03_sync_intervals() -> TextTable {
 /// and the four access patterns.
 pub fn fig04_indirect_cost(opts: ExpOpts) -> TextTable {
     let sizes: Vec<u64> = (17..=27).map(|s| 1u64 << s).collect(); // 128KB..128MB
-    let mut t = TextTable::new(["array", "seq-r", "seq-rmw", "rnd-r", "rnd-rmw"]);
     let passes = ((24.0 * opts.scale).max(4.0)) as u64;
+    let mut sweep = Sweep::new();
+    let mut submit = |ws: u64, pattern: AccessPattern, threads: usize| {
+        let cfg = RunConfig::vanilla(1).with_seed(opts.seed);
+        sweep.add("fig4", cfg, move || {
+            Box::new(ArrayWalk {
+                threads,
+                total_ws: ws,
+                pattern,
+                passes,
+            })
+        })
+    };
+    let mut arms = Vec::new(); // (ws, [(serial, over); 4])
     for &ws in &sizes {
+        let cells: Vec<(usize, usize)> = AccessPattern::ALL
+            .into_iter()
+            .map(|pattern| (submit(ws, pattern, 1), submit(ws, pattern, 2)))
+            .collect();
+        arms.push((ws, cells));
+    }
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["array", "seq-r", "seq-rmw", "rnd-r", "rnd-rmw"]);
+    for (ws, cells) in arms {
         let mut row = vec![if ws >= (1 << 20) {
             format!("{}MB", ws >> 20)
         } else {
             format!("{}KB", ws >> 10)
         }];
-        for pattern in AccessPattern::ALL {
-            let run = |threads: usize| {
-                let mut wl = ArrayWalk {
-                    threads,
-                    total_ws: ws,
-                    pattern,
-                    passes,
-                };
-                let cfg = RunConfig::vanilla(1).with_seed(opts.seed);
-                run_labelled(&mut wl, &cfg, "fig4")
-            };
-            let serial = run(1);
-            let over = run(2);
-            let ncs = over.cpus.context_switches.max(1);
+        for (serial, over) in cells {
+            let ncs = r[over].cpus.context_switches.max(1);
             let cost_us =
-                (over.makespan_ns as f64 - serial.makespan_ns as f64) / ncs as f64 / 1_000.0;
+                (r[over].makespan_ns as f64 - r[serial].makespan_ns as f64) / ncs as f64 / 1_000.0;
             row.push(format!("{cost_us:.2}"));
         }
         t.row(row);
@@ -143,6 +186,17 @@ pub fn fig04_indirect_cost(opts: ExpOpts) -> TextTable {
 /// {8T vanilla, 32T vanilla, 32T optimized} on 8 cores and on 8
 /// hyperthreads of 4 cores.
 pub fn fig09_vb_blocking(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = BenchProfile::fig9_set()
+        .into_iter()
+        .map(|p| {
+            let cores = fig09_submit(&mut sweep, p.name, MachineSpec::Paper8Cores, opts);
+            let hts = fig09_submit(&mut sweep, p.name, MachineSpec::Paper8Hyperthreads, opts);
+            (p, cores, hts)
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new([
         "benchmark",
         "8T(van-8c)",
@@ -152,17 +206,15 @@ pub fn fig09_vb_blocking(opts: ExpOpts) -> TextTable {
         "32T(van-8ht)",
         "32T(opt-8ht)",
     ]);
-    for p in BenchProfile::fig9_set() {
-        let (b8, o8, x8) = fig09_arms(p.name, MachineSpec::Paper8Cores, opts);
-        let (bh, oh, xh) = fig09_arms(p.name, MachineSpec::Paper8Hyperthreads, opts);
+    for (p, (b8, o8, x8), (bh, oh, xh)) in arms {
         t.row([
             p.name.to_string(),
             "1.00".into(),
-            fmt_x(o8.normalized_to(&b8)),
-            fmt_x(x8.normalized_to(&b8)),
+            fmt_x(r[o8].normalized_to(&r[b8])),
+            fmt_x(r[x8].normalized_to(&r[b8])),
             "1.00".into(),
-            fmt_x(oh.normalized_to(&bh)),
-            fmt_x(xh.normalized_to(&bh)),
+            fmt_x(r[oh].normalized_to(&r[bh])),
+            fmt_x(r[xh].normalized_to(&r[bh])),
         ]);
     }
     t
@@ -172,40 +224,67 @@ pub fn fig09_vb_blocking(opts: ExpOpts) -> TextTable {
 // Figure 10: VB on the pthreads primitives
 // ---------------------------------------------------------------------
 
-fn primitive_speedup(primitive: Primitive, threads: usize, cores: usize, opts: ExpOpts) -> f64 {
+/// Submit the (vanilla, vb) arm pair behind one Figure 10 speedup cell.
+fn primitive_submit(
+    sweep: &mut Sweep,
+    primitive: Primitive,
+    threads: usize,
+    cores: usize,
+    opts: ExpOpts,
+) -> (usize, usize) {
     let rounds = ((10_000.0 * opts.scale).max(300.0)) as usize;
-    let mk = || PrimitiveStress {
-        threads,
-        rounds,
-        primitive,
-        work_ns: 2_000,
-    };
     let cfg = |mech: Mechanisms| {
         RunConfig::vanilla(cores)
             .with_machine(MachineSpec::PaperN(cores))
             .with_mech(mech)
             .with_seed(opts.seed)
     };
-    let vanilla = run_labelled(&mut mk(), &cfg(Mechanisms::vanilla()), "vanilla");
-    let vb = run_labelled(&mut mk(), &cfg(Mechanisms::vb_only()), "vb");
-    vanilla.makespan_ns as f64 / vb.makespan_ns.max(1) as f64
+    let mk = move || {
+        Box::new(PrimitiveStress {
+            threads,
+            rounds,
+            primitive,
+            work_ns: 2_000,
+        }) as Box<dyn oversub_workloads::Workload>
+    };
+    let vanilla = sweep.add("vanilla", cfg(Mechanisms::vanilla()), mk);
+    let vb = sweep.add("vb", cfg(Mechanisms::vb_only()), mk);
+    (vanilla, vb)
+}
+
+fn primitive_speedup(r: &[RunReport], pair: (usize, usize)) -> f64 {
+    r[pair.0].makespan_ns as f64 / r[pair.1].makespan_ns.max(1) as f64
 }
 
 /// Figure 10(a): speedup of VB over vanilla for mutex / condvar / barrier
 /// with 1..=32 threads on a single core.
 pub fn fig10a_primitives_threads(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                primitive_submit(&mut sweep, Primitive::Mutex, n, 1, opts),
+                primitive_submit(&mut sweep, Primitive::Cond, n, 1, opts),
+                primitive_submit(&mut sweep, Primitive::Barrier, n, 1, opts),
+            )
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new([
         "threads",
         "pthread_mutex",
         "pthread_cond",
         "pthread_barrier",
     ]);
-    for &n in &[1usize, 2, 4, 8, 16, 32] {
+    for (n, mutex, cond, barrier) in arms {
         t.row([
             n.to_string(),
-            fmt_x(primitive_speedup(Primitive::Mutex, n, 1, opts)),
-            fmt_x(primitive_speedup(Primitive::Cond, n, 1, opts)),
-            fmt_x(primitive_speedup(Primitive::Barrier, n, 1, opts)),
+            fmt_x(primitive_speedup(&r, mutex)),
+            fmt_x(primitive_speedup(&r, cond)),
+            fmt_x(primitive_speedup(&r, barrier)),
         ]);
     }
     t
@@ -214,13 +293,27 @@ pub fn fig10a_primitives_threads(opts: ExpOpts) -> TextTable {
 /// Figure 10(b): speedup of VB over vanilla with 32 threads on 1..=32
 /// cores.
 pub fn fig10b_primitives_cores(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|c| {
+            (
+                c,
+                primitive_submit(&mut sweep, Primitive::Mutex, 32, c, opts),
+                primitive_submit(&mut sweep, Primitive::Cond, 32, c, opts),
+                primitive_submit(&mut sweep, Primitive::Barrier, 32, c, opts),
+            )
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new(["cores", "pthread_mutex", "pthread_cond", "pthread_barrier"]);
-    for &c in &[1usize, 2, 4, 8, 16, 32] {
+    for (c, mutex, cond, barrier) in arms {
         t.row([
             c.to_string(),
-            fmt_x(primitive_speedup(Primitive::Mutex, 32, c, opts)),
-            fmt_x(primitive_speedup(Primitive::Cond, 32, c, opts)),
-            fmt_x(primitive_speedup(Primitive::Barrier, 32, c, opts)),
+            fmt_x(primitive_speedup(&r, mutex)),
+            fmt_x(primitive_speedup(&r, cond)),
+            fmt_x(primitive_speedup(&r, barrier)),
         ]);
     }
     t
@@ -234,6 +327,36 @@ pub fn fig10b_primitives_cores(opts: ExpOpts) -> TextTable {
 /// under {#core-T vanilla, 8T vanilla, 32T vanilla, 32T pinned,
 /// 32T optimized}.
 pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
+    for name in ["ep", "facesim", "streamcluster", "ocean", "cg"] {
+        for &cores in &[2usize, 4, 8, 16, 32] {
+            let m = MachineSpec::PaperN(cores);
+            let mut submit = |threads: usize, mech: Mechanisms, pinned: bool| {
+                let profile = BenchProfile::by_name(name).unwrap();
+                let scale = opts.scale;
+                let mut cfg = RunConfig::vanilla(cores)
+                    .with_machine(m.clone())
+                    .with_mech(mech)
+                    .with_seed(opts.seed);
+                cfg.pinned = pinned;
+                sweep.add(name, cfg, move || {
+                    Box::new(Skeleton::scaled(profile, threads, scale))
+                })
+            };
+            arms.push((
+                name,
+                cores,
+                submit(cores, Mechanisms::vanilla(), false),
+                submit(8, Mechanisms::vanilla(), false),
+                submit(32, Mechanisms::vanilla(), false),
+                submit(32, Mechanisms::vanilla(), true),
+                submit(32, Mechanisms::optimized(), false),
+            ));
+        }
+    }
+    let r = sweep.run();
+
     let mut t = TextTable::new([
         "benchmark",
         "cores",
@@ -243,34 +366,16 @@ pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
         "32T(pinned)",
         "32T(opt)",
     ]);
-    for name in ["ep", "facesim", "streamcluster", "ocean", "cg"] {
-        for &cores in &[2usize, 4, 8, 16, 32] {
-            let m = MachineSpec::PaperN(cores);
-            let run = |threads: usize, mech: Mechanisms, pinned: bool| {
-                let profile = BenchProfile::by_name(name).unwrap();
-                let mut wl = Skeleton::scaled(profile, threads, opts.scale);
-                let mut cfg = RunConfig::vanilla(cores)
-                    .with_machine(m.clone())
-                    .with_mech(mech)
-                    .with_seed(opts.seed);
-                cfg.pinned = pinned;
-                run_labelled(&mut wl, &cfg, name)
-            };
-            let coret = run(cores, Mechanisms::vanilla(), false);
-            let t8 = run(8, Mechanisms::vanilla(), false);
-            let t32 = run(32, Mechanisms::vanilla(), false);
-            let pinned = run(32, Mechanisms::vanilla(), true);
-            let opt = run(32, Mechanisms::optimized(), false);
-            t.row([
-                name.to_string(),
-                cores.to_string(),
-                fmt_s(&coret),
-                fmt_s(&t8),
-                fmt_s(&t32),
-                fmt_s(&pinned),
-                fmt_s(&opt),
-            ]);
-        }
+    for (name, cores, coret, t8, t32, pinned, opt) in arms {
+        t.row([
+            name.to_string(),
+            cores.to_string(),
+            fmt_s(&r[coret]),
+            fmt_s(&r[t8]),
+            fmt_s(&r[t32]),
+            fmt_s(&r[pinned]),
+            fmt_s(&r[opt]),
+        ]);
     }
     t
 }
@@ -282,15 +387,9 @@ pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
 /// Figure 12: memcached throughput / mean / p95 / p99 under {4T vanilla,
 /// 16T vanilla, 16T optimized} on 4, 8, and 16 server cores.
 pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new([
-        "cores",
-        "arm",
-        "throughput(op/s)",
-        "mean(us)",
-        "p95(us)",
-        "p99(us)",
-    ]);
     let duration = SimTime::from_millis(((2_000.0 * opts.scale).max(300.0)) as u64);
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
     for &cores in &[4usize, 8, 16] {
         // Offered load tracks capacity (~80%), as a closed-loop mutilate
         // client effectively does; a fixed open-loop rate would saturate
@@ -301,23 +400,44 @@ pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
             ("16T(vanilla)", 16, Mechanisms::vanilla()),
             ("16T(optimized)", 16, Mechanisms::optimized()),
         ] {
-            let mut wl = Memcached::paper(workers, cores, rate);
-            wl.clients = (rate / 70_000.0).ceil() as usize;
-            let cpus = wl.total_cpus();
+            let clients = (rate / 70_000.0).ceil() as usize;
+            let mk = move || {
+                let mut wl = Memcached::paper(workers, cores, rate);
+                wl.clients = clients;
+                Box::new(wl) as Box<dyn oversub_workloads::Workload>
+            };
+            let cpus = {
+                let mut probe = Memcached::paper(workers, cores, rate);
+                probe.clients = clients;
+                probe.total_cpus()
+            };
             let cfg = RunConfig::vanilla(cpus)
                 .with_mech(mech)
                 .with_seed(opts.seed)
                 .with_max_time(duration);
-            let r = run_labelled(&mut wl, &cfg, label);
-            t.row([
-                cores.to_string(),
-                label.to_string(),
-                format!("{:.0}", r.throughput_ops()),
-                format!("{:.0}", r.latency.mean() / 1_000.0),
-                format!("{}", r.latency.percentile(95.0) / 1_000),
-                format!("{}", r.latency.percentile(99.0) / 1_000),
-            ]);
+            arms.push((cores, label, sweep.add(label, cfg, mk)));
         }
+    }
+    let r = sweep.run();
+
+    let mut t = TextTable::new([
+        "cores",
+        "arm",
+        "throughput(op/s)",
+        "mean(us)",
+        "p95(us)",
+        "p99(us)",
+    ]);
+    for (cores, label, idx) in arms {
+        let rep = &r[idx];
+        t.row([
+            cores.to_string(),
+            label.to_string(),
+            format!("{:.0}", rep.throughput_ops()),
+            format!("{:.0}", rep.latency.mean() / 1_000.0),
+            format!("{}", rep.latency.percentile(95.0) / 1_000),
+            format!("{}", rep.latency.percentile(99.0) / 1_000),
+        ]);
     }
     t
 }
@@ -330,6 +450,28 @@ pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
 /// ten algorithms, in a container or a VM (the VM adds the PLE arm).
 pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
     use oversub_workloads::micro::SpinlockStress;
+    let iters = ((1_600.0 * opts.scale).max(96.0)) as usize;
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
+    for policy in SpinPolicy::all() {
+        let mut submit = |threads: usize, mech: Mechanisms| {
+            let mut cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            cfg.env = env;
+            sweep.add(policy.name, cfg, move || {
+                Box::new(SpinlockStress::fig13(threads, policy, iters))
+            })
+        };
+        let base = submit(8, Mechanisms::vanilla());
+        let over = submit(32, Mechanisms::vanilla());
+        let ple = (env == ExecEnv::Vm).then(|| submit(32, Mechanisms::ple_only()));
+        let opt = submit(32, Mechanisms::bwd_only());
+        arms.push((policy, base, over, ple, opt));
+    }
+    let r = sweep.run();
+
     let header: Vec<&str> = match env {
         ExecEnv::Container => vec!["lock", "8T(vanilla)", "32T(vanilla)", "32T(optimized)"],
         ExecEnv::Vm => vec![
@@ -341,26 +483,12 @@ pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
         ],
     };
     let mut t = TextTable::new(header);
-    let iters = ((1_600.0 * opts.scale).max(96.0)) as usize;
-    for policy in SpinPolicy::all() {
-        let run = |threads: usize, mech: Mechanisms| {
-            let mut wl = SpinlockStress::fig13(threads, policy, iters);
-            let mut cfg = RunConfig::vanilla(8)
-                .with_machine(MachineSpec::Paper8Cores)
-                .with_mech(mech)
-                .with_seed(opts.seed);
-            cfg.env = env;
-            run_labelled(&mut wl, &cfg, policy.name)
-        };
-        let base = run(8, Mechanisms::vanilla());
-        let over = run(32, Mechanisms::vanilla());
-        let opt = run(32, Mechanisms::bwd_only());
-        let mut row = vec![policy.name.to_string(), fmt_s(&base), fmt_s(&over)];
-        if env == ExecEnv::Vm {
-            let ple = run(32, Mechanisms::ple_only());
-            row.push(fmt_s(&ple));
+    for (policy, base, over, ple, opt) in arms {
+        let mut row = vec![policy.name.to_string(), fmt_s(&r[base]), fmt_s(&r[over])];
+        if let Some(ple) = ple {
+            row.push(fmt_s(&r[ple]));
         }
-        row.push(fmt_s(&opt));
+        row.push(fmt_s(&r[opt]));
         t.row(row);
     }
     t
@@ -374,37 +502,43 @@ pub fn fig13_spinlocks(env: ExecEnv, opts: ExpOpts) -> TextTable {
 /// threads on 8 cores, in containers and VMs, under vanilla / PLE /
 /// optimized.
 pub fn fig14_custom_spin(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new(["benchmark", "env", "threads", "vanilla", "PLE", "optimized"]);
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
     for name in ["lu", "volrend"] {
         for env in [ExecEnv::Container, ExecEnv::Vm] {
             for &threads in &[8usize, 16, 32] {
-                let run = |mech: Mechanisms| {
+                let mut submit = |mech: Mechanisms| {
                     let profile = BenchProfile::by_name(name).unwrap();
-                    let mut wl = Skeleton::scaled(profile, threads, opts.scale);
+                    let scale = opts.scale;
                     let mut cfg = RunConfig::vanilla(8)
                         .with_machine(MachineSpec::Paper8Cores)
                         .with_mech(mech)
                         .with_seed(opts.seed);
                     cfg.env = env;
-                    run_labelled(&mut wl, &cfg, name)
+                    sweep.add(name, cfg, move || {
+                        Box::new(Skeleton::scaled(profile, threads, scale))
+                    })
                 };
-                let vanilla = run(Mechanisms::vanilla());
-                let ple = if env == ExecEnv::Vm {
-                    fmt_s(&run(Mechanisms::ple_only()))
-                } else {
-                    "n/a".to_string()
-                };
-                let opt = run(Mechanisms::optimized());
-                t.row([
-                    name.to_string(),
-                    format!("{env:?}"),
-                    threads.to_string(),
-                    fmt_s(&vanilla),
-                    ple,
-                    fmt_s(&opt),
-                ]);
+                let vanilla = submit(Mechanisms::vanilla());
+                let ple = (env == ExecEnv::Vm).then(|| submit(Mechanisms::ple_only()));
+                let opt = submit(Mechanisms::optimized());
+                arms.push((name, env, threads, vanilla, ple, opt));
             }
         }
+    }
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["benchmark", "env", "threads", "vanilla", "PLE", "optimized"]);
+    for (name, env, threads, vanilla, ple, opt) in arms {
+        t.row([
+            name.to_string(),
+            format!("{env:?}"),
+            threads.to_string(),
+            fmt_s(&r[vanilla]),
+            ple.map(|i| fmt_s(&r[i]))
+                .unwrap_or_else(|| "n/a".to_string()),
+            fmt_s(&r[opt]),
+        ]);
     }
     t
 }
@@ -417,6 +551,47 @@ pub fn fig14_custom_spin(opts: ExpOpts) -> TextTable {
 /// five benchmarks at 32T/8c with the synchronization library replaced by
 /// each lock design, vs our optimized kernel.
 pub fn fig15_shfllock(opts: ExpOpts) -> TextTable {
+    let spin_ns = 150_000; // spin budget of the spin-then-park designs
+    let mut sweep = Sweep::new();
+    let mut arms = Vec::new();
+    for name in ["freqmine", "streamcluster", "lu_cb", "ocean", "radix"] {
+        let profile = BenchProfile::by_name(name).unwrap();
+        let mut submit = |threads: usize, kind: Option<MutexKind>, mech: Mechanisms| {
+            let scale = opts.scale;
+            let cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::Paper8Cores)
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            sweep.add(name, cfg, move || {
+                let mut wl = Skeleton::scaled(profile, threads, scale);
+                if let Some(k) = kind {
+                    wl = wl.with_barrier_mutex(k);
+                }
+                Box::new(wl)
+            })
+        };
+        let base = submit(8, None, Mechanisms::vanilla());
+        let pthread = submit(32, None, Mechanisms::vanilla());
+        let mutexee = submit(
+            32,
+            Some(MutexKind::Mutexee { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let mcstp = submit(
+            32,
+            Some(MutexKind::McsTp { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let shfl = submit(
+            32,
+            Some(MutexKind::Shfllock { spin_ns }),
+            Mechanisms::vanilla(),
+        );
+        let opt = submit(32, None, Mechanisms::optimized());
+        arms.push((name, base, pthread, mutexee, mcstp, shfl, opt));
+    }
+    let r = sweep.run();
+
     let mut t = TextTable::new([
         "benchmark",
         "pthread",
@@ -425,45 +600,14 @@ pub fn fig15_shfllock(opts: ExpOpts) -> TextTable {
         "shfllock",
         "optimized",
     ]);
-    let spin_ns = 150_000; // spin budget of the spin-then-park designs
-    for name in ["freqmine", "streamcluster", "lu_cb", "ocean", "radix"] {
-        let profile = BenchProfile::by_name(name).unwrap();
-        let run = |threads: usize, kind: Option<MutexKind>, mech: Mechanisms| {
-            let mut wl = Skeleton::scaled(profile, threads, opts.scale);
-            if let Some(k) = kind {
-                wl = wl.with_barrier_mutex(k);
-            }
-            let cfg = RunConfig::vanilla(8)
-                .with_machine(MachineSpec::Paper8Cores)
-                .with_mech(mech)
-                .with_seed(opts.seed);
-            run_labelled(&mut wl, &cfg, name)
-        };
-        let base = run(8, None, Mechanisms::vanilla());
-        let pthread = run(32, None, Mechanisms::vanilla());
-        let mutexee = run(
-            32,
-            Some(MutexKind::Mutexee { spin_ns }),
-            Mechanisms::vanilla(),
-        );
-        let mcstp = run(
-            32,
-            Some(MutexKind::McsTp { spin_ns }),
-            Mechanisms::vanilla(),
-        );
-        let shfl = run(
-            32,
-            Some(MutexKind::Shfllock { spin_ns }),
-            Mechanisms::vanilla(),
-        );
-        let opt = run(32, None, Mechanisms::optimized());
+    for (name, base, pthread, mutexee, mcstp, shfl, opt) in arms {
         t.row([
             name.to_string(),
-            fmt_x(pthread.normalized_to(&base)),
-            fmt_x(mutexee.normalized_to(&base)),
-            fmt_x(mcstp.normalized_to(&base)),
-            fmt_x(shfl.normalized_to(&base)),
-            fmt_x(opt.normalized_to(&base)),
+            fmt_x(r[pthread].normalized_to(&r[base])),
+            fmt_x(r[mutexee].normalized_to(&r[base])),
+            fmt_x(r[mcstp].normalized_to(&r[base])),
+            fmt_x(r[shfl].normalized_to(&r[base])),
+            fmt_x(r[opt].normalized_to(&r[base])),
         ]);
     }
     t

@@ -31,7 +31,7 @@ pub use figures::{
 pub use tables::{table1_runtime_stats, table2_bwd_tp, table3_bwd_fp};
 
 use crate::config::{MachineSpec, Mechanisms, RunConfig};
-use crate::engine::run_labelled;
+use crate::sweep::Sweep;
 use oversub_metrics::RunReport;
 use oversub_workloads::skeletons::{BenchProfile, Skeleton};
 
@@ -62,6 +62,28 @@ impl ExpOpts {
     }
 }
 
+/// Submit one benchmark-skeleton arm (the paper's 8-core container shape)
+/// to a [`Sweep`] batch; returns the arm's result index.
+pub fn submit_skeleton(
+    sweep: &mut Sweep,
+    name: &str,
+    threads: usize,
+    machine: MachineSpec,
+    mech: Mechanisms,
+    opts: ExpOpts,
+) -> usize {
+    let profile = BenchProfile::by_name(name).expect("known benchmark");
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(machine)
+        .with_mech(mech)
+        .with_seed(opts.seed);
+    let scale = opts.scale;
+    let salt = opts.seed;
+    sweep.add(format!("{name}/{threads}T"), cfg, move || {
+        Box::new(Skeleton::scaled(profile, threads, scale).with_salt(salt))
+    })
+}
+
 /// Run a benchmark skeleton on the paper's 8-core container (4+4 across
 /// two sockets) with the given thread count and mechanisms.
 pub fn run_skeleton(
@@ -71,24 +93,32 @@ pub fn run_skeleton(
     mech: Mechanisms,
     opts: ExpOpts,
 ) -> RunReport {
-    let profile = BenchProfile::by_name(name).expect("known benchmark");
-    let mut wl = Skeleton::scaled(profile, threads, opts.scale).with_salt(opts.seed);
-    let cfg = RunConfig::vanilla(8)
-        .with_machine(machine)
-        .with_mech(mech)
-        .with_seed(opts.seed);
-    run_labelled(&mut wl, &cfg, &format!("{name}/{threads}T"))
+    let mut sweep = Sweep::new();
+    submit_skeleton(&mut sweep, name, threads, machine, mech, opts);
+    sweep
+        .run()
+        .pop()
+        .expect("single-arm sweep yields one report")
 }
 
-/// Arms shared by Figure 9 and Table 1 on one machine shape.
-pub(super) fn fig09_arms(
+/// Submit the arms shared by Figure 9 and Table 1 on one machine shape;
+/// returns the (8T vanilla, 32T vanilla, 32T optimized) result indices.
+pub(super) fn fig09_submit(
+    sweep: &mut Sweep,
     name: &str,
     machine: MachineSpec,
     opts: ExpOpts,
-) -> (RunReport, RunReport, RunReport) {
-    let base = run_skeleton(name, 8, machine.clone(), Mechanisms::vanilla(), opts);
-    let over = run_skeleton(name, 32, machine.clone(), Mechanisms::vanilla(), opts);
-    let opt = run_skeleton(name, 32, machine, Mechanisms::optimized(), opts);
+) -> (usize, usize, usize) {
+    let base = submit_skeleton(sweep, name, 8, machine.clone(), Mechanisms::vanilla(), opts);
+    let over = submit_skeleton(
+        sweep,
+        name,
+        32,
+        machine.clone(),
+        Mechanisms::vanilla(),
+        opts,
+    );
+    let opt = submit_skeleton(sweep, name, 32, machine, Mechanisms::optimized(), opts);
     (base, over, opt)
 }
 

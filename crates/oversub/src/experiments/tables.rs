@@ -1,8 +1,13 @@
 //! Drivers for the paper's tables (1–3).
+//!
+//! Like the figure drivers, each table submits all its arms to one
+//! [`Sweep`] batch and formats afterwards; table 1 shares its arms with
+//! Figure 9 through the run cache (identical configs execute once per
+//! process).
 
-use super::{fig09_arms, run_skeleton, ExpOpts};
+use super::{fig09_submit, submit_skeleton, ExpOpts};
 use crate::config::{MachineSpec, Mechanisms, RunConfig};
-use crate::engine::run_labelled;
+use crate::sweep::Sweep;
 use oversub_locks::SpinPolicy;
 use oversub_metrics::TextTable;
 use oversub_workloads::micro::TpProbe;
@@ -11,6 +16,18 @@ use oversub_workloads::micro::TpProbe;
 /// benchmarks under {8T, 32T, 32T optimized}, plus the per-mechanism
 /// activity of the optimized arm (VB parks, BWD skips).
 pub fn table1_runtime_stats(opts: ExpOpts) -> TextTable {
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = oversub_workloads::skeletons::BenchProfile::fig9_set()
+        .into_iter()
+        .map(|p| {
+            (
+                p,
+                fig09_submit(&mut sweep, p.name, MachineSpec::Paper8Cores, opts),
+            )
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new([
         "app",
         "util-8T",
@@ -25,8 +42,8 @@ pub fn table1_runtime_stats(opts: ExpOpts) -> TextTable {
         "vb-parks-Opt",
         "bwd-skips-Opt",
     ]);
-    for p in oversub_workloads::skeletons::BenchProfile::fig9_set() {
-        let (b, o, x) = fig09_arms(p.name, MachineSpec::Paper8Cores, opts);
+    for (p, (b, o, x)) in arms {
+        let (b, o, x) = (&r[b], &r[o], &r[x]);
         let vb_parks = x.mech("vb").map(|m| m.parks).unwrap_or(0);
         let bwd_skips = x.mech("bwd").map(|m| m.skips_set).unwrap_or(0);
         t.row([
@@ -50,20 +67,31 @@ pub fn table1_runtime_stats(opts: ExpOpts) -> TextTable {
 /// Table 2: BWD's true-positive rate for the ten spinlocks (holder /
 /// contender probe on one core).
 pub fn table2_bwd_tp(opts: ExpOpts) -> TextTable {
-    let mut t = TextTable::new(["lock", "tries", "TPs", "sensitivity(%)"]);
     let tries = ((4_000.0 * opts.scale).max(150.0)) as usize;
-    for policy in SpinPolicy::all() {
-        let mut wl = TpProbe::new(policy, tries);
-        let cfg = RunConfig::vanilla(1)
-            .with_mech(Mechanisms::bwd_only())
-            .with_seed(opts.seed);
-        let r = run_labelled(&mut wl, &cfg, policy.name);
-        let episodes = r.bwd.spin_episodes.max(1);
-        let sens = 100.0 * r.bwd.true_positives.min(episodes) as f64 / episodes as f64;
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = SpinPolicy::all()
+        .into_iter()
+        .map(|policy| {
+            let cfg = RunConfig::vanilla(1)
+                .with_mech(Mechanisms::bwd_only())
+                .with_seed(opts.seed);
+            let idx = sweep.add(policy.name, cfg, move || {
+                Box::new(TpProbe::new(policy, tries))
+            });
+            (policy, idx)
+        })
+        .collect();
+    let r = sweep.run();
+
+    let mut t = TextTable::new(["lock", "tries", "TPs", "sensitivity(%)"]);
+    for (policy, idx) in arms {
+        let rep = &r[idx];
+        let episodes = rep.bwd.spin_episodes.max(1);
+        let sens = 100.0 * rep.bwd.true_positives.min(episodes) as f64 / episodes as f64;
         t.row([
             policy.name.to_string(),
             episodes.to_string(),
-            r.bwd.true_positives.to_string(),
+            rep.bwd.true_positives.to_string(),
             format!("{sens:.2}"),
         ]);
     }
@@ -74,22 +102,35 @@ pub fn table2_bwd_tp(opts: ExpOpts) -> TextTable {
 /// contain no synchronization spinning (their tight loops are the bait),
 /// plus the FP-induced overhead.
 pub fn table3_bwd_fp(opts: ExpOpts) -> TextTable {
+    let names = ["is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"];
+    let mut sweep = Sweep::new();
+    let arms: Vec<_> = names
+        .into_iter()
+        .map(|name| {
+            let without = submit_skeleton(
+                &mut sweep,
+                name,
+                32,
+                MachineSpec::Paper8Cores,
+                Mechanisms::vb_only(),
+                opts,
+            );
+            let with = submit_skeleton(
+                &mut sweep,
+                name,
+                32,
+                MachineSpec::Paper8Cores,
+                Mechanisms::optimized(),
+                opts,
+            );
+            (name, without, with)
+        })
+        .collect();
+    let r = sweep.run();
+
     let mut t = TextTable::new(["app", "windows", "FPs", "specificity(%)", "FP-overhead(%)"]);
-    for name in ["is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"] {
-        let without = run_skeleton(
-            name,
-            32,
-            MachineSpec::Paper8Cores,
-            Mechanisms::vb_only(),
-            opts,
-        );
-        let with = run_skeleton(
-            name,
-            32,
-            MachineSpec::Paper8Cores,
-            Mechanisms::optimized(),
-            opts,
-        );
+    for (name, without, with) in arms {
+        let (without, with) = (&r[without], &r[with]);
         let checks = with.bwd.checks.max(1);
         let spec = 100.0 * (1.0 - with.bwd.false_positives as f64 / checks as f64);
         let overhead =

@@ -38,6 +38,7 @@ mod exec;
 pub mod experiments;
 pub mod faults;
 pub mod mechanism;
+pub mod sweep;
 pub mod trace;
 
 /// The workload interface (re-exported from `oversub-workloads`).
@@ -54,6 +55,7 @@ pub use mechanism::{
 };
 pub use oversub_bwd::ExecEnv;
 pub use oversub_metrics::{Diagnostic, MechCounters, RunReport};
+pub use sweep::Sweep;
 
 // Re-export the layers a downstream user composes with.
 pub use oversub_hw as hw;

@@ -42,7 +42,7 @@ use oversub_simcore::SimTime;
 use oversub_task::{SpinSig, TaskId};
 use std::any::Any;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What a mechanism may configure in the kernel substrate before the run
 /// starts (the moral equivalent of the paper's patches flipping sysctls).
@@ -181,14 +181,16 @@ pub trait Mechanism {
 /// A cloneable constructor for an out-of-tree mechanism, stored in
 /// [`RunConfig`]. The factory runs once per engine construction, so every
 /// run (including the reference-engine twin of a golden determinism pair)
-/// gets a fresh mechanism instance.
+/// gets a fresh mechanism instance. The constructor must be `Send + Sync`
+/// so configs carrying custom mechanisms can cross into sweep-pool worker
+/// threads (`simcore::pool`).
 #[derive(Clone)]
-pub struct MechanismFactory(Rc<dyn Fn() -> Box<dyn Mechanism>>);
+pub struct MechanismFactory(Arc<dyn Fn() -> Box<dyn Mechanism> + Send + Sync>);
 
 impl MechanismFactory {
     /// Wrap a constructor closure.
-    pub fn new(f: impl Fn() -> Box<dyn Mechanism> + 'static) -> Self {
-        MechanismFactory(Rc::new(f))
+    pub fn new(f: impl Fn() -> Box<dyn Mechanism> + Send + Sync + 'static) -> Self {
+        MechanismFactory(Arc::new(f))
     }
 
     /// Build a fresh mechanism instance.

@@ -9,11 +9,13 @@
 //! `oversub-sched` and `oversub-ksync` crates) build the OS model on top.
 
 pub mod events;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod time;
 
 pub use events::{EventHandle, EventQueue};
+pub use pool::PoolStats;
 pub use resource::{Grant, KernelLock, KernelLockParams};
 pub use rng::SimRng;
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};

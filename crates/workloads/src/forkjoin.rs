@@ -30,6 +30,7 @@ struct RegionState {
 }
 
 /// The fork-join workload.
+#[derive(Clone, Copy, Debug)]
 pub struct ForkJoin {
     /// Pool size (threads created).
     pub pool: usize,
@@ -96,6 +97,10 @@ impl Workload for ForkJoin {
             retire_posts: 0,
             st: 0,
         })));
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
     }
 }
 

@@ -12,6 +12,7 @@ use crate::workload::{ThreadSpec, Workload, WorldBuilder};
 /// Figure 2(a): pure computation with a fixed total amount of work split
 /// across threads; each thread yields after every 750 µs of work (the
 /// minimum time slice), forcing context switches without any blocking.
+#[derive(Clone, Copy, Debug)]
 pub struct ComputeYield {
     /// Number of threads splitting the fixed work.
     pub threads: usize,
@@ -69,6 +70,10 @@ impl Workload for ComputeYield {
             w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
         }
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
 }
 
 /// Figure 4: the array-walk microbenchmark measuring the indirect cost of
@@ -76,6 +81,7 @@ impl Workload for ComputeYield {
 /// sub-array (`total_ws / threads` bytes) and yield after each traversal;
 /// all threads share one core. The single-thread run is the serial
 /// baseline.
+#[derive(Clone, Copy, Debug)]
 pub struct ArrayWalk {
     /// Number of threads sharing the core (paper uses 1 vs 2).
     pub threads: usize,
@@ -109,6 +115,10 @@ impl Workload for ArrayWalk {
             w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))).with_footprint(sub_ws));
         }
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
 }
 
 /// Which pthreads primitive the Figure 10 stress test exercises.
@@ -135,6 +145,7 @@ impl Primitive {
 
 /// Figure 10: threads repeatedly exercising one blocking primitive
 /// (10 000 rounds in the paper; configurable here).
+#[derive(Clone, Copy, Debug)]
 pub struct PrimitiveStress {
     /// Thread count.
     pub threads: usize,
@@ -220,6 +231,10 @@ impl Workload for PrimitiveStress {
                 })));
             }
         }
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
     }
 }
 
@@ -312,6 +327,7 @@ impl Program for CondStressWaiter {
 /// Figure 13 / stress harness for the ten spinlock algorithms: all threads
 /// contend one spinlock of the given policy. Strong scaling: `iters` is
 /// the *total* number of pipeline stages, divided among threads.
+#[derive(Clone, Copy, Debug)]
 pub struct SpinlockStress {
     /// Thread count.
     pub threads: usize,
@@ -362,11 +378,16 @@ impl Workload for SpinlockStress {
             w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
         }
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
 }
 
 /// Table 2's sensitivity probe: on a single core, thread #1 holds a
 /// spinlock for long stretches while thread #2 keeps trying to acquire it;
 /// every contended attempt is a ground-truth spin episode.
+#[derive(Clone, Copy, Debug)]
 pub struct TpProbe {
     /// Spinlock algorithm under test.
     pub policy: SpinPolicy,
@@ -413,6 +434,10 @@ impl Workload for TpProbe {
             script.push(Action::Compute { ns: 1_000 });
         }
         w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
     }
 }
 

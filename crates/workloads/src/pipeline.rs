@@ -29,6 +29,7 @@ pub enum WaitFlavor {
 }
 
 /// The pipeline benchmark.
+#[derive(Clone, Copy, Debug)]
 pub struct SpinPipeline {
     /// Number of stages (= threads).
     pub stages: usize,
@@ -104,6 +105,10 @@ impl Workload for SpinPipeline {
                 }
             }
         }
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
     }
 }
 

@@ -575,6 +575,7 @@ impl BenchProfile {
 }
 
 /// A runnable skeleton: a profile plus a thread count.
+#[derive(Clone, Copy, Debug)]
 pub struct Skeleton {
     /// Profile to expand.
     pub profile: BenchProfile,
@@ -676,6 +677,10 @@ impl Skeleton {
 impl Workload for Skeleton {
     fn name(&self) -> &str {
         self.profile.name
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
     }
 
     fn build(&mut self, w: &mut WorldBuilder) {

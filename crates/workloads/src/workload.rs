@@ -149,6 +149,18 @@ pub trait Workload {
 
     /// Harvest workload-level results (latency histograms, op counts).
     fn collect(&self, _report: &mut RunReport) {}
+
+    /// A canonical content key describing this workload's *configuration*
+    /// (not its built world), or `None` if the workload cannot be keyed.
+    ///
+    /// Used by the sweep run cache (`oversub::sweep`): two workloads with
+    /// equal keys, run under equal `RunConfig`s, must produce identical
+    /// reports. Plain-data workloads return their `Debug` form; workloads
+    /// holding runtime state (shared sinks, interior mutability) keep the
+    /// `None` default and are simply never cached.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

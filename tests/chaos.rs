@@ -120,9 +120,13 @@ fn quiet_watchdog_is_invisible() {
 /// The chaos matrix: every fault kind crossed with three workload shapes,
 /// watchdog armed, bounded by an event budget. Each cell must produce a
 /// report (clean or diagnosed) — never a panic, never a violated engine
-/// invariant.
+/// invariant. The 15 cells are independent simulations and run as one
+/// batch on the sweep worker pool (`OVERSUB_JOBS`), results checked in
+/// matrix order.
 #[test]
 fn chaos_matrix_completes_or_diagnoses() {
+    use oversub::simcore::pool::Job;
+
     let plans: Vec<(&str, FaultPlan)> = vec![
         ("lost-wakeup", FaultPlan::default().lost_wakeups(0.3)),
         (
@@ -139,7 +143,12 @@ fn chaos_matrix_completes_or_diagnoses() {
         ("slice-delay", FaultPlan::default().slice_delays(100_000)),
     ];
     let mc_cpus = Memcached::paper(16, 8, 40_000.0).total_cpus();
-    let mut workloads: Vec<WorkloadCase> = vec![
+    type SendCase<'a> = (
+        &'a str,
+        usize,
+        Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
+    );
+    let workloads: Vec<SendCase> = vec![
         (
             "pipeline",
             8,
@@ -163,17 +172,23 @@ fn chaos_matrix_completes_or_diagnoses() {
             }),
         ),
     ];
+    let mut cells: Vec<Job<'_, (String, RunReport)>> = Vec::new();
     for (plan_name, plan) in &plans {
-        for (wl_name, cpus, mk) in &mut workloads {
+        for (wl_name, cpus, mk) in &workloads {
             let scenario = format!("{plan_name}/{wl_name}");
             let cfg = base_cfg(*cpus, 9)
                 .with_faults(plan.clone())
                 .with_watchdog(WatchdogParams::default())
                 .with_max_events(20_000_000);
-            let report = try_run(&mut *mk(), &cfg)
-                .unwrap_or_else(|e| panic!("{scenario}: engine error: {e}"));
-            assert_no_invariant_violations(&report, &scenario);
+            cells.push(Box::new(move || {
+                let report = try_run(&mut *mk(), &cfg)
+                    .unwrap_or_else(|e| panic!("{scenario}: engine error: {e}"));
+                (scenario, report)
+            }));
         }
+    }
+    for (scenario, report) in oversub::sweep::run_batch(cells) {
+        assert_no_invariant_violations(&report, &scenario);
     }
 }
 

@@ -23,8 +23,7 @@ use oversub::{
 };
 use proptest::prelude::*;
 use std::any::Any;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Run one workload twice — optimized vs reference engine — and assert
 /// byte-identical report JSON. Returns the two event counts.
@@ -242,7 +241,7 @@ fn vm_ple_runs_are_bit_identical() {
 /// arguments) into a shared log and never changes any verdict, so it can
 /// ride along any configuration without perturbing the run.
 struct Recorder {
-    log: Rc<RefCell<Vec<String>>>,
+    log: Arc<Mutex<Vec<String>>>,
 }
 
 impl Mechanism for Recorder {
@@ -251,22 +250,26 @@ impl Mechanism for Recorder {
     }
     fn on_block(&mut self, cpu: usize, tid: TaskId, mode: WaitMode) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("block cpu={cpu} tid={} mode={mode:?}", tid.0));
     }
     fn on_wake(&mut self, tid: TaskId, mode: WaitMode) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("wake tid={} mode={mode:?}", tid.0));
     }
     fn on_pick(&mut self, cpu: usize, skips_released: u64) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("pick cpu={cpu} released={skips_released}"));
     }
     fn on_slice_expiry(&mut self, cpu: usize, tid: TaskId) {
         self.log
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .push(format!("slice cpu={cpu} tid={}", tid.0));
     }
     fn on_spin_segment(
@@ -277,14 +280,17 @@ impl Mechanism for Recorder {
         env: ExecEnv,
         now: SimTime,
     ) -> Option<SimTime> {
-        self.log.borrow_mut().push(format!(
+        self.log.lock().unwrap().push(format!(
             "spin cpu={cpu} tid={} pause={} env={env:?} now={now}",
             tid.0, sig.uses_pause
         ));
         None
     }
     fn on_elastic_change(&mut self, cores: usize) {
-        self.log.borrow_mut().push(format!("elastic cores={cores}"));
+        self.log
+            .lock()
+            .unwrap()
+            .push(format!("elastic cores={cores}"));
     }
     fn counters(&self) -> MechCounters {
         MechCounters::named("recorder")
@@ -304,15 +310,15 @@ fn hook_log(
     seed: u64,
     vm: bool,
 ) -> Vec<String> {
-    let log = Rc::new(RefCell::new(Vec::new()));
-    let handle = Rc::clone(&log);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let handle = Arc::clone(&log);
     let mut cfg = RunConfig::vanilla(cores)
         .with_machine(MachineSpec::PaperN(cores))
         .with_mech(mech)
         .with_seed(seed)
         .with_mechanism(move || {
             Box::new(Recorder {
-                log: Rc::clone(&handle),
+                log: Arc::clone(&handle),
             })
         });
     if vm {
@@ -321,7 +327,7 @@ fn hook_log(
     let mut wl = SpinPipeline::new(stages, items, WaitFlavor::Flags);
     run(&mut wl, &cfg);
     // The factory closure inside `cfg` keeps a handle alive; read through.
-    let out = log.borrow().clone();
+    let out = log.lock().unwrap().clone();
     out
 }
 

@@ -1,0 +1,133 @@
+//! End-to-end guarantees of the parallel sweep harness:
+//!
+//! 1. **Golden byte-identity** — real experiment drivers rendered at
+//!    `jobs = 1` (the exact sequential path) and `jobs = 4` from a cold
+//!    cache each time must produce identical bytes.
+//! 2. **Run-cache replay** — re-rendering the same drivers is served from
+//!    the memoized cache and still produces identical bytes.
+//! 3. **Uncached arms** — custom-mechanism configs (ineligible for the
+//!    cache) still merge in submission order at any jobs count.
+//! 4. **Property** — for arbitrary workload parameters, a cached replay
+//!    equals a fresh engine run, at any jobs count.
+//!
+//! The jobs knob, cache, and counters are process-global, so everything
+//! that flips `set_jobs` or calls `reset` lives in ONE `#[test]`; the
+//! property test only adds cache entries, which no assertion here is
+//! sensitive to.
+
+use oversub::experiments::{self as exp, ExpOpts};
+use oversub::mechanism::Mechanism;
+use oversub::sweep::{self, Sweep};
+use oversub::workload::Workload;
+use oversub::workloads::micro::ComputeYield;
+use oversub::{run_labelled, MechCounters, RunConfig};
+use proptest::prelude::*;
+
+/// A small but shape-diverse driver subset: micro arms (fig 2), spinlock
+/// probes (table 2), and a config-mutating ablation.
+fn render_drivers(o: ExpOpts) -> String {
+    let mut out = String::new();
+    out.push_str(&exp::fig02_direct_cost(o).render());
+    out.push_str(&exp::table2_bwd_tp(o).render());
+    out.push_str(&exp::ablation_wakeup_cost(o).render());
+    out
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_and_caches() {
+    let o = ExpOpts {
+        scale: 0.03,
+        seed: 19,
+    };
+
+    // (1) Golden: jobs=1 vs jobs=4, cold cache for each pass.
+    sweep::reset();
+    sweep::set_jobs(1);
+    let seq = render_drivers(o);
+    sweep::reset();
+    sweep::set_jobs(4);
+    let par = render_drivers(o);
+    assert_eq!(
+        seq, par,
+        "driver output differs between jobs=1 and jobs=4 — the pool's \
+         submission-order merge is broken"
+    );
+
+    // (2) Replay: same drivers again, now served from the warm cache
+    // (table 2 alone holds 10 eligible arms). Bytes must not move.
+    let before = sweep::stats();
+    let replay = render_drivers(o);
+    let after = sweep::stats();
+    sweep::set_jobs(0);
+    assert_eq!(replay, par, "cache replay changed driver output");
+    assert!(
+        after.cache_hits >= before.cache_hits + 10,
+        "expected >= 10 cache hits on replay, went {} -> {}",
+        before.cache_hits,
+        after.cache_hits
+    );
+
+    // (3) Uncached arms (custom mechanism => no canonical config form):
+    // must execute every time and still merge in submission order.
+    struct Nop;
+    impl Mechanism for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn counters(&self) -> MechCounters {
+            MechCounters::named("nop")
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+    let submit_all = |s: &mut Sweep| {
+        for i in 1..=4u64 {
+            let cfg = RunConfig::vanilla(2)
+                .with_seed(23)
+                .with_mechanism(|| Box::new(Nop));
+            s.add(format!("uncached/{i}"), cfg, move || {
+                Box::new(ComputeYield::fig2a(2, i * 1_500_000)) as Box<dyn Workload>
+            });
+        }
+    };
+    let mut s1 = Sweep::new();
+    submit_all(&mut s1);
+    let mut s4 = Sweep::new();
+    submit_all(&mut s4);
+    let r1 = s1.run_with_jobs(1);
+    let r4 = s4.run_with_jobs(4);
+    assert_eq!(r1, r4, "uncached arms differ between jobs=1 and jobs=4");
+    assert_eq!(r1[2].label, "uncached/3");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary (threads, work, seed, jobs): the first sweep execution
+    /// and a cache-served replay must both equal a fresh direct engine
+    /// run, bit for bit.
+    #[test]
+    fn cache_replay_equals_fresh_run(
+        n in 1usize..6,
+        work_ns in 1_000_000u64..8_000_000,
+        seed in 0u64..1_000,
+        jobs in 1usize..5,
+    ) {
+        let cfg = RunConfig::vanilla(2).with_seed(seed);
+        let mk = move || Box::new(ComputeYield::fig2a(n, work_ns)) as Box<dyn Workload>;
+
+        let fresh = run_labelled(&mut *mk(), &cfg, "arm");
+
+        let mut s1 = Sweep::new();
+        s1.add("arm", cfg.clone(), mk);
+        let first = s1.run_with_jobs(jobs).pop().expect("one report");
+
+        let mut s2 = Sweep::new();
+        s2.add("arm", cfg, mk);
+        let second = s2.run_with_jobs(jobs).pop().expect("one report");
+
+        prop_assert_eq!(&first, &fresh, "first sweep run differs from direct run");
+        prop_assert_eq!(&second, &fresh, "cache replay differs from direct run");
+    }
+}
