@@ -10,23 +10,23 @@ use oversub::ksync::{FutexParams, FutexTable};
 use oversub::locks::{SpinLock, SpinPolicy};
 use oversub::sched::{Pick, SchedParams, Scheduler, StopReason};
 use oversub::simcore::{EventQueue, SimRng, SimTime};
-use oversub::task::{Action, FnProgram, FutexKey, Task, TaskId};
+use oversub::task::{Action, FnProgram, FutexKey, Task, TaskId, TaskTable};
 use oversub_bwd::{BwdParams, Detector};
 
-fn mk_tasks(n: usize) -> Vec<Task> {
-    (0..n)
-        .map(|i| {
-            Task::new(
-                TaskId(i),
-                Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                CpuId(0),
-            )
-        })
-        .collect()
+fn mk_tasks(n: usize) -> TaskTable {
+    let mut tt = TaskTable::new();
+    for i in 0..n {
+        tt.push(Task::new(
+            TaskId(i),
+            Box::new(FnProgram::new("nop", |_| Action::Exit)),
+            CpuId(0),
+        ));
+    }
+    tt
 }
 
 /// One fully-set-up "8 waiters blocked on one futex" scenario.
-fn blocked_world(vb: bool) -> (Scheduler, Vec<Task>, FutexTable, FutexKey) {
+fn blocked_world(vb: bool) -> (Scheduler, TaskTable, FutexTable, FutexKey) {
     let mut sched = Scheduler::new(
         Topology::flat(1),
         SchedParams::default(),
@@ -190,16 +190,16 @@ fn bench_pick_next(c: &mut Criterion) {
     // ordered scan has a prefix to step over; steady-state repeated picks
     // (the cache's hit case vs the reference scan).
     let mut tasks = mk_tasks(32);
-    for (i, t) in tasks.iter_mut().enumerate() {
-        t.vruntime = 1_000 * (i as u64 + 1);
-        t.bwd_skip = i < 8;
+    for i in 0..tasks.len() {
+        tasks.vruntime[i] = 1_000 * (i as u64 + 1);
+        tasks.bwd_skip[i] = i < 8;
     }
     let mut g = c.benchmark_group("rq_pick_next_32_tasks_8_skipped");
     for (name, scan) in [("cached", false), ("scan", true)] {
         let rq = {
             let mut rq = CfsRq::new();
-            for t in &tasks {
-                rq.enqueue(t);
+            for tid in tasks.ids() {
+                rq.enqueue(&tasks, tid);
             }
             rq.set_scan_mode(scan);
             rq

@@ -1,22 +1,43 @@
 //! Simulator throughput benchmark: events/sec and wall-clock of the
 //! optimized engine (slab-cancellation queue + timer wheel, cached picks,
-//! resched coalescing) versus the reference engine (classic heap+HashSet
-//! queue, uncached scans, no coalescing) on three representative
-//! workloads. Both engines produce bit-identical metrics — see
-//! `tests/determinism.rs` — so this measures pure host-side speed.
+//! resched coalescing, idle-quiet timer dispatch) versus the reference
+//! engine (classic heap+HashSet queue, uncached scans, no coalescing) on
+//! representative workloads. Both engines produce bit-identical *report
+//! metrics* — see `tests/determinism.rs`; this binary re-asserts the
+//! per-mechanism counters match on every arm — so this measures pure
+//! host-side speed. The engines' internal processed-event counts may
+//! legitimately differ (resched coalescing retires duplicate wakeup
+//! events before dispatch), which is why the JSON reports both an
+//! events/sec ratio and a wall-clock ratio.
 //!
 //! Writes `BENCH_sim_throughput.json` at the repo root and prints a
-//! table. Usage: `sim_throughput [--reps N] [--jobs N] [--check]`
-//! (default 5 reps; best-of-N wall time is reported to suppress
-//! scheduling noise). Reps run on the sweep worker pool, but `--jobs`
-//! defaults to **1** here — co-running reps contend for host cores and
-//! depress the very wall times this benchmark exists to measure. Raise it
-//! only for smoke runs where absolute numbers don't matter.
+//! table. Usage: `sim_throughput [--reps N] [--jobs N] [--check |
+//! --baseline-reset]` (default 5 reps; best-of-N wall time is reported
+//! to suppress scheduling noise). Reps run on the sweep worker pool, but
+//! `--jobs` defaults to **1** here — co-running reps contend for host
+//! cores and depress the very wall times this benchmark exists to
+//! measure. Raise it only for smoke runs where absolute numbers don't
+//! matter.
 //!
-//! With `--check` the committed baseline is left untouched: the fresh
-//! optimized-engine events/sec of every arm is compared against the
-//! committed `optimized_events_per_sec`, and the process exits non-zero
-//! if any arm regressed below 0.9x — the CI throughput gate.
+//! A rewrite of the baseline **ratchets**: for each arm also present in
+//! the committed file, the gate fields (`optimized_events_per_sec`,
+//! `events_per_sec_speedup_milli`, `wall_clock_speedup_milli`) keep the
+//! minimum of the fresh and committed values. Host noise on a shared
+//! machine swings absolute events/sec by ±30% between runs, and a single
+//! lucky run committed as the baseline would make the 0.9x `--check`
+//! gates flake for everyone after; repeated regenerations therefore only
+//! lower the bar. After a real optimization, raise it deliberately with
+//! `--baseline-reset`, which writes the fresh numbers unmerged. All
+//! non-gate fields are always fresh.
+//!
+//! With `--check` the committed baseline is left untouched: the process
+//! exits non-zero if any arm's fresh optimized events/sec falls below
+//! 0.9x its committed `optimized_events_per_sec`, if any arm with a
+//! committed speedup of at least 1.2x sees its fresh engine-vs-engine
+//! speedup fall below 0.9x its committed `events_per_sec_speedup_milli`
+//! (the host-independent ratio; near-1x arms are exempt — their ratio
+//! is wall-noise), or if the tick-dominated-at-scale arm misses the
+//! absolute 3x speedup floor — the CI throughput gate.
 
 use std::time::Instant;
 
@@ -27,7 +48,30 @@ use oversub::workload::Workload;
 use oversub::workloads::memcached::Memcached;
 use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
 use oversub::workloads::skeletons::{BenchProfile, Skeleton};
-use oversub::{run_counted, sweep, MachineSpec, Mechanisms, RunConfig};
+use oversub::{
+    run_counted, run_phase_profiled, sweep, MachineSpec, Mechanisms, PhaseProfile, RunConfig,
+};
+
+/// The arm whose events/sec speedup carries an absolute floor in
+/// `--check` mode. The tick-dominated-at-scale arm is where the
+/// data-oriented core's O(active) dispatch and cadence lanes must show:
+/// the reference engine's per-tick cost grows with machine size while
+/// the optimized engine's stays flat.
+const GATED_ARM: &str = "skeleton/streamcluster/8T/512c";
+
+/// Absolute events/sec speedup floor for [`GATED_ARM`], in milli-units
+/// (3000 = 3.0x). Measured headroom is ~3.6-4.8x on an idle host.
+const SPEEDUP_FLOOR_MILLI: u64 = 3000;
+
+/// The relative speedup-regression gate only applies to arms whose
+/// *committed* ratio is at least this (1200 = 1.2x). Near-1x arms
+/// (memcached, the oversubscribed batch, the pipeline) complete in
+/// ~1 ms and their engine-vs-engine ratio swings ±30% with host
+/// scheduling noise — a 0.9x gate there measures the host, not the
+/// code. Those arms stay covered by the absolute events/sec gate; the
+/// ratio gate watches the arms the optimizations demonstrably win
+/// (the tick-dominated machines), where rot would actually show.
+const RATIO_GATE_MIN_MILLI: u64 = 1200;
 
 struct Arm {
     name: &'static str,
@@ -72,6 +116,27 @@ fn arms() -> Vec<Arm> {
         name: "skeleton/streamcluster/8T/64c",
         cfg: RunConfig::vanilla(64)
             .with_machine(MachineSpec::PaperN(64))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(11)
+            .with_max_time(SimTime::from_millis(300)),
+        mk: Box::new(|| {
+            let p = BenchProfile::by_name("streamcluster").expect("known benchmark");
+            Box::new(Skeleton::scaled(p, 8, 0.60).with_salt(11))
+        }),
+    });
+
+    // Tick-dominated at scale: the same 8 threads on a 512-CPU machine.
+    // Nearly every event is an idle-core BWD tick or balance pass, so the
+    // arm isolates the engine's per-tick cost. The reference engine's
+    // cost per tick *grows* with machine size (each pop is a binary-heap
+    // sift over one pending timer per core) while the optimized engine's
+    // cadence lanes and idle-quiet batching keep it O(1) — this arm is
+    // where the data-oriented core's scaling shows, and where the
+    // `--check` gate demands its 3x floor (`SPEEDUP_FLOOR_MILLI`).
+    v.push(Arm {
+        name: "skeleton/streamcluster/8T/512c",
+        cfg: RunConfig::vanilla(512)
+            .with_machine(MachineSpec::PaperN(512))
             .with_mech(Mechanisms::optimized())
             .with_seed(11)
             .with_max_time(SimTime::from_millis(300)),
@@ -131,6 +196,27 @@ fn measure(arm: &Arm, reference: bool, reps: usize, jobs: usize) -> (u64, u64, V
     (best_ns, events, mechs)
 }
 
+/// One instrumented (untimed-rep) run of the arm: where the engine's
+/// wall-clock goes, bucketed by phase. Runs outside the timed reps — the
+/// per-event `Instant` pairs would distort them.
+fn profile(arm: &Arm, reference: bool) -> PhaseProfile {
+    let cfg = arm.cfg.clone().with_reference_engine(reference);
+    let mut wl = (arm.mk)();
+    let (_, _, prof) = run_phase_profiled(&mut *wl, &cfg, arm.name);
+    prof
+}
+
+fn phase_json(p: &PhaseProfile) -> JsonValue {
+    obj(vec![
+        ("queue_pop_ns", JsonValue::UInt(p.queue_pop_ns as u128)),
+        ("pick_ns", JsonValue::UInt(p.pick_ns as u128)),
+        ("mech_timer_ns", JsonValue::UInt(p.mech_timer_ns as u128)),
+        ("balance_ns", JsonValue::UInt(p.balance_ns as u128)),
+        ("other_ns", JsonValue::UInt(p.other_ns as u128)),
+        ("total_ns", JsonValue::UInt(p.total_ns() as u128)),
+    ])
+}
+
 fn eps(events: u64, wall_ns: u64) -> u64 {
     ((events as u128) * 1_000_000_000 / (wall_ns as u128)) as u64
 }
@@ -139,6 +225,7 @@ fn main() {
     let mut reps = 5usize;
     let mut jobs = 1usize;
     let mut check = false;
+    let mut baseline_reset = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--reps" {
@@ -147,8 +234,31 @@ fn main() {
             jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
         } else if a == "--check" {
             check = true;
+        } else if a == "--baseline-reset" {
+            baseline_reset = true;
         }
     }
+
+    // The bench crate sits at <root>/crates/bench, so the repo root is two
+    // levels up from the compile-time manifest dir.
+    let Some(root) = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+    else {
+        eprintln!(
+            "sim_throughput: cannot locate the repo root from manifest dir {}",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::process::exit(1);
+    };
+    let path = root.join("BENCH_sim_throughput.json");
+
+    // Committed baseline, for the conservative ratchet (see module docs).
+    // `--check` never rewrites the file, so it needs no merge input.
+    let prior = (!check && !baseline_reset)
+        .then(|| std::fs::read_to_string(&path).ok())
+        .flatten()
+        .and_then(|t| JsonValue::parse(&t).ok());
 
     println!(
         "{:<32} {:>12} {:>10} {:>12} {:>10} {:>8} {:>8}",
@@ -156,8 +266,31 @@ fn main() {
     );
     let mut rows = Vec::new();
     for arm in arms() {
-        let (ref_ns, ref_events, _) = measure(&arm, true, reps, jobs);
+        let (ref_ns, ref_events, ref_mechs) = measure(&arm, true, reps, jobs);
         let (fast_ns, fast_events, mechs) = measure(&arm, false, reps, jobs);
+        // The two engines must agree on every report metric; the
+        // per-mechanism counters are the part this binary can see, so
+        // re-assert their bit-identity on every arm (the full-report
+        // check lives in tests/determinism.rs). Processed-event counts
+        // are the one engine-internal quantity allowed to differ, and
+        // only downward: coalescing retires events, never adds them.
+        let ref_json = JsonValue::Array(ref_mechs).to_string_compact();
+        let fast_json = JsonValue::Array(mechs.clone()).to_string_compact();
+        if ref_json != fast_json {
+            eprintln!(
+                "{}: mechanism counters DIVERGED between engines\n  ref:  {ref_json}\n  fast: {fast_json}",
+                arm.name
+            );
+            std::process::exit(1);
+        }
+        if fast_events > ref_events {
+            eprintln!(
+                "{}: optimized engine processed MORE events than reference \
+                 ({fast_events} > {ref_events}) — coalescing can only remove events",
+                arm.name
+            );
+            std::process::exit(1);
+        }
         let ref_eps = eps(ref_events, ref_ns);
         let fast_eps = eps(fast_events, fast_ns);
         // Coalescing removes events, so events/sec on the fast engine's
@@ -177,6 +310,24 @@ fn main() {
             wall_x_milli / 1000,
             wall_x_milli % 1000,
         );
+        // Ratchet the gate fields against the committed row (if any):
+        // keep the minimum, so regenerating on a lucky run cannot
+        // tighten the 0.9x gates (see module docs).
+        let prior_row = prior.as_ref().and_then(|p| {
+            p.get("workloads")?
+                .as_array()?
+                .iter()
+                .find(|b| b.get("workload").and_then(|v| v.as_str()) == Some(arm.name))
+        });
+        let ratchet = |field: &str, fresh: u64| -> u64 {
+            match prior_row
+                .and_then(|r| r.get(field))
+                .and_then(|v| v.as_u64())
+            {
+                Some(prev) => fresh.min(prev),
+                None => fresh,
+            }
+        };
         rows.push(obj(vec![
             ("workload", JsonValue::Str(arm.name.to_string())),
             ("reference_events", JsonValue::UInt(ref_events as u128)),
@@ -186,17 +337,24 @@ fn main() {
             ("optimized_wall_ns", JsonValue::UInt(fast_ns as u128)),
             (
                 "optimized_events_per_sec",
-                JsonValue::UInt(fast_eps as u128),
+                JsonValue::UInt(ratchet("optimized_events_per_sec", fast_eps) as u128),
             ),
             (
                 "events_per_sec_speedup_milli",
-                JsonValue::UInt(eps_x_milli as u128),
+                JsonValue::UInt(ratchet("events_per_sec_speedup_milli", eps_x_milli) as u128),
             ),
             (
                 "wall_clock_speedup_milli",
-                JsonValue::UInt(wall_x_milli as u128),
+                JsonValue::UInt(ratchet("wall_clock_speedup_milli", wall_x_milli) as u128),
             ),
             ("mechanisms", JsonValue::Array(mechs)),
+            (
+                "phase_breakdown",
+                obj(vec![
+                    ("reference", phase_json(&profile(&arm, true))),
+                    ("optimized", phase_json(&profile(&arm, false))),
+                ]),
+            ),
         ]));
     }
 
@@ -221,26 +379,17 @@ fn main() {
             "note",
             JsonValue::Str(
                 "best-of-reps wall time; speedups in milli-units (1300 = 1.3x); \
-             metrics are bit-identical across engines (tests/determinism.rs)"
+             report metrics are bit-identical across engines (tests/determinism.rs, \
+             re-asserted per arm here) while processed-event counts may differ \
+             (resched coalescing, optimized <= reference); phase_breakdown is one \
+             instrumented untimed run per engine; gate fields \
+             (optimized_events_per_sec, *_speedup_milli) ratchet to the per-arm \
+             minimum across regenerations unless --baseline-reset"
                     .to_string(),
             ),
         ),
         ("workloads", JsonValue::Array(rows)),
     ]);
-
-    // The bench crate sits at <root>/crates/bench, so the repo root is two
-    // levels up from the compile-time manifest dir.
-    let Some(root) = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-    else {
-        eprintln!(
-            "sim_throughput: cannot locate the repo root from manifest dir {}",
-            env!("CARGO_MANIFEST_DIR")
-        );
-        std::process::exit(1);
-    };
-    let path = root.join("BENCH_sim_throughput.json");
 
     if check {
         match check_against_baseline(&doc, &path) {
@@ -264,9 +413,21 @@ fn main() {
     println!("\nwrote {}", path.display());
 }
 
-/// Compare a fresh measurement against the committed baseline: every arm's
-/// optimized events/sec must stay above 0.9x of the committed value. The
-/// baseline file is not rewritten.
+/// Compare a fresh measurement against the committed baseline. Three
+/// gates, all of which must hold:
+///
+/// 1. every arm's optimized events/sec stays above 0.9x the committed
+///    value (absolute regression — catches "the engine got slower");
+/// 2. every arm whose committed ratio is at least
+///    [`RATIO_GATE_MIN_MILLI`] keeps its events/sec *speedup over the
+///    reference engine* above 0.9x the committed ratio (relative
+///    regression — the ratio is host-speed independent, so this catches
+///    optimizations quietly rotting even on faster or slower CI
+///    hardware; near-1x arms are exempt, see the constant's docs);
+/// 3. [`GATED_ARM`]'s fresh speedup clears the absolute
+///    [`SPEEDUP_FLOOR_MILLI`] floor.
+///
+/// The baseline file is not rewritten.
 fn check_against_baseline(fresh: &JsonValue, path: &std::path::Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
@@ -290,6 +451,16 @@ fn check_against_baseline(fresh: &JsonValue, path: &std::path::Path) -> Result<(
             .get("optimized_events_per_sec")
             .and_then(|v| v.as_u64())
             .ok_or("row without 'optimized_events_per_sec'")?;
+        let fresh_speedup = row
+            .get("events_per_sec_speedup_milli")
+            .and_then(|v| v.as_u64())
+            .ok_or("row without 'events_per_sec_speedup_milli'")?;
+        if name == GATED_ARM && fresh_speedup < SPEEDUP_FLOOR_MILLI {
+            failures.push(format!(
+                "{name}: speedup {fresh_speedup} milli below the hard floor \
+                 {SPEEDUP_FLOOR_MILLI} milli"
+            ));
+        }
         let Some(base) = base_rows
             .iter()
             .find(|b| b.get("workload").and_then(|v| v.as_str()) == Some(name))
@@ -303,14 +474,33 @@ fn check_against_baseline(fresh: &JsonValue, path: &std::path::Path) -> Result<(
             .get("optimized_events_per_sec")
             .and_then(|v| v.as_u64())
             .ok_or("baseline row without 'optimized_events_per_sec'")?;
-        let ok = (fresh_eps as u128) * 10 >= (base_eps as u128) * 9;
+        let base_speedup = base
+            .get("events_per_sec_speedup_milli")
+            .and_then(|v| v.as_u64())
+            .ok_or("baseline row without 'events_per_sec_speedup_milli'")?;
+        let eps_ok = (fresh_eps as u128) * 10 >= (base_eps as u128) * 9;
+        let ratio_gated = base_speedup >= RATIO_GATE_MIN_MILLI;
+        let speedup_ok = !ratio_gated || (fresh_speedup as u128) * 10 >= (base_speedup as u128) * 9;
         println!(
-            "  {name}: fresh {fresh_eps} ev/s vs committed {base_eps} ev/s -> {}",
-            if ok { "ok" } else { "REGRESSED" }
+            "  {name}: fresh {fresh_eps} ev/s vs committed {base_eps} ev/s -> {}; \
+             speedup {fresh_speedup} vs committed {base_speedup} milli -> {}",
+            if eps_ok { "ok" } else { "REGRESSED" },
+            if !ratio_gated {
+                "ungated (near-1x arm)"
+            } else if speedup_ok {
+                "ok"
+            } else {
+                "REGRESSED"
+            },
         );
-        if !ok {
+        if !eps_ok {
             failures.push(format!(
                 "{name}: {fresh_eps} ev/s < 0.9x committed {base_eps} ev/s"
+            ));
+        }
+        if !speedup_ok {
+            failures.push(format!(
+                "{name}: speedup {fresh_speedup} milli < 0.9x committed {base_speedup} milli"
             ));
         }
     }

@@ -73,6 +73,14 @@ impl Pmc {
 /// The monitored hardware state of one core: LBR ring + PMCs.
 #[derive(Clone, Debug, Default)]
 pub struct CoreHw {
+    /// Set by every `note_*` recording method, cleared by
+    /// [`CoreHw::new_window`]. Every recording method deposits at least
+    /// one LBR entry, so this tracks "window touched" exactly — it exists
+    /// so [`CoreHw::window_untouched`] (polled once per idle monitoring
+    /// tick, on every core) is a one-byte read instead of a walk over the
+    /// LBR ring and the counters. Mutating `lbr`/`pmc` directly bypasses
+    /// it; the debug assertion in `window_untouched` catches that.
+    dirty: bool,
     /// Last-branch-record ring.
     pub lbr: Lbr,
     /// Window performance counters.
@@ -88,6 +96,7 @@ impl CoreHw {
     /// Record `ns` of ordinary (non-spinning) execution: varied branches at
     /// roughly one branch per 5 instructions, plus rate-based PMC events.
     pub fn note_normal_execution(&mut self, ns: u64, rates: &NormalCodeRates, addr_salt: u64) {
+        self.dirty = true;
         let instr = ns as f64 * rates.instr_per_ns;
         let branches = (instr / 5.0) as u64;
         self.lbr.record_varied(addr_salt, branches.max(1));
@@ -102,6 +111,7 @@ impl CoreHw {
         tlb_misses: u64,
         addr_salt: u64,
     ) {
+        self.dirty = true;
         self.lbr.record_varied(addr_salt, (instructions / 5).max(1));
         self.pmc.add_events(instructions, l1d_misses, tlb_misses);
     }
@@ -109,14 +119,33 @@ impl CoreHw {
     /// Record `iterations` of a spin loop with branch signature
     /// `(from, to)`. Spin loops touch no new data: no PMC miss events.
     pub fn note_spin(&mut self, from: u64, to: u64, iterations: u64, instr_per_iter: u64) {
+        self.dirty = true;
         self.lbr.record_repeated(from, to, iterations);
         self.pmc.add_events(iterations * instr_per_iter, 0, 0);
     }
 
     /// Start a new monitoring window (BWD timer fired).
     pub fn new_window(&mut self) {
+        self.dirty = false;
         self.lbr.clear();
         self.pmc.clear_window();
+    }
+
+    /// True if nothing has been recorded since the last
+    /// [`CoreHw::new_window`]: the LBR ring is in its cleared state and
+    /// the window counters are zero. An untouched window classifies as
+    /// not-spinning (the ring cannot be full) and clearing it again is a
+    /// state no-op — the two facts that let an idle core's monitoring
+    /// tick skip window inspection entirely. Answered from the dirty
+    /// flag, so the idle-tick poll does not fault in the LBR ring.
+    #[inline]
+    pub fn window_untouched(&self) -> bool {
+        debug_assert_eq!(
+            !self.dirty,
+            self.lbr.valid_entries() == 0 && self.pmc.instructions == 0 && self.pmc.no_misses(),
+            "CoreHw dirty flag out of sync (direct lbr/pmc mutation?)"
+        );
+        !self.dirty
     }
 }
 

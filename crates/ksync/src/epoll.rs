@@ -11,7 +11,7 @@ use crate::futex::{FutexParams, WaitMode, WaitOutcome, WakeReport, Woken};
 use oversub_hw::CpuId;
 use oversub_sched::{Scheduler, StopReason};
 use oversub_simcore::{KernelLock, SimTime};
-use oversub_task::{EpollFd, Task, TaskId};
+use oversub_task::{EpollFd, TaskId, TaskTable};
 use std::collections::VecDeque;
 
 struct Instance {
@@ -98,7 +98,7 @@ impl EpollTable {
     pub fn epoll_wait(
         &mut self,
         sched: &mut Scheduler,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         tid: TaskId,
         ep: EpollFd,
         cpu: CpuId,
@@ -155,7 +155,7 @@ impl EpollTable {
     pub fn epoll_post(
         &mut self,
         sched: &mut Scheduler,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         ep: EpollFd,
         count: u32,
         poster_cpu: CpuId,
@@ -217,24 +217,23 @@ mod tests {
     use super::*;
     use oversub_hw::{MemModel, Topology};
     use oversub_sched::{Pick, SchedParams};
-    use oversub_task::{Action, FnProgram, TaskState};
+    use oversub_task::{Action, FnProgram, Task, TaskState};
 
-    fn setup(vb: bool) -> (Scheduler, Vec<Task>, EpollTable) {
+    fn setup(vb: bool) -> (Scheduler, TaskTable, EpollTable) {
         let mut sched = Scheduler::new(
             Topology::flat(1),
             SchedParams::default(),
             MemModel::default(),
             vb,
         );
-        let mut tasks: Vec<Task> = (0..3)
-            .map(|i| {
-                Task::new(
-                    TaskId(i),
-                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                    CpuId(0),
-                )
-            })
-            .collect();
+        let mut tasks = TaskTable::new();
+        for i in 0..3 {
+            tasks.push(Task::new(
+                TaskId(i),
+                Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                CpuId(0),
+            ));
+        }
         for i in 0..3 {
             sched.enqueue_new(&mut tasks, TaskId(i), CpuId(0), SimTime::ZERO);
         }
@@ -246,7 +245,7 @@ mod tests {
         (sched, tasks, ep)
     }
 
-    fn run_task(sched: &mut Scheduler, tasks: &mut [Task], cpu: CpuId) -> TaskId {
+    fn run_task(sched: &mut Scheduler, tasks: &mut TaskTable, cpu: CpuId) -> TaskId {
         let Pick::Run(t, _) = sched.pick_next(tasks, cpu) else {
             panic!()
         };
@@ -279,7 +278,7 @@ mod tests {
             EpollWaitResult::Blocked(out) => assert_eq!(out.mode, WaitMode::Sleep),
             other => panic!("expected blocked, got {other:?}"),
         }
-        assert_eq!(tasks[t.0].state, TaskState::Sleeping);
+        assert_eq!(tasks.state[t.0], TaskState::Sleeping);
         assert_eq!(ept.waiter_count(ep), 1);
     }
 
@@ -292,7 +291,7 @@ mod tests {
             EpollWaitResult::Blocked(out) => assert_eq!(out.mode, WaitMode::Virtual),
             other => panic!("expected blocked, got {other:?}"),
         }
-        assert!(tasks[t.0].vb_blocked);
+        assert!(tasks.vb_blocked[t.0]);
     }
 
     #[test]

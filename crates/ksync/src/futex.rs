@@ -20,7 +20,7 @@
 use oversub_hw::CpuId;
 use oversub_sched::{Scheduler, StopReason};
 use oversub_simcore::{KernelLock, KernelLockParams, SimTime};
-use oversub_task::{FutexKey, Task, TaskId};
+use oversub_task::{FutexKey, TaskId, TaskTable};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Number of hash buckets (power of two).
@@ -176,7 +176,7 @@ impl FutexTable {
     pub fn futex_wait(
         &mut self,
         sched: &mut Scheduler,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         tid: TaskId,
         key: FutexKey,
         cpu: CpuId,
@@ -229,7 +229,7 @@ impl FutexTable {
     pub fn futex_wake(
         &mut self,
         sched: &mut Scheduler,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         key: FutexKey,
         n: usize,
         waker_cpu: CpuId,
@@ -307,7 +307,7 @@ impl FutexTable {
     pub fn futex_requeue(
         &mut self,
         sched: &mut Scheduler,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         from: FutexKey,
         to: FutexKey,
         wake_n: usize,
@@ -367,7 +367,7 @@ impl FutexTable {
     pub fn futex_wake_task(
         &mut self,
         sched: &mut Scheduler,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         tid: TaskId,
         waker_cpu: CpuId,
         now: SimTime,
@@ -439,24 +439,23 @@ mod tests {
     use super::*;
     use oversub_hw::{MemModel, Topology};
     use oversub_sched::{Pick, SchedParams};
-    use oversub_task::{Action, FnProgram, TaskState};
+    use oversub_task::{Action, FnProgram, Task, TaskState};
 
-    fn setup(cpus: usize, n_tasks: usize, vb: bool) -> (Scheduler, Vec<Task>, FutexTable) {
+    fn setup(cpus: usize, n_tasks: usize, vb: bool) -> (Scheduler, TaskTable, FutexTable) {
         let mut sched = Scheduler::new(
             Topology::flat(cpus),
             SchedParams::default(),
             MemModel::default(),
             vb,
         );
-        let mut tasks: Vec<Task> = (0..n_tasks)
-            .map(|i| {
-                Task::new(
-                    TaskId(i),
-                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                    CpuId(0),
-                )
-            })
-            .collect();
+        let mut tasks = TaskTable::new();
+        for i in 0..n_tasks {
+            tasks.push(Task::new(
+                TaskId(i),
+                Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                CpuId(0),
+            ));
+        }
         for i in 0..n_tasks {
             sched.enqueue_new(&mut tasks, TaskId(i), CpuId(i % cpus), SimTime::ZERO);
         }
@@ -468,7 +467,7 @@ mod tests {
         (sched, tasks, ft)
     }
 
-    fn run_task(sched: &mut Scheduler, tasks: &mut [Task], cpu: CpuId) -> TaskId {
+    fn run_task(sched: &mut Scheduler, tasks: &mut TaskTable, cpu: CpuId) -> TaskId {
         let Pick::Run(t, _) = sched.pick_next(tasks, cpu) else {
             panic!("nothing to run on {cpu:?}")
         };
@@ -484,7 +483,7 @@ mod tests {
         let out = ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
         assert_eq!(out.mode, WaitMode::Sleep);
         assert!(out.cost_ns > 0);
-        assert_eq!(tasks[t.0].state, TaskState::Sleeping);
+        assert_eq!(tasks.state[t.0], TaskState::Sleeping);
         assert_eq!(ft.queue_len(key), 1);
         assert!(ft.is_blocked(t));
         assert_eq!(ft.sleep_waits, 1);
@@ -497,8 +496,8 @@ mod tests {
         let key = FutexKey(0x1000);
         let out = ft.futex_wait(&mut sched, &mut tasks, t, key, CpuId(0), SimTime::ZERO);
         assert_eq!(out.mode, WaitMode::Virtual);
-        assert_eq!(tasks[t.0].state, TaskState::Runnable);
-        assert!(tasks[t.0].vb_blocked);
+        assert_eq!(tasks.state[t.0], TaskState::Runnable);
+        assert!(tasks.vb_blocked[t.0]);
         assert_eq!(sched.cpus[0].rq.nr_vb_parked(), 1);
         assert_eq!(ft.virtual_waits, 1);
     }
@@ -520,7 +519,7 @@ mod tests {
         assert_eq!(woken, order, "FIFO wake order");
         assert_eq!(ft.queue_len(key), 0);
         for t in woken {
-            assert_eq!(tasks[t.0].state, TaskState::Runnable);
+            assert_eq!(tasks.state[t.0], TaskState::Runnable);
             assert!(!ft.is_blocked(t));
         }
     }
@@ -584,15 +583,14 @@ mod tests {
             MemModel::default(),
             true,
         );
-        let mut tasks: Vec<Task> = (0..2)
-            .map(|i| {
-                Task::new(
-                    TaskId(i),
-                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                    CpuId(0),
-                )
-            })
-            .collect();
+        let mut tasks = TaskTable::new();
+        for i in 0..2 {
+            tasks.push(Task::new(
+                TaskId(i),
+                Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                CpuId(0),
+            ));
+        }
         sched.enqueue_new(&mut tasks, TaskId(0), CpuId(0), SimTime::ZERO);
         let mut ft = FutexTable::new(FutexParams {
             vb_enabled: true,
@@ -639,8 +637,9 @@ mod tests {
         assert_eq!(ft.queue_len(mutex_key), 2);
         // Requeued tasks are still asleep.
         let still_blocked = tasks
+            .state
             .iter()
-            .filter(|t| t.state == TaskState::Sleeping)
+            .filter(|&&s| s == TaskState::Sleeping)
             .count();
         assert_eq!(still_blocked, 2);
     }
@@ -705,7 +704,7 @@ mod tests {
 
         let report = ft.futex_wake(&mut sched, &mut tasks, key, 2, CpuId(0), SimTime::ZERO);
         assert_eq!(report.woken.len(), 2);
-        assert_eq!(tasks[t0.0].state, TaskState::Runnable);
-        assert!(!tasks[t1.0].vb_blocked);
+        assert_eq!(tasks.state[t0.0], TaskState::Runnable);
+        assert!(!tasks.vb_blocked[t1.0]);
     }
 }

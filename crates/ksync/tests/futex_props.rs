@@ -5,7 +5,7 @@ use oversub_hw::{CpuId, MemModel, Topology};
 use oversub_ksync::{FutexParams, FutexTable};
 use oversub_sched::{Pick, SchedParams, Scheduler};
 use oversub_simcore::SimTime;
-use oversub_task::{Action, FnProgram, FutexKey, Task, TaskId, TaskState};
+use oversub_task::{Action, FnProgram, FutexKey, Task, TaskId, TaskState, TaskTable};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -29,7 +29,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 
 struct World {
     sched: Scheduler,
-    tasks: Vec<Task>,
+    tasks: TaskTable,
     futex: FutexTable,
     /// Model: FIFO queue per key.
     model: [VecDeque<TaskId>; 3],
@@ -46,15 +46,14 @@ impl World {
             vb,
         );
         let n = 16;
-        let mut tasks: Vec<Task> = (0..n)
-            .map(|i| {
-                Task::new(
-                    TaskId(i),
-                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                    CpuId(i % cpus),
-                )
-            })
-            .collect();
+        let mut tasks = TaskTable::new();
+        for i in 0..n {
+            tasks.push(Task::new(
+                TaskId(i),
+                Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                CpuId(i % cpus),
+            ));
+        }
         for i in 0..n {
             sched.enqueue_new(&mut tasks, TaskId(i), CpuId(i % cpus), SimTime::ZERO);
         }
@@ -81,7 +80,7 @@ impl World {
             return false;
         };
         // The task must be running to block: pick it on its cpu.
-        let cpu = self.tasks[tid.0].last_cpu;
+        let cpu = self.tasks.last_cpu[tid.0];
         // Clear whatever is current there first.
         if let Some(curr) = self.sched.cpus[cpu.0].current {
             self.sched.stop_current(
@@ -169,7 +168,7 @@ proptest! {
                         prop_assert!(w.model[idx].is_empty());
                     }
                     for t in woken {
-                        prop_assert!(w.tasks[t.0].schedulable());
+                        prop_assert!(w.tasks.schedulable(t));
                         prop_assert!(!w.futex.is_blocked(t));
                         w.free.push(t);
                     }
@@ -200,8 +199,8 @@ proptest! {
             prop_assert_eq!(w.futex.sleep_waits, 0);
             for i in 0..w.tasks.len() {
                 if w.futex.is_blocked(TaskId(i)) {
-                    prop_assert!(w.tasks[i].vb_blocked);
-                    prop_assert_eq!(w.tasks[i].state, TaskState::Runnable);
+                    prop_assert!(w.tasks.vb_blocked[i]);
+                    prop_assert_eq!(w.tasks.state[i], TaskState::Runnable);
                 }
             }
         } else {
@@ -209,7 +208,7 @@ proptest! {
             prop_assert_eq!(w.futex.virtual_waits, 0);
             for i in 0..w.tasks.len() {
                 if w.futex.is_blocked(TaskId(i)) {
-                    prop_assert_eq!(w.tasks[i].state, TaskState::Sleeping);
+                    prop_assert_eq!(w.tasks.state[i], TaskState::Sleeping);
                 }
             }
         }

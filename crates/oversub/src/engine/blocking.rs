@@ -65,12 +65,12 @@ impl Engine {
                     // dequeued the waiter, but the unpark never lands —
                     // re-park the task in place with no registered waker
                     // (the classic lost-wakeup bug the watchdog hunts).
-                    let old_vr = self.tasks[w.task.0].vruntime;
+                    let old_vr = self.tasks.vruntime[w.task.0];
                     let tail = self.sched.cpus[w.cpu.0].rq.next_vb_tail_vruntime();
-                    self.tasks[w.task.0].vb_park(tail);
+                    self.tasks.vb_park(w.task, tail);
                     self.sched.cpus[w.cpu.0]
                         .rq
-                        .requeue(old_vr, false, &self.tasks[w.task.0]);
+                        .requeue(old_vr, false, &self.tasks, w.task);
                     if let Some(s) = self.vb_park_since.get_mut(w.task.0) {
                         *s = Some(done);
                     }
@@ -143,10 +143,10 @@ impl Engine {
     /// claims when next scheduled (the lock-holder-preemption case: the
     /// hand-off latency is the victim's scheduling delay).
     pub(crate) fn deliver_grant(&mut self, w: TaskId, is_mutex: bool, lock: LockId, t: SimTime) {
-        if self.tasks[w.0].state != TaskState::Running {
+        if self.tasks.state[w.0] != TaskState::Running {
             return;
         }
-        let wcpu = self.tasks[w.0].last_cpu.0;
+        let wcpu = self.tasks.last_cpu[w.0].0;
         debug_assert_eq!(self.sched.cpus[wcpu].current, Some(w));
         let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
         self.account_progress(wcpu, t2);
@@ -225,9 +225,9 @@ impl Engine {
 
     /// A flag changed and `w`'s spin condition is satisfied.
     pub(crate) fn release_flag_spinner(&mut self, w: TaskId, t: SimTime) {
-        match self.tasks[w.0].state {
+        match self.tasks.state[w.0] {
             TaskState::Running => {
-                let wcpu = self.tasks[w.0].last_cpu.0;
+                let wcpu = self.tasks.last_cpu[w.0].0;
                 let t2 = t.max_of(self.sched.cpus[wcpu].accounted_until);
                 self.account_progress(wcpu, t2);
                 self.conts[w.0] = Cont::Ready;

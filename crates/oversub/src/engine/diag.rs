@@ -30,9 +30,9 @@ impl Engine {
                 for (vr, tid) in c.rq.entries() {
                     eprintln!(
                         "    cpu{i} entry vr={vr} {tid:?} state={:?} vb={} task.vruntime={}",
-                        self.tasks[tid.0].state,
-                        self.tasks[tid.0].vb_blocked,
-                        self.tasks[tid.0].vruntime
+                        self.tasks.state[tid.0],
+                        self.tasks.vb_blocked[tid.0],
+                        self.tasks.vruntime[tid.0]
                     );
                 }
             }
@@ -43,14 +43,14 @@ impl Engine {
     /// Diagnostic: print why a run ended with live tasks (stall analysis).
     pub(super) fn dump_stall_state(&self) {
         eprintln!("[stall] live={} now={}", self.live, self.now);
-        for (i, t) in self.tasks.iter().enumerate() {
+        for i in 0..self.tasks.len() {
             if self.conts[i] != Cont::Done {
                 eprintln!(
                     "  task {i}: state={:?} vb={} skip={} cpu={:?} cont={:?} blocked_on_futex={}",
-                    t.state,
-                    t.vb_blocked,
-                    t.bwd_skip,
-                    t.last_cpu,
+                    self.tasks.state[i],
+                    self.tasks.vb_blocked[i],
+                    self.tasks.bwd_skip[i],
+                    self.tasks.last_cpu[i],
                     self.conts[i],
                     self.futex.is_blocked(TaskId(i)),
                 );

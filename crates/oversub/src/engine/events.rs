@@ -28,8 +28,8 @@ impl Engine {
             Some(tid) => match self.run_kind[cpu] {
                 RunKind::Useful => {
                     self.sched.cpus[cpu].time.useful_ns += span;
-                    self.tasks[tid.0].stats.exec_ns += span;
-                    let salt = self.tasks[tid.0].addr_salt;
+                    self.tasks.stats[tid.0].exec_ns += span;
+                    let salt = self.tasks.addr_salt[tid.0];
                     let rates = self.rates;
                     self.sched.cpus[cpu]
                         .hw
@@ -37,7 +37,7 @@ impl Engine {
                 }
                 RunKind::Spin(sig) => {
                     self.sched.cpus[cpu].time.spin_ns += span;
-                    self.tasks[tid.0].stats.spin_ns += span;
+                    self.tasks.stats[tid.0].spin_ns += span;
                     let iters = span / sig.iter_ns.max(1);
                     self.sched.cpus[cpu].hw.note_spin(
                         sig.branch_from,
@@ -49,7 +49,7 @@ impl Engine {
                 RunKind::TightLoop(sig) => {
                     // Program work, but with a spin-shaped LBR footprint.
                     self.sched.cpus[cpu].time.useful_ns += span;
-                    self.tasks[tid.0].stats.exec_ns += span;
+                    self.tasks.stats[tid.0].exec_ns += span;
                     let iters = span / sig.iter_ns.max(1);
                     self.sched.cpus[cpu].hw.note_spin(
                         sig.branch_from,
@@ -61,6 +61,25 @@ impl Engine {
             },
         }
         self.sched.cpus[cpu].accounted_until = to;
+    }
+
+    /// Fused accounting for an idle-quiet timer tick:
+    /// `account_progress(cpu, now)` on a CPU with no current task (the
+    /// elapsed span is pure idle time) followed by
+    /// `charge_kernel(cpu, charge)`, with a single cursor read-modify-
+    /// write. Callers must hold `!sched.is_active(cpu)`, which is
+    /// `current.is_none()` by construction — the idle branch of
+    /// `account_progress` is then the only reachable one, so this is
+    /// bit-identical to the two calls it replaces.
+    pub(crate) fn account_idle_tick(&mut self, cpu: usize, now: SimTime, charge: u64) {
+        let c = &mut self.sched.cpus[cpu];
+        let mut cur = c.accounted_until;
+        if now > cur {
+            c.time.idle_ns += now - cur;
+            cur = now;
+        }
+        c.time.kernel_ns += charge;
+        c.accounted_until = cur + charge;
     }
 
     /// Charge kernel time starting at the cursor.
@@ -77,7 +96,7 @@ impl Engine {
         }
         self.sched.cpus[cpu].time.useful_ns += span;
         if let Some(tid) = self.sched.cpus[cpu].current {
-            self.tasks[tid.0].stats.exec_ns += span;
+            self.tasks.stats[tid.0].exec_ns += span;
         }
         let cur = self.sched.cpus[cpu].accounted_until;
         self.sched.cpus[cpu].accounted_until = cur + span;
@@ -137,8 +156,10 @@ impl Engine {
                     // Arm the stint's slice timer (chaos runs may add an
                     // injected expiry delay).
                     let slice = self.sched.slice_for(CpuId(cpu)) + self.slice_fault_delay();
-                    self.queue
-                        .schedule(start_t + slice, Event::Slice(cpu, self.stint_epoch[cpu]));
+                    self.queue.schedule_nocancel(
+                        start_t + slice,
+                        Event::Slice(cpu, self.stint_epoch[cpu]),
+                    );
                     self.sched.cpus[cpu].time.context_switches += 1;
                     self.advance_task(cpu, start_t);
                     return;
@@ -201,7 +222,7 @@ impl Engine {
             // Nobody else: extend the stint.
             let slice = self.sched.slice_for(CpuId(cpu)) + self.slice_fault_delay();
             self.queue
-                .schedule(self.now + slice, Event::Slice(cpu, epoch));
+                .schedule_nocancel(self.now + slice, Event::Slice(cpu, epoch));
             return;
         }
         // Preempt: save remaining work, requeue, pick next.
@@ -243,8 +264,8 @@ impl Engine {
         // is always preempt-worthy — the paper's VB explicitly schedules
         // waking threads immediately, mirroring how wakeup preemption
         // favours real sleepers.
-        let fresh_wake = self.tasks[cand.0].wake_requested_at.is_some();
-        if !fresh_wake && self.tasks[cand.0].vruntime + gran >= cv {
+        let fresh_wake = self.tasks.wake_requested_at[cand.0].is_some();
+        if !fresh_wake && self.tasks.vruntime[cand.0] + gran >= cv {
             return;
         }
         let Some(curr) = self.sched.cpus[cpu].current else {
@@ -266,10 +287,15 @@ impl Engine {
     }
 
     pub(crate) fn on_balance(&mut self, cpu: usize) {
-        self.queue.schedule_periodic(
-            self.now + self.cfg.sched.balance_interval_ns,
-            Event::Balance(cpu),
-        );
+        // Skipped when the queue's auto-cadence rotation already re-armed
+        // this timer during the pop (identical `(time, seq)` key).
+        if !self.queue.last_pop_rotated() {
+            self.queue.schedule_cadenced(
+                self.now + self.cfg.sched.balance_interval_ns,
+                self.cfg.sched.balance_interval_ns,
+                Event::Balance(cpu),
+            );
+        }
         if !self.sched.online[cpu] {
             return;
         }
@@ -291,12 +317,12 @@ impl Engine {
 
     pub(crate) fn on_io_done(&mut self, task: usize) {
         let tid = TaskId(task);
-        if self.tasks[task].state != TaskState::Sleeping {
+        if self.tasks.state[task] != TaskState::Sleeping {
             return;
         }
         // Interrupt-context wake: placement logic runs, but the cost is
         // not charged to any task's segment.
-        let waker_cpu = self.tasks[task].last_cpu;
+        let waker_cpu = self.tasks.last_cpu[task];
         let out = self
             .sched
             .vanilla_wake(&mut self.tasks, tid, waker_cpu, self.now);
@@ -348,13 +374,13 @@ impl Engine {
                     let movable = {
                         let rq = &self.sched.cpus[c].rq;
                         rq.entries().into_iter().map(|(_, tid)| tid).find(|&tid| {
-                            self.tasks[tid.0].vb_blocked
-                                && self.tasks[tid.0].pinned != Some(CpuId(c))
+                            self.tasks.vb_blocked[tid.0]
+                                && self.tasks.pinned[tid.0] != Some(CpuId(c))
                         })
                     };
                     match movable {
                         Some(p) => {
-                            self.sched.cpus[c].rq.dequeue(&self.tasks[p.0]);
+                            self.sched.cpus[c].rq.dequeue(&self.tasks, p);
                             v.push(p);
                         }
                         None => break,
@@ -364,20 +390,20 @@ impl Engine {
             };
             let mut target = 0usize;
             for tid in queued {
-                if self.tasks[tid.0].pinned == Some(CpuId(c)) {
+                if self.tasks.pinned[tid.0] == Some(CpuId(c)) {
                     continue; // stuck — the paper's "pinning crashes" case
                 }
-                self.sched.cpus[c].rq.dequeue(&self.tasks[tid.0]);
+                self.sched.cpus[c].rq.dequeue(&self.tasks, tid);
                 let dest = target % cores;
                 target += 1;
-                self.tasks[tid.0].last_cpu = CpuId(dest);
-                self.sched.cpus[dest].rq.enqueue(&self.tasks[tid.0]);
+                self.tasks.last_cpu[tid.0] = CpuId(dest);
+                self.sched.cpus[dest].rq.enqueue(&self.tasks, tid);
             }
             for tid in parked {
                 let dest = target % cores;
                 target += 1;
-                self.tasks[tid.0].last_cpu = CpuId(dest);
-                self.sched.cpus[dest].rq.enqueue(&self.tasks[tid.0]);
+                self.tasks.last_cpu[tid.0] = CpuId(dest);
+                self.sched.cpus[dest].rq.enqueue(&self.tasks, tid);
             }
         }
         for c in 0..cores {

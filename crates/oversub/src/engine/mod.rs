@@ -48,7 +48,7 @@ use oversub_ksync::{EpollTable, FutexTable};
 use oversub_locks::{LockDep, SyncRegistry};
 use oversub_metrics::{Diagnostic, RunReport};
 use oversub_simcore::{EventQueue, SimRng, SimTime};
-use oversub_task::{Action, EpollFd, FlagId, LockId, SemId, SpinSig, Task, TaskId};
+use oversub_task::{Action, EpollFd, FlagId, LockId, SemId, SpinSig, Task, TaskId, TaskTable};
 use oversub_workloads::workload::{Workload, WorldBuilder};
 
 /// What kind of time the current segment on a CPU is.
@@ -160,6 +160,44 @@ pub(crate) enum Event {
     Stop,
 }
 
+/// Host-side time attribution of one run, split by simulation phase.
+/// Filled only when profiling is requested ([`run_phase_profiled`]); the
+/// normal run loop pays one branch per event for the possibility.
+///
+/// Handler buckets include the event-queue *inserts* those handlers make
+/// (a resched handler's slice arming, a timer handler's re-arm): the
+/// `queue_pop_ns` bucket isolates the pop/peek side, which is where the
+/// fast queue's wheel and slab live.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseProfile {
+    /// Popping the event queue (drain-cancelled + peek + pop).
+    pub queue_pop_ns: u64,
+    /// Resched and wakeup-preemption handlers — the runqueue pick paths.
+    pub pick_ns: u64,
+    /// Periodic mechanism-timer handlers — the mechanism hook dispatch.
+    pub mech_timer_ns: u64,
+    /// Periodic load-balance handlers.
+    pub balance_ns: u64,
+    /// Everything else (segment ends, slice expiry, I/O, elasticity...).
+    pub other_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Total attributed host nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_pop_ns + self.pick_ns + self.mech_timer_ns + self.balance_ns + self.other_ns
+    }
+
+    fn slot_for(&mut self, ev: &Event) -> &mut u64 {
+        match ev {
+            Event::Resched(_) | Event::PreemptCheck(_) => &mut self.pick_ns,
+            Event::MechTimer(_, _) => &mut self.mech_timer_ns,
+            Event::Balance(_) => &mut self.balance_ns,
+            _ => &mut self.other_ns,
+        }
+    }
+}
+
 /// Safety valve against runaway simulations.
 const MAX_EVENTS: u64 = 400_000_000;
 
@@ -175,7 +213,7 @@ pub(crate) struct Engine {
     /// The mechanism pipeline (VB / BWD / PLE / custom).
     pub mechs: MechanismSet,
     pub mem: MemModel,
-    pub tasks: Vec<Task>,
+    pub tasks: TaskTable,
     pub conts: Vec<Cont>,
     pub rngs: Vec<SimRng>,
     pub queue: EventQueue<Event>,
@@ -202,6 +240,19 @@ pub(crate) struct Engine {
     pub resched_pending: Vec<Option<(SimTime, u64)>>,
     /// Reference mode: classic queue, uncached picks, no coalescing.
     pub reference: bool,
+    /// Per-mechanism timer interval, cached at construction so the
+    /// periodic-tick hot path re-arms without a dyn dispatch (intervals
+    /// are fixed for the life of a run).
+    pub timer_intervals: Vec<Option<u64>>,
+    /// Per-mechanism constant idle-quiet charge
+    /// ([`Mechanism::idle_quiet_constant`](crate::mechanism::Mechanism::idle_quiet_constant)),
+    /// cached at construction: `Some(charge)` means an idle-quiet tick of
+    /// that mechanism needs no mechanism call at all.
+    idle_quiet_charge: Vec<Option<u64>>,
+    /// Idle-quiet ticks taken through the constant path, deferred per
+    /// mechanism and flushed into the mechanism's check counter before
+    /// counters are read (the increments commute, so deferral is exact).
+    pending_idle_checks: Vec<u64>,
     /// `OVERSUB_TRACE` progress logging (read once at construction; env
     /// lookups are too slow for the per-event hot loop).
     trace_progress: bool,
@@ -243,6 +294,9 @@ pub(crate) struct Engine {
     /// Lock-order / wait-for graph tracking; `None` unless the config
     /// opts in, so clean runs carry no analysis state at all.
     pub lockdep: Option<LockDep>,
+    /// Per-phase host-time accumulators; `None` (one branch per event)
+    /// unless the run was started via [`run_phase_profiled`].
+    pub phase_prof: Option<Box<PhaseProfile>>,
 }
 
 impl Engine {
@@ -286,7 +340,7 @@ impl Engine {
 
         let base_rng = SimRng::new(cfg.seed);
         let n = world.threads.len();
-        let mut tasks = Vec::with_capacity(n);
+        let mut tasks = TaskTable::new();
         let mut rngs = Vec::with_capacity(n);
         let online: Vec<usize> = (0..initial_cores).collect();
         for (i, spec) in world.threads.into_iter().enumerate() {
@@ -321,6 +375,13 @@ impl Engine {
         let wd_slots = if watchdog.is_some() { n } else { 0 };
         let max_events = cfg.max_events.unwrap_or(MAX_EVENTS);
         let lockdep = cfg.lockdep.then(|| LockDep::new(n));
+        let timer_intervals: Vec<Option<u64>> = (0..mechs.len())
+            .map(|i| mechs.timer_interval_ns(i))
+            .collect();
+        let idle_quiet_charge: Vec<Option<u64>> = (0..mechs.len())
+            .map(|i| mechs.idle_quiet_constant(i))
+            .collect();
+        let pending_idle_checks = vec![0u64; mechs.len()];
         let mut eng = Engine {
             mechs,
             sched,
@@ -338,6 +399,9 @@ impl Engine {
             },
             resched_pending: vec![None; ncpu],
             reference,
+            timer_intervals,
+            idle_quiet_charge,
+            pending_idle_checks,
             trace_progress: std::env::var_os("OVERSUB_TRACE").is_some(),
             check_rqs: std::env::var_os("OVERSUB_CHECK").is_some(),
             trace_cpu: std::env::var("OVERSUB_TRACE_CPU")
@@ -371,12 +435,13 @@ impl Engine {
             halted: false,
             max_events,
             lockdep,
+            phase_prof: None,
             cfg,
         };
 
         // Place tasks and arm per-CPU machinery.
         for i in 0..n {
-            let cpu = eng.tasks[i].last_cpu;
+            let cpu = eng.tasks.last_cpu[i];
             eng.sched
                 .enqueue_new(&mut eng.tasks, TaskId(i), cpu, SimTime::ZERO);
         }
@@ -386,14 +451,16 @@ impl Engine {
             for &(idx, interval_ns) in &timers {
                 // Stagger timers so cores do not all fire at once.
                 let phase = (c as u64 * 7_919) % interval_ns;
-                eng.queue.schedule_periodic(
+                eng.queue.schedule_cadenced(
                     SimTime::from_nanos(interval_ns + phase),
+                    interval_ns,
                     Event::MechTimer(idx, c),
                 );
             }
             let phase = (c as u64 * 104_729) % eng.cfg.sched.balance_interval_ns;
-            eng.queue.schedule_periodic(
+            eng.queue.schedule_cadenced(
                 SimTime::from_nanos(eng.cfg.sched.balance_interval_ns + phase),
+                eng.cfg.sched.balance_interval_ns,
                 Event::Balance(c),
             );
         }
@@ -402,18 +469,32 @@ impl Engine {
         }
         if let Some(f) = &eng.faults {
             if f.plan.needs_tick() {
-                eng.queue.schedule_periodic(
+                eng.queue.schedule_cadenced(
                     SimTime::from_nanos(f.plan.tick_interval_ns),
+                    f.plan.tick_interval_ns,
                     Event::FaultTick,
                 );
             }
         }
         if let Some(wd) = eng.watchdog {
-            eng.queue
-                .schedule_periodic(SimTime::from_nanos(wd.check_interval_ns), Event::Watchdog);
+            eng.queue.schedule_cadenced(
+                SimTime::from_nanos(wd.check_interval_ns),
+                wd.check_interval_ns,
+                Event::Watchdog,
+            );
         }
         if eng.cfg.max_time.is_some() {
             eng.queue.schedule_nocancel(end_cap, Event::Stop);
+        }
+        // Auto-cadence rotation: in fault-free optimized runs every
+        // cadenced re-arm is deterministic — `now + interval`, issued as
+        // the handler's first schedule call after the pop — so the queue
+        // performs it during the pop itself and the handlers skip their
+        // explicit re-arm when `last_pop_rotated()` reports it done.
+        // Fault runs keep the explicit path (jitter and drops perturb the
+        // re-arm point), as does the reference engine.
+        if !eng.reference && eng.faults.is_none() {
+            eng.queue.set_auto_cadence(true);
         }
         Ok(eng)
     }
@@ -424,8 +505,21 @@ impl Engine {
         mut self,
         workload: &dyn Workload,
         label: &str,
-    ) -> (RunReport, TraceLog, u64) {
-        while let Some((t, ev)) = self.queue.pop() {
+    ) -> (RunReport, TraceLog, u64, Option<PhaseProfile>) {
+        // Keep the accumulators out of `self` during the loop so the
+        // instrumented arms can time `dispatch(&mut self)` calls.
+        let mut prof = self.phase_prof.take();
+        loop {
+            let popped = match prof.as_deref_mut() {
+                None => self.queue.pop(),
+                Some(p) => {
+                    let t0 = std::time::Instant::now();
+                    let r = self.queue.pop();
+                    p.queue_pop_ns += t0.elapsed().as_nanos() as u64;
+                    r
+                }
+            };
+            let Some((t, ev)) = popped else { break };
             if t >= self.end_cap {
                 self.now = self.end_cap;
                 break;
@@ -457,7 +551,14 @@ impl Engine {
                     ev
                 );
             }
-            self.dispatch(ev);
+            match prof.as_deref_mut() {
+                None => self.dispatch(ev),
+                Some(p) => {
+                    let t0 = std::time::Instant::now();
+                    self.dispatch(ev);
+                    *p.slot_for(&ev) += t0.elapsed().as_nanos() as u64;
+                }
+            }
             if self.check_rqs {
                 self.audit_rqs();
             }
@@ -473,9 +574,16 @@ impl Engine {
             }
             self.now
         };
+        let mut pending = std::mem::take(&mut self.pending_idle_checks);
+        self.mechs.flush_idle_checks(&mut pending);
         let trace = std::mem::take(&mut self.trace);
         let events = self.events_processed;
-        (self.build_report(workload, label, makespan), trace, events)
+        (
+            self.build_report(workload, label, makespan),
+            trace,
+            events,
+            prof.map(|p| *p),
+        )
     }
 
     /// Request an `Event::Resched(cpu)` at `at`, coalescing adjacent
@@ -565,8 +673,25 @@ pub fn run_counted(
     label: &str,
 ) -> (RunReport, u64) {
     let engine = Engine::new(config.clone(), workload);
-    let (report, _, events) = engine.run_with_trace(workload, label);
+    let (report, _, events, _) = engine.run_with_trace(workload, label);
     (report, events)
+}
+
+/// [`run_counted`] with per-phase wall-clock attribution: the run loop
+/// additionally times event-queue pops and buckets each dispatch's cost
+/// by event class (runqueue pick, mechanism timers, balance, other).
+/// The instrumentation costs two `Instant::now` pairs per event, so this
+/// entry point is for profiling harnesses (`sim_throughput`), not for
+/// the benchmark's timed reps.
+pub fn run_phase_profiled(
+    workload: &mut dyn Workload,
+    config: &RunConfig,
+    label: &str,
+) -> (RunReport, u64, PhaseProfile) {
+    let mut engine = Engine::new(config.clone(), workload);
+    engine.phase_prof = Some(Box::default());
+    let (report, _, events, prof) = engine.run_with_trace(workload, label);
+    (report, events, prof.unwrap_or_default())
 }
 
 /// Run `workload` under `config` and return the scheduling trace alongside
@@ -574,7 +699,7 @@ pub fn run_counted(
 pub fn run_traced(workload: &mut dyn Workload, config: &RunConfig) -> (RunReport, TraceLog) {
     let name = workload.name().to_string();
     let engine = Engine::new(config.clone(), workload);
-    let (report, trace, _) = engine.run_with_trace(workload, &name);
+    let (report, trace, _, _) = engine.run_with_trace(workload, &name);
     (report, trace)
 }
 

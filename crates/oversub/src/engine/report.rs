@@ -25,8 +25,7 @@ impl Engine {
             ..RunReport::default()
         };
         report.tasks.tasks = self.tasks.len();
-        for t in &self.tasks {
-            let s = &t.stats;
+        for s in &self.tasks.stats {
             report.tasks.exec_ns += s.exec_ns;
             report.tasks.spin_ns += s.spin_ns;
             report.tasks.sleep_ns += s.sleep_ns;

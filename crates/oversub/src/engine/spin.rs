@@ -16,24 +16,58 @@ impl Engine {
     /// the interrupted segment, and descheduling with or without the skip
     /// flag).
     pub(crate) fn on_mech_timer(&mut self, idx: usize, cpu: usize) {
-        let Some(interval_ns) = self.mechs.timer_interval_ns(idx) else {
+        let Some(interval_ns) = self.timer_intervals[idx] else {
             return;
         };
         // Re-arm first so detection handling cannot drop the timer. An
         // injected drop still re-arms (the interrupt is lost, not the
-        // timer); injected jitter perturbs the re-arm point.
-        let mut rearm_at = self.now + interval_ns;
-        let mut dropped = false;
-        if let Some(f) = self.faults.as_mut() {
-            dropped = f.drop_timer();
-            if !dropped {
-                rearm_at += f.timer_jitter();
+        // timer); injected jitter perturbs the re-arm point. Under
+        // auto-cadence (fault-free optimized runs) the queue already
+        // rotated this timer one interval ahead during the pop — the
+        // re-arm below would compute the identical `(time, seq)` key.
+        if !self.queue.last_pop_rotated() {
+            let mut rearm_at = self.now + interval_ns;
+            let mut dropped = false;
+            if let Some(f) = self.faults.as_mut() {
+                dropped = f.drop_timer();
+                if !dropped {
+                    rearm_at += f.timer_jitter();
+                }
+            }
+            self.queue
+                .schedule_cadenced(rearm_at, interval_ns, Event::MechTimer(idx, cpu));
+            if dropped {
+                return;
             }
         }
-        self.queue
-            .schedule_periodic(rearm_at, Event::MechTimer(idx, cpu));
-        if dropped || !self.sched.online[cpu] {
+        if !self.sched.online[cpu] {
             return;
+        }
+        // Idle-quiet fast path: on an oversized machine most ticks land
+        // on cores with nothing running and an untouched monitoring
+        // window, where the full dispatch below reduces to "record one
+        // empty check, charge the check cost". Mechanisms opt into
+        // handling that case without a `TimerCtx`
+        // (`MechanismSet::dispatch_timer_batch`), so full dispatches
+        // scale with the scheduler's active-core bitset, not with
+        // machine size. Residual windows (a descheduled task's traces),
+        // armed faults, and the reference engine all take the full path.
+        if !self.reference
+            && self.faults.is_none()
+            && !self.sched.is_active(CpuId(cpu))
+            && self.sched.cpus[cpu].hw.window_untouched()
+        {
+            // Constant sub-case: the tick is a fixed charge plus one
+            // deferred check — no mechanism call at all.
+            if let Some(charge) = self.idle_quiet_charge[idx] {
+                self.pending_idle_checks[idx] += 1;
+                self.account_idle_tick(cpu, self.now, charge);
+                return;
+            }
+            if let Some(charge) = self.mechs.dispatch_timer_batch(idx, cpu) {
+                self.account_idle_tick(cpu, self.now, charge);
+                return;
+            }
         }
         self.account_progress(cpu, self.now);
         let had_current = self.sched.cpus[cpu].current;
@@ -219,7 +253,7 @@ impl Engine {
         self.seg_done_at[cpu] = t + scaled.max(1);
         self.seg_event[cpu] = SegEventKind::WorkEnd;
         self.spin_exit_at[cpu] = None;
-        self.queue.schedule(
+        self.queue.schedule_nocancel(
             self.seg_done_at[cpu],
             Event::SegEnd(cpu, self.seg_epoch[cpu]),
         );
@@ -240,7 +274,7 @@ impl Engine {
             Some(b) => {
                 self.seg_done_at[cpu] = t + b.max(1);
                 self.seg_event[cpu] = SegEventKind::ParkDeadline;
-                self.queue.schedule(
+                self.queue.schedule_nocancel(
                     self.seg_done_at[cpu],
                     Event::SegEnd(cpu, self.seg_epoch[cpu]),
                 );

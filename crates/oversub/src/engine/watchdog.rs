@@ -50,7 +50,7 @@ impl Engine {
             return;
         };
         self.queue
-            .schedule_periodic(self.now + interval, Event::FaultTick);
+            .schedule_cadenced(self.now + interval, interval, Event::FaultTick);
 
         // Spurious wakeup: wake one VB-parked futex waiter that nobody
         // signalled. POSIX allows this; a correct waiter re-checks its
@@ -63,7 +63,7 @@ impl Engine {
                     .as_mut()
                     .map_or(0, |f| f.pick_victim(victims.len()));
                 let tid = victims[pick];
-                let cpu = self.tasks[tid.0].last_cpu;
+                let cpu = self.tasks.last_cpu[tid.0];
                 if let Some(report) =
                     self.futex
                         .futex_wake_task(&mut self.sched, &mut self.tasks, tid, cpu, self.now)
@@ -90,8 +90,15 @@ impl Engine {
     /// The liveness watchdog sweep.
     pub(crate) fn on_watchdog(&mut self) {
         let Some(wd) = self.watchdog else { return };
-        self.queue
-            .schedule_periodic(self.now + wd.check_interval_ns, Event::Watchdog);
+        // Skipped when the queue's auto-cadence rotation already re-armed
+        // this timer during the pop (identical `(time, seq)` key).
+        if !self.queue.last_pop_rotated() {
+            self.queue.schedule_cadenced(
+                self.now + wd.check_interval_ns,
+                wd.check_interval_ns,
+                Event::Watchdog,
+            );
+        }
 
         // 1. Lost-wakeup orphans: a VB-parked task whose park has aged past
         //    the timeout and that no futex/epoll waker still points at can
@@ -105,7 +112,7 @@ impl Engine {
                 continue;
             }
             let tid = TaskId(i);
-            if !self.tasks[i].vb_blocked || !matches!(self.conts[i], Cont::Blocked(_)) {
+            if !self.tasks.vb_blocked[i] || !matches!(self.conts[i], Cont::Blocked(_)) {
                 continue;
             }
             if self.futex.is_blocked(tid) || self.epoll.is_waiter(tid) {
@@ -140,11 +147,10 @@ impl Engine {
             if self.starvation_reported[i] {
                 continue;
             }
-            let t = &self.tasks[i];
-            if t.state != TaskState::Runnable || t.vb_blocked {
+            if self.tasks.state[i] != TaskState::Runnable || self.tasks.vb_blocked[i] {
                 continue;
             }
-            let waited = self.now.saturating_since(t.runnable_since);
+            let waited = self.now.saturating_since(self.tasks.runnable_since[i]);
             if waited > wd.starvation_bound_ns {
                 self.starvation_reported[i] = true;
                 let bound = wd.starvation_bound_ns;
@@ -171,8 +177,9 @@ impl Engine {
         //    burning the event budget.
         let progress = self
             .tasks
+            .stats
             .iter()
-            .map(|t| t.stats.exec_ns + t.stats.spin_ns + t.stats.nvcsw + t.stats.nivcsw)
+            .map(|s| s.exec_ns + s.spin_ns + s.nvcsw + s.nivcsw)
             .sum::<u64>();
         if progress != self.last_progress.0 {
             self.last_progress = (progress, self.now);

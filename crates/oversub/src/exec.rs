@@ -43,7 +43,7 @@ impl Engine {
                             now: t,
                             rng: &mut self.rngs[tid.0],
                         };
-                        self.tasks[tid.0].program.next(&mut ctx)
+                        self.tasks.programs[tid.0].next(&mut ctx)
                     };
                     self.start_action(cpu, tid, action, t)
                 }
@@ -128,8 +128,8 @@ impl Engine {
                 elems,
             } => {
                 let out = self.mem.traversal(pattern, ws_bytes, elems);
-                self.tasks[tid.0].footprint_bytes = ws_bytes;
-                self.tasks[tid.0].random_access = !pattern.is_sequential();
+                self.tasks.footprint_bytes[tid.0] = ws_bytes;
+                self.tasks.random_access[tid.0] = !pattern.is_sequential();
                 self.conts[tid.0] = Cont::Work {
                     action,
                     left_ns: out.ns.max(1),
@@ -148,13 +148,7 @@ impl Engine {
             Action::AtomicRmw { line: _ } => {
                 // Cost grows with the number of cores actively hitting the
                 // line — bounded by active cores, not thread count (§2.3).
-                let busy = self
-                    .sched
-                    .cpus
-                    .iter()
-                    .filter(|c| c.current.is_some())
-                    .count()
-                    .max(1);
+                let busy = self.sched.active_count().max(1);
                 let cost = 20 + 35 * (busy as u64 - 1).min(16);
                 self.charge_useful(cpu, cost);
                 Flow::Continue(t + cost)

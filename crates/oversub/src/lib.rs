@@ -45,7 +45,10 @@ pub mod trace;
 pub use oversub_workloads::workload;
 
 pub use config::{ElasticEvent, MachineSpec, Mechanisms, RunConfig};
-pub use engine::{run, run_counted, run_labelled, run_traced, try_run, try_run_labelled};
+pub use engine::{
+    run, run_counted, run_labelled, run_phase_profiled, run_traced, try_run, try_run_labelled,
+    PhaseProfile,
+};
 pub use faults::{
     EngineError, FaultCounters, FaultInjector, FaultPlan, RevocationStorm, WatchdogParams,
 };

@@ -12,7 +12,7 @@
 use crate::sched::{MigrationEvent, Scheduler};
 use oversub_hw::CpuId;
 use oversub_simcore::SimTime;
-use oversub_task::{Task, TaskId};
+use oversub_task::{TaskId, TaskTable};
 
 /// Cost charged to the balancing CPU per balance pass.
 pub const BALANCE_PASS_NS: u64 = 2_000;
@@ -24,7 +24,7 @@ impl Scheduler {
     /// charging the cache-refill penalty to the task.
     fn do_migrate(
         &mut self,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         victim: TaskId,
         from: CpuId,
         to: CpuId,
@@ -32,32 +32,27 @@ impl Scheduler {
         let cross = !self.topo.same_node(from, to);
         let old_min = self.cpus[from.0].rq.min_vruntime();
         let new_min = self.cpus[to.0].rq.min_vruntime();
-        self.cpus[from.0].rq.dequeue(&tasks[victim.0]);
-        {
-            let t = &mut tasks[victim.0];
-            // Re-base vruntime into the destination queue, as CFS does —
-            // but cap the carried lag at one scheduling period. Queue
-            // min_vruntimes are only loosely comparable (an idle queue's
-            // floor lags arbitrarily), and an uncapped re-base compounds
-            // across repeated migrations until vruntimes overflow into the
-            // VB tail region.
-            let lag = t
-                .vruntime
-                .saturating_sub(old_min)
-                .min(self.params.target_latency_ns);
-            t.vruntime = new_min.saturating_add(lag);
-            t.last_cpu = to;
-            if cross {
-                t.stats.migrations_remote += 1;
-            } else {
-                t.stats.migrations_local += 1;
-            }
+        self.cpus[from.0].rq.dequeue(tasks, victim);
+        // Re-base vruntime into the destination queue, as CFS does — but
+        // cap the carried lag at one scheduling period. Queue min_vruntimes
+        // are only loosely comparable (an idle queue's floor lags
+        // arbitrarily), and an uncapped re-base compounds across repeated
+        // migrations until vruntimes overflow into the VB tail region.
+        let lag = tasks.vruntime[victim.0]
+            .saturating_sub(old_min)
+            .min(self.params.target_latency_ns);
+        tasks.vruntime[victim.0] = new_min.saturating_add(lag);
+        tasks.last_cpu[victim.0] = to;
+        if cross {
+            tasks.stats[victim.0].migrations_remote += 1;
+        } else {
+            tasks.stats[victim.0].migrations_local += 1;
         }
         let refill = self
             .mem
-            .migration_refill_ns(tasks[victim.0].footprint_bytes, cross);
+            .migration_refill_ns(tasks.footprint_bytes[victim.0], cross);
         self.add_penalty(victim, refill);
-        self.cpus[to.0].rq.enqueue(&tasks[victim.0]);
+        self.cpus[to.0].rq.enqueue(tasks, victim);
         MigrationEvent {
             task: victim,
             from,
@@ -70,14 +65,11 @@ impl Scheduler {
     /// unpinned task whose cpuset allows the destination, preferring the
     /// one that has waited longest (highest vruntime — most cache-cold),
     /// never a VB-parked task.
-    fn pick_victim(&self, tasks: &[Task], from: CpuId, to: CpuId) -> Option<TaskId> {
+    fn pick_victim(&self, tasks: &TaskTable, from: CpuId, to: CpuId) -> Option<TaskId> {
         self.cpus[from.0]
             .rq
             .schedulable_tasks(tasks)
-            .filter(|&t| {
-                let task = &tasks[t.0];
-                task.pinned.is_none() && task.allows(to) && !task.bwd_skip
-            })
+            .filter(|&t| tasks.pinned[t.0].is_none() && tasks.allows(t, to) && !tasks.bwd_skip[t.0])
             .last()
     }
 
@@ -85,7 +77,7 @@ impl Scheduler {
     /// the kernel time the pass consumed on `cpu`.
     pub fn periodic_balance(
         &mut self,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         cpu: CpuId,
         now: SimTime,
     ) -> (Vec<MigrationEvent>, u64) {
@@ -151,7 +143,7 @@ impl Scheduler {
     /// one task. Returns the migration (if any) and the time spent.
     pub fn idle_pull(
         &mut self,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         cpu: CpuId,
         _now: SimTime,
     ) -> (Option<MigrationEvent>, u64) {
@@ -204,22 +196,22 @@ mod tests {
     use crate::params::SchedParams;
     use crate::sched::Pick;
     use oversub_hw::{MemModel, Topology};
-    use oversub_task::{Action, FnProgram, Task, TaskId};
+    use oversub_task::{Action, FnProgram, Task, TaskId, TaskTable};
 
     fn mk_sched(topo: Topology) -> Scheduler {
         Scheduler::new(topo, SchedParams::default(), MemModel::default(), false)
     }
 
-    fn mk_tasks(n: usize) -> Vec<Task> {
-        (0..n)
-            .map(|i| {
-                Task::new(
-                    TaskId(i),
-                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                    CpuId(0),
-                )
-            })
-            .collect()
+    fn mk_tasks(n: usize) -> TaskTable {
+        let mut tt = TaskTable::new();
+        for i in 0..n {
+            tt.push(Task::new(
+                TaskId(i),
+                Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                CpuId(0),
+            ));
+        }
+        tt
     }
 
     #[test]
@@ -300,16 +292,16 @@ mod tests {
         let mig = mig.expect("should steal");
         assert_eq!(mig.from, CpuId(0));
         assert!(cost > 0);
-        assert_eq!(tasks[mig.task.0].last_cpu, CpuId(1));
-        assert_eq!(tasks[mig.task.0].stats.migrations_local, 1);
+        assert_eq!(tasks.last_cpu[mig.task.0], CpuId(1));
+        assert_eq!(tasks.stats[mig.task.0].migrations_local, 1);
     }
 
     #[test]
     fn pinned_tasks_are_never_stolen() {
         let mut s = mk_sched(Topology::flat(2));
         let mut tasks = mk_tasks(2);
-        tasks[0].pinned = Some(CpuId(0));
-        tasks[1].pinned = Some(CpuId(0));
+        tasks.pinned[0] = Some(CpuId(0));
+        tasks.pinned[1] = Some(CpuId(0));
         let now = SimTime::ZERO;
         s.enqueue_new(&mut tasks, TaskId(0), CpuId(0), now);
         s.enqueue_new(&mut tasks, TaskId(1), CpuId(0), now);
@@ -323,13 +315,13 @@ mod tests {
         let mut tasks = mk_tasks(3);
         let now = SimTime::ZERO;
         for i in 0..3 {
-            tasks[i].footprint_bytes = 1 << 20;
+            tasks.footprint_bytes[i] = 1 << 20;
             s.enqueue_new(&mut tasks, TaskId(i), CpuId(0), now);
         }
         let (mig, _) = s.idle_pull(&mut tasks, CpuId(1), now);
         let mig = mig.expect("steal across nodes");
         assert!(mig.cross_node);
-        assert_eq!(tasks[mig.task.0].stats.migrations_remote, 1);
+        assert_eq!(tasks.stats[mig.task.0].migrations_remote, 1);
         // Cross-node moves come with a pending cache penalty.
         assert!(s.take_penalty(mig.task) > 0);
     }

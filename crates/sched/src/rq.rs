@@ -6,8 +6,13 @@
 //! assigning them an arbitrarily large vruntime (above [`VB_TAIL_BASE`]);
 //! they are skipped by `pick_next` but still counted as load, which is what
 //! stabilizes the load balancer.
+//!
+//! All task state is read through the struct-of-arrays [`TaskTable`]: the
+//! pick paths touch only the `vruntime`/`state`/`vb_blocked`/`bwd_skip`
+//! columns, so a scan stays in a handful of cache lines even with hundreds
+//! of tasks.
 
-use oversub_task::{Task, TaskId};
+use oversub_task::{TaskId, TaskState, TaskTable};
 use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
@@ -45,9 +50,16 @@ pub struct CfsRq {
 }
 
 /// Can `pick_next` return this in-tree entry as an unforced pick?
+///
+/// Branch-light on purpose: the three column reads are independent loads
+/// from dense byte arrays and fold into one predicate, instead of chasing
+/// a task struct across cache lines per test.
 #[inline]
-fn pickable(task: &Task, vruntime: u64) -> bool {
-    vruntime < VB_TAIL_BASE && task.schedulable() && !task.bwd_skip
+fn pickable(tasks: &TaskTable, tid: TaskId, vruntime: u64) -> bool {
+    vruntime < VB_TAIL_BASE
+        && tasks.state[tid.0] == TaskState::Runnable
+        && !tasks.vb_blocked[tid.0]
+        && !tasks.bwd_skip[tid.0]
 }
 
 impl CfsRq {
@@ -118,18 +130,18 @@ impl CfsRq {
         VB_TAIL_BASE + self.vb_seq
     }
 
-    /// Insert a task. The task's `vruntime` field must already be final
+    /// Insert a task. Its `vruntime` column entry must already be final
     /// (including sleeper credit or VB tail placement).
-    pub fn enqueue(&mut self, task: &Task) {
+    pub fn enqueue(&mut self, tasks: &TaskTable, tid: TaskId) {
+        let vruntime = tasks.vruntime[tid.0];
+        let vb = tasks.vb_blocked[tid.0];
         debug_assert!(
-            task.vb_blocked || task.vruntime < VB_TAIL_BASE,
-            "non-parked task {:?} with tail-region vruntime {}",
-            task.id,
-            task.vruntime
+            vb || vruntime < VB_TAIL_BASE,
+            "non-parked task {tid:?} with tail-region vruntime {vruntime}"
         );
-        let fresh = self.tree.insert((task.vruntime, task.id));
-        debug_assert!(fresh, "task {:?} double-enqueued", task.id);
-        if task.vb_blocked {
+        let fresh = self.tree.insert((vruntime, tid));
+        debug_assert!(fresh, "task {tid:?} double-enqueued");
+        if vb {
             self.nr_vb_parked += 1;
         } else {
             self.nr_schedulable += 1;
@@ -137,18 +149,18 @@ impl CfsRq {
                 self.waiters_became_nonzero();
             }
         }
-        self.note_inserted(task);
+        self.note_inserted(tasks, tid, vruntime);
     }
 
     /// Fold a freshly placed entry into the pick cache: a pickable entry
     /// left of the cached one becomes the new cached pick. A `None` cache
     /// stays `None` (a smaller unknown entry may exist) unless the tree
     /// holds only this entry.
-    fn note_inserted(&self, task: &Task) {
-        if self.scan_mode.get() || !pickable(task, task.vruntime) {
+    fn note_inserted(&self, tasks: &TaskTable, tid: TaskId, vruntime: u64) {
+        if self.scan_mode.get() || !pickable(tasks, tid, vruntime) {
             return;
         }
-        let key = (task.vruntime, task.id);
+        let key = (vruntime, tid);
         match self.pick_cache.get() {
             Some(c) if key < c => self.pick_cache.set(Some(key)),
             Some(_) => {}
@@ -160,14 +172,15 @@ impl CfsRq {
         }
     }
 
-    /// Remove a task (must be queued with exactly this vruntime).
-    pub fn dequeue(&mut self, task: &Task) {
-        let existed = self.tree.remove(&(task.vruntime, task.id));
-        debug_assert!(existed, "task {:?} not on queue", task.id);
-        if self.pick_cache.get() == Some((task.vruntime, task.id)) {
+    /// Remove a task (must be queued with exactly its current vruntime).
+    pub fn dequeue(&mut self, tasks: &TaskTable, tid: TaskId) {
+        let vruntime = tasks.vruntime[tid.0];
+        let existed = self.tree.remove(&(vruntime, tid));
+        debug_assert!(existed, "task {tid:?} not on queue");
+        if self.pick_cache.get() == Some((vruntime, tid)) {
             self.pick_cache.set(None);
         }
-        if task.vb_blocked {
+        if tasks.vb_blocked[tid.0] {
             self.nr_vb_parked -= 1;
         } else {
             self.nr_schedulable -= 1;
@@ -180,15 +193,16 @@ impl CfsRq {
 
     /// Reposition a task whose vruntime changed from `old_vruntime`.
     /// `was_vb` describes its parked status while at `old_vruntime`.
-    pub fn requeue(&mut self, old_vruntime: u64, was_vb: bool, task: &Task) {
-        let existed = self.tree.remove(&(old_vruntime, task.id));
-        debug_assert!(existed, "task {:?} not on queue for requeue", task.id);
-        if self.pick_cache.get() == Some((old_vruntime, task.id)) {
+    pub fn requeue(&mut self, old_vruntime: u64, was_vb: bool, tasks: &TaskTable, tid: TaskId) {
+        let existed = self.tree.remove(&(old_vruntime, tid));
+        debug_assert!(existed, "task {tid:?} not on queue for requeue");
+        if self.pick_cache.get() == Some((old_vruntime, tid)) {
             self.pick_cache.set(None);
         }
-        self.tree.insert((task.vruntime, task.id));
-        self.note_inserted(task);
-        match (was_vb, task.vb_blocked) {
+        let vruntime = tasks.vruntime[tid.0];
+        self.tree.insert((vruntime, tid));
+        self.note_inserted(tasks, tid, vruntime);
+        match (was_vb, tasks.vb_blocked[tid.0]) {
             (true, false) => {
                 self.nr_vb_parked -= 1;
                 self.nr_schedulable += 1;
@@ -222,11 +236,13 @@ impl CfsRq {
     /// skip-flagged) are never cached. External eligibility changes that
     /// bypass the queue API — BWD skip-flag expiry on in-tree tasks — must
     /// call [`CfsRq::invalidate_pick_cache`].
-    pub fn pick_next(&self, tasks: &[Task]) -> Option<(TaskId, bool)> {
+    pub fn pick_next(&self, tasks: &TaskTable) -> Option<(TaskId, bool)> {
         if !self.scan_mode.get() {
             if let Some((vr, tid)) = self.pick_cache.get() {
-                let t = &tasks[tid.0];
-                if t.vruntime == vr && pickable(t, vr) && self.tree.contains(&(vr, tid)) {
+                if tasks.vruntime[tid.0] == vr
+                    && pickable(tasks, tid, vr)
+                    && self.tree.contains(&(vr, tid))
+                {
                     return Some((tid, false));
                 }
                 self.pick_cache.set(None);
@@ -235,7 +251,7 @@ impl CfsRq {
         let picked = self.pick_next_scan(tasks);
         if !self.scan_mode.get() {
             if let Some((tid, false)) = picked {
-                self.pick_cache.set(Some((tasks[tid.0].vruntime, tid)));
+                self.pick_cache.set(Some((tasks.vruntime[tid.0], tid)));
             }
         }
         picked
@@ -243,17 +259,16 @@ impl CfsRq {
 
     /// The uncached ordered scan behind [`CfsRq::pick_next`] (also the
     /// reference model for the cache's property tests).
-    pub fn pick_next_scan(&self, tasks: &[Task]) -> Option<(TaskId, bool)> {
+    pub fn pick_next_scan(&self, tasks: &TaskTable) -> Option<(TaskId, bool)> {
         let mut first_skipped: Option<TaskId> = None;
         for &(vr, tid) in &self.tree {
             if vr >= VB_TAIL_BASE {
                 break; // parked region; nothing schedulable beyond
             }
-            let t = &tasks[tid.0];
-            if !t.schedulable() {
+            if !tasks.schedulable(tid) {
                 continue;
             }
-            if t.bwd_skip {
+            if tasks.bwd_skip[tid.0] {
                 if first_skipped.is_none() {
                     first_skipped = Some(tid);
                 }
@@ -280,27 +295,30 @@ impl CfsRq {
 
     /// Leftmost VB-parked task, if any (used for flag-poll rotation when a
     /// core has only parked tasks).
-    pub fn first_vb_parked(&self, tasks: &[Task]) -> Option<TaskId> {
+    pub fn first_vb_parked(&self, tasks: &TaskTable) -> Option<TaskId> {
         self.tree
             .range((VB_TAIL_BASE, TaskId(0))..)
             .map(|&(_, tid)| tid)
-            .find(|tid| tasks[tid.0].vb_blocked)
+            .find(|&tid| tasks.vb_blocked[tid.0])
     }
 
     /// Schedulable tasks in vruntime order — used by the load balancer to
     /// select migration victims (it never migrates VB-parked tasks).
-    pub fn schedulable_tasks<'a>(&'a self, tasks: &'a [Task]) -> impl Iterator<Item = TaskId> + 'a {
+    pub fn schedulable_tasks<'a>(
+        &'a self,
+        tasks: &'a TaskTable,
+    ) -> impl Iterator<Item = TaskId> + 'a {
         self.tree
             .iter()
             .take_while(|&&(vr, _)| vr < VB_TAIL_BASE)
             .map(|&(_, tid)| tid)
-            .filter(move |tid| tasks[tid.0].schedulable())
+            .filter(move |&tid| tasks.schedulable(tid))
     }
 
     /// Consistency check (diagnostics): recount schedulable entries from
     /// the tree and compare with the cached counter. Returns
     /// `(counter, tree_schedulable, tree_entries_in_parked_region)`.
-    pub fn audit(&self, tasks: &[Task]) -> (usize, usize, usize) {
+    pub fn audit(&self, tasks: &TaskTable) -> (usize, usize, usize) {
         let mut sched = 0;
         let mut parked_region = 0;
         for &(vr, tid) in &self.tree {
@@ -308,7 +326,7 @@ impl CfsRq {
                 parked_region += 1;
                 continue;
             }
-            if tasks[tid.0].schedulable() {
+            if tasks.schedulable(tid) {
                 sched += 1;
             }
         }
@@ -352,7 +370,7 @@ impl CfsRq {
 mod tests {
     use super::*;
     use oversub_hw::CpuId;
-    use oversub_task::{Action, FnProgram};
+    use oversub_task::{Action, FnProgram, Task};
 
     fn mk_task(id: usize, vruntime: u64) -> Task {
         let mut t = Task::new(
@@ -364,21 +382,24 @@ mod tests {
         t
     }
 
-    fn table(specs: &[(usize, u64)]) -> Vec<Task> {
+    fn table(specs: &[(usize, u64)]) -> TaskTable {
         let max = specs.iter().map(|&(i, _)| i).max().unwrap_or(0);
-        let mut v: Vec<Task> = (0..=max).map(|i| mk_task(i, 0)).collect();
-        for &(i, vr) in specs {
-            v[i].vruntime = vr;
+        let mut tt = TaskTable::new();
+        for i in 0..=max {
+            tt.push(mk_task(i, 0));
         }
-        v
+        for &(i, vr) in specs {
+            tt.vruntime[i] = vr;
+        }
+        tt
     }
 
     #[test]
     fn pick_lowest_vruntime() {
         let tasks = table(&[(0, 300), (1, 100), (2, 200)]);
         let mut rq = CfsRq::new();
-        for t in &tasks {
-            rq.enqueue(t);
+        for tid in tasks.ids() {
+            rq.enqueue(&tasks, tid);
         }
         assert_eq!(rq.pick_next(&tasks), Some((TaskId(1), false)));
         assert_eq!(rq.nr_schedulable(), 3);
@@ -389,9 +410,9 @@ mod tests {
         let mut tasks = table(&[(0, 100), (1, 50)]);
         let mut rq = CfsRq::new();
         let tail = rq.next_vb_tail_vruntime();
-        tasks[1].vb_park(tail);
-        rq.enqueue(&tasks[0]);
-        rq.enqueue(&tasks[1]);
+        tasks.vb_park(TaskId(1), tail);
+        rq.enqueue(&tasks, TaskId(0));
+        rq.enqueue(&tasks, TaskId(1));
         assert_eq!(rq.pick_next(&tasks), Some((TaskId(0), false)));
         assert_eq!(rq.nr_schedulable(), 1);
         assert_eq!(rq.nr_vb_parked(), 1);
@@ -404,8 +425,8 @@ mod tests {
         let mut tasks = table(&[(0, 100)]);
         let mut rq = CfsRq::new();
         let tail = rq.next_vb_tail_vruntime();
-        tasks[0].vb_park(tail);
-        rq.enqueue(&tasks[0]);
+        tasks.vb_park(TaskId(0), tail);
+        rq.enqueue(&tasks, TaskId(0));
         assert_eq!(rq.pick_next(&tasks), None);
         assert_eq!(rq.first_vb_parked(&tasks), Some(TaskId(0)));
     }
@@ -413,10 +434,10 @@ mod tests {
     #[test]
     fn bwd_skip_defers_to_other_tasks() {
         let mut tasks = table(&[(0, 50), (1, 100)]);
-        tasks[0].bwd_skip = true;
+        tasks.bwd_skip[0] = true;
         let mut rq = CfsRq::new();
-        rq.enqueue(&tasks[0]);
-        rq.enqueue(&tasks[1]);
+        rq.enqueue(&tasks, TaskId(0));
+        rq.enqueue(&tasks, TaskId(1));
         // Task 0 has lower vruntime but is skip-flagged.
         assert_eq!(rq.pick_next(&tasks), Some((TaskId(1), false)));
     }
@@ -424,11 +445,11 @@ mod tests {
     #[test]
     fn all_skipped_forces_leftmost() {
         let mut tasks = table(&[(0, 50), (1, 100)]);
-        tasks[0].bwd_skip = true;
-        tasks[1].bwd_skip = true;
+        tasks.bwd_skip[0] = true;
+        tasks.bwd_skip[1] = true;
         let mut rq = CfsRq::new();
-        rq.enqueue(&tasks[0]);
-        rq.enqueue(&tasks[1]);
+        rq.enqueue(&tasks, TaskId(0));
+        rq.enqueue(&tasks, TaskId(1));
         assert_eq!(rq.pick_next(&tasks), Some((TaskId(0), true)));
     }
 
@@ -436,33 +457,33 @@ mod tests {
     fn requeue_moves_between_regions() {
         let mut tasks = table(&[(0, 70)]);
         let mut rq = CfsRq::new();
-        rq.enqueue(&tasks[0]);
+        rq.enqueue(&tasks, TaskId(0));
         // Park it.
-        let old = tasks[0].vruntime;
+        let old = tasks.vruntime[0];
         let tail = rq.next_vb_tail_vruntime();
-        tasks[0].vb_park(tail);
-        rq.requeue(old, false, &tasks[0]);
+        tasks.vb_park(TaskId(0), tail);
+        rq.requeue(old, false, &tasks, TaskId(0));
         assert_eq!(rq.nr_schedulable(), 0);
         assert_eq!(rq.nr_vb_parked(), 1);
         // Unpark.
-        let old = tasks[0].vruntime;
-        tasks[0].vb_unpark();
-        rq.requeue(old, true, &tasks[0]);
+        let old = tasks.vruntime[0];
+        tasks.vb_unpark(TaskId(0));
+        rq.requeue(old, true, &tasks, TaskId(0));
         assert_eq!(rq.nr_schedulable(), 1);
         assert_eq!(rq.nr_vb_parked(), 0);
-        assert_eq!(tasks[0].vruntime, 70);
+        assert_eq!(tasks.vruntime[0], 70);
     }
 
     #[test]
     fn dequeue_updates_counts() {
         let tasks = table(&[(0, 10), (1, 20)]);
         let mut rq = CfsRq::new();
-        rq.enqueue(&tasks[0]);
-        rq.enqueue(&tasks[1]);
-        rq.dequeue(&tasks[0]);
+        rq.enqueue(&tasks, TaskId(0));
+        rq.enqueue(&tasks, TaskId(1));
+        rq.dequeue(&tasks, TaskId(0));
         assert_eq!(rq.nr_schedulable(), 1);
         assert_eq!(rq.pick_next(&tasks), Some((TaskId(1), false)));
-        rq.dequeue(&tasks[1]);
+        rq.dequeue(&tasks, TaskId(1));
         assert!(rq.is_empty());
     }
 
@@ -470,9 +491,9 @@ mod tests {
     fn min_vruntime_is_monotonic() {
         let tasks = table(&[(0, 100), (1, 200)]);
         let mut rq = CfsRq::new();
-        rq.enqueue(&tasks[0]);
-        rq.enqueue(&tasks[1]);
-        rq.dequeue(&tasks[0]);
+        rq.enqueue(&tasks, TaskId(0));
+        rq.enqueue(&tasks, TaskId(1));
+        rq.dequeue(&tasks, TaskId(0));
         let v1 = rq.min_vruntime();
         rq.advance_min_vruntime(250);
         let v2 = rq.min_vruntime();
@@ -495,9 +516,9 @@ mod tests {
         let mut tasks = table(&[(0, 30), (1, 10), (2, 20)]);
         let mut rq = CfsRq::new();
         let tail = rq.next_vb_tail_vruntime();
-        tasks[2].vb_park(tail);
-        for t in &tasks {
-            rq.enqueue(t);
+        tasks.vb_park(TaskId(2), tail);
+        for tid in tasks.ids() {
+            rq.enqueue(&tasks, tid);
         }
         let order: Vec<_> = rq.schedulable_tasks(&tasks).collect();
         assert_eq!(order, vec![TaskId(1), TaskId(0)]);

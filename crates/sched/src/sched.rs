@@ -4,13 +4,16 @@
 //! into it at event times. Methods return the *costs* of kernel operations
 //! (e.g. how long a `try_to_wake_up` keeps the waker busy) so that the
 //! engine can charge them to the right CPU's timeline.
+//!
+//! Task state lives in the struct-of-arrays [`TaskTable`]; every method
+//! indexes the columns it needs instead of chasing per-task structs.
 
 use crate::cpu::CpuState;
 use crate::params::SchedParams;
 use crate::rq::VB_TAIL_BASE;
 use oversub_hw::{CpuId, MemModel, Topology};
 use oversub_simcore::SimTime;
-use oversub_task::{Task, TaskId, TaskState};
+use oversub_task::{TaskId, TaskState, TaskTable};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -93,6 +96,12 @@ pub struct Scheduler {
     /// with every [`crate::rq::CfsRq`]): the idle balancer's O(1)
     /// "anything to steal?" check.
     pub(crate) waiter_board: Rc<Cell<usize>>,
+    /// Active-core bitset: bit `i` of word `i / 64` is set exactly when
+    /// CPU `i` has a current task. Maintained on the only two transitions
+    /// (`start`, `stop_current`), so "is this core running anything" and
+    /// "how many cores are busy" are O(1)/O(words) without striding over
+    /// `cpus` — the basis of the O(active) mechanism-timer dispatch.
+    active_mask: Vec<u64>,
     /// Reference (pre-overhaul) mode: uncached picks and full balancer
     /// scans. See [`Scheduler::set_reference_mode`].
     pub(crate) reference: bool,
@@ -114,6 +123,7 @@ impl Scheduler {
             })
             .collect();
         let online = vec![true; topo.num_cpus()];
+        let active_mask = vec![0u64; topo.num_cpus().div_ceil(64)];
         Scheduler {
             cpus,
             topo,
@@ -123,6 +133,7 @@ impl Scheduler {
             pending_penalty: Vec::new(),
             online,
             waiter_board,
+            active_mask,
             reference: false,
             skips_released: 0,
         }
@@ -132,6 +143,32 @@ impl Scheduler {
     /// last call.
     pub fn take_skips_released(&mut self) -> u64 {
         std::mem::take(&mut self.skips_released)
+    }
+
+    /// True when `cpu` currently runs a task (O(1) bitset read; equal to
+    /// `self.cpus[cpu.0].current.is_some()` by construction).
+    #[inline]
+    pub fn is_active(&self, cpu: CpuId) -> bool {
+        self.active_mask[cpu.0 >> 6] & (1u64 << (cpu.0 & 63)) != 0
+    }
+
+    /// Number of CPUs currently running a task, in O(words) popcounts.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active_mask
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    #[inline]
+    fn set_active(&mut self, cpu: CpuId, on: bool) {
+        let bit = 1u64 << (cpu.0 & 63);
+        if on {
+            self.active_mask[cpu.0 >> 6] |= bit;
+        } else {
+            self.active_mask[cpu.0 >> 6] &= !bit;
+        }
     }
 
     /// Cross-check the O(1) waiter board against the per-runqueue truth:
@@ -200,15 +237,14 @@ impl Scheduler {
     }
 
     /// Enqueue a brand-new runnable task on `cpu`.
-    pub fn enqueue_new(&mut self, tasks: &mut [Task], tid: TaskId, cpu: CpuId, now: SimTime) {
+    pub fn enqueue_new(&mut self, tasks: &mut TaskTable, tid: TaskId, cpu: CpuId, now: SimTime) {
         self.ensure_task(tid);
         let rq_min = self.cpus[cpu.0].rq.min_vruntime();
-        let t = &mut tasks[tid.0];
-        t.state = TaskState::Runnable;
-        t.last_cpu = cpu;
-        t.vruntime = t.vruntime.max(rq_min);
-        t.runnable_since = now;
-        self.cpus[cpu.0].rq.enqueue(t);
+        tasks.state[tid.0] = TaskState::Runnable;
+        tasks.last_cpu[tid.0] = cpu;
+        tasks.vruntime[tid.0] = tasks.vruntime[tid.0].max(rq_min);
+        tasks.runnable_since[tid.0] = now;
+        self.cpus[cpu.0].rq.enqueue(tasks, tid);
     }
 
     /// Time slice for the task currently on `cpu`.
@@ -235,29 +271,31 @@ impl Scheduler {
     }
 
     /// Pick what `cpu` should do next.
-    pub fn pick_next(&mut self, tasks: &mut [Task], cpu: CpuId) -> Pick {
+    pub fn pick_next(&mut self, tasks: &mut TaskTable, cpu: CpuId) -> Pick {
         // Expire BWD skip flags whose release round has come: every other
         // schedulable task has been picked at least once since the flag was
         // set.
         let round = self.cpus[cpu.0].pick_round;
         let c = &mut self.cpus[cpu.0];
-        let mut released = false;
-        let mut released_count = 0u64;
-        c.skip_release.retain(|&tid, &mut r| {
-            if round >= r {
-                tasks[tid.0].bwd_skip = false;
-                released = true;
-                released_count += 1;
-                false
-            } else {
-                true
+        if !c.skip_release.is_empty() {
+            let mut released = false;
+            let mut released_count = 0u64;
+            c.skip_release.retain(|&tid, &mut r| {
+                if round >= r {
+                    tasks.bwd_skip[tid.0] = false;
+                    released = true;
+                    released_count += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.skips_released += released_count;
+            if released {
+                // Skip expiry changes in-tree eligibility without touching
+                // the runqueue, so the cached pick may not be leftmost.
+                c.rq.invalidate_pick_cache();
             }
-        });
-        self.skips_released += released_count;
-        if released {
-            // Skip expiry changes in-tree eligibility without touching the
-            // runqueue, so the cached pick may no longer be leftmost.
-            c.rq.invalidate_pick_cache();
         }
         match self.cpus[cpu.0].rq.pick_next(tasks) {
             Some((tid, forced)) => Pick::Run(tid, forced),
@@ -272,7 +310,7 @@ impl Scheduler {
     /// the switch: direct context-switch cost plus any cache penalty
     /// (pollution refill if another task ran here since, pending migration
     /// refill).
-    pub fn start(&mut self, tasks: &mut [Task], cpu: CpuId, tid: TaskId, now: SimTime) -> u64 {
+    pub fn start(&mut self, tasks: &mut TaskTable, cpu: CpuId, tid: TaskId, now: SimTime) -> u64 {
         self.ensure_task(tid);
         let c = &mut self.cpus[cpu.0];
         debug_assert!(c.current.is_none(), "cpu {cpu:?} already running");
@@ -286,20 +324,18 @@ impl Scheduler {
                 if p == tid {
                     0
                 } else {
-                    tasks[p.0].footprint_bytes
+                    tasks.footprint_bytes[p.0]
                 }
             })
             .unwrap_or(0);
-        {
-            let t = &mut tasks[tid.0];
-            debug_assert!(t.schedulable(), "starting unschedulable task {tid:?}");
-            if t.bwd_skip {
-                t.bwd_skip = false;
-            }
-            t.note_run_start(now);
-            t.state = TaskState::Running;
-        }
-        c.rq.dequeue(&tasks[tid.0]);
+        debug_assert!(
+            tasks.schedulable(tid),
+            "starting unschedulable task {tid:?}"
+        );
+        tasks.bwd_skip[tid.0] = false;
+        tasks.note_run_start(tid, now);
+        tasks.state[tid.0] = TaskState::Running;
+        c.rq.dequeue(tasks, tid);
         c.current = Some(tid);
         c.curr_since = now;
 
@@ -310,16 +346,17 @@ impl Scheduler {
         } else {
             self.params.ctx_switch_ns
         };
-        let t = &tasks[tid.0];
-        if !same_as_last && t.footprint_bytes > 0 {
-            cost += self
-                .mem
-                .switch_penalty_ns(t.footprint_bytes, prev_footprint, t.random_access);
+        let footprint = tasks.footprint_bytes[tid.0];
+        if !same_as_last && footprint > 0 {
+            cost +=
+                self.mem
+                    .switch_penalty_ns(footprint, prev_footprint, tasks.random_access[tid.0]);
         }
-        if t.last_cpu != cpu {
-            tasks[tid.0].last_cpu = cpu;
+        if tasks.last_cpu[tid.0] != cpu {
+            tasks.last_cpu[tid.0] = cpu;
         }
         self.cpus[cpu.0].last_ran = Some(tid);
+        self.set_active(cpu, true);
         cost + self.take_penalty(tid)
     }
 
@@ -329,7 +366,7 @@ impl Scheduler {
     /// one the simulation survives instead of tearing down.
     pub fn stop_current(
         &mut self,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         cpu: CpuId,
         now: SimTime,
         reason: StopReason,
@@ -340,58 +377,58 @@ impl Scheduler {
             return None;
         };
         let stint = now.saturating_since(c.curr_since);
-        let t = &mut tasks[tid.0];
-        t.vruntime = t
-            .vruntime
-            .saturating_add(stint * 1024 / t.weight.max(1) as u64);
-        c.rq.advance_min_vruntime(t.vruntime);
+        let vruntime =
+            tasks.vruntime[tid.0].saturating_add(stint * 1024 / tasks.weight[tid.0].max(1) as u64);
+        tasks.vruntime[tid.0] = vruntime;
+        c.rq.advance_min_vruntime(vruntime);
 
         match reason {
             StopReason::Preempted => {
-                t.state = TaskState::Runnable;
-                t.runnable_since = now;
-                t.stats.nivcsw += 1;
-                c.rq.enqueue(t);
+                tasks.state[tid.0] = TaskState::Runnable;
+                tasks.runnable_since[tid.0] = now;
+                tasks.stats[tid.0].nivcsw += 1;
+                c.rq.enqueue(tasks, tid);
                 c.time.preemptions += 1;
             }
             StopReason::Yielded => {
-                t.state = TaskState::Runnable;
-                t.runnable_since = now;
-                t.stats.nvcsw += 1;
-                c.rq.enqueue(t);
+                tasks.state[tid.0] = TaskState::Runnable;
+                tasks.runnable_since[tid.0] = now;
+                tasks.stats[tid.0].nvcsw += 1;
+                c.rq.enqueue(tasks, tid);
             }
             StopReason::Sleep => {
-                t.state = TaskState::Sleeping;
-                t.stats.nvcsw += 1;
+                tasks.state[tid.0] = TaskState::Sleeping;
+                tasks.stats[tid.0].nvcsw += 1;
             }
             StopReason::VirtualBlock => {
-                t.state = TaskState::Runnable;
-                t.stats.nvcsw += 1;
+                tasks.state[tid.0] = TaskState::Runnable;
+                tasks.stats[tid.0].nvcsw += 1;
                 let tail = c.rq.next_vb_tail_vruntime();
-                t.vb_park(tail);
-                c.rq.enqueue(t);
+                tasks.vb_park(tid, tail);
+                c.rq.enqueue(tasks, tid);
             }
             StopReason::Exit => {
-                t.state = TaskState::Exited;
+                tasks.state[tid.0] = TaskState::Exited;
             }
         }
         c.time.context_switches += 1;
+        self.set_active(cpu, false);
         Some(tid)
     }
 
     /// Select the CPU a waking task should run on (vanilla CFS
     /// `select_task_rq_fair` flavour) and the scan cost.
-    fn select_cpu(&self, tasks: &[Task], tid: TaskId, waker_cpu: CpuId) -> (CpuId, u64) {
-        let t = &tasks[tid.0];
-        if let Some(p) = t.pinned {
+    fn select_cpu(&self, tasks: &TaskTable, tid: TaskId, waker_cpu: CpuId) -> (CpuId, u64) {
+        if let Some(p) = tasks.pinned[tid.0] {
             return (p, self.params.wakeup_fixed_ns);
         }
         let scan_cost = self.params.wakeup_fixed_ns
             + self.params.wakeup_scan_per_cpu_ns * self.topo.num_cpus() as u64;
 
         // Fast path: previous CPU idle (and still online and allowed).
-        if self.online[t.last_cpu.0] && t.allows(t.last_cpu) && self.cpus[t.last_cpu.0].is_idle() {
-            return (t.last_cpu, scan_cost);
+        let last = tasks.last_cpu[tid.0];
+        if self.online[last.0] && tasks.allows(tid, last) && self.cpus[last.0].is_idle() {
+            return (last, scan_cost);
         }
         // Otherwise pick the least-loaded CPU, preferring the task's node,
         // then the waker's node, then lowest index. Never fall back to an
@@ -402,12 +439,12 @@ impl Scheduler {
             .topo
             .cpu_ids()
             .find(|c| self.online[c.0])
-            .unwrap_or(t.last_cpu);
+            .unwrap_or(last);
         let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
-        let home = self.topo.node_of(t.last_cpu);
+        let home = self.topo.node_of(last);
         let waker_node = self.topo.node_of(waker_cpu);
         for c in self.topo.cpu_ids() {
-            if !self.online[c.0] || !t.allows(c) {
+            if !self.online[c.0] || !tasks.allows(tid, c) {
                 continue;
             }
             let load = self.cpus[c.0].load();
@@ -432,13 +469,13 @@ impl Scheduler {
     /// `try_to_wake_up` path. The waker runs this code.
     pub fn vanilla_wake(
         &mut self,
-        tasks: &mut [Task],
+        tasks: &mut TaskTable,
         tid: TaskId,
         waker_cpu: CpuId,
         now: SimTime,
     ) -> WakeOutcome {
         self.ensure_task(tid);
-        debug_assert_eq!(tasks[tid.0].state, TaskState::Sleeping);
+        debug_assert_eq!(tasks.state[tid.0], TaskState::Sleeping);
         let (cpu, scan_cost) = self.select_cpu(tasks, tid, waker_cpu);
 
         // Runqueue lock of the destination (serializes bulk wakeups).
@@ -447,15 +484,17 @@ impl Scheduler {
             .acquire(now + scan_cost, self.params.rq_lock_hold_ns);
         let cost_ns = grant.end - now;
 
-        let migrated = if cpu != tasks[tid.0].last_cpu {
-            let cross = !self.topo.same_node(cpu, tasks[tid.0].last_cpu);
-            let t = &mut tasks[tid.0];
+        let last = tasks.last_cpu[tid.0];
+        let migrated = if cpu != last {
+            let cross = !self.topo.same_node(cpu, last);
             if cross {
-                t.stats.migrations_remote += 1;
+                tasks.stats[tid.0].migrations_remote += 1;
             } else {
-                t.stats.migrations_local += 1;
+                tasks.stats[tid.0].migrations_local += 1;
             }
-            let refill = self.mem.migration_refill_ns(t.footprint_bytes, cross);
+            let refill = self
+                .mem
+                .migration_refill_ns(tasks.footprint_bytes[tid.0], cross);
             self.add_penalty(tid, refill);
             Some(cross)
         } else {
@@ -464,22 +503,21 @@ impl Scheduler {
 
         // Sleeper credit placement.
         let rq_min = self.cpus[cpu.0].rq.min_vruntime();
-        let t = &mut tasks[tid.0];
         if self.params.sleeper_credit {
             let floor = rq_min.saturating_sub(self.params.target_latency_ns / 2);
-            t.vruntime = t.vruntime.max(floor);
+            tasks.vruntime[tid.0] = tasks.vruntime[tid.0].max(floor);
         } else {
-            t.vruntime = t.vruntime.max(rq_min);
+            tasks.vruntime[tid.0] = tasks.vruntime[tid.0].max(rq_min);
         }
-        t.state = TaskState::Runnable;
-        t.runnable_since = grant.end;
-        t.note_wake_request(now);
-        self.cpus[cpu.0].rq.enqueue(t);
+        tasks.state[tid.0] = TaskState::Runnable;
+        tasks.runnable_since[tid.0] = grant.end;
+        tasks.note_wake_request(tid, now);
+        self.cpus[cpu.0].rq.enqueue(tasks, tid);
 
         // Wakeup preemption test against the current task on `cpu`
         // (using its effective, stint-adjusted vruntime).
         let preempt = match self.curr_effective_vruntime(tasks, cpu, grant.end) {
-            Some(cv) => tasks[tid.0].vruntime + self.params.wakeup_granularity_ns < cv,
+            Some(cv) => tasks.vruntime[tid.0] + self.params.wakeup_granularity_ns < cv,
             None => true,
         };
         WakeOutcome {
@@ -493,20 +531,27 @@ impl Scheduler {
     /// Virtual-blocking wake: clear `thread_state`, restore the true
     /// vruntime, and reposition the task in its (unchanged) runqueue.
     /// Returns `(cpu, cost_ns, preempt)`.
-    pub fn vb_wake(&mut self, tasks: &mut [Task], tid: TaskId, now: SimTime) -> (CpuId, u64, bool) {
-        let cpu = tasks[tid.0].last_cpu;
+    pub fn vb_wake(
+        &mut self,
+        tasks: &mut TaskTable,
+        tid: TaskId,
+        now: SimTime,
+    ) -> (CpuId, u64, bool) {
+        let cpu = tasks.last_cpu[tid.0];
         let rq_min = self.cpus[cpu.0].rq.min_vruntime();
-        let t = &mut tasks[tid.0];
-        debug_assert!(t.vb_blocked, "vb_wake on non-parked task {tid:?}");
-        let old_vr = t.vruntime;
-        t.vb_unpark();
+        debug_assert!(
+            tasks.vb_blocked[tid.0],
+            "vb_wake on non-parked task {tid:?}"
+        );
+        let old_vr = tasks.vruntime[tid.0];
+        tasks.vb_unpark(tid);
         // Floor the restored vruntime so long-parked tasks do not lag the
         // queue (and get a sleeper-like credit, prioritizing their wake).
         let floor = rq_min.saturating_sub(self.params.target_latency_ns / 2);
-        t.vruntime = t.vruntime.max(floor);
-        t.runnable_since = now;
-        t.note_wake_request(now);
-        self.cpus[cpu.0].rq.requeue(old_vr, true, &tasks[tid.0]);
+        tasks.vruntime[tid.0] = tasks.vruntime[tid.0].max(floor);
+        tasks.runnable_since[tid.0] = now;
+        tasks.note_wake_request(tid, now);
+        self.cpus[cpu.0].rq.requeue(old_vr, true, tasks, tid);
 
         // VB wakes always request preemption: the paper schedules threads
         // waking from virtual blocking immediately, like real sleepers.
@@ -515,9 +560,9 @@ impl Scheduler {
 
     /// Set the BWD skip flag on the task running on `cpu` — it will not be
     /// picked again until every other schedulable task there has run once.
-    pub fn bwd_mark_skip(&mut self, tasks: &mut [Task], cpu: CpuId, tid: TaskId) {
-        tasks[tid.0].bwd_skip = true;
-        tasks[tid.0].stats.bwd_deschedules += 1;
+    pub fn bwd_mark_skip(&mut self, tasks: &mut TaskTable, cpu: CpuId, tid: TaskId) {
+        tasks.bwd_skip[tid.0] = true;
+        tasks.stats[tid.0].bwd_deschedules += 1;
         let others = self.cpus[cpu.0].rq.nr_schedulable().max(1) as u64;
         let release = self.cpus[cpu.0].pick_round + others;
         self.cpus[cpu.0].skip_release.insert(tid, release);
@@ -527,14 +572,18 @@ impl Scheduler {
     /// `now`: its stored vruntime plus the elapsed stint (vruntime is only
     /// materialized at stop). Preemption decisions must use this, not the
     /// stale stored value.
-    pub fn curr_effective_vruntime(&self, tasks: &[Task], cpu: CpuId, now: SimTime) -> Option<u64> {
+    pub fn curr_effective_vruntime(
+        &self,
+        tasks: &TaskTable,
+        cpu: CpuId,
+        now: SimTime,
+    ) -> Option<u64> {
         let c = &self.cpus[cpu.0];
         let curr = c.current?;
         let stint = now.saturating_since(c.curr_since);
-        let t = &tasks[curr.0];
         Some(
-            t.vruntime
-                .saturating_add(stint * 1024 / t.weight.max(1) as u64),
+            tasks.vruntime[curr.0]
+                .saturating_add(stint * 1024 / tasks.weight[curr.0].max(1) as u64),
         )
     }
 
@@ -558,7 +607,7 @@ mod tests {
     use super::*;
     use crate::params::SchedParams;
     use oversub_hw::{MemModel, Topology};
-    use oversub_task::{Action, FnProgram};
+    use oversub_task::{Action, FnProgram, Task};
 
     fn mk_sched(cpus: usize) -> Scheduler {
         Scheduler::new(
@@ -569,16 +618,16 @@ mod tests {
         )
     }
 
-    fn mk_tasks(n: usize) -> Vec<Task> {
-        (0..n)
-            .map(|i| {
-                Task::new(
-                    TaskId(i),
-                    Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                    CpuId(0),
-                )
-            })
-            .collect()
+    fn mk_tasks(n: usize) -> TaskTable {
+        let mut tt = TaskTable::new();
+        for i in 0..n {
+            tt.push(Task::new(
+                TaskId(i),
+                Box::new(FnProgram::new("nop", |_| Action::Exit)),
+                CpuId(0),
+            ));
+        }
+        tt
     }
 
     #[test]
@@ -595,15 +644,19 @@ mod tests {
         };
         let cost = s.start(&mut tasks, CpuId(0), t0, now);
         assert!(cost >= s.params.ctx_switch_ns);
-        assert_eq!(tasks[t0.0].state, TaskState::Running);
+        assert_eq!(tasks.state[t0.0], TaskState::Running);
         assert_eq!(s.cpus[0].current, Some(t0));
+        assert!(s.is_active(CpuId(0)));
+        assert_eq!(s.active_count(), 1);
 
         // Run 1ms then get preempted; vruntime advances.
         let later = SimTime::from_millis(1);
         let stopped = s.stop_current(&mut tasks, CpuId(0), later, StopReason::Preempted);
         assert_eq!(stopped, Some(t0));
-        assert_eq!(tasks[t0.0].vruntime, 1_000_000);
-        assert_eq!(tasks[t0.0].stats.nivcsw, 1);
+        assert_eq!(tasks.vruntime[t0.0], 1_000_000);
+        assert_eq!(tasks.stats[t0.0].nivcsw, 1);
+        assert!(!s.is_active(CpuId(0)));
+        assert_eq!(s.active_count(), 0);
 
         // Next pick is the other task (vruntime 0).
         let Pick::Run(t1, _) = s.pick_next(&mut tasks, CpuId(0)) else {
@@ -616,15 +669,15 @@ mod tests {
     fn vanilla_wake_prefers_idle_last_cpu() {
         let mut s = mk_sched(2);
         let mut tasks = mk_tasks(1);
-        tasks[0].last_cpu = CpuId(1);
-        tasks[0].state = TaskState::Sleeping;
+        tasks.last_cpu[0] = CpuId(1);
+        tasks.state[0] = TaskState::Sleeping;
         s.ensure_task(TaskId(0));
         let out = s.vanilla_wake(&mut tasks, TaskId(0), CpuId(0), SimTime::ZERO);
         assert_eq!(out.cpu, CpuId(1));
         assert!(out.migrated.is_none());
         assert!(out.preempt, "idle cpu should 'preempt' into running");
         assert!(out.cost_ns > 0);
-        assert_eq!(tasks[0].state, TaskState::Runnable);
+        assert_eq!(tasks.state[0], TaskState::Runnable);
     }
 
     #[test]
@@ -639,13 +692,13 @@ mod tests {
         };
         s.start(&mut tasks, CpuId(0), t, SimTime::ZERO);
         // task0 slept on cpu0; wake should move it to idle cpu1.
-        tasks[0].last_cpu = CpuId(0);
-        tasks[0].state = TaskState::Sleeping;
-        tasks[0].footprint_bytes = 1 << 20;
+        tasks.last_cpu[0] = CpuId(0);
+        tasks.state[0] = TaskState::Sleeping;
+        tasks.footprint_bytes[0] = 1 << 20;
         let out = s.vanilla_wake(&mut tasks, TaskId(0), CpuId(0), SimTime::ZERO);
         assert_eq!(out.cpu, CpuId(1));
         assert_eq!(out.migrated, Some(false));
-        assert_eq!(tasks[0].stats.migrations_local, 1);
+        assert_eq!(tasks.stats[0].migrations_local, 1);
         // Migration penalty is pending.
         assert!(s.take_penalty(TaskId(0)) > 0);
     }
@@ -655,8 +708,8 @@ mod tests {
         let mut s = mk_sched(1);
         let n = 8;
         let mut tasks = mk_tasks(n);
-        for t in tasks.iter_mut() {
-            t.state = TaskState::Sleeping;
+        for i in 0..n {
+            tasks.state[i] = TaskState::Sleeping;
         }
         let now = SimTime::ZERO;
         let costs: Vec<u64> = (0..n)
@@ -682,7 +735,7 @@ mod tests {
         s.start(&mut tasks, CpuId(0), t, now);
         let later = SimTime::from_micros(100);
         s.stop_current(&mut tasks, CpuId(0), later, StopReason::VirtualBlock);
-        assert!(tasks[t.0].vb_blocked);
+        assert!(tasks.vb_blocked[t.0]);
         assert_eq!(s.cpus[0].rq.nr_vb_parked(), 1);
         // The parked task is skipped; the other runs.
         let Pick::Run(other, _) = s.pick_next(&mut tasks, CpuId(0)) else {
@@ -693,8 +746,8 @@ mod tests {
         let (cpu, cost, _preempt) = s.vb_wake(&mut tasks, t, later);
         assert_eq!(cpu, CpuId(0));
         assert_eq!(cost, s.params.vb_wake_ns);
-        assert!(!tasks[t.0].vb_blocked);
-        assert_eq!(tasks[t.0].stats.migrations_local, 0);
+        assert!(!tasks.vb_blocked[t.0]);
+        assert_eq!(tasks.stats[t.0].migrations_local, 0);
         assert_eq!(s.cpus[0].rq.nr_vb_parked(), 0);
         assert_eq!(s.cpus[0].rq.nr_schedulable(), 2);
     }
@@ -745,7 +798,7 @@ mod tests {
         match pick {
             Pick::Run(t, _) => {
                 s.start(&mut tasks, CpuId(0), t, SimTime::from_micros(10));
-                assert!(!tasks[t.0].bwd_skip || t != spinner);
+                assert!(!tasks.bwd_skip[t.0] || t != spinner);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -761,7 +814,7 @@ mod tests {
         };
         s.start(&mut tasks, CpuId(0), t, SimTime::ZERO);
         s.stop_current(&mut tasks, CpuId(0), SimTime::ZERO, StopReason::Exit);
-        assert_eq!(tasks[0].state, TaskState::Exited);
+        assert_eq!(tasks.state[0], TaskState::Exited);
         assert_eq!(s.pick_next(&mut tasks, CpuId(0)), Pick::Idle);
     }
 
@@ -769,9 +822,9 @@ mod tests {
     fn pinned_task_wakes_on_pinned_cpu() {
         let mut s = mk_sched(4);
         let mut tasks = mk_tasks(1);
-        tasks[0].pinned = Some(CpuId(3));
-        tasks[0].last_cpu = CpuId(0);
-        tasks[0].state = TaskState::Sleeping;
+        tasks.pinned[0] = Some(CpuId(3));
+        tasks.last_cpu[0] = CpuId(0);
+        tasks.state[0] = TaskState::Sleeping;
         s.ensure_task(TaskId(0));
         let out = s.vanilla_wake(&mut tasks, TaskId(0), CpuId(1), SimTime::ZERO);
         assert_eq!(out.cpu, CpuId(3));

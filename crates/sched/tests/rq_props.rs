@@ -5,7 +5,7 @@
 
 use oversub_hw::CpuId;
 use oversub_sched::{CfsRq, VB_TAIL_BASE};
-use oversub_task::{Action, FnProgram, Task, TaskId};
+use oversub_task::{Action, FnProgram, Task, TaskId, TaskTable};
 use proptest::prelude::*;
 
 #[derive(Clone, Copy, Debug)]
@@ -30,16 +30,16 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-fn mk_tasks() -> Vec<Task> {
-    (0..8)
-        .map(|i| {
-            Task::new(
-                TaskId(i),
-                Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                CpuId(0),
-            )
-        })
-        .collect()
+fn mk_tasks() -> TaskTable {
+    let mut tt = TaskTable::new();
+    for i in 0..8 {
+        tt.push(Task::new(
+            TaskId(i),
+            Box::new(FnProgram::new("nop", |_| Action::Exit)),
+            CpuId(0),
+        ));
+    }
+    tt
 }
 
 proptest! {
@@ -56,38 +56,38 @@ proptest! {
         for op in ops {
             match op {
                 Op::Enqueue(i, v) => {
-                    if !queued[i] && !tasks[i].vb_blocked {
-                        tasks[i].vruntime = v;
-                        rq.enqueue(&tasks[i]);
+                    if !queued[i] && !tasks.vb_blocked[i] {
+                        tasks.vruntime[i] = v;
+                        rq.enqueue(&tasks, TaskId(i));
                         queued[i] = true;
                     }
                 }
                 Op::Dequeue(i) => {
-                    if queued[i] && !tasks[i].vb_blocked {
-                        rq.dequeue(&tasks[i]);
+                    if queued[i] && !tasks.vb_blocked[i] {
+                        rq.dequeue(&tasks, TaskId(i));
                         queued[i] = false;
                     }
                 }
                 Op::Park(i) => {
-                    if queued[i] && !tasks[i].vb_blocked {
-                        let old = tasks[i].vruntime;
+                    if queued[i] && !tasks.vb_blocked[i] {
+                        let old = tasks.vruntime[i];
                         let tail = rq.next_vb_tail_vruntime();
-                        tasks[i].vb_park(tail);
-                        rq.requeue(old, false, &tasks[i]);
+                        tasks.vb_park(TaskId(i), tail);
+                        rq.requeue(old, false, &tasks, TaskId(i));
                     }
                 }
                 Op::Unpark(i) => {
-                    if queued[i] && tasks[i].vb_blocked {
-                        let old = tasks[i].vruntime;
-                        tasks[i].vb_unpark();
-                        rq.requeue(old, true, &tasks[i]);
+                    if queued[i] && tasks.vb_blocked[i] {
+                        let old = tasks.vruntime[i];
+                        tasks.vb_unpark(TaskId(i));
+                        rq.requeue(old, true, &tasks, TaskId(i));
                     }
                 }
                 Op::Pick => {
                     if let Some((tid, _)) = rq.pick_next(&tasks) {
                         prop_assert!(queued[tid.0]);
-                        prop_assert!(!tasks[tid.0].vb_blocked, "picked a parked task");
-                        prop_assert!(tasks[tid.0].vruntime < VB_TAIL_BASE);
+                        prop_assert!(!tasks.vb_blocked[tid.0], "picked a parked task");
+                        prop_assert!(tasks.vruntime[tid.0] < VB_TAIL_BASE);
                     }
                 }
             }
@@ -95,7 +95,7 @@ proptest! {
             let (counter, tree, parked_entries) = rq.audit(&tasks);
             prop_assert_eq!(counter, tree, "schedulable counter drifted");
             let parked_actual = (0..8)
-                .filter(|&i| queued[i] && tasks[i].vb_blocked)
+                .filter(|&i| queued[i] && tasks.vb_blocked[i])
                 .count();
             prop_assert_eq!(rq.nr_vb_parked(), parked_actual);
             prop_assert_eq!(parked_entries, parked_actual);
@@ -126,38 +126,38 @@ proptest! {
         for op in ops {
             match op {
                 Op::Enqueue(i, v) => {
-                    if !queued[i] && !tasks[i].vb_blocked {
-                        tasks[i].vruntime = v;
-                        rq.enqueue(&tasks[i]);
+                    if !queued[i] && !tasks.vb_blocked[i] {
+                        tasks.vruntime[i] = v;
+                        rq.enqueue(&tasks, TaskId(i));
                         queued[i] = true;
                     }
                 }
                 Op::Dequeue(i) => {
-                    if queued[i] && !tasks[i].vb_blocked {
-                        rq.dequeue(&tasks[i]);
+                    if queued[i] && !tasks.vb_blocked[i] {
+                        rq.dequeue(&tasks, TaskId(i));
                         queued[i] = false;
                     }
                 }
                 Op::Park(i) => {
-                    if queued[i] && !tasks[i].vb_blocked {
-                        let old = tasks[i].vruntime;
+                    if queued[i] && !tasks.vb_blocked[i] {
+                        let old = tasks.vruntime[i];
                         let tail = rq.next_vb_tail_vruntime();
-                        tasks[i].vb_park(tail);
-                        rq.requeue(old, false, &tasks[i]);
+                        tasks.vb_park(TaskId(i), tail);
+                        rq.requeue(old, false, &tasks, TaskId(i));
                     }
                 }
                 Op::Unpark(i) => {
-                    if queued[i] && tasks[i].vb_blocked {
-                        let old = tasks[i].vruntime;
-                        tasks[i].vb_unpark();
-                        rq.requeue(old, true, &tasks[i]);
+                    if queued[i] && tasks.vb_blocked[i] {
+                        let old = tasks.vruntime[i];
+                        tasks.vb_unpark(TaskId(i));
+                        rq.requeue(old, true, &tasks, TaskId(i));
                     }
                 }
                 Op::Pick => {
                     // Interleave skip-flag churn with picks.
                     if let Some((i, on)) = skips.next().map(|(i, b)| (i, b == 1)) {
-                        let was = tasks[i].bwd_skip;
-                        tasks[i].bwd_skip = on;
+                        let was = tasks.bwd_skip[i];
+                        tasks.bwd_skip[i] = on;
                         if was && !on {
                             rq.invalidate_pick_cache();
                         }
@@ -189,8 +189,8 @@ proptest! {
         let mut rq = CfsRq::new();
         let mut tasks = mk_tasks();
         for (&i, &v) in &entries {
-            tasks[i].vruntime = v;
-            rq.enqueue(&tasks[i]);
+            tasks.vruntime[i] = v;
+            rq.enqueue(&tasks, TaskId(i));
         }
         let (tid, forced) = rq.pick_next(&tasks).expect("non-empty");
         prop_assert!(!forced);
@@ -209,14 +209,14 @@ proptest! {
             match op {
                 Op::Enqueue(i, v) => {
                     if !queued[i] {
-                        tasks[i].vruntime = v;
-                        rq.enqueue(&tasks[i]);
+                        tasks.vruntime[i] = v;
+                        rq.enqueue(&tasks, TaskId(i));
                         queued[i] = true;
                     }
                 }
                 Op::Dequeue(i) => {
                     if queued[i] {
-                        rq.dequeue(&tasks[i]);
+                        rq.dequeue(&tasks, TaskId(i));
                         queued[i] = false;
                     }
                 }

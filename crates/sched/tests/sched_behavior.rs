@@ -4,25 +4,25 @@
 use oversub_hw::{CpuId, MemModel, Topology};
 use oversub_sched::{Pick, SchedParams, Scheduler, StopReason};
 use oversub_simcore::SimTime;
-use oversub_task::{Action, FnProgram, Task, TaskId, TaskState};
+use oversub_task::{Action, FnProgram, Task, TaskId, TaskState, TaskTable};
 
 fn mk(topo: Topology, vb: bool) -> Scheduler {
     Scheduler::new(topo, SchedParams::default(), MemModel::default(), vb)
 }
 
-fn tasks(n: usize) -> Vec<Task> {
-    (0..n)
-        .map(|i| {
-            Task::new(
-                TaskId(i),
-                Box::new(FnProgram::new("nop", |_| Action::Exit)),
-                CpuId(0),
-            )
-        })
-        .collect()
+fn tasks(n: usize) -> TaskTable {
+    let mut tt = TaskTable::new();
+    for i in 0..n {
+        tt.push(Task::new(
+            TaskId(i),
+            Box::new(FnProgram::new("nop", |_| Action::Exit)),
+            CpuId(0),
+        ));
+    }
+    tt
 }
 
-fn run_someone(s: &mut Scheduler, ts: &mut [Task], cpu: CpuId, now: SimTime) -> TaskId {
+fn run_someone(s: &mut Scheduler, ts: &mut TaskTable, cpu: CpuId, now: SimTime) -> TaskId {
     let Pick::Run(t, _) = s.pick_next(ts, cpu) else {
         panic!("nothing runnable on {cpu:?}")
     };
@@ -47,9 +47,9 @@ fn effective_vruntime_tracks_the_stint() {
         .expect("running");
     assert_eq!(ev, 500_000, "nice-0 task accrues 1:1");
     // The stored vruntime is still stale until stop.
-    assert_eq!(ts[0].vruntime, 0);
+    assert_eq!(ts.vruntime[0], 0);
     s.stop_current(&mut ts, CpuId(0), at, StopReason::Preempted);
-    assert_eq!(ts[0].vruntime, 500_000);
+    assert_eq!(ts.vruntime[0], 500_000);
 }
 
 #[test]
@@ -68,27 +68,27 @@ fn wake_placement_prefers_last_cpu_then_least_loaded_same_node() {
     // with cpu0 busy, placement picks the least-loaded (cpu2 or cpu3),
     // breaking ties towards... home node has no idle cpu, so cross-node
     // placement happens and counts as a remote migration.
-    ts[0].last_cpu = CpuId(0);
-    ts[0].state = TaskState::Sleeping;
-    ts[0].footprint_bytes = 1 << 20;
+    ts.last_cpu[0] = CpuId(0);
+    ts.state[0] = TaskState::Sleeping;
+    ts.footprint_bytes[0] = 1 << 20;
     let out = s.vanilla_wake(&mut ts, TaskId(0), CpuId(1), SimTime::ZERO);
     assert!(out.cpu == CpuId(2) || out.cpu == CpuId(3));
     assert_eq!(out.migrated, Some(true), "cross-node placement");
-    assert_eq!(ts[0].stats.migrations_remote, 1);
+    assert_eq!(ts.stats[0].migrations_remote, 1);
 }
 
 #[test]
 fn wake_placement_respects_cpuset() {
     let mut s = mk(Topology::flat(4), false);
     let mut ts = tasks(1);
-    ts[0].allowed = 0b0010; // only cpu1
-    ts[0].last_cpu = CpuId(3);
-    ts[0].state = TaskState::Sleeping;
+    ts.allowed[0] = 0b0010; // only cpu1
+    ts.last_cpu[0] = CpuId(3);
+    ts.state[0] = TaskState::Sleeping;
     // last_cpu (3) is idle but disallowed... note the fast path checks the
     // last cpu first; allowed() must veto it.
     let out = s.vanilla_wake(&mut ts, TaskId(0), CpuId(0), SimTime::ZERO);
     assert!(
-        ts[0].allows(out.cpu),
+        ts.allows(TaskId(0), out.cpu),
         "placed on disallowed cpu {:?}",
         out.cpu
     );
@@ -129,7 +129,7 @@ fn slice_shrinks_with_runnable_depth_but_ignores_parked() {
 fn same_task_restart_is_cheap() {
     let mut s = mk(Topology::flat(1), false);
     let mut ts = tasks(1);
-    ts[0].footprint_bytes = 4 << 20;
+    ts.footprint_bytes[0] = 4 << 20;
     s.enqueue_new(&mut ts, TaskId(0), CpuId(0), SimTime::ZERO);
     let t = run_someone(&mut s, &mut ts, CpuId(0), SimTime::ZERO);
     s.stop_current(
@@ -152,8 +152,8 @@ fn offline_cpus_are_never_wake_targets() {
     let mut s = mk(Topology::flat(4), false);
     s.set_online_count(2);
     let mut ts = tasks(1);
-    ts[0].last_cpu = CpuId(3); // offline now
-    ts[0].state = TaskState::Sleeping;
+    ts.last_cpu[0] = CpuId(3); // offline now
+    ts.state[0] = TaskState::Sleeping;
     let out = s.vanilla_wake(&mut ts, TaskId(0), CpuId(0), SimTime::ZERO);
     assert!(out.cpu.0 < 2, "woken onto offline cpu {:?}", out.cpu);
     assert_eq!(s.num_online(), 2);
@@ -169,7 +169,7 @@ fn bwd_skip_survives_until_others_ran_and_is_counted() {
     }
     let spinner = run_someone(&mut s, &mut ts, CpuId(0), SimTime::ZERO);
     s.bwd_mark_skip(&mut ts, CpuId(0), spinner);
-    assert_eq!(ts[spinner.0].stats.bwd_deschedules, 1);
+    assert_eq!(ts.stats[spinner.0].bwd_deschedules, 1);
     s.stop_current(&mut ts, CpuId(0), SimTime::ZERO, StopReason::Preempted);
     // The next two picks must be the other two tasks.
     let mut seen = Vec::new();
@@ -194,5 +194,5 @@ fn bwd_skip_survives_until_others_ran_and_is_counted() {
         panic!()
     };
     assert_eq!(x, spinner);
-    assert!(!ts[spinner.0].bwd_skip, "flag cleared on release");
+    assert!(!ts.bwd_skip[spinner.0], "flag cleared on release");
 }

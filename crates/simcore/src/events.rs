@@ -108,8 +108,22 @@ struct WheelEntry<E> {
 /// by `time >> WHEEL_SHIFT`; the bucket at the cursor is drained into a
 /// small sorted run (`current`, descending so the next event is `last()`),
 /// from which peeks and pops are O(1).
+///
+/// An occupancy bitmap (`occ`, one bit per bucket) lets the cursor jump
+/// straight to the next non-empty bucket: advancing over an idle stretch
+/// costs O(occ words) word scans instead of O(ticks) bucket probes. The
+/// jump is sound because every live entry's tick lies in the horizon
+/// window `[cur_tick, cur_tick + WHEEL_BUCKETS)` (inserts below the
+/// cursor divert to `current`, overflows divert to the heap) and exactly
+/// one tick of that window maps to each bucket index — so the nearest
+/// occupied bucket in cursor order holds the earliest tick, skipped
+/// buckets are provably empty, and a drained bucket always empties whole
+/// (no same-index-later-wrap leftovers are possible while earlier ticks
+/// remain).
 struct Wheel<E> {
     buckets: Vec<Vec<WheelEntry<E>>>,
+    /// Occupancy bitmap: bit `b` set iff `buckets[b]` is non-empty.
+    occ: [u64; WHEEL_BUCKETS / 64],
     /// Next tick index to drain. The drained tick's events live in
     /// `current`.
     cur_tick: u64,
@@ -126,6 +140,7 @@ impl<E> Wheel<E> {
     fn new() -> Self {
         Wheel {
             buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            occ: [0; WHEEL_BUCKETS / 64],
             cur_tick: 0,
             current: Vec::new(),
             len: 0,
@@ -134,10 +149,14 @@ impl<E> Wheel<E> {
 
     /// Insert if the event fits the horizon; on overflow the payload is
     /// handed back so the caller can fall back to the heap.
+    ///
+    /// Buckets are kept sorted descending by `(time, seq)` at insert time,
+    /// so draining a bucket is a plain `mem::take` with no sort.
     fn insert(&mut self, time: SimTime, seq: u64, payload: E) -> Result<(), E> {
         if self.len == 0 {
             // Empty wheel: re-anchor the cursor at the new event's tick so
-            // the horizon always starts "now".
+            // the horizon always starts "now". (All buckets are empty, so
+            // `occ` is already zero.)
             self.cur_tick = tick_of(time);
             self.current.clear();
         }
@@ -149,11 +168,12 @@ impl<E> Wheel<E> {
             let idx = self.current.partition_point(|e| (e.time, e.seq) > key);
             self.current.insert(idx, WheelEntry { time, seq, payload });
         } else if t - self.cur_tick < WHEEL_BUCKETS as u64 {
-            self.buckets[(t % WHEEL_BUCKETS as u64) as usize].push(WheelEntry {
-                time,
-                seq,
-                payload,
-            });
+            let b = (t % WHEEL_BUCKETS as u64) as usize;
+            let key = (time, seq);
+            let bucket = &mut self.buckets[b];
+            let idx = bucket.partition_point(|e| (e.time, e.seq) > key);
+            bucket.insert(idx, WheelEntry { time, seq, payload });
+            self.occ[b >> 6] |= 1u64 << (b & 63);
         } else {
             return Err(payload);
         }
@@ -161,34 +181,50 @@ impl<E> Wheel<E> {
         Ok(())
     }
 
-    /// `(time, seq)` of the earliest wheel event, advancing the cursor
-    /// over empty buckets as needed.
-    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
-        loop {
-            if let Some(e) = self.current.last() {
-                return Some((e.time, e.seq));
-            }
-            if self.len == 0 {
-                return None;
-            }
-            // Drain the cursor bucket: entries of this tick move to
-            // `current`; later wraps of the same bucket stay.
-            let b = (self.cur_tick % WHEEL_BUCKETS as u64) as usize;
-            let bucket = std::mem::take(&mut self.buckets[b]);
-            let ct = self.cur_tick;
-            let mut keep = Vec::new();
-            for e in bucket {
-                if tick_of(e.time) == ct {
-                    self.current.push(e);
-                } else {
-                    keep.push(e);
-                }
-            }
-            self.buckets[b] = keep;
-            self.cur_tick += 1;
-            self.current
-                .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+    /// Forward distance (in buckets, wrapping) from bucket index `b0` to
+    /// the nearest occupied bucket, or `None` if the bitmap is empty.
+    #[inline]
+    fn next_occupied_distance(&self, b0: usize) -> Option<usize> {
+        const WORDS: usize = WHEEL_BUCKETS / 64;
+        let w0 = b0 >> 6;
+        // Bits at or after `b0` within its own word.
+        let first = self.occ[w0] & (!0u64 << (b0 & 63));
+        if first != 0 {
+            return Some((w0 << 6) + first.trailing_zeros() as usize - b0);
         }
+        // Remaining words in cursor order; the wrap back to `w0` checks
+        // the bits below `b0` that `first` masked off.
+        for i in 1..=WORDS {
+            let w = (w0 + i) % WORDS;
+            let word = self.occ[w];
+            if word != 0 {
+                let idx = (w << 6) + word.trailing_zeros() as usize;
+                return Some((idx + WHEEL_BUCKETS - b0) % WHEEL_BUCKETS);
+            }
+        }
+        None
+    }
+
+    /// `(time, seq)` of the earliest wheel event, jumping the cursor
+    /// straight to the next occupied bucket.
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        if let Some(e) = self.current.last() {
+            return Some((e.time, e.seq));
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // `current` is empty but entries remain, so some bucket is
+        // occupied. Jump to it and drain it whole (see the struct docs
+        // for why it cannot hold later-wrap leftovers).
+        let b0 = (self.cur_tick % WHEEL_BUCKETS as u64) as usize;
+        let d = self.next_occupied_distance(b0)?;
+        let b = (b0 + d) % WHEEL_BUCKETS;
+        std::mem::swap(&mut self.current, &mut self.buckets[b]);
+        self.occ[b >> 6] &= !(1u64 << (b & 63));
+        self.cur_tick += d as u64 + 1;
+        debug_assert!(!self.current.is_empty(), "occupied bucket was empty");
+        self.current.last().map(|e| (e.time, e.seq))
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -202,15 +238,56 @@ impl<E> Wheel<E> {
     }
 }
 
-/// The default implementation: slab-cancellation heap + timer wheel.
+/// FIFO lane for one strictly-periodic cadence (see
+/// [`EventQueue::schedule_cadenced`]). Re-arms of a fixed-interval timer
+/// arrive in fire order, and every re-arm lands one interval after its
+/// fire time, so within a single cadence the pushed `(time, seq)` keys
+/// are monotone non-decreasing: the deque *is* sorted, insert is
+/// `push_back`, and the earliest entry is `front`. Pushes that would
+/// break monotonicity (the staggered initial arms, fault-injected timer
+/// jitter) are rejected by the caller and routed through the wheel
+/// instead, so the invariant is checked, never assumed.
+struct Lane<E> {
+    interval_ns: u64,
+    q: std::collections::VecDeque<WheelEntry<E>>,
+}
+
+/// Cap on distinct cadences before falling back to the wheel: lanes are
+/// scanned linearly on every pop, so this must stay small. Real engines
+/// have a handful (mechanism timer, balance, watchdog, fault tick).
+const MAX_LANES: usize = 8;
+
+/// The default implementation: slab-cancellation heap + timer wheel +
+/// per-cadence FIFO lanes.
 struct FastQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     wheel: Wheel<E>,
+    lanes: Vec<Lane<E>>,
     slots: Vec<Slot>,
     free: Vec<u32>,
     next_seq: u64,
     /// Exact number of live (scheduled, not cancelled, not popped) events.
     live: usize,
+    /// Cancelled entries still physically in the heap. Pops skip the
+    /// cancelled-top drain scan entirely while this is zero — which for
+    /// the engine is always (it retires events by epoch, never by
+    /// cancellation).
+    cancelled_pending: usize,
+    /// Rotate cadenced pops in place (see
+    /// [`EventQueue::set_auto_cadence`]).
+    auto_cadence: bool,
+    /// Whether the most recent `pop` rotated its event (auto re-arm).
+    /// Reset by every pop and every schedule call.
+    last_pop_rotated: bool,
+    /// Hot-lane pop cache: the lane that won the last pop, paired with
+    /// the minimum `(time, seq)` over every *other* source (heap, wheel,
+    /// remaining lanes) at that moment. While subsequent pushes land
+    /// only on the hot lane — the steady state of a tick-dominated run,
+    /// where each tick's re-arm goes straight back to its own lane — the
+    /// other-source minimum cannot drop, so the next pop decides with a
+    /// single key compare instead of a full source scan. Any push to
+    /// another source clears it.
+    hot: Option<(usize, Option<(SimTime, u64)>)>,
 }
 
 impl<E> FastQueue<E> {
@@ -218,10 +295,15 @@ impl<E> FastQueue<E> {
         FastQueue {
             heap: BinaryHeap::new(),
             wheel: Wheel::new(),
+            lanes: Vec::new(),
             slots: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
             live: 0,
+            cancelled_pending: 0,
+            auto_cadence: false,
+            last_pop_rotated: false,
+            hot: None,
         }
     }
 
@@ -250,6 +332,8 @@ impl<E> FastQueue<E> {
     fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.hot = None;
+        self.last_pop_rotated = false;
         let slot = self.alloc_slot();
         let gen = self.slots[slot as usize].gen;
         self.heap.push(HeapEntry {
@@ -268,6 +352,8 @@ impl<E> FastQueue<E> {
     fn schedule_nocancel(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.hot = None;
+        self.last_pop_rotated = false;
         self.heap.push(HeapEntry {
             time: at,
             seq,
@@ -280,6 +366,13 @@ impl<E> FastQueue<E> {
     fn schedule_periodic(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.hot = None;
+        self.last_pop_rotated = false;
+        self.insert_wheel_or_heap(at, seq, payload);
+        self.live += 1;
+    }
+
+    fn insert_wheel_or_heap(&mut self, at: SimTime, seq: u64, payload: E) {
         match self.wheel.insert(at, seq, payload) {
             Ok(()) => {}
             // Beyond the wheel horizon: fall back to the heap, with no
@@ -291,7 +384,71 @@ impl<E> FastQueue<E> {
                 payload,
             }),
         }
+    }
+
+    /// [`schedule_periodic`](Self::schedule_periodic) with a declared
+    /// cadence: monotone re-arms append to the cadence's FIFO lane in
+    /// O(1); anything else (initial staggered arms, jittered re-arms,
+    /// cadence overflow) takes the wheel/heap path. Ordering is identical
+    /// either way — lanes share the global sequence counter and pops
+    /// compare `(time, seq)` across all sources.
+    fn schedule_cadenced(&mut self, at: SimTime, interval_ns: u64, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.last_pop_rotated = false;
         self.live += 1;
+        let lane_idx = match self
+            .lanes
+            .iter_mut()
+            .position(|l| l.interval_ns == interval_ns)
+        {
+            Some(i) => i,
+            None if self.lanes.len() < MAX_LANES => {
+                self.lanes.push(Lane {
+                    interval_ns,
+                    q: std::collections::VecDeque::new(),
+                });
+                self.lanes.len() - 1
+            }
+            None => {
+                self.hot = None;
+                self.insert_wheel_or_heap(at, seq, payload);
+                return;
+            }
+        };
+        // A monotone push to the hot lane cannot lower any other source's
+        // minimum, so it leaves the pop cache valid; everything else
+        // clears it.
+        if self.hot.is_some_and(|(h, _)| h != lane_idx) {
+            self.hot = None;
+        }
+        let lane = &mut self.lanes[lane_idx];
+        if lane.q.back().is_none_or(|e| (e.time, e.seq) <= (at, seq)) {
+            lane.q.push_back(WheelEntry {
+                time: at,
+                seq,
+                payload,
+            });
+        } else {
+            self.hot = None;
+            self.insert_wheel_or_heap(at, seq, payload);
+        }
+    }
+
+    /// Index and `(time, seq)` key of the lane holding the earliest
+    /// front entry, if any lane is non-empty.
+    #[inline]
+    fn lane_min(&self) -> Option<(usize, (SimTime, u64))> {
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (i, l) in self.lanes.iter().enumerate() {
+            if let Some(e) = l.q.front() {
+                let k = (e.time, e.seq);
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        best
     }
 
     fn cancel(&mut self, handle: EventHandle) -> bool {
@@ -304,17 +461,23 @@ impl<E> FastQueue<E> {
         }
         s.state = SlotState::Cancelled;
         self.live -= 1;
+        self.cancelled_pending += 1;
+        // Cancellation removes an event, so it can only *raise* the
+        // cached other-source minimum — a conservative (never unsafely
+        // low) bound — and the hot cache stays valid.
         true
     }
 
     /// Discard cancelled entries sitting on top of the heap, releasing
-    /// their slots for reuse.
+    /// their slots for reuse. Free when nothing is cancelled.
     fn drain_cancelled(&mut self) {
-        while let Some(top) = self.heap.peek() {
+        while self.cancelled_pending > 0 {
+            let Some(top) = self.heap.peek() else { break };
             let slot = top.slot;
             if slot != NO_SLOT && self.slots[slot as usize].state == SlotState::Cancelled {
                 self.heap.pop();
                 self.release_slot(slot);
+                self.cancelled_pending -= 1;
             } else {
                 break;
             }
@@ -325,36 +488,131 @@ impl<E> FastQueue<E> {
         self.drain_cancelled();
         let hk = self.heap.peek().map(|e| (e.time, e.seq));
         let wk = self.wheel.peek_key();
-        match (hk, wk) {
-            (Some(h), Some(w)) => Some(h.min(w)),
-            (h, w) => h.or(w),
-        }
+        let lk = self.lane_min().map(|(_, k)| k);
+        [hk, wk, lk].into_iter().flatten().min()
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<(SimTime, E)>
+    where
+        E: Clone,
+    {
+        // Hot path: the lane that won the last pop wins again while its
+        // front stays below the cached minimum of every other source.
+        if let Some((h, om)) = self.hot {
+            if let Some(e) = self.lanes[h].q.front() {
+                if om.is_none_or(|m| (e.time, e.seq) < m) {
+                    return self.pop_lane(h);
+                }
+            }
+            self.hot = None;
+        }
+        self.last_pop_rotated = false;
         self.drain_cancelled();
         let hk = self.heap.peek().map(|e| (e.time, e.seq));
         let wk = self.wheel.peek_key();
-        let from_heap = match (hk, wk) {
-            (None, None) => return None,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (Some(h), Some(w)) => h < w,
-        };
-        self.live -= 1;
-        if from_heap {
-            let Some(e) = self.heap.pop() else {
-                debug_assert!(false, "peeked heap entry must pop");
-                self.live += 1;
-                return None;
-            };
-            if e.slot != NO_SLOT {
-                self.release_slot(e.slot);
+        // Best lane and the runner-up minimum over the *other* lanes
+        // (needed to seed the hot cache when a lane wins).
+        let mut lk: Option<(usize, (SimTime, u64))> = None;
+        let mut lane_rest: Option<(SimTime, u64)> = None;
+        for (i, l) in self.lanes.iter().enumerate() {
+            if let Some(e) = l.q.front() {
+                let k = (e.time, e.seq);
+                match lk {
+                    Some((_, bk)) if k >= bk => {
+                        if lane_rest.is_none_or(|r| k < r) {
+                            lane_rest = Some(k);
+                        }
+                    }
+                    _ => {
+                        if let Some((_, bk)) = lk {
+                            lane_rest = Some(lane_rest.map_or(bk, |r| r.min(bk)));
+                        }
+                        lk = Some((i, k));
+                    }
+                }
             }
-            Some((e.time, e.payload))
-        } else {
-            self.wheel.pop()
         }
+        // Source of the minimum key: 0 = heap, 1 = wheel, 2 = best lane.
+        let mut src = usize::MAX;
+        let mut best: Option<(SimTime, u64)> = None;
+        if let Some(h) = hk {
+            (src, best) = (0, Some(h));
+        }
+        if let Some(w) = wk {
+            if best.is_none_or(|b| w < b) {
+                (src, best) = (1, Some(w));
+            }
+        }
+        if let Some((_, l)) = lk {
+            if best.is_none_or(|b| l < b) {
+                (src, best) = (2, Some(l));
+            }
+        }
+        best?;
+        match src {
+            0 => {
+                self.live -= 1;
+                let Some(e) = self.heap.pop() else {
+                    debug_assert!(false, "peeked heap entry must pop");
+                    self.live += 1;
+                    return None;
+                };
+                if e.slot != NO_SLOT {
+                    self.release_slot(e.slot);
+                }
+                Some((e.time, e.payload))
+            }
+            1 => {
+                self.live -= 1;
+                self.wheel.pop()
+            }
+            _ => {
+                let (i, _) = lk?;
+                let om = [hk, wk, lane_rest].into_iter().flatten().min();
+                self.hot = Some((i, om));
+                self.pop_lane(i)
+            }
+        }
+    }
+
+    /// Pop the front of lane `i`; with auto-cadence on, rotate the event
+    /// back into the lane one interval later under a fresh sequence
+    /// number (the in-queue equivalent of the handler's own re-arm-first
+    /// schedule — see [`EventQueue::set_auto_cadence`]).
+    fn pop_lane(&mut self, i: usize) -> Option<(SimTime, E)>
+    where
+        E: Clone,
+    {
+        let Some(e) = self.lanes[i].q.pop_front() else {
+            debug_assert!(false, "pop_lane on empty lane");
+            return None;
+        };
+        if self.auto_cadence {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let at = e.time + self.lanes[i].interval_ns;
+            let lane = &mut self.lanes[i];
+            if lane.q.back().is_none_or(|b| (b.time, b.seq) <= (at, seq)) {
+                lane.q.push_back(WheelEntry {
+                    time: at,
+                    seq,
+                    payload: e.payload.clone(),
+                });
+            } else {
+                // Cannot happen for a shared strict cadence (the popped
+                // front plus one interval is at or past every pending
+                // entry), but fall back safely rather than assume it.
+                self.hot = None;
+                let p = e.payload.clone();
+                self.insert_wheel_or_heap(at, seq, p);
+            }
+            // live is unchanged: one event left, its re-arm arrived.
+            self.last_pop_rotated = true;
+        } else {
+            self.live -= 1;
+            self.last_pop_rotated = false;
+        }
+        Some((e.time, e.payload))
     }
 }
 
@@ -429,6 +687,10 @@ impl<E> ClassicQueue<E> {
     }
 }
 
+// One queue exists per engine (never arrays of them), so the size gap
+// between the lane-carrying fast queue and the bare classic heap is
+// irrelevant and boxing would only add a pointer chase to every pop.
+#[allow(clippy::large_enum_variant)]
 enum Imp<E> {
     Fast(FastQueue<E>),
     Classic(ClassicQueue<E>),
@@ -505,6 +767,24 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// [`schedule_periodic`](Self::schedule_periodic) with the cadence
+    /// declared. On the fast queue, re-arms of a fixed-interval timer fire
+    /// in time order and each lands one interval later, so per cadence the
+    /// scheduled `(time, seq)` keys are monotone: they append to a FIFO
+    /// lane with O(1) insert and O(1) pop, bypassing the wheel's binned
+    /// insert entirely. Non-monotone pushes (staggered initial arms,
+    /// jittered re-arms) silently fall back to the wheel/heap path, and
+    /// the classic queue treats this as a plain `schedule` — the popped
+    /// `(time, seq)` order is identical in every case.
+    pub fn schedule_cadenced(&mut self, at: SimTime, interval_ns: u64, payload: E) {
+        match &mut self.imp {
+            Imp::Fast(q) => q.schedule_cadenced(at, interval_ns, payload),
+            Imp::Classic(q) => {
+                q.schedule(at, payload);
+            }
+        }
+    }
+
     /// Cancel a previously scheduled event. Returns `true` if the event
     /// was still pending (not yet popped or cancelled). On the fast queue
     /// this is exact and O(1): cancelling an already-popped event returns
@@ -539,10 +819,49 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the next live event.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    ///
+    /// `E: Clone` feeds auto-cadence rotation (the queue re-arms a popped
+    /// cadenced event by cloning its payload one interval later); payloads
+    /// are small `Copy` enums in practice.
+    pub fn pop(&mut self) -> Option<(SimTime, E)>
+    where
+        E: Clone,
+    {
         match &mut self.imp {
             Imp::Fast(q) => q.pop(),
             Imp::Classic(q) => q.pop(),
+        }
+    }
+
+    /// Enable (or disable) auto-cadence rotation on the fast queue; no-op
+    /// on the classic queue.
+    ///
+    /// With auto-cadence on, popping a lane event immediately re-schedules
+    /// a clone of its payload one lane interval later, under the sequence
+    /// number the queue allocates at that instant, and marks the pop via
+    /// [`last_pop_rotated`](Self::last_pop_rotated). This is sound only
+    /// under the engine's re-arm-first contract: the handler's own re-arm
+    /// would be the *first* schedule call after the pop, at exactly
+    /// `time + interval`, so the rotation allocates the identical
+    /// `(time, seq)` key the handler would have — the handler must then
+    /// *skip* its explicit re-arm when `last_pop_rotated()` reports the
+    /// queue already did it. Events that fall outside the lanes (initial
+    /// staggered arms, jittered re-arms) pop with the flag false and keep
+    /// the explicit path.
+    pub fn set_auto_cadence(&mut self, on: bool) {
+        if let Imp::Fast(q) = &mut self.imp {
+            q.auto_cadence = on;
+        }
+    }
+
+    /// True when the most recent [`pop`](Self::pop) was a cadenced lane
+    /// event that the queue already rotated (re-armed) internally — the
+    /// caller must skip its explicit re-arm for that event. Always false
+    /// on the classic queue.
+    pub fn last_pop_rotated(&self) -> bool {
+        match &self.imp {
+            Imp::Fast(q) => q.last_pop_rotated,
+            Imp::Classic(_) => false,
         }
     }
 

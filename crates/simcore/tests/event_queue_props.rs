@@ -20,10 +20,18 @@ enum Op {
     ScheduleNocancel(u64),
     /// Periodic-cadence entry (wheel-eligible when near, heap when far).
     SchedulePeriodic(u64),
+    /// Declared-cadence entry (FIFO lane when monotone, else fallback).
+    /// The index selects from a small set of intervals so several pushes
+    /// share a lane and non-monotone pushes exercise the fallback.
+    ScheduleCadenced(u64, usize),
     /// Cancel the k-th handle ever returned (modulo how many exist).
     Cancel(usize),
     Pop,
 }
+
+/// Cadences for `ScheduleCadenced`: below a wheel bucket, a typical
+/// timer interval, and beyond the wheel horizon.
+const CADENCES: [u64; 3] = [8_192, 100_000, 40_000_000];
 
 /// Deltas span the wheel's bucket size (2^15 ns) and its full horizon
 /// (2^15 ns × 1024 buckets ≈ 33.6 ms) so entries land in the current
@@ -34,6 +42,8 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
             (0u64..100_000_000).prop_map(Op::Schedule),
             (0u64..100_000_000).prop_map(Op::ScheduleNocancel),
             (0u64..100_000_000).prop_map(Op::SchedulePeriodic),
+            ((0u64..100_000_000), (0usize..CADENCES.len()))
+                .prop_map(|(d, i)| Op::ScheduleCadenced(d, i)),
             (0usize..64).prop_map(Op::Cancel),
             Just(Op::Pop),
             Just(Op::Pop),
@@ -131,6 +141,11 @@ fn check_against_model(mut q: EventQueue<u64>, ops: Vec<Op>, exact: bool) {
                 model.schedule(now + d, next_payload, false);
                 next_payload += 1;
             }
+            Op::ScheduleCadenced(d, i) => {
+                q.schedule_cadenced(SimTime::from_nanos(now + d), CADENCES[i], next_payload);
+                model.schedule(now + d, next_payload, false);
+                next_payload += 1;
+            }
             Op::Cancel(k) => {
                 if !handles.is_empty() {
                     let k = k % handles.len();
@@ -184,5 +199,57 @@ proptest! {
     #[test]
     fn classic_queue_matches_model(ops in arb_ops()) {
         check_against_model(EventQueue::classic(), ops, false);
+    }
+
+    /// Auto-cadence rotation is invisible: a fast queue that re-arms
+    /// cadenced timers during the pop (`set_auto_cadence(true)` +
+    /// rotation-aware caller) pops the identical `(time, payload)` stream
+    /// as a classic queue whose caller re-arms explicitly — the engine's
+    /// re-arm-first contract, under which the rotation allocates exactly
+    /// the sequence number the explicit re-arm would have.
+    #[test]
+    fn auto_cadence_rotation_matches_explicit_rearm(
+        // (timer id, initial stagger) pairs; ids pick one of CADENCES.
+        timers in proptest::collection::vec(
+            ((0usize..CADENCES.len()), (0u64..200_000)), 1..24),
+        // Interleaved one-shot noise: (delta, count) batches.
+        noise in proptest::collection::vec(0u64..300_000, 0..16),
+        pops in 32usize..256,
+    ) {
+        let mut fast = EventQueue::new();
+        let mut classic = EventQueue::classic();
+        fast.set_auto_cadence(true);
+        // Payload encodes the timer's identity: rotation clones it, the
+        // explicit path re-schedules it, and one-shot noise gets ids
+        // past the timer range.
+        for (k, &(i, stagger)) in timers.iter().enumerate() {
+            let at = SimTime::from_nanos(CADENCES[i] + stagger);
+            fast.schedule_cadenced(at, CADENCES[i], k as u64);
+            classic.schedule_cadenced(at, CADENCES[i], k as u64);
+        }
+        for (j, &d) in noise.iter().enumerate() {
+            let p = (timers.len() + j) as u64;
+            fast.schedule_nocancel(SimTime::from_nanos(d), p);
+            classic.schedule_nocancel(SimTime::from_nanos(d), p);
+        }
+        for _ in 0..pops {
+            let got = fast.pop();
+            let want = classic.pop();
+            prop_assert_eq!(got, want, "pop streams diverged");
+            let Some((t, p)) = got else { break };
+            // Engine contract: a popped cadenced timer re-arms first,
+            // unless the queue reports it already rotated it.
+            if let Some(&(i, _)) = timers.get(p as usize) {
+                let at = t + CADENCES[i];
+                if !fast.last_pop_rotated() {
+                    fast.schedule_cadenced(at, CADENCES[i], p);
+                }
+                prop_assert!(!classic.last_pop_rotated());
+                classic.schedule_cadenced(at, CADENCES[i], p);
+            } else {
+                // One-shot noise must never be reported as rotated.
+                prop_assert!(!fast.last_pop_rotated());
+            }
+        }
     }
 }

@@ -11,8 +11,10 @@ pub mod action;
 pub mod ids;
 pub mod program;
 pub mod state;
+pub mod table;
 
 pub use action::{Action, SpinSig, SyncOp};
 pub use ids::{BarrierId, CondId, EpollFd, FlagId, FutexKey, LockId, SemId, TaskId};
 pub use program::{FnProgram, ProgCtx, Program, ScriptProgram};
 pub use state::{Task, TaskState, TaskStats};
+pub use table::TaskTable;

@@ -1,0 +1,250 @@
+//! Model-based property tests of the struct-of-arrays [`TaskTable`]
+//! against the legacy per-task [`Task`] struct as a naive oracle.
+//!
+//! Every mutation the scheduler performs on the table — spawn, VB
+//! park/unpark, wake-request and run-start accounting, and the direct
+//! column writes the engine issues (state flips, vruntime updates, skip
+//! flags, affinity edits) — is applied in lockstep to a `Vec<Task>`.
+//! After each op the observable predicates (`schedulable`, `allows`)
+//! must agree, and at the end every column must equal the corresponding
+//! struct field row-for-row. This pins the SoA transpose exactly: a
+//! column accidentally skipped in `push`, cross-wired in an accessor, or
+//! diverging in VB save/restore order fails within a handful of cases.
+
+use oversub_hw::CpuId;
+use oversub_simcore::SimTime;
+use oversub_task::program::{ProgCtx, Program};
+use oversub_task::{Action, Task, TaskId, TaskState, TaskTable};
+use proptest::prelude::*;
+
+struct Nop;
+impl Program for Nop {
+    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+        Action::Exit
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Append a fresh task whose home CPU is `cpu % 64`.
+    Spawn(usize),
+    /// `vb_park(t, tail_vruntime)` — skipped (on both) if already parked.
+    VbPark(usize, u64),
+    /// `vb_unpark(t)` — skipped if not parked.
+    VbUnpark(usize),
+    /// `note_wake_request(t, now)`.
+    WakeRequest(usize, u64),
+    /// `note_run_start(t, now)`.
+    RunStart(usize, u64),
+    /// Direct column writes, as the scheduler/engine issue them.
+    SetState(usize, u8),
+    SetVruntime(usize, u64),
+    SetWeight(usize, u32),
+    SetBwdSkip(usize, bool),
+    SetAllowed(usize, u64),
+    SetPinned(usize, Option<usize>),
+    SetRunnableSince(usize, u64),
+    SetLastCpu(usize, usize),
+    /// Observable predicates, compared between table and oracle.
+    CheckSchedulable(usize),
+    CheckAllows(usize, usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let t = 0usize..32;
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..64).prop_map(Op::Spawn),
+            (t.clone(), any::<u64>()).prop_map(|(a, b)| Op::VbPark(a, b)),
+            t.clone().prop_map(Op::VbUnpark),
+            (t.clone(), 0u64..1 << 40).prop_map(|(a, b)| Op::WakeRequest(a, b)),
+            (t.clone(), 0u64..1 << 40).prop_map(|(a, b)| Op::RunStart(a, b)),
+            (t.clone(), 0u8..4).prop_map(|(a, b)| Op::SetState(a, b)),
+            (t.clone(), any::<u64>()).prop_map(|(a, b)| Op::SetVruntime(a, b)),
+            (t.clone(), 1u32..1 << 20).prop_map(|(a, b)| Op::SetWeight(a, b)),
+            (t.clone(), any::<bool>()).prop_map(|(a, b)| Op::SetBwdSkip(a, b)),
+            (t.clone(), any::<u64>()).prop_map(|(a, b)| Op::SetAllowed(a, b)),
+            (
+                t.clone(),
+                prop_oneof![Just(None), (0usize..80).prop_map(Some)]
+            )
+                .prop_map(|(a, b)| Op::SetPinned(a, b)),
+            (t.clone(), 0u64..1 << 40).prop_map(|(a, b)| Op::SetRunnableSince(a, b)),
+            (t.clone(), 0usize..80).prop_map(|(a, b)| Op::SetLastCpu(a, b)),
+            t.clone().prop_map(Op::CheckSchedulable),
+            (t, 0usize..80).prop_map(|(a, b)| Op::CheckAllows(a, b)),
+        ],
+        1..200,
+    )
+}
+
+fn states() -> [TaskState; 4] {
+    [
+        TaskState::Runnable,
+        TaskState::Running,
+        TaskState::Sleeping,
+        TaskState::Exited,
+    ]
+}
+
+/// Compare every column of the table against the oracle structs.
+fn assert_columns_match(tt: &TaskTable, oracle: &[Task]) {
+    prop_assert_eq!(tt.len(), oracle.len());
+    for (i, t) in oracle.iter().enumerate() {
+        prop_assert_eq!(tt.state[i], t.state, "state[{}]", i);
+        prop_assert_eq!(tt.vruntime[i], t.vruntime, "vruntime[{}]", i);
+        prop_assert_eq!(tt.weight[i], t.weight, "weight[{}]", i);
+        prop_assert_eq!(tt.vb_blocked[i], t.vb_blocked, "vb_blocked[{}]", i);
+        prop_assert_eq!(
+            tt.vb_saved_vruntime[i],
+            t.vb_saved_vruntime,
+            "vb_saved_vruntime[{}]",
+            i
+        );
+        prop_assert_eq!(tt.bwd_skip[i], t.bwd_skip, "bwd_skip[{}]", i);
+        prop_assert_eq!(tt.last_cpu[i], t.last_cpu, "last_cpu[{}]", i);
+        prop_assert_eq!(tt.pinned[i], t.pinned, "pinned[{}]", i);
+        prop_assert_eq!(tt.allowed[i], t.allowed, "allowed[{}]", i);
+        prop_assert_eq!(
+            tt.runnable_since[i],
+            t.runnable_since,
+            "runnable_since[{}]",
+            i
+        );
+        prop_assert_eq!(
+            tt.wake_requested_at[i],
+            t.wake_requested_at,
+            "wake_requested_at[{}]",
+            i
+        );
+        prop_assert_eq!(tt.footprint_bytes[i], t.footprint_bytes, "footprint[{}]", i);
+        prop_assert_eq!(tt.random_access[i], t.random_access, "random_access[{}]", i);
+        prop_assert_eq!(tt.addr_salt[i], t.addr_salt, "addr_salt[{}]", i);
+        let (s, o) = (&tt.stats[i], &t.stats);
+        prop_assert_eq!(s.wakeups, o.wakeups, "stats.wakeups[{}]", i);
+        prop_assert_eq!(
+            s.wakeup_latency_ns,
+            o.wakeup_latency_ns,
+            "stats.wakeup_latency_ns[{}]",
+            i
+        );
+        prop_assert_eq!(s.wait_ns, o.wait_ns, "stats.wait_ns[{}]", i);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn table_matches_per_task_struct_oracle(ops in arb_ops()) {
+        let mut tt = TaskTable::new();
+        let mut oracle: Vec<Task> = Vec::new();
+        for op in ops {
+            // Resolve the task operand modulo the current population;
+            // ops arriving before the first spawn are skipped.
+            let pick = |k: usize| if oracle.is_empty() { None } else { Some(k % oracle.len()) };
+            match op {
+                Op::Spawn(cpu) => {
+                    let id = TaskId(oracle.len());
+                    tt.push(Task::new(id, Box::new(Nop), CpuId(cpu % 64)));
+                    oracle.push(Task::new(id, Box::new(Nop), CpuId(cpu % 64)));
+                }
+                Op::VbPark(k, tail) => {
+                    if let Some(i) = pick(k) {
+                        if !oracle[i].vb_blocked {
+                            tt.vb_park(TaskId(i), tail);
+                            oracle[i].vb_park(tail);
+                        }
+                    }
+                }
+                Op::VbUnpark(k) => {
+                    if let Some(i) = pick(k) {
+                        if oracle[i].vb_blocked {
+                            tt.vb_unpark(TaskId(i));
+                            oracle[i].vb_unpark();
+                        }
+                    }
+                }
+                Op::WakeRequest(k, now) => {
+                    if let Some(i) = pick(k) {
+                        tt.note_wake_request(TaskId(i), SimTime::from_nanos(now));
+                        oracle[i].note_wake_request(SimTime::from_nanos(now));
+                    }
+                }
+                Op::RunStart(k, now) => {
+                    if let Some(i) = pick(k) {
+                        tt.note_run_start(TaskId(i), SimTime::from_nanos(now));
+                        oracle[i].note_run_start(SimTime::from_nanos(now));
+                    }
+                }
+                Op::SetState(k, s) => {
+                    if let Some(i) = pick(k) {
+                        tt.state[i] = states()[s as usize];
+                        oracle[i].state = states()[s as usize];
+                    }
+                }
+                Op::SetVruntime(k, v) => {
+                    if let Some(i) = pick(k) {
+                        tt.vruntime[i] = v;
+                        oracle[i].vruntime = v;
+                    }
+                }
+                Op::SetWeight(k, w) => {
+                    if let Some(i) = pick(k) {
+                        tt.weight[i] = w;
+                        oracle[i].weight = w;
+                    }
+                }
+                Op::SetBwdSkip(k, b) => {
+                    if let Some(i) = pick(k) {
+                        tt.bwd_skip[i] = b;
+                        oracle[i].bwd_skip = b;
+                    }
+                }
+                Op::SetAllowed(k, m) => {
+                    if let Some(i) = pick(k) {
+                        tt.allowed[i] = m;
+                        oracle[i].allowed = m;
+                    }
+                }
+                Op::SetPinned(k, c) => {
+                    if let Some(i) = pick(k) {
+                        tt.pinned[i] = c.map(CpuId);
+                        oracle[i].pinned = c.map(CpuId);
+                    }
+                }
+                Op::SetRunnableSince(k, now) => {
+                    if let Some(i) = pick(k) {
+                        tt.runnable_since[i] = SimTime::from_nanos(now);
+                        oracle[i].runnable_since = SimTime::from_nanos(now);
+                    }
+                }
+                Op::SetLastCpu(k, c) => {
+                    if let Some(i) = pick(k) {
+                        tt.last_cpu[i] = CpuId(c);
+                        oracle[i].last_cpu = CpuId(c);
+                    }
+                }
+                Op::CheckSchedulable(k) => {
+                    if let Some(i) = pick(k) {
+                        prop_assert_eq!(
+                            tt.schedulable(TaskId(i)),
+                            oracle[i].schedulable(),
+                            "schedulable({}) diverged", i
+                        );
+                    }
+                }
+                Op::CheckAllows(k, c) => {
+                    if let Some(i) = pick(k) {
+                        prop_assert_eq!(
+                            tt.allows(TaskId(i), CpuId(c)),
+                            oracle[i].allows(CpuId(c)),
+                            "allows({}, {}) diverged", i, c
+                        );
+                    }
+                }
+            }
+        }
+        assert_columns_match(&tt, &oracle);
+    }
+}
