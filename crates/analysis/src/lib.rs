@@ -11,7 +11,7 @@
 //! |------|---------------|-------|
 //! | D1 | `HashMap` / `HashSet` (iteration order can reach sim state) | sim crates |
 //! | D2 | wall-clock / ambient entropy (`Instant::now`, `SystemTime`, `thread_rng`, …) | everywhere except `bench` / `criterion` |
-//! | D3 | `unwrap` / `expect` / `panic!` / `unreachable!` on engine hot paths | `oversub/src/engine/*`, `oversub/src/exec.rs`, `task/src/state.rs`, `task/src/table.rs`, `sched/src/rq.rs` |
+//! | D3 | `unwrap` / `expect` / `panic!` / `unreachable!` on engine hot paths | `oversub/src/engine/*`, `oversub/src/exec.rs`, `oversub/src/mechanism/*`, `task/src/state.rs`, `task/src/table.rs`, `sched/src/rq.rs`, `metrics/src/digest.rs` |
 //! | D4 | mutable / public statics and `thread_local!` (state escaping seeding) | everywhere |
 //! | D5 | ad-hoc host threads (`thread::spawn` / `thread::scope` / `thread::Builder`) | everywhere except `simcore/src/pool.rs` and `bench` / `criterion` |
 //!
@@ -32,7 +32,7 @@ use oversub_metrics::json::{obj, JsonValue};
 /// Version stamp of the rule set, printed by `detlint` and recorded in
 /// bench JSON headers so artifacts say which invariants were in force.
 /// Bump when a rule is added, removed, or materially changed.
-pub const RULESET_VERSION: &str = "detlint-v3";
+pub const RULESET_VERSION: &str = "detlint-v4";
 
 /// Crates whose containers can reach simulation state: a nondeterministic
 /// iteration order here can change scheduling decisions and break the
@@ -121,6 +121,9 @@ fn rule_applies(rule: &Rule, crate_name: &str, rel_path: &str) -> bool {
         "D2" => !TIME_EXEMPT_CRATES.contains(&crate_name),
         "D3" => {
             rel_path.starts_with("crates/oversub/src/engine/")
+                // Mechanism hooks run inside the engine's event loop —
+                // a panic there takes down the whole run (detlint-v4).
+                || rel_path.starts_with("crates/oversub/src/mechanism/")
                 || rel_path == "crates/oversub/src/exec.rs"
                 // Per-event hot state: the task columns and the runqueue
                 // are touched on every pick/stop/wake, so they degrade
@@ -128,6 +131,10 @@ fn rule_applies(rule: &Rule, crate_name: &str, rel_path: &str) -> bool {
                 || rel_path == "crates/task/src/state.rs"
                 || rel_path == "crates/task/src/table.rs"
                 || rel_path == "crates/sched/src/rq.rs"
+                // The exact latency digest records on every request
+                // completion and merges on the sweep pool's join path
+                // (detlint-v4).
+                || rel_path == "crates/metrics/src/digest.rs"
         }
         "D4" => true,
         "D5" => rel_path != THREAD_POOL_FILE && !TIME_EXEMPT_CRATES.contains(&crate_name),
@@ -662,6 +669,17 @@ mod tests {
             1
         );
         assert_eq!(scan_source("sched", "crates/sched/src/rq.rs", src).len(), 1);
+        // detlint-v4: mechanism hooks and the exact latency digest run on
+        // per-event / per-request paths.
+        assert_eq!(
+            scan_source("oversub", "crates/oversub/src/mechanism/neighbour.rs", src).len(),
+            1
+        );
+        assert_eq!(
+            scan_source("metrics", "crates/metrics/src/digest.rs", src).len(),
+            1
+        );
+        assert!(scan_source("metrics", "crates/metrics/src/hist.rs", src).is_empty());
         assert!(scan_source("task", "crates/task/src/program.rs", src).is_empty());
         // unwrap_or_else is not the panicking form.
         assert!(scan_source(
@@ -770,7 +788,7 @@ reason = "probe-only set; never iterated"
         let a = r.to_json().to_string_compact();
         let b = r.to_json().to_string_compact();
         assert_eq!(a, b);
-        assert!(a.contains("\"ruleset\":\"detlint-v3\""));
+        assert!(a.contains("\"ruleset\":\"detlint-v4\""));
         assert!(!r.is_clean());
     }
 }

@@ -85,6 +85,15 @@ fn main() {
         println!();
     }
     emit(
+        "Extension: neighbour-aware mechanism vs VB/BWD on tail latency",
+        "extension beyond the paper",
+        &oversub::experiments::ext_neighbour_tails(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
         "Seed sensitivity (5 seeds, mean +/- 95% CI)",
         "methodology check",
         &oversub::experiments::seed_sensitivity(a.opts),

@@ -1,7 +1,7 @@
 //! Dump the full `RunReport` of one benchmark arm as JSON — plumbing for
 //! external analysis/plotting.
 //!
-//! Usage: `export_report <benchmark> <threads> [--cores N] [--mech vanilla|vb|bwd|optimized|ple] [--scale F] [--seed N] [--vm]`
+//! Usage: `export_report <benchmark> <threads> [--cores N] [--mech vanilla|vb|bwd|optimized|ple|neighbour] [--scale F] [--seed N] [--vm]`
 
 use oversub::workload::Workload;
 use oversub::workloads::skeletons::{BenchProfile, Skeleton};
@@ -32,6 +32,7 @@ fn main() {
                     Some("bwd") => Mechanisms::bwd_only(),
                     Some("optimized") => Mechanisms::optimized(),
                     Some("ple") => Mechanisms::ple_only(),
+                    Some("neighbour") => Mechanisms::neighbour_aware(),
                     other => {
                         eprintln!("unknown mechanism {other:?}");
                         std::process::exit(2);
@@ -64,7 +65,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: export_report <benchmark> <threads> [--cores N] [--mech vanilla|vb|bwd|optimized|ple] [--scale F] [--seed N] [--vm]"
+        "usage: export_report <benchmark> <threads> [--cores N] [--mech vanilla|vb|bwd|optimized|ple|neighbour] [--scale F] [--seed N] [--vm]"
     );
     std::process::exit(2)
 }

@@ -160,13 +160,18 @@ fn arms() -> Vec<Arm> {
     v
 }
 
-/// Best-of-`reps` wall time in nanoseconds, the (deterministic)
-/// processed-event count, and the per-mechanism counters of the run, for
-/// one engine flavor. The reps execute as a pool batch at the given jobs
-/// count (default 1: timing fidelity).
-fn measure(arm: &Arm, reference: bool, reps: usize, jobs: usize) -> (u64, u64, Vec<JsonValue>) {
+/// One engine flavor's measurement: best-of-`reps` wall time in
+/// nanoseconds, the (deterministic) processed-event count, the
+/// per-mechanism counters, and the exact tail percentiles of the run's
+/// request digest (informational; empty-digest arms report zero
+/// requests).
+type Measurement = (u64, u64, Vec<JsonValue>, JsonValue);
+
+/// Measure one arm under one engine flavor. The reps execute as a pool
+/// batch at the given jobs count (default 1: timing fidelity).
+fn measure(arm: &Arm, reference: bool, reps: usize, jobs: usize) -> Measurement {
     let cfg = arm.cfg.clone().with_reference_engine(reference);
-    let batch: Vec<Job<'_, (u64, u64, Vec<JsonValue>)>> = (0..reps)
+    let batch: Vec<Job<'_, Measurement>> = (0..reps)
         .map(|_| {
             let cfg = cfg.clone();
             let mk = &arm.mk;
@@ -181,19 +186,28 @@ fn measure(arm: &Arm, reference: bool, reps: usize, jobs: usize) -> (u64, u64, V
                     .iter()
                     .map(|m| m.to_json_value())
                     .collect();
-                (dt.max(1), n, mechs)
-            }) as Job<'_, (u64, u64, Vec<JsonValue>)>
+                let d = &report.latency_exact;
+                let tails = obj(vec![
+                    ("requests", JsonValue::UInt(d.count() as u128)),
+                    ("p50_ns", JsonValue::UInt(d.p50() as u128)),
+                    ("p99_ns", JsonValue::UInt(d.p99() as u128)),
+                    ("p999_ns", JsonValue::UInt(d.p999() as u128)),
+                ]);
+                (dt.max(1), n, mechs, tails)
+            }) as Job<'_, (u64, u64, Vec<JsonValue>, JsonValue)>
         })
         .collect();
     let mut best_ns = u64::MAX;
     let mut events = 0u64;
     let mut mechs = Vec::new();
-    for (dt, n, m) in sweep::run_batch_with_jobs(batch, jobs) {
+    let mut tails = JsonValue::Null;
+    for (dt, n, m, t) in sweep::run_batch_with_jobs(batch, jobs) {
         best_ns = best_ns.min(dt);
         events = n;
         mechs = m;
+        tails = t;
     }
-    (best_ns, events, mechs)
+    (best_ns, events, mechs, tails)
 }
 
 /// One instrumented (untimed-rep) run of the arm: where the engine's
@@ -266,8 +280,19 @@ fn main() {
     );
     let mut rows = Vec::new();
     for arm in arms() {
-        let (ref_ns, ref_events, ref_mechs) = measure(&arm, true, reps, jobs);
-        let (fast_ns, fast_events, mechs) = measure(&arm, false, reps, jobs);
+        let (ref_ns, ref_events, ref_mechs, ref_tails) = measure(&arm, true, reps, jobs);
+        let (fast_ns, fast_events, mechs, tails) = measure(&arm, false, reps, jobs);
+        // The exact digest is a report metric: both engines must agree on
+        // it bit-for-bit, same as the mechanism counters below.
+        if ref_tails.to_string_compact() != tails.to_string_compact() {
+            eprintln!(
+                "{}: exact latency digest DIVERGED between engines\n  ref:  {}\n  fast: {}",
+                arm.name,
+                ref_tails.to_string_compact(),
+                tails.to_string_compact()
+            );
+            std::process::exit(1);
+        }
         // The two engines must agree on every report metric; the
         // per-mechanism counters are the part this binary can see, so
         // re-assert their bit-identity on every arm (the full-report
@@ -348,6 +373,7 @@ fn main() {
                 JsonValue::UInt(ratchet("wall_clock_speedup_milli", wall_x_milli) as u128),
             ),
             ("mechanisms", JsonValue::Array(mechs)),
+            ("latency_tails", tails),
             (
                 "phase_breakdown",
                 obj(vec![

@@ -1,0 +1,193 @@
+//! CI tail-latency smoke: the exact request-latency pipeline as a
+//! pass/fail gate.
+//!
+//! Runs one request-shaped workload per family — memcached, web serving,
+//! a spin pipeline, a fork-join region loop, and a condvar-phased
+//! benchmark skeleton — and checks that every report carries a populated
+//! exact latency digest with sane order statistics:
+//!
+//! - the digest is present and non-empty (`completed requests > 0`),
+//! - `p50 <= p99 <= p999 <= max` and `min <= p50`,
+//! - the digest's completion count matches `completed_ops`,
+//! - the bucketed histogram mean is finite (no NaN leaking into tables).
+//!
+//! A family that panics, errors, or violates any of these fails the
+//! process. The cells are independent simulations and run on the sweep
+//! worker pool (`OVERSUB_JOBS`); rows print in submission order.
+//!
+//! Usage: `cargo run --release -p oversub-bench --bin tail_smoke`
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use oversub::simcore::pool::Job;
+use oversub::simcore::SimTime;
+use oversub::workload::Workload;
+use oversub::workloads::forkjoin::ForkJoin;
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::workloads::webserving::WebServing;
+use oversub::{sweep, try_run, Mechanisms, RunConfig};
+
+struct Scenario {
+    family: &'static str,
+    cpus: usize,
+    mk: Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            family: "memcached/16T/4c",
+            cpus: Memcached::paper(16, 4, 80_000.0).total_cpus(),
+            mk: Box::new(|| Box::new(Memcached::paper(16, 4, 80_000.0))),
+        },
+        Scenario {
+            family: "web-serving/16T/4c",
+            cpus: WebServing::new(16, 4, 40_000.0).total_cpus(),
+            mk: Box::new(|| Box::new(WebServing::new(16, 4, 40_000.0))),
+        },
+        Scenario {
+            family: "pipeline/8S/4c",
+            cpus: 4,
+            mk: Box::new(|| Box::new(SpinPipeline::new(8, 60, WaitFlavor::Flags))),
+        },
+        Scenario {
+            family: "forkjoin/16T/4c",
+            cpus: 4,
+            mk: Box::new(|| Box::new(ForkJoin::new(16, 16, 40, 32, 8_000))),
+        },
+        Scenario {
+            family: "skeleton/ferret/16T/4c",
+            cpus: 4,
+            mk: Box::new(|| {
+                let p = BenchProfile::by_name("ferret").expect("known benchmark");
+                Box::new(Skeleton::scaled(p, 16, 0.12).with_salt(7))
+            }),
+        },
+    ]
+}
+
+/// One family: its printable row plus any failure records.
+fn run_cell(
+    family: &str,
+    cfg: &RunConfig,
+    mk: &(dyn Fn() -> Box<dyn Workload> + Send + Sync),
+) -> (String, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut wl = mk();
+    let outcome = catch_unwind(AssertUnwindSafe(|| try_run(&mut *wl, cfg)));
+    let row = match outcome {
+        Err(_) => {
+            failures.push(format!("{family}: engine panicked"));
+            format!(
+                "{:<26} {:>10} {:>10} {:>10} {:>10}  PANIC",
+                family, "-", "-", "-", "-"
+            )
+        }
+        Ok(Err(e)) => {
+            failures.push(format!("{family}: engine error: {e}"));
+            format!(
+                "{:<26} {:>10} {:>10} {:>10} {:>10}  ERROR",
+                family, "-", "-", "-", "-"
+            )
+        }
+        Ok(Ok(report)) => {
+            let d = &report.latency_exact;
+            if d.is_empty() {
+                failures.push(format!(
+                    "{family}: exact latency digest is empty — no request completions reached \
+                     the sink"
+                ));
+            } else {
+                if !(d.min() <= d.p50()
+                    && d.p50() <= d.p99()
+                    && d.p99() <= d.p999()
+                    && d.p999() <= d.max())
+                {
+                    failures.push(format!(
+                        "{family}: percentiles out of order: min={} p50={} p99={} p999={} max={}",
+                        d.min(),
+                        d.p50(),
+                        d.p99(),
+                        d.p999(),
+                        d.max()
+                    ));
+                }
+                if d.count() != report.completed_ops {
+                    failures.push(format!(
+                        "{family}: digest holds {} samples but the report counts {} completed ops",
+                        d.count(),
+                        report.completed_ops
+                    ));
+                }
+                if !report.latency.mean().is_finite() {
+                    failures.push(format!(
+                        "{family}: bucketed-histogram mean is not finite: {}",
+                        report.latency.mean()
+                    ));
+                }
+            }
+            let verdict = if failures.is_empty() {
+                "ok"
+            } else {
+                "BAD-TAILS"
+            };
+            format!(
+                "{:<26} {:>10} {:>9}us {:>9}us {:>9}us  {verdict}",
+                family,
+                d.count(),
+                d.p50() / 1_000,
+                d.p99() / 1_000,
+                d.p999() / 1_000,
+            )
+        }
+    };
+    (row, failures)
+}
+
+fn main() {
+    let t0 = Instant::now();
+    println!(
+        "{{\"bench\":\"tail_smoke\",\"detlint_ruleset\":\"{}\",\"pool_jobs\":{}}}",
+        analysis::RULESET_VERSION,
+        sweep::jobs(),
+    );
+    println!(
+        "{:<26} {:>10} {:>11} {:>11} {:>11}  outcome",
+        "family", "requests", "p50", "p99", "p999"
+    );
+
+    let scenarios = scenarios();
+    let mut cells: Vec<Job<'_, (String, Vec<String>)>> = Vec::new();
+    for sc in &scenarios {
+        let cfg = RunConfig::vanilla(sc.cpus)
+            .with_mech(Mechanisms::optimized())
+            .with_seed(2026)
+            .with_max_time(SimTime::from_millis(300));
+        let family = sc.family;
+        let mk = &sc.mk;
+        cells.push(Box::new(move || run_cell(family, &cfg, mk.as_ref())));
+    }
+
+    let mut failures = Vec::new();
+    for (row, cell_failures) in sweep::run_batch(cells) {
+        println!("{row}");
+        failures.extend(cell_failures);
+    }
+
+    println!(
+        "\ntail smoke finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    if failures.is_empty() {
+        println!("all {} families report exact tails", scenarios.len());
+    } else {
+        eprintln!("\ntail smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

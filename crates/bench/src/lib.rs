@@ -208,6 +208,11 @@ pub fn experiment_set(o: ExpOpts) -> Vec<Experiment> {
             Box::new(move || exp::ext_forkjoin_dynamic_threading(o)),
         ),
         (
+            "Extension",
+            "neighbour-aware mechanism vs VB/BWD on tail latency",
+            Box::new(move || exp::ext_neighbour_tails(o)),
+        ),
+        (
             "Ablation",
             "huge pages remove the TLB benefit",
             Box::new(move || exp::ablation_hugepages(o)),

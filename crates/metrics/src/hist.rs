@@ -99,12 +99,20 @@ impl LatencyHist {
         self.max
     }
 
-    /// Value at percentile `p` in [0, 100]. Returns the lower bound of the
-    /// bucket containing the target rank (≤4.6% relative error).
+    /// Value at percentile `p`, clamped to [0, 100]: `p <= 0` reports the
+    /// minimum, `p >= 100` the maximum, and an empty histogram reports 0.
+    ///
+    /// The returned value is the **lower bound** of the bucket containing
+    /// the nearest-rank order statistic, clamped up to the recorded
+    /// minimum — a systematic *underestimate* of the true order statistic
+    /// by up to one bucket width (~4.6% relative). That bias is harmless
+    /// for plotting p95/p99 curves, but tail gates (p999) should use the
+    /// exact [`crate::digest::LatencyDigest`] instead.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
+        let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -213,6 +221,21 @@ mod tests {
             (p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.05,
             "p99={p99}"
         );
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let mut h = LatencyHist::new();
+        for v in [100u64, 200, 400, 800] {
+            h.record(v);
+        }
+        // p below 0 clamps to the minimum, p above 100 to the p100 bucket
+        // (the same value an in-range p = 100 reports), never to a rank
+        // outside [1, total].
+        assert_eq!(h.percentile(-10.0), h.percentile(0.0));
+        assert_eq!(h.percentile(0.0), 100);
+        assert_eq!(h.percentile(1000.0), h.percentile(100.0));
+        assert!(h.percentile(100.0) <= h.max());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Run reports: everything a simulation run produces, in plain data form
 //! suitable for serialization and for regenerating the paper's tables.
 
+use crate::digest::LatencyDigest;
 use crate::hist::LatencyHist;
 use crate::json::{field, field_u64, field_usize, obj, JsonValue};
 
@@ -249,6 +250,12 @@ pub struct RunReport {
     pub bwd: BwdAggregate,
     /// Request latency histogram (server workloads only).
     pub latency: LatencyHist,
+    /// Exact per-request latency digest (request-shaped workloads only;
+    /// empty-but-present otherwise). Unlike [`RunReport::latency`], its
+    /// percentiles are exact order statistics and its serialization is
+    /// canonical, so it merges across pool workers and replays from the
+    /// sweep run cache byte-identically.
+    pub latency_exact: LatencyDigest,
     /// Completed operations (server workloads: requests served).
     pub completed_ops: u64,
     /// Per-mechanism decision counters, in pipeline order.
@@ -330,6 +337,7 @@ impl RunReport {
             ("blocking", self.blocking.to_json_value()),
             ("bwd", self.bwd.to_json_value()),
             ("latency", self.latency.to_json_value()),
+            ("latency_exact", self.latency_exact.to_json_value()),
             ("completed_ops", JsonValue::UInt(self.completed_ops as u128)),
             (
                 "mechanisms",
@@ -376,6 +384,12 @@ impl RunReport {
             blocking: BlockingAggregate::from_json_value(field(&v, "blocking")?)?,
             bwd: BwdAggregate::from_json_value(field(&v, "bwd")?)?,
             latency: LatencyHist::from_json_value(field(&v, "latency")?)?,
+            // Absent in reports serialized before the request-lifecycle
+            // refactor.
+            latency_exact: match v.get("latency_exact") {
+                Some(d) => LatencyDigest::from_json_value(d)?,
+                None => LatencyDigest::new(),
+            },
             completed_ops: field_u64(&v, "completed_ops")?,
             // Absent in reports serialized before the mechanism layer.
             mechanisms: match v.get("mechanisms") {
@@ -526,6 +540,16 @@ impl RunReport {
                 self.latency.percentile(99.0) / 1_000
             );
         }
+        if !self.latency_exact.is_empty() {
+            let _ = writeln!(
+                out,
+                "  tail (exact)    {} requests, p50 {} us, p99 {} us, p999 {} us",
+                self.latency_exact.count(),
+                self.latency_exact.p50() / 1_000,
+                self.latency_exact.p99() / 1_000,
+                self.latency_exact.p999() / 1_000
+            );
+        }
         out
     }
 }
@@ -673,6 +697,37 @@ mod tests {
         assert_ne!(legacy, json, "replacement must have removed the fields");
         let back = RunReport::from_json(&legacy).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn latency_exact_round_trips_and_tolerates_legacy_json() {
+        let mut r = sample();
+        r.completed_ops = 3;
+        for v in [5_000u64, 1_000, 1_000] {
+            r.latency.record(v);
+            r.latency_exact.record(v);
+        }
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(json, back.to_json());
+        assert!(r.summary().contains("tail (exact)"));
+
+        // Reports serialized before the request-lifecycle refactor have no
+        // "latency_exact" key; they must parse with an empty digest.
+        let mut legacy_r = sample();
+        legacy_r.completed_ops = 3;
+        let legacy = legacy_r.to_json().replace(
+            ",\"latency_exact\":{\"count\":0,\"sum\":0,\"values\":[],\"counts\":[]}",
+            "",
+        );
+        assert_ne!(
+            legacy,
+            legacy_r.to_json(),
+            "replacement must have removed the field"
+        );
+        let back = RunReport::from_json(&legacy).unwrap();
+        assert_eq!(back, legacy_r);
     }
 
     #[test]

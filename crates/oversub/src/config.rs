@@ -48,6 +48,9 @@ pub struct Mechanisms {
     pub bwd: bool,
     /// Hardware pause-loop exiting (only effective in `ExecEnv::Vm`).
     pub ple: bool,
+    /// Neighbour-aware spin management (extension mechanism: patience
+    /// windows sized from observed co-runner interference).
+    pub neighbour: bool,
 }
 
 impl Mechanisms {
@@ -58,6 +61,7 @@ impl Mechanisms {
             vb_auto_disable: true,
             bwd: false,
             ple: false,
+            neighbour: false,
         }
     }
 
@@ -68,6 +72,7 @@ impl Mechanisms {
             vb_auto_disable: true,
             bwd: true,
             ple: false,
+            neighbour: false,
         }
     }
 
@@ -86,6 +91,7 @@ impl Mechanisms {
             vb_auto_disable: true,
             bwd: false,
             ple: false,
+            neighbour: false,
         }
     }
 
@@ -96,6 +102,28 @@ impl Mechanisms {
             vb_auto_disable: true,
             bwd: true,
             ple: false,
+            neighbour: false,
+        }
+    }
+
+    /// VB + the neighbour-aware spin manager: the A/B arm against
+    /// [`Mechanisms::optimized`] — same blocking path, interference-sized
+    /// spin patience instead of BWD's timer-window detection.
+    pub fn neighbour_aware() -> Self {
+        Mechanisms {
+            vb: true,
+            vb_auto_disable: true,
+            bwd: false,
+            ple: false,
+            neighbour: true,
+        }
+    }
+
+    /// The neighbour-aware spin manager alone (spin-path studies).
+    pub fn neighbour_only() -> Self {
+        Mechanisms {
+            neighbour: true,
+            ..Mechanisms::vanilla()
         }
     }
 }

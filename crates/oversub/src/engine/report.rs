@@ -3,7 +3,7 @@
 
 use super::Engine;
 use crate::mechanism::{BwdMechanism, PleMechanism};
-use oversub_metrics::{LatencyHist, RunReport};
+use oversub_metrics::{LatencyDigest, LatencyHist, RunReport};
 use oversub_simcore::SimTime;
 use oversub_workloads::workload::Workload;
 
@@ -18,10 +18,15 @@ impl Engine {
         for c in 0..self.sched.topo.num_cpus() {
             self.account_progress(c, makespan);
         }
+        // Both latency blocks start empty-but-present; a request-shaped
+        // workload's `collect` (below) fills the bucketed histogram and
+        // the exact digest from its RequestSink, batch workloads leave
+        // them empty.
         let mut report = RunReport {
             label: label.to_string(),
             makespan_ns: makespan.as_nanos(),
             latency: LatencyHist::new(),
+            latency_exact: LatencyDigest::new(),
             ..RunReport::default()
         };
         report.tasks.tasks = self.tasks.len();

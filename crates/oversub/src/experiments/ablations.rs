@@ -285,13 +285,22 @@ pub fn ext_pipeline_cascade(opts: ExpOpts) -> TextTable {
     }
     let r = sweep.run();
 
-    let mut t = TextTable::new(["stages", "vanilla(s)", "optimized(s)", "detections"]);
+    let mut t = TextTable::new([
+        "stages",
+        "vanilla(s)",
+        "optimized(s)",
+        "detections",
+        "van p99(us)",
+        "opt p99(us)",
+    ]);
     for (stages, van, opt) in arms {
         t.row([
             stages.to_string(),
             fmt_s(&r[van]),
             fmt_s(&r[opt]),
             r[opt].bwd.detections.to_string(),
+            format!("{}", r[van].latency_exact.p99() / 1_000),
+            format!("{}", r[opt].latency_exact.p99() / 1_000),
         ]);
     }
     t
@@ -365,13 +374,7 @@ pub fn ext_forkjoin_dynamic_threading(opts: ExpOpts) -> TextTable {
             // Region-heavy: little work per region, so the fork/join
             // wake-ups dominate and the mechanisms matter.
             sweep.add("fork-join", cfg, move || {
-                Box::new(ForkJoin {
-                    pool: 32,
-                    active,
-                    regions,
-                    chunks: 64,
-                    chunk_ns: 8_000,
-                })
+                Box::new(ForkJoin::new(32, active, regions, 64, 8_000))
             })
         };
         let dynamic = submit(cores, Mechanisms::vanilla());
@@ -386,6 +389,7 @@ pub fn ext_forkjoin_dynamic_threading(opts: ExpOpts) -> TextTable {
         "dynamic(active=cores)",
         "32-active(vanilla)",
         "32-active(optimized)",
+        "region p99(us, opt)",
     ]);
     for (cores, dynamic, naive, opt) in arms {
         t.row([
@@ -393,6 +397,7 @@ pub fn ext_forkjoin_dynamic_threading(opts: ExpOpts) -> TextTable {
             fmt_s(&r[dynamic]),
             fmt_s(&r[naive]),
             fmt_s(&r[opt]),
+            format!("{}", r[opt].latency_exact.p99() / 1_000),
         ]);
     }
     t
@@ -424,14 +429,139 @@ pub fn ext_web_serving(opts: ExpOpts) -> TextTable {
     }
     let r = sweep.run();
 
-    let mut t = TextTable::new(["cores", "arm", "tput(op/s)", "p95(us)", "p99(us)"]);
+    let mut t = TextTable::new([
+        "cores",
+        "arm",
+        "tput(op/s)",
+        "p50(us)",
+        "p99(us)",
+        "p999(us)",
+    ]);
     for (cores, label, idx) in arms {
         t.row([
             cores.to_string(),
             label.to_string(),
             format!("{:.0}", r[idx].throughput_ops()),
-            format!("{}", r[idx].latency.percentile(95.0) / 1_000),
-            format!("{}", r[idx].latency.percentile(99.0) / 1_000),
+            format!("{}", r[idx].latency_exact.p50() / 1_000),
+            format!("{}", r[idx].latency_exact.p99() / 1_000),
+            format!("{}", r[idx].latency_exact.p999() / 1_000),
+        ]);
+    }
+    t
+}
+
+/// Extension: neighbour-aware spin management vs the paper's mechanisms
+/// on tail latency. One request-shaped workload per family, three arms
+/// each — vanilla, optimized (VB+BWD), and neighbour-aware (VB + the
+/// interference-sized spin manager) — compared on the exact p99/p999 of
+/// the run's request digest (the fig13-style A/B the mechanism exists
+/// for).
+pub fn ext_neighbour_tails(opts: ExpOpts) -> TextTable {
+    use oversub_locks::SpinPolicy;
+    use oversub_workloads::memcached::Memcached;
+
+    let duration = SimTime::from_millis(((800.0 * opts.scale).max(200.0)) as u64);
+    let items = ((160.0 * opts.scale).max(30.0)) as usize;
+    let regions = ((200.0 * opts.scale).max(40.0)) as usize;
+    let mechs = [
+        ("vanilla", Mechanisms::vanilla()),
+        ("optimized", Mechanisms::optimized()),
+        ("neighbour", Mechanisms::neighbour_aware()),
+    ];
+    let mut sweep = Sweep::new();
+    // (family row label, [arm index per mechanism])
+    let mut arms: Vec<(&str, Vec<usize>)> = Vec::new();
+
+    // memcached: 16 workers on 4 server cores, capacity-tracking load.
+    let idxs = mechs
+        .iter()
+        .map(|&(_, mech)| {
+            let cfg = RunConfig::vanilla(Memcached::paper(16, 4, 160_000.0).total_cpus())
+                .with_mech(mech)
+                .with_seed(opts.seed)
+                .with_max_time(duration);
+            sweep.add("memcached", cfg, move || {
+                Box::new(Memcached::paper(16, 4, 160_000.0))
+            })
+        })
+        .collect();
+    arms.push(("memcached", idxs));
+
+    // web-serving: 16 workers on 4 server cores.
+    let idxs = mechs
+        .iter()
+        .map(|&(_, mech)| {
+            let cfg = RunConfig::vanilla(WebServing::new(16, 4, 60_000.0).total_cpus())
+                .with_mech(mech)
+                .with_seed(opts.seed)
+                .with_max_time(duration);
+            sweep.add("web-serving", cfg, move || {
+                Box::new(WebServing::new(16, 4, 60_000.0))
+            })
+        })
+        .collect();
+    arms.push(("web-serving", idxs));
+
+    // pipeline, both waiting flavours: 16 stages on 8 cores — the
+    // oversubscribed cascade whose spins the mechanisms act on.
+    for (label, flavor) in [
+        ("pipeline(flags)", WaitFlavor::Flags),
+        (
+            "pipeline(spinlock)",
+            WaitFlavor::SpinLock(SpinPolicy::ttas()),
+        ),
+    ] {
+        let idxs = mechs
+            .iter()
+            .map(|&(_, mech)| {
+                let cfg = RunConfig::vanilla(8)
+                    .with_machine(MachineSpec::Paper8Cores)
+                    .with_mech(mech)
+                    .with_seed(opts.seed);
+                sweep.add(label, cfg, move || {
+                    Box::new(SpinPipeline::new(16, items, flavor))
+                })
+            })
+            .collect();
+        arms.push((label, idxs));
+    }
+
+    // fork-join: 32-thread pool, all active, on 8 cores.
+    let idxs = mechs
+        .iter()
+        .map(|&(_, mech)| {
+            let cfg = RunConfig::vanilla(8)
+                .with_machine(MachineSpec::PaperN(8))
+                .with_mech(mech)
+                .with_seed(opts.seed);
+            sweep.add("fork-join", cfg, move || {
+                Box::new(ForkJoin::new(32, 32, regions, 64, 8_000))
+            })
+        })
+        .collect();
+    arms.push(("fork-join", idxs));
+
+    let r = sweep.run();
+    let mut t = TextTable::new([
+        "workload",
+        "vanilla p99(us)",
+        "optimized p99(us)",
+        "neighbour p99(us)",
+        "neighbour p999(us)",
+        "neighbour exits",
+    ]);
+    for (label, idxs) in arms {
+        let [van, opt, nbr] = idxs[..] else {
+            unreachable!("three mechanism arms per family")
+        };
+        let nbr_exits = r[nbr].mech("neighbour").map_or(0, |c| c.spin_exits);
+        t.row([
+            label.to_string(),
+            format!("{}", r[van].latency_exact.p99() / 1_000),
+            format!("{}", r[opt].latency_exact.p99() / 1_000),
+            format!("{}", r[nbr].latency_exact.p99() / 1_000),
+            format!("{}", r[nbr].latency_exact.p999() / 1_000),
+            nbr_exits.to_string(),
         ]);
     }
     t

@@ -240,12 +240,8 @@ fn primitive_submit(
             .with_seed(opts.seed)
     };
     let mk = move || {
-        Box::new(PrimitiveStress {
-            threads,
-            rounds,
-            primitive,
-            work_ns: 2_000,
-        }) as Box<dyn oversub_workloads::Workload>
+        Box::new(PrimitiveStress::new(threads, rounds, primitive, 2_000))
+            as Box<dyn oversub_workloads::Workload>
     };
     let vanilla = sweep.add("vanilla", cfg(Mechanisms::vanilla()), mk);
     let vb = sweep.add("vb", cfg(Mechanisms::vb_only()), mk);
@@ -384,8 +380,8 @@ pub fn fig11_elasticity(opts: ExpOpts) -> TextTable {
 // Figure 12: memcached
 // ---------------------------------------------------------------------
 
-/// Figure 12: memcached throughput / mean / p95 / p99 under {4T vanilla,
-/// 16T vanilla, 16T optimized} on 4, 8, and 16 server cores.
+/// Figure 12: memcached throughput / mean / exact p50/p99/p999 under {4T
+/// vanilla, 16T vanilla, 16T optimized} on 4, 8, and 16 server cores.
 pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
     let duration = SimTime::from_millis(((2_000.0 * opts.scale).max(300.0)) as u64);
     let mut sweep = Sweep::new();
@@ -425,8 +421,9 @@ pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
         "arm",
         "throughput(op/s)",
         "mean(us)",
-        "p95(us)",
+        "p50(us)",
         "p99(us)",
+        "p999(us)",
     ]);
     for (cores, label, idx) in arms {
         let rep = &r[idx];
@@ -435,8 +432,9 @@ pub fn fig12_memcached(opts: ExpOpts) -> TextTable {
             label.to_string(),
             format!("{:.0}", rep.throughput_ops()),
             format!("{:.0}", rep.latency.mean() / 1_000.0),
-            format!("{}", rep.latency.percentile(95.0) / 1_000),
-            format!("{}", rep.latency.percentile(99.0) / 1_000),
+            format!("{}", rep.latency_exact.p50() / 1_000),
+            format!("{}", rep.latency_exact.p99() / 1_000),
+            format!("{}", rep.latency_exact.p999() / 1_000),
         ]);
     }
     t

@@ -26,10 +26,12 @@
 //! written purely against this public API.
 
 mod bwd;
+mod neighbour;
 mod ple;
 mod vb;
 
 pub use bwd::BwdMechanism;
+pub use neighbour::NeighbourMechanism;
 pub use ple::PleMechanism;
 pub use vb::VbMechanism;
 
@@ -248,8 +250,9 @@ pub struct MechanismSet {
 }
 
 impl MechanismSet {
-    /// Build the pipeline for `cfg`: VB, then BWD, then PLE (each if
-    /// enabled), then the custom mechanisms in registration order.
+    /// Build the pipeline for `cfg`: VB, then BWD, then PLE, then the
+    /// neighbour-aware mechanism (each if enabled), then the custom
+    /// mechanisms in registration order.
     pub fn from_config(cfg: &RunConfig) -> Self {
         let mut items: Vec<Box<dyn Mechanism>> = Vec::new();
         if cfg.mech.vb {
@@ -260,6 +263,9 @@ impl MechanismSet {
         }
         if cfg.mech.ple {
             items.push(Box::new(PleMechanism::new(cfg.ple())));
+        }
+        if cfg.mech.neighbour {
+            items.push(Box::new(NeighbourMechanism::new()));
         }
         for f in &cfg.custom_mechanisms {
             items.push(f.build());

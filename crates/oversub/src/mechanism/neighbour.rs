@@ -1,0 +1,252 @@
+//! Neighbour-aware spin management — an out-of-paper extension mechanism.
+//!
+//! VB and BWD treat every spin the same regardless of what else the core
+//! is running. This mechanism sizes a spinner's *patience* — how long it
+//! may busy-wait before being descheduled — from observed co-runner
+//! interference on its core, built from two signals the engine already
+//! exposes:
+//!
+//! - **spin-segment churn** ([`Mechanism::on_spin_segment`]): distinct
+//!   spin signatures alternating on one core mean several waiters are
+//!   time-sharing it — each spin burns a co-runner's slice;
+//! - **preemption pressure** ([`Mechanism::on_slice_expiry`]): slice
+//!   expiries mean runnable neighbours are queueing behind the current
+//!   task, so every wasted spin nanosecond is stolen from a neighbour.
+//!
+//! On a quiet core (no churn, no preemption) the mechanism arms nothing
+//! at all and the spinner keeps its full slice — spinning is free when
+//! nobody is waiting. As interference accumulates, the patience window
+//! shrinks geometrically; when the armed exit fires the spinner is
+//! descheduled *with the BWD skip flag set*, deprioritizing it until its
+//! neighbours have run (the part PLE lacks). A CPU-elasticity change
+//! resets all state: the interference landscape it measured is gone.
+//!
+//! Determinism: state advances only from `on_spin_segment`,
+//! `on_slice_expiry`, `on_spin_exit`, and `on_elastic_change` — hooks
+//! whose invocation sequence is identical between the optimized and
+//! reference engines. (`on_pick` is deliberately unused: pick-round
+//! counts may differ across engine internals.)
+
+use super::{Mechanism, SpinExitVerdict};
+use oversub_bwd::ExecEnv;
+use oversub_metrics::MechCounters;
+use oversub_simcore::SimTime;
+use oversub_task::{SpinSig, TaskId};
+use std::any::Any;
+
+/// Patience granted to a spinner on an uncontended-but-warm core.
+const BASE_PATIENCE_NS: u64 = 400_000;
+/// Floor below which the patience window never shrinks.
+const MIN_PATIENCE_NS: u64 = 25_000;
+/// Kernel cost of the forced deschedule (context-switch entry path).
+const EXIT_COST_NS: u64 = 2_000;
+/// Interference units per halving of the patience window.
+const PRESSURE_PER_LEVEL: u64 = 4;
+/// Spin segments between decay points of the per-core window.
+const DECAY_SEGMENTS: u64 = 32;
+
+/// Per-core interference ledger, decayed every [`DECAY_SEGMENTS`] spin
+/// segments so stale pressure ages out without any timer.
+#[derive(Clone, Copy, Debug, Default)]
+struct CoreState {
+    /// Slice expiries since the last decay point (preemption pressure).
+    preemptions: u64,
+    /// Loop-head switches between distinct spin signatures (churn).
+    churn: u64,
+    /// Loop head of the previous spin segment on this core.
+    last_loop_head: u64,
+    /// Spin segments since the last decay point.
+    segments: u64,
+}
+
+impl CoreState {
+    /// Total interference currently charged to this core.
+    fn pressure(&self) -> u64 {
+        self.preemptions + self.churn
+    }
+}
+
+/// The neighbour-aware spin-management mechanism.
+#[derive(Debug, Default)]
+pub struct NeighbourMechanism {
+    /// Lazily grown per-core state.
+    cores: Vec<CoreState>,
+    /// Forced spin exits taken.
+    exits: u64,
+    /// Spin segments that were left alone (quiet core).
+    tolerated: u64,
+    /// Elastic-change resets taken.
+    resets: u64,
+}
+
+impl NeighbourMechanism {
+    /// Build the mechanism with empty per-core state.
+    pub fn new() -> Self {
+        NeighbourMechanism::default()
+    }
+
+    /// Forced spin exits taken so far.
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+
+    /// Spin segments tolerated without arming an exit.
+    pub fn tolerated(&self) -> u64 {
+        self.tolerated
+    }
+
+    fn core(&mut self, cpu: usize) -> &mut CoreState {
+        if self.cores.len() <= cpu {
+            self.cores.resize(cpu + 1, CoreState::default());
+        }
+        &mut self.cores[cpu]
+    }
+
+    /// The patience window for the given interference level: halved per
+    /// [`PRESSURE_PER_LEVEL`] units, clamped at [`MIN_PATIENCE_NS`].
+    fn patience_ns(pressure: u64) -> u64 {
+        let level = (pressure / PRESSURE_PER_LEVEL).min(10) as u32;
+        (BASE_PATIENCE_NS >> level).max(MIN_PATIENCE_NS)
+    }
+}
+
+impl Mechanism for NeighbourMechanism {
+    fn name(&self) -> &'static str {
+        "neighbour"
+    }
+
+    fn on_slice_expiry(&mut self, cpu: usize, _tid: TaskId) {
+        self.core(cpu).preemptions += 1;
+    }
+
+    fn on_spin_segment(
+        &mut self,
+        cpu: usize,
+        _tid: TaskId,
+        sig: &SpinSig,
+        _env: ExecEnv,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let c = self.core(cpu);
+        c.segments += 1;
+        if c.last_loop_head != 0 && c.last_loop_head != sig.branch_to {
+            // A different spin loop than last time: waiters are
+            // time-sharing this core.
+            c.churn += 1;
+        }
+        c.last_loop_head = sig.branch_to;
+        if c.segments >= DECAY_SEGMENTS {
+            c.segments = 0;
+            c.preemptions /= 2;
+            c.churn /= 2;
+        }
+        let pressure = c.pressure();
+        if pressure == 0 {
+            // Quiet core: nobody is waiting behind this spinner.
+            self.tolerated += 1;
+            return None;
+        }
+        Some(now + Self::patience_ns(pressure))
+    }
+
+    fn on_spin_exit(&mut self, _cpu: usize, _tid: TaskId) -> SpinExitVerdict {
+        self.exits += 1;
+        SpinExitVerdict {
+            charge_ns: EXIT_COST_NS,
+            // Unlike PLE, deprioritize the spinner until its neighbours
+            // have had their turn.
+            set_skip: true,
+        }
+    }
+
+    fn on_elastic_change(&mut self, _cores: usize) {
+        // The co-runner landscape just changed shape: measured pressure
+        // no longer describes it.
+        self.cores.clear();
+        self.resets += 1;
+    }
+
+    fn counters(&self) -> MechCounters {
+        MechCounters {
+            decisions: self.exits,
+            spin_exits: self.exits,
+            recoveries: self.resets,
+            ..MechCounters::named("neighbour")
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(m: &mut NeighbourMechanism, cpu: usize, salt: u64, now: u64) -> Option<SimTime> {
+        m.on_spin_segment(
+            cpu,
+            TaskId(0),
+            &SpinSig::bare_loop(salt),
+            ExecEnv::Container,
+            SimTime::from_nanos(now),
+        )
+    }
+
+    #[test]
+    fn quiet_core_tolerates_spinning() {
+        let mut m = NeighbourMechanism::new();
+        assert_eq!(seg(&mut m, 0, 1, 1_000), None);
+        assert_eq!(seg(&mut m, 0, 1, 2_000), None);
+        assert_eq!(m.tolerated(), 2);
+        assert_eq!(m.exits(), 0);
+    }
+
+    #[test]
+    fn preemption_pressure_arms_and_shrinks_patience() {
+        let mut m = NeighbourMechanism::new();
+        m.on_slice_expiry(0, TaskId(1));
+        let first = seg(&mut m, 0, 1, 0).expect("pressure must arm an exit");
+        // More preemptions shrink the window.
+        for _ in 0..PRESSURE_PER_LEVEL {
+            m.on_slice_expiry(0, TaskId(1));
+        }
+        let second = seg(&mut m, 0, 1, 0).expect("still armed");
+        assert!(second < first, "patience must shrink under pressure");
+        // Another core is unaffected.
+        assert_eq!(seg(&mut m, 1, 1, 0), None);
+    }
+
+    #[test]
+    fn signature_churn_counts_as_interference() {
+        let mut m = NeighbourMechanism::new();
+        assert_eq!(seg(&mut m, 0, 1, 0), None, "first segment: no history");
+        // A different loop head on the same core: churn.
+        assert!(seg(&mut m, 0, 2, 0).is_some());
+    }
+
+    #[test]
+    fn patience_clamps_at_the_floor() {
+        assert_eq!(NeighbourMechanism::patience_ns(0), BASE_PATIENCE_NS);
+        assert_eq!(
+            NeighbourMechanism::patience_ns(PRESSURE_PER_LEVEL),
+            BASE_PATIENCE_NS / 2
+        );
+        assert_eq!(NeighbourMechanism::patience_ns(u64::MAX), MIN_PATIENCE_NS);
+    }
+
+    #[test]
+    fn exit_sets_the_skip_flag_and_elastic_change_resets() {
+        let mut m = NeighbourMechanism::new();
+        m.on_slice_expiry(0, TaskId(1));
+        let v = m.on_spin_exit(0, TaskId(0));
+        assert!(v.set_skip);
+        assert_eq!(v.charge_ns, EXIT_COST_NS);
+        assert_eq!(m.counters().spin_exits, 1);
+        m.on_elastic_change(4);
+        // Pressure gone: the next segment is tolerated again.
+        assert_eq!(seg(&mut m, 0, 1, 0), None);
+        assert_eq!(m.counters().recoveries, 1);
+    }
+}

@@ -14,11 +14,12 @@
 //! counter claimed with an atomic RMW, like an OpenMP `schedule(dynamic)`
 //! loop) and joins on a counting semaphore.
 
+use oversub_metrics::RunReport;
 use oversub_task::{Action, ProgCtx, Program, SemId, SyncOp};
 use std::cell::Cell;
 use std::rc::Rc;
 
-use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
 
 /// Shared per-region state: the chunk counter and the completion count.
 struct RegionState {
@@ -29,8 +30,10 @@ struct RegionState {
     retired: Cell<bool>,
 }
 
-/// The fork-join workload.
-#[derive(Clone, Copy, Debug)]
+/// The fork-join workload. Request-shaped: each parallel region is one
+/// request — arriving at region setup, serviced from the fork, complete
+/// when the join collects the last worker.
+#[derive(Clone)]
 pub struct ForkJoin {
     /// Pool size (threads created).
     pub pool: usize,
@@ -42,19 +45,40 @@ pub struct ForkJoin {
     pub chunks: usize,
     /// Compute per chunk.
     pub chunk_ns: u64,
+    sink: RequestSink,
+}
+
+// Manual Debug over the configuration fields only (the sink is per-run
+// state, reset on every build) — this keeps the workload cache-keyable.
+impl std::fmt::Debug for ForkJoin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForkJoin")
+            .field("pool", &self.pool)
+            .field("active", &self.active)
+            .field("regions", &self.regions)
+            .field("chunks", &self.chunks)
+            .field("chunk_ns", &self.chunk_ns)
+            .finish()
+    }
 }
 
 impl ForkJoin {
-    /// A region-heavy configuration: many small regions, the fork/join
-    /// overhead dominates — the case where wake-up efficiency matters.
-    pub fn region_heavy(pool: usize, active: usize, regions: usize) -> Self {
+    /// Fully explicit configuration.
+    pub fn new(pool: usize, active: usize, regions: usize, chunks: usize, chunk_ns: u64) -> Self {
         ForkJoin {
             pool,
             active,
             regions,
-            chunks: active * 4,
-            chunk_ns: 40_000,
+            chunks,
+            chunk_ns,
+            sink: RequestSink::new(),
         }
+    }
+
+    /// A region-heavy configuration: many small regions, the fork/join
+    /// overhead dominates — the case where wake-up efficiency matters.
+    pub fn region_heavy(pool: usize, active: usize, regions: usize) -> Self {
+        ForkJoin::new(pool, active, regions, active * 4, 40_000)
     }
 }
 
@@ -65,6 +89,8 @@ impl Workload for ForkJoin {
 
     fn build(&mut self, w: &mut WorldBuilder) {
         assert!(self.active >= 1 && self.active <= self.pool);
+        // Per-run sink (see `RequestSink::reset`).
+        self.sink.reset();
         let work_sem: SemId = w.semaphore(0);
         let done_sem: SemId = w.semaphore(0);
         let state = Rc::new(RegionState {
@@ -96,7 +122,13 @@ impl Workload for ForkJoin {
             pool: self.pool,
             retire_posts: 0,
             st: 0,
+            clock: None,
+            sink: self.sink.clone(),
         })));
+    }
+
+    fn collect(&self, report: &mut RunReport) {
+        self.sink.collect(report);
     }
 
     fn cache_key(&self) -> Option<String> {
@@ -118,10 +150,13 @@ struct Master {
     pool: usize,
     retire_posts: usize,
     st: u8,
+    /// Lifecycle clock of the in-flight region.
+    clock: Option<RequestClock>,
+    sink: RequestSink,
 }
 
 impl Program for Master {
-    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
         if self.region >= self.regions {
             // Retire the pool: wake every worker so it can observe the
             // retirement flag and exit (instead of sleeping forever).
@@ -134,7 +169,9 @@ impl Program for Master {
         }
         match self.st {
             0 => {
-                // Serial part + region setup.
+                // Serial part + region setup. The region "request" arrives
+                // here: the serial part is part of its queueing delay.
+                self.clock = Some(RequestClock::arrive(ctx.now.as_nanos()));
                 self.state.next_chunk.set(0);
                 self.state.chunks.set(self.chunks);
                 self.state.finished_workers.set(0);
@@ -146,6 +183,12 @@ impl Program for Master {
             1 => {
                 // Fork: release the active workers one post at a time.
                 if self.posted < self.state.active.get() {
+                    if self.posted == 0 {
+                        // Service starts with the first wake-up post.
+                        if let Some(c) = &mut self.clock {
+                            c.started(ctx.now.as_nanos());
+                        }
+                    }
                     self.posted += 1;
                     Action::Sync(SyncOp::SemPost(self.work_sem))
                 } else {
@@ -159,6 +202,11 @@ impl Program for Master {
                     self.joined += 1;
                     Action::Sync(SyncOp::SemWait(self.done_sem))
                 } else {
+                    // The last join token has been collected: the region is
+                    // complete end-to-end.
+                    if let Some(clock) = self.clock.take() {
+                        self.sink.complete(clock, ctx.now.as_nanos());
+                    }
                     self.st = 0;
                     self.region += 1;
                     Action::Compute { ns: 1 }

@@ -18,4 +18,4 @@ pub use memcached::Memcached;
 pub use pipeline::{SpinPipeline, WaitFlavor};
 pub use skeletons::{BenchProfile, OversubGroup, Skeleton, Suite, SyncKind};
 pub use webserving::WebServing;
-pub use workload::{ThreadSpec, Workload, WorldBuilder};
+pub use workload::{RequestClock, RequestRecord, RequestSink, ThreadSpec, Workload, WorldBuilder};

@@ -20,13 +20,12 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use crate::micro::OpsSink;
-use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
 
-/// A queued request: send time and service cost.
+/// A queued request: lifecycle stamps and service cost.
 #[derive(Clone, Copy, Debug)]
 struct Request {
-    sent_ns: u64,
+    clock: RequestClock,
     service_ns: u64,
     lock_idx: usize,
 }
@@ -51,7 +50,25 @@ pub struct Memcached {
     pub set_service_ns: u64,
     /// Item locks protecting the hash table.
     pub hash_locks: usize,
-    sink: OpsSink,
+    sink: RequestSink,
+}
+
+// Manual Debug over the configuration fields only (the sink is per-run
+// state, reset on every build) — this is what makes the workload
+// cache-keyable for the sweep run cache.
+impl std::fmt::Debug for Memcached {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memcached")
+            .field("workers", &self.workers)
+            .field("server_cores", &self.server_cores)
+            .field("clients", &self.clients)
+            .field("rate_ops", &self.rate_ops)
+            .field("get_frac", &self.get_frac)
+            .field("get_service_ns", &self.get_service_ns)
+            .field("set_service_ns", &self.set_service_ns)
+            .field("hash_locks", &self.hash_locks)
+            .finish()
+    }
 }
 
 impl Memcached {
@@ -66,7 +83,7 @@ impl Memcached {
             get_service_ns: 9_000,
             set_service_ns: 14_000,
             hash_locks: 16,
-            sink: OpsSink::new(),
+            sink: RequestSink::new(),
         }
     }
 
@@ -82,6 +99,9 @@ impl Workload for Memcached {
     }
 
     fn build(&mut self, w: &mut WorldBuilder) {
+        // Per-run sink: sweeps run build→run→collect per arm on the same
+        // workload instance, so samples must not leak across runs.
+        self.sink.reset();
         let locks: Vec<LockId> = (0..self.hash_locks).map(|_| w.mutex()).collect();
         let mut eps = Vec::new();
         let mut queues: Vec<Queue> = Vec::new();
@@ -126,6 +146,10 @@ impl Workload for Memcached {
     fn collect(&self, report: &mut RunReport) {
         self.sink.collect(report);
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
 }
 
 enum WorkerState {
@@ -136,20 +160,20 @@ enum WorkerState {
     /// Holding `lock`, about to compute the service time.
     InCs {
         lock: LockId,
-        sent_ns: u64,
+        clock: RequestClock,
         service_ns: u64,
     },
     /// Service done, about to unlock.
-    Unlock { lock: LockId, sent_ns: u64 },
-    /// Request complete: record latency, then dispatch.
-    Record { sent_ns: u64 },
+    Unlock { lock: LockId, clock: RequestClock },
+    /// Request complete: record the lifecycle, then dispatch.
+    Record { clock: RequestClock },
 }
 
 struct WorkerProg {
     ep: EpollFd,
     queue: Queue,
     locks: Vec<LockId>,
-    sink: OpsSink,
+    sink: RequestSink,
     state: WorkerState,
 }
 
@@ -164,10 +188,14 @@ impl Program for WorkerProg {
                 WorkerState::Dispatch => {
                     let req = self.queue.borrow_mut().pop_front();
                     match req {
-                        Some(r) => {
+                        Some(mut r) => {
+                            // Service begins now; everything before this
+                            // stamp is queueing (epoll wakeup latency
+                            // included — the path oversubscription hurts).
+                            r.clock.started(ctx.now.as_nanos());
                             self.state = WorkerState::InCs {
                                 lock: self.locks[r.lock_idx],
-                                sent_ns: r.sent_ns,
+                                clock: r.clock,
                                 service_ns: r.service_ns,
                             };
                             let lock = self.locks[r.lock_idx];
@@ -181,19 +209,18 @@ impl Program for WorkerProg {
                 }
                 WorkerState::InCs {
                     lock,
-                    sent_ns,
+                    clock,
                     service_ns,
                 } => {
-                    self.state = WorkerState::Unlock { lock, sent_ns };
+                    self.state = WorkerState::Unlock { lock, clock };
                     return Action::Compute { ns: service_ns };
                 }
-                WorkerState::Unlock { lock, sent_ns } => {
-                    self.state = WorkerState::Record { sent_ns };
+                WorkerState::Unlock { lock, clock } => {
+                    self.state = WorkerState::Record { clock };
                     return Action::Sync(SyncOp::MutexUnlock(lock));
                 }
-                WorkerState::Record { sent_ns } => {
-                    let latency = ctx.now.as_nanos().saturating_sub(sent_ns);
-                    self.sink.record(latency);
+                WorkerState::Record { clock } => {
+                    self.sink.complete(clock, ctx.now.as_nanos());
                     self.state = WorkerState::Dispatch;
                     continue;
                 }
@@ -231,7 +258,7 @@ impl Program for ClientProg {
             let wi = self.next_worker;
             self.next_worker = (self.next_worker + 1) % self.queues.len();
             self.queues[wi].borrow_mut().push_back(Request {
-                sent_ns: ctx.now.as_nanos(),
+                clock: RequestClock::arrive(ctx.now.as_nanos()),
                 service_ns,
                 lock_idx,
             });
@@ -257,5 +284,15 @@ mod tests {
         assert_eq!(m.workers, 16);
         assert_eq!(m.total_cpus(), 7);
         assert!((m.get_frac - 10.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_key_covers_config_only() {
+        let a = Memcached::paper(16, 4, 100_000.0);
+        let b = Memcached::paper(16, 4, 100_000.0);
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert!(a.cache_key().is_some_and(|k| k.contains("workers: 16")));
+        let c = Memcached::paper(8, 4, 100_000.0);
+        assert_ne!(a.cache_key(), c.cache_key());
     }
 }

@@ -7,7 +7,7 @@ use oversub_task::{Action, CondId, LockId, ProgCtx, Program, ScriptProgram, Sync
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
 
 /// Figure 2(a): pure computation with a fixed total amount of work split
 /// across threads; each thread yields after every 750 µs of work (the
@@ -145,7 +145,11 @@ impl Primitive {
 
 /// Figure 10: threads repeatedly exercising one blocking primitive
 /// (10 000 rounds in the paper; configurable here).
-#[derive(Clone, Copy, Debug)]
+///
+/// The `Cond` variant is request-shaped: each broadcast is an arrival and
+/// each waiter's post-wake work a service, so it feeds the exact
+/// per-request latency digest like the server workloads do.
+#[derive(Clone)]
 pub struct PrimitiveStress {
     /// Thread count.
     pub threads: usize,
@@ -155,17 +159,38 @@ pub struct PrimitiveStress {
     pub primitive: Primitive,
     /// Small compute between operations.
     pub work_ns: u64,
+    sink: RequestSink,
+}
+
+// Manual Debug over the configuration fields only (the sink is per-run
+// state, reset on every build) — this keeps the workload cache-keyable.
+impl std::fmt::Debug for PrimitiveStress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrimitiveStress")
+            .field("threads", &self.threads)
+            .field("rounds", &self.rounds)
+            .field("primitive", &self.primitive)
+            .field("work_ns", &self.work_ns)
+            .finish()
+    }
 }
 
 impl PrimitiveStress {
-    /// The paper's configuration: 10 000 iterations.
-    pub fn paper(threads: usize, primitive: Primitive) -> Self {
+    /// A stress test of `primitive` with explicit round count and
+    /// inter-operation work.
+    pub fn new(threads: usize, rounds: usize, primitive: Primitive, work_ns: u64) -> Self {
         PrimitiveStress {
             threads,
-            rounds: 10_000,
+            rounds,
             primitive,
-            work_ns: 2_000,
+            work_ns,
+            sink: RequestSink::new(),
         }
+    }
+
+    /// The paper's configuration: 10 000 iterations.
+    pub fn paper(threads: usize, primitive: Primitive) -> Self {
+        Self::new(threads, 10_000, primitive, 2_000)
     }
 }
 
@@ -175,6 +200,9 @@ impl Workload for PrimitiveStress {
     }
 
     fn build(&mut self, w: &mut WorldBuilder) {
+        // Per-run sink (see `RequestSink::reset`). Only the Cond variant
+        // records requests; for the others the digest stays empty.
+        self.sink.reset();
         match self.primitive {
             Primitive::Mutex => {
                 let m = w.mutex();
@@ -209,11 +237,18 @@ impl Workload for PrimitiveStress {
                 let m = w.mutex();
                 let cv = w.condvar();
                 let gen: Rc<Cell<usize>> = Rc::new(Cell::new(0));
+                // Per-round broadcast stamps: round r's wake "arrived"
+                // when the master published generation r+1.
+                let bcasts: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
                 for _ in 0..self.threads.saturating_sub(1) {
                     w.spawn(ThreadSpec::new(Box::new(CondStressWaiter {
                         m,
                         cv,
                         gen: gen.clone(),
+                        bcasts: bcasts.clone(),
+                        sink: self.sink.clone(),
+                        woken: None,
+                        pending: None,
                         rounds: self.rounds,
                         round: 0,
                         work_ns: self.work_ns,
@@ -224,12 +259,19 @@ impl Workload for PrimitiveStress {
                     m,
                     cv,
                     gen,
+                    bcasts,
                     rounds: self.rounds,
                     round: 0,
                     work_ns: self.work_ns * 4,
                     st: 0,
                 })));
             }
+        }
+    }
+
+    fn collect(&self, report: &mut RunReport) {
+        if self.primitive == Primitive::Cond {
+            self.sink.collect(report);
         }
     }
 
@@ -242,6 +284,7 @@ struct CondStressMaster {
     m: LockId,
     cv: CondId,
     gen: Rc<Cell<usize>>,
+    bcasts: Rc<RefCell<Vec<u64>>>,
     rounds: usize,
     round: usize,
     work_ns: u64,
@@ -249,7 +292,7 @@ struct CondStressMaster {
 }
 
 impl Program for CondStressMaster {
-    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
         if self.round >= self.rounds {
             return Action::Exit;
         }
@@ -264,6 +307,9 @@ impl Program for CondStressMaster {
             }
             2 => {
                 self.gen.set(self.round + 1);
+                // Request arrival: the waiters' round-`round` wakeup is
+                // published now.
+                self.bcasts.borrow_mut().push(ctx.now.as_nanos());
                 self.st = 3;
                 Action::Sync(SyncOp::CondBroadcast(self.cv))
             }
@@ -284,6 +330,13 @@ struct CondStressWaiter {
     m: LockId,
     cv: CondId,
     gen: Rc<Cell<usize>>,
+    bcasts: Rc<RefCell<Vec<u64>>>,
+    sink: RequestSink,
+    /// Lifecycle stamped at wakeup (st 1), carried across the unlock.
+    woken: Option<RequestClock>,
+    /// Lifecycle of the round whose post-wake work is computing;
+    /// completed at the next step.
+    pending: Option<RequestClock>,
     rounds: usize,
     round: usize,
     work_ns: u64,
@@ -291,7 +344,11 @@ struct CondStressWaiter {
 }
 
 impl Program for CondStressWaiter {
-    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        if let Some(clock) = self.pending.take() {
+            // The previous round's post-wake work just finished.
+            self.sink.complete(clock, ctx.now.as_nanos());
+        }
         if self.round >= self.rounds {
             return Action::Exit;
         }
@@ -302,6 +359,13 @@ impl Program for CondStressWaiter {
             }
             1 => {
                 if self.gen.get() > self.round {
+                    // Woken for this round: it arrived at the master's
+                    // broadcast and service starts now.
+                    let now = ctx.now.as_nanos();
+                    let arrival = self.bcasts.borrow().get(self.round).copied().unwrap_or(now);
+                    let mut clock = RequestClock::arrive(arrival);
+                    clock.started(now);
+                    self.woken = Some(clock);
                     self.st = 2;
                     Action::Sync(SyncOp::MutexUnlock(self.m))
                 } else {
@@ -314,6 +378,9 @@ impl Program for CondStressWaiter {
             _ => {
                 self.st = 0;
                 self.round += 1;
+                // The post-wake work runs after this return; the round
+                // completes when the *next* call finds `pending` set.
+                self.pending = self.woken.take();
                 Action::Compute { ns: self.work_ns }
             }
         }
@@ -438,33 +505,6 @@ impl Workload for TpProbe {
 
     fn cache_key(&self) -> Option<String> {
         Some(format!("{self:?}"))
-    }
-}
-
-/// Shared result sink for workloads that record per-op latencies.
-#[derive(Clone, Default)]
-pub struct OpsSink {
-    inner: Rc<RefCell<(oversub_metrics::LatencyHist, u64)>>,
-}
-
-impl OpsSink {
-    /// New empty sink.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record one operation's latency.
-    pub fn record(&self, latency_ns: u64) {
-        let mut g = self.inner.borrow_mut();
-        g.0.record(latency_ns);
-        g.1 += 1;
-    }
-
-    /// Fold the collected data into a report.
-    pub fn collect(&self, report: &mut RunReport) {
-        let g = self.inner.borrow();
-        report.latency = g.0.clone();
-        report.completed_ops = g.1;
     }
 }
 

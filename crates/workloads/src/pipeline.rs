@@ -14,9 +14,17 @@
 //!   must acquire).
 
 use oversub_locks::SpinPolicy;
+use oversub_metrics::RunReport;
 use oversub_task::{Action, FlagId, LockId, ProgCtx, Program, SpinSig, SyncOp};
+use std::cell::RefCell;
+use std::rc::Rc;
 
-use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
+
+/// Per-item lifecycle clocks shared between the first and last stage: the
+/// first stage stamps arrival when it begins an item, the last stamps
+/// start/completion as the item leaves the pipeline.
+type ItemClocks = Rc<RefCell<Vec<RequestClock>>>;
 
 /// How downstream stages wait for upstream completion.
 #[derive(Clone, Copy, Debug)]
@@ -28,8 +36,11 @@ pub enum WaitFlavor {
     SpinLock(SpinPolicy),
 }
 
-/// The pipeline benchmark.
-#[derive(Clone, Copy, Debug)]
+/// The pipeline benchmark. Request-shaped: each item is a request —
+/// arriving when the first stage begins it, serviced through the cascade,
+/// complete when the last stage finishes it — so cascading delays show up
+/// directly in the exact tail digest.
+#[derive(Clone)]
 pub struct SpinPipeline {
     /// Number of stages (= threads).
     pub stages: usize,
@@ -39,6 +50,20 @@ pub struct SpinPipeline {
     pub stage_ns: u64,
     /// Waiting flavour.
     pub flavor: WaitFlavor,
+    sink: RequestSink,
+}
+
+// Manual Debug over the configuration fields only (the sink is per-run
+// state, reset on every build) — this keeps the workload cache-keyable.
+impl std::fmt::Debug for SpinPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpinPipeline")
+            .field("stages", &self.stages)
+            .field("items", &self.items)
+            .field("stage_ns", &self.stage_ns)
+            .field("flavor", &self.flavor)
+            .finish()
+    }
 }
 
 impl SpinPipeline {
@@ -49,6 +74,7 @@ impl SpinPipeline {
             items,
             stage_ns: 120_000,
             flavor,
+            sink: RequestSink::new(),
         }
     }
 }
@@ -59,12 +85,17 @@ impl Workload for SpinPipeline {
     }
 
     fn build(&mut self, w: &mut WorldBuilder) {
+        // Per-run sink (see `RequestSink::reset`).
+        self.sink.reset();
+        let clocks: ItemClocks = Rc::new(RefCell::new(Vec::with_capacity(self.items)));
         match self.flavor {
             WaitFlavor::Flags => {
                 // progress[i] = number of items stage i has completed.
                 // Stage i processes item k once progress[i-1] > k.
                 let progress: Vec<FlagId> = (0..self.stages).map(|_| w.flag(0)).collect();
                 for i in 0..self.stages {
+                    let is_first = i == 0;
+                    let is_last = i + 1 == self.stages;
                     w.spawn(ThreadSpec::new(Box::new(FlagStage {
                         upstream: if i == 0 { None } else { Some(progress[i - 1]) },
                         // Bounded buffer of 1: a stage may not run more
@@ -82,6 +113,14 @@ impl Workload for SpinPipeline {
                         done: 0,
                         st: 0,
                         salt: i as u64 + 1,
+                        clocks: if is_first || is_last {
+                            Some(clocks.clone())
+                        } else {
+                            None
+                        },
+                        is_first,
+                        is_last,
+                        sink: self.sink.clone(),
                     })));
                 }
             }
@@ -91,6 +130,8 @@ impl Workload for SpinPipeline {
                 let locks: Vec<LockId> = (0..self.stages).map(|_| w.spinlock(policy)).collect();
                 let counters: Vec<FlagId> = (0..self.stages).map(|_| w.flag(0)).collect();
                 for i in 0..self.stages {
+                    let is_first = i == 0;
+                    let is_last = i + 1 == self.stages;
                     w.spawn(ThreadSpec::new(Box::new(LockStage {
                         upstream_lock: if i == 0 { None } else { Some(locks[i - 1]) },
                         upstream_count: if i == 0 { None } else { Some(counters[i - 1]) },
@@ -101,10 +142,22 @@ impl Workload for SpinPipeline {
                         done: 0,
                         st: 0,
                         salt: i as u64 + 1,
+                        clocks: if is_first || is_last {
+                            Some(clocks.clone())
+                        } else {
+                            None
+                        },
+                        is_first,
+                        is_last,
+                        sink: self.sink.clone(),
                     })));
                 }
             }
         }
+    }
+
+    fn collect(&self, report: &mut RunReport) {
+        self.sink.collect(report);
     }
 
     fn cache_key(&self) -> Option<String> {
@@ -123,10 +176,15 @@ struct FlagStage {
     done: usize,
     st: u8,
     salt: u64,
+    /// Shared item clocks (present only on the first/last stage).
+    clocks: Option<ItemClocks>,
+    is_first: bool,
+    is_last: bool,
+    sink: RequestSink,
 }
 
 impl Program for FlagStage {
-    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
         if self.done >= self.items {
             return Action::Exit;
         }
@@ -159,9 +217,33 @@ impl Program for FlagStage {
             }
             2 => {
                 self.st = 3;
+                let now = ctx.now.as_nanos();
+                if let Some(clocks) = &self.clocks {
+                    // The first stage admits the item into the pipeline:
+                    // this is its arrival. The last stage begins the final
+                    // leg of service; for a single-stage pipeline both
+                    // stamps land here.
+                    if self.is_first {
+                        clocks.borrow_mut().push(RequestClock::arrive(now));
+                    }
+                    if self.is_last {
+                        if let Some(c) = clocks.borrow_mut().get_mut(self.done) {
+                            c.started(now);
+                        }
+                    }
+                }
                 Action::Compute { ns: self.stage_ns }
             }
             _ => {
+                if self.is_last {
+                    let clock = self
+                        .clocks
+                        .as_ref()
+                        .and_then(|c| c.borrow().get(self.done).copied());
+                    if let Some(clock) = clock {
+                        self.sink.complete(clock, ctx.now.as_nanos());
+                    }
+                }
                 self.st = 0;
                 self.done += 1;
                 Action::Sync(SyncOp::FlagSet {
@@ -189,6 +271,11 @@ struct LockStage {
     done: usize,
     st: u8,
     salt: u64,
+    /// Shared item clocks (present only on the first/last stage).
+    clocks: Option<ItemClocks>,
+    is_first: bool,
+    is_last: bool,
+    sink: RequestSink,
 }
 
 impl Program for LockStage {
@@ -227,6 +314,20 @@ impl Program for LockStage {
             }
             3 => {
                 self.st = 4;
+                let now = ctx.now.as_nanos();
+                if let Some(clocks) = &self.clocks {
+                    // Same lifecycle points as the flag flavour: arrival as
+                    // the first stage admits the item, service start as the
+                    // last stage begins its leg.
+                    if self.is_first {
+                        clocks.borrow_mut().push(RequestClock::arrive(now));
+                    }
+                    if self.is_last {
+                        if let Some(c) = clocks.borrow_mut().get_mut(self.done) {
+                            c.started(now);
+                        }
+                    }
+                }
                 Action::Compute { ns: self.stage_ns }
             }
             4 => {
@@ -241,11 +342,19 @@ impl Program for LockStage {
                 })
             }
             _ => {
+                if self.is_last {
+                    let clock = self
+                        .clocks
+                        .as_ref()
+                        .and_then(|c| c.borrow().get(self.done).copied());
+                    if let Some(clock) = clock {
+                        self.sink.complete(clock, ctx.now.as_nanos());
+                    }
+                }
                 // Increment only here: the top-of-next exit check must not
                 // fire while the stage still holds its lock.
                 self.st = 0;
                 self.done += 1;
-                let _ = ctx;
                 Action::Sync(SyncOp::SpinRelease(self.my_lock))
             }
         }

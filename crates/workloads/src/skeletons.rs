@@ -12,14 +12,15 @@
 //! provisions.
 
 use oversub_hw::{AccessPattern, MemModel};
+use oversub_metrics::RunReport;
 use oversub_simcore::MICROS;
 use oversub_task::{
     Action, CondId, FlagId, LockId, ProgCtx, Program, ScriptProgram, SpinSig, SyncOp,
 };
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
 
 /// Benchmark suite of origin.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -575,7 +576,7 @@ impl BenchProfile {
 }
 
 /// A runnable skeleton: a profile plus a thread count.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct Skeleton {
     /// Profile to expand.
     pub profile: BenchProfile,
@@ -590,18 +591,28 @@ pub struct Skeleton {
     /// Perturbation salt: folded into the per-thread work jitter so
     /// different seeds exercise different interleavings.
     pub salt: u64,
+    /// Tail sink for the request-shaped variants (CondPhases rounds).
+    sink: RequestSink,
+}
+
+// Manual Debug over the configuration fields only (the sink is per-run
+// state, reset on every build) — this keeps the workload cache-keyable.
+impl std::fmt::Debug for Skeleton {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Skeleton")
+            .field("profile", &self.profile)
+            .field("threads", &self.threads)
+            .field("phase_scale", &self.phase_scale)
+            .field("barrier_mutex", &self.barrier_mutex)
+            .field("salt", &self.salt)
+            .finish()
+    }
 }
 
 impl Skeleton {
     /// Full-size skeleton.
     pub fn new(profile: BenchProfile, threads: usize) -> Self {
-        Skeleton {
-            profile,
-            threads,
-            phase_scale: 1.0,
-            barrier_mutex: None,
-            salt: 0,
-        }
+        Skeleton::scaled(profile, threads, 1.0)
     }
 
     /// Reduced-phase skeleton (for fast harness runs; relative results are
@@ -613,6 +624,7 @@ impl Skeleton {
             phase_scale,
             barrier_mutex: None,
             salt: 0,
+            sink: RequestSink::new(),
         }
     }
 
@@ -683,7 +695,18 @@ impl Workload for Skeleton {
         Some(format!("{self:?}"))
     }
 
+    fn collect(&self, report: &mut RunReport) {
+        // Only the condvar-phased skeletons are request-shaped (each
+        // worker wake-up is a request); the others leave the report's
+        // latency block empty-but-present.
+        if self.profile.sync == SyncKind::CondPhases {
+            self.sink.collect(report);
+        }
+    }
+
     fn build(&mut self, w: &mut WorldBuilder) {
+        // Per-run sink (see `RequestSink::reset`).
+        self.sink.reset();
         let threads = self.threads;
         let phases = self.phases();
         let work = self.profile.work_per_phase_ns(threads);
@@ -815,6 +838,9 @@ impl Workload for Skeleton {
                 let m = w.mutex();
                 let cv = w.condvar();
                 let gen: Rc<Cell<usize>> = Rc::new(Cell::new(0));
+                // Broadcast timestamps: each worker wake-up is a request
+                // whose arrival is the broadcast that released its round.
+                let bcasts: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
                 for i in 0..threads {
                     let work_i = work + (i as u64 * 61 + self.salt * 131) % (work / 6 + 1);
                     let (action, mem_action) = self.work_actions(work_i);
@@ -830,6 +856,7 @@ impl Workload for Skeleton {
                                 mem: mem_action,
                                 serial_ns: self.profile.serial_ns.max(1),
                                 state: 0,
+                                bcasts: bcasts.clone(),
                             }))
                             .with_footprint(self.profile.ws_bytes / threads as u64),
                         );
@@ -844,6 +871,9 @@ impl Workload for Skeleton {
                                 work: action,
                                 mem: mem_action,
                                 state: 0,
+                                bcasts: bcasts.clone(),
+                                sink: self.sink.clone(),
+                                woken: None,
                             }))
                             .with_footprint(self.profile.ws_bytes / threads as u64),
                         );
@@ -982,10 +1012,12 @@ struct CondMaster {
     mem: Option<Action>,
     serial_ns: u64,
     state: u8,
+    /// Broadcast timestamps, one per round (shared with the workers).
+    bcasts: Rc<RefCell<Vec<u64>>>,
 }
 
 impl Program for CondMaster {
-    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
         if self.round >= self.rounds {
             return Action::Exit;
         }
@@ -1008,6 +1040,9 @@ impl Program for CondMaster {
             }
             4 => {
                 // Holding the mutex: advance the generation, broadcast.
+                // The broadcast instant is the arrival stamp of every
+                // worker wake-up request this round releases.
+                self.bcasts.borrow_mut().push(ctx.now.as_nanos());
                 self.gen.set(self.round + 1);
                 self.state = 5;
                 Action::Sync(SyncOp::CondBroadcast(self.cv))
@@ -1036,15 +1071,30 @@ struct CondWorker {
     work: Action,
     mem: Option<Action>,
     state: u8,
+    /// Broadcast timestamps (shared with the master).
+    bcasts: Rc<RefCell<Vec<u64>>>,
+    sink: RequestSink,
+    /// Wake-up request in flight: arrival = the releasing broadcast,
+    /// started = when this worker observed it; completed once the worker
+    /// has released the mutex and resumed.
+    woken: Option<RequestClock>,
 }
 
 impl Program for CondWorker {
-    fn next(&mut self, _ctx: &mut ProgCtx<'_>) -> Action {
+    fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
         if self.round >= self.rounds {
+            if let Some(clock) = self.woken.take() {
+                self.sink.complete(clock, ctx.now.as_nanos());
+            }
             return Action::Exit;
         }
         match self.state {
             0 => {
+                // Back from the unlock: the wake-up request completes as
+                // the worker resumes useful work.
+                if let Some(clock) = self.woken.take() {
+                    self.sink.complete(clock, ctx.now.as_nanos());
+                }
                 self.state = 1;
                 self.work
             }
@@ -1059,6 +1109,11 @@ impl Program for CondWorker {
             _ => {
                 // Mutex held here (CondWait re-acquires on return).
                 if self.gen.get() > self.round {
+                    let now = ctx.now.as_nanos();
+                    let arrival = self.bcasts.borrow().get(self.round).copied().unwrap_or(now);
+                    let mut clock = RequestClock::arrive(arrival);
+                    clock.started(now);
+                    self.woken = Some(clock);
                     self.state = 0;
                     self.round += 1;
                     Action::Sync(SyncOp::MutexUnlock(self.m))

@@ -20,12 +20,11 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use crate::micro::OpsSink;
-use crate::workload::{ThreadSpec, Workload, WorldBuilder};
+use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
 
 #[derive(Clone, Copy, Debug)]
 struct Request {
-    sent_ns: u64,
+    clock: RequestClock,
     parse_ns: u64,
     backend_ns: u64,
     render_ns: u64,
@@ -48,7 +47,22 @@ pub struct WebServing {
     pub session_locks: usize,
     /// Mean backend (database) round trip.
     pub backend_ns: u64,
-    sink: OpsSink,
+    sink: RequestSink,
+}
+
+// Manual Debug over the configuration fields only (the sink is per-run
+// state, reset on every build) — this keeps the workload cache-keyable.
+impl std::fmt::Debug for WebServing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebServing")
+            .field("workers", &self.workers)
+            .field("server_cores", &self.server_cores)
+            .field("clients", &self.clients)
+            .field("rate_ops", &self.rate_ops)
+            .field("session_locks", &self.session_locks)
+            .field("backend_ns", &self.backend_ns)
+            .finish()
+    }
 }
 
 impl WebServing {
@@ -61,7 +75,7 @@ impl WebServing {
             rate_ops,
             session_locks: 32,
             backend_ns: 60_000,
-            sink: OpsSink::new(),
+            sink: RequestSink::new(),
         }
     }
 
@@ -77,6 +91,8 @@ impl Workload for WebServing {
     }
 
     fn build(&mut self, w: &mut WorldBuilder) {
+        // Per-run sink (see `RequestSink::reset`).
+        self.sink.reset();
         let locks: Vec<LockId> = (0..self.session_locks).map(|_| w.mutex()).collect();
         let mut eps = Vec::new();
         let mut queues: Vec<Queue> = Vec::new();
@@ -116,6 +132,10 @@ impl Workload for WebServing {
     fn collect(&self, report: &mut RunReport) {
         self.sink.collect(report);
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("{self:?}"))
+    }
 }
 
 enum WState {
@@ -139,7 +159,7 @@ enum WState {
     },
     /// Record and loop.
     Record {
-        sent_ns: u64,
+        clock: RequestClock,
     },
 }
 
@@ -147,7 +167,7 @@ struct WebWorker {
     ep: EpollFd,
     queue: Queue,
     locks: Vec<LockId>,
-    sink: OpsSink,
+    sink: RequestSink,
     st: WState,
 }
 
@@ -160,7 +180,10 @@ impl Program for WebWorker {
                     return Action::Sync(SyncOp::EpollWait(self.ep));
                 }
                 WState::Dispatch => match self.queue.borrow_mut().pop_front() {
-                    Some(req) => {
+                    Some(mut req) => {
+                        // Service begins now; the gap since arrival is
+                        // queueing (epoll wakeup latency included).
+                        req.clock.started(ctx.now.as_nanos());
                         self.st = WState::Session { req };
                         return Action::Sync(SyncOp::MutexLock(
                             self.locks[req.session_lock % self.locks.len()],
@@ -186,13 +209,11 @@ impl Program for WebWorker {
                     return Action::IoWait { ns: req.backend_ns };
                 }
                 WState::Render { req } => {
-                    self.st = WState::Record {
-                        sent_ns: req.sent_ns,
-                    };
+                    self.st = WState::Record { clock: req.clock };
                     return Action::Compute { ns: req.render_ns };
                 }
-                WState::Record { sent_ns } => {
-                    self.sink.record(ctx.now.as_nanos().saturating_sub(sent_ns));
+                WState::Record { clock } => {
+                    self.sink.complete(clock, ctx.now.as_nanos());
                     self.st = WState::Dispatch;
                     continue;
                 }
@@ -221,7 +242,7 @@ impl Program for WebClient {
             let wi = self.next;
             self.next = (self.next + 1) % self.queues.len();
             let req = Request {
-                sent_ns: ctx.now.as_nanos(),
+                clock: RequestClock::arrive(ctx.now.as_nanos()),
                 parse_ns: ctx.rng.jitter(8_000, 0.3),
                 backend_ns: ctx.rng.jitter(self.backend_ns, 0.4),
                 render_ns: ctx.rng.jitter(20_000, 0.3),

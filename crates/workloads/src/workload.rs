@@ -1,10 +1,152 @@
-//! The workload interface: how benchmarks plug into the simulation engine.
+//! The workload interface: how benchmarks plug into the simulation engine,
+//! plus the request-lifecycle API ([`RequestClock`] / [`RequestSink`])
+//! every request-shaped workload uses to emit per-request records.
 
 use oversub_hw::CpuId;
 use oversub_ksync::EpollTable;
 use oversub_locks::{MutexKind, SpinPolicy, SyncRegistry};
-use oversub_metrics::RunReport;
+use oversub_metrics::{LatencyDigest, LatencyHist, RunReport};
 use oversub_task::{BarrierId, CondId, EpollFd, FlagId, LockId, Program, SemId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Arrival and start stamps for one in-flight request.
+///
+/// The lifecycle is `arrive` (the request enters the system: a client
+/// sends it, a pipeline item is produced, a fork-join region opens) →
+/// `started` (a worker begins servicing it) → `complete` (the response is
+/// done). Latency is measured arrival→completion, so queueing delay — the
+/// component oversubscription actually moves — is included; `started`
+/// splits it into queueing and service time for diagnosis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestClock {
+    arrival_ns: u64,
+    start_ns: u64,
+}
+
+impl RequestClock {
+    /// Stamp a request's arrival at virtual time `now_ns`. Until
+    /// [`RequestClock::started`] is called the start time equals the
+    /// arrival (zero queueing).
+    pub fn arrive(now_ns: u64) -> Self {
+        RequestClock {
+            arrival_ns: now_ns,
+            start_ns: now_ns,
+        }
+    }
+
+    /// Stamp the moment a worker begins servicing the request.
+    pub fn started(&mut self, now_ns: u64) {
+        self.start_ns = now_ns.max(self.arrival_ns);
+    }
+
+    /// The arrival stamp.
+    pub fn arrival_ns(&self) -> u64 {
+        self.arrival_ns
+    }
+
+    /// Close the lifecycle at `now_ns` and produce the record.
+    pub fn complete(self, now_ns: u64) -> RequestRecord {
+        let completion_ns = now_ns.max(self.start_ns);
+        RequestRecord {
+            arrival_ns: self.arrival_ns,
+            start_ns: self.start_ns,
+            completion_ns,
+        }
+    }
+}
+
+/// One completed request's lifecycle stamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// When the request entered the system.
+    pub arrival_ns: u64,
+    /// When a worker began servicing it.
+    pub start_ns: u64,
+    /// When the response was complete.
+    pub completion_ns: u64,
+}
+
+impl RequestRecord {
+    /// End-to-end latency (arrival → completion).
+    pub fn latency_ns(&self) -> u64 {
+        self.completion_ns - self.arrival_ns
+    }
+
+    /// Queueing delay (arrival → service start).
+    pub fn queue_ns(&self) -> u64 {
+        self.start_ns - self.arrival_ns
+    }
+
+    /// Service time (service start → completion).
+    pub fn service_ns(&self) -> u64 {
+        self.completion_ns - self.start_ns
+    }
+}
+
+struct SinkInner {
+    hist: LatencyHist,
+    digest: LatencyDigest,
+    ops: u64,
+}
+
+/// Shared per-run sink for completed request records.
+///
+/// Cloned into every program of a workload (cheap `Rc`); the workload's
+/// `collect` folds it into the report — the legacy bucketed histogram and
+/// the exact digest side by side. Workloads must call
+/// [`RequestSink::reset`] at the top of `build` so a reused workload value
+/// (sweeps run build→run→collect per arm on the same instance) never
+/// leaks samples across runs.
+#[derive(Clone, Default)]
+pub struct RequestSink {
+    inner: Rc<RefCell<SinkInner>>,
+}
+
+impl Default for SinkInner {
+    fn default() -> Self {
+        SinkInner {
+            hist: LatencyHist::new(),
+            digest: LatencyDigest::new(),
+            ops: 0,
+        }
+    }
+}
+
+impl RequestSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all samples (call at the top of `Workload::build`).
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = SinkInner::default();
+    }
+
+    /// Record a completed request.
+    pub fn push(&self, rec: RequestRecord) {
+        let mut g = self.inner.borrow_mut();
+        g.hist.record(rec.latency_ns());
+        g.digest.record(rec.latency_ns());
+        g.ops += 1;
+    }
+
+    /// Close `clock` at `now_ns` and record the request.
+    pub fn complete(&self, clock: RequestClock, now_ns: u64) {
+        self.push(clock.complete(now_ns));
+    }
+
+    /// Fold the collected data into a report: the bucketed histogram, the
+    /// canonicalized exact digest, and the op count.
+    pub fn collect(&self, report: &mut RunReport) {
+        let mut g = self.inner.borrow_mut();
+        g.digest.canonicalize();
+        report.latency = g.hist.clone();
+        report.latency_exact = g.digest.clone();
+        report.completed_ops = g.ops;
+    }
+}
 
 /// A thread to launch: its program and optional placement constraints.
 pub struct ThreadSpec {
@@ -185,6 +327,44 @@ mod tests {
         }))));
         assert_eq!(idx, 0);
         assert_eq!(w.threads.len(), 1);
+    }
+
+    #[test]
+    fn request_clock_lifecycle() {
+        let mut c = RequestClock::arrive(1_000);
+        assert_eq!(c.arrival_ns(), 1_000);
+        c.started(4_000);
+        let rec = c.complete(9_000);
+        assert_eq!(rec.queue_ns(), 3_000);
+        assert_eq!(rec.service_ns(), 5_000);
+        assert_eq!(rec.latency_ns(), 8_000);
+        // Stamps never run backwards even if callers hand in a stale now.
+        let mut c = RequestClock::arrive(5_000);
+        c.started(2_000);
+        let rec = c.complete(1_000);
+        assert_eq!(rec.latency_ns(), 0);
+        assert_eq!(rec.queue_ns(), 0);
+    }
+
+    #[test]
+    fn request_sink_records_and_resets() {
+        let sink = RequestSink::new();
+        let clone = sink.clone();
+        clone.complete(RequestClock::arrive(0), 5_000);
+        sink.complete(RequestClock::arrive(1_000), 2_000);
+        let mut r = RunReport::default();
+        sink.collect(&mut r);
+        assert_eq!(r.completed_ops, 2);
+        assert_eq!(r.latency_exact.count(), 2);
+        assert_eq!(r.latency_exact.p50(), 1_000);
+        assert_eq!(r.latency_exact.max(), 5_000);
+        assert_eq!(r.latency.count(), 2);
+        // reset() drops everything (the per-run-build contract).
+        sink.reset();
+        let mut r = RunReport::default();
+        sink.collect(&mut r);
+        assert_eq!(r.completed_ops, 0);
+        assert!(r.latency_exact.is_empty());
     }
 
     #[test]

@@ -143,12 +143,7 @@ fn barrier_stress_with_tiny_work_terminates() {
     // vruntimes overflowed into the VB tail region, stranding runnable
     // tasks (observed with 32 threads of 2 µs barrier rounds on 8 cores).
     use oversub::workloads::micro::{Primitive, PrimitiveStress};
-    let mut wl = PrimitiveStress {
-        threads: 32,
-        rounds: 2_500,
-        primitive: Primitive::Barrier,
-        work_ns: 2_000,
-    };
+    let mut wl = PrimitiveStress::new(32, 2_500, Primitive::Barrier, 2_000);
     let cfg = RunConfig::vanilla(8)
         .with_machine(MachineSpec::PaperN(8))
         .with_seed(42);

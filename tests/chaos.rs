@@ -78,14 +78,7 @@ fn zero_rate_fault_plan_is_bit_identical() {
         (
             "mutex-stress",
             8,
-            Box::new(|| {
-                Box::new(PrimitiveStress {
-                    threads: 12,
-                    rounds: 200,
-                    primitive: Primitive::Mutex,
-                    work_ns: 2_000,
-                })
-            }),
+            Box::new(|| Box::new(PrimitiveStress::new(12, 200, Primitive::Mutex, 2_000))),
         ),
     ];
     for (name, cpus, mk) in &mut cases {
@@ -162,14 +155,7 @@ fn chaos_matrix_completes_or_diagnoses() {
         (
             "barrier-stress",
             8,
-            Box::new(|| {
-                Box::new(PrimitiveStress {
-                    threads: 16,
-                    rounds: 150,
-                    primitive: Primitive::Barrier,
-                    work_ns: 2_000,
-                })
-            }),
+            Box::new(|| Box::new(PrimitiveStress::new(16, 150, Primitive::Barrier, 2_000))),
         ),
     ];
     let mut cells: Vec<Job<'_, (String, RunReport)>> = Vec::new();
@@ -205,12 +191,7 @@ fn lost_wakeups_are_rescued_by_the_watchdog() {
         .with_faults(FaultPlan::default().lost_wakeups(0.5))
         .with_watchdog(WatchdogParams::default())
         .with_max_events(20_000_000);
-    let mut wl = PrimitiveStress {
-        threads: 16,
-        rounds: 400,
-        primitive: Primitive::Mutex,
-        work_ns: 2_000,
-    };
+    let mut wl = PrimitiveStress::new(16, 400, Primitive::Mutex, 2_000);
     let report = try_run(&mut wl, &cfg).expect("chaos run must not error");
     assert_no_invariant_violations(&report, "lost-wakeup-rescue");
     let vb = report.mech("vb").expect("vb mechanism present");
@@ -252,12 +233,7 @@ fn lost_wakeup_stall_is_attributed_by_lockdep() {
             ..WatchdogParams::default()
         })
         .with_max_events(5_000_000);
-    let mut wl = PrimitiveStress {
-        threads: 6,
-        rounds: 50,
-        primitive: Primitive::Mutex,
-        work_ns: 2_000,
-    };
+    let mut wl = PrimitiveStress::new(6, 50, Primitive::Mutex, 2_000);
     let report = try_run(&mut wl, &cfg).expect("stalled run must still produce a report");
     assert_no_invariant_violations(&report, "lost-wakeup-attribution");
     let hang = report

@@ -348,7 +348,7 @@ proptest! {
         vm in any::<bool>(),
         seed in any::<u64>(),
     ) {
-        let mech = Mechanisms { vb, vb_auto_disable: true, bwd, ple: ple && vm };
+        let mech = Mechanisms { vb, vb_auto_disable: true, bwd, ple: ple && vm, neighbour: false };
         let a = hook_log(stages, items, cores, mech, seed, vm);
         let b = hook_log(stages, items, cores, mech, seed, vm);
         prop_assert!(!a.is_empty(), "recorder saw no hooks at all");

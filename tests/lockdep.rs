@@ -145,14 +145,7 @@ fn lockdep_is_observation_only_on_golden_configs() {
         (
             "mutex-stress",
             8,
-            Box::new(|| {
-                Box::new(PrimitiveStress {
-                    threads: 12,
-                    rounds: 200,
-                    primitive: Primitive::Mutex,
-                    work_ns: 2_000,
-                })
-            }),
+            Box::new(|| Box::new(PrimitiveStress::new(12, 200, Primitive::Mutex, 2_000))),
         ),
     ];
     for (name, cpus, mk) in &cases {
@@ -196,12 +189,7 @@ proptest! {
             .with_max_time(SimTime::from_millis(80))
             .with_lockdep()
             .with_max_events(5_000_000);
-        let mut wl = PrimitiveStress {
-            threads,
-            rounds,
-            primitive: prim,
-            work_ns: 1_500,
-        };
+        let mut wl = PrimitiveStress::new(threads, rounds, prim, 1_500);
         let report = run(&mut wl, &cfg);
         for d in &report.diagnostics {
             prop_assert!(

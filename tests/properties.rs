@@ -76,6 +76,7 @@ fn arb_mech() -> impl Strategy<Value = Mechanisms> {
         vb_auto_disable: auto,
         bwd,
         ple: false,
+        neighbour: false,
     })
 }
 

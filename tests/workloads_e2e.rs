@@ -111,13 +111,7 @@ fn web_serving_scales_out_with_more_cores() {
 fn forkjoin_terminates_in_both_modes_and_oversubscription_pays_off() {
     use oversub::workloads::forkjoin::ForkJoin;
     let run = |active: usize, cores: usize, mech: Mechanisms| {
-        let mut wl = ForkJoin {
-            pool: 32,
-            active,
-            regions: 60,
-            chunks: 128,
-            chunk_ns: 40_000,
-        };
+        let mut wl = ForkJoin::new(32, active, 60, 128, 40_000);
         let cfg = RunConfig::vanilla(cores)
             .with_machine(MachineSpec::PaperN(cores))
             .with_mech(mech)
