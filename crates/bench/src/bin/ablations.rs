@@ -94,6 +94,15 @@ fn main() {
         println!();
     }
     emit(
+        "Extension: overload goodput frontier (deadline + retry + shedding)",
+        "extension beyond the paper",
+        &oversub::experiments::ext_overload_frontier(a.opts),
+        a.csv,
+    );
+    if !a.csv {
+        println!();
+    }
+    emit(
         "Seed sensitivity (5 seeds, mean +/- 95% CI)",
         "methodology check",
         &oversub::experiments::seed_sensitivity(a.opts),

@@ -121,6 +121,15 @@ fn run_cell(
                         || (clean_arm && d.kind == "deadlock-cycle")
                 })
                 .collect();
+            // Overload-plane arms must keep their accounting balanced
+            // even while faults are being injected.
+            if !report.goodput.is_empty() && !report.goodput.balanced() {
+                let gp = &report.goodput;
+                failures.push(format!(
+                    "{cell}: goodput accounting violation: {} + {} + {} + {} != {}",
+                    gp.completed, gp.deadline_exceeded, gp.shed, gp.abandoned, gp.offered
+                ));
+            }
             let recoveries: u64 = report.mechanisms.iter().map(|m| m.recoveries).sum();
             let verdict = if violations.is_empty() {
                 "ok"
@@ -179,6 +188,37 @@ fn main() {
         }
     }
 
+    // Extension arm: the overload control plane (deadline, retry client,
+    // CoDel shedding) under lost wakeups — the retry/timeout machinery and
+    // the watchdog's rescues must coexist without breaking the goodput
+    // accounting invariant (checked in `run_cell`).
+    {
+        use oversub::workloads::admission::{AdmissionPolicy, OverloadParams, RetryPolicy};
+        let rate = 240_000.0;
+        let ov = OverloadParams::disabled()
+            .with_deadline_ns(3_000_000)
+            .with_admission(AdmissionPolicy::CoDel {
+                target_ns: 300_000,
+                interval_ns: 500_000,
+            })
+            .with_retry(RetryPolicy::default());
+        let cfg = RunConfig::vanilla(Memcached::paper(8, 2, rate).total_cpus())
+            .with_mech(Mechanisms::optimized())
+            .with_seed(2026)
+            .with_max_time(SimTime::from_millis(150))
+            .with_faults(FaultPlan::default().lost_wakeups(0.3))
+            .with_lockdep()
+            .with_watchdog(WatchdogParams::default())
+            .with_max_events(50_000_000)
+            .with_overload(ov);
+        cells.push(Box::new(move || {
+            run_cell("memcached/8T/2c/overload", "lost-wakeup", &cfg, &|| {
+                Box::new(Memcached::paper(8, 2, rate))
+            })
+        }));
+    }
+
+    let total_cells = cells.len();
     let mut failures = Vec::new();
     for (row, cell_failures) in sweep::run_batch(cells) {
         println!("{row}");
@@ -190,7 +230,7 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
     if failures.is_empty() {
-        println!("all {} cells passed", scenarios.len() * plans().len());
+        println!("all {total_cells} cells passed");
     } else {
         eprintln!("\nchaos smoke FAILED:");
         for f in &failures {

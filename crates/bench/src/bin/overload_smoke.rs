@@ -1,0 +1,209 @@
+//! CI overload smoke: the overload control plane as a pass/fail gate.
+//!
+//! Runs the memcached family at three offered-load points (0.8×, 1.2×,
+//! 2.0× of nominal capacity) with the 3 ms deadline and the deterministic
+//! retry client, once with shedding off and once with the CoDel-style
+//! shedder, under vanilla and optimized (VB+BWD) mechanisms. Checks:
+//!
+//! - no cell panics, errors, or exhausts its event budget (hang guard),
+//! - goodput accounting balances: `completed + deadline_exceeded + shed +
+//!   abandoned == offered` in every cell,
+//! - the goodput digest holds exactly `completed` samples and its max
+//!   latency is within the deadline (it only admits in-deadline
+//!   completions),
+//! - at 2.0× load the shedder must not lose to no-shedding:
+//!   `goodput(codel) >= goodput(off)` for each mechanism — the graceful
+//!   degradation the control plane exists to provide.
+//!
+//! The cells are independent simulations and run on the sweep worker pool
+//! (`OVERSUB_JOBS`); rows print in submission order.
+//!
+//! Usage: `cargo run --release -p oversub-bench --bin overload_smoke`
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use oversub::simcore::pool::Job;
+use oversub::simcore::{SimTime, MICROS, MILLIS};
+use oversub::workloads::admission::{AdmissionPolicy, OverloadParams, RetryPolicy};
+use oversub::workloads::memcached::Memcached;
+use oversub::{sweep, try_run, Mechanisms, RunConfig};
+
+/// Nominal capacity of the 2-core memcached server (mean ~9.5 us/op).
+const CAPACITY_OPS: f64 = 200_000.0;
+const DEADLINE_NS: u64 = 3 * MILLIS;
+
+fn overload(admission: AdmissionPolicy) -> OverloadParams {
+    OverloadParams::disabled()
+        .with_deadline_ns(DEADLINE_NS)
+        .with_admission(admission)
+        .with_retry(RetryPolicy::default())
+}
+
+/// One cell: its printable row, its goodput ops/s, and failure records.
+fn run_cell(label: &str, cfg: &RunConfig, rate: f64) -> (String, f64, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut wl = Memcached::paper(8, 2, rate);
+    let outcome = catch_unwind(AssertUnwindSafe(|| try_run(&mut wl, cfg)));
+    let (row, good) = match outcome {
+        Err(_) => {
+            failures.push(format!("{label}: engine panicked"));
+            (
+                format!(
+                    "{:<30} {:>9} {:>9} {:>9} {:>6} {:>7} {:>7}  PANIC",
+                    label, "-", "-", "-", "-", "-", "-"
+                ),
+                0.0,
+            )
+        }
+        Ok(Err(e)) => {
+            failures.push(format!("{label}: engine error: {e}"));
+            (
+                format!(
+                    "{:<30} {:>9} {:>9} {:>9} {:>6} {:>7} {:>7}  ERROR",
+                    label, "-", "-", "-", "-", "-", "-"
+                ),
+                0.0,
+            )
+        }
+        Ok(Ok(report)) => {
+            let gp = &report.goodput;
+            if gp.is_empty() {
+                failures.push(format!(
+                    "{label}: goodput section is empty — the overload plane never engaged"
+                ));
+            }
+            if !gp.balanced() {
+                failures.push(format!(
+                    "{label}: accounting violation: {} completed + {} exceeded + {} shed + \
+                     {} abandoned != {} offered",
+                    gp.completed, gp.deadline_exceeded, gp.shed, gp.abandoned, gp.offered
+                ));
+            }
+            if gp.latency.count() != gp.completed {
+                failures.push(format!(
+                    "{label}: goodput digest holds {} samples but {} requests completed \
+                     in deadline",
+                    gp.latency.count(),
+                    gp.completed
+                ));
+            }
+            if !gp.latency.is_empty() && gp.latency.max() > DEADLINE_NS {
+                failures.push(format!(
+                    "{label}: goodput digest contains a {} ns latency beyond the {} ns \
+                     deadline",
+                    gp.latency.max(),
+                    DEADLINE_NS
+                ));
+            }
+            if report.diagnostics.iter().any(|d| d.kind == "no_progress") {
+                failures.push(format!("{label}: run stalled (no-progress diagnostic)"));
+            }
+            let verdict = if failures.is_empty() { "ok" } else { "BAD" };
+            (
+                format!(
+                    "{:<30} {:>9} {:>9} {:>9} {:>6} {:>7} {:>7}  {verdict}",
+                    label,
+                    gp.offered,
+                    gp.completed,
+                    gp.deadline_exceeded,
+                    gp.shed,
+                    gp.abandoned,
+                    gp.retries,
+                ),
+                report.goodput_ops(),
+            )
+        }
+    };
+    (row, good, failures)
+}
+
+fn main() {
+    let t0 = Instant::now();
+    println!(
+        "{{\"bench\":\"overload_smoke\",\"detlint_ruleset\":\"{}\",\"pool_jobs\":{}}}",
+        analysis::RULESET_VERSION,
+        sweep::jobs(),
+    );
+    println!(
+        "{:<30} {:>9} {:>9} {:>9} {:>6} {:>7} {:>7}  outcome",
+        "cell", "offered", "good", "late", "shed", "aband", "retries"
+    );
+
+    let mechs = [
+        ("vanilla", Mechanisms::vanilla()),
+        ("optimized", Mechanisms::optimized()),
+    ];
+    let loads = [0.8, 1.2, 2.0];
+    let modes = [
+        ("off", AdmissionPolicy::None),
+        (
+            "codel",
+            AdmissionPolicy::CoDel {
+                target_ns: 300 * MICROS,
+                interval_ns: 500 * MICROS,
+            },
+        ),
+    ];
+
+    // (label, load, mode) per cell, in submission order.
+    let mut meta: Vec<(String, f64, &'static str, &'static str)> = Vec::new();
+    let mut cells: Vec<Job<'_, (String, f64, Vec<String>)>> = Vec::new();
+    for &(mech_label, mech) in &mechs {
+        for &load in &loads {
+            for &(mode_label, admission) in &modes {
+                let rate = CAPACITY_OPS * load;
+                let label = format!("memcached/{mech_label}/{load}x/{mode_label}");
+                let cfg = RunConfig::vanilla(Memcached::paper(8, 2, rate).total_cpus())
+                    .with_mech(mech)
+                    .with_seed(2026)
+                    .with_max_time(SimTime::from_millis(150))
+                    .with_max_events(50_000_000)
+                    .with_overload(overload(admission));
+                meta.push((label.clone(), load, mech_label, mode_label));
+                cells.push(Box::new(move || run_cell(&label, &cfg, rate)));
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    let mut goodputs: Vec<f64> = Vec::new();
+    for (row, good, cell_failures) in sweep::run_batch(cells) {
+        println!("{row}");
+        goodputs.push(good);
+        failures.extend(cell_failures);
+    }
+
+    // The degradation gate: at 2.0x load, the shedder must hold goodput at
+    // or above the no-shedding collapse, per mechanism.
+    for &(mech_label, _) in &mechs {
+        let find = |mode: &str| {
+            meta.iter()
+                .zip(&goodputs)
+                .find(|((_, load, m, md), _)| *load == 2.0 && *m == mech_label && *md == mode)
+                .map(|(_, &g)| g)
+        };
+        if let (Some(off), Some(codel)) = (find("off"), find("codel")) {
+            if codel < off {
+                failures.push(format!(
+                    "{mech_label}: at 2.0x load the CoDel shedder yields {codel:.0} good \
+                     op/s, below the no-shedding {off:.0} — shedding made overload worse"
+                ));
+            }
+        }
+    }
+
+    println!(
+        "\noverload smoke finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    if failures.is_empty() {
+        println!("all {} cells pass the overload gates", meta.len());
+    } else {
+        eprintln!("\noverload smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

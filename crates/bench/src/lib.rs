@@ -213,6 +213,11 @@ pub fn experiment_set(o: ExpOpts) -> Vec<Experiment> {
             Box::new(move || exp::ext_neighbour_tails(o)),
         ),
         (
+            "Extension",
+            "overload goodput frontier (deadline + retry + shedding)",
+            Box::new(move || exp::ext_overload_frontier(o)),
+        ),
+        (
             "Ablation",
             "huge pages remove the TLB benefit",
             Box::new(move || exp::ablation_hugepages(o)),

@@ -17,8 +17,8 @@ pub mod table;
 pub use digest::LatencyDigest;
 pub use hist::LatencyHist;
 pub use report::{
-    BlockingAggregate, BwdAggregate, CpuAggregate, Diagnostic, MechCounters, RunReport,
-    TaskAggregate,
+    BlockingAggregate, BwdAggregate, CpuAggregate, Diagnostic, GoodputStats, MechCounters,
+    RunReport, TaskAggregate,
 };
 pub use stats::Summary;
 pub use table::{fmt_ns, fmt_ratio, TextTable};

@@ -233,6 +233,71 @@ impl Diagnostic {
     }
 }
 
+/// Outcome-partitioned request accounting for runs with the overload
+/// control plane on (deadlines / shedding / retries). Every offered
+/// attempt lands in exactly one bucket:
+/// `offered == completed + deadline_exceeded + shed + abandoned`.
+/// Default (all-zero, empty digest) when the control plane is off, so
+/// reports from pre-overload configs keep their byte-stable JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GoodputStats {
+    /// Request attempts offered to admission (fresh sends and retries).
+    pub offered: u64,
+    /// Completed within deadline — the goodput numerator.
+    pub completed: u64,
+    /// Completed, but past the deadline (wasted work).
+    pub deadline_exceeded: u64,
+    /// Rejected by the admission policy.
+    pub shed: u64,
+    /// Admitted but still in flight when the run ended.
+    pub abandoned: u64,
+    /// Client retry re-injections (a subset of `offered`).
+    pub retries: u64,
+    /// Exact latency digest restricted to within-deadline completions.
+    pub latency: LatencyDigest,
+}
+
+impl GoodputStats {
+    /// True when no overload accounting happened (control plane off).
+    pub fn is_empty(&self) -> bool {
+        self.offered == 0 && self.completed == 0 && self.latency.is_empty()
+    }
+
+    /// The conservation invariant: every offered attempt has one outcome.
+    pub fn balanced(&self) -> bool {
+        self.offered == self.completed + self.deadline_exceeded + self.shed + self.abandoned
+    }
+
+    /// Serialize to a JSON tree (canonical field order).
+    pub fn to_json_value(&self) -> JsonValue {
+        obj(vec![
+            ("offered", JsonValue::UInt(self.offered as u128)),
+            ("completed", JsonValue::UInt(self.completed as u128)),
+            (
+                "deadline_exceeded",
+                JsonValue::UInt(self.deadline_exceeded as u128),
+            ),
+            ("shed", JsonValue::UInt(self.shed as u128)),
+            ("abandoned", JsonValue::UInt(self.abandoned as u128)),
+            ("retries", JsonValue::UInt(self.retries as u128)),
+            ("latency", self.latency.to_json_value()),
+        ])
+    }
+
+    /// Rebuild from [`Self::to_json_value`] output.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, String> {
+        Ok(GoodputStats {
+            offered: field_u64(v, "offered")?,
+            completed: field_u64(v, "completed")?,
+            deadline_exceeded: field_u64(v, "deadline_exceeded")?,
+            shed: field_u64(v, "shed")?,
+            abandoned: field_u64(v, "abandoned")?,
+            retries: field_u64(v, "retries")?,
+            latency: LatencyDigest::from_json_value(field(v, "latency")?)?,
+        })
+    }
+}
+
 /// The full result of one simulation run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
@@ -258,6 +323,9 @@ pub struct RunReport {
     pub latency_exact: LatencyDigest,
     /// Completed operations (server workloads: requests served).
     pub completed_ops: u64,
+    /// Outcome-partitioned goodput accounting (all-zero when the overload
+    /// control plane is off).
+    pub goodput: GoodputStats,
     /// Per-mechanism decision counters, in pipeline order.
     pub mechanisms: Vec<MechCounters>,
     /// Invariant-checker and liveness-watchdog findings, in detection
@@ -339,6 +407,7 @@ impl RunReport {
             ("latency", self.latency.to_json_value()),
             ("latency_exact", self.latency_exact.to_json_value()),
             ("completed_ops", JsonValue::UInt(self.completed_ops as u128)),
+            ("goodput", self.goodput.to_json_value()),
             (
                 "mechanisms",
                 JsonValue::Array(
@@ -391,6 +460,12 @@ impl RunReport {
                 None => LatencyDigest::new(),
             },
             completed_ops: field_u64(&v, "completed_ops")?,
+            // Absent in reports serialized before the overload control
+            // plane; defaults to the empty (control-plane-off) section.
+            goodput: match v.get("goodput") {
+                Some(g) => GoodputStats::from_json_value(g)?,
+                None => GoodputStats::default(),
+            },
             // Absent in reports serialized before the mechanism layer.
             mechanisms: match v.get("mechanisms") {
                 Some(m) => m
@@ -445,6 +520,15 @@ impl RunReport {
             return 0.0;
         }
         self.completed_ops as f64 / self.makespan_secs()
+    }
+
+    /// Goodput in within-deadline completions per (virtual) second. Zero
+    /// when the overload control plane is off.
+    pub fn goodput_ops(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.goodput.completed as f64 / self.makespan_secs()
     }
 
     /// Look up a mechanism's counters by name ("vb", "bwd", "ple", ...).
@@ -548,6 +632,19 @@ impl RunReport {
                 self.latency_exact.p50() / 1_000,
                 self.latency_exact.p99() / 1_000,
                 self.latency_exact.p999() / 1_000
+            );
+        }
+        if !self.goodput.is_empty() {
+            let _ = writeln!(
+                out,
+                "  goodput         {:.0} ops/s ({} of {} offered; {} late, {} shed, {} abandoned, {} retries)",
+                self.goodput_ops(),
+                self.goodput.completed,
+                self.goodput.offered,
+                self.goodput.deadline_exceeded,
+                self.goodput.shed,
+                self.goodput.abandoned,
+                self.goodput.retries
             );
         }
         out
@@ -728,6 +825,48 @@ mod tests {
         );
         let back = RunReport::from_json(&legacy).unwrap();
         assert_eq!(back, legacy_r);
+    }
+
+    #[test]
+    fn goodput_round_trips_and_tolerates_legacy_json() {
+        let mut r = sample();
+        r.goodput = GoodputStats {
+            offered: 10,
+            completed: 6,
+            deadline_exceeded: 2,
+            shed: 1,
+            abandoned: 1,
+            retries: 3,
+            latency: LatencyDigest::new(),
+        };
+        r.goodput.latency.record(1_000);
+        r.goodput.latency.canonicalize();
+        assert!(r.goodput.balanced());
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(json, back.to_json());
+        assert!((r.goodput_ops() - 6.0).abs() < 1e-9);
+        assert!(r.summary().contains("goodput"));
+
+        // Reports serialized before the overload control plane have no
+        // "goodput" key; they must parse with the empty section.
+        let legacy_r = sample();
+        let legacy = legacy_r.to_json().replace(
+            ",\"goodput\":{\"offered\":0,\"completed\":0,\"deadline_exceeded\":0,\
+             \"shed\":0,\"abandoned\":0,\"retries\":0,\
+             \"latency\":{\"count\":0,\"sum\":0,\"values\":[],\"counts\":[]}}",
+            "",
+        );
+        assert_ne!(
+            legacy,
+            legacy_r.to_json(),
+            "replacement must have removed the field"
+        );
+        let back = RunReport::from_json(&legacy).unwrap();
+        assert_eq!(back, legacy_r);
+        assert!(back.goodput.is_empty());
+        assert!(!legacy_r.summary().contains("goodput"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use oversub_hw::{CacheParams, Topology};
 use oversub_ksync::FutexParams;
 use oversub_sched::SchedParams;
 use oversub_simcore::SimTime;
+use oversub_workloads::admission::{AdmissionPolicy, OverloadParams};
 
 /// Which machine the container sees.
 #[derive(Clone, Debug)]
@@ -184,6 +185,12 @@ pub struct RunConfig {
     /// Hard cap on processed events (a step budget for chaos testing);
     /// `None` uses the engine's built-in runaway safety valve.
     pub max_events: Option<u64>,
+    /// Overload control plane: per-request deadline, admission policy at
+    /// the generator→worker boundary, and the client retry model. The
+    /// default (`OverloadParams::disabled()`) keeps every run bit-identical
+    /// to a build without the overload layer — workload clients take the
+    /// legacy code path and draw no extra randomness.
+    pub overload: OverloadParams,
     /// Track lock-acquisition order and wait-for graphs (lockdep) and
     /// surface inversion/deadlock cycles as diagnostics. Observation-only:
     /// every non-diagnostic report byte is identical either way (pinned by
@@ -214,6 +221,7 @@ impl RunConfig {
             faults: FaultPlan::default(),
             watchdog: None,
             max_events: None,
+            overload: OverloadParams::disabled(),
             lockdep: false,
         }
     }
@@ -289,6 +297,13 @@ impl RunConfig {
     /// Builder-style: cap the number of processed events (step budget).
     pub fn with_max_events(mut self, n: u64) -> Self {
         self.max_events = Some(n);
+        self
+    }
+
+    /// Builder-style: set the overload control plane (deadline, admission
+    /// policy, retry model). See [`OverloadParams`].
+    pub fn with_overload(mut self, ov: OverloadParams) -> Self {
+        self.overload = ov;
         self
     }
 
@@ -372,6 +387,45 @@ impl RunConfig {
         }
         if self.max_events == Some(0) {
             return Err("max_events must be non-zero (no event would ever run)".into());
+        }
+        if let Some(retry) = &self.overload.retry {
+            if self.overload.deadline_ns == 0 {
+                return Err(
+                    "overload: retries are configured with deadline_ns = 0 (no timeout \
+                     would ever fire, so no retry could ever be attempted)"
+                        .into(),
+                );
+            }
+            if retry.budget == 0 {
+                return Err(
+                    "overload: retry budget is 0 — use `retry: None` to disable retries".into(),
+                );
+            }
+            if retry.budget > 64 {
+                return Err(format!(
+                    "overload: retry budget {} exceeds the sanity cap of 64 (a storm \
+                     amplifier, not a client model)",
+                    retry.budget
+                ));
+            }
+        }
+        match self.overload.admission {
+            AdmissionPolicy::QueueCap(0) => {
+                return Err(
+                    "overload: QueueCap(0) sheds every request — no work would ever be \
+                     admitted"
+                        .into(),
+                );
+            }
+            AdmissionPolicy::CoDel {
+                target_ns,
+                interval_ns,
+            } if target_ns == 0 || interval_ns == 0 => {
+                return Err(
+                    "overload: CoDel target_ns and interval_ns must both be non-zero".into(),
+                );
+            }
+            _ => {}
         }
 
         let mut warnings = Vec::new();
@@ -567,6 +621,63 @@ mod tests {
         let w = cfg.validate().unwrap();
         assert_eq!(w.len(), 1);
         assert!(w[0].contains("watchdog"));
+    }
+
+    #[test]
+    fn validate_rejects_broken_overload_configs() {
+        use oversub_workloads::admission::RetryPolicy;
+
+        // Retries without a deadline: no timeout can ever fire.
+        let cfg = RunConfig::vanilla(4)
+            .with_overload(OverloadParams::disabled().with_retry(RetryPolicy::default()));
+        assert!(cfg.validate().unwrap_err().contains("deadline_ns = 0"));
+
+        // Zero retry budget.
+        let ov = OverloadParams::disabled()
+            .with_deadline_ns(1_000_000)
+            .with_retry(RetryPolicy {
+                budget: 0,
+                ..RetryPolicy::default()
+            });
+        let cfg = RunConfig::vanilla(4).with_overload(ov);
+        assert!(cfg.validate().unwrap_err().contains("budget"));
+
+        // Retry budget beyond the sanity cap.
+        let ov = OverloadParams::disabled()
+            .with_deadline_ns(1_000_000)
+            .with_retry(RetryPolicy {
+                budget: 65,
+                ..RetryPolicy::default()
+            });
+        let cfg = RunConfig::vanilla(4).with_overload(ov);
+        assert!(cfg.validate().unwrap_err().contains("64"));
+
+        // Shed-everything queue cap.
+        let cfg = RunConfig::vanilla(4)
+            .with_overload(OverloadParams::disabled().with_admission(AdmissionPolicy::QueueCap(0)));
+        assert!(cfg.validate().unwrap_err().contains("QueueCap(0)"));
+
+        // Degenerate CoDel windows.
+        let cfg = RunConfig::vanilla(4).with_overload(OverloadParams::disabled().with_admission(
+            AdmissionPolicy::CoDel {
+                target_ns: 0,
+                interval_ns: 500_000,
+            },
+        ));
+        assert!(cfg.validate().unwrap_err().contains("CoDel"));
+
+        // A sane overload config passes clean.
+        let ov = OverloadParams::disabled()
+            .with_deadline_ns(3_000_000)
+            .with_admission(AdmissionPolicy::CoDel {
+                target_ns: 300_000,
+                interval_ns: 500_000,
+            })
+            .with_retry(RetryPolicy::default());
+        assert_eq!(
+            RunConfig::vanilla(4).with_overload(ov).validate(),
+            Ok(Vec::new())
+        );
     }
 
     #[test]

@@ -336,6 +336,21 @@ impl Engine {
         let futex = FutexTable::new(sub.futex);
         let epoll = EpollTable::new(sub.futex);
         let mut world = WorldBuilder::new(initial_cores, epoll);
+        world.overload = cfg.overload;
+        // The min-service check needs the workload, so it cannot live in
+        // `RunConfig::validate` with the other warnings.
+        if cfg.overload.deadline_ns > 0 {
+            if let Some(min_ns) = workload.min_service_ns() {
+                if cfg.overload.deadline_ns < min_ns {
+                    eprintln!(
+                        "[oversub] config warning: overload deadline ({} ns) is below \
+                         the workload's minimum service time (~{} ns) — every request \
+                         will exceed its deadline even on an idle machine",
+                        cfg.overload.deadline_ns, min_ns
+                    );
+                }
+            }
+        }
         workload.build(&mut world);
 
         let base_rng = SimRng::new(cfg.seed);

@@ -21,8 +21,8 @@ mod tables;
 pub use ablations::{
     ablation_bwd_heuristics, ablation_bwd_interval, ablation_hugepages, ablation_migration_cost,
     ablation_vb_auto_disable, ablation_wakeup_cost, ext_forkjoin_dynamic_threading,
-    ext_neighbour_tails, ext_pipeline_cascade, ext_web_serving, multi_seed_makespan,
-    seed_sensitivity,
+    ext_neighbour_tails, ext_overload_frontier, ext_pipeline_cascade, ext_web_serving,
+    multi_seed_makespan, seed_sensitivity,
 };
 pub use figures::{
     fig01_survey, fig02_direct_cost, fig03_sync_intervals, fig04_indirect_cost, fig09_vb_blocking,

@@ -29,7 +29,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use oversub_metrics::RunReport;
+use oversub_metrics::{Diagnostic, RunReport};
 use oversub_simcore::pool::{self, Job, PoolStats};
 use oversub_workloads::workload::Workload;
 
@@ -72,9 +72,65 @@ pub fn set_jobs(n: usize) {
 // Global cache + statistics
 // ---------------------------------------------------------------------
 
-fn cache() -> &'static Mutex<BTreeMap<String, RunReport>> {
-    static CACHE: OnceLock<Mutex<BTreeMap<String, RunReport>>> = OnceLock::new();
+/// The memoized run cache. Entries are stored as the report's canonical
+/// JSON (not the in-memory struct) so every hit can be integrity-checked:
+/// the entry must still parse and satisfy the report's internal
+/// invariants before it is served. A corrupt entry — however it got that
+/// way — is discarded with a warning and the arm re-executes, so cache
+/// damage degrades to a cache miss instead of a wrong result.
+fn cache() -> &'static Mutex<BTreeMap<String, String>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<String, String>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Parse and integrity-check one cached entry.
+fn validate_cached(json: &str) -> Result<RunReport, String> {
+    let report = RunReport::from_json(json).map_err(|e| format!("parse failed: {e}"))?;
+    // Every sink-produced report records exactly one digest sample per
+    // completed op (the digest is the source of completed_ops).
+    if report.latency_exact.count() != report.completed_ops {
+        return Err(format!(
+            "latency digest holds {} samples but completed_ops is {}",
+            report.latency_exact.count(),
+            report.completed_ops
+        ));
+    }
+    if !report.goodput.balanced() {
+        return Err("goodput outcome counts do not sum to offered".into());
+    }
+    Ok(report)
+}
+
+/// Shorten a cache key for a stderr warning (keys embed the full config
+/// Debug form and run to hundreds of characters).
+fn key_brief(key: &str) -> &str {
+    &key[..key.len().min(80)]
+}
+
+/// Compute the run-cache key for an arm exactly as [`Sweep::add`] does;
+/// `None` when the arm is cache-ineligible. Exposed for the cache
+/// integrity tests.
+#[doc(hidden)]
+pub fn cache_key_for(cfg: &RunConfig, wl: &dyn Workload) -> Option<String> {
+    if cache_enabled() && cfg.custom_mechanisms.is_empty() && !cfg.trace {
+        wl.cache_key().map(|wl_key| format!("{cfg:?}|{wl_key}"))
+    } else {
+        None
+    }
+}
+
+/// Overwrite one cache entry's raw JSON in place (corruption injection
+/// for the integrity tests).
+#[doc(hidden)]
+pub fn inject_cache_entry(key: String, json: String) {
+    lock(cache()).insert(key, json);
+}
+
+/// Whether the run cache currently holds `key`. Exposed for the cache
+/// integrity tests.
+#[doc(hidden)]
+pub fn cache_contains(key: &str) -> bool {
+    lock(cache()).contains_key(key)
 }
 
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
@@ -206,11 +262,7 @@ impl Sweep {
         mk: impl Fn() -> Box<dyn Workload> + Send + 'static,
     ) -> usize {
         let label = label.into();
-        let key = if cache_enabled() && cfg.custom_mechanisms.is_empty() && !cfg.trace {
-            mk().cache_key().map(|wl_key| format!("{cfg:?}|{wl_key}"))
-        } else {
-            None
-        };
+        let key = cache_key_for(&cfg, mk().as_ref());
         self.arms.push(Arm {
             label,
             cfg,
@@ -254,10 +306,27 @@ impl Sweep {
             labels.push(arm.label.clone());
             match &arm.key {
                 Some(key) => {
-                    if let Some(hit) = lock(cache()).get(key).cloned() {
-                        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-                        slots[i] = Some(relabel(hit, &arm.label));
-                        continue;
+                    // Clone out of the cache in its own statement: an
+                    // `if let` scrutinee would keep the guard alive for
+                    // the whole block, deadlocking the corrupt-entry
+                    // path below when it re-locks to remove the entry.
+                    let cached = lock(cache()).get(key).cloned();
+                    if let Some(json) = cached {
+                        match validate_cached(&json) {
+                            Ok(hit) => {
+                                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                                slots[i] = Some(relabel(hit, &arm.label));
+                                continue;
+                            }
+                            Err(why) => {
+                                eprintln!(
+                                    "[sweep] run-cache entry `{}…` failed its integrity \
+                                     check ({why}); discarding and re-running the arm",
+                                    key_brief(key)
+                                );
+                                lock(cache()).remove(key);
+                            }
+                        }
                     }
                     if let Some(&entry) = first_by_key.get(key) {
                         CACHE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -276,7 +345,11 @@ impl Sweep {
         }
 
         // Pass 2: execute the misses on the pool, submission order kept.
+        // Panics are isolated per job: a crashing arm yields a report
+        // carrying a `job-panic` diagnostic instead of tearing down the
+        // batch (and the other arms' results).
         let keys: Vec<Option<String>> = to_run.iter().map(|a| a.key.clone()).collect();
+        let arm_labels: Vec<String> = to_run.iter().map(|a| a.label.clone()).collect();
         let batch: Vec<Job<'_, RunReport>> = to_run
             .into_iter()
             .map(|arm| {
@@ -286,17 +359,48 @@ impl Sweep {
                 }) as Job<'_, RunReport>
             })
             .collect();
-        let (fresh, pool_stats) = pool::run_ordered(batch, workers);
+        let (caught, pool_stats) = pool::run_ordered_caught(batch, workers);
         absorb_pool_stats(&pool_stats);
+        let mut panicked = vec![false; caught.len()];
+        let fresh: Vec<RunReport> = caught
+            .into_iter()
+            .enumerate()
+            .map(|(entry, r)| match r {
+                Ok(report) => report,
+                Err(p) => {
+                    panicked[entry] = true;
+                    eprintln!(
+                        "[sweep] arm `{}` panicked: {}",
+                        arm_labels[entry], p.message
+                    );
+                    let mut report = RunReport {
+                        label: arm_labels[entry].clone(),
+                        ..RunReport::default()
+                    };
+                    report.diagnostics.push(Diagnostic {
+                        kind: "job-panic".to_string(),
+                        at_ns: 0,
+                        task: None,
+                        cpu: None,
+                        detail: p.message,
+                    });
+                    report
+                }
+            })
+            .collect();
 
         // Pass 3: publish to the global cache (idempotent: first writer
         // wins, concurrent sweeps of the same key agree byte-for-byte),
-        // then fill result slots and in-batch duplicates.
+        // then fill result slots and in-batch duplicates. Panicked arms
+        // are never cached — a crash is not a result.
         for (entry, report) in fresh.iter().enumerate() {
+            if panicked[entry] {
+                continue;
+            }
             if let Some(key) = &keys[entry] {
                 lock(cache())
                     .entry(key.clone())
-                    .or_insert_with(|| report.clone());
+                    .or_insert_with(|| report.to_json());
             }
         }
         for (i, report) in run_idx.iter().zip(fresh) {

@@ -15,7 +15,7 @@ pub mod rng;
 pub mod time;
 
 pub use events::{EventHandle, EventQueue};
-pub use pool::PoolStats;
+pub use pool::{JobPanic, PoolStats};
 pub use resource::{Grant, KernelLock, KernelLockParams};
 pub use rng::SimRng;
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};

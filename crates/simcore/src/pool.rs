@@ -18,12 +18,41 @@
 //! [`PoolStats`] utilization only; they never feed simulation state, so
 //! determinism is unaffected (see the scoped detlint allow).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 /// A pool job: any sendable one-shot closure producing a sendable result.
 pub type Job<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// A captured panic from one pool job (see [`run_ordered_caught`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Submission index of the job that panicked.
+    pub index: usize,
+    /// Best-effort panic message, downcast from the payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Downcast a panic payload into a printable message. Panic payloads are
+/// almost always `&str` or `String`; anything else gets a placeholder so
+/// the error stays structured instead of aborting the batch.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Host-side execution statistics for one [`run_ordered`] batch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,12 +98,42 @@ impl PoolStats {
 /// contract `run_ordered(jobs, n)` and `run_ordered(jobs, 1)` return
 /// identical vectors.
 pub fn run_ordered<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize) -> (Vec<T>, PoolStats) {
+    let (results, stats) = run_ordered_caught(jobs, workers);
+    let results: Vec<T> = results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("{p}")))
+        .collect();
+    (results, stats)
+}
+
+/// [`run_ordered`] with per-job panic isolation: a panicking job yields
+/// `Err(JobPanic)` in its submission-order slot instead of tearing down
+/// the whole batch, and every other job still runs to completion.
+///
+/// The determinism contract extends to faults: which slots hold `Err`,
+/// and each `JobPanic`'s index and message, are independent of `workers`
+/// and of OS scheduling.
+pub fn run_ordered_caught<T: Send>(
+    jobs: Vec<Job<'_, T>>,
+    workers: usize,
+) -> (Vec<Result<T, JobPanic>>, PoolStats) {
     let n = jobs.len();
     let t0 = Instant::now();
 
+    let run_one = |i: usize, job: Job<'_, T>| -> Result<T, JobPanic> {
+        catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic {
+            index: i,
+            message: panic_message(payload),
+        })
+    };
+
     if workers <= 1 || n <= 1 {
         // Inline path: exactly the legacy sequential loop.
-        let results: Vec<T> = jobs.into_iter().map(|job| job()).collect();
+        let results: Vec<Result<T, JobPanic>> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| run_one(i, job))
+            .collect();
         let wall_ns = t0.elapsed().as_nanos() as u64;
         return (
             results,
@@ -92,7 +151,8 @@ pub fn run_ordered<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize) -> (Vec<T>, P
     // without holding a queue lock while running.
     let slots: Vec<Mutex<Option<Job<'_, T>>>> =
         jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let outputs: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let outputs: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let busy = AtomicU64::new(0);
 
@@ -109,7 +169,7 @@ pub fn run_ordered<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize) -> (Vec<T>, P
                     .take();
                 if let Some(job) = job {
                     let j0 = Instant::now();
-                    let out = job();
+                    let out = run_one(i, job);
                     busy.fetch_add(j0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     *outputs[i]
                         .lock()
@@ -119,7 +179,7 @@ pub fn run_ordered<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize) -> (Vec<T>, P
         }
     });
 
-    let results: Vec<T> = outputs
+    let results: Vec<Result<T, JobPanic>> = outputs
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
@@ -186,6 +246,62 @@ mod tests {
         let (res, stats) = run_ordered(square_jobs(3), 16);
         assert_eq!(res, vec![0, 1, 4]);
         assert!(stats.workers <= 3);
+    }
+
+    /// Jobs where every third one panics — for the isolation tests.
+    fn faulty_jobs(n: usize) -> Vec<Job<'static, usize>> {
+        (0..n)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 3 == 2 {
+                        panic!("job {i} exploded");
+                    }
+                    i * i
+                }) as Job<'static, usize>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panicking_jobs_are_isolated_and_deterministic() {
+        // Silence the default panic hook for the intentional panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut runs = Vec::new();
+        for workers in [1, 2, 4, 8] {
+            let (results, stats) = run_ordered_caught(faulty_jobs(20), workers);
+            assert_eq!(stats.jobs, 20);
+            runs.push(results);
+        }
+        std::panic::set_hook(prev);
+
+        // Every worker count produces the identical result vector.
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0]);
+        }
+        for (i, r) in runs[0].iter().enumerate() {
+            if i % 3 == 2 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, i);
+                assert_eq!(p.message, format!("job {i} exploded"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn run_ordered_reraises_the_first_panic() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| run_ordered(faulty_jobs(6), 2));
+        std::panic::set_hook(prev);
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("pool job 2 panicked"), "got: {msg}");
     }
 
     #[test]

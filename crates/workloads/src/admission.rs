@@ -1,0 +1,518 @@
+//! The overload control plane: admission policies (load shedding), request
+//! deadlines, and a deterministic client retry model.
+//!
+//! Everything here is plain data plus a little state machine — no wall
+//! clocks, no ambient randomness. Retry backoff draws from a dedicated RNG
+//! substream forked off the client task's stream, so enabling retries
+//! perturbs neither the arrival process nor any other task, and a retry
+//! storm replays byte-for-byte from the run seed.
+
+use oversub_simcore::SimRng;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// How one request attempt left the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Finished within its deadline (or no deadline was configured).
+    Completed,
+    /// Finished, but past its deadline — wasted work from the client's view.
+    DeadlineExceeded,
+    /// Rejected at the generator→worker boundary by the admission policy.
+    Shed,
+    /// Admitted but never completed before the run ended.
+    Abandoned,
+}
+
+/// Load-shedding policy applied where the generator hands requests to
+/// workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit everything (the PR 7 behaviour).
+    None,
+    /// Shed when more than this many admitted requests are waiting to
+    /// start service.
+    QueueCap(u64),
+    /// CoDel-style queue-delay shedder: track the queueing delay observed
+    /// at service start; once it has stayed above `target_ns` for a full
+    /// `interval_ns`, shed arrivals until a below-target delay (or an
+    /// empty queue) is observed. This is the sojourn-target + interval
+    /// hysteresis core of CoDel with bang-bang dropping rather than the
+    /// sqrt-spaced drop schedule — at µs-scale service times the sqrt
+    /// schedule sheds far too slowly to matter.
+    CoDel {
+        /// Acceptable standing queueing delay.
+        target_ns: u64,
+        /// How long the delay must stay above target before shedding.
+        interval_ns: u64,
+    },
+}
+
+/// Deterministic client retry model: exponential backoff with seeded full
+/// jitter, a per-request attempt budget, and re-injection into the open
+/// loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts per request (1 = no retries).
+    pub budget: u32,
+    /// Backoff bound before the first retry; doubles per attempt.
+    pub base_backoff_ns: u64,
+    /// Cap on the backoff bound.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 3,
+            base_backoff_ns: 500_000,
+            max_backoff_ns: 5_000_000,
+        }
+    }
+}
+
+/// Per-run overload configuration, carried from `RunConfig` into
+/// `WorldBuilder` and picked up by every request family's sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadParams {
+    /// Request deadline; 0 means no deadline (every completion is good).
+    pub deadline_ns: u64,
+    /// Load-shedding policy at the generator→worker boundary.
+    pub admission: AdmissionPolicy,
+    /// Client retry model; `None` disables retries.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl Default for OverloadParams {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl OverloadParams {
+    /// The PR 7 behaviour: no deadlines, no shedding, no retries.
+    pub fn disabled() -> Self {
+        OverloadParams {
+            deadline_ns: 0,
+            admission: AdmissionPolicy::None,
+            retry: None,
+        }
+    }
+
+    /// True when any part of the control plane is switched on. When false,
+    /// every workload runs its exact pre-overload code path.
+    pub fn enabled(&self) -> bool {
+        self.deadline_ns > 0 || self.admission != AdmissionPolicy::None || self.retry.is_some()
+    }
+
+    /// Set the request deadline.
+    pub fn with_deadline_ns(mut self, ns: u64) -> Self {
+        self.deadline_ns = ns;
+        self
+    }
+
+    /// Set the admission policy.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Enable retries.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+}
+
+/// Mutable admission-control state (lives inside the request sink).
+#[derive(Debug, Default)]
+pub struct AdmissionState {
+    /// Admitted requests that have not yet started service.
+    pub in_queue: u64,
+    /// When the observed queueing delay first exceeded the CoDel target.
+    first_above_since: Option<u64>,
+    /// Whether the CoDel shedder is currently dropping arrivals.
+    dropping: bool,
+}
+
+impl AdmissionState {
+    /// Feed a queueing-delay observation (taken when a worker starts a
+    /// request) to the CoDel controller.
+    pub fn observe(&mut self, policy: &AdmissionPolicy, queue_ns: u64, now_ns: u64) {
+        if let AdmissionPolicy::CoDel {
+            target_ns,
+            interval_ns,
+        } = *policy
+        {
+            if queue_ns < target_ns {
+                self.first_above_since = None;
+                self.dropping = false;
+            } else {
+                match self.first_above_since {
+                    None => self.first_above_since = Some(now_ns),
+                    Some(since) => {
+                        if now_ns.saturating_sub(since) >= interval_ns {
+                            self.dropping = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decide one arrival. Does not touch `in_queue`; the caller counts
+    /// admitted requests.
+    pub fn admit(&mut self, policy: &AdmissionPolicy) -> bool {
+        match *policy {
+            AdmissionPolicy::None => true,
+            AdmissionPolicy::QueueCap(cap) => self.in_queue < cap,
+            AdmissionPolicy::CoDel { .. } => {
+                if self.in_queue == 0 {
+                    // An empty queue always resets the controller: there is
+                    // no standing delay left to shed.
+                    self.dropping = false;
+                    self.first_above_since = None;
+                    true
+                } else {
+                    !self.dropping
+                }
+            }
+        }
+    }
+
+    /// Whether the CoDel controller is currently shedding.
+    pub fn dropping(&self) -> bool {
+        self.dropping
+    }
+}
+
+/// Full-jitter exponential backoff (AWS style): uniform in
+/// `[1, min(max, base << (attempt - 2)))`, drawn from the dedicated retry
+/// substream. `attempt` is the attempt number about to be injected (>= 2).
+pub fn backoff_full_jitter(rng: &mut SimRng, retry: &RetryPolicy, attempt: u32) -> u64 {
+    let exp = attempt.saturating_sub(2).min(32);
+    let cap = retry.max_backoff_ns.max(1);
+    let bound = retry
+        .base_backoff_ns
+        .max(1)
+        .saturating_mul(1u64 << exp)
+        .min(cap);
+    rng.gen_range(bound) + 1
+}
+
+/// Shared "response received" flags: one slot per admitted attempt, set by
+/// the server worker at completion and read by the client's timeout check.
+pub type DoneFlags = Rc<RefCell<Vec<bool>>>;
+
+/// A pending client-side event.
+enum Pending<P> {
+    /// Deadline check for an in-flight attempt.
+    Timeout {
+        slot: usize,
+        payload: P,
+        attempt: u32,
+    },
+    /// A backed-off retry is due for re-injection.
+    Retry { payload: P, attempt: u32 },
+}
+
+/// What the open-loop client should do next.
+pub enum ClientPoll<P> {
+    /// Sleep this long until the next client-side event.
+    Sleep(u64),
+    /// No next arrival scheduled: draw a gap and call
+    /// [`OpenLoopOverload::set_next_arrival`].
+    NeedGap,
+    /// A fresh arrival is due now; call [`OpenLoopOverload::take_arrival`],
+    /// draw the request, and inject it.
+    Arrival,
+    /// A deadline check fired for this attempt.
+    Timeout {
+        slot: usize,
+        payload: P,
+        attempt: u32,
+    },
+    /// A retry is due for re-injection now.
+    Retry { payload: P, attempt: u32 },
+}
+
+/// Client-side overload machinery for open-loop request generators:
+/// merges the arrival process with deadline-timeout checks and backed-off
+/// retries into one deterministic event stream.
+///
+/// Pending events live in a `BTreeMap` keyed `(fire_ns, seq)` so iteration
+/// order is by virtual time with FIFO tie-breaks — deterministic
+/// regardless of insertion pattern.
+pub struct OpenLoopOverload<P> {
+    /// The run's overload parameters.
+    pub params: OverloadParams,
+    pending: BTreeMap<(u64, u64), Pending<P>>,
+    seq: u64,
+    next_arrival: Option<u64>,
+    retry_rng: Option<SimRng>,
+    done: DoneFlags,
+}
+
+/// Stream tag for the dedicated retry-backoff RNG substream.
+const RETRY_STREAM: u64 = 0xB0FF_1E55;
+
+impl<P: Copy> OpenLoopOverload<P> {
+    /// New helper for a client running under `params`.
+    pub fn new(params: OverloadParams) -> Self {
+        OpenLoopOverload {
+            params,
+            pending: BTreeMap::new(),
+            seq: 0,
+            next_arrival: None,
+            retry_rng: None,
+            done: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// The shared completion flags (clone into injected requests).
+    pub fn done_flags(&self) -> DoneFlags {
+        self.done.clone()
+    }
+
+    /// Allocate a completion slot for a newly admitted attempt.
+    pub fn new_slot(&mut self) -> usize {
+        let mut d = self.done.borrow_mut();
+        d.push(false);
+        d.len() - 1
+    }
+
+    /// Whether the attempt in `slot` has completed.
+    pub fn is_done(&self, slot: usize) -> bool {
+        self.done.borrow().get(slot).copied().unwrap_or(false)
+    }
+
+    /// Record the next fresh-arrival time (after drawing a gap).
+    pub fn set_next_arrival(&mut self, at_ns: u64) {
+        self.next_arrival = Some(at_ns);
+    }
+
+    /// Consume the due arrival (call when handling [`ClientPoll::Arrival`]).
+    pub fn take_arrival(&mut self) {
+        self.next_arrival = None;
+    }
+
+    /// Schedule the deadline check for an in-flight attempt. Fires one
+    /// nanosecond past the deadline so a completion exactly at the deadline
+    /// beats the check.
+    pub fn schedule_timeout(&mut self, now_ns: u64, slot: usize, payload: P, attempt: u32) {
+        let at = now_ns
+            .saturating_add(self.params.deadline_ns)
+            .saturating_add(1);
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.pending.insert(
+            key,
+            Pending::Timeout {
+                slot,
+                payload,
+                attempt,
+            },
+        );
+    }
+
+    /// Schedule a retry with full-jitter backoff. `client_rng` seeds the
+    /// dedicated retry substream on first use (`fork` does not perturb the
+    /// client's own stream).
+    pub fn schedule_retry(
+        &mut self,
+        now_ns: u64,
+        payload: P,
+        attempt: u32,
+        client_rng: &SimRng,
+    ) -> bool {
+        let Some(retry) = self.params.retry else {
+            return false;
+        };
+        if attempt > retry.budget {
+            return false;
+        }
+        let rng = self
+            .retry_rng
+            .get_or_insert_with(|| client_rng.fork(RETRY_STREAM));
+        let delay = backoff_full_jitter(rng, &retry, attempt);
+        let key = (now_ns.saturating_add(delay), self.seq);
+        self.seq += 1;
+        self.pending
+            .insert(key, Pending::Retry { payload, attempt });
+        true
+    }
+
+    /// Next client action at virtual time `now_ns`. Pending timeout/retry
+    /// events fire before a fresh arrival due at the same instant.
+    pub fn poll(&mut self, now_ns: u64) -> ClientPoll<P> {
+        let pending_at = self.pending.keys().next().map(|&(at, _)| at);
+        let due = match (pending_at, self.next_arrival) {
+            (None, None) => return ClientPoll::NeedGap,
+            (Some(p), None) => (p, true),
+            (None, Some(a)) => (a, false),
+            (Some(p), Some(a)) => {
+                if p <= a {
+                    (p, true)
+                } else {
+                    (a, false)
+                }
+            }
+        };
+        let (at, is_pending) = due;
+        if at > now_ns {
+            return ClientPoll::Sleep(at - now_ns);
+        }
+        if !is_pending {
+            return ClientPoll::Arrival;
+        }
+        let key = *self
+            .pending
+            .keys()
+            .next()
+            .expect("pending event disappeared");
+        match self
+            .pending
+            .remove(&key)
+            .expect("pending event disappeared")
+        {
+            Pending::Timeout {
+                slot,
+                payload,
+                attempt,
+            } => ClientPoll::Timeout {
+                slot,
+                payload,
+                attempt,
+            },
+            Pending::Retry { payload, attempt } => ClientPoll::Retry { payload, attempt },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_cap_sheds_above_cap() {
+        let mut st = AdmissionState::default();
+        let pol = AdmissionPolicy::QueueCap(2);
+        assert!(st.admit(&pol));
+        st.in_queue = 2;
+        assert!(!st.admit(&pol));
+        st.in_queue = 1;
+        assert!(st.admit(&pol));
+    }
+
+    #[test]
+    fn codel_requires_sustained_delay_then_drops_until_below_target() {
+        let mut st = AdmissionState::default();
+        let pol = AdmissionPolicy::CoDel {
+            target_ns: 1_000,
+            interval_ns: 5_000,
+        };
+        st.in_queue = 10;
+        // Above target, but not yet for a full interval.
+        st.observe(&pol, 2_000, 10_000);
+        assert!(st.admit(&pol));
+        st.observe(&pol, 2_000, 12_000);
+        assert!(st.admit(&pol));
+        // Interval elapsed with delay still above target: start dropping.
+        st.observe(&pol, 2_000, 15_000);
+        assert!(st.dropping());
+        assert!(!st.admit(&pol));
+        // A below-target observation exits dropping immediately.
+        st.observe(&pol, 500, 16_000);
+        assert!(st.admit(&pol));
+        // Re-entering takes a full interval again.
+        st.observe(&pol, 2_000, 17_000);
+        assert!(st.admit(&pol));
+    }
+
+    #[test]
+    fn codel_resets_on_empty_queue() {
+        let mut st = AdmissionState::default();
+        let pol = AdmissionPolicy::CoDel {
+            target_ns: 1_000,
+            interval_ns: 1_000,
+        };
+        st.in_queue = 4;
+        st.observe(&pol, 5_000, 0);
+        st.observe(&pol, 5_000, 2_000);
+        assert!(!st.admit(&pol));
+        st.in_queue = 0;
+        assert!(st.admit(&pol));
+        assert!(!st.dropping());
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let retry = RetryPolicy {
+            budget: 8,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 4_000,
+        };
+        let mut a = SimRng::new(7).fork(RETRY_STREAM);
+        let mut b = SimRng::new(7).fork(RETRY_STREAM);
+        for attempt in 2..10u32 {
+            let bound = 1_000u64.saturating_mul(1 << (attempt - 2)).min(4_000);
+            let d = backoff_full_jitter(&mut a, &retry, attempt);
+            assert!(d >= 1 && d <= bound, "attempt {attempt}: {d} vs {bound}");
+            assert_eq!(d, backoff_full_jitter(&mut b, &retry, attempt));
+        }
+    }
+
+    #[test]
+    fn poll_orders_pending_before_same_instant_arrival() {
+        let params = OverloadParams::disabled()
+            .with_deadline_ns(100)
+            .with_retry(RetryPolicy::default());
+        let mut ov: OpenLoopOverload<u32> = OpenLoopOverload::new(params);
+        assert!(matches!(ov.poll(0), ClientPoll::NeedGap));
+        ov.set_next_arrival(101);
+        let slot = ov.new_slot();
+        ov.schedule_timeout(0, slot, 7, 1); // fires at 101 too
+        match ov.poll(50) {
+            ClientPoll::Sleep(ns) => assert_eq!(ns, 51),
+            _ => panic!("expected sleep"),
+        }
+        assert!(matches!(
+            ov.poll(101),
+            ClientPoll::Timeout {
+                slot: 0,
+                payload: 7,
+                attempt: 1
+            }
+        ));
+        assert!(matches!(ov.poll(101), ClientPoll::Arrival));
+        ov.take_arrival();
+        assert!(matches!(ov.poll(101), ClientPoll::NeedGap));
+    }
+
+    #[test]
+    fn retry_respects_budget() {
+        let params = OverloadParams::disabled()
+            .with_deadline_ns(100)
+            .with_retry(RetryPolicy {
+                budget: 2,
+                ..RetryPolicy::default()
+            });
+        let mut ov: OpenLoopOverload<u32> = OpenLoopOverload::new(params);
+        let rng = SimRng::new(3);
+        assert!(ov.schedule_retry(0, 1, 2, &rng));
+        assert!(!ov.schedule_retry(0, 1, 3, &rng));
+    }
+
+    #[test]
+    fn disabled_params_report_disabled() {
+        assert!(!OverloadParams::disabled().enabled());
+        assert!(OverloadParams::disabled().with_deadline_ns(1).enabled());
+        assert!(OverloadParams::disabled()
+            .with_admission(AdmissionPolicy::QueueCap(5))
+            .enabled());
+        assert!(OverloadParams::disabled()
+            .with_retry(RetryPolicy::default())
+            .enabled());
+    }
+}

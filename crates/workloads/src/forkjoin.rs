@@ -91,6 +91,7 @@ impl Workload for ForkJoin {
         assert!(self.active >= 1 && self.active <= self.pool);
         // Per-run sink (see `RequestSink::reset`).
         self.sink.reset();
+        self.sink.configure(w.overload);
         let work_sem: SemId = w.semaphore(0);
         let done_sem: SemId = w.semaphore(0);
         let state = Rc::new(RegionState {
@@ -134,6 +135,13 @@ impl Workload for ForkJoin {
     fn cache_key(&self) -> Option<String> {
         Some(format!("{self:?}"))
     }
+
+    fn min_service_ns(&self) -> Option<u64> {
+        // The critical path of a region: each active worker's share of the
+        // self-scheduled chunks, at the jitter floor (±20%).
+        let waves = self.chunks.div_ceil(self.active.max(1)) as u64;
+        Some((waves.saturating_mul(self.chunk_ns) as f64 * 0.8) as u64)
+    }
 }
 
 /// The master: per region, reset the chunk counter, release `active`
@@ -170,8 +178,15 @@ impl Program for Master {
         match self.st {
             0 => {
                 // Serial part + region setup. The region "request" arrives
-                // here: the serial part is part of its queueing delay.
-                self.clock = Some(RequestClock::arrive(ctx.now.as_nanos()));
+                // here: the serial part is part of its queueing delay. A
+                // shed region runs its serial part but skips the parallel
+                // body entirely (no fork, no join).
+                let now = ctx.now.as_nanos();
+                if !self.sink.try_admit(now, 1) {
+                    self.region += 1;
+                    return Action::Compute { ns: 15_000 };
+                }
+                self.clock = Some(RequestClock::arrive(now));
                 self.state.next_chunk.set(0);
                 self.state.chunks.set(self.chunks);
                 self.state.finished_workers.set(0);
@@ -185,8 +200,11 @@ impl Program for Master {
                 if self.posted < self.state.active.get() {
                     if self.posted == 0 {
                         // Service starts with the first wake-up post.
+                        let now = ctx.now.as_nanos();
                         if let Some(c) = &mut self.clock {
-                            c.started(ctx.now.as_nanos());
+                            c.started(now);
+                            self.sink
+                                .note_started(now.saturating_sub(c.arrival_ns()), now);
                         }
                     }
                     self.posted += 1;

@@ -5,6 +5,7 @@
 //! This crate also defines the [`workload::Workload`] interface that the
 //! `oversub` engine executes.
 
+pub mod admission;
 pub mod forkjoin;
 pub mod memcached;
 pub mod micro;
@@ -13,6 +14,7 @@ pub mod skeletons;
 pub mod webserving;
 pub mod workload;
 
+pub use admission::{AdmissionPolicy, OverloadParams, RequestOutcome, RetryPolicy};
 pub use forkjoin::ForkJoin;
 pub use memcached::Memcached;
 pub use pipeline::{SpinPipeline, WaitFlavor};

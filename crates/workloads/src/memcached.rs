@@ -20,12 +20,27 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::admission::{ClientPoll, DoneFlags, OpenLoopOverload};
 use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
 
-/// A queued request: lifecycle stamps and service cost.
-#[derive(Clone, Copy, Debug)]
+/// CPU cost of a client-side deadline check or shed-error reply.
+const CLIENT_CHECK_NS: u64 = 300;
+
+/// A queued request: lifecycle stamps, service cost, and (under the
+/// overload control plane) the completion slot the client's deadline
+/// timeout checks.
+#[derive(Clone, Debug)]
 struct Request {
     clock: RequestClock,
+    service_ns: u64,
+    lock_idx: usize,
+    done: Option<(DoneFlags, usize)>,
+}
+
+/// What the client must remember to retry a request: the draws that
+/// define it (re-used verbatim on re-injection).
+#[derive(Clone, Copy)]
+struct McPayload {
     service_ns: u64,
     lock_idx: usize,
 }
@@ -102,6 +117,7 @@ impl Workload for Memcached {
         // Per-run sink: sweeps run build→run→collect per arm on the same
         // workload instance, so samples must not leak across runs.
         self.sink.reset();
+        self.sink.configure(w.overload);
         let locks: Vec<LockId> = (0..self.hash_locks).map(|_| w.mutex()).collect();
         let mut eps = Vec::new();
         let mut queues: Vec<Queue> = Vec::new();
@@ -137,6 +153,11 @@ impl Workload for Memcached {
                     set_ns: self.set_service_ns,
                     hash_locks: self.hash_locks,
                     sending: false,
+                    sink: self.sink.clone(),
+                    ov: w
+                        .overload
+                        .enabled()
+                        .then(|| OpenLoopOverload::new(w.overload)),
                 }))
                 .pinned_to(CpuId(self.server_cores + c)),
             );
@@ -150,6 +171,12 @@ impl Workload for Memcached {
     fn cache_key(&self) -> Option<String> {
         Some(format!("{self:?}"))
     }
+
+    fn min_service_ns(&self) -> Option<u64> {
+        // Service draws are jittered ±20% around the GET/SET costs.
+        let base = self.get_service_ns.min(self.set_service_ns);
+        Some((base as f64 * 0.8) as u64)
+    }
 }
 
 enum WorkerState {
@@ -157,16 +184,12 @@ enum WorkerState {
     Waiting,
     /// Just returned from epoll_wait / finished a request: pop next.
     Dispatch,
-    /// Holding `lock`, about to compute the service time.
-    InCs {
-        lock: LockId,
-        clock: RequestClock,
-        service_ns: u64,
-    },
+    /// Holding the item lock, about to compute the service time.
+    InCs { lock: LockId, req: Request },
     /// Service done, about to unlock.
-    Unlock { lock: LockId, clock: RequestClock },
+    Unlock { lock: LockId, req: Request },
     /// Request complete: record the lifecycle, then dispatch.
-    Record { clock: RequestClock },
+    Record { req: Request },
 }
 
 struct WorkerProg {
@@ -180,7 +203,7 @@ struct WorkerProg {
 impl Program for WorkerProg {
     fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
         loop {
-            match self.state {
+            match std::mem::replace(&mut self.state, WorkerState::Waiting) {
                 WorkerState::Waiting => {
                     self.state = WorkerState::Dispatch;
                     return Action::Sync(SyncOp::EpollWait(self.ep));
@@ -192,13 +215,12 @@ impl Program for WorkerProg {
                             // Service begins now; everything before this
                             // stamp is queueing (epoll wakeup latency
                             // included — the path oversubscription hurts).
-                            r.clock.started(ctx.now.as_nanos());
-                            self.state = WorkerState::InCs {
-                                lock: self.locks[r.lock_idx],
-                                clock: r.clock,
-                                service_ns: r.service_ns,
-                            };
+                            let now = ctx.now.as_nanos();
+                            r.clock.started(now);
+                            self.sink
+                                .note_started(now.saturating_sub(r.clock.arrival_ns()), now);
                             let lock = self.locks[r.lock_idx];
+                            self.state = WorkerState::InCs { lock, req: r };
                             return Action::Sync(SyncOp::MutexLock(lock));
                         }
                         None => {
@@ -207,20 +229,24 @@ impl Program for WorkerProg {
                         }
                     }
                 }
-                WorkerState::InCs {
-                    lock,
-                    clock,
-                    service_ns,
-                } => {
-                    self.state = WorkerState::Unlock { lock, clock };
-                    return Action::Compute { ns: service_ns };
+                WorkerState::InCs { lock, req } => {
+                    let ns = req.service_ns;
+                    self.state = WorkerState::Unlock { lock, req };
+                    return Action::Compute { ns };
                 }
-                WorkerState::Unlock { lock, clock } => {
-                    self.state = WorkerState::Record { clock };
+                WorkerState::Unlock { lock, req } => {
+                    self.state = WorkerState::Record { req };
                     return Action::Sync(SyncOp::MutexUnlock(lock));
                 }
-                WorkerState::Record { clock } => {
-                    self.sink.complete(clock, ctx.now.as_nanos());
+                WorkerState::Record { req } => {
+                    // The response is out: let the client's deadline check
+                    // see it, then seal the lifecycle record.
+                    if let Some((flags, slot)) = &req.done {
+                        if let Some(f) = flags.borrow_mut().get_mut(*slot) {
+                            *f = true;
+                        }
+                    }
+                    self.sink.complete(req.clock, ctx.now.as_nanos());
                     self.state = WorkerState::Dispatch;
                     continue;
                 }
@@ -243,10 +269,102 @@ struct ClientProg {
     set_ns: u64,
     hash_locks: usize,
     sending: bool,
+    sink: RequestSink,
+    /// Overload machinery; `None` runs the exact pre-overload client.
+    ov: Option<OpenLoopOverload<McPayload>>,
+}
+
+impl ClientProg {
+    /// Send one attempt through admission: enqueue to a worker on admit,
+    /// or burn a tiny error-reply cost (and maybe back off a retry) on
+    /// shed.
+    fn inject(&mut self, p: McPayload, attempt: u32, now: u64, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.sink.try_admit(now, 1) {
+            let ov = self.ov.as_mut().expect("overload client state");
+            let mut done = None;
+            if ov.params.deadline_ns > 0 && ov.params.retry.is_some() {
+                let slot = ov.new_slot();
+                ov.schedule_timeout(now, slot, p, attempt);
+                done = Some((ov.done_flags(), slot));
+            }
+            let wi = self.next_worker;
+            self.next_worker = (self.next_worker + 1) % self.queues.len();
+            self.queues[wi].borrow_mut().push_back(Request {
+                clock: RequestClock::arrive(now).with_attempt(attempt),
+                service_ns: p.service_ns,
+                lock_idx: p.lock_idx,
+                done,
+            });
+            Action::Sync(SyncOp::EpollPost(self.eps[wi], 1))
+        } else {
+            let ov = self.ov.as_mut().expect("overload client state");
+            ov.schedule_retry(now, p, attempt + 1, ctx.rng);
+            Action::Compute {
+                ns: CLIENT_CHECK_NS,
+            }
+        }
+    }
+
+    /// The overload-aware client loop: one deterministic event stream
+    /// merging fresh arrivals, deadline checks, and backed-off retries.
+    fn next_overload(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        let now = ctx.now.as_nanos();
+        loop {
+            let ov = self.ov.as_mut().expect("overload client state");
+            match ov.poll(now) {
+                ClientPoll::Sleep(ns) => return Action::IoWait { ns },
+                ClientPoll::NeedGap => {
+                    let gap = ctx.rng.gen_exp(self.mean_gap_ns).max(200.0) as u64;
+                    let ov = self.ov.as_mut().expect("overload client state");
+                    ov.set_next_arrival(now + gap);
+                }
+                ClientPoll::Arrival => {
+                    ov.take_arrival();
+                    // Same draws, in the same order, as the legacy client.
+                    let is_get = ctx.rng.gen_bool(self.get_frac);
+                    let service_ns = ctx
+                        .rng
+                        .jitter(if is_get { self.get_ns } else { self.set_ns }, 0.2);
+                    let lock_idx = ctx.rng.gen_index(self.hash_locks);
+                    let gap = ctx.rng.gen_exp(self.mean_gap_ns).max(200.0) as u64;
+                    let ov = self.ov.as_mut().expect("overload client state");
+                    ov.set_next_arrival(now + gap);
+                    return self.inject(
+                        McPayload {
+                            service_ns,
+                            lock_idx,
+                        },
+                        1,
+                        now,
+                        ctx,
+                    );
+                }
+                ClientPoll::Timeout {
+                    slot,
+                    payload,
+                    attempt,
+                } => {
+                    if !ov.is_done(slot) {
+                        ov.schedule_retry(now, payload, attempt + 1, ctx.rng);
+                    }
+                    return Action::Compute {
+                        ns: CLIENT_CHECK_NS,
+                    };
+                }
+                ClientPoll::Retry { payload, attempt } => {
+                    self.sink.record_retry();
+                    return self.inject(payload, attempt, now, ctx);
+                }
+            }
+        }
+    }
 }
 
 impl Program for ClientProg {
     fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.ov.is_some() {
+            return self.next_overload(ctx);
+        }
         if self.sending {
             // Woken after the inter-arrival gap: emit the request *now*.
             self.sending = false;
@@ -261,6 +379,7 @@ impl Program for ClientProg {
                 clock: RequestClock::arrive(ctx.now.as_nanos()),
                 service_ns,
                 lock_idx,
+                done: None,
             });
             return Action::Sync(SyncOp::EpollPost(self.eps[wi], 1));
         }

@@ -26,6 +26,12 @@ use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuil
 /// start/completion as the item leaves the pipeline.
 type ItemClocks = Rc<RefCell<Vec<RequestClock>>>;
 
+/// Per-item shed flags, written by the first stage as it offers each item
+/// to admission and read by every stage: a shed item still traverses the
+/// pipeline (progress counters must advance to keep the hand-off protocol
+/// intact) but no stage spends service time on it.
+type ItemShed = Rc<RefCell<Vec<bool>>>;
+
 /// How downstream stages wait for upstream completion.
 #[derive(Clone, Copy, Debug)]
 pub enum WaitFlavor {
@@ -87,7 +93,9 @@ impl Workload for SpinPipeline {
     fn build(&mut self, w: &mut WorldBuilder) {
         // Per-run sink (see `RequestSink::reset`).
         self.sink.reset();
+        self.sink.configure(w.overload);
         let clocks: ItemClocks = Rc::new(RefCell::new(Vec::with_capacity(self.items)));
+        let shed: ItemShed = Rc::new(RefCell::new(Vec::with_capacity(self.items)));
         match self.flavor {
             WaitFlavor::Flags => {
                 // progress[i] = number of items stage i has completed.
@@ -121,6 +129,7 @@ impl Workload for SpinPipeline {
                         is_first,
                         is_last,
                         sink: self.sink.clone(),
+                        shed: shed.clone(),
                     })));
                 }
             }
@@ -150,6 +159,7 @@ impl Workload for SpinPipeline {
                         is_first,
                         is_last,
                         sink: self.sink.clone(),
+                        shed: shed.clone(),
                     })));
                 }
             }
@@ -162,6 +172,11 @@ impl Workload for SpinPipeline {
 
     fn cache_key(&self) -> Option<String> {
         Some(format!("{self:?}"))
+    }
+
+    fn min_service_ns(&self) -> Option<u64> {
+        // An item must cross every stage even with zero queueing.
+        Some(self.stage_ns.saturating_mul(self.stages as u64))
     }
 }
 
@@ -181,6 +196,14 @@ struct FlagStage {
     is_first: bool,
     is_last: bool,
     sink: RequestSink,
+    /// Per-item shed flags (written by the first stage at admission).
+    shed: ItemShed,
+}
+
+impl FlagStage {
+    fn item_shed(&self) -> bool {
+        self.shed.borrow().get(self.done).copied().unwrap_or(false)
+    }
 }
 
 impl Program for FlagStage {
@@ -218,24 +241,36 @@ impl Program for FlagStage {
             2 => {
                 self.st = 3;
                 let now = ctx.now.as_nanos();
-                if let Some(clocks) = &self.clocks {
-                    // The first stage admits the item into the pipeline:
-                    // this is its arrival. The last stage begins the final
-                    // leg of service; for a single-stage pipeline both
-                    // stamps land here.
-                    if self.is_first {
+                // The first stage admits the item into the pipeline: this
+                // is its arrival, and the admission decision for the whole
+                // cascade. The last stage begins the final leg of service;
+                // for a single-stage pipeline both stamps land here.
+                if self.is_first {
+                    let admit = self.sink.try_admit(now, 1);
+                    self.shed.borrow_mut().push(!admit);
+                    if let Some(clocks) = &self.clocks {
                         clocks.borrow_mut().push(RequestClock::arrive(now));
                     }
-                    if self.is_last {
-                        if let Some(c) = clocks.borrow_mut().get_mut(self.done) {
+                }
+                let shed = self.item_shed();
+                if self.is_last && !shed {
+                    let arrival = self.clocks.as_ref().and_then(|clocks| {
+                        clocks.borrow_mut().get_mut(self.done).map(|c| {
                             c.started(now);
-                        }
+                            c.arrival_ns()
+                        })
+                    });
+                    if let Some(arr) = arrival {
+                        self.sink.note_started(now.saturating_sub(arr), now);
                     }
                 }
-                Action::Compute { ns: self.stage_ns }
+                // A shed item crosses the stage at hand-off cost only.
+                Action::Compute {
+                    ns: if shed { 1 } else { self.stage_ns },
+                }
             }
             _ => {
-                if self.is_last {
+                if self.is_last && !self.item_shed() {
                     let clock = self
                         .clocks
                         .as_ref()
@@ -276,6 +311,14 @@ struct LockStage {
     is_first: bool,
     is_last: bool,
     sink: RequestSink,
+    /// Per-item shed flags (written by the first stage at admission).
+    shed: ItemShed,
+}
+
+impl LockStage {
+    fn item_shed(&self) -> bool {
+        self.shed.borrow().get(self.done).copied().unwrap_or(false)
+    }
 }
 
 impl Program for LockStage {
@@ -315,20 +358,31 @@ impl Program for LockStage {
             3 => {
                 self.st = 4;
                 let now = ctx.now.as_nanos();
-                if let Some(clocks) = &self.clocks {
-                    // Same lifecycle points as the flag flavour: arrival as
-                    // the first stage admits the item, service start as the
-                    // last stage begins its leg.
-                    if self.is_first {
+                // Same lifecycle points as the flag flavour: arrival (and
+                // the admission decision) as the first stage admits the
+                // item, service start as the last stage begins its leg.
+                if self.is_first {
+                    let admit = self.sink.try_admit(now, 1);
+                    self.shed.borrow_mut().push(!admit);
+                    if let Some(clocks) = &self.clocks {
                         clocks.borrow_mut().push(RequestClock::arrive(now));
                     }
-                    if self.is_last {
-                        if let Some(c) = clocks.borrow_mut().get_mut(self.done) {
+                }
+                let shed = self.item_shed();
+                if self.is_last && !shed {
+                    let arrival = self.clocks.as_ref().and_then(|clocks| {
+                        clocks.borrow_mut().get_mut(self.done).map(|c| {
                             c.started(now);
-                        }
+                            c.arrival_ns()
+                        })
+                    });
+                    if let Some(arr) = arrival {
+                        self.sink.note_started(now.saturating_sub(arr), now);
                     }
                 }
-                Action::Compute { ns: self.stage_ns }
+                Action::Compute {
+                    ns: if shed { 1 } else { self.stage_ns },
+                }
             }
             4 => {
                 self.st = 5;
@@ -342,7 +396,7 @@ impl Program for LockStage {
                 })
             }
             _ => {
-                if self.is_last {
+                if self.is_last && !self.item_shed() {
                     let clock = self
                         .clocks
                         .as_ref()

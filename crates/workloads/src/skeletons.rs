@@ -707,6 +707,7 @@ impl Workload for Skeleton {
     fn build(&mut self, w: &mut WorldBuilder) {
         // Per-run sink (see `RequestSink::reset`).
         self.sink.reset();
+        self.sink.configure(w.overload);
         let threads = self.threads;
         let phases = self.phases();
         let work = self.profile.work_per_phase_ns(threads);
@@ -841,6 +842,11 @@ impl Workload for Skeleton {
                 // Broadcast timestamps: each worker wake-up is a request
                 // whose arrival is the broadcast that released its round.
                 let bcasts: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+                // Per-round shed flags: the master offers each round's
+                // worker wake-ups to admission at broadcast time; a shed
+                // round still broadcasts (the protocol stays intact) but
+                // workers skip its payload.
+                let shed_rounds: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(Vec::new()));
                 for i in 0..threads {
                     let work_i = work + (i as u64 * 61 + self.salt * 131) % (work / 6 + 1);
                     let (action, mem_action) = self.work_actions(work_i);
@@ -857,6 +863,9 @@ impl Workload for Skeleton {
                                 serial_ns: self.profile.serial_ns.max(1),
                                 state: 0,
                                 bcasts: bcasts.clone(),
+                                shed_rounds: shed_rounds.clone(),
+                                sink: self.sink.clone(),
+                                workers: (threads - 1) as u64,
                             }))
                             .with_footprint(self.profile.ws_bytes / threads as u64),
                         );
@@ -874,6 +883,8 @@ impl Workload for Skeleton {
                                 bcasts: bcasts.clone(),
                                 sink: self.sink.clone(),
                                 woken: None,
+                                shed_rounds: shed_rounds.clone(),
+                                skip_work: false,
                             }))
                             .with_footprint(self.profile.ws_bytes / threads as u64),
                         );
@@ -1014,6 +1025,11 @@ struct CondMaster {
     state: u8,
     /// Broadcast timestamps, one per round (shared with the workers).
     bcasts: Rc<RefCell<Vec<u64>>>,
+    /// Per-round shed flags (shared with the workers).
+    shed_rounds: Rc<RefCell<Vec<bool>>>,
+    sink: RequestSink,
+    /// Wake-up requests offered to admission per round (= worker count).
+    workers: u64,
 }
 
 impl Program for CondMaster {
@@ -1041,8 +1057,13 @@ impl Program for CondMaster {
             4 => {
                 // Holding the mutex: advance the generation, broadcast.
                 // The broadcast instant is the arrival stamp of every
-                // worker wake-up request this round releases.
-                self.bcasts.borrow_mut().push(ctx.now.as_nanos());
+                // worker wake-up request this round releases. The round's
+                // wake-ups are offered to admission as a batch; a shed
+                // round still broadcasts so the protocol stays intact.
+                let now = ctx.now.as_nanos();
+                let admitted = self.sink.try_admit(now, self.workers);
+                self.shed_rounds.borrow_mut().push(!admitted);
+                self.bcasts.borrow_mut().push(now);
                 self.gen.set(self.round + 1);
                 self.state = 5;
                 Action::Sync(SyncOp::CondBroadcast(self.cv))
@@ -1078,6 +1099,10 @@ struct CondWorker {
     /// started = when this worker observed it; completed once the worker
     /// has released the mutex and resumed.
     woken: Option<RequestClock>,
+    /// Per-round shed flags (written by the master at broadcast).
+    shed_rounds: Rc<RefCell<Vec<bool>>>,
+    /// The round just entered was shed: skip its work payload.
+    skip_work: bool,
 }
 
 impl Program for CondWorker {
@@ -1096,10 +1121,16 @@ impl Program for CondWorker {
                     self.sink.complete(clock, ctx.now.as_nanos());
                 }
                 self.state = 1;
+                if self.skip_work {
+                    return Action::Compute { ns: 1 };
+                }
                 self.work
             }
             1 => {
                 self.state = 2;
+                if self.skip_work {
+                    return Action::Compute { ns: 1 };
+                }
                 self.mem.unwrap_or(Action::Compute { ns: 1 })
             }
             2 => {
@@ -1110,10 +1141,24 @@ impl Program for CondWorker {
                 // Mutex held here (CondWait re-acquires on return).
                 if self.gen.get() > self.round {
                     let now = ctx.now.as_nanos();
-                    let arrival = self.bcasts.borrow().get(self.round).copied().unwrap_or(now);
-                    let mut clock = RequestClock::arrive(arrival);
-                    clock.started(now);
-                    self.woken = Some(clock);
+                    let shed = self
+                        .shed_rounds
+                        .borrow()
+                        .get(self.round)
+                        .copied()
+                        .unwrap_or(false);
+                    self.skip_work = shed;
+                    if shed {
+                        // Shed round: no wake-up request is dispatched —
+                        // the worker cycles without a payload.
+                        self.woken = None;
+                    } else {
+                        let arrival = self.bcasts.borrow().get(self.round).copied().unwrap_or(now);
+                        let mut clock = RequestClock::arrive(arrival);
+                        clock.started(now);
+                        self.sink.note_started(now.saturating_sub(arrival), now);
+                        self.woken = Some(clock);
+                    }
                     self.state = 0;
                     self.round += 1;
                     Action::Sync(SyncOp::MutexUnlock(self.m))

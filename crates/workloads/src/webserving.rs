@@ -20,11 +20,25 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::admission::{ClientPoll, DoneFlags, OpenLoopOverload};
 use crate::workload::{RequestClock, RequestSink, ThreadSpec, Workload, WorldBuilder};
 
-#[derive(Clone, Copy, Debug)]
+/// CPU cost of a client-side deadline check or shed-error reply.
+const CLIENT_CHECK_NS: u64 = 300;
+
+#[derive(Clone, Debug)]
 struct Request {
     clock: RequestClock,
+    parse_ns: u64,
+    backend_ns: u64,
+    render_ns: u64,
+    session_lock: usize,
+    done: Option<(DoneFlags, usize)>,
+}
+
+/// The draws defining one request, re-used verbatim on retry.
+#[derive(Clone, Copy)]
+struct WebPayload {
     parse_ns: u64,
     backend_ns: u64,
     render_ns: u64,
@@ -93,6 +107,7 @@ impl Workload for WebServing {
     fn build(&mut self, w: &mut WorldBuilder) {
         // Per-run sink (see `RequestSink::reset`).
         self.sink.reset();
+        self.sink.configure(w.overload);
         let locks: Vec<LockId> = (0..self.session_locks).map(|_| w.mutex()).collect();
         let mut eps = Vec::new();
         let mut queues: Vec<Queue> = Vec::new();
@@ -123,6 +138,11 @@ impl Workload for WebServing {
                     mean_gap_ns: 1e9 / per_client,
                     backend_ns: self.backend_ns,
                     sending: false,
+                    sink: self.sink.clone(),
+                    ov: w
+                        .overload
+                        .enabled()
+                        .then(|| OpenLoopOverload::new(w.overload)),
                 }))
                 .pinned_to(CpuId(self.server_cores + c)),
             );
@@ -135,6 +155,11 @@ impl Workload for WebServing {
 
     fn cache_key(&self) -> Option<String> {
         Some(format!("{self:?}"))
+    }
+
+    fn min_service_ns(&self) -> Option<u64> {
+        // parse (±30%) + backend (±40%) + render (±30%) at their floors.
+        Some((8_000.0 * 0.7 + self.backend_ns as f64 * 0.6 + 20_000.0 * 0.7) as u64)
     }
 }
 
@@ -159,7 +184,7 @@ enum WState {
     },
     /// Record and loop.
     Record {
-        clock: RequestClock,
+        req: Request,
     },
 }
 
@@ -174,7 +199,7 @@ struct WebWorker {
 impl Program for WebWorker {
     fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
         loop {
-            match self.st {
+            match std::mem::replace(&mut self.st, WState::Waiting) {
                 WState::Waiting => {
                     self.st = WState::Dispatch;
                     return Action::Sync(SyncOp::EpollWait(self.ep));
@@ -183,11 +208,13 @@ impl Program for WebWorker {
                     Some(mut req) => {
                         // Service begins now; the gap since arrival is
                         // queueing (epoll wakeup latency included).
-                        req.clock.started(ctx.now.as_nanos());
+                        let now = ctx.now.as_nanos();
+                        req.clock.started(now);
+                        self.sink
+                            .note_started(now.saturating_sub(req.clock.arrival_ns()), now);
+                        let lock = self.locks[req.session_lock % self.locks.len()];
                         self.st = WState::Session { req };
-                        return Action::Sync(SyncOp::MutexLock(
-                            self.locks[req.session_lock % self.locks.len()],
-                        ));
+                        return Action::Sync(SyncOp::MutexLock(lock));
                     }
                     None => {
                         self.st = WState::Waiting;
@@ -195,25 +222,32 @@ impl Program for WebWorker {
                     }
                 },
                 WState::Session { req } => {
+                    let ns = req.parse_ns;
                     self.st = WState::Unlock { req };
-                    return Action::Compute { ns: req.parse_ns };
+                    return Action::Compute { ns };
                 }
                 WState::Unlock { req } => {
+                    let lock = self.locks[req.session_lock % self.locks.len()];
                     self.st = WState::Backend { req };
-                    return Action::Sync(SyncOp::MutexUnlock(
-                        self.locks[req.session_lock % self.locks.len()],
-                    ));
+                    return Action::Sync(SyncOp::MutexUnlock(lock));
                 }
                 WState::Backend { req } => {
+                    let ns = req.backend_ns;
                     self.st = WState::Render { req };
-                    return Action::IoWait { ns: req.backend_ns };
+                    return Action::IoWait { ns };
                 }
                 WState::Render { req } => {
-                    self.st = WState::Record { clock: req.clock };
-                    return Action::Compute { ns: req.render_ns };
+                    let ns = req.render_ns;
+                    self.st = WState::Record { req };
+                    return Action::Compute { ns };
                 }
-                WState::Record { clock } => {
-                    self.sink.complete(clock, ctx.now.as_nanos());
+                WState::Record { req } => {
+                    if let Some((flags, slot)) = &req.done {
+                        if let Some(f) = flags.borrow_mut().get_mut(*slot) {
+                            *f = true;
+                        }
+                    }
+                    self.sink.complete(req.clock, ctx.now.as_nanos());
                     self.st = WState::Dispatch;
                     continue;
                 }
@@ -233,10 +267,92 @@ struct WebClient {
     mean_gap_ns: f64,
     backend_ns: u64,
     sending: bool,
+    sink: RequestSink,
+    /// Overload machinery; `None` runs the exact pre-overload client.
+    ov: Option<OpenLoopOverload<WebPayload>>,
+}
+
+impl WebClient {
+    fn inject(&mut self, p: WebPayload, attempt: u32, now: u64, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.sink.try_admit(now, 1) {
+            let ov = self.ov.as_mut().expect("overload client state");
+            let mut done = None;
+            if ov.params.deadline_ns > 0 && ov.params.retry.is_some() {
+                let slot = ov.new_slot();
+                ov.schedule_timeout(now, slot, p, attempt);
+                done = Some((ov.done_flags(), slot));
+            }
+            let wi = self.next;
+            self.next = (self.next + 1) % self.queues.len();
+            self.queues[wi].borrow_mut().push_back(Request {
+                clock: RequestClock::arrive(now).with_attempt(attempt),
+                parse_ns: p.parse_ns,
+                backend_ns: p.backend_ns,
+                render_ns: p.render_ns,
+                session_lock: p.session_lock,
+                done,
+            });
+            Action::Sync(SyncOp::EpollPost(self.eps[wi], 1))
+        } else {
+            let ov = self.ov.as_mut().expect("overload client state");
+            ov.schedule_retry(now, p, attempt + 1, ctx.rng);
+            Action::Compute {
+                ns: CLIENT_CHECK_NS,
+            }
+        }
+    }
+
+    fn next_overload(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        let now = ctx.now.as_nanos();
+        loop {
+            let ov = self.ov.as_mut().expect("overload client state");
+            match ov.poll(now) {
+                ClientPoll::Sleep(ns) => return Action::IoWait { ns },
+                ClientPoll::NeedGap => {
+                    let gap = ctx.rng.gen_exp(self.mean_gap_ns).max(500.0) as u64;
+                    let ov = self.ov.as_mut().expect("overload client state");
+                    ov.set_next_arrival(now + gap);
+                }
+                ClientPoll::Arrival => {
+                    ov.take_arrival();
+                    // Same draws, in the same order, as the legacy client.
+                    let payload = WebPayload {
+                        parse_ns: ctx.rng.jitter(8_000, 0.3),
+                        backend_ns: ctx.rng.jitter(self.backend_ns, 0.4),
+                        render_ns: ctx.rng.jitter(20_000, 0.3),
+                        session_lock: ctx.rng.gen_index(1024),
+                    };
+                    let gap = ctx.rng.gen_exp(self.mean_gap_ns).max(500.0) as u64;
+                    let ov = self.ov.as_mut().expect("overload client state");
+                    ov.set_next_arrival(now + gap);
+                    return self.inject(payload, 1, now, ctx);
+                }
+                ClientPoll::Timeout {
+                    slot,
+                    payload,
+                    attempt,
+                } => {
+                    if !ov.is_done(slot) {
+                        ov.schedule_retry(now, payload, attempt + 1, ctx.rng);
+                    }
+                    return Action::Compute {
+                        ns: CLIENT_CHECK_NS,
+                    };
+                }
+                ClientPoll::Retry { payload, attempt } => {
+                    self.sink.record_retry();
+                    return self.inject(payload, attempt, now, ctx);
+                }
+            }
+        }
+    }
 }
 
 impl Program for WebClient {
     fn next(&mut self, ctx: &mut ProgCtx<'_>) -> Action {
+        if self.ov.is_some() {
+            return self.next_overload(ctx);
+        }
         if self.sending {
             self.sending = false;
             let wi = self.next;
@@ -247,6 +363,7 @@ impl Program for WebClient {
                 backend_ns: ctx.rng.jitter(self.backend_ns, 0.4),
                 render_ns: ctx.rng.jitter(20_000, 0.3),
                 session_lock: ctx.rng.gen_index(1024),
+                done: None,
             };
             self.queues[wi].borrow_mut().push_back(req);
             return Action::Sync(SyncOp::EpollPost(self.eps[wi], 1));

@@ -2,10 +2,11 @@
 //! plus the request-lifecycle API ([`RequestClock`] / [`RequestSink`])
 //! every request-shaped workload uses to emit per-request records.
 
+use crate::admission::{AdmissionState, OverloadParams, RequestOutcome};
 use oversub_hw::CpuId;
 use oversub_ksync::EpollTable;
 use oversub_locks::{MutexKind, SpinPolicy, SyncRegistry};
-use oversub_metrics::{LatencyDigest, LatencyHist, RunReport};
+use oversub_metrics::{GoodputStats, LatencyDigest, LatencyHist, RunReport};
 use oversub_task::{BarrierId, CondId, EpollFd, FlagId, LockId, Program, SemId};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -18,10 +19,21 @@ use std::rc::Rc;
 /// done). Latency is measured arrival→completion, so queueing delay — the
 /// component oversubscription actually moves — is included; `started`
 /// splits it into queueing and service time for diagnosis.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RequestClock {
     arrival_ns: u64,
     start_ns: u64,
+    attempt: u32,
+}
+
+impl Default for RequestClock {
+    fn default() -> Self {
+        RequestClock {
+            arrival_ns: 0,
+            start_ns: 0,
+            attempt: 1,
+        }
+    }
 }
 
 impl RequestClock {
@@ -32,7 +44,19 @@ impl RequestClock {
         RequestClock {
             arrival_ns: now_ns,
             start_ns: now_ns,
+            attempt: 1,
         }
+    }
+
+    /// Tag the clock with its attempt number (1 = the original send).
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt.max(1);
+        self
+    }
+
+    /// The attempt number (1 = the original send).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
     }
 
     /// Stamp the moment a worker begins servicing the request.
@@ -45,13 +69,18 @@ impl RequestClock {
         self.arrival_ns
     }
 
-    /// Close the lifecycle at `now_ns` and produce the record.
+    /// Close the lifecycle at `now_ns` and produce the record. The outcome
+    /// defaults to `Completed`; the sink reclassifies against the run's
+    /// deadline.
     pub fn complete(self, now_ns: u64) -> RequestRecord {
         let completion_ns = now_ns.max(self.start_ns);
         RequestRecord {
             arrival_ns: self.arrival_ns,
             start_ns: self.start_ns,
             completion_ns,
+            attempt: self.attempt,
+            deadline_ns: 0,
+            outcome: RequestOutcome::Completed,
         }
     }
 }
@@ -65,6 +94,12 @@ pub struct RequestRecord {
     pub start_ns: u64,
     /// When the response was complete.
     pub completion_ns: u64,
+    /// The attempt number of this request (1 = the original send).
+    pub attempt: u32,
+    /// Deadline in force when the record was sealed (0 = none).
+    pub deadline_ns: u64,
+    /// How the request left the system.
+    pub outcome: RequestOutcome,
 }
 
 impl RequestRecord {
@@ -82,12 +117,32 @@ impl RequestRecord {
     pub fn service_ns(&self) -> u64 {
         self.completion_ns - self.start_ns
     }
+
+    /// Classify the record against `deadline_ns` (0 = no deadline, always
+    /// `Completed`), stamping both the deadline and the outcome.
+    pub fn classified(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = deadline_ns;
+        self.outcome = if deadline_ns == 0 || self.latency_ns() <= deadline_ns {
+            RequestOutcome::Completed
+        } else {
+            RequestOutcome::DeadlineExceeded
+        };
+        self
+    }
 }
 
 struct SinkInner {
     hist: LatencyHist,
     digest: LatencyDigest,
     ops: u64,
+    params: OverloadParams,
+    adm: AdmissionState,
+    good_digest: LatencyDigest,
+    offered: u64,
+    completed_in_deadline: u64,
+    deadline_exceeded: u64,
+    shed: u64,
+    retries: u64,
 }
 
 /// Shared per-run sink for completed request records.
@@ -109,6 +164,14 @@ impl Default for SinkInner {
             hist: LatencyHist::new(),
             digest: LatencyDigest::new(),
             ops: 0,
+            params: OverloadParams::disabled(),
+            adm: AdmissionState::default(),
+            good_digest: LatencyDigest::new(),
+            offered: 0,
+            completed_in_deadline: 0,
+            deadline_exceeded: 0,
+            shed: 0,
+            retries: 0,
         }
     }
 }
@@ -119,17 +182,82 @@ impl RequestSink {
         Self::default()
     }
 
-    /// Drop all samples (call at the top of `Workload::build`).
+    /// Drop all samples (call at the top of `Workload::build`). Keeps the
+    /// overload parameters set by [`RequestSink::configure`].
     pub fn reset(&self) {
-        *self.inner.borrow_mut() = SinkInner::default();
+        let params = self.inner.borrow().params;
+        *self.inner.borrow_mut() = SinkInner {
+            params,
+            ..SinkInner::default()
+        };
     }
 
-    /// Record a completed request.
+    /// Install the run's overload parameters (the engine calls this via
+    /// `WorldBuilder` before `Workload::build` populates the world).
+    pub fn configure(&self, params: OverloadParams) {
+        self.inner.borrow_mut().params = params;
+    }
+
+    /// The overload parameters in force for this run.
+    pub fn overload(&self) -> OverloadParams {
+        self.inner.borrow().params
+    }
+
+    /// Offer `n` requests to the admission policy at virtual time `now_ns`.
+    /// Counts them as offered; on admission they join the standing queue,
+    /// on rejection they are counted as shed. Always admits (and counts
+    /// nothing) when the overload control plane is disabled.
+    pub fn try_admit(&self, _now_ns: u64, n: u64) -> bool {
+        let mut g = self.inner.borrow_mut();
+        if !g.params.enabled() {
+            return true;
+        }
+        g.offered += n;
+        let policy = g.params.admission;
+        if g.adm.admit(&policy) {
+            g.adm.in_queue += n;
+            true
+        } else {
+            g.shed += n;
+            false
+        }
+    }
+
+    /// Note that a worker started servicing an admitted request whose
+    /// queueing delay was `queue_ns`. Feeds the CoDel controller and
+    /// shrinks the standing queue. No-op when overload is disabled.
+    pub fn note_started(&self, queue_ns: u64, now_ns: u64) {
+        let mut g = self.inner.borrow_mut();
+        if !g.params.enabled() {
+            return;
+        }
+        let policy = g.params.admission;
+        g.adm.observe(&policy, queue_ns, now_ns);
+        g.adm.in_queue = g.adm.in_queue.saturating_sub(1);
+    }
+
+    /// Count a client retry re-injection.
+    pub fn record_retry(&self) {
+        self.inner.borrow_mut().retries += 1;
+    }
+
+    /// Record a completed request, classifying it against the run deadline.
     pub fn push(&self, rec: RequestRecord) {
         let mut g = self.inner.borrow_mut();
         g.hist.record(rec.latency_ns());
         g.digest.record(rec.latency_ns());
         g.ops += 1;
+        if g.params.enabled() {
+            let rec = rec.classified(g.params.deadline_ns);
+            match rec.outcome {
+                RequestOutcome::Completed => {
+                    g.completed_in_deadline += 1;
+                    let lat = rec.latency_ns();
+                    g.good_digest.record(lat);
+                }
+                _ => g.deadline_exceeded += 1,
+            }
+        }
     }
 
     /// Close `clock` at `now_ns` and record the request.
@@ -138,13 +266,31 @@ impl RequestSink {
     }
 
     /// Fold the collected data into a report: the bucketed histogram, the
-    /// canonicalized exact digest, and the op count.
+    /// canonicalized exact digest, the op count, and — when the overload
+    /// control plane is on — the outcome-partitioned goodput section.
+    /// Admitted requests still in flight at the end of the run surface as
+    /// `abandoned` (offered minus every terminal outcome).
     pub fn collect(&self, report: &mut RunReport) {
         let mut g = self.inner.borrow_mut();
         g.digest.canonicalize();
         report.latency = g.hist.clone();
         report.latency_exact = g.digest.clone();
         report.completed_ops = g.ops;
+        let mut gp = GoodputStats::default();
+        if g.params.enabled() {
+            g.good_digest.canonicalize();
+            gp.offered = g.offered;
+            gp.completed = g.completed_in_deadline;
+            gp.deadline_exceeded = g.deadline_exceeded;
+            gp.shed = g.shed;
+            gp.abandoned = g
+                .offered
+                .saturating_sub(g.completed_in_deadline + g.deadline_exceeded + g.shed);
+            gp.retries = g.retries;
+            gp.latency = g.good_digest.clone();
+            debug_assert!(gp.balanced(), "goodput accounting out of balance: {gp:?}");
+        }
+        report.goodput = gp;
     }
 }
 
@@ -220,6 +366,9 @@ pub struct WorldBuilder {
     pub threads: Vec<ThreadSpec>,
     /// Number of online cores the run starts with.
     pub cores: usize,
+    /// The run's overload control plane (deadlines, shedding, retries).
+    /// Workloads install this into their request sink during `build`.
+    pub overload: OverloadParams,
 }
 
 impl WorldBuilder {
@@ -230,6 +379,7 @@ impl WorldBuilder {
             epoll,
             threads: Vec::new(),
             cores,
+            overload: OverloadParams::disabled(),
         }
     }
 
@@ -303,6 +453,12 @@ pub trait Workload {
     fn cache_key(&self) -> Option<String> {
         None
     }
+
+    /// Lower bound on a single request's service time, if the workload can
+    /// state one. Used to warn about deadlines no request could ever meet.
+    fn min_service_ns(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +521,54 @@ mod tests {
         sink.collect(&mut r);
         assert_eq!(r.completed_ops, 0);
         assert!(r.latency_exact.is_empty());
+    }
+
+    #[test]
+    fn sink_partitions_outcomes_against_deadline() {
+        use crate::admission::{AdmissionPolicy, OverloadParams};
+        let sink = RequestSink::new();
+        sink.configure(
+            OverloadParams::disabled()
+                .with_deadline_ns(1_000)
+                .with_admission(AdmissionPolicy::QueueCap(2)),
+        );
+        sink.reset();
+        // Three offered: two admitted, one shed by the queue cap.
+        assert!(sink.try_admit(0, 1));
+        assert!(sink.try_admit(0, 1));
+        assert!(!sink.try_admit(0, 1));
+        sink.note_started(100, 100);
+        sink.complete(RequestClock::arrive(0), 500); // within deadline
+        sink.note_started(2_000, 2_000);
+        sink.complete(RequestClock::arrive(0), 2_500); // past deadline
+        let mut r = RunReport::default();
+        sink.collect(&mut r);
+        assert_eq!(r.completed_ops, 2); // legacy count covers all completions
+        assert_eq!(r.goodput.offered, 3);
+        assert_eq!(r.goodput.completed, 1);
+        assert_eq!(r.goodput.deadline_exceeded, 1);
+        assert_eq!(r.goodput.shed, 1);
+        assert_eq!(r.goodput.abandoned, 0);
+        assert!(r.goodput.balanced());
+        assert_eq!(r.goodput.latency.count(), 1);
+        assert_eq!(r.goodput.latency.max(), 500);
+        // reset() keeps the configuration but drops the samples.
+        sink.reset();
+        assert!(sink.overload().enabled());
+        let mut r = RunReport::default();
+        sink.collect(&mut r);
+        assert_eq!(r.goodput.offered, 0);
+    }
+
+    #[test]
+    fn disabled_sink_emits_empty_goodput() {
+        let sink = RequestSink::new();
+        assert!(sink.try_admit(0, 1));
+        sink.complete(RequestClock::arrive(0), 5_000);
+        let mut r = RunReport::default();
+        sink.collect(&mut r);
+        assert_eq!(r.completed_ops, 1);
+        assert!(r.goodput.is_empty());
     }
 
     #[test]

@@ -101,6 +101,50 @@ fn parallel_sweep_is_byte_identical_and_caches() {
     assert_eq!(r1[2].label, "uncached/3");
 }
 
+/// Corrupt run-cache entries are detected on hit, discarded with a
+/// warning, and transparently recovered by re-running the arm. Uses its
+/// own seed so its cache keys never collide with the other tests, and
+/// never touches the global jobs knob or counters.
+#[test]
+fn corrupt_cache_entries_recover_transparently() {
+    let cfg = RunConfig::vanilla(2).with_seed(777_001);
+    let mk = || Box::new(ComputeYield::fig2a(3, 2_000_000)) as Box<dyn Workload>;
+    let key = sweep::cache_key_for(&cfg, &*mk()).expect("arm is cache-eligible");
+
+    // Prime the cache with the genuine result.
+    let mut s = Sweep::new();
+    s.add("arm", cfg.clone(), mk);
+    let fresh = s.run_with_jobs(1).pop().expect("one report");
+    assert!(sweep::cache_contains(&key));
+
+    // Unparsable garbage, truncated JSON, and a parseable report whose
+    // digest count contradicts completed_ops must all be treated as
+    // misses — served results stay bit-identical to the fresh run.
+    let tampered = fresh
+        .to_json()
+        .replace("\"completed_ops\":0", "\"completed_ops\":5");
+    assert_ne!(tampered, fresh.to_json(), "tamper target missing");
+    for corrupt in [
+        "{definitely not json".to_string(),
+        fresh.to_json()[..fresh.to_json().len() / 2].to_string(),
+        tampered,
+    ] {
+        sweep::inject_cache_entry(key.clone(), corrupt);
+        let mut s = Sweep::new();
+        s.add("arm", cfg.clone(), mk);
+        let replay = s.run_with_jobs(1).pop().expect("one report");
+        assert_eq!(
+            replay, fresh,
+            "recovery from a corrupt cache entry changed the result"
+        );
+        // The re-run re-publishes a valid entry.
+        assert!(sweep::cache_contains(&key));
+        let mut s = Sweep::new();
+        s.add("arm", cfg.clone(), mk);
+        assert_eq!(s.run_with_jobs(1).pop().expect("one report"), fresh);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
