@@ -5,7 +5,7 @@
 //! `HashMap` whose iteration order leaks into simulation state, a
 //! wall-clock read, or a panic on an engine path that was deliberately
 //! converted to graceful degradation. This crate is a small, hermetic
-//! (no external dependencies) workspace scanner enforcing five rules:
+//! (no external dependencies) workspace scanner enforcing seven rules:
 //!
 //! | rule | what it flags | where |
 //! |------|---------------|-------|
@@ -14,6 +14,8 @@
 //! | D3 | `unwrap` / `expect` / `panic!` / `unreachable!` on engine hot paths | `oversub/src/engine/*`, `oversub/src/exec.rs`, `oversub/src/mechanism/*`, `task/src/state.rs`, `task/src/table.rs`, `sched/src/rq.rs`, `metrics/src/digest.rs` |
 //! | D4 | mutable / public statics and `thread_local!` (state escaping seeding) | everywhere |
 //! | D5 | ad-hoc host threads (`thread::spawn` / `thread::scope` / `thread::Builder`) | everywhere except `simcore/src/pool.rs` and `bench` / `criterion` |
+//! | D6 | `SimRng::new` outside the engine root (RNG provenance: one seeded root per run, streams derived by `fork`) | sim crates except `simcore` |
+//! | D7 | `min_by` / `max_by` / `min_by_key` / `max_by_key` (first-wins tie-break makes the pick iteration-order-dependent) | sim crates |
 //!
 //! Violations can be suppressed with a justified entry in `detlint.toml`
 //! (rule + path + pattern + reason); unused entries are themselves
@@ -32,7 +34,7 @@ use oversub_metrics::json::{obj, JsonValue};
 /// Version stamp of the rule set, printed by `detlint` and recorded in
 /// bench JSON headers so artifacts say which invariants were in force.
 /// Bump when a rule is added, removed, or materially changed.
-pub const RULESET_VERSION: &str = "detlint-v4";
+pub const RULESET_VERSION: &str = "detlint-v5";
 
 /// Crates whose containers can reach simulation state: a nondeterministic
 /// iteration order here can change scheduling decisions and break the
@@ -112,6 +114,23 @@ const RULES: &[Rule] = &[
                   merge in submission order and stay byte-identical at any jobs \
                   count",
     },
+    Rule {
+        id: "D6",
+        tokens: &["SimRng::new("],
+        message: "root RNG constructed outside the engine; every run has exactly one \
+                  seeded root (Engine::try_new) and all other streams derive from it \
+                  via fork, so two constructions of the same seed cannot silently \
+                  correlate — take a forked stream instead, or add a justified allow \
+                  entry",
+    },
+    Rule {
+        id: "D7",
+        tokens: &["min_by(", "max_by(", "min_by_key(", "max_by_key("],
+        message: "first-wins extremum over an iterator: on ties the pick depends on \
+                  iteration order, which the schedule-robustness certifier permutes — \
+                  select with an order-independent total key (tuple with a stable \
+                  index) or justify why ties are impossible",
+    },
 ];
 
 /// Is `crate_name` subject to `rule` for a file at `rel_path`?
@@ -138,6 +157,10 @@ fn rule_applies(rule: &Rule, crate_name: &str, rel_path: &str) -> bool {
         }
         "D4" => true,
         "D5" => rel_path != THREAD_POOL_FILE && !TIME_EXEMPT_CRATES.contains(&crate_name),
+        // simcore is exempt from D6: it defines SimRng, and its doc
+        // examples and helpers are the construction reference.
+        "D6" => SIM_CRATES.contains(&crate_name) && crate_name != "simcore",
+        "D7" => SIM_CRATES.contains(&crate_name),
         _ => false,
     }
 }
@@ -145,7 +168,7 @@ fn rule_applies(rule: &Rule, crate_name: &str, rel_path: &str) -> bool {
 /// One finding.
 #[derive(Clone, Debug)]
 pub struct Violation {
-    /// Rule id (`D1`..`D5`).
+    /// Rule id (`D1`..`D7`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -735,6 +758,56 @@ mod tests {
     }
 
     #[test]
+    fn d6_confines_root_rng_to_sim_crates_outside_simcore() {
+        let src = "let rng = SimRng::new(seed);\n";
+        // Fires in sim crates that should fork from the engine's root…
+        assert_eq!(
+            scan_source("oversub", "crates/oversub/src/faults.rs", src).len(),
+            1
+        );
+        assert_eq!(
+            scan_source("workloads", "crates/workloads/src/admission.rs", src).len(),
+            1
+        );
+        // …but not in simcore (the defining crate) or non-sim crates.
+        assert!(scan_source("simcore", "crates/simcore/src/rng.rs", src).is_empty());
+        assert!(scan_source("bench", "crates/bench/src/x.rs", src).is_empty());
+        assert!(scan_source("analysis", "crates/analysis/src/lib.rs", src).is_empty());
+        // Forked streams are the sanctioned derivation.
+        assert!(scan_source(
+            "oversub",
+            "crates/oversub/src/faults.rs",
+            "let s = base.fork(STREAM);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d7_flags_first_wins_extrema_in_sim_crates() {
+        for call in [
+            "xs.iter().min_by_key(|x| x.t);\n",
+            "xs.iter().max_by_key(|x| x.t);\n",
+            "xs.iter().min_by(|a, b| a.cmp(b));\n",
+            "xs.iter().max_by(|a, b| a.cmp(b));\n",
+        ] {
+            assert_eq!(
+                scan_source("sched", "crates/sched/src/x.rs", call).len(),
+                1,
+                "{call}"
+            );
+        }
+        // Non-sim crates may select freely (their outputs are host-side).
+        assert!(scan_source(
+            "metrics",
+            "crates/metrics/src/x.rs",
+            "xs.iter().min_by_key(|x| x.t);\n"
+        )
+        .is_empty());
+        // Plain min()/max() on totally ordered keys are not flagged.
+        assert!(scan_source("sched", "crates/sched/src/x.rs", "xs.iter().min();\n").is_empty());
+    }
+
+    #[test]
     fn d4_flags_statics_everywhere() {
         let src = "static mut COUNTER: u64 = 0;\n";
         assert_eq!(
@@ -788,7 +861,7 @@ reason = "probe-only set; never iterated"
         let a = r.to_json().to_string_compact();
         let b = r.to_json().to_string_compact();
         assert_eq!(a, b);
-        assert!(a.contains("\"ruleset\":\"detlint-v4\""));
+        assert!(a.contains("\"ruleset\":\"detlint-v5\""));
         assert!(!r.is_clean());
     }
 }

@@ -1,0 +1,26 @@
+// D1 clean: ordered containers keep iteration deterministic.
+// "HashMap" in this comment and the string below must not fire.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u64]) -> usize {
+    let label = "not a HashMap";
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let _ = label;
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash freely; the mask must cover this.
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashed() {
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

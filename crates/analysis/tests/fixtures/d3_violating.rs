@@ -1,0 +1,8 @@
+// D3 fixture: panicking constructs on an engine hot path.
+pub fn pick(xs: &[u64]) -> u64 {
+    let first = xs.first().unwrap();
+    if *first == 0 {
+        panic!("zero");
+    }
+    *first
+}

@@ -1,0 +1,12 @@
+// D4 clean: run state threads through the engine; constants are fine.
+const LIMIT: u64 = 8;
+
+pub struct Counters {
+    pub hits: u64,
+}
+
+pub fn bump(c: &mut Counters) {
+    if c.hits < LIMIT {
+        c.hits += 1;
+    }
+}

@@ -1,0 +1,6 @@
+// D4 fixture: mutable global state escapes per-run seeding.
+static mut HITS: u64 = 0;
+
+thread_local! {
+    static LOCAL: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}

@@ -1,0 +1,5 @@
+// D5 clean: parallelism goes through the deterministic pool; reading
+// the host's parallelism is a query, not a thread.
+pub fn width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

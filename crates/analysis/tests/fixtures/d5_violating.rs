@@ -1,0 +1,5 @@
+// D5 fixture: ad-hoc host thread outside the worker pool.
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

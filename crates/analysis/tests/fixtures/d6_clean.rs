@@ -1,0 +1,6 @@
+// D6 clean: streams derive from the engine's root by fork, so equal
+// seeds can never silently correlate across subsystems.
+pub fn jitter(base: &SimRng) -> u64 {
+    let mut rng = base.fork(JITTER_STREAM);
+    rng.next_u64()
+}

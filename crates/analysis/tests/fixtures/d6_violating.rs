@@ -1,0 +1,5 @@
+// D6 fixture: a second root RNG constructed away from the engine.
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = SimRng::new(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,9 @@
+// D7 clean: a total key (cost, then stable index) makes the pick
+// independent of iteration order even when costs tie.
+pub fn best(xs: &[(u64, u64)]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .map(|(i, &(_, cost))| (cost, i))
+        .min()
+        .map(|(_, i)| i)
+}

@@ -1,0 +1,4 @@
+// D7 fixture: first-wins extrema depend on iteration order at ties.
+pub fn best(xs: &[(u64, u64)]) -> Option<&(u64, u64)> {
+    xs.iter().min_by_key(|&&(_, cost)| cost)
+}

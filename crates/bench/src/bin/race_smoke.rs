@@ -1,0 +1,266 @@
+//! CI race smoke: the happens-before detector and the schedule-robustness
+//! certifier as a pass/fail gate.
+//!
+//! One workload per family runs with the race detector armed and is then
+//! certified over `--schedules N` (default 8) tie-break permutations:
+//!
+//! - **Golden workloads** (pipeline, memcached, mutex/barrier stress,
+//!   fork-join, batch skeleton) must report **zero** `data-race`
+//!   diagnostics: their shared state is ordered by futex/lock/flag
+//!   release-acquire edges by construction, so a race there is a detector
+//!   false positive or a real synchronization bug — both failures.
+//! - The **deliberately racy** micro-workload (`racy-flag-spin`) must
+//!   report **exactly one** canonical race naming both access sites.
+//! - Workloads marked `robust` must certify **byte-identical** across all
+//!   schedules. The rest are allowed to diverge — equal-time local-wake
+//!   vs idle-pull ties are physically real alternatives — but every
+//!   divergence must be **explained**: a `schedule-divergence` diagnostic
+//!   carrying the salt and the first diverging report field. An
+//!   unexplained divergence (certifier panic, missing provenance) fails.
+//!
+//! The cells are independent, so the matrix runs on the sweep worker pool
+//! (`OVERSUB_JOBS`); rows print in matrix order regardless of jobs.
+//!
+//! Usage: `cargo run --release -p oversub-bench --bin race_smoke -- [--schedules N]`
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use oversub::simcore::pool::Job;
+use oversub::simcore::SimTime;
+use oversub::workload::Workload;
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::micro::{Primitive, PrimitiveStress, RacyFlagSpin};
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::workloads::ForkJoin;
+use oversub::{certify_schedules, run, sweep, MachineSpec, Mechanisms, RunConfig};
+
+struct Scenario {
+    name: &'static str,
+    cpus: usize,
+    /// Must certify byte-identical across every schedule.
+    robust: bool,
+    /// Exact number of `data-race` diagnostics the armed detector must
+    /// report (0 for golden workloads, 1 for the deliberate race).
+    races: usize,
+    mk: Box<dyn Fn() -> Box<dyn Workload> + Send + Sync>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        // Flag-release pipeline: every cross-stage hand-off is an explicit
+        // release edge, which also pins the schedule — fully robust.
+        Scenario {
+            name: "pipeline-flags/12S/8c",
+            cpus: 8,
+            robust: true,
+            races: 0,
+            mk: Box::new(|| Box::new(SpinPipeline::new(12, 40, WaitFlavor::Flags))),
+        },
+        // The deliberate race: plain flag set vs spin with no ordering
+        // edge. The race is a happens-before gap, not a tie-order
+        // dependence, so it must certify robust too — and report the same
+        // single race on every schedule.
+        Scenario {
+            name: "racy-flag-spin/2T/2c",
+            cpus: 2,
+            robust: true,
+            races: 1,
+            mk: Box::new(|| Box::new(RacyFlagSpin::default())),
+        },
+        // Futex/epoll-heavy server: wake fan-out contends with idle-pull
+        // on equal-time ties, so schedules may legally diverge (explained).
+        Scenario {
+            name: "memcached/16T/8c",
+            cpus: Memcached::paper(16, 8, 40_000.0).total_cpus(),
+            robust: false,
+            races: 0,
+            mk: Box::new(|| Box::new(Memcached::paper(16, 8, 40_000.0))),
+        },
+        Scenario {
+            name: "mutex-stress/12T/8c",
+            cpus: 8,
+            robust: false,
+            races: 0,
+            mk: Box::new(|| Box::new(PrimitiveStress::new(12, 200, Primitive::Mutex, 2_000))),
+        },
+        Scenario {
+            name: "barrier-stress/8T/4c",
+            cpus: 4,
+            robust: false,
+            races: 0,
+            mk: Box::new(|| Box::new(PrimitiveStress::new(8, 20, Primitive::Barrier, 2_000))),
+        },
+        Scenario {
+            name: "forkjoin/8T/4c",
+            cpus: 4,
+            robust: false,
+            races: 0,
+            mk: Box::new(|| Box::new(ForkJoin::region_heavy(8, 8, 3))),
+        },
+        Scenario {
+            name: "skeleton/streamcluster/24T/8c",
+            cpus: 8,
+            robust: false,
+            races: 0,
+            mk: Box::new(|| {
+                let p = BenchProfile::by_name("streamcluster").expect("known benchmark");
+                Box::new(Skeleton::scaled(p, 24, 0.15).with_salt(13))
+            }),
+        },
+    ]
+}
+
+fn cfg(cpus: usize) -> RunConfig {
+    RunConfig::vanilla(cpus)
+        .with_machine(MachineSpec::PaperN(cpus))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(2026)
+        .with_max_time(SimTime::from_millis(150))
+        .with_max_events(50_000_000)
+        .with_race_detector()
+}
+
+/// One scenario: its printable row plus any failure records.
+fn run_cell(sc: &Scenario, schedules: usize) -> (String, Vec<String>) {
+    let mut failures = Vec::new();
+    let cfg = cfg(sc.cpus);
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let report = run(&mut *(sc.mk)(), &cfg);
+        let cert = certify_schedules(&mut || (sc.mk)(), &cfg, schedules);
+        (report, cert)
+    }));
+    let (report, cert) = match outcome {
+        Err(_) => {
+            failures.push(format!("{}: panicked", sc.name));
+            return (
+                format!("{:<30} {:>5} {:>6} {:>10}  PANIC", sc.name, "-", "-", "-"),
+                failures,
+            );
+        }
+        Ok(pair) => pair,
+    };
+
+    let races: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == "data-race")
+        .collect();
+    if races.len() != sc.races {
+        failures.push(format!(
+            "{}: expected {} data-race diagnostic(s), got {}: {:?}",
+            sc.name,
+            sc.races,
+            races.len(),
+            races.iter().map(|d| d.detail.as_str()).collect::<Vec<_>>()
+        ));
+    }
+    if sc.races == 1 {
+        if let Some(d) = races.first() {
+            if !(d.detail.contains("racy-writer") && d.detail.contains("racy-spinner")) {
+                failures.push(format!(
+                    "{}: race must name both access sites: {}",
+                    sc.name, d.detail
+                ));
+            }
+        }
+    }
+
+    if sc.robust && !cert.certified() {
+        failures.push(format!(
+            "{}: must be schedule-robust but {} of {} schedules diverged; first: {}",
+            sc.name,
+            cert.divergences.len(),
+            schedules,
+            cert.divergences[0].detail
+        ));
+    }
+    for d in &cert.divergences {
+        let explained = d.kind == "schedule-divergence"
+            && d.detail.contains("tie-break salt")
+            && d.detail.contains("near field");
+        if !explained {
+            failures.push(format!(
+                "{}: unexplained divergence (missing salt/field provenance): {} {}",
+                sc.name, d.kind, d.detail
+            ));
+        }
+    }
+
+    let verdict = if !failures.is_empty() {
+        "FAIL"
+    } else if cert.certified() {
+        "certified"
+    } else {
+        "explained"
+    };
+    let row = format!(
+        "{:<30} {:>5} {:>6} {:>10}  {verdict}",
+        sc.name,
+        races.len(),
+        format!(
+            "{}/{}",
+            schedules - cert.divergences.len().min(schedules),
+            schedules
+        ),
+        report.diagnostics.len(),
+    );
+    (row, failures)
+}
+
+fn parse_schedules() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--schedules" {
+            let v = args.next().unwrap_or_default();
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--schedules needs a positive integer, got {v:?}"));
+        }
+    }
+    8
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let schedules = parse_schedules().max(1);
+    println!(
+        "{{\"bench\":\"race_smoke\",\"detlint_ruleset\":\"{}\",\"schedules\":{},\"pool_jobs\":{}}}",
+        analysis::RULESET_VERSION,
+        schedules,
+        sweep::jobs(),
+    );
+    println!(
+        "{:<30} {:>5} {:>6} {:>10}  outcome",
+        "workload", "races", "sched", "diags"
+    );
+
+    let scenarios = scenarios();
+    let cells: Vec<Job<'_, (String, Vec<String>)>> = scenarios
+        .iter()
+        .map(|sc| Box::new(move || run_cell(sc, schedules)) as Job<'_, _>)
+        .collect();
+
+    let total = cells.len();
+    let mut failures = Vec::new();
+    for (row, cell_failures) in sweep::run_batch(cells) {
+        println!("{row}");
+        failures.extend(cell_failures);
+    }
+
+    println!(
+        "\nrace smoke finished in {:.1}s ({schedules} schedules per workload)",
+        t0.elapsed().as_secs_f64()
+    );
+    if failures.is_empty() {
+        println!("all {total} cells passed");
+    } else {
+        eprintln!("\nrace smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

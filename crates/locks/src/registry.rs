@@ -28,6 +28,10 @@ pub struct SyncRegistry {
     /// Tasks spinning on each flag, with the value they spin against
     /// (`while flag == v, spin`).
     flag_spinners: Vec<Vec<(TaskId, u64)>>,
+    /// Flags declared *plain* (non-atomic): loads and stores carry no
+    /// release/acquire edge, so the race detector treats them as bare
+    /// shared memory rather than synchronization.
+    flag_plain: Vec<bool>,
     /// Futex address allocator.
     next_addr: u64,
 }
@@ -90,12 +94,31 @@ impl SyncRegistry {
         id
     }
 
-    /// Create a flag word with an initial value.
+    /// Create a flag word with an initial value. Loads and stores on it
+    /// behave like atomics with release/acquire ordering (the detector
+    /// draws a happens-before edge from every `flag_set` to every load
+    /// it releases or satisfies).
     pub fn create_flag(&mut self, initial: u64) -> FlagId {
         let id = FlagId(self.flags.len());
         self.flags.push(initial);
         self.flag_spinners.push(Vec::new());
+        self.flag_plain.push(false);
         id
+    }
+
+    /// Create a *plain* (non-atomic) flag word: mechanically identical
+    /// to [`create_flag`](Self::create_flag), but its accesses carry no
+    /// ordering, so concurrent unsynchronized use is a data race the
+    /// detector reports.
+    pub fn create_flag_plain(&mut self, initial: u64) -> FlagId {
+        let id = self.create_flag(initial);
+        self.flag_plain[id.0] = true;
+        id
+    }
+
+    /// True when `flag` was declared plain (no release/acquire edges).
+    pub fn flag_is_plain(&self, flag: FlagId) -> bool {
+        self.flag_plain[flag.0]
     }
 
     /// Read a flag word.

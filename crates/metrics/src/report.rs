@@ -774,6 +774,23 @@ mod tests {
             cpu: None,
             detail: "no task made progress for 50 ms".into(),
         });
+        // The analysis-layer kinds ride the same schema: a report carrying
+        // them must survive the round trip so older readers (which treat
+        // `kind` as an opaque string) keep parsing new reports.
+        r.diagnostics.push(Diagnostic {
+            kind: "data-race".into(),
+            at_ns: 12_000,
+            task: Some(1),
+            cpu: Some(0),
+            detail: "plain flag 0: write by \"w\" and read by \"r\" are unordered".into(),
+        });
+        r.diagnostics.push(Diagnostic {
+            kind: "schedule-divergence".into(),
+            at_ns: 0,
+            task: None,
+            cpu: None,
+            detail: "schedule 1 (tie-break salt 0x1) diverged near field \"makespan_ns\"".into(),
+        });
         let json = r.to_json();
         let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back, r);

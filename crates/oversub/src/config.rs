@@ -197,6 +197,21 @@ pub struct RunConfig {
     /// the lockdep golden test). Off by default so clean golden runs carry
     /// no analysis state.
     pub lockdep: bool,
+    /// Track happens-before with vector clocks at every sync boundary
+    /// (futex wait/wake, lock acquire/release, flag release/acquire,
+    /// epoll post) and surface unsynchronized shared-state accesses as
+    /// `data-race` diagnostics. Observation-only, same contract as
+    /// `lockdep`: every non-diagnostic report byte is identical either
+    /// way (pinned by the race golden test). Off by default.
+    pub race_detector: bool,
+    /// Salt for the event-queue tie-break permutation harness. Zero (the
+    /// default) keeps FIFO order on equal-time events — the byte-pinned
+    /// production order. Non-zero values permute equal-time pops through
+    /// a bijective mix of the insertion sequence number, which is how the
+    /// schedule-robustness certifier perturbs schedules; such runs also
+    /// disable the resched-coalescing and cadence-lane fast paths (their
+    /// correctness proofs assume FIFO ties).
+    pub schedule_salt: u64,
 }
 
 impl RunConfig {
@@ -223,6 +238,8 @@ impl RunConfig {
             max_events: None,
             overload: OverloadParams::disabled(),
             lockdep: false,
+            race_detector: false,
+            schedule_salt: 0,
         }
     }
 
@@ -311,6 +328,21 @@ impl RunConfig {
     /// cycle detection, surfaced as diagnostics).
     pub fn with_lockdep(mut self) -> Self {
         self.lockdep = true;
+        self
+    }
+
+    /// Builder-style: enable the happens-before race detector
+    /// (vector-clock tracking at sync boundaries, `data-race`
+    /// diagnostics for unsynchronized shared-state accesses).
+    pub fn with_race_detector(mut self) -> Self {
+        self.race_detector = true;
+        self
+    }
+
+    /// Builder-style: set the schedule-permutation salt for the
+    /// robustness certifier. `0` is the pinned production order.
+    pub fn with_schedule_salt(mut self, salt: u64) -> Self {
+        self.schedule_salt = salt;
         self
     }
 

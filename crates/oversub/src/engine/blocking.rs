@@ -18,6 +18,7 @@ impl Engine {
         resume: Resume,
         t: SimTime,
     ) {
+        self.rc_futex_wait(tid, key);
         let out = self
             .futex
             .futex_wait(&mut self.sched, &mut self.tasks, tid, key, CpuId(cpu), t);
@@ -50,6 +51,7 @@ impl Engine {
         let report = self
             .futex
             .futex_wake(&mut self.sched, &mut self.tasks, key, n, CpuId(cpu), t);
+        self.rc_futex_wake(cpu, key, &report.woken);
         self.charge_kernel(cpu, report.waker_cost_ns);
         let done = t + report.waker_cost_ns;
         self.post_wake_events(&report.woken, done);

@@ -25,8 +25,10 @@ impl Engine {
         }
     }
 
-    /// `tid` now holds `key`.
+    /// `tid` now holds `key`. The race detector's lock-acquire edge
+    /// piggybacks here so both analyses see the same boundary sites.
     pub(crate) fn ld_acquired(&mut self, tid: TaskId, key: LockKey, t: SimTime) {
+        self.rc_lock_acquired(tid, key);
         if let Some(ld) = self.lockdep.as_mut() {
             ld.on_acquired(tid.0, key, t.as_nanos());
         }
@@ -43,8 +45,10 @@ impl Engine {
         }
     }
 
-    /// `tid` released `key`.
+    /// `tid` released `key`. The race detector's lock-release edge
+    /// piggybacks here.
     pub(crate) fn ld_release(&mut self, tid: TaskId, key: LockKey) {
+        self.rc_lock_released(tid, key);
         if let Some(ld) = self.lockdep.as_mut() {
             ld.on_release(tid.0, key);
         }

@@ -35,6 +35,7 @@ mod blocking;
 mod diag;
 mod events;
 mod lockdep;
+mod race_hooks;
 mod report;
 mod spin;
 mod watchdog;
@@ -42,12 +43,13 @@ mod watchdog;
 use crate::config::RunConfig;
 use crate::faults::{EngineError, FaultInjector, WatchdogParams};
 use crate::mechanism::MechanismSet;
+use crate::race::RaceTracker;
 use crate::trace::TraceLog;
 use oversub_hw::{CpuId, MemModel, NormalCodeRates};
 use oversub_ksync::{EpollTable, FutexTable};
 use oversub_locks::{LockDep, SyncRegistry};
 use oversub_metrics::{Diagnostic, RunReport};
-use oversub_simcore::{EventQueue, SimRng, SimTime};
+use oversub_simcore::{EventQueue, SimRng, SimTime, VClock};
 use oversub_task::{Action, EpollFd, FlagId, LockId, SemId, SpinSig, Task, TaskId, TaskTable};
 use oversub_workloads::workload::{Workload, WorldBuilder};
 
@@ -294,6 +296,10 @@ pub(crate) struct Engine {
     /// Lock-order / wait-for graph tracking; `None` unless the config
     /// opts in, so clean runs carry no analysis state at all.
     pub lockdep: Option<LockDep>,
+    /// Happens-before race tracking (sync-object clocks + plain-variable
+    /// access history); `None` unless the config opts in. Per-task clocks
+    /// live in `tasks.race_clock` and stay zero-length when disarmed.
+    pub race: Option<Box<RaceTracker>>,
     /// Per-phase host-time accumulators; `None` (one branch per event)
     /// unless the run was started via [`run_phase_profiled`].
     pub phase_prof: Option<Box<PhaseProfile>>,
@@ -390,6 +396,25 @@ impl Engine {
         let wd_slots = if watchdog.is_some() { n } else { 0 };
         let max_events = cfg.max_events.unwrap_or(MAX_EVENTS);
         let lockdep = cfg.lockdep.then(|| LockDep::new(n));
+        let race = cfg.race_detector.then(|| Box::new(RaceTracker::new()));
+        if race.is_some() {
+            // Arm the per-task clocks: zero-length (disarmed) rows become
+            // dense task-count-length clocks.
+            for c in tasks.race_clock.iter_mut() {
+                *c = VClock::zeroed(n);
+            }
+        }
+        let mut queue = if reference {
+            EventQueue::classic()
+        } else {
+            EventQueue::new()
+        };
+        if cfg.schedule_salt != 0 {
+            // Certifier runs permute equal-time same-burst ties; the
+            // wheel/lane fast paths order by raw insertion sequence, so
+            // the salt also routes everything through the plain heap.
+            queue.set_tiebreak_salt(cfg.schedule_salt);
+        }
         let timer_intervals: Vec<Option<u64>> = (0..mechs.len())
             .map(|i| mechs.timer_interval_ns(i))
             .collect();
@@ -407,11 +432,7 @@ impl Engine {
             conts: vec![Cont::Ready; n],
             tasks,
             rngs,
-            queue: if reference {
-                EventQueue::classic()
-            } else {
-                EventQueue::new()
-            },
+            queue,
             resched_pending: vec![None; ncpu],
             reference,
             timer_intervals,
@@ -450,6 +471,7 @@ impl Engine {
             halted: false,
             max_events,
             lockdep,
+            race,
             phase_prof: None,
             cfg,
         };
@@ -508,7 +530,7 @@ impl Engine {
         // explicit re-arm when `last_pop_rotated()` reports it done.
         // Fault runs keep the explicit path (jitter and drops perturb the
         // re-arm point), as does the reference engine.
-        if !eng.reference && eng.faults.is_none() {
+        if !eng.reference && eng.faults.is_none() && eng.cfg.schedule_salt == 0 {
             eng.queue.set_auto_cadence(true);
         }
         Ok(eng)

@@ -1,0 +1,133 @@
+//! Engine-side race-detector hooks: thin adapters between the sync
+//! boundaries in `exec`/`engine::blocking` and the vector-clock
+//! [`RaceTracker`](crate::race::RaceTracker).
+//!
+//! Every hook is a no-op when the config did not opt in (`self.race` is
+//! `None`), so clean runs pay one branch per sync operation and carry no
+//! analysis state — the same contract as the lockdep hooks next door.
+//! Lock acquire/release edges piggyback on the `ld_acquired`/`ld_release`
+//! adapters in `engine/lockdep.rs` (those run unconditionally and check
+//! their own option), which guarantees the two analyses see the exact
+//! same boundary sites. Findings become structured `data-race`
+//! diagnostics in the report.
+
+use super::Engine;
+use crate::race::Chan;
+use oversub_ksync::Woken;
+use oversub_locks::LockKey;
+use oversub_simcore::SimTime;
+use oversub_task::{EpollFd, FlagId, FutexKey, TaskId};
+
+impl Engine {
+    /// Fold findings accumulated by the tracker into report diagnostics.
+    fn rc_flush(&mut self) {
+        let Some(rt) = self.race.as_mut() else {
+            return;
+        };
+        let findings = rt.take_findings();
+        for f in findings {
+            self.push_diagnostic("data-race", Some(f.task), None, f.detail);
+        }
+    }
+
+    /// Release edge: `tid` publishes its history into `chan`.
+    pub(crate) fn rc_release_chan(&mut self, tid: TaskId, chan: Chan) {
+        if let Some(rt) = self.race.as_mut() {
+            rt.release(chan, tid.0, &mut self.tasks.race_clock[tid.0]);
+        }
+    }
+
+    /// Acquire edge: `tid` adopts everything released into `chan`.
+    pub(crate) fn rc_acquire_chan(&mut self, tid: TaskId, chan: Chan) {
+        if let Some(rt) = self.race.as_mut() {
+            rt.acquire(chan, tid.0, &mut self.tasks.race_clock[tid.0]);
+        }
+    }
+
+    /// `tid` is about to block on `key`: publish its history into the
+    /// futex channel, so every waiter a later wake releases inherits it
+    /// (this is what makes barrier all-arrive -> all-release exact).
+    pub(crate) fn rc_futex_wait(&mut self, tid: TaskId, key: FutexKey) {
+        self.rc_release_chan(tid, Chan::Futex(key.0));
+    }
+
+    /// A wake on `key` issued from `cpu`: the waker (the task currently
+    /// on that CPU, if any) releases into the channel, then every woken
+    /// task acquires from it.
+    pub(crate) fn rc_futex_wake(&mut self, cpu: usize, key: FutexKey, woken: &[Woken]) {
+        if self.race.is_none() {
+            return;
+        }
+        if let Some(waker) = self.sched.cpus[cpu].current {
+            self.rc_release_chan(waker, Chan::Futex(key.0));
+        }
+        for w in woken {
+            self.rc_acquire_chan(w.task, Chan::Futex(key.0));
+        }
+    }
+
+    /// An epoll post by `tid`: release into the instance channel, every
+    /// woken waiter acquires from it.
+    pub(crate) fn rc_epoll_post(&mut self, tid: TaskId, ep: EpollFd, woken: &[Woken]) {
+        if self.race.is_none() {
+            return;
+        }
+        self.rc_release_chan(tid, Chan::Epoll(ep.0));
+        for w in woken {
+            self.rc_acquire_chan(w.task, Chan::Epoll(ep.0));
+        }
+    }
+
+    /// `tid` now holds `key` (called from `ld_acquired`, so every lock
+    /// grant path — fast path, spin claim, cross-CPU grant, barge — is
+    /// covered by construction).
+    pub(crate) fn rc_lock_acquired(&mut self, tid: TaskId, key: LockKey) {
+        self.rc_acquire_chan(tid, Chan::Lock(key));
+    }
+
+    /// `tid` released `key` (called from `ld_release`).
+    pub(crate) fn rc_lock_released(&mut self, tid: TaskId, key: LockKey) {
+        self.rc_release_chan(tid, Chan::Lock(key));
+    }
+
+    /// A flag load by `tid` (spin begin, satisfied spin, or recheck).
+    /// Sync flags are acquire loads; plain flags are race-checked reads.
+    pub(crate) fn rc_flag_load(&mut self, tid: TaskId, flag: FlagId, t: SimTime) {
+        if self.race.is_none() {
+            return;
+        }
+        if self.sync.flag_is_plain(flag) {
+            let program = self.tasks.programs[tid.0].name().to_string();
+            if let Some(rt) = self.race.as_mut() {
+                rt.read_plain(flag, tid.0, &program, t, &mut self.tasks.race_clock[tid.0]);
+            }
+            self.rc_flush();
+        } else {
+            self.rc_acquire_chan(tid, Chan::Flag(flag.0));
+        }
+    }
+
+    /// A flag store by `tid`. Sync flags are release stores; plain flags
+    /// are race-checked writes.
+    pub(crate) fn rc_flag_store(&mut self, tid: TaskId, flag: FlagId, value: u64, t: SimTime) {
+        if self.race.is_none() {
+            return;
+        }
+        if self.sync.flag_is_plain(flag) {
+            let program = self.tasks.programs[tid.0].name().to_string();
+            if let Some(rt) = self.race.as_mut() {
+                rt.write_plain(
+                    flag,
+                    tid.0,
+                    &program,
+                    value,
+                    t,
+                    &mut self.tasks.race_clock[tid.0],
+                );
+            }
+            self.rc_flush();
+        } else {
+            self.rc_release_chan(tid, Chan::Flag(flag.0));
+        }
+    }
+}

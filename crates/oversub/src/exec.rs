@@ -6,6 +6,7 @@
 //! live in `engine::blocking`; segment arming lives in `engine::spin`.
 
 use crate::engine::{Cont, Engine, Event, Resume, RunKind};
+use crate::race::Chan;
 use oversub_hw::CpuId;
 use oversub_locks::{BarrierEffect, LockKey, MutexAcquire, MutexRelease, SemEffect, SpinEffect};
 use oversub_simcore::SimTime;
@@ -63,6 +64,7 @@ impl Engine {
                     sig,
                 } => {
                     if self.sync.flag_get(flag) != while_eq {
+                        self.rc_flag_load(tid, flag, t);
                         self.conts[tid.0] = Cont::Ready;
                         Flow::Continue(t)
                     } else {
@@ -229,6 +231,10 @@ impl Engine {
                 }
                 BarrierEffect::ReleaseAll { futex, wake_n } => {
                     let cost = self.do_futex_wake(cpu, futex, wake_n, t);
+                    // The releasing arriver also happens-after every
+                    // earlier arriver (they published into the channel
+                    // before parking).
+                    self.rc_acquire_chan(tid, Chan::Futex(futex.0));
                     Flow::Continue(t + cost)
                 }
             },
@@ -333,6 +339,7 @@ impl Engine {
                 while_eq,
                 sig,
             } => {
+                self.rc_flag_load(tid, flag, t);
                 if self.sync.flag_spin_begin(flag, tid, while_eq) {
                     Flow::Continue(t)
                 } else {
@@ -347,10 +354,14 @@ impl Engine {
                 }
             }
             SyncOp::FlagSet { flag, value } => {
+                self.rc_flag_store(tid, flag, value, t);
                 let released = self.sync.flag_set(flag, value);
                 self.charge_useful(cpu, 15);
                 let t2 = t + 15;
                 for w in released {
+                    // The released spinner's satisfied load: an acquire
+                    // on a sync flag, a race-checked read on a plain one.
+                    self.rc_flag_load(w, flag, t2);
                     self.release_flag_spinner(w, t2);
                 }
                 Flow::Continue(t2)
@@ -366,10 +377,12 @@ impl Engine {
                     t,
                 ) {
                     EpollWaitResult::Ready { events: _, cost_ns } => {
+                        self.rc_acquire_chan(tid, Chan::Epoll(ep.0));
                         self.charge_kernel(cpu, cost_ns);
                         Flow::Continue(t + cost_ns)
                     }
                     EpollWaitResult::Blocked(out) => {
+                        self.rc_release_chan(tid, Chan::Epoll(ep.0));
                         if !self.mechs.is_empty() {
                             self.mechs.on_block(cpu, tid, out.mode);
                         }
@@ -392,6 +405,7 @@ impl Engine {
                 let report =
                     self.epoll
                         .epoll_post(&mut self.sched, &mut self.tasks, ep, n, CpuId(cpu), t);
+                self.rc_epoll_post(tid, ep, &report.woken);
                 self.charge_kernel(cpu, report.waker_cost_ns);
                 let done = t + report.waker_cost_ns;
                 self.post_wake_events(&report.woken, done);

@@ -32,18 +32,21 @@
 //! - [`run`] / [`run_labelled`]: execute and obtain a
 //!   [`oversub_metrics::RunReport`].
 
+pub mod certify;
 pub mod config;
 mod engine;
 mod exec;
 pub mod experiments;
 pub mod faults;
 pub mod mechanism;
+pub mod race;
 pub mod sweep;
 pub mod trace;
 
 /// The workload interface (re-exported from `oversub-workloads`).
 pub use oversub_workloads::workload;
 
+pub use certify::{certify_schedules, schedule_salt, ScheduleCertification};
 pub use config::{ElasticEvent, MachineSpec, Mechanisms, RunConfig};
 pub use engine::{
     run, run_counted, run_labelled, run_phase_profiled, run_traced, try_run, try_run_labelled,

@@ -56,16 +56,50 @@ impl EventHandle {
 /// (periodic events that overflowed the wheel horizon).
 const NO_SLOT: u32 = u32::MAX;
 
+/// Tie-break key for a sequence number under a permutation salt.
+///
+/// Salt `0` is the identity: ties break in insertion order, the pinned
+/// production behavior. A non-zero salt feeds `seq ^ salt` through the
+/// SplitMix64 finalizer — a *bijection* on `u64`, so distinct sequence
+/// numbers keep distinct keys (no collisions, still a total order) while
+/// equal-time events pop in a salt-dependent pseudorandom permutation of
+/// their insertion order.
+///
+/// The permutation is scoped to a *burst*: the schedule calls made while
+/// one popped event is being processed (see `HeapEntry::ord`). Equal-time
+/// events from the same burst — a handler fanning out over a woken list,
+/// a CPU scan, a spinner set — permute; equal-time events from different
+/// bursts keep burst (causal) order. That targets exactly the
+/// insertion-order coincidences a handler's iteration order produces,
+/// which must be outcome-irrelevant, while cross-handler equal-time order
+/// remains the simulation's pinned deterministic scheduling choice. The
+/// schedule-robustness certifier runs the same config under several salts
+/// and asserts the reports are byte-identical.
+fn mix_ord(seq: u64, salt: u64) -> u64 {
+    if salt == 0 {
+        return seq;
+    }
+    let mut z = seq ^ salt;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 struct HeapEntry<E> {
     time: SimTime,
     seq: u64,
+    /// Tie-break key: `(burst at insert, mix_ord(seq, salt))`. Unsalted
+    /// this is `(burst, seq)`, lexicographically the same order as raw
+    /// `seq` (bursts are monotone in insertion order), so salt `0` is
+    /// bit-for-bit the pinned behavior.
+    ord: (u64, u64),
     slot: u32,
     payload: E,
 }
 
 impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.ord == other.ord
     }
 }
 impl<E> Eq for HeapEntry<E> {}
@@ -76,12 +110,12 @@ impl<E> PartialOrd for HeapEntry<E> {
 }
 impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // BinaryHeap is a max-heap; invert so the earliest (time, ord)
         // pops first.
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.ord.cmp(&self.ord))
     }
 }
 
@@ -288,6 +322,17 @@ struct FastQueue<E> {
     /// single key compare instead of a full source scan. Any push to
     /// another source clears it.
     hot: Option<(usize, Option<(SimTime, u64)>)>,
+    /// Tie-break permutation salt (see [`mix_ord`]). Non-zero salts also
+    /// route periodic/cadenced events straight to the heap: the wheel's
+    /// sorted buckets and the lanes' FIFO monotonicity argument are both
+    /// stated over raw insertion sequence numbers, so bypassing them
+    /// keeps the salted order trivially total at a perf cost only the
+    /// certifier pays.
+    salt: u64,
+    /// Burst counter: incremented on every pop, stamped into each entry's
+    /// tie-break key at insert. Scopes the salt permutation to the events
+    /// one handler execution scheduled (see [`mix_ord`]).
+    burst: u64,
 }
 
 impl<E> FastQueue<E> {
@@ -304,6 +349,8 @@ impl<E> FastQueue<E> {
             auto_cadence: false,
             last_pop_rotated: false,
             hot: None,
+            salt: 0,
+            burst: 0,
         }
     }
 
@@ -339,6 +386,7 @@ impl<E> FastQueue<E> {
         self.heap.push(HeapEntry {
             time: at,
             seq,
+            ord: (self.burst, mix_ord(seq, self.salt)),
             slot,
             payload,
         });
@@ -357,6 +405,7 @@ impl<E> FastQueue<E> {
         self.heap.push(HeapEntry {
             time: at,
             seq,
+            ord: (self.burst, mix_ord(seq, self.salt)),
             slot: NO_SLOT,
             payload,
         });
@@ -368,11 +417,22 @@ impl<E> FastQueue<E> {
         self.next_seq += 1;
         self.hot = None;
         self.last_pop_rotated = false;
-        self.insert_wheel_or_heap(at, seq, payload);
+        if self.salt != 0 {
+            self.heap.push(HeapEntry {
+                time: at,
+                seq,
+                ord: (self.burst, mix_ord(seq, self.salt)),
+                slot: NO_SLOT,
+                payload,
+            });
+        } else {
+            self.insert_wheel_or_heap(at, seq, payload);
+        }
         self.live += 1;
     }
 
     fn insert_wheel_or_heap(&mut self, at: SimTime, seq: u64, payload: E) {
+        debug_assert_eq!(self.salt, 0, "salted queues bypass the wheel");
         match self.wheel.insert(at, seq, payload) {
             Ok(()) => {}
             // Beyond the wheel horizon: fall back to the heap, with no
@@ -380,6 +440,7 @@ impl<E> FastQueue<E> {
             Err(payload) => self.heap.push(HeapEntry {
                 time: at,
                 seq,
+                ord: (self.burst, seq),
                 slot: NO_SLOT,
                 payload,
             }),
@@ -397,6 +458,17 @@ impl<E> FastQueue<E> {
         self.next_seq += 1;
         self.last_pop_rotated = false;
         self.live += 1;
+        if self.salt != 0 {
+            self.hot = None;
+            self.heap.push(HeapEntry {
+                time: at,
+                seq,
+                ord: (self.burst, mix_ord(seq, self.salt)),
+                slot: NO_SLOT,
+                payload,
+            });
+            return;
+        }
         let lane_idx = match self
             .lanes
             .iter_mut()
@@ -496,6 +568,9 @@ impl<E> FastQueue<E> {
     where
         E: Clone,
     {
+        // A pop starts a new burst: everything scheduled while the popped
+        // event is processed shares the next burst stamp (see `mix_ord`).
+        self.burst += 1;
         // Hot path: the lane that won the last pop wins again while its
         // front stays below the cached minimum of every other source.
         if let Some((h, om)) = self.hot {
@@ -626,6 +701,11 @@ struct ClassicQueue<E> {
     next_seq: u64,
     cancelled: std::collections::HashSet<u64>,
     live: usize,
+    /// Tie-break permutation salt (see [`mix_ord`]); cancellation stays
+    /// keyed by the raw sequence number either way.
+    salt: u64,
+    /// Burst counter (see the fast queue's field of the same name).
+    burst: u64,
 }
 
 impl<E> ClassicQueue<E> {
@@ -635,6 +715,8 @@ impl<E> ClassicQueue<E> {
             next_seq: 0,
             cancelled: std::collections::HashSet::new(),
             live: 0,
+            salt: 0,
+            burst: 0,
         }
     }
 
@@ -644,6 +726,7 @@ impl<E> ClassicQueue<E> {
         self.heap.push(HeapEntry {
             time: at,
             seq,
+            ord: (self.burst, mix_ord(seq, self.salt)),
             slot: NO_SLOT,
             payload,
         });
@@ -679,6 +762,7 @@ impl<E> ClassicQueue<E> {
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.burst += 1;
         self.drain_cancelled();
         self.heap.pop().map(|e| {
             self.live = self.live.saturating_sub(1);
@@ -727,6 +811,25 @@ impl<E> EventQueue<E> {
     /// True if this queue uses the reference implementation.
     pub fn is_classic(&self) -> bool {
         matches!(self.imp, Imp::Classic(_))
+    }
+
+    /// Set the equal-time tie-break permutation salt (see `mix_ord`).
+    /// `0` (the default) is pinned insertion order; non-zero values pop
+    /// equal-time events in a salt-dependent deterministic permutation —
+    /// the schedule-robustness certifier's knob. Must be called on an
+    /// empty queue: entries already pushed keep their old keys, which
+    /// would make the heap order inconsistent.
+    pub fn set_tiebreak_salt(&mut self, salt: u64) {
+        match &mut self.imp {
+            Imp::Fast(q) => {
+                assert_eq!(q.live, 0, "set_tiebreak_salt on a non-empty queue");
+                q.salt = salt;
+            }
+            Imp::Classic(q) => {
+                assert!(q.heap.is_empty(), "set_tiebreak_salt on a non-empty queue");
+                q.salt = salt;
+            }
+        }
     }
 
     /// Schedule `payload` at absolute time `at`. Returns a cancellation
@@ -1061,6 +1164,89 @@ mod tests {
         );
         assert_eq!(q.pop().unwrap().1, "a");
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    /// A non-zero salt permutes equal-time pops but keeps time order,
+    /// loses nothing, and is deterministic for a fixed salt.
+    #[test]
+    fn salt_permutes_ties_but_preserves_time_order() {
+        let run = |salt: u64| {
+            let mut q = EventQueue::new();
+            q.set_tiebreak_salt(salt);
+            for i in 0..16 {
+                q.schedule(SimTime::from_nanos(5), i);
+                q.schedule_periodic(SimTime::from_nanos(9), 100 + i);
+                q.schedule_cadenced(SimTime::from_nanos(9), 4, 200 + i);
+            }
+            let mut out = Vec::new();
+            let mut last = SimTime::ZERO;
+            while let Some((t, p)) = q.pop() {
+                assert!(t >= last, "salt must never reorder across times");
+                last = t;
+                out.push(p);
+            }
+            out
+        };
+        let base = run(0);
+        let salted = run(0x5eed);
+        assert_eq!(base, run(0));
+        assert_eq!(salted, run(0x5eed), "fixed salt is deterministic");
+        assert_ne!(base, salted, "salt must actually permute ties");
+        let (mut a, mut b) = (base.clone(), salted.clone());
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "same event multiset under any salt");
+    }
+
+    /// The salt permutation is burst-scoped: equal-time events scheduled
+    /// while *different* popped events were being processed keep their
+    /// burst (causal) order even under a salt.
+    #[test]
+    fn salt_preserves_cross_burst_order() {
+        let mut q = EventQueue::new();
+        q.set_tiebreak_salt(0xABCD);
+        q.schedule(SimTime::from_nanos(1), 0);
+        // Burst 0: a tie group at t=5.
+        for i in 10..14 {
+            q.schedule(SimTime::from_nanos(5), i);
+        }
+        assert_eq!(q.pop().unwrap().1, 0);
+        // Burst 1 (after one pop): another tie group at t=5.
+        for i in 20..24 {
+            q.schedule(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert!(
+            order[..4].iter().all(|p| *p < 14) && order[4..].iter().all(|p| *p >= 20),
+            "cross-burst ties must keep burst order: {order:?}"
+        );
+    }
+
+    /// Salted classic and fast queues still pop identically (they share
+    /// the sequence counter and the mix).
+    #[test]
+    fn salted_classic_matches_salted_fast() {
+        let mut fast = EventQueue::new();
+        let mut classic = EventQueue::classic();
+        fast.set_tiebreak_salt(7);
+        classic.set_tiebreak_salt(7);
+        for i in 0..24 {
+            let t = SimTime::from_nanos((i % 3) as u64);
+            if i % 2 == 0 {
+                fast.schedule(t, i);
+                classic.schedule(t, i);
+            } else {
+                fast.schedule_cadenced(t, 10, i);
+                classic.schedule_cadenced(t, 10, i);
+            }
+        }
+        loop {
+            let (a, b) = (fast.pop(), classic.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     /// The classic queue pops the same order as the fast queue for the

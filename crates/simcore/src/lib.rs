@@ -13,14 +13,19 @@ pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod time;
+pub mod vclock;
 
 pub use events::{EventHandle, EventQueue};
 pub use pool::{JobPanic, PoolStats};
 pub use resource::{Grant, KernelLock, KernelLockParams};
 pub use rng::SimRng;
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};
+pub use vclock::VClock;
 
-#[cfg(test)]
+// Property tests run hundreds of cases and use proptest's file-backed
+// failure persistence — both prohibitive under miri, which covers the
+// deterministic unit tests instead.
+#[cfg(all(test, not(miri)))]
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -200,7 +200,10 @@ pub fn run_ordered_caught<T: Send>(
     )
 }
 
-#[cfg(test)]
+// The pool tests spawn OS threads and read host wall-clocks
+// (`Instant::now`), which need `-Zmiri-disable-isolation`; the pool never
+// touches simulation state, so miri skips it.
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
 

@@ -175,6 +175,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k+ statistical iterations; too slow under miri")]
     fn gen_range_respects_bound() {
         let mut r = SimRng::new(9);
         for _ in 0..10_000 {
@@ -194,6 +195,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k+ statistical iterations; too slow under miri")]
     fn gen_f64_in_unit_interval() {
         let mut r = SimRng::new(11);
         for _ in 0..10_000 {
@@ -203,6 +205,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "10k+ statistical iterations; too slow under miri")]
     fn gen_exp_has_roughly_right_mean() {
         let mut r = SimRng::new(5);
         let n = 50_000;

@@ -1,0 +1,134 @@
+//! Dense vector clocks for happens-before tracking.
+//!
+//! A [`VClock`] maps a fixed set of logical actors (simulated tasks) to
+//! monotone counters. Two events are ordered by happens-before iff the
+//! clock captured at the earlier one is `<=` component-wise than the
+//! clock captured at the later one. The race detector in the `oversub`
+//! crate keeps one clock per task (an SoA column) plus one per sync
+//! object; joins happen only at modeled release/acquire boundaries, so
+//! the clocks are exact for the simulated program — there is no epoch
+//! compression and no approximation.
+//!
+//! Clocks are plain dense `Vec<u64>` columns: simulated task counts are
+//! small (tens to hundreds), joins are O(n) memcpy-speed loops, and a
+//! detector that is off keeps every clock at length zero so the column
+//! costs nothing.
+
+/// A dense vector clock over `len()` actors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// An empty clock (zero actors). Used as the disarmed placeholder.
+    pub const fn empty() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// A zeroed clock over `n` actors.
+    pub fn zeroed(n: usize) -> Self {
+        VClock(vec![0; n])
+    }
+
+    /// Number of actors this clock tracks.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the clock tracks zero actors (detector disarmed).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Advance actor `i`'s own component by one.
+    pub fn tick(&mut self, i: usize) {
+        self.0[i] += 1;
+    }
+
+    /// Component `i` of the clock.
+    pub fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum with `other`, growing to the larger length.
+    pub fn join(&mut self, other: &VClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(other.0.iter()) {
+            if b > *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// True when `self` happens-before-or-equals `other`: every
+    /// component of `self` is `<=` the matching component of `other`
+    /// (missing components read as zero).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &a)| a <= other.get(i))
+    }
+
+    /// Render as `{0:3, 2:1}` listing only non-zero components — the
+    /// provenance format used in `data-race` diagnostics.
+    pub fn provenance(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (i, &v) in self.0.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{i}:{v}"));
+            first = false;
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_le() {
+        let mut a = VClock::zeroed(3);
+        let mut b = VClock::zeroed(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn le_handles_length_mismatch() {
+        let mut short = VClock::zeroed(1);
+        short.tick(0);
+        let mut long = VClock::zeroed(4);
+        long.tick(0);
+        long.tick(3);
+        assert!(short.le(&long));
+        assert!(!long.le(&short));
+        let mut grown = short.clone();
+        grown.join(&long);
+        assert_eq!(grown.len(), 4);
+        assert_eq!(grown.get(3), 1);
+    }
+
+    #[test]
+    fn provenance_lists_nonzero_components() {
+        let mut c = VClock::zeroed(4);
+        c.tick(0);
+        c.tick(2);
+        c.tick(2);
+        assert_eq!(c.provenance(), "{0:1, 2:2}");
+        assert_eq!(VClock::empty().provenance(), "{}");
+    }
+}

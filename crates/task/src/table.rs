@@ -23,7 +23,7 @@ use crate::ids::TaskId;
 use crate::program::Program;
 use crate::state::{Task, TaskState, TaskStats};
 use oversub_hw::CpuId;
-use oversub_simcore::SimTime;
+use oversub_simcore::{SimTime, VClock};
 
 /// Struct-of-arrays task state. See the module docs for layout rules.
 ///
@@ -67,6 +67,13 @@ pub struct TaskTable {
     pub addr_salt: Vec<u64>,
     /// Per-task accounting.
     pub stats: Vec<TaskStats>,
+    /// Happens-before vector clock for the race detector. Disarmed runs
+    /// keep every row at [`VClock::empty`] (a zero-length clock, i.e. a
+    /// dangling `Vec`), so the column costs one pointer-sized push per
+    /// spawn and nothing thereafter. The engine zero-fills the rows to
+    /// task-count length only when `RunConfig::with_race_detector()` is
+    /// set.
+    pub race_clock: Vec<VClock>,
 }
 
 impl TaskTable {
@@ -113,6 +120,7 @@ impl TaskTable {
         self.random_access.push(task.random_access);
         self.addr_salt.push(task.addr_salt);
         self.stats.push(task.stats);
+        self.race_clock.push(VClock::empty());
         id
     }
 
@@ -203,6 +211,11 @@ mod tests {
         assert_eq!(tt.len(), 3);
         assert_eq!(tt.vruntime.len(), 3);
         assert_eq!(tt.programs.len(), 3);
+        assert_eq!(tt.race_clock.len(), 3);
+        assert!(
+            tt.race_clock[0].is_empty(),
+            "clocks are disarmed by default"
+        );
         assert_eq!(tt.addr_salt[2], 3, "salt = id + 1");
         assert!(tt.schedulable(TaskId(1)));
     }

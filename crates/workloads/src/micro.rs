@@ -3,7 +3,9 @@
 use oversub_hw::AccessPattern;
 use oversub_locks::SpinPolicy;
 use oversub_metrics::RunReport;
-use oversub_task::{Action, CondId, LockId, ProgCtx, Program, ScriptProgram, SyncOp};
+use oversub_task::{
+    Action, CondId, FnProgram, LockId, ProgCtx, Program, ScriptProgram, SpinSig, SyncOp,
+};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -547,5 +549,74 @@ impl Workload for AbbaDeadlock {
             ];
             w.spawn(ThreadSpec::new(Box::new(ScriptProgram::once(script))));
         }
+    }
+}
+
+/// A deliberate data race: the race-detector sibling of [`AbbaDeadlock`].
+///
+/// One thread busy-waits on a *plain* (non-atomic) flag word while
+/// another computes briefly and then stores into it — the classic
+/// unsynchronized done-flag spin. The plain flag carries no
+/// release/acquire edge, so the store and the spin loads are unordered by
+/// happens-before: run with `RunConfig::with_race_detector()` this
+/// deterministically produces exactly one `data-race` diagnostic naming
+/// both access sites. Mechanically the run still completes (the store
+/// does release the spinner), modeling a race that "works" at runtime —
+/// as most do, which is why a detector is needed at all.
+pub struct RacyFlagSpin {
+    /// Nanoseconds the writer computes before its unsynchronized store.
+    pub writer_delay_ns: u64,
+}
+
+impl Default for RacyFlagSpin {
+    fn default() -> Self {
+        RacyFlagSpin {
+            writer_delay_ns: 20_000,
+        }
+    }
+}
+
+/// A [`ScriptProgram`] with a distinguishing name, so race diagnostics
+/// can label each access site with the thread's role.
+fn named_script(name: &'static str, script: Vec<Action>) -> Box<dyn Program> {
+    let mut pos = 0usize;
+    Box::new(FnProgram::new(name, move |_ctx| {
+        if pos >= script.len() {
+            return Action::Exit;
+        }
+        let a = script[pos];
+        pos += 1;
+        a
+    }))
+}
+
+impl Workload for RacyFlagSpin {
+    fn name(&self) -> &str {
+        "racy-flag-spin"
+    }
+
+    fn build(&mut self, w: &mut WorldBuilder) {
+        let done = w.flag_plain(0);
+        let spinner = vec![
+            Action::Sync(SyncOp::FlagSpinWhileEq {
+                flag: done,
+                while_eq: 0,
+                sig: SpinSig::bare_loop(0x9A),
+            }),
+            Action::Compute { ns: 1_000 },
+            Action::Exit,
+        ];
+        w.spawn(ThreadSpec::new(named_script("racy-spinner", spinner)));
+        let writer = vec![
+            Action::Compute {
+                ns: self.writer_delay_ns,
+            },
+            Action::Sync(SyncOp::FlagSet {
+                flag: done,
+                value: 1,
+            }),
+            Action::Exit,
+        ];
+        w.spawn(ThreadSpec::new(named_script("racy-writer", writer)));
     }
 }

@@ -419,9 +419,15 @@ impl WorldBuilder {
         self.sync.create_spinlock(policy)
     }
 
-    /// Shorthand: create a flag word.
+    /// Shorthand: create a flag word (release/acquire semantics).
     pub fn flag(&mut self, initial: u64) -> FlagId {
         self.sync.create_flag(initial)
+    }
+
+    /// Shorthand: create a *plain* (non-atomic) flag word. Unsynchronized
+    /// concurrent access to it is a data race the detector reports.
+    pub fn flag_plain(&mut self, initial: u64) -> FlagId {
+        self.sync.create_flag_plain(initial)
     }
 
     /// Shorthand: create an epoll instance.

@@ -28,11 +28,17 @@ use proptest::prelude::*;
 
 /// Diagnostic kinds that indicate an engine bug rather than an injected
 /// fault or a watchdog-mediated outcome. These must never appear.
+/// `data-race` and `schedule-divergence` belong here too: the chaos
+/// matrix never arms the race detector or the schedule certifier, so the
+/// engine emitting either kind under chaos means analysis state leaked
+/// into an unarmed run.
 const FAILURE_KINDS: &[&str] = &[
     "rq-inconsistency",
     "waiter-board-mismatch",
     "event-order",
     "lock-grant-mismatch",
+    "data-race",
+    "schedule-divergence",
 ];
 
 /// A named workload case: label, CPU count, and a fresh-instance factory.
