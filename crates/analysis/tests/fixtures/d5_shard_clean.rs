@@ -1,0 +1,15 @@
+// D5 shard-executor confinement, clean side: persistent named workers
+// spawned the way `simcore::shard` does. Sanctioned ONLY at
+// `crates/simcore/src/shard.rs` (see HOST_THREAD_FILES) — the executor
+// owns the workers for the whole run and folds results in shard order,
+// so determinism is preserved by construction.
+pub fn spawn_workers(n: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (1..n)
+        .map(|i| {
+            std::thread::Builder::new()
+                .name(format!("shard-{i}"))
+                .spawn(move || {})
+                .unwrap_or_else(|e| panic!("spawn shard worker {i}: {e}"))
+        })
+        .collect()
+}

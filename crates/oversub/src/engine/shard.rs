@@ -1,0 +1,968 @@
+//! Intra-run sharding: per-core-group tick queues advanced concurrently
+//! under conservative lookahead windows, byte-identical to the
+//! single-queue engine by construction.
+//!
+//! # How the run is split
+//!
+//! The optimized engine's event population has a sharp shape: on an
+//! oversized machine the overwhelming majority of events are periodic
+//! per-CPU ticks (`MechTimer`, `Balance`) landing on cores with nothing
+//! running, where the handler reduces to a fixed *quiet* body — a couple
+//! of per-CPU counter updates that touch no shared state (see
+//! [`QuietKind`]). Everything else (rescheds, segment ends, futex wakes,
+//! elasticity) is rare and highly cross-CPU.
+//!
+//! So the split is: per-CPU tick events live in per-shard queues
+//! ([`ShardChunk`], one per contiguous core group), everything else stays
+//! in the coordinator's single [`EventQueue`](oversub_simcore::EventQueue).
+//! The coordinator merges both sides by the global `(time, seq)` key —
+//! sequence numbers are allocated from the *coordinator queue's* counter
+//! even for shard-queue inserts ([`Engine::schedule_tick`]), so the merged
+//! pop order is exactly the order the single queue would produce.
+//!
+//! # Lookahead windows
+//!
+//! When the merged front is a quiet tick, the coordinator opens a window:
+//! every tick strictly below the horizon `H0` (the coordinator queue's own
+//! front, capped at `end_cap`) is classified shard-locally in parallel
+//! (phase 1), a global cut `K_min` is derived from the classification
+//! stops, and the quiet prefix below `K_min` executes in parallel on
+//! per-CPU account copies (phase 2). Quiet bodies commute across CPUs and
+//! are applied in key order per CPU, so the fold-back (merge in key order,
+//! count events, allocate each tick's rotation seq from the shared
+//! counter) reconstructs the sequential engine's state transition exactly.
+//!
+//! `K_min` is bounded by three things, each required for the executed set
+//! to be a closed prefix of the sequential pop order:
+//! - each shard's first non-quiet (or budget-stopped) front, which must
+//!   execute on the coordinator with full engine access;
+//! - the horizon `H0`: coordinator events below it would interleave;
+//! - each executed tick's own re-arm point `t + interval` — the rotation
+//!   lands back in the queue and would be popped (and would allocate its
+//!   next seq) before any event after it, so no event at a later time may
+//!   execute in the same window ([`ShardChunk::rearm_cap`]).
+//!
+//! Anything non-quiet falls back to a sequential pop on the coordinator
+//! with the full engine — bit-equal to the single-queue path, including
+//! the in-pop cadence rotation (`tick_rotated`).
+//!
+//! Cross-shard interactions (waking a task owned by another shard's CPU,
+//! migrations, elastic broadcasts) only ever happen in coordinator
+//! stretches — the sequential gaps *are* the window boundaries — and are
+//! logged in the timestamped [`Mailbox`], drained at each window open.
+//!
+//! Wall-clock reads (`Instant::now`) are phase-profile bookkeeping only
+//! and never feed simulation state (see the scoped detlint allow).
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
+
+use oversub_hw::CpuId;
+use oversub_metrics::RunReport;
+use oversub_sched::BALANCE_PASS_NS;
+use oversub_simcore::{with_shards, ShardSession, SimTime};
+use oversub_workloads::workload::Workload;
+
+use super::{Engine, Event, PhaseProfile};
+use crate::trace::TraceLog;
+
+/// Phase tag: stage quiet ticks below the horizon.
+const PHASE_CLASSIFY: u8 = 1;
+/// Phase tag: execute the staged prefix below the packed `K_min` cut.
+const PHASE_EXECUTE: u8 = 2;
+
+/// A cross-shard interaction kind (see [`Mailbox`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Mail {
+    /// A futex/IO wake targeting a CPU owned by another shard.
+    Wake,
+    /// A task migration crossing a shard boundary (balance or idle pull).
+    Migrate,
+    /// An elasticity change (broadcast to every shard by definition).
+    Elastic,
+}
+
+/// Timestamped log of cross-shard interactions. All of them occur on the
+/// coordinator between windows, so the buffer needs no synchronization;
+/// it is folded into counters (drained) at each window open and at run
+/// end. Purely observational — never part of the report.
+#[derive(Debug, Default)]
+pub(crate) struct Mailbox {
+    buf: Vec<(SimTime, Mail)>,
+    /// Cross-shard wakes folded so far.
+    pub(crate) wakes: u64,
+    /// Cross-shard migrations folded so far.
+    pub(crate) migrations: u64,
+    /// Elastic broadcasts folded so far.
+    pub(crate) elastic: u64,
+    /// Number of non-empty drains.
+    pub(crate) drains: u64,
+}
+
+impl Mailbox {
+    /// Fold eagerly past this many buffered entries so a wake-heavy run
+    /// cannot grow the buffer without bound between windows.
+    const AUTO_DRAIN: usize = 4096;
+
+    /// Record one interaction at `now`.
+    pub(crate) fn note(&mut self, now: SimTime, kind: Mail) {
+        self.buf.push((now, kind));
+        if self.buf.len() >= Self::AUTO_DRAIN {
+            self.drain();
+        }
+    }
+
+    /// Fold the buffered entries into the counters.
+    pub(crate) fn drain(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.drains += 1;
+        for (_, kind) in self.buf.drain(..) {
+            match kind {
+                Mail::Wake => self.wakes += 1,
+                Mail::Migrate => self.migrations += 1,
+                Mail::Elastic => self.elastic += 1,
+            }
+        }
+    }
+}
+
+/// The per-CPU fields a quiet tick may touch, extracted as a plain copy
+/// so window execution needs no access to the scheduler. Copied in from
+/// `sched.cpus` before a window and written back verbatim after it.
+#[derive(Clone, Copy, Debug, Default)]
+struct TickAccounts {
+    idle_ns: u64,
+    kernel_ns: u64,
+    accounted_until: SimTime,
+    next_balance: SimTime,
+}
+
+/// The classified body of a quiet tick — the exact effect the sequential
+/// handler would have, restricted to [`TickAccounts`] plus one deferred
+/// idle-check counter. Derivations cite the sequential code they mirror.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QuietKind {
+    /// A tick on an offline CPU: the handler returns right after the
+    /// (already-performed) re-arm. Nothing to apply.
+    Noop,
+    /// `MechTimer` on an idle CPU with an untouched monitoring window and
+    /// a constant idle-quiet charge: one deferred check plus
+    /// `account_idle_tick` (`Engine::on_mech_timer`'s constant sub-case).
+    MechIdle {
+        /// Mechanism index (for the deferred check counter).
+        mech: usize,
+        /// The constant charge (`idle_quiet_charge[mech]`).
+        charge: u64,
+    },
+    /// `Balance` on an online idle CPU with an empty waiter board:
+    /// `periodic_balance`'s O(1) fast path (bump `next_balance`, no
+    /// migrations, cost `BALANCE_PASS_NS`) followed by `on_balance`'s
+    /// idle charging (`account_progress` + `charge_kernel`).
+    BalanceIdle,
+    /// Same, but the CPU is running a task: `on_balance` charges the pass
+    /// as softirq kernel time without moving the cursor.
+    BalanceBusy,
+}
+
+/// One tick event in a shard queue. `interval_ns` rides along so any pop
+/// site can rotate the event (re-arm one interval later) exactly as the
+/// single queue's cadence lanes do.
+#[derive(Clone, Copy, Debug)]
+struct TickEv {
+    time: SimTime,
+    seq: u64,
+    ev: Event,
+    interval_ns: u64,
+}
+
+#[inline]
+fn key(e: &TickEv) -> (SimTime, u64) {
+    (e.time, e.seq)
+}
+
+/// The CPU a tick event fires on.
+fn cpu_of(ev: &Event) -> Option<usize> {
+    match *ev {
+        Event::MechTimer(_, c) | Event::Balance(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// FIFO of same-cadence ticks, mirroring the fast queue's cadence lanes:
+/// pushes are monotone in `(time, seq)` for a shared strict cadence, so
+/// the lane is a `VecDeque` with O(1) front/rotate.
+#[derive(Debug)]
+struct TickLane {
+    interval_ns: u64,
+    q: VecDeque<TickEv>,
+}
+
+/// Min-heap adapter for out-of-lane-order inserts (cannot happen for a
+/// strict cadence, kept as a safe fallback exactly like the fast queue's
+/// wheel-or-heap spill).
+#[derive(Debug)]
+struct SpillEnt(TickEv);
+
+impl PartialEq for SpillEnt {
+    fn eq(&self, other: &Self) -> bool {
+        key(&self.0) == key(&other.0)
+    }
+}
+impl Eq for SpillEnt {}
+impl PartialOrd for SpillEnt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SpillEnt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the min key on top.
+        key(&other.0).cmp(&key(&self.0))
+    }
+}
+
+/// One shard: the tick queue for a contiguous CPU range plus the window
+/// scratch its worker thread uses. Everything in here is owned by exactly
+/// one thread at a time (the executor's mutex protocol), so the struct is
+/// plain data — no atomics, no `unsafe`.
+#[derive(Debug)]
+pub(crate) struct ShardChunk {
+    /// First CPU this shard owns.
+    cpu_lo: usize,
+    /// One past the last CPU this shard owns.
+    cpu_hi: usize,
+    lanes: Vec<TickLane>,
+    spill: BinaryHeap<SpillEnt>,
+    /// Items un-staged by a `K_min` trim, still in key order ahead of
+    /// every lane/spill entry.
+    stash: VecDeque<TickEv>,
+    /// Phase-1 output: the staged quiet prefix, in key order.
+    exec: Vec<(TickEv, QuietKind)>,
+    /// Phase-1 output: the first key that must NOT execute in this window
+    /// (first non-quiet front, re-arm-capped front, or budget stop).
+    stop_key: Option<(SimTime, u64)>,
+    /// Phase-1 output: minimum re-arm time over staged items. No event at
+    /// a strictly later time may execute this window, in any shard — the
+    /// re-arm would pop (and allocate its next rotation seq) first.
+    rearm_cap: Option<SimTime>,
+    /// Per-CPU account copies for the owned range (phase-2 targets).
+    accounts: Vec<TickAccounts>,
+    /// Per-mechanism deferred idle checks accumulated in phase 2, folded
+    /// into the engine's counters at the window fold.
+    pending_idle: Vec<u64>,
+}
+
+impl ShardChunk {
+    /// Insert a tick at `(at, seq)`. Routed to the lane matching the
+    /// cadence; falls back to the spill heap if lane order would break.
+    fn insert(&mut self, at: SimTime, seq: u64, ev: Event, interval_ns: u64) {
+        let e = TickEv {
+            time: at,
+            seq,
+            ev,
+            interval_ns,
+        };
+        let li = match self.lanes.iter().position(|l| l.interval_ns == interval_ns) {
+            Some(i) => i,
+            None => {
+                self.lanes.push(TickLane {
+                    interval_ns,
+                    q: VecDeque::new(),
+                });
+                self.lanes.len() - 1
+            }
+        };
+        let Some(lane) = self.lanes.get_mut(li) else {
+            return;
+        };
+        if lane.q.back().is_none_or(|b| (b.time, b.seq) <= (at, seq)) {
+            lane.q.push_back(e);
+        } else {
+            self.spill.push(SpillEnt(e));
+        }
+    }
+
+    /// `(time, seq)` of the minimum pending tick, if any.
+    fn front_key(&self) -> Option<(SimTime, u64)> {
+        self.front().map(|e| key(&e))
+    }
+
+    /// Copy of the minimum pending tick, if any.
+    fn front(&self) -> Option<TickEv> {
+        let mut best: Option<TickEv> = self.stash.front().copied();
+        for l in &self.lanes {
+            if let Some(e) = l.q.front() {
+                if best.is_none_or(|b| key(e) < key(&b)) {
+                    best = Some(*e);
+                }
+            }
+        }
+        if let Some(SpillEnt(e)) = self.spill.peek() {
+            if best.is_none_or(|b| key(e) < key(&b)) {
+                best = Some(*e);
+            }
+        }
+        best
+    }
+
+    /// Pop the minimum pending tick.
+    fn pop_front(&mut self) -> Option<TickEv> {
+        // Source of the minimum: 0 = stash, 1 = spill, 2+i = lane i.
+        let mut best: Option<(SimTime, u64)> = None;
+        let mut src = usize::MAX;
+        if let Some(e) = self.stash.front() {
+            best = Some(key(e));
+            src = 0;
+        }
+        if let Some(SpillEnt(e)) = self.spill.peek() {
+            let k = key(e);
+            if best.is_none_or(|b| k < b) {
+                best = Some(k);
+                src = 1;
+            }
+        }
+        for (i, l) in self.lanes.iter().enumerate() {
+            if let Some(e) = l.q.front() {
+                let k = key(e);
+                if best.is_none_or(|b| k < b) {
+                    best = Some(k);
+                    src = 2 + i;
+                }
+            }
+        }
+        best?;
+        match src {
+            0 => self.stash.pop_front(),
+            1 => self.spill.pop().map(|SpillEnt(e)| e),
+            i => self.lanes.get_mut(i - 2).and_then(|l| l.q.pop_front()),
+        }
+    }
+
+    /// Phase 1: stage the quiet prefix strictly below `ctx.h0`, stopping
+    /// at the first non-quiet tick, at the per-window item budget, or at
+    /// the staged set's own re-arm cap. Any stop below the horizon
+    /// records `stop_key` so the global `K_min` respects it.
+    fn phase_classify(&mut self, ctx: &WindowCtx) {
+        self.exec.clear();
+        self.stop_key = None;
+        self.rearm_cap = None;
+        while (self.exec.len() as u64) < ctx.max_items {
+            let Some(e) = self.front() else { return };
+            let k = key(&e);
+            if k >= ctx.h0 {
+                return;
+            }
+            if self.rearm_cap.is_some_and(|cap| e.time > cap) {
+                self.stop_key = Some(k);
+                return;
+            }
+            let Some(kind) = classify(&e.ev, ctx) else {
+                self.stop_key = Some(k);
+                return;
+            };
+            let Some(e) = self.pop_front() else { return };
+            let cap = e.time + e.interval_ns;
+            self.rearm_cap = Some(self.rearm_cap.map_or(cap, |c| c.min(cap)));
+            self.exec.push((e, kind));
+        }
+        // Budget stop: the remaining front (if below the horizon) bounds
+        // the global cut exactly like a non-quiet stop would.
+        if let Some(k) = self.front_key() {
+            if k < ctx.h0 {
+                self.stop_key = Some(k);
+            }
+        }
+    }
+
+    /// Phase 2: trim the staged list to keys strictly below `k_min`
+    /// (un-staging the tail back onto the stash in order) and apply the
+    /// surviving quiet bodies to the account copies, in key order.
+    fn phase_execute(&mut self, ctx: &WindowCtx, k_min: (SimTime, u64)) {
+        let cut = self.exec.partition_point(|(e, _)| key(e) < k_min);
+        let tail: Vec<TickEv> = self.exec.drain(cut..).map(|(e, _)| e).collect();
+        for e in tail.into_iter().rev() {
+            self.stash.push_front(e);
+        }
+        for i in 0..self.exec.len() {
+            let (e, kind) = self.exec[i];
+            let Some(cpu) = cpu_of(&e.ev) else { continue };
+            self.apply(ctx, e.time, kind, cpu);
+        }
+    }
+
+    /// Apply one quiet body to the CPU's account copy. Each arm is the
+    /// sequential handler's effect verbatim (see [`QuietKind`]).
+    fn apply(&mut self, ctx: &WindowCtx, t: SimTime, kind: QuietKind, cpu: usize) {
+        let Some(i) = cpu.checked_sub(self.cpu_lo) else {
+            return;
+        };
+        let Some(a) = self.accounts.get_mut(i) else {
+            return;
+        };
+        match kind {
+            QuietKind::Noop => {}
+            QuietKind::MechIdle { mech, charge } => {
+                if let Some(p) = self.pending_idle.get_mut(mech) {
+                    *p += 1;
+                }
+                // account_idle_tick(cpu, t, charge)
+                if t > a.accounted_until {
+                    a.idle_ns += t - a.accounted_until;
+                    a.accounted_until = t;
+                }
+                a.kernel_ns += charge;
+                a.accounted_until += charge;
+            }
+            QuietKind::BalanceIdle => {
+                // periodic_balance fast path + idle charging
+                a.next_balance = t + ctx.balance_interval_ns;
+                if t > a.accounted_until {
+                    a.idle_ns += t - a.accounted_until;
+                    a.accounted_until = t;
+                }
+                a.kernel_ns += BALANCE_PASS_NS;
+                a.accounted_until += BALANCE_PASS_NS;
+            }
+            QuietKind::BalanceBusy => {
+                // periodic_balance fast path + softirq charging
+                a.next_balance = t + ctx.balance_interval_ns;
+                a.kernel_ns += BALANCE_PASS_NS;
+            }
+        }
+    }
+}
+
+/// The per-shard tick queues plus window scratch, built at engine
+/// construction and taken out of the engine for the duration of the run.
+pub(crate) struct ShardRt {
+    chunks: Vec<ShardChunk>,
+}
+
+impl ShardRt {
+    /// Split `ncpu` CPUs into `nshards` contiguous groups.
+    pub(crate) fn new(nshards: usize, ncpu: usize, nmechs: usize) -> Self {
+        let n = nshards.clamp(1, ncpu.max(1));
+        let chunks = (0..n)
+            .map(|i| {
+                let lo = i * ncpu / n;
+                let hi = (i + 1) * ncpu / n;
+                ShardChunk {
+                    cpu_lo: lo,
+                    cpu_hi: hi,
+                    lanes: Vec::new(),
+                    spill: BinaryHeap::new(),
+                    stash: VecDeque::new(),
+                    exec: Vec::new(),
+                    stop_key: None,
+                    rearm_cap: None,
+                    accounts: vec![TickAccounts::default(); hi - lo],
+                    pending_idle: vec![0; nmechs],
+                }
+            })
+            .collect();
+        ShardRt { chunks }
+    }
+
+    /// CPU index → owning shard index.
+    pub(crate) fn cpu_shard_map(&self) -> Vec<u32> {
+        let mut map = Vec::new();
+        for (i, c) in self.chunks.iter().enumerate() {
+            for _ in c.cpu_lo..c.cpu_hi {
+                map.push(i as u32);
+            }
+        }
+        map
+    }
+
+    /// Insert a tick into shard `si` (see [`Engine::schedule_tick`]).
+    pub(crate) fn insert_tick(
+        &mut self,
+        si: usize,
+        at: SimTime,
+        seq: u64,
+        interval_ns: u64,
+        ev: Event,
+    ) {
+        if let Some(c) = self.chunks.get_mut(si) {
+            c.insert(at, seq, ev, interval_ns);
+        }
+    }
+}
+
+/// Read-only context a window's phases run against: the horizon, the
+/// frozen per-CPU classification inputs, and the shared constants. Built
+/// by the coordinator at window open; quiet bodies touch none of these
+/// inputs, so the snapshot stays valid for the whole window.
+pub(crate) struct WindowCtx {
+    h0: (SimTime, u64),
+    online: Vec<bool>,
+    /// `Scheduler::is_active` view (the timer handler's idle test).
+    active: Vec<bool>,
+    /// `cpus[c].current.is_some()` (the balance handler's idle test —
+    /// kept separate from `active` to mirror the handlers exactly).
+    has_current: Vec<bool>,
+    untouched: Vec<bool>,
+    quiet_charge: Vec<Option<u64>>,
+    balance_interval_ns: u64,
+    board_zero: bool,
+    /// Per-shard staging budget (the run's remaining event budget).
+    max_items: u64,
+}
+
+/// Classify a tick against the window context: `Some(kind)` iff the
+/// sequential handler's entire effect is the quiet body `kind`. Mirrors
+/// `Engine::on_mech_timer` / `Engine::on_balance` under the sharding
+/// arming conditions (optimized engine, no faults — both guaranteed).
+fn classify(ev: &Event, ctx: &WindowCtx) -> Option<QuietKind> {
+    match *ev {
+        Event::MechTimer(m, c) => {
+            if !ctx.online[c] {
+                return Some(QuietKind::Noop);
+            }
+            if !ctx.active[c] && ctx.untouched[c] {
+                if let Some(charge) = ctx.quiet_charge.get(m).copied().flatten() {
+                    return Some(QuietKind::MechIdle { mech: m, charge });
+                }
+            }
+            None
+        }
+        Event::Balance(c) => {
+            if !ctx.online[c] {
+                return Some(QuietKind::Noop);
+            }
+            if !ctx.board_zero {
+                return None;
+            }
+            Some(if ctx.has_current[c] {
+                QuietKind::BalanceBusy
+            } else {
+                QuietKind::BalanceIdle
+            })
+        }
+        _ => None,
+    }
+}
+
+/// [`classify`] against the live engine (the coordinator's cheap
+/// front-event probe — no context snapshot needed).
+fn classify_on_engine(eng: &Engine, ev: &Event) -> Option<QuietKind> {
+    match *ev {
+        Event::MechTimer(m, c) => {
+            if !eng.sched.online[c] {
+                return Some(QuietKind::Noop);
+            }
+            if !eng.sched.is_active(CpuId(c)) && eng.sched.cpus[c].hw.window_untouched() {
+                if let Some(charge) = eng.idle_quiet_charge.get(m).copied().flatten() {
+                    return Some(QuietKind::MechIdle { mech: m, charge });
+                }
+            }
+            None
+        }
+        Event::Balance(c) => {
+            if !eng.sched.online[c] {
+                return Some(QuietKind::Noop);
+            }
+            if eng.sched.waiter_board_count() != 0 {
+                return None;
+            }
+            Some(if eng.sched.cpus[c].current.is_some() {
+                QuietKind::BalanceBusy
+            } else {
+                QuietKind::BalanceIdle
+            })
+        }
+        _ => None,
+    }
+}
+
+#[inline]
+fn pack_key(k: (SimTime, u64)) -> u128 {
+    ((k.0 .0 as u128) << 64) | k.1 as u128
+}
+
+#[inline]
+fn unpack_key(a: u128) -> (SimTime, u64) {
+    (SimTime((a >> 64) as u64), a as u64)
+}
+
+/// The phase body every shard runs (workers for shards 1.., inline on the
+/// coordinator for shard 0). Pure chunk + context: no engine access.
+fn window_fn(phase: u8, aux: u128, _idx: usize, chunk: &mut ShardChunk, ctx: &WindowCtx) {
+    match phase {
+        PHASE_CLASSIFY => chunk.phase_classify(ctx),
+        PHASE_EXECUTE => chunk.phase_execute(ctx, unpack_key(aux)),
+        _ => {}
+    }
+}
+
+/// Entry point from [`Engine::run_with_trace`]: spin up the persistent
+/// shard workers, drive the merged run loop, fold the executor stats into
+/// the phase profile, and finish through the shared `wrap_up` tail.
+pub(crate) fn run_sharded(
+    mut eng: Engine,
+    rt: ShardRt,
+    prof: Option<Box<PhaseProfile>>,
+    workload: &dyn Workload,
+    label: &str,
+) -> (RunReport, TraceLog, u64, Option<PhaseProfile>) {
+    let eng_ref = &mut eng;
+    let (chunks, prof, stats) = with_shards(rt.chunks, window_fn, move |session| {
+        let mut prof = prof;
+        run_loop(eng_ref, session, &mut prof);
+        prof
+    });
+    drop(chunks);
+    let mut prof = prof;
+    if let Some(p) = prof.as_deref_mut() {
+        p.barrier_wait_ns += stats.barrier_wait_ns;
+    }
+    eng.shard_mail.drain();
+    eng.wrap_up(workload, label, prof)
+}
+
+/// The merged run loop: pop the global-minimum `(time, seq)` key across
+/// the coordinator queue and every shard front; quiet shard fronts open
+/// lookahead windows, everything else executes sequentially on the full
+/// engine exactly as the single-queue loop would.
+fn run_loop(
+    eng: &mut Engine,
+    session: &mut ShardSession<'_, ShardChunk, WindowCtx>,
+    prof: &mut Option<Box<PhaseProfile>>,
+) {
+    let n = session.shards();
+    let mut fronts: Vec<Option<(SimTime, u64)>> =
+        (0..n).map(|i| session.chunk(i).front_key()).collect();
+    loop {
+        let ck = match prof.as_deref_mut() {
+            None => eng.queue.peek_key(),
+            Some(p) => {
+                let t0 = Instant::now();
+                let r = eng.queue.peek_key();
+                p.queue_pop_ns += t0.elapsed().as_nanos() as u64;
+                r
+            }
+        };
+        let mut best = ck;
+        let mut best_sh: Option<usize> = None;
+        for (i, f) in fronts.iter().enumerate() {
+            if let Some(k) = *f {
+                if best.is_none_or(|b| k < b) {
+                    best = Some(k);
+                    best_sh = Some(i);
+                }
+            }
+        }
+        let Some(k) = best else { break };
+        if k.0 >= eng.end_cap {
+            eng.now = eng.end_cap;
+            break;
+        }
+        match best_sh {
+            None => {
+                // Coordinator event: the single-queue loop body verbatim.
+                let popped = match prof.as_deref_mut() {
+                    None => eng.queue.pop(),
+                    Some(p) => {
+                        let t0 = Instant::now();
+                        let r = eng.queue.pop();
+                        p.queue_pop_ns += t0.elapsed().as_nanos() as u64;
+                        r
+                    }
+                };
+                let Some((t, ev)) = popped else { break };
+                eng.tick_rotated = eng.queue.last_pop_rotated();
+                if step(eng, prof, t, ev) {
+                    break;
+                }
+            }
+            Some(si) => {
+                let front = session.chunk(si).front();
+                let Some(e) = front else {
+                    fronts[si] = None;
+                    continue;
+                };
+                let budget_left = eng.max_events.saturating_sub(eng.events_processed);
+                let mut windowed = false;
+                if budget_left >= 2 && classify_on_engine(eng, &e.ev).is_some() {
+                    windowed = run_window(eng, session, &mut fronts, prof) > 0;
+                }
+                if windowed {
+                    if eng.live == 0 || eng.halted {
+                        break;
+                    }
+                    continue;
+                }
+                // Sequential shard pop: identical to the single queue's
+                // pop-with-rotation of a cadenced lane event — rotate at
+                // pop under a freshly allocated global seq, then run the
+                // handler with `tick_rotated` set.
+                let popped = {
+                    let mut c = session.chunk(si);
+                    let e = c.pop_front();
+                    if let Some(e) = e {
+                        let seq = eng.queue.alloc_seq();
+                        c.insert(e.time + e.interval_ns, seq, e.ev, e.interval_ns);
+                    }
+                    fronts[si] = c.front_key();
+                    e
+                };
+                let Some(e) = popped else { continue };
+                eng.tick_rotated = true;
+                if step(eng, prof, e.time, e.ev) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// One sequential event step — the single-queue loop's per-event body
+/// (monotonicity check, clock advance, budget, dispatch, liveness).
+/// Returns true when the run loop must stop. `tick_rotated` must already
+/// be set for the event. The trace/audit env branches of the sequential
+/// loop are omitted: sharding only arms with them off.
+fn step(eng: &mut Engine, prof: &mut Option<Box<PhaseProfile>>, t: SimTime, ev: Event) -> bool {
+    debug_assert!(t >= eng.now, "time went backwards: {t} < {}", eng.now);
+    if t < eng.now {
+        let msg = format!("event at {t} popped after clock reached {}", eng.now);
+        eng.push_diagnostic("event-order", None, None, msg);
+        return true;
+    }
+    eng.now = t;
+    eng.events_processed += 1;
+    if eng.events_processed > eng.max_events {
+        let msg = format!(
+            "event budget of {} exhausted with {} tasks live",
+            eng.max_events, eng.live
+        );
+        eng.push_diagnostic("event-budget", None, None, msg);
+        return true;
+    }
+    match prof.as_deref_mut() {
+        None => eng.dispatch(ev),
+        Some(p) => {
+            let t0 = Instant::now();
+            eng.dispatch(ev);
+            *p.slot_for(&ev) += t0.elapsed().as_nanos() as u64;
+        }
+    }
+    eng.live == 0 || eng.halted
+}
+
+/// Open one lookahead window. Returns the number of events executed
+/// inside it (0 only in defensive corner cases — the caller then falls
+/// back to a sequential pop, so progress is always made).
+fn run_window(
+    eng: &mut Engine,
+    session: &mut ShardSession<'_, ShardChunk, WindowCtx>,
+    fronts: &mut [Option<(SimTime, u64)>],
+    prof: &mut Option<Box<PhaseProfile>>,
+) -> u64 {
+    let t0 = prof.as_ref().map(|_| Instant::now());
+    let barrier0 = session.stats().barrier_wait_ns;
+    eng.shard_mail.drain();
+    let cap_key = (eng.end_cap, 0u64);
+    let h0 = eng.queue.peek_key().map_or(cap_key, |k| k.min(cap_key));
+    let members: Vec<usize> = fronts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.filter(|k| *k < h0).map(|_| i))
+        .collect();
+    if members.is_empty() {
+        return 0;
+    }
+    let budget = eng.max_events.saturating_sub(eng.events_processed);
+
+    // Snapshot the classification inputs for the member CPU ranges.
+    // Quiet bodies touch none of these, so the snapshot holds for the
+    // whole window.
+    let ncpu = eng.sched.cpus.len();
+    let mut online = vec![false; ncpu];
+    let mut active = vec![false; ncpu];
+    let mut has_current = vec![false; ncpu];
+    let mut untouched = vec![false; ncpu];
+    for &si in &members {
+        let (lo, hi) = {
+            let c = session.chunk(si);
+            (c.cpu_lo, c.cpu_hi)
+        };
+        for cpu in lo..hi {
+            online[cpu] = eng.sched.online[cpu];
+            active[cpu] = eng.sched.is_active(CpuId(cpu));
+            has_current[cpu] = eng.sched.cpus[cpu].current.is_some();
+            untouched[cpu] = eng.sched.cpus[cpu].hw.window_untouched();
+        }
+    }
+    let ctx = WindowCtx {
+        h0,
+        online,
+        active,
+        has_current,
+        untouched,
+        quiet_charge: eng.idle_quiet_charge.clone(),
+        balance_interval_ns: eng.cfg.sched.balance_interval_ns,
+        board_zero: eng.sched.waiter_board_count() == 0,
+        max_items: budget,
+    };
+
+    // Copy the mutable per-CPU accounts into the member chunks.
+    for &si in &members {
+        let mut c = session.chunk(si);
+        let (lo, hi) = (c.cpu_lo, c.cpu_hi);
+        for cpu in lo..hi {
+            let s = &eng.sched.cpus[cpu];
+            if let Some(a) = c.accounts.get_mut(cpu - lo) {
+                *a = TickAccounts {
+                    idle_ns: s.time.idle_ns,
+                    kernel_ns: s.time.kernel_ns,
+                    accounted_until: s.accounted_until,
+                    next_balance: s.next_balance,
+                };
+            }
+        }
+    }
+
+    // While the window is open the classification is frozen: any central
+    // scheduler/task mutation would invalidate it, so the ownership
+    // asserts arm (debug builds).
+    eng.sched.set_parallel_window(true);
+    eng.tasks.set_parallel_window(true);
+    if members.len() == 1 {
+        // Single member: run both phases inline on the coordinator — no
+        // condvar handshake, no barrier.
+        let si = members[0];
+        {
+            let mut c = session.chunk(si);
+            c.phase_classify(&ctx);
+        }
+        let k_min = gather_k_min(session, &members, h0, budget);
+        let mut c = session.chunk(si);
+        c.phase_execute(&ctx, k_min);
+    } else {
+        session.set_ctx(ctx);
+        session.run_phase(PHASE_CLASSIFY, 0);
+        let k_min = gather_k_min(session, &members, h0, budget);
+        session.run_phase(PHASE_EXECUTE, pack_key(k_min));
+    }
+    eng.sched.set_parallel_window(false);
+    eng.tasks.set_parallel_window(false);
+
+    // Fold: merge the executed prefixes in global key order, counting
+    // each event and allocating its rotation seq from the shared counter
+    // exactly where the sequential pop would have, then write the account
+    // copies back and surface the deferred idle checks.
+    let fold_t0 = prof.as_ref().map(|_| Instant::now());
+    let mut executed = 0u64;
+    let mut last_t: Option<SimTime> = None;
+    {
+        let mut guards: Vec<_> = members.iter().map(|&si| session.chunk(si)).collect();
+        let mut idx = vec![0usize; guards.len()];
+        loop {
+            let mut best: Option<(SimTime, u64)> = None;
+            let mut bi = usize::MAX;
+            for (g, guard) in guards.iter().enumerate() {
+                if let Some((e, _)) = guard.exec.get(idx[g]) {
+                    let k = key(e);
+                    if best.is_none_or(|b| k < b) {
+                        best = Some(k);
+                        bi = g;
+                    }
+                }
+            }
+            if best.is_none() {
+                break;
+            }
+            let Some(guard) = guards.get_mut(bi) else {
+                break;
+            };
+            let Some(&(e, _)) = guard.exec.get(idx[bi]) else {
+                break;
+            };
+            idx[bi] += 1;
+            eng.events_processed += 1;
+            executed += 1;
+            last_t = Some(e.time);
+            let seq = eng.queue.alloc_seq();
+            guard.insert(e.time + e.interval_ns, seq, e.ev, e.interval_ns);
+        }
+        for guard in guards.iter_mut() {
+            let (lo, hi) = (guard.cpu_lo, guard.cpu_hi);
+            for cpu in lo..hi {
+                let Some(a) = guard.accounts.get(cpu - lo).copied() else {
+                    continue;
+                };
+                let s = &mut eng.sched.cpus[cpu];
+                s.time.idle_ns = a.idle_ns;
+                s.time.kernel_ns = a.kernel_ns;
+                s.accounted_until = a.accounted_until;
+                s.next_balance = a.next_balance;
+            }
+            for (m, v) in guard.pending_idle.iter_mut().enumerate() {
+                if let Some(p) = eng.pending_idle_checks.get_mut(m) {
+                    *p += *v;
+                }
+                *v = 0;
+            }
+            guard.exec.clear();
+            guard.stop_key = None;
+            guard.rearm_cap = None;
+        }
+    }
+    if let Some(t) = last_t {
+        eng.now = t;
+    }
+    for &si in &members {
+        fronts[si] = session.chunk(si).front_key();
+    }
+    if let Some(p) = prof.as_deref_mut() {
+        let fold_ns = fold_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let total_ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let barrier_delta = session.stats().barrier_wait_ns.saturating_sub(barrier0);
+        p.mailbox_ns += fold_ns;
+        p.mech_timer_ns += total_ns
+            .saturating_sub(fold_ns)
+            .saturating_sub(barrier_delta);
+        p.window_events += executed;
+    }
+    executed
+}
+
+/// Derive the window's global cut from the phase-1 outputs: the horizon,
+/// every member's stop key, every member's re-arm cap, and — when the
+/// staged total exceeds the event budget — the budget-th smallest staged
+/// key, so the window dispatches at most `budget` events.
+fn gather_k_min(
+    session: &ShardSession<'_, ShardChunk, WindowCtx>,
+    members: &[usize],
+    h0: (SimTime, u64),
+    budget: u64,
+) -> (SimTime, u64) {
+    let mut k_min = h0;
+    let mut staged: u64 = 0;
+    for &si in members {
+        let c = session.chunk(si);
+        if let Some(sk) = c.stop_key {
+            k_min = k_min.min(sk);
+        }
+        if let Some(cap) = c.rearm_cap {
+            // Events AT the cap time still pop before the re-arm (their
+            // seqs predate it), so the bound is exclusive past the time.
+            k_min = k_min.min((cap, u64::MAX));
+        }
+        staged += c.exec.len() as u64;
+    }
+    if staged > budget {
+        let mut keys: Vec<(SimTime, u64)> = Vec::with_capacity(staged as usize);
+        for &si in members {
+            let c = session.chunk(si);
+            keys.extend(c.exec.iter().map(|(e, _)| key(e)));
+        }
+        keys.sort_unstable();
+        if let Some(&kb) = keys.get(budget as usize) {
+            k_min = k_min.min(kb);
+        }
+    }
+    k_min
+}

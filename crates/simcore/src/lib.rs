@@ -12,6 +12,7 @@ pub mod events;
 pub mod pool;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod vclock;
 
@@ -19,6 +20,7 @@ pub use events::{EventHandle, EventQueue};
 pub use pool::{JobPanic, PoolStats};
 pub use resource::{Grant, KernelLock, KernelLockParams};
 pub use rng::SimRng;
+pub use shard::{with_shards, ShardSession, ShardStats};
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};
 pub use vclock::VClock;
 

@@ -1,0 +1,367 @@
+//! Persistent shard workers for the intra-run parallel engine.
+//!
+//! [`pool`](crate::pool) parallelizes *across* runs: each job is a whole
+//! simulation, so scoped threads spawned per batch are cheap. Intra-run
+//! sharding has the opposite shape — one run issues *many thousands* of
+//! tiny lookahead windows, each a few microseconds of work, so spawning
+//! (or even re-borrowing into) threads per window would dominate. This
+//! module keeps one worker thread per shard alive for the whole run and
+//! drives them with a generation-counted condvar handshake: the
+//! coordinator publishes a window context, bumps the generation, every
+//! worker runs the same `window_fn` against its own chunk, and the
+//! coordinator blocks until all workers check in.
+//!
+//! Safety model (no `unsafe` anywhere): each shard's mutable state lives
+//! in a `Mutex<C>` chunk. During a phase, worker *i* holds chunk *i*'s
+//! lock; between phases the coordinator may lock any chunk (workers are
+//! parked). The shared read-only window context is published as an
+//! `Arc<X>` under the control mutex. Shard 0's chunk is executed inline
+//! on the coordinator thread, so `shards = 1` spawns no threads at all.
+//!
+//! Wall-clock reads (`Instant::now`) are host-side bookkeeping for
+//! [`ShardStats`] only; they never feed simulation state (see the scoped
+//! detlint allow).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::pool::JobPanic;
+
+/// Host-side execution statistics for one sharded run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of phases driven through the worker handshake (inline
+    /// single-shard windows bypass it and are not counted here).
+    pub phases: u64,
+    /// Nanoseconds the coordinator spent blocked at the end-of-phase
+    /// barrier after finishing its own (shard 0) slice — the visible
+    /// cost of lookahead imbalance between shards.
+    pub barrier_wait_ns: u64,
+    /// Worker threads spawned (shard count minus one).
+    pub workers: usize,
+}
+
+struct CtlState<X> {
+    generation: u64,
+    phase: u8,
+    /// Opaque per-phase argument (the engine packs a `(time, seq)`
+    /// lookahead cut into it).
+    aux: u128,
+    ctx: Option<Arc<X>>,
+    /// Workers that have not yet finished the current generation.
+    remaining: usize,
+    shutdown: bool,
+    panic: Option<JobPanic>,
+}
+
+struct Ctl<X> {
+    state: Mutex<CtlState<X>>,
+    /// Workers wait here for a new generation.
+    work_cv: Condvar,
+    /// The coordinator waits here for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Handle the coordinator uses inside [`with_shards`] to drive phases
+/// and to inspect chunks between phases.
+pub struct ShardSession<'a, C: Send, X: Send + Sync> {
+    chunks: &'a [Mutex<C>],
+    ctl: &'a Ctl<X>,
+    window_fn: &'a (dyn Fn(u8, u128, usize, &mut C, &X) + Sync),
+    /// Spawned worker count (`chunks.len() - 1`).
+    workers: usize,
+    /// Statistics accumulated across the session (read them after
+    /// [`with_shards`] returns).
+    stats: ShardStats,
+}
+
+impl<C: Send, X: Send + Sync> ShardSession<'_, C, X> {
+    /// Number of shards (chunks), including shard 0 run inline.
+    pub fn shards(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Lock shard `i`'s chunk for coordinator-side access. Only call
+    /// between phases: during a phase the owning worker holds the lock
+    /// and this would block until the phase ends.
+    pub fn chunk(&self, i: usize) -> MutexGuard<'_, C> {
+        lock_ignore_poison(&self.chunks[i])
+    }
+
+    /// Statistics accumulated so far (final values are also returned by
+    /// [`with_shards`]).
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Publish the read-only context the next phases run against.
+    pub fn set_ctx(&mut self, ctx: X) {
+        lock_ignore_poison(&self.ctl.state).ctx = Some(Arc::new(ctx));
+    }
+
+    /// Run `window_fn(phase, aux, i, chunk_i, ctx)` on every shard —
+    /// workers for shards `1..n`, inline for shard 0 — and block until
+    /// all have finished. Requires a prior [`set_ctx`](Self::set_ctx).
+    pub fn run_phase(&mut self, phase: u8, aux: u128) {
+        let t0 = Instant::now();
+        let ctx = {
+            let mut st = lock_ignore_poison(&self.ctl.state);
+            let Some(ctx) = st.ctx.clone() else {
+                debug_assert!(false, "run_phase before set_ctx");
+                return;
+            };
+            st.generation += 1;
+            st.phase = phase;
+            st.aux = aux;
+            st.remaining = self.workers;
+            self.ctl.work_cv.notify_all();
+            ctx
+        };
+        {
+            let mut c0 = lock_ignore_poison(&self.chunks[0]);
+            (self.window_fn)(phase, aux, 0, &mut c0, &ctx);
+        }
+        let own_ns = t0.elapsed().as_nanos() as u64;
+        let mut st = lock_ignore_poison(&self.ctl.state);
+        while st.remaining > 0 {
+            st = self
+                .ctl
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|poison| poison.into_inner());
+        }
+        let panicked = st.panic.take();
+        drop(st);
+        self.stats.phases += 1;
+        self.stats.barrier_wait_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(own_ns);
+        if let Some(p) = panicked {
+            // Re-raise on the coordinator so the run fails loudly; the
+            // with_shards wrapper has already arranged worker shutdown.
+            panic!("{p}");
+        }
+    }
+}
+
+/// Run `body` with a persistent worker thread per chunk beyond the
+/// first. `body` drives phases via the [`ShardSession`]; when it
+/// returns, workers are shut down and the chunks are handed back along
+/// with the session's [`ShardStats`].
+///
+/// Determinism contract: `window_fn` receives disjoint `&mut C` chunks
+/// and a shared `&X` context, so for chunk-local state the outcome is
+/// independent of worker scheduling; a single chunk runs entirely
+/// inline on the caller's thread.
+pub fn with_shards<C, X, R>(
+    chunks: Vec<C>,
+    window_fn: impl Fn(u8, u128, usize, &mut C, &X) + Sync,
+    body: impl FnOnce(&mut ShardSession<'_, C, X>) -> R,
+) -> (Vec<C>, R, ShardStats)
+where
+    C: Send,
+    X: Send + Sync,
+{
+    let n = chunks.len();
+    let workers = n.saturating_sub(1);
+    let chunks: Vec<Mutex<C>> = chunks.into_iter().map(Mutex::new).collect();
+    let ctl = Ctl {
+        state: Mutex::new(CtlState {
+            generation: 0,
+            phase: 0,
+            aux: 0,
+            ctx: None,
+            remaining: 0,
+            shutdown: false,
+            panic: None,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    };
+    let window_fn_ref: &(dyn Fn(u8, u128, usize, &mut C, &X) + Sync) = &window_fn;
+
+    let (out, stats) = std::thread::scope(|scope| {
+        for (i, chunk) in chunks.iter().enumerate().skip(1) {
+            let ctl = &ctl;
+            scope.spawn(move || {
+                let mut seen = 0u64;
+                loop {
+                    let (phase, aux, ctx) = {
+                        let mut st = lock_ignore_poison(&ctl.state);
+                        while !st.shutdown && st.generation == seen {
+                            st = ctl
+                                .work_cv
+                                .wait(st)
+                                .unwrap_or_else(|poison| poison.into_inner());
+                        }
+                        if st.shutdown {
+                            return;
+                        }
+                        seen = st.generation;
+                        (st.phase, st.aux, st.ctx.clone())
+                    };
+                    if let Some(ctx) = ctx {
+                        let mut c = lock_ignore_poison(chunk);
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            window_fn_ref(phase, aux, i, &mut c, &ctx);
+                        }));
+                        if let Err(payload) = r {
+                            let msg = crate::pool::panic_message(payload);
+                            let mut st = lock_ignore_poison(&ctl.state);
+                            if st.panic.is_none() {
+                                st.panic = Some(JobPanic {
+                                    index: i,
+                                    message: msg,
+                                });
+                            }
+                        }
+                    }
+                    let mut st = lock_ignore_poison(&ctl.state);
+                    st.remaining = st.remaining.saturating_sub(1);
+                    if st.remaining == 0 {
+                        ctl.done_cv.notify_all();
+                    }
+                }
+            });
+        }
+
+        let mut session = ShardSession {
+            chunks: &chunks,
+            ctl: &ctl,
+            window_fn: window_fn_ref,
+            workers,
+            stats: ShardStats {
+                workers,
+                ..ShardStats::default()
+            },
+        };
+        // Catch body panics so workers are always told to shut down —
+        // otherwise scope join would deadlock on the parked condvar.
+        let out = catch_unwind(AssertUnwindSafe(|| body(&mut session)));
+        let stats = session.stats;
+        {
+            let mut st = lock_ignore_poison(&ctl.state);
+            st.shutdown = true;
+            ctl.work_cv.notify_all();
+        }
+        (out, stats)
+    });
+
+    let out = match out {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    let chunks = chunks
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|poison| poison.into_inner()))
+        .collect();
+    (chunks, out, stats)
+}
+
+// Shard-executor tests spawn OS threads and read host wall-clocks, which
+// need `-Zmiri-disable-isolation`; the executor never touches simulation
+// state, so miri skips it (same policy as the pool).
+#[cfg(all(test, not(miri)))]
+mod tests {
+    use super::*;
+
+    /// Each chunk sums `base * multiplier` per phase; deterministic in
+    /// the number of phases regardless of scheduling.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Acc {
+        base: u64,
+        total: u64,
+    }
+
+    fn run(n: usize, phases: u64) -> (Vec<Acc>, ShardStats) {
+        let chunks: Vec<Acc> = (0..n as u64)
+            .map(|i| Acc {
+                base: i + 1,
+                total: 0,
+            })
+            .collect();
+        let (chunks, _, stats) = with_shards(
+            chunks,
+            |phase, aux, _idx, c: &mut Acc, mult: &u64| {
+                c.total += c.base * *mult * (phase as u64) + aux as u64;
+            },
+            |session| {
+                session.set_ctx(10u64);
+                for _ in 0..phases {
+                    session.run_phase(1, 0);
+                    session.run_phase(2, 3);
+                }
+            },
+        );
+        (chunks, stats)
+    }
+
+    #[test]
+    fn all_shards_run_every_phase() {
+        for n in [1, 2, 4, 7] {
+            let (chunks, stats) = run(n, 5);
+            for (i, c) in chunks.iter().enumerate() {
+                // Per round: phase1 adds base*10, phase2 adds base*20 + 3.
+                let base = i as u64 + 1;
+                assert_eq!(c.total, 5 * (base * 10 + base * 20 + 3), "shard {i}");
+            }
+            assert_eq!(stats.phases, 10);
+            assert_eq!(stats.workers, n - 1);
+        }
+    }
+
+    #[test]
+    fn single_shard_spawns_no_workers() {
+        let (chunks, stats) = run(1, 3);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(stats.workers, 0);
+    }
+
+    #[test]
+    fn coordinator_can_inspect_chunks_between_phases() {
+        let chunks = vec![0u64, 0, 0];
+        let (chunks, picked, _) = with_shards(
+            chunks,
+            |_phase, _aux, idx, c: &mut u64, add: &u64| *c += (idx as u64 + 1) * add,
+            |session| {
+                session.set_ctx(100u64);
+                session.run_phase(1, 0);
+                let mid: Vec<u64> = (0..session.shards()).map(|i| *session.chunk(i)).collect();
+                session.run_phase(1, 0);
+                mid
+            },
+        );
+        assert_eq!(picked, vec![100, 200, 300]);
+        assert_eq!(chunks, vec![200, 400, 600]);
+    }
+
+    #[test]
+    fn worker_panic_reaches_coordinator() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| {
+            with_shards(
+                vec![0u8, 1],
+                |_p, _a, idx, _c: &mut u8, _x: &()| {
+                    if idx == 1 {
+                        panic!("shard exploded");
+                    }
+                },
+                |session| {
+                    session.set_ctx(());
+                    session.run_phase(1, 0);
+                },
+            )
+        });
+        std::panic::set_hook(prev);
+        let payload = caught.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("shard exploded"), "got: {msg}");
+    }
+}

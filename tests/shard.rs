@@ -1,0 +1,290 @@
+//! Byte-identity of the intra-run sharded engine.
+//!
+//! The sharded engine (per-core-group tick queues advanced concurrently
+//! under conservative lookahead windows) must produce **bit-identical
+//! reports** to the sequential engine at every shard count, on every
+//! workload family the tier-1 suite covers — including runs where
+//! sharding intentionally disarms (fault plans, schedule salt) and runs
+//! with observation-only instrumentation armed (race detector, lockdep,
+//! watchdog). Reports are compared through their canonical JSON
+//! serialization, which is integer-exact; the processed-event count must
+//! match too, since window folds count each executed tick exactly as the
+//! sequential pop loop would.
+
+use oversub::simcore::SimTime;
+use oversub::workload::Workload;
+use oversub::workloads::admission::{AdmissionPolicy, OverloadParams, RetryPolicy};
+use oversub::workloads::memcached::Memcached;
+use oversub::workloads::pipeline::{SpinPipeline, WaitFlavor};
+use oversub::workloads::skeletons::{BenchProfile, Skeleton};
+use oversub::workloads::webserving::WebServing;
+use oversub::{
+    run_counted, run_phase_profiled, ElasticEvent, FaultPlan, MachineSpec, Mechanisms, RunConfig,
+    WatchdogParams,
+};
+use proptest::prelude::*;
+
+/// Run one workload at shards = 1, 2, 4 and assert byte-identical report
+/// JSON and identical event counts across all three.
+fn assert_shard_identical(mut mk: impl FnMut() -> Box<dyn Workload>, cfg: &RunConfig, label: &str) {
+    let (base_report, base_events) = {
+        let mut wl = mk();
+        run_counted(&mut *wl, &cfg.clone().with_shards(1), label)
+    };
+    let base = base_report.to_json();
+    for n in [2usize, 4] {
+        let (report, events) = {
+            let mut wl = mk();
+            run_counted(&mut *wl, &cfg.clone().with_shards(n), label)
+        };
+        assert_eq!(
+            base,
+            report.to_json(),
+            "{label}: shards={n} diverged from the sequential engine"
+        );
+        assert_eq!(
+            base_events, events,
+            "{label}: shards={n} processed a different number of events"
+        );
+    }
+}
+
+#[test]
+fn memcached_is_bit_identical_across_shard_counts() {
+    let cpus = Memcached::paper(16, 8, 40_000.0).total_cpus();
+    let cfg = RunConfig::vanilla(cpus)
+        .with_mech(Mechanisms::optimized())
+        .with_seed(42)
+        .with_max_time(SimTime::from_millis(80));
+    assert_shard_identical(
+        || Box::new(Memcached::paper(16, 8, 40_000.0)),
+        &cfg,
+        "shard/memcached",
+    );
+}
+
+#[test]
+fn idle_heavy_machine_parallelizes_and_is_identical() {
+    // 8 threads on 64 CPUs: the event mix is dominated by periodic ticks
+    // on idle cores — the exact population lookahead windows absorb. This
+    // is both the byte-identity check on the window machinery's busiest
+    // configuration and the proof that windows actually open (a sharded
+    // run that never parallelizes would pass every identity test
+    // vacuously).
+    let profile = BenchProfile::by_name("streamcluster").expect("known benchmark");
+    let cfg = RunConfig::vanilla(64)
+        .with_machine(MachineSpec::PaperN(64))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(11)
+        .with_max_time(SimTime::from_millis(120));
+    assert_shard_identical(
+        || Box::new(Skeleton::scaled(profile, 8, 0.60).with_salt(11)),
+        &cfg,
+        "shard/idle-heavy",
+    );
+    let mut wl = Skeleton::scaled(profile, 8, 0.60).with_salt(11);
+    let (_, events, prof) = run_phase_profiled(
+        &mut wl,
+        &cfg.clone().with_shards(4),
+        "shard/idle-heavy-prof",
+    );
+    assert!(
+        prof.window_events > 0,
+        "no events executed inside lookahead windows on an idle-heavy machine"
+    );
+    assert!(
+        prof.window_events <= events,
+        "window events ({}) exceed total events ({events})",
+        prof.window_events
+    );
+}
+
+#[test]
+fn pipeline_is_bit_identical_across_shard_counts() {
+    for (mech, name) in [
+        (Mechanisms::vanilla(), "vanilla"),
+        (Mechanisms::optimized(), "optimized"),
+    ] {
+        let cfg = RunConfig::vanilla(8)
+            .with_machine(MachineSpec::PaperN(8))
+            .with_mech(mech)
+            .with_seed(5);
+        assert_shard_identical(
+            || Box::new(SpinPipeline::new(16, 30, WaitFlavor::Flags)),
+            &cfg,
+            &format!("shard/pipeline-{name}"),
+        );
+    }
+}
+
+#[test]
+fn web_serving_with_elasticity_is_bit_identical() {
+    // Elastic core-count changes broadcast across every shard (the
+    // cross-shard mailbox's `Elastic` entries) and flip CPUs offline mid
+    // run, changing how ticks classify between windows.
+    let cpus = WebServing::new(24, 8, 50_000.0).total_cpus();
+    let mut cfg = RunConfig::vanilla(cpus)
+        .with_mech(Mechanisms::optimized())
+        .with_seed(11)
+        .with_max_time(SimTime::from_millis(80));
+    cfg.elastic = vec![
+        ElasticEvent {
+            at: SimTime::from_millis(20),
+            cores: 4,
+        },
+        ElasticEvent {
+            at: SimTime::from_millis(50),
+            cores: 8,
+        },
+    ];
+    assert_shard_identical(
+        || Box::new(WebServing::new(24, 8, 50_000.0)),
+        &cfg,
+        "shard/web-elastic",
+    );
+}
+
+#[test]
+fn chaos_runs_disarm_sharding_and_stay_identical() {
+    // A fault plan disarms sharding (injected timer jitter breaks the
+    // strict-cadence invariant the shard queues rely on); a shards=4
+    // request must silently fall back to the sequential engine and
+    // reproduce it exactly.
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::PaperN(8))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(17)
+        .with_max_time(SimTime::from_millis(60))
+        .with_faults(FaultPlan::default().lost_wakeups(0.05).timer_jitter(2_000))
+        .with_watchdog(WatchdogParams::default());
+    assert_shard_identical(
+        || Box::new(SpinPipeline::new(12, 24, WaitFlavor::Flags)),
+        &cfg,
+        "shard/chaos-disarmed",
+    );
+}
+
+#[test]
+fn salted_runs_disarm_sharding_and_stay_identical() {
+    // Non-zero schedule salt permutes equal-time pops — the byte-pinned
+    // FIFO order sharding's equivalence proof assumes is gone, so the
+    // engine must fall back to sequential execution.
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::PaperN(8))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(19)
+        .with_schedule_salt(3);
+    assert_shard_identical(
+        || Box::new(SpinPipeline::new(12, 20, WaitFlavor::Flags)),
+        &cfg,
+        "shard/salted-disarmed",
+    );
+}
+
+#[test]
+fn race_detector_armed_runs_are_bit_identical() {
+    // The happens-before race detector stays armed under sharding: its
+    // vector clocks advance only at sync boundaries, which all execute
+    // on the coordinator between windows.
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::PaperN(8))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(23)
+        .with_race_detector();
+    assert_shard_identical(
+        || Box::new(SpinPipeline::new(12, 24, WaitFlavor::Flags)),
+        &cfg,
+        "shard/race-armed",
+    );
+}
+
+#[test]
+fn lockdep_armed_runs_are_bit_identical() {
+    let cfg = RunConfig::vanilla(8)
+        .with_machine(MachineSpec::PaperN(8))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(29)
+        .with_lockdep();
+    assert_shard_identical(
+        || {
+            Box::new(SpinPipeline::new(
+                12,
+                20,
+                WaitFlavor::SpinLock(oversub::locks::SpinPolicy::ttas()),
+            ))
+        },
+        &cfg,
+        "shard/lockdep-armed",
+    );
+}
+
+#[test]
+fn overload_runs_are_bit_identical() {
+    // Deadlines, CoDel shedding, and retries ride the coordinator's
+    // event stream; windows only ever absorb quiet ticks around them.
+    let ov = OverloadParams::disabled()
+        .with_deadline_ns(3_000_000)
+        .with_admission(AdmissionPolicy::CoDel {
+            target_ns: 300_000,
+            interval_ns: 500_000,
+        })
+        .with_retry(RetryPolicy::default());
+    let cpus = Memcached::paper(12, 6, 30_000.0).total_cpus();
+    let cfg = RunConfig::vanilla(cpus)
+        .with_mech(Mechanisms::optimized())
+        .with_seed(31)
+        .with_max_time(SimTime::from_millis(60))
+        .with_overload(ov);
+    assert_shard_identical(
+        || Box::new(Memcached::paper(12, 6, 30_000.0)),
+        &cfg,
+        "shard/overload",
+    );
+}
+
+#[test]
+fn watchdog_armed_runs_are_bit_identical() {
+    // A fault-free watchdog keeps sharding armed: the sweep is a
+    // coordinator-queue cadenced event and forms a window horizon.
+    let cfg = RunConfig::vanilla(16)
+        .with_machine(MachineSpec::PaperN(16))
+        .with_mech(Mechanisms::optimized())
+        .with_seed(37)
+        .with_max_time(SimTime::from_millis(60))
+        .with_watchdog(WatchdogParams::default());
+    assert_shard_identical(
+        || Box::new(SpinPipeline::new(8, 20, WaitFlavor::Flags)),
+        &cfg,
+        "shard/watchdog-armed",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized cross-shard schedules (wakes and migrations landing on
+    /// arbitrary core groups, via random thread/core mixes and seeds)
+    /// never violate the lookahead bound: the sharded run replays the
+    /// sequential engine — the oracle — byte for byte at any shard count.
+    #[test]
+    fn random_configs_replay_the_sequential_oracle(
+        threads in 4usize..16,
+        cores in 4usize..32,
+        shards in 2usize..6,
+        scale in 0.05f64..0.5,
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = BenchProfile::by_name("fluidanimate").expect("known benchmark");
+        let cfg = RunConfig::vanilla(cores)
+            .with_machine(MachineSpec::PaperN(cores))
+            .with_mech(Mechanisms::optimized())
+            .with_seed(seed)
+            .with_max_time(SimTime::from_millis(40));
+        let mut a = Skeleton::scaled(profile, threads, scale).with_salt(seed);
+        let (ra, ea) = run_counted(&mut a, &cfg.clone().with_shards(1), "shard/prop");
+        let mut b = Skeleton::scaled(profile, threads, scale).with_salt(seed);
+        let (rb, eb) = run_counted(&mut b, &cfg.clone().with_shards(shards), "shard/prop");
+        prop_assert_eq!(ra.to_json(), rb.to_json(), "shards={} diverged", shards);
+        prop_assert_eq!(ea, eb, "event counts diverged at shards={}", shards);
+    }
+}
